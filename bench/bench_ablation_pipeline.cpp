@@ -1,0 +1,46 @@
+// Ablation: pipeline chunk size for the chunked algorithms (ring and
+// multicolor). Small chunks pipeline deeply but pay per-message
+// overheads; huge chunks serialize the trees/chain. The paper's verbs
+// implementation is praised for "higher level of pipelining" — this
+// sweep quantifies what that is worth.
+#include "bench_common.hpp"
+#include "core/dctrain.hpp"
+
+int main() {
+  using namespace dct;
+  bench::banner(
+      "Ablation — pipeline chunk size (ring and multicolor)",
+      "the paper credits verbs-level pipelining for the multicolor win",
+      "netsim pricing with the pipeline granularity swept, 16 nodes, "
+      "93 MB payload");
+
+  netsim::ClusterConfig cluster;
+  cluster.nodes = 16;
+  const std::uint64_t payload = 93ULL << 20;
+  const netsim::FatTree net = netsim::make_minsky_fabric(cluster);
+
+  Table table({"chunk", "multicolor GB/s", "ring GB/s"});
+  for (std::uint64_t chunk_kb : {64ULL, 256ULL, 1024ULL, 4096ULL, 16384ULL,
+                                 95232ULL /* whole payload */}) {
+    netsim::AllreduceParams params;
+    params.payload_bytes = payload;
+    params.ranks = cluster.nodes;
+    params.reduce_bw_Bps = cluster.reduce_bw_Bps;
+    params.pipeline_bytes = chunk_kb << 10;
+    const auto mc = netsim::multicolor_allreduce_schedule(params, 4);
+    const double t_mc =
+        netsim::simulate(net, mc, netsim::sim_options_for("multicolor"))
+            .makespan_s;
+    const auto ring = netsim::ring_allreduce_schedule(params);
+    const double t_ring =
+        netsim::simulate(net, ring, netsim::sim_options_for("ring"))
+            .makespan_s;
+    table.add_row({std::to_string(chunk_kb) + " KiB",
+                   Table::num(static_cast<double>(payload) / t_mc / 1e9, 2),
+                   Table::num(static_cast<double>(payload) / t_ring / 1e9,
+                              2)});
+  }
+  table.print("Goodput vs pipeline chunk (93 MB payload, 16 nodes)");
+  std::printf("\n");
+  return 0;
+}

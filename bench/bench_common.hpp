@@ -1,0 +1,87 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench prints (a) the paper's reported values where the paper
+// gives them, (b) the values this reproduction produces, and (c) a short
+// note on how to read the comparison — absolute testbed numbers are not
+// expected to match, the *shape* (ordering, ratios, crossovers) is.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dct::bench {
+
+/// Standard header every reproduction binary prints.
+inline void banner(const std::string& experiment, const std::string& paper_says,
+                   const std::string& how_reproduced) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  paper:  %s\n", paper_says.c_str());
+  std::printf("  method: %s\n", how_reproduced.c_str());
+  std::printf("=============================================================\n");
+}
+
+/// ImageNet-1k / -22k scale constants used across the experiments.
+inline constexpr std::int64_t kImagenet1kImages = 1'281'167;
+inline constexpr std::int64_t kImagenet22kImages = 7'000'000;
+/// Paper §4.1: the concatenated training sets are ~70 GB and ~220 GB.
+inline constexpr std::uint64_t kImagenet1kBytes = 70ULL << 30;
+inline constexpr std::uint64_t kImagenet22kBytes = 220ULL << 30;
+
+}  // namespace dct::bench
+
+#include "trainer/accuracy_model.hpp"
+#include "trainer/epoch_model.hpp"
+
+namespace dct::bench {
+
+/// Shared renderer for Figures 13–16: a metric (top-1 or training error)
+/// as a function of wall-clock hours for 8/16/32-node runs of `model`,
+/// with the time axis coming from the fully-optimized epoch model.
+inline int print_accuracy_figure(const std::string& model, bool top1) {
+  const int node_counts[3] = {8, 16, 32};
+  double epoch_h[3];
+  trainer::AccuracyCurveConfig acc_cfg;
+  acc_cfg.model = model;
+  std::vector<trainer::AccuracyCurve> curves;
+  for (int i = 0; i < 3; ++i) {
+    trainer::EpochModelConfig cfg;
+    cfg.model = model;
+    cfg.nodes = node_counts[i];
+    epoch_h[i] = trainer::epoch_seconds(trainer::with_all_optimizations(cfg)) /
+                 3600.0;
+    acc_cfg.effective_batch = node_counts[i] * 4 * 64;
+    curves.emplace_back(acc_cfg);
+  }
+
+  Table table({"epoch", "t@8n (h)", top1 ? "top1@8n" : "err@8n",
+               "t@16n (h)", top1 ? "top1@16n" : "err@16n", "t@32n (h)",
+               top1 ? "top1@32n" : "err@32n"});
+  for (double epoch : {1.0, 5.0, 10.0, 20.0, 29.0, 31.0, 45.0, 59.0, 61.0,
+                       75.0, 90.0}) {
+    std::vector<std::string> row{Table::num(epoch, 0)};
+    for (int i = 0; i < 3; ++i) {
+      row.push_back(Table::num(epoch * epoch_h[i], 2));
+      const double v = top1 ? curves[static_cast<std::size_t>(i)].top1(epoch)
+                            : curves[static_cast<std::size_t>(i)]
+                                  .train_error(epoch);
+      row.push_back(Table::num(top1 ? v * 100.0 : v, top1 ? 2 : 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::string(top1 ? "Validation top-1 (%)" : "Training error") +
+              " vs training time, " + model +
+              " — warmup + step-decay 90-epoch regime");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %d nodes: 90 epochs in %.2f h, terminal top-1 %.2f %%\n",
+                node_counts[i], 90.0 * epoch_h[i],
+                curves[static_cast<std::size_t>(i)].final_top1() * 100.0);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace dct::bench

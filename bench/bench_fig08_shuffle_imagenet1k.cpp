@@ -1,0 +1,50 @@
+// Figure 8: DIMD shuffle time and memory per node for ImageNet-1k
+// (≈70 GB concatenated training set) at 8/16/32 learners.
+#include "bench_common.hpp"
+#include "core/dctrain.hpp"
+
+int main() {
+  using namespace dct;
+  bench::banner(
+      "Figure 8 — DIMD shuffle, ImageNet-1k (70 GB), equal partition",
+      "same shape as Fig. 7 at ~1/3 the volume: time decreases with "
+      "learner count",
+      "Algorithm-2 cost model; functional segmented shuffle cross-check");
+
+  netsim::ClusterConfig cluster;
+  Table table({"learners", "memory/node", "shuffle time (s)"});
+  for (int nodes : {8, 16, 32}) {
+    cluster.nodes = nodes;
+    const std::uint64_t per_node =
+        bench::kImagenet1kBytes / static_cast<std::uint64_t>(nodes);
+    const double t = netsim::shuffle_time_s(cluster, per_node, nodes);
+    table.add_row({std::to_string(nodes),
+                   format_bytes(static_cast<double>(per_node)),
+                   Table::num(t, 2)});
+  }
+  table.print("Modelled shuffle time and per-node memory (ImageNet-1k)");
+
+  // Functional: verify the 32-bit-safe segmentation engages — force tiny
+  // segments and confirm many alltoallv rounds still preserve the data.
+  data::DatasetDef def;
+  def.seed = 10;
+  def.images = 1000;
+  def.classes = 100;
+  def.image = data::ImageDef{3, 8, 8};
+  bool ok = true;
+  std::uint64_t segments = 0;
+  simmpi::Runtime::execute(4, [&](simmpi::Communicator& comm) {
+    data::DimdStore store(comm, data::DimdConfig{1, /*segment=*/4096});
+    store.load_partition(data::SyntheticImageGenerator(def));
+    const auto checksum = store.group_checksum();
+    Rng rng(3 * comm.rank() + 7);
+    store.shuffle(rng);
+    if (store.group_checksum() != checksum) ok = false;
+    if (comm.rank() == 0) segments = store.last_shuffle_segments();
+  });
+  std::printf(
+      "Functional segmented shuffle (4 ranks, 4 KiB segment bound): "
+      "%llu segments, multiset preserved: %s\n\n",
+      static_cast<unsigned long long>(segments), ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Figure 12: per-epoch time with and without the Data-Parallel-Table
+// optimizations (DIMD + multicolor held fixed). Paper: +15 %
+// (GoogleNetBN) and +18 % (ResNet-50).
+//
+// The timing comes from the epoch model; the structural claims of §4.3
+// are then demonstrated on the *functional* tables: identical gradients,
+// strictly fewer serialized steps and fewer input bytes moved.
+#include "bench_common.hpp"
+#include "core/dctrain.hpp"
+
+int main() {
+  using namespace dct;
+  using namespace dct::trainer;
+  bench::banner(
+      "Figure 12 — DataParallelTable optimizations",
+      "optimized DPT improves epochs by 15 % (GoogleNetBN) / 18 % "
+      "(ResNet-50); scaling improvement is marginal",
+      "EpochTimeModel for the timing; real BaselineDpt/OptimizedDpt "
+      "executions for the structural counters and gradient equivalence");
+
+  for (const char* model : {"googlenetbn", "resnet50"}) {
+    Table table({"nodes", "baseline DPT (s)", "optimized DPT (s)",
+                 "improvement"});
+    for (int nodes : {8, 16, 32}) {
+      EpochModelConfig cfg;
+      cfg.model = model;
+      cfg.nodes = nodes;
+      cfg = with_all_optimizations(cfg);
+      const double opt = epoch_seconds(cfg);
+      cfg.optimized_dpt = false;
+      const double base = epoch_seconds(cfg);
+      table.add_row({std::to_string(nodes), Table::num(base, 1),
+                     Table::num(opt, 1),
+                     Table::num(100.0 * (base / opt - 1.0), 1) + " %"});
+    }
+    table.print(std::string("Epoch seconds, ") + model +
+                " (paper improvement: " +
+                (std::string(model) == "googlenetbn" ? "15" : "18") + " %)");
+  }
+
+  // Functional comparison on real 4-GPU tables.
+  nn::SmallCnnConfig model_cfg;
+  model_cfg.classes = 8;
+  model_cfg.image = 8;
+  dpt::BaselineDpt base(model_cfg, 4, 1234);
+  dpt::OptimizedDpt opt(model_cfg, 4, 1234);
+  tensor::Tensor input({16, 3, 8, 8});
+  Rng rng(5);
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    input[i] = rng.next_float() * 2 - 1;
+  }
+  std::vector<std::int32_t> labels(16);
+  for (int i = 0; i < 16; ++i) labels[static_cast<std::size_t>(i)] = i % 8;
+  const float lb = base.forward_backward(input, labels);
+  const float lo = opt.forward_backward(input, labels);
+  bool grads_equal = true;
+  for (std::size_t i = 0; i < base.node_grads().size(); ++i) {
+    if (base.node_grads()[i] != opt.node_grads()[i]) grads_equal = false;
+  }
+  const auto sb = base.stats();
+  const auto so = opt.stats();
+  Table fn({"table", "loss", "H2D", "D2H", "P2P", "serialized cb", "syncs"});
+  fn.add_row({"baseline (Fig.3)", Table::num(lb, 5),
+              format_bytes(static_cast<double>(sb.h2d_bytes)),
+              format_bytes(static_cast<double>(sb.d2h_bytes)),
+              format_bytes(static_cast<double>(sb.p2p_bytes)),
+              std::to_string(sb.serialized_callbacks),
+              std::to_string(sb.sync_points)});
+  fn.add_row({"optimized (Fig.4)", Table::num(lo, 5),
+              format_bytes(static_cast<double>(so.h2d_bytes)),
+              format_bytes(static_cast<double>(so.d2h_bytes)),
+              format_bytes(static_cast<double>(so.p2p_bytes)),
+              std::to_string(so.serialized_callbacks),
+              std::to_string(so.sync_points)});
+  fn.print("Functional step on 4 simulated GPUs (real math)");
+  std::printf("gradients bit-identical across designs: %s\n\n",
+              grads_equal ? "YES" : "NO");
+  return grads_equal ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// Figure 14: GoogleNetBN top-1 validation accuracy over training time
+// at 8/16/32 nodes (terminal 74.86/74.36/74.19 % per Table 1).
+#include "bench_common.hpp"
+#include "core/dctrain.hpp"
+
+int main() {
+  dct::bench::banner(
+      "Figure 14 — GoogleNetBN top-1 vs training time, 8/16/32 nodes",
+      "same staircase as Fig. 13 at GoogleNetBN's accuracy level",
+      "fitted 90-epoch accuracy curves on the optimized epoch-time axis");
+  return dct::bench::print_accuracy_figure("googlenetbn", /*top1=*/true);
+}

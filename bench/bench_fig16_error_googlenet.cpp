@@ -1,0 +1,12 @@
+// Figure 16: GoogleNetBN training objective over training time at
+// 8/16/32 nodes — the error mirror of Figure 14.
+#include "bench_common.hpp"
+#include "core/dctrain.hpp"
+
+int main() {
+  dct::bench::banner(
+      "Figure 16 — GoogleNetBN training error vs time, 8/16/32 nodes",
+      "monotone decreasing staircase with drops at the LR steps",
+      "fitted objective curves on the optimized epoch-time axis");
+  return dct::bench::print_accuracy_figure("googlenetbn", /*top1=*/false);
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the
+// functional stack: GEMM, convolution, the image codec, DIMD batch
+// assembly, the in-process allreduce algorithms, and the shuffle.
+#include <benchmark/benchmark.h>
+
+#include "core/dctrain.hpp"
+
+namespace {
+
+using namespace dct;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  tensor::Tensor a({n, n}), b({n, n}), c({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = rng.next_float();
+    b[i] = rng.next_float();
+  }
+  for (auto _ : state) {
+    tensor::gemm(a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  const std::int64_t batch = state.range(0);
+  tensor::Tensor x({batch, 8, 16, 16});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.next_float();
+  tensor::Conv2dShape s{8, 16, 3, 1, 1};
+  tensor::Tensor w = tensor::Tensor::kaiming({16, 8 * 9}, 72, rng);
+  tensor::Tensor bias({16});
+  for (auto _ : state) {
+    auto out = tensor::conv2d_forward(x, w, bias, s);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_CodecEncode(benchmark::State& state) {
+  data::DatasetDef def;
+  def.image = data::ImageDef{3, 32, 32};
+  def.images = 4;
+  data::SyntheticImageGenerator gen(def);
+  const auto img = gen.generate(0);
+  for (auto _ : state) {
+    auto blob = data::codec_encode(img.pixels);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(img.pixels.size()));
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  data::DatasetDef def;
+  def.image = data::ImageDef{3, 32, 32};
+  def.images = 4;
+  data::SyntheticImageGenerator gen(def);
+  const auto blob = data::codec_encode(gen.generate(0).pixels);
+  for (auto _ : state) {
+    auto raw = data::codec_decode(blob);
+    benchmark::DoNotOptimize(raw.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 3 * 32 * 32);
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_AllreduceInProcess(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elems = 1 << 16;
+  const auto name = state.range(1) == 0 ? "multicolor" : "ring";
+  auto algo = allreduce::make_algorithm(name);
+  for (auto _ : state) {
+    simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
+      std::vector<float> data(elems, static_cast<float>(comm.rank()));
+      algo->run(comm, std::span<float>(data));
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elems * sizeof(float)) *
+                          ranks);
+  state.SetLabel(name);
+}
+BENCHMARK(BM_AllreduceInProcess)
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({4, 1})
+    ->Args({8, 1});
+
+void BM_DimdRandomBatch(benchmark::State& state) {
+  data::DatasetDef def;
+  def.images = 256;
+  def.classes = 16;
+  def.image = data::ImageDef{3, 16, 16};
+  simmpi::Runtime rt(1);
+  rt.run([&](simmpi::Communicator& comm) {
+    data::DimdStore store(comm, data::DimdConfig{1, 1 << 20});
+    store.load_partition(data::SyntheticImageGenerator(def));
+    Rng rng(3);
+    for (auto _ : state) {
+      auto batch = store.random_batch(32, def.image, rng);
+      benchmark::DoNotOptimize(batch.images.data());
+    }
+  });
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DimdRandomBatch);
+
+void BM_DimdShuffle(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  data::DatasetDef def;
+  def.images = 512;
+  def.classes = 16;
+  def.image = data::ImageDef{3, 8, 8};
+  for (auto _ : state) {
+    simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
+      data::DimdStore store(comm, data::DimdConfig{1, 1 << 20});
+      store.load_partition(data::SyntheticImageGenerator(def));
+      Rng rng(comm.rank() + 1);
+      benchmark::DoNotOptimize(store.shuffle(rng));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * def.images);
+}
+BENCHMARK(BM_DimdShuffle)->Arg(2)->Arg(4);
+
+void BM_FlowSimulator(benchmark::State& state) {
+  netsim::ClusterConfig cluster;
+  cluster.nodes = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        netsim::allreduce_time_s(cluster, "multicolor", 16 << 20));
+  }
+}
+BENCHMARK(BM_FlowSimulator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table 1: per-epoch time of the open-source base (stock Torch + file
+// I/O + default OpenMPI + stock DPT) vs the fully optimized stack, with
+// the peak classifier accuracy, for both models at 8/16/32 nodes.
+#include "bench_common.hpp"
+#include "core/dctrain.hpp"
+
+int main() {
+  using namespace dct;
+  using namespace dct::trainer;
+  bench::banner(
+      "Table 1 — total improvement over the open-source base",
+      "GoogleNetBN 249/131/65 → 155/76/41 s (58–72 %); ResNet-50 "
+      "498/251/128 → 224/109/58 s (110–130 %); accuracy unchanged",
+      "EpochTimeModel with all three optimizations toggled together; "
+      "accuracy from the fitted curves (identical in both columns — the "
+      "optimizations are numerics-preserving, as verified functionally)");
+
+  struct PaperRow {
+    const char* model;
+    int nodes;
+    double base_s, opt_s;
+    double accuracy;
+  };
+  const PaperRow paper[] = {
+      {"googlenetbn", 8, 249, 155, 74.86},  {"googlenetbn", 16, 131, 76, 74.36},
+      {"googlenetbn", 32, 65, 41, 74.19},   {"resnet50", 8, 498, 224, 75.99},
+      {"resnet50", 16, 251, 109, 75.78},    {"resnet50", 32, 128, 58, 75.56},
+  };
+
+  Table table({"model", "nodes", "base (s)", "opt (s)", "speedup",
+               "paper base", "paper opt", "paper speedup", "top-1 %"});
+  for (const auto& row : paper) {
+    EpochModelConfig cfg;
+    cfg.model = row.model;
+    cfg.nodes = row.nodes;
+    const double base = epoch_seconds(with_open_source_baseline(cfg));
+    const double opt = epoch_seconds(with_all_optimizations(cfg));
+    AccuracyCurveConfig acc;
+    acc.model = row.model;
+    acc.effective_batch = row.nodes * 4 * 64;
+    table.add_row({row.model, std::to_string(row.nodes), Table::num(base, 0),
+                   Table::num(opt, 0),
+                   Table::num(100.0 * (base / opt - 1.0), 0) + " %",
+                   Table::num(row.base_s, 0), Table::num(row.opt_s, 0),
+                   Table::num(100.0 * (row.base_s / row.opt_s - 1.0), 0) +
+                       " %",
+                   Table::num(AccuracyCurve(acc).final_top1() * 100.0, 2)});
+  }
+  table.print("Per-epoch seconds: reproduction vs paper (batch 64/GPU)");
+  std::printf(
+      "Note: the optimized column tracks the paper within a few percent;\n"
+      "the open-source base column reproduces the magnitude but not the\n"
+      "paper's per-model ordering of gains — see EXPERIMENTS.md.\n\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Epoch planner: the scenario the paper's evaluation revolves around —
+// given a cluster size, model and batch, what does one ImageNet-1k epoch
+// cost, where does the time go, and what would each optimization buy?
+// This drives the epoch-time model exactly the way a capacity-planning
+// user would.
+//
+// Run: build/examples/imagenet_epoch_planner
+#include <cstdio>
+
+#include "core/dctrain.hpp"
+
+int main() {
+  using namespace dct;
+  using namespace dct::trainer;
+  std::printf("dctrain %s — ImageNet-1k epoch planner (Minsky cluster "
+              "model)\n\n",
+              kVersionString);
+
+  for (const char* model : {"resnet50", "googlenetbn"}) {
+    Table table({"nodes", "config", "epoch", "step", "compute", "dpt",
+                 "data", "allreduce"});
+    for (int nodes : {4, 8, 16, 32, 64}) {
+      for (const bool optimized : {false, true}) {
+        EpochModelConfig cfg;
+        cfg.model = model;
+        cfg.nodes = nodes;
+        cfg = optimized ? with_all_optimizations(cfg)
+                        : with_open_source_baseline(cfg);
+        const auto b = estimate_epoch(cfg);
+        table.add_row({std::to_string(nodes),
+                       optimized ? "optimized" : "open-source",
+                       format_seconds(b.epoch_s), format_seconds(b.step_s),
+                       format_seconds(b.compute_s),
+                       format_seconds(b.dpt_overhead_s),
+                       format_seconds(b.data_s),
+                       format_seconds(b.allreduce_s)});
+      }
+    }
+    table.print(std::string("Epoch cost decomposition — ") + model +
+                " (batch 64/GPU, 4 GPUs/node)");
+  }
+
+  // What would 90 epochs cost on the paper's headline configuration?
+  EpochModelConfig headline;
+  headline.model = "resnet50";
+  headline.nodes = 64;
+  headline.batch_per_gpu = 32;
+  headline = with_all_optimizations(headline);
+  std::printf("Headline run (256 GPUs, batch 8k): 90 epochs in %s\n",
+              format_seconds(90.0 * epoch_seconds(headline)).c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: distributed data-parallel training on 4 simulated learners
+// × 2 simulated GPUs each, through the full stack — DIMD in-memory data,
+// multi-color allreduce, optimized DataParallelTable — on a synthetic
+// 10-class dataset. Prints per-epoch loss/accuracy; finishes with a
+// validation score.
+//
+// Run: build/examples/quickstart
+#include <cstdio>
+
+#include "core/dctrain.hpp"
+
+int main() {
+  using namespace dct;
+  std::printf("dctrain %s — quickstart: 4 learners x 2 GPUs, SmallCNN\n\n",
+              kVersionString);
+
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 10;
+  cfg.model.image = 16;
+  cfg.gpus_per_node = 2;
+  cfg.batch_per_gpu = 8;
+  cfg.allreduce = "multicolor";
+  cfg.dataset.seed = 2026;
+  cfg.dataset.images = 640;
+  cfg.dataset.classes = 10;
+  cfg.dataset.image = data::ImageDef{3, 16, 16};
+  cfg.shuffle_every = 8;  // Algorithm-2 shuffle every 8 iterations
+  cfg.base_lr = 0.05;
+
+  simmpi::Runtime::execute(4, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    if (comm.rank() == 0) {
+      std::printf("global batch: %lld images/iteration\n",
+                  static_cast<long long>(trainer.global_batch()));
+    }
+    for (int epoch = 1; epoch <= 8; ++epoch) {
+      const auto metrics = trainer.train_epoch(/*iterations=*/10);
+      if (comm.rank() == 0) {
+        std::printf("epoch %d  loss %.4f  train-acc %.1f %%  (shuffles so "
+                    "far: %llu)\n",
+                    epoch, metrics.mean_loss, 100.0 * metrics.train_accuracy,
+                    static_cast<unsigned long long>(metrics.shuffles));
+      }
+    }
+    const double val = trainer.evaluate(200);
+    if (comm.rank() == 0) {
+      std::printf("\nheld-out top-1: %.1f %% (chance would be 10 %%)\n", val * 100.0);
+    }
+  });
+  return 0;
+}

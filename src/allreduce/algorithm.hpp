@@ -1,0 +1,59 @@
+// Allreduce algorithm interface (paper §4.2).
+//
+// All algorithms perform an in-place float sum-allreduce over a
+// communicator. The gradient-accumulation use case of the paper is a
+// float32 sum, so the interface is concrete rather than generic; the
+// simmpi fallback (`Communicator::allreduce_inplace`) stays generic for
+// other types.
+//
+// Each algorithm also exposes per-call traffic counters so tests can
+// assert structural properties (e.g. the multi-color algorithm really
+// splits the payload across k trees).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simmpi/communicator.hpp"
+
+namespace dct::allreduce {
+
+/// Traffic accounting for a single allreduce invocation on one rank.
+struct RankTraffic {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t reduce_flops = 0;  ///< element additions performed locally
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// In-place sum-allreduce of `data` across `comm`. On return every rank
+  /// holds the element-wise sum over all ranks. Optional `traffic`
+  /// receives this rank's accounting.
+  virtual void run(simmpi::Communicator& comm, std::span<float> data,
+                   RankTraffic* traffic = nullptr) const = 0;
+};
+
+/// Instantiate by name:
+///   "naive"          reduce-to-root + broadcast
+///   "binomial"       alias of naive (OpenMPI small-message default)
+///   "recursive_halving"  Rabenseifner reduce-scatter/allgather
+///                        (OpenMPI large-message default)
+///   "openmpi_default"    payload-size dispatch between the two above
+///   "ring"           pipelined reduce-to-root + opposite-direction
+///                    broadcast (the ring baseline of paper §5.1)
+///   "multicolor"     the paper's k-color tree algorithm (default k=4)
+///   "multicolor<k>"  e.g. "multicolor2", "multicolor8"
+/// Throws CheckError for unknown names.
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name);
+
+/// All registered algorithm names (for sweeps in tests/benches).
+std::vector<std::string> algorithm_names();
+
+}  // namespace dct::allreduce

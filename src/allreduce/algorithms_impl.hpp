@@ -1,0 +1,123 @@
+// Concrete allreduce algorithm classes. Exposed in a header (rather than
+// anonymous namespaces) so tests can instantiate specific algorithms with
+// non-default knobs (color count, pipeline chunk size).
+#pragma once
+
+#include <cstddef>
+
+#include "allreduce/algorithm.hpp"
+
+namespace dct::allreduce {
+
+/// Reserved point-to-point tag for algorithm-internal traffic. Sits just
+/// below the communicator-collective tag space so it can collide with
+/// neither user tags (conventionally small) nor collective sequence tags.
+inline constexpr int kAlgoTag = simmpi::kCollectiveTagBase - 1;
+
+/// Reduce-to-root (binomial) + binomial broadcast. This mirrors the
+/// OpenMPI default for small payloads and serves as the reference
+/// implementation for all other algorithms' tests.
+class NaiveAllreduce final : public Algorithm {
+ public:
+  std::string name() const override { return "naive"; }
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+};
+
+/// Rabenseifner's algorithm: recursive-halving reduce-scatter followed by
+/// recursive-doubling allgather. Non-power-of-two rank counts fold the
+/// first `2·rem` ranks pairwise before/after. This mirrors the OpenMPI
+/// default for large payloads.
+class RecursiveHalvingAllreduce final : public Algorithm {
+ public:
+  std::string name() const override { return "recursive_halving"; }
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+};
+
+/// OpenMPI-style decision layer: binomial reduce+bcast below the cutover,
+/// Rabenseifner above it.
+class OpenMpiDefaultAllreduce final : public Algorithm {
+ public:
+  explicit OpenMpiDefaultAllreduce(std::size_t cutover_bytes = 64 * 1024)
+      : cutover_bytes_(cutover_bytes) {}
+  std::string name() const override { return "openmpi_default"; }
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+
+ private:
+  std::size_t cutover_bytes_;
+};
+
+/// The paper's ring baseline (§5.1): the payload is cut into pipeline
+/// chunks; each chunk is reduced hop-by-hop along the ring p-1 → … → 0
+/// and then broadcast from rank 0 back along the ring in the opposite
+/// direction.
+class PipelinedRingAllreduce final : public Algorithm {
+ public:
+  explicit PipelinedRingAllreduce(std::size_t pipeline_elems = 16384)
+      : pipeline_elems_(pipeline_elems) {}
+  std::string name() const override { return "ring"; }
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+
+  std::size_t pipeline_elems() const { return pipeline_elems_; }
+
+ private:
+  std::size_t pipeline_elems_;
+};
+
+/// The bandwidth-optimal ring exchange of NCCL/Horovod (reduce-scatter
+/// ring + allgather ring): every rank moves 2·S·(p−1)/p bytes, no root
+/// hot-spot. Not in the paper — included as the historically-superseding
+/// baseline the multi-color algorithm should be judged against.
+class BucketRingAllreduce final : public Algorithm {
+ public:
+  std::string name() const override { return "bucket_ring"; }
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+};
+
+/// The "multi-color ring" the paper's §5.2 refers to: the color idea
+/// applied to rings. The payload splits into k chunks; chunk c is
+/// reduced along the ring toward root rank c·⌊p/k⌋ and broadcast back
+/// the other way. The k roots (reduce hot-spots) are distinct ranks, so
+/// the chains stream concurrently like the color trees' interiors.
+class MultiRingAllreduce final : public Algorithm {
+ public:
+  explicit MultiRingAllreduce(int rings = 4, std::size_t pipeline_elems = 16384)
+      : rings_(rings), pipeline_elems_(pipeline_elems) {}
+  std::string name() const override;
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+
+  int rings() const { return rings_; }
+
+ private:
+  int rings_;
+  std::size_t pipeline_elems_;
+};
+
+/// The paper's multi-color algorithm (§4.2): the payload is split into k
+/// color chunks; chunk c is reduced up and broadcast down the color-c
+/// spanning tree (interior nodes disjoint across colors). Each color
+/// chunk is further cut into pipeline sub-chunks that stream through the
+/// tree back-to-back.
+class MultiColorAllreduce final : public Algorithm {
+ public:
+  explicit MultiColorAllreduce(int colors = 4,
+                               std::size_t pipeline_elems = 16384)
+      : colors_(colors), pipeline_elems_(pipeline_elems) {}
+  std::string name() const override;
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+
+  int colors() const { return colors_; }
+  std::size_t pipeline_elems() const { return pipeline_elems_; }
+
+ private:
+  int colors_;
+  std::size_t pipeline_elems_;
+};
+
+}  // namespace dct::allreduce

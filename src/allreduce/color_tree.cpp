@@ -1,0 +1,72 @@
+#include "allreduce/color_tree.hpp"
+
+#include "util/error.hpp"
+
+namespace dct::allreduce {
+
+int color_tree_arity(int p, int k) {
+  DCT_CHECK(p >= 1 && k >= 1 && k <= p);
+  if (p == 1) return k;
+  // Interior nodes of an a-ary BFS tree over p nodes occupy BFS
+  // positions 0 … ⌈(p-1)/a⌉-1. Disjointness across the k rotations
+  // requires that count to fit in one stride ⌊p/k⌋.
+  const int stride = p / k;
+  DCT_CHECK(stride >= 1);
+  const int a = (p - 1 + stride - 1) / stride;  // ceil((p-1)/stride)
+  return a > k ? a : k;
+}
+
+ColorTree::ColorTree(int p, int k, int color) : p_(p) {
+  DCT_CHECK(p >= 1 && k >= 1 && k <= p);
+  DCT_CHECK(color >= 0 && color < k);
+  arity_ = color_tree_arity(p, k);
+
+  const int stride = p / k;
+  const int rotation = color * stride;
+  order_.resize(static_cast<std::size_t>(p));
+  position_.resize(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    const int rank = (i + rotation) % p;
+    order_[static_cast<std::size_t>(i)] = rank;
+    position_[static_cast<std::size_t>(rank)] = i;
+  }
+
+  parent_.assign(static_cast<std::size_t>(p), -1);
+  children_.assign(static_cast<std::size_t>(p), {});
+  for (int i = 0; i < p; ++i) {
+    const int rank = order_[static_cast<std::size_t>(i)];
+    for (int j = 0; j < arity_; ++j) {
+      const long child_pos = static_cast<long>(arity_) * i + 1 + j;
+      if (child_pos >= p) break;
+      const int child = order_[static_cast<std::size_t>(child_pos)];
+      parent_[static_cast<std::size_t>(child)] = rank;
+      children_[static_cast<std::size_t>(rank)].push_back(child);
+    }
+  }
+}
+
+int ColorTree::parent(int rank) const {
+  DCT_CHECK(rank >= 0 && rank < p_);
+  return parent_[static_cast<std::size_t>(rank)];
+}
+
+const std::vector<int>& ColorTree::children(int rank) const {
+  DCT_CHECK(rank >= 0 && rank < p_);
+  return children_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<int> ColorTree::interior_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < p_; ++r) {
+    if (is_interior(r) || is_root(r)) out.push_back(r);
+  }
+  return out;
+}
+
+int ColorTree::depth(int rank) const {
+  int d = 0;
+  for (int r = rank; parent(r) != -1; r = parent(r)) ++d;
+  return d;
+}
+
+}  // namespace dct::allreduce

@@ -1,0 +1,57 @@
+// Construction of the paper's k-color spanning trees (§4.2, Fig. 2).
+//
+// For a k-color allreduce on p nodes, color c owns a BFS tree over all p
+// nodes built on the node order rotated by c·⌈p/k⌉. The tree arity is
+// chosen so that the interior (non-leaf) node count fits inside one
+// rotation stride, which makes the interior sets of the k colors
+// pairwise disjoint — the property that lets the k reductions stream
+// over different links of a fat-tree without contending at the summing
+// nodes.
+//
+// For p = 8, k = 4 this reproduces the paper's Figure 2 exactly:
+// color 0 rooted at node 0 with interior {0,1}, color 1 rooted at 2 with
+// interior {2,3}, and so on.
+#pragma once
+
+#include <vector>
+
+namespace dct::allreduce {
+
+/// One color's spanning tree, addressed by communicator rank.
+class ColorTree {
+ public:
+  /// Build the tree of color `color` (0 ≤ color < k) over ranks 0…p-1.
+  ColorTree(int p, int k, int color);
+
+  int size() const { return p_; }
+  int arity() const { return arity_; }
+  int root() const { return order_[0]; }
+
+  /// Parent rank, or -1 for the root.
+  int parent(int rank) const;
+
+  /// Children ranks in deterministic order (fixes the summation order).
+  const std::vector<int>& children(int rank) const;
+
+  bool is_interior(int rank) const { return !children(rank).empty(); }
+  bool is_root(int rank) const { return rank == root(); }
+
+  /// Ranks with at least one child, plus the root (the "summing" nodes).
+  std::vector<int> interior_ranks() const;
+
+  /// Depth of `rank` in the tree (root = 0).
+  int depth(int rank) const;
+
+ private:
+  int p_;
+  int arity_;
+  std::vector<int> order_;     ///< BFS order: order_[i] = rank at position i
+  std::vector<int> position_;  ///< inverse of order_
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+};
+
+/// The arity used for a k-color tree over p ranks (exposed for tests).
+int color_tree_arity(int p, int k);
+
+}  // namespace dct::allreduce

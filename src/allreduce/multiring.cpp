@@ -1,0 +1,87 @@
+#include "allreduce/algorithms_impl.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dct::allreduce {
+
+std::string MultiRingAllreduce::name() const {
+  return "multiring" + std::to_string(rings_);
+}
+
+// §5.2 of the paper refers to "the optimal multi-color ring algorithm":
+// the color idea applied to rings. The payload is split into k chunks;
+// chunk c is reduced along the ring rotated so that its root (and
+// therefore its hot spot) is rank c·⌊p/k⌋, then broadcast in the
+// opposite direction. Roots are distinct across chunks, so the reduce
+// hot-spots spread over the machine the same way the color trees'
+// interior nodes do.
+void MultiRingAllreduce::run(simmpi::Communicator& comm,
+                             std::span<float> data,
+                             RankTraffic* traffic) const {
+  RankTraffic t;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = data.size();
+  if (p == 1 || n == 0) {
+    if (traffic != nullptr) *traffic = t;
+    return;
+  }
+
+  const int k = std::clamp(rings_, 1, p);
+  const std::size_t pipe = std::max<std::size_t>(1, pipeline_elems_);
+  std::vector<float> scratch(pipe);
+
+  auto color_lo = [&](int c) {
+    return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(k);
+  };
+
+  // Process sub-chunks round-robin across the rings, exactly like the
+  // multicolor tree schedule.
+  std::size_t max_sub = 1;
+  for (int c = 0; c < k; ++c) {
+    const std::size_t len = color_lo(c + 1) - color_lo(c);
+    max_sub = std::max(max_sub, (len + pipe - 1) / pipe);
+  }
+  const int stride = p / k;
+
+  for (std::size_t s = 0; s < max_sub; ++s) {
+    for (int c = 0; c < k; ++c) {
+      const std::size_t clo = color_lo(c), chi = color_lo(c + 1);
+      const std::size_t lo = clo + s * pipe;
+      if (lo >= chi) continue;
+      const std::size_t len = std::min(pipe, chi - lo);
+      std::span<float> part(data.data() + lo, len);
+
+      // Virtual ring position: the chunk's root sits at vrank 0.
+      const int root = c * stride;
+      const int vrank = (rank - root + p) % p;
+      const int up = (rank + 1) % p;      // vrank + 1
+      const int down = (rank - 1 + p) % p;  // vrank - 1
+
+      // Reduce toward the root: partials flow vrank p-1 → … → 0.
+      if (vrank != p - 1) {
+        comm.recv(std::span<float>(scratch.data(), len), up, kAlgoTag);
+        for (std::size_t i = 0; i < len; ++i) part[i] += scratch[i];
+        t.reduce_flops += len;
+      }
+      if (vrank != 0) {
+        comm.send(std::span<const float>(part.data(), len), down, kAlgoTag);
+        t.bytes_sent += len * sizeof(float);
+        ++t.messages_sent;
+      }
+      // Broadcast back in the opposite direction.
+      if (vrank != 0) {
+        comm.recv(part, down, kAlgoTag);
+      }
+      if (vrank != p - 1) {
+        comm.send(std::span<const float>(part.data(), len), up, kAlgoTag);
+        t.bytes_sent += len * sizeof(float);
+        ++t.messages_sent;
+      }
+    }
+  }
+  if (traffic != nullptr) *traffic = t;
+}
+
+}  // namespace dct::allreduce

@@ -1,0 +1,38 @@
+#include "allreduce/algorithms_impl.hpp"
+
+namespace dct::allreduce {
+
+void NaiveAllreduce::run(simmpi::Communicator& comm, std::span<float> data,
+                         RankTraffic* traffic) const {
+  RankTraffic t;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  if (p > 1) {
+    // Binomial reduce to rank 0 — count this rank's traffic by mirroring
+    // the tree structure (one send per rank except the root's subtree
+    // spine; additions at each combine).
+    comm.reduce_inplace(data, /*root=*/0, [&](float a, float b) {
+      ++t.reduce_flops;
+      return a + b;
+    });
+    // Every non-root vrank sends exactly once in the binomial reduce.
+    if (rank != 0) {
+      t.bytes_sent += data.size_bytes();
+      ++t.messages_sent;
+    }
+    comm.bcast(data, /*root=*/0);
+    // Broadcast sends: rank forwards to each of its binomial children.
+    int vrank = rank;  // root 0 → vrank == rank
+    int mask = 1;
+    while (mask < p && (vrank & mask) == 0) mask <<= 1;
+    for (int m = mask >> 1; m >= 1; m >>= 1) {
+      if (vrank + m < p) {
+        t.bytes_sent += data.size_bytes();
+        ++t.messages_sent;
+      }
+    }
+  }
+  if (traffic != nullptr) *traffic = t;
+}
+
+}  // namespace dct::allreduce

@@ -1,0 +1,114 @@
+#include "allreduce/algorithms_impl.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dct::allreduce {
+
+namespace {
+
+/// Element range held by virtual rank `vrank` after following its top
+/// `levels` bits (bit m-1 down to bit m-levels) of recursive halving of
+/// [0, n). levels == 0 → the whole range.
+std::pair<std::size_t, std::size_t> block_range(std::size_t n, int vrank,
+                                                int m, int levels) {
+  std::size_t lo = 0, hi = n;
+  for (int b = m - 1; b >= m - levels; --b) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (vrank & (1 << b)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+void RecursiveHalvingAllreduce::run(simmpi::Communicator& comm,
+                                    std::span<float> data,
+                                    RankTraffic* traffic) const {
+  RankTraffic t;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = data.size();
+  const int tag = kAlgoTag;
+  if (p == 1 || n == 0) {
+    if (traffic != nullptr) *traffic = t;
+    return;
+  }
+
+  auto send_block = [&](std::span<const float> block, int dest) {
+    comm.send(block, dest, tag);
+    t.bytes_sent += block.size_bytes();
+    ++t.messages_sent;
+  };
+
+  // Fold to a power of two: among the first 2·rem ranks, even ranks hand
+  // their whole buffer to the odd neighbour and sit out the core phase.
+  int pof2 = 1, m = 0;
+  while (pof2 * 2 <= p) {
+    pof2 *= 2;
+    ++m;
+  }
+  const int rem = p - pof2;
+  int vrank;
+  std::vector<float> scratch(n);
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      send_block(data, rank + 1);
+      vrank = -1;  // idle until the final unfold
+    } else {
+      comm.recv(std::span<float>(scratch), rank - 1, tag);
+      for (std::size_t i = 0; i < n; ++i) data[i] += scratch[i];
+      t.reduce_flops += n;
+      vrank = rank / 2;
+    }
+  } else {
+    vrank = rank - rem;
+  }
+  auto actual = [&](int vr) { return vr < rem ? 2 * vr + 1 : vr + rem; };
+
+  if (vrank != -1) {
+    // Recursive-halving reduce-scatter.
+    for (int b = m - 1; b >= 0; --b) {
+      const int partner = vrank ^ (1 << b);
+      const int levels = m - b;
+      const auto [mylo, myhi] = block_range(n, vrank, m, levels);
+      const auto [plo, phi] = block_range(n, partner, m, levels);
+      send_block(std::span<const float>(data.data() + plo, phi - plo),
+                 actual(partner));
+      comm.recv(std::span<float>(scratch.data(), myhi - mylo), actual(partner),
+                tag);
+      for (std::size_t i = 0; i < myhi - mylo; ++i) {
+        data[mylo + i] += scratch[i];
+      }
+      t.reduce_flops += myhi - mylo;
+    }
+    // Recursive-doubling allgather (reverse order).
+    for (int b = 0; b <= m - 1; ++b) {
+      const int partner = vrank ^ (1 << b);
+      const int levels = m - b;
+      const auto [mylo, myhi] = block_range(n, vrank, m, levels);
+      const auto [plo, phi] = block_range(n, partner, m, levels);
+      send_block(std::span<const float>(data.data() + mylo, myhi - mylo),
+                 actual(partner));
+      comm.recv(std::span<float>(data.data() + plo, phi - plo),
+                actual(partner), tag);
+    }
+  }
+
+  // Unfold: odd ranks of the folded prefix return the full result.
+  if (rank < 2 * rem) {
+    if (rank % 2 == 1) {
+      send_block(data, rank - 1);
+    } else {
+      comm.recv(data, rank + 1, tag);
+    }
+  }
+  if (traffic != nullptr) *traffic = t;
+}
+
+}  // namespace dct::allreduce

@@ -1,0 +1,68 @@
+#include <charconv>
+
+#include "allreduce/algorithm.hpp"
+#include "allreduce/algorithms_impl.hpp"
+#include "util/error.hpp"
+
+namespace dct::allreduce {
+
+void OpenMpiDefaultAllreduce::run(simmpi::Communicator& comm,
+                                  std::span<float> data,
+                                  RankTraffic* traffic) const {
+  if (data.size_bytes() <= cutover_bytes_) {
+    NaiveAllreduce().run(comm, data, traffic);
+  } else {
+    RecursiveHalvingAllreduce().run(comm, data, traffic);
+  }
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
+  if (name == "naive" || name == "binomial") {
+    return std::make_unique<NaiveAllreduce>();
+  }
+  if (name == "recursive_halving") {
+    return std::make_unique<RecursiveHalvingAllreduce>();
+  }
+  if (name == "openmpi_default") {
+    return std::make_unique<OpenMpiDefaultAllreduce>();
+  }
+  if (name == "bucket_ring") {
+    return std::make_unique<BucketRingAllreduce>();
+  }
+  if (name == "ring") {
+    return std::make_unique<PipelinedRingAllreduce>();
+  }
+  if (name.rfind("multiring", 0) == 0) {
+    int k = 4;
+    const std::string suffix = name.substr(9);
+    if (!suffix.empty()) {
+      auto [ptr, ec] =
+          std::from_chars(suffix.data(), suffix.data() + suffix.size(), k);
+      DCT_CHECK_MSG(ec == std::errc() && ptr == suffix.data() + suffix.size() &&
+                        k >= 1,
+                    "bad multiring ring count in '" << name << "'");
+    }
+    return std::make_unique<MultiRingAllreduce>(k);
+  }
+  if (name.rfind("multicolor", 0) == 0) {
+    int k = 4;
+    const std::string suffix = name.substr(10);
+    if (!suffix.empty()) {
+      auto [ptr, ec] =
+          std::from_chars(suffix.data(), suffix.data() + suffix.size(), k);
+      DCT_CHECK_MSG(ec == std::errc() && ptr == suffix.data() + suffix.size() &&
+                        k >= 1,
+                    "bad multicolor color count in '" << name << "'");
+    }
+    return std::make_unique<MultiColorAllreduce>(k);
+  }
+  DCT_CHECK_MSG(false, "unknown allreduce algorithm '" << name << "'");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"naive",     "recursive_halving", "openmpi_default", "ring",
+          "multiring", "multicolor",        "bucket_ring"};
+}
+
+}  // namespace dct::allreduce

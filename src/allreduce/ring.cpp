@@ -1,0 +1,66 @@
+#include "allreduce/algorithms_impl.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dct::allreduce {
+
+// Paper §5.1: "a pipelined ring algorithm where packets are reduced to a
+// single root node along the ring then broadcast from the root to all
+// peers in the opposite direction."
+//
+// Reduce flow:  p-1 → p-2 → … → 1 → 0   (each hop adds its contribution)
+// Bcast flow:   0 → 1 → 2 → … → p-1     (opposite direction)
+//
+// The payload is cut into pipeline chunks so hop latency overlaps across
+// chunks. Every rank processes chunks in index order; buffered sends make
+// the interleaved reduce/broadcast schedule deadlock-free.
+void PipelinedRingAllreduce::run(simmpi::Communicator& comm,
+                                 std::span<float> data,
+                                 RankTraffic* traffic) const {
+  RankTraffic t;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = data.size();
+  if (p == 1 || n == 0) {
+    if (traffic != nullptr) *traffic = t;
+    return;
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(1, pipeline_elems_);
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  std::vector<float> scratch(chunk);
+
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    const std::size_t len = hi - lo;
+    std::span<float> part(data.data() + lo, len);
+
+    // Reduce toward rank 0: receive the running partial sum from my
+    // upstream neighbour (rank+1), fold in my contribution, pass down.
+    if (rank != p - 1) {
+      comm.recv(std::span<float>(scratch.data(), len), rank + 1, kAlgoTag);
+      for (std::size_t i = 0; i < len; ++i) part[i] += scratch[i];
+      t.reduce_flops += len;
+    }
+    if (rank != 0) {
+      comm.send(std::span<const float>(part.data(), len), rank - 1, kAlgoTag);
+      t.bytes_sent += len * sizeof(float);
+      ++t.messages_sent;
+    }
+
+    // Broadcast back up the ring from rank 0.
+    if (rank != 0) {
+      comm.recv(part, rank - 1, kAlgoTag);
+    }
+    if (rank != p - 1) {
+      comm.send(std::span<const float>(part.data(), len), rank + 1, kAlgoTag);
+      t.bytes_sent += len * sizeof(float);
+      ++t.messages_sent;
+    }
+  }
+  if (traffic != nullptr) *traffic = t;
+}
+
+}  // namespace dct::allreduce

@@ -1,0 +1,63 @@
+// dctrain — public facade.
+//
+// Umbrella header for the whole library: include this to get the
+// distributed trainer (Algorithm 1), the DIMD in-memory data store
+// (§4.1), the multi-color allreduce and its baselines (§4.2), the two
+// DataParallelTable designs (§4.3), and the platform models that
+// reproduce the paper's evaluation (P100 compute, InfiniBand fat-tree,
+// shared filesystem, epoch-time and accuracy models).
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   dct::simmpi::Runtime::execute(4, [](dct::simmpi::Communicator& comm) {
+//     dct::trainer::TrainerConfig cfg;           // defaults are sensible
+//     dct::trainer::DistributedTrainer t(comm, cfg);
+//     for (int epoch = 0; epoch < 5; ++epoch) t.train_epoch(/*iters=*/16);
+//   });
+#pragma once
+
+#include "allreduce/algorithm.hpp"
+#include "allreduce/algorithms_impl.hpp"
+#include "allreduce/color_tree.hpp"
+#include "data/codec.hpp"
+#include "data/dimd.hpp"
+#include "data/record_file.hpp"
+#include "data/synthetic.hpp"
+#include "dpt/data_parallel_table.hpp"
+#include "dpt/sim_gpu.hpp"
+#include "dpt/torch_threads.hpp"
+#include "gpusim/p100_model.hpp"
+#include "netsim/cluster.hpp"
+#include "netsim/flow_sim.hpp"
+#include "netsim/schedules.hpp"
+#include "netsim/topology.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/composite.hpp"
+#include "nn/layers.hpp"
+#include "nn/lr_schedule.hpp"
+#include "nn/model_spec.hpp"
+#include "nn/sgd.hpp"
+#include "nn/small_cnn.hpp"
+#include "simmpi/runtime.hpp"
+#include "storage/donkey_pool.hpp"
+#include "storage/sim_filesystem.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "trainer/accuracy_model.hpp"
+#include "trainer/async_trainer.hpp"
+#include "trainer/distributed_trainer.hpp"
+#include "trainer/epoch_model.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dct {
+
+/// Library version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace dct

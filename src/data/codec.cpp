@@ -1,0 +1,95 @@
+#include "data/codec.hpp"
+
+#include "util/error.hpp"
+
+namespace dct::data {
+
+namespace {
+
+std::uint8_t zigzag(int delta) {
+  // Map signed delta −128…127 to unsigned so small magnitudes get small
+  // codes (and 0 keeps the 0x00 escape free for runs).
+  const unsigned u = static_cast<unsigned>(delta < 0 ? (-delta * 2 - 1)
+                                                     : (delta * 2));
+  return static_cast<std::uint8_t>(u & 0xFF);
+}
+
+int unzigzag(std::uint8_t code) {
+  return (code & 1) ? -(static_cast<int>(code) + 1) / 2
+                    : static_cast<int>(code) / 2;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> codec_encode(const std::vector<std::uint8_t>& raw) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() / 2 + 8);
+  const auto n = static_cast<std::uint32_t>(raw.size());
+  out.push_back(static_cast<std::uint8_t>(n & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((n >> 24) & 0xFF));
+
+  std::uint8_t prev = 0;
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const int delta =
+        static_cast<int>(raw[i]) - static_cast<int>(prev);
+    // Wrap deltas into [-128, 127] (mod-256 arithmetic round-trips).
+    int d = delta;
+    if (d > 127) d -= 256;
+    if (d < -128) d += 256;
+    if (d == 0) {
+      // Count the zero run.
+      std::size_t run = 1;
+      while (i + run < raw.size() && raw[i + run] == raw[i] && run < 255) {
+        ++run;
+      }
+      out.push_back(0x00);
+      out.push_back(static_cast<std::uint8_t>(run));
+      prev = raw[i + run - 1];
+      i += run;
+    } else {
+      const std::uint8_t code = zigzag(d);
+      DCT_CHECK(code != 0x00);
+      out.push_back(code);
+      prev = raw[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::uint32_t codec_decoded_size(const std::vector<std::uint8_t>& blob) {
+  DCT_CHECK_MSG(blob.size() >= 4, "codec blob too small for header");
+  return static_cast<std::uint32_t>(blob[0]) |
+         (static_cast<std::uint32_t>(blob[1]) << 8) |
+         (static_cast<std::uint32_t>(blob[2]) << 16) |
+         (static_cast<std::uint32_t>(blob[3]) << 24);
+}
+
+std::vector<std::uint8_t> codec_decode(const std::vector<std::uint8_t>& blob) {
+  const std::uint32_t n = codec_decoded_size(blob);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  std::uint8_t prev = 0;
+  std::size_t i = 4;
+  while (out.size() < n) {
+    DCT_CHECK_MSG(i < blob.size(), "codec blob truncated");
+    const std::uint8_t code = blob[i++];
+    if (code == 0x00) {
+      DCT_CHECK_MSG(i < blob.size(), "codec run truncated");
+      const std::size_t run = blob[i++];
+      DCT_CHECK_MSG(run > 0 && out.size() + run <= n, "codec run overflows");
+      out.insert(out.end(), run, prev);
+    } else {
+      const int v = (static_cast<int>(prev) + unzigzag(code)) & 0xFF;
+      prev = static_cast<std::uint8_t>(v);
+      out.push_back(prev);
+    }
+  }
+  DCT_CHECK_MSG(i == blob.size(), "codec blob has trailing bytes");
+  return out;
+}
+
+}  // namespace dct::data

@@ -1,0 +1,30 @@
+// In-memory image codec.
+//
+// The paper stores JPEG-compressed images in memory and decompresses at
+// batch-assembly time (§4.1, "an in-memory JPEG decompresser is also
+// used"). libjpeg is out of scope for this reproduction, so we use a
+// lossless left-predictor + zero-run-length codec: like JPEG it turns
+// smooth synthetic images into much smaller variable-length records and
+// charges real CPU work on every batch load — the code path DIMD
+// exercises is identical.
+//
+// Wire format: [u32 raw_size][tokens…] where a token is either
+//   0x00, count      → `count` zero deltas (run)
+//   byte ≠ 0x00      → one literal zig-zag delta
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dct::data {
+
+/// Compress raw bytes. Deterministic; decode(encode(x)) == x.
+std::vector<std::uint8_t> codec_encode(const std::vector<std::uint8_t>& raw);
+
+/// Decompress; throws CheckError on malformed input.
+std::vector<std::uint8_t> codec_decode(const std::vector<std::uint8_t>& blob);
+
+/// Size the decoder will produce, read from the header.
+std::uint32_t codec_decoded_size(const std::vector<std::uint8_t>& blob);
+
+}  // namespace dct::data

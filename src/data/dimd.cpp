@@ -1,0 +1,255 @@
+#include "data/dimd.hpp"
+
+#include <cstring>
+
+#include "data/codec.hpp"
+#include "util/error.hpp"
+
+namespace dct::data {
+
+namespace {
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Wire format of one shuffled record: u32 blob length, i32 label, blob.
+std::size_t wire_size(const DimdItem& item) {
+  return 8 + item.blob.size();
+}
+
+void serialize(const DimdItem& item, std::uint8_t* dst) {
+  const auto len = static_cast<std::uint32_t>(item.blob.size());
+  std::memcpy(dst, &len, 4);
+  std::memcpy(dst + 4, &item.label, 4);
+  std::memcpy(dst + 8, item.blob.data(), item.blob.size());
+}
+
+std::size_t deserialize(const std::uint8_t* src, std::size_t avail,
+                        DimdItem& out) {
+  DCT_CHECK_MSG(avail >= 8, "shuffle payload truncated");
+  std::uint32_t len = 0;
+  std::memcpy(&len, src, 4);
+  std::memcpy(&out.label, src + 4, 4);
+  DCT_CHECK_MSG(avail >= 8 + len, "shuffle record truncated");
+  out.blob.assign(src + 8, src + 8 + len);
+  return 8 + len;
+}
+
+}  // namespace
+
+DimdStore::DimdStore(simmpi::Communicator& comm, DimdConfig cfg) : cfg_(cfg) {
+  DCT_CHECK_MSG(cfg_.groups >= 1, "need at least one group");
+  DCT_CHECK_MSG(comm.size() % cfg_.groups == 0,
+                "groups " << cfg_.groups << " must divide communicator size "
+                          << comm.size());
+  const int per_group = comm.size() / cfg_.groups;
+  group_id_ = comm.rank() / per_group;
+  group_comm_ = comm.split(group_id_, comm.rank());
+  DCT_CHECK(group_comm_.size() == per_group);
+}
+
+void DimdStore::load_partition(const SyntheticImageGenerator& gen) {
+  const std::int64_t total = gen.def().images;
+  const std::int64_t s = group_size();
+  const std::int64_t lo = total * group_rank() / s;
+  const std::int64_t hi = total * (group_rank() + 1) / s;
+  items_.clear();
+  items_.reserve(static_cast<std::size_t>(hi - lo));
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const RawImage img = gen.generate(i);
+    items_.push_back(DimdItem{codec_encode(img.pixels), img.label});
+  }
+}
+
+void DimdStore::load_partition(RecordFile& file) {
+  const auto total = static_cast<std::int64_t>(file.size());
+  const std::int64_t s = group_size();
+  const std::int64_t lo = total * group_rank() / s;
+  const std::int64_t hi = total * (group_rank() + 1) / s;
+  auto blobs = file.read_range(static_cast<std::uint64_t>(lo),
+                               static_cast<std::uint64_t>(hi - lo));
+  items_.clear();
+  items_.reserve(blobs.size());
+  for (std::int64_t i = lo; i < hi; ++i) {
+    items_.push_back(
+        DimdItem{std::move(blobs[static_cast<std::size_t>(i - lo)]),
+                 file.entry(static_cast<std::uint64_t>(i)).label});
+  }
+}
+
+std::uint64_t DimdStore::local_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& item : items_) total += item.blob.size();
+  return total;
+}
+
+const DimdItem& DimdStore::item(std::size_t i) const {
+  DCT_CHECK(i < items_.size());
+  return items_[i];
+}
+
+DimdStore::Batch DimdStore::random_batch(std::int64_t batch,
+                                         const ImageDef& image,
+                                         Rng& rng) const {
+  DCT_CHECK_MSG(!items_.empty(), "random_batch before load_partition");
+  Batch out;
+  out.images = tensor::Tensor({batch, image.channels, image.height,
+                               image.width});
+  out.labels.resize(static_cast<std::size_t>(batch));
+  const std::int64_t pix = image.pixels();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const auto idx =
+        static_cast<std::size_t>(rng.next_below(items_.size()));
+    const auto& item = items_[idx];
+    const auto raw = codec_decode(item.blob);
+    DCT_CHECK_MSG(static_cast<std::int64_t>(raw.size()) == pix,
+                  "record pixel count mismatch");
+    pixels_to_float(raw,
+                    std::span<float>(out.images.data() + b * pix,
+                                     static_cast<std::size_t>(pix)));
+    out.labels[static_cast<std::size_t>(b)] = item.label;
+  }
+  return out;
+}
+
+DimdStore::Batch DimdStore::batch_from_indices(
+    std::span<const std::uint64_t> indices, const ImageDef& image) const {
+  Batch out;
+  const auto batch = static_cast<std::int64_t>(indices.size());
+  out.images =
+      tensor::Tensor({batch, image.channels, image.height, image.width});
+  out.labels.resize(indices.size());
+  const std::int64_t pix = image.pixels();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const auto idx = static_cast<std::size_t>(indices[static_cast<std::size_t>(b)]);
+    DCT_CHECK_MSG(idx < items_.size(), "batch index out of partition");
+    const auto raw = codec_decode(items_[idx].blob);
+    DCT_CHECK(static_cast<std::int64_t>(raw.size()) == pix);
+    pixels_to_float(raw, std::span<float>(out.images.data() + b * pix,
+                                          static_cast<std::size_t>(pix)));
+    out.labels[static_cast<std::size_t>(b)] = items_[idx].label;
+  }
+  return out;
+}
+
+std::uint64_t DimdStore::shuffle(Rng& rng) {
+  const int s = group_size();
+  if (s == 1) {
+    rng.shuffle(items_.begin(), items_.end());
+    last_segments_ = 1;
+    return 0;
+  }
+
+  // Assign every local record a uniform destination rank in the group.
+  std::vector<int> dest(items_.size());
+  for (auto& d : dest) {
+    d = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(s)));
+  }
+
+  // Segment the exchange so no single alltoallv moves more than
+  // max_segment_bytes from this rank (Algorithm 2's m sub-tensors).
+  std::vector<DimdItem> incoming;
+  std::uint64_t bytes_sent = 0;
+  last_segments_ = 0;
+  std::size_t cursor = 0;
+  while (true) {
+    // Collective agreement on whether any rank still has data to move.
+    const std::uint64_t local_left = items_.size() - cursor;
+    std::uint64_t left = local_left;
+    group_comm_.allreduce_inplace(
+        std::span<std::uint64_t>(&left, 1),
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    if (left == 0) break;
+    ++last_segments_;
+
+    // Take records into this segment until the byte bound is reached.
+    const std::size_t seg_begin = cursor;
+    std::uint64_t seg_bytes = 0;
+    while (cursor < items_.size()) {
+      const std::size_t w = wire_size(items_[cursor]);
+      if (cursor > seg_begin && seg_bytes + w > cfg_.max_segment_bytes) break;
+      seg_bytes += w;
+      ++cursor;
+    }
+
+    // Per-destination byte counts and packing.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(s), 0);
+    for (std::size_t i = seg_begin; i < cursor; ++i) {
+      send_counts[static_cast<std::size_t>(dest[i])] += wire_size(items_[i]);
+    }
+    std::vector<std::size_t> send_displs(static_cast<std::size_t>(s), 0);
+    std::size_t total_send = 0;
+    for (int r = 0; r < s; ++r) {
+      send_displs[static_cast<std::size_t>(r)] = total_send;
+      total_send += send_counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::uint8_t> send_buf(total_send);
+    {
+      std::vector<std::size_t> fill(send_displs);
+      for (std::size_t i = seg_begin; i < cursor; ++i) {
+        auto& off = fill[static_cast<std::size_t>(dest[i])];
+        serialize(items_[i], send_buf.data() + off);
+        off += wire_size(items_[i]);
+      }
+    }
+
+    // "Exchange lengths and offsets with every node" (Algorithm 2).
+    std::vector<std::size_t> recv_counts(static_cast<std::size_t>(s), 0);
+    group_comm_.alltoall(std::span<const std::size_t>(send_counts),
+                         std::span<std::size_t>(recv_counts));
+    std::vector<std::size_t> recv_displs(static_cast<std::size_t>(s), 0);
+    std::size_t total_recv = 0;
+    for (int r = 0; r < s; ++r) {
+      recv_displs[static_cast<std::size_t>(r)] = total_recv;
+      total_recv += recv_counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::uint8_t> recv_buf(total_recv);
+
+    group_comm_.alltoallv<std::uint8_t>(send_buf, send_counts, send_displs,
+                                        recv_buf, recv_counts, recv_displs);
+    bytes_sent += total_send;
+
+    // Unpack received records.
+    std::size_t off = 0;
+    while (off < recv_buf.size()) {
+      DimdItem item;
+      off += deserialize(recv_buf.data() + off, recv_buf.size() - off, item);
+      incoming.push_back(std::move(item));
+    }
+  }
+
+  items_ = std::move(incoming);
+  // "Shuffle X' within the node" — local permutation.
+  rng.shuffle(items_.begin(), items_.end());
+  return bytes_sent;
+}
+
+std::uint64_t DimdStore::group_checksum() {
+  std::uint64_t local = 0;
+  for (const auto& item : items_) {
+    // Commutative combine (sum of per-record hashes) → order independent.
+    local += fnv1a(item.blob) ^
+             (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
+                                          item.label + 1));
+  }
+  group_comm_.allreduce_inplace(
+      std::span<std::uint64_t>(&local, 1),
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return local;
+}
+
+std::uint64_t DimdStore::group_count() {
+  std::uint64_t local = items_.size();
+  group_comm_.allreduce_inplace(
+      std::span<std::uint64_t>(&local, 1),
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return local;
+}
+
+}  // namespace dct::data

@@ -1,0 +1,100 @@
+// DIMD — Distributed In-Memory Data (paper §4.1).
+//
+// The three APIs of the paper:
+//   i)   Partitioned load: within a learner group, rank g holds the
+//        slice [g·N/S, (g+1)·N/S) of the dataset's compressed records,
+//        so each group collectively owns one full copy (one group with
+//        enough memory per node degenerates to every node holding
+//        everything).
+//   ii)  Random in-memory batch load: sample local records, decompress
+//        with the codec, assemble a float tensor batch.
+//   iii) Shuffle across learners (Algorithm 2): every record is assigned
+//        a random destination rank in the group and exchanged with
+//        MPI_AlltoAllv. Payloads are processed in m byte-bounded
+//        segments — the paper's workaround for MPI's 32-bit counts —
+//        followed by a local permutation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/record_file.hpp"
+#include "data/synthetic.hpp"
+#include "simmpi/communicator.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dct::data {
+
+struct DimdItem {
+  std::vector<std::uint8_t> blob;  ///< codec-compressed pixels
+  std::int32_t label = 0;
+};
+
+struct DimdConfig {
+  /// Number of learner groups; each group collectively owns the dataset.
+  /// Must divide the communicator size.
+  int groups = 1;
+  /// Segment bound for the shuffle exchange (Algorithm 2's m-way
+  /// segmentation standing in for MPI's 32-bit count limit).
+  std::uint64_t max_segment_bytes = 4ULL << 20;
+};
+
+class DimdStore {
+ public:
+  /// Collective over `comm`: splits it into `cfg.groups` contiguous
+  /// groups and keeps the group communicator.
+  DimdStore(simmpi::Communicator& comm, DimdConfig cfg);
+
+  int group_id() const { return group_id_; }
+  int group_rank() const { return group_comm_.rank(); }
+  int group_size() const { return group_comm_.size(); }
+  simmpi::Communicator& group_comm() { return group_comm_; }
+
+  /// Partitioned load (API i) from the synthetic generator.
+  void load_partition(const SyntheticImageGenerator& gen);
+  /// Partitioned load (API i) from an on-disk record file (one bulk
+  /// sequential read of this rank's slice).
+  void load_partition(RecordFile& file);
+
+  std::size_t local_count() const { return items_.size(); }
+  std::uint64_t local_bytes() const;
+  const DimdItem& item(std::size_t i) const;
+
+  /// Random in-memory batch load (API ii): decode `batch` randomly
+  /// sampled local records into a [B,C,H,W] tensor.
+  struct Batch {
+    tensor::Tensor images;
+    std::vector<std::int32_t> labels;
+  };
+  Batch random_batch(std::int64_t batch, const ImageDef& image,
+                     Rng& rng) const;
+
+  /// Decode exactly the given local record indices (used by the
+  /// deterministic global-sampling mode of the trainer).
+  Batch batch_from_indices(std::span<const std::uint64_t> indices,
+                           const ImageDef& image) const;
+
+  /// Shuffle across the group (API iii / Algorithm 2). Returns the
+  /// number of payload bytes this rank sent.
+  std::uint64_t shuffle(Rng& rng);
+
+  /// Segments the last shuffle used (diagnostics; ≥1 once shuffled).
+  std::uint64_t last_shuffle_segments() const { return last_segments_; }
+
+  /// Order-independent checksum of the whole group's records
+  /// (collective within the group) — invariant across shuffles.
+  std::uint64_t group_checksum();
+
+  /// Total record count across the group (collective within the group).
+  std::uint64_t group_count();
+
+ private:
+  simmpi::Communicator group_comm_;
+  DimdConfig cfg_;
+  int group_id_ = 0;
+  std::vector<DimdItem> items_;
+  std::uint64_t last_segments_ = 0;
+};
+
+}  // namespace dct::data

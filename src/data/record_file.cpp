@@ -1,0 +1,140 @@
+#include "data/record_file.hpp"
+
+#include "data/codec.hpp"
+#include "util/error.hpp"
+
+namespace dct::data {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'C', 'T', 'I', 'D', 'X', '1', '\0'};
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DCT_CHECK_MSG(is.good(), "index file truncated");
+  return v;
+}
+}  // namespace
+
+RecordWriter::RecordWriter(const std::string& blob_path,
+                           const std::string& index_path)
+    : blob_(blob_path, std::ios::binary | std::ios::trunc),
+      index_path_(index_path) {
+  DCT_CHECK_MSG(blob_.is_open(), "cannot open blob file " << blob_path);
+}
+
+RecordWriter::~RecordWriter() {
+  if (!finished_) finish();
+}
+
+void RecordWriter::append(const std::vector<std::uint8_t>& compressed,
+                          std::int32_t label) {
+  DCT_CHECK(!finished_);
+  DCT_CHECK_MSG(compressed.size() <= 0xFFFFFFFFULL, "record too large");
+  blob_.write(reinterpret_cast<const char*>(compressed.data()),
+              static_cast<std::streamsize>(compressed.size()));
+  entries_.push_back(RecordEntry{offset_,
+                                 static_cast<std::uint32_t>(compressed.size()),
+                                 label});
+  offset_ += compressed.size();
+}
+
+void RecordWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  blob_.flush();
+  std::ofstream idx(index_path_, std::ios::binary | std::ios::trunc);
+  DCT_CHECK_MSG(idx.is_open(), "cannot open index file " << index_path_);
+  idx.write(kMagic, sizeof(kMagic));
+  write_pod(idx, static_cast<std::uint64_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    write_pod(idx, e.offset);
+    write_pod(idx, e.length);
+    write_pod(idx, e.label);
+  }
+}
+
+RecordFile::RecordFile(const std::string& blob_path,
+                       const std::string& index_path)
+    : blob_(blob_path, std::ios::binary) {
+  DCT_CHECK_MSG(blob_.is_open(), "cannot open blob file " << blob_path);
+  std::ifstream idx(index_path, std::ios::binary);
+  DCT_CHECK_MSG(idx.is_open(), "cannot open index file " << index_path);
+  char magic[8];
+  idx.read(magic, sizeof(magic));
+  DCT_CHECK_MSG(idx.good() && std::equal(magic, magic + 8, kMagic),
+                "bad index magic in " << index_path);
+  const auto count = read_pod<std::uint64_t>(idx);
+  entries_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RecordEntry e;
+    e.offset = read_pod<std::uint64_t>(idx);
+    e.length = read_pod<std::uint32_t>(idx);
+    e.label = read_pod<std::int32_t>(idx);
+    entries_.push_back(e);
+  }
+}
+
+const RecordEntry& RecordFile::entry(std::uint64_t i) const {
+  DCT_CHECK(i < entries_.size());
+  return entries_[static_cast<std::size_t>(i)];
+}
+
+std::uint64_t RecordFile::total_blob_bytes() const {
+  if (entries_.empty()) return 0;
+  const auto& last = entries_.back();
+  return last.offset + last.length;
+}
+
+std::vector<std::uint8_t> RecordFile::read_record(std::uint64_t i) {
+  const auto& e = entry(i);
+  std::vector<std::uint8_t> buf(e.length);
+  blob_.seekg(static_cast<std::streamoff>(e.offset));
+  blob_.read(reinterpret_cast<char*>(buf.data()),
+             static_cast<std::streamsize>(e.length));
+  DCT_CHECK_MSG(blob_.good(), "blob read failed at record " << i);
+  return buf;
+}
+
+std::vector<std::vector<std::uint8_t>> RecordFile::read_range(
+    std::uint64_t first, std::uint64_t count) {
+  DCT_CHECK(first + count <= entries_.size());
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  const std::uint64_t lo = entry(first).offset;
+  const auto& last = entry(first + count - 1);
+  const std::uint64_t span = last.offset + last.length - lo;
+  std::vector<std::uint8_t> bulk(span);
+  blob_.seekg(static_cast<std::streamoff>(lo));
+  blob_.read(reinterpret_cast<char*>(bulk.data()),
+             static_cast<std::streamsize>(span));
+  DCT_CHECK_MSG(blob_.good(), "bulk blob read failed");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto& e = entry(first + i);
+    const auto begin = bulk.begin() + static_cast<std::ptrdiff_t>(e.offset - lo);
+    out.emplace_back(begin, begin + e.length);
+  }
+  return out;
+}
+
+std::uint64_t build_synthetic_record_file(const DatasetDef& def,
+                                          const std::string& blob_path,
+                                          const std::string& index_path) {
+  SyntheticImageGenerator gen(def);
+  RecordWriter writer(blob_path, index_path);
+  for (std::int64_t i = 0; i < def.images; ++i) {
+    const RawImage img = gen.generate(i);
+    writer.append(codec_encode(img.pixels), img.label);
+  }
+  writer.finish();
+  return writer.bytes_written();
+}
+
+}  // namespace dct::data

@@ -1,0 +1,79 @@
+// The paper's on-disk dataset format (§4.1): every (resized, compressed)
+// image concatenated into one large blob file, plus an index file with
+// each image's start offset and label, enabling both efficient random
+// access and bulk sequential partition loads.
+//
+// Index layout: magic "DCTIDX1\0" | u64 count | count × {u64 offset,
+// u32 length, i32 label}, little-endian. The blob file is the raw
+// concatenation of codec blobs.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+
+namespace dct::data {
+
+struct RecordEntry {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  std::int32_t label = 0;
+};
+
+/// Streams compressed records into a blob + index pair.
+class RecordWriter {
+ public:
+  RecordWriter(const std::string& blob_path, const std::string& index_path);
+  ~RecordWriter();
+
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  void append(const std::vector<std::uint8_t>& compressed, std::int32_t label);
+
+  /// Flush the index; further appends are invalid.
+  void finish();
+
+  std::uint64_t records_written() const { return entries_.size(); }
+  std::uint64_t bytes_written() const { return offset_; }
+
+ private:
+  std::ofstream blob_;
+  std::string index_path_;
+  std::vector<RecordEntry> entries_;
+  std::uint64_t offset_ = 0;
+  bool finished_ = false;
+};
+
+/// Random- and bulk-access reader over a blob + index pair.
+class RecordFile {
+ public:
+  RecordFile(const std::string& blob_path, const std::string& index_path);
+
+  std::uint64_t size() const { return entries_.size(); }
+  const RecordEntry& entry(std::uint64_t i) const;
+  std::uint64_t total_blob_bytes() const;
+
+  /// Random access: seek + read one record (the pre-DIMD donkey path).
+  std::vector<std::uint8_t> read_record(std::uint64_t i);
+
+  /// Bulk load of records [first, first+count): one sequential read
+  /// (the DIMD partitioned-load path).
+  std::vector<std::vector<std::uint8_t>> read_range(std::uint64_t first,
+                                                    std::uint64_t count);
+
+ private:
+  std::ifstream blob_;
+  std::vector<RecordEntry> entries_;
+};
+
+/// Render `def` through the codec into blob+index files; returns the
+/// number of blob bytes written.
+std::uint64_t build_synthetic_record_file(const DatasetDef& def,
+                                          const std::string& blob_path,
+                                          const std::string& index_path);
+
+}  // namespace dct::data

@@ -1,0 +1,54 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dct::data {
+
+std::int32_t SyntheticImageGenerator::label_of(std::int64_t index) const {
+  DCT_CHECK(index >= 0 && index < def_.images);
+  // Labels cycle through the classes; batch selection randomises order.
+  return static_cast<std::int32_t>(index % def_.classes);
+}
+
+RawImage SyntheticImageGenerator::generate(std::int64_t index) const {
+  const std::int32_t label = label_of(index);
+  Rng rng(def_.seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(index + 1)));
+
+  // Class signature: orientation, frequency, per-channel offsets.
+  const double theta =
+      (static_cast<double>(label) / def_.classes) * 3.14159265358979;
+  const double freq = 0.4 + 0.25 * (label % 5);
+  const double cx = std::cos(theta), sx = std::sin(theta);
+
+  RawImage img;
+  img.label = label;
+  img.pixels.resize(static_cast<std::size_t>(def_.image.pixels()));
+  std::size_t idx = 0;
+  const double phase = rng.next_double() * 0.8;  // per-image variation
+  for (std::int64_t c = 0; c < def_.image.channels; ++c) {
+    const double chan_amp = 70.0 + 20.0 * ((label + c) % 3);
+    for (std::int64_t y = 0; y < def_.image.height; ++y) {
+      for (std::int64_t x = 0; x < def_.image.width; ++x) {
+        const double u = cx * x + sx * y;
+        double v = 128.0 + chan_amp * std::sin(freq * u + phase);
+        v += (rng.next_double() - 0.5) * 24.0;  // sensor-ish noise
+        v = std::min(255.0, std::max(0.0, v));
+        img.pixels[idx++] = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+  return img;
+}
+
+void pixels_to_float(const std::vector<std::uint8_t>& pixels,
+                     std::span<float> out) {
+  DCT_CHECK(pixels.size() == out.size());
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    out[i] = (static_cast<float>(pixels[i]) - 127.5f) / 127.5f;
+  }
+}
+
+}  // namespace dct::data

@@ -1,0 +1,61 @@
+// Synthetic labelled image source.
+//
+// Stand-in for ImageNet (unavailable here): each class has a procedural
+// signature — an oriented sinusoidal grating with class-specific
+// frequency, phase and per-channel amplitude — plus per-image noise, so
+// images are individually distinct, classes are separable by a small
+// CNN, and every pixel is deterministic in (dataset seed, image index).
+// Images are produced in the uint8 CHW layout the codec and record file
+// operate on, mirroring the paper's pipeline of resized-then-compressed
+// images (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dct::data {
+
+struct ImageDef {
+  std::int64_t channels = 3;
+  std::int64_t height = 16;
+  std::int64_t width = 16;
+
+  std::int64_t pixels() const { return channels * height * width; }
+};
+
+struct DatasetDef {
+  std::uint64_t seed = 1;
+  std::int64_t images = 1024;
+  std::int32_t classes = 10;
+  ImageDef image;
+};
+
+/// Raw image bytes (CHW) + label.
+struct RawImage {
+  std::vector<std::uint8_t> pixels;
+  std::int32_t label = 0;
+};
+
+class SyntheticImageGenerator {
+ public:
+  explicit SyntheticImageGenerator(DatasetDef def) : def_(def) {}
+
+  const DatasetDef& def() const { return def_; }
+
+  /// Deterministic image `index` of the dataset.
+  RawImage generate(std::int64_t index) const;
+
+  /// Label of image `index` without rendering the pixels.
+  std::int32_t label_of(std::int64_t index) const;
+
+ private:
+  DatasetDef def_;
+};
+
+/// Decode uint8 CHW bytes into a normalised float tensor slice ([-1, 1]).
+void pixels_to_float(const std::vector<std::uint8_t>& pixels,
+                     std::span<float> out);
+
+}  // namespace dct::data

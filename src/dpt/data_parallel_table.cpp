@@ -1,0 +1,210 @@
+#include "dpt/data_parallel_table.hpp"
+
+#include <cstring>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dct::dpt {
+
+using tensor::Tensor;
+
+DataParallelTable::DataParallelTable(const nn::SmallCnnConfig& model_cfg,
+                                     int gpus, std::uint64_t seed)
+    : threads_(gpus) {
+  DCT_CHECK_MSG(gpus >= 1, "need at least one GPU");
+  for (int g = 0; g < gpus; ++g) {
+    gpus_.push_back(std::make_unique<SimGpu>(g));
+    // Identical random weights on every GPU (paper Algorithm 1's
+    // "initialize W with identical random values on all GPUs").
+    Rng rng(seed);
+    replicas_.push_back(nn::make_small_cnn(model_cfg, rng));
+  }
+  const auto n = static_cast<std::size_t>(replicas_[0]->param_count());
+  node_grads_.assign(n, 0.0f);
+  scratch_.assign(n, 0.0f);
+}
+
+void DataParallelTable::reduce_replica_grads_to_node() {
+  const std::size_t n = node_grads_.size();
+  replicas_[0]->flatten_grads(std::span<float>(node_grads_));
+  for (std::size_t g = 1; g < replicas_.size(); ++g) {
+    // GPU g's gradients travel to GPU 0 for the local summation.
+    gpus_[g]->count_p2p(n * sizeof(float));
+    replicas_[g]->flatten_grads(std::span<float>(scratch_));
+    for (std::size_t i = 0; i < n; ++i) node_grads_[i] += scratch_[i];
+  }
+}
+
+void DataParallelTable::apply_gradients(std::span<const float> grads,
+                                        const nn::Sgd& opt, float lr) {
+  DCT_CHECK(grads.size() == node_grads_.size());
+  std::vector<std::future<void>> futs;
+  for (std::size_t g = 0; g < replicas_.size(); ++g) {
+    // Broadcast the reduced payload to every GPU…
+    gpus_[g]->count_h2d(grads.size() * sizeof(float));
+    // …and run the update on the device stream.
+    futs.push_back(gpus_[g]->submit([this, g, grads, &opt, lr] {
+      replicas_[g]->load_grads(grads);
+      opt.step(replicas_[g]->params(), lr);
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+Tensor DataParallelTable::predict(const Tensor& input) {
+  Tensor out;
+  gpus_[0]->run([&] { out = replicas_[0]->forward(input, /*train=*/false); });
+  return out;
+}
+
+DptStats DataParallelTable::stats() const {
+  DptStats s;
+  for (const auto& gpu : gpus_) {
+    s.h2d_bytes += gpu->h2d_bytes();
+    s.d2h_bytes += gpu->d2h_bytes();
+    s.p2p_bytes += gpu->p2p_bytes();
+  }
+  s.serialized_callbacks = threads_.serialized_callbacks();
+  s.sync_points = threads_.sync_points();
+  return s;
+}
+
+namespace {
+
+Tensor slice_batch(const Tensor& input, std::int64_t lo, std::int64_t count) {
+  std::vector<std::int64_t> shape = input.shape();
+  const std::int64_t per = input.numel() / input.dim(0);
+  shape[0] = count;
+  Tensor out(shape);
+  std::memcpy(out.data(), input.data() + lo * per,
+              static_cast<std::size_t>(count * per) * sizeof(float));
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- baseline
+
+float BaselineDpt::forward_backward(const Tensor& input,
+                                    std::span<const std::int32_t> labels) {
+  const int m = gpus();
+  const std::int64_t batch = input.dim(0);
+  DCT_CHECK_MSG(batch % m == 0, "batch must divide across GPUs");
+  const std::int64_t sub = batch / m;
+  const auto input_bytes =
+      static_cast<std::uint64_t>(input.numel()) * sizeof(float);
+
+  // Drawback 1 (§4.3): the entire batch lands on GPU 1 first, then the
+  // other GPUs' shares are scattered device-to-device.
+  gpus_[0]->count_h2d(input_bytes);
+  for (int g = 1; g < m; ++g) {
+    gpus_[static_cast<std::size_t>(g)]->count_p2p(input_bytes /
+                                                  static_cast<std::uint64_t>(m));
+  }
+
+  // Forward on every GPU; each ending callback (serialized) copies the
+  // replica's logits back for the main-thread criterion.
+  std::vector<Tensor> logits(static_cast<std::size_t>(m));
+  for (int g = 0; g < m; ++g) {
+    auto part = slice_batch(input, g * sub, sub);
+    auto* replica = replicas_[static_cast<std::size_t>(g)].get();
+    auto* logit_slot = &logits[static_cast<std::size_t>(g)];
+    auto* gpu = gpus_[static_cast<std::size_t>(g)].get();
+    threads_.add_job(
+        [replica, gpu, part = std::move(part), logit_slot] {
+          gpu->run([&] { *logit_slot = replica->forward(part, true); });
+        },
+        [this, g, logit_slot] {
+          // Serialized gather of outputs to the main thread.
+          gpus_[static_cast<std::size_t>(g)]->count_d2h(
+              static_cast<std::uint64_t>(logit_slot->numel()) * sizeof(float));
+        });
+  }
+  threads_.synchronize();
+
+  // Drawback 2: criterion is evaluated serially over the whole batch.
+  const std::int64_t classes = logits[0].dim(1);
+  Tensor all_logits({batch, classes});
+  for (int g = 0; g < m; ++g) {
+    std::memcpy(all_logits.data() + g * sub * classes,
+                logits[static_cast<std::size_t>(g)].data(),
+                static_cast<std::size_t>(sub * classes) * sizeof(float));
+  }
+  Tensor grad_logits;
+  const float loss =
+      tensor::softmax_cross_entropy(all_logits, labels, grad_logits);
+
+  // Scatter gradOutput slices back to the GPUs.
+  for (int g = 0; g < m; ++g) {
+    gpus_[static_cast<std::size_t>(g)]->count_h2d(
+        static_cast<std::uint64_t>(sub * classes) * sizeof(float));
+  }
+
+  // Backward on every GPU, again with serialized ending callbacks.
+  for (int g = 0; g < m; ++g) {
+    auto grad_part = slice_batch(grad_logits, g * sub, sub);
+    auto* replica = replicas_[static_cast<std::size_t>(g)].get();
+    auto* gpu = gpus_[static_cast<std::size_t>(g)].get();
+    threads_.add_job(
+        [replica, gpu, grad_part = std::move(grad_part)] {
+          gpu->run([&] {
+            replica->zero_grads();
+            replica->backward(grad_part);
+          });
+        },
+        [] { /* bookkeeping callback, still serialized */ });
+  }
+  threads_.synchronize();
+
+  reduce_replica_grads_to_node();
+  return loss;
+}
+
+// -------------------------------------------------------------- optimized
+
+float OptimizedDpt::forward_backward(const Tensor& input,
+                                     std::span<const std::int32_t> labels) {
+  const int m = gpus();
+  const std::int64_t batch = input.dim(0);
+  DCT_CHECK_MSG(batch % m == 0, "batch must divide across GPUs");
+  const std::int64_t sub = batch / m;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  // One job per GPU: receive the partition directly, run forward +
+  // criterion + backward without returning to the main thread.
+  std::vector<double> partial_loss(static_cast<std::size_t>(m), 0.0);
+  for (int g = 0; g < m; ++g) {
+    auto part = slice_batch(input, g * sub, sub);
+    std::vector<std::int32_t> local_labels(
+        labels.begin() + g * sub, labels.begin() + (g + 1) * sub);
+    auto* gpu = gpus_[static_cast<std::size_t>(g)].get();
+    gpu->count_h2d(static_cast<std::uint64_t>(part.numel()) * sizeof(float));
+    auto* replica = replicas_[static_cast<std::size_t>(g)].get();
+    auto* loss_slot = &partial_loss[static_cast<std::size_t>(g)];
+    threads_.add_job(
+        [replica, gpu, part = std::move(part),
+         local_labels = std::move(local_labels), inv_batch, loss_slot] {
+          gpu->run([&] {
+            Tensor logits = replica->forward(part, true);
+            Tensor grad;
+            // Criterion sharded on-device with the global denominator,
+            // so shard gradients sum to the unsharded result.
+            *loss_slot = tensor::softmax_cross_entropy_scaled(
+                logits, local_labels, grad, inv_batch);
+            replica->zero_grads();
+            replica->backward(grad);
+          });
+        },
+        [] { /* single bookkeeping callback per GPU */ });
+  }
+  threads_.synchronize();
+
+  double loss = 0.0;
+  for (double l : partial_loss) loss += l;
+
+  reduce_replica_grads_to_node();
+  return static_cast<float>(loss);
+}
+
+}  // namespace dct::dpt

@@ -1,0 +1,103 @@
+// DataParallelTable — intra-node data parallelism over the GPUs of one
+// learner (paper §4.3).
+//
+// Two implementations share this interface:
+//   • BaselineDpt  — the stock Torch design (paper Fig. 3): the whole
+//     input batch is staged on GPU 1 and scattered from there, the
+//     criterion is evaluated serially on the main thread over gathered
+//     outputs, and every phase ends in serialized ending callbacks.
+//   • OptimizedDpt — the paper's redesign (Fig. 4): the batch is
+//     partitioned host-side and shipped straight to each GPU, the
+//     criterion runs inside each GPU's job, and one job per GPU covers
+//     forward+criterion+backward, minimising serialization.
+//
+// Both run real math on replicas of a real network and must produce
+// identical gradients — the optimization is structural, which is
+// exactly the paper's "no impact on accuracy" claim. The byte and
+// serialization counters expose the structural difference to tests and
+// to the timing model.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dpt/sim_gpu.hpp"
+#include "dpt/torch_threads.hpp"
+#include "nn/sgd.hpp"
+#include "nn/small_cnn.hpp"
+
+namespace dct::dpt {
+
+struct DptStats {
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t serialized_callbacks = 0;
+  std::uint64_t sync_points = 0;
+};
+
+class DataParallelTable {
+ public:
+  /// `gpus` model replicas initialised identically from `seed`.
+  DataParallelTable(const nn::SmallCnnConfig& model_cfg, int gpus,
+                    std::uint64_t seed);
+  virtual ~DataParallelTable() = default;
+
+  virtual std::string name() const = 0;
+
+  /// One training step over the node batch (size divisible by gpus):
+  /// forward, criterion, backward. On return node_grads() holds the
+  /// intra-node summed gradient payload (Algorithm 1's local reduction).
+  /// Returns the batch loss.
+  virtual float forward_backward(const tensor::Tensor& input,
+                                 std::span<const std::int32_t> labels) = 0;
+
+  /// The flattened intra-node gradient sum (valid after
+  /// forward_backward; this is what MPI_Allreduce consumes).
+  std::span<float> node_grads() { return std::span<float>(node_grads_); }
+
+  /// Algorithm 1's tail: broadcast (all)reduced gradients to every GPU
+  /// and let each replica perform the SGD update.
+  void apply_gradients(std::span<const float> grads, const nn::Sgd& opt,
+                       float lr);
+
+  /// Inference over the node batch on GPU 0's replica.
+  tensor::Tensor predict(const tensor::Tensor& input);
+
+  int gpus() const { return static_cast<int>(replicas_.size()); }
+  std::int64_t param_count() { return replicas_[0]->param_count(); }
+  nn::Sequential& replica(int g) { return *replicas_[static_cast<std::size_t>(g)]; }
+
+  DptStats stats() const;
+
+ protected:
+  /// Sum the replicas' gradients (deterministic replica order) into
+  /// node_grads_.
+  void reduce_replica_grads_to_node();
+
+  std::vector<std::unique_ptr<SimGpu>> gpus_;
+  std::vector<std::unique_ptr<nn::Sequential>> replicas_;
+  TorchThreads threads_;
+  std::vector<float> node_grads_;
+  std::vector<float> scratch_;
+};
+
+class BaselineDpt final : public DataParallelTable {
+ public:
+  using DataParallelTable::DataParallelTable;
+  std::string name() const override { return "baseline_dpt"; }
+  float forward_backward(const tensor::Tensor& input,
+                         std::span<const std::int32_t> labels) override;
+};
+
+class OptimizedDpt final : public DataParallelTable {
+ public:
+  using DataParallelTable::DataParallelTable;
+  std::string name() const override { return "optimized_dpt"; }
+  float forward_backward(const tensor::Tensor& input,
+                         std::span<const std::int32_t> labels) override;
+};
+
+}  // namespace dct::dpt

@@ -1,0 +1,55 @@
+// SimGpu: the execution stand-in for one P100.
+//
+// Each device owns a dedicated worker thread (jobs run asynchronously
+// and truly concurrently with other devices, like CUDA streams driven
+// from per-GPU host threads) and byte counters for host↔device and
+// device↔device traffic. The math executed is real; the *timing* of a
+// hardware GPU comes from gpusim::P100Model, fed by these counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+
+#include "util/thread_pool.hpp"
+
+namespace dct::dpt {
+
+class SimGpu {
+ public:
+  explicit SimGpu(int id) : id_(id), worker_(1) {}
+
+  int id() const { return id_; }
+
+  /// Enqueue work on this device's stream.
+  std::future<void> submit(std::function<void()> job) {
+    return worker_.submit(std::move(job));
+  }
+
+  /// Run synchronously on the device stream.
+  void run(std::function<void()> job) { submit(std::move(job)).get(); }
+
+  void count_h2d(std::uint64_t bytes) {
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void count_d2h(std::uint64_t bytes) {
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void count_p2p(std::uint64_t bytes) {
+    p2p_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t h2d_bytes() const { return h2d_bytes_.load(); }
+  std::uint64_t d2h_bytes() const { return d2h_bytes_.load(); }
+  std::uint64_t p2p_bytes() const { return p2p_bytes_.load(); }
+
+ private:
+  int id_;
+  ThreadPool worker_;
+  std::atomic<std::uint64_t> h2d_bytes_{0};
+  std::atomic<std::uint64_t> d2h_bytes_{0};
+  std::atomic<std::uint64_t> p2p_bytes_{0};
+};
+
+}  // namespace dct::dpt

@@ -1,0 +1,28 @@
+#include "dpt/torch_threads.hpp"
+
+namespace dct::dpt {
+
+void TorchThreads::add_job(std::function<void()> job,
+                           std::function<void()> end_callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_.push_back(pool_.submit(std::move(job)));
+  if (end_callback) callbacks_.push_back(std::move(end_callback));
+}
+
+void TorchThreads::synchronize() {
+  std::vector<std::future<void>> waiting;
+  std::deque<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    waiting.swap(inflight_);
+    to_run.swap(callbacks_);
+    ++syncs_;
+  }
+  for (auto& f : waiting) f.get();
+  for (auto& cb : to_run) {
+    cb();
+    ++serialized_;
+  }
+}
+
+}  // namespace dct::dpt

@@ -1,0 +1,48 @@
+// The Torch threading contract (§4.3): jobs are submitted with an
+// *ending callback*; the job runs on a worker thread, the ending
+// callback runs fully serialized on the main thread when the caller
+// synchronizes. The paper identifies this serialization as overhead and
+// reduces the number of such steps in the optimized DataParallelTable —
+// so the pool counts every serialized callback it executes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace dct::dpt {
+
+class TorchThreads {
+ public:
+  explicit TorchThreads(int threads)
+      : pool_(static_cast<std::size_t>(threads < 1 ? 1 : threads)) {}
+
+  /// Submit `job` to the first free worker; `end_callback` is deferred
+  /// until synchronize(), which runs it on the synchronizing thread.
+  void add_job(std::function<void()> job,
+               std::function<void()> end_callback = {});
+
+  /// Wait for all outstanding jobs and run their ending callbacks, in
+  /// submission order, on this thread.
+  void synchronize();
+
+  /// Ending callbacks executed serially so far (the §4.3 overhead).
+  std::uint64_t serialized_callbacks() const { return serialized_; }
+  /// synchronize() invocations (each is a full main-thread stall).
+  std::uint64_t sync_points() const { return syncs_; }
+
+ private:
+  ThreadPool pool_;
+  std::mutex mutex_;
+  std::vector<std::future<void>> inflight_;
+  std::deque<std::function<void()>> callbacks_;
+  std::uint64_t serialized_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace dct::dpt

@@ -1,0 +1,48 @@
+#include "gpusim/p100_model.hpp"
+
+#include "util/error.hpp"
+
+namespace dct::gpusim {
+
+double P100Model::time_for_flops(double flops, std::int64_t activation_elems,
+                                 std::size_t layers, std::int64_t batch,
+                                 double passes, double efficiency_scale) const {
+  DCT_CHECK(batch >= 1);
+  const double flop_time =
+      flops * static_cast<double>(batch) /
+      (cfg_.peak_flops * cfg_.flop_efficiency * efficiency_scale);
+  // Activations are read+written a handful of times per pass
+  // (elementwise/BN layers are bandwidth-bound).
+  const double mem_time = 3.0 * passes *
+                          static_cast<double>(activation_elems) * 4.0 *
+                          static_cast<double>(batch) / cfg_.hbm_bw_Bps;
+  const double launch_time = static_cast<double>(layers) *
+                             cfg_.kernels_per_layer * passes *
+                             cfg_.kernel_launch_s;
+  return flop_time + mem_time + launch_time;
+}
+
+double P100Model::train_step_time(const nn::ModelSpec& spec,
+                                  std::int64_t batch) const {
+  return time_for_flops(spec.train_flops(), spec.activation_elems(),
+                        spec.layers().size(), batch, /*passes=*/3.0,
+                        spec.gpu_efficiency_scale());
+}
+
+double P100Model::inference_time(const nn::ModelSpec& spec,
+                                 std::int64_t batch) const {
+  return time_for_flops(spec.fwd_flops(), spec.activation_elems(),
+                        spec.layers().size(), batch, /*passes=*/1.0,
+                        spec.gpu_efficiency_scale());
+}
+
+double P100Model::transfer_time(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / cfg_.h2d_bw_Bps;
+}
+
+double P100Model::images_per_second(const nn::ModelSpec& spec,
+                                    std::int64_t batch) const {
+  return static_cast<double>(batch) / train_step_time(spec, batch);
+}
+
+}  // namespace dct::gpusim

@@ -1,0 +1,55 @@
+// NVIDIA Pascal P100 cost model (paper's accelerator, 4 per Minsky node).
+//
+// Step time of a model is derived from its spec: a FLOP term against
+// sustained fp32 throughput, a memory term for the activation traffic of
+// the bandwidth-bound layers (BN, ReLU, pooling), and fixed kernel
+// launch overheads per layer. Calibrated so ResNet-50 at batch 64 lands
+// near the ≈200 img/s/GPU P100 training throughput of the period, which
+// in turn reproduces the paper's optimized epoch times (Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model_spec.hpp"
+
+namespace dct::gpusim {
+
+struct P100Config {
+  double peak_flops = 10.6e12;      ///< fp32 peak
+  double flop_efficiency = 0.645;    ///< sustained cuDNN fraction
+  double hbm_bw_Bps = 732.0e9;      ///< HBM2 bandwidth
+  double kernel_launch_s = 8.0e-6;
+  double kernels_per_layer = 2.0;   ///< fwd+bwd average dispatches
+  /// Host↔device bandwidth. Minsky's NVLink CPU↔GPU is the paper's
+  /// platform (~32 GB/s effective per GPU); PCIe systems would be ~11.
+  double h2d_bw_Bps = 32.0e9;
+};
+
+class P100Model {
+ public:
+  explicit P100Model(P100Config cfg = {}) : cfg_(cfg) {}
+
+  const P100Config& config() const { return cfg_; }
+
+  /// Forward+backward time of one step of `batch` images on one GPU.
+  double train_step_time(const nn::ModelSpec& spec, std::int64_t batch) const;
+
+  /// Forward-only (validation) time.
+  double inference_time(const nn::ModelSpec& spec, std::int64_t batch) const;
+
+  /// Host→device (or device→host) transfer time.
+  double transfer_time(std::uint64_t bytes) const;
+
+  /// Sustained training throughput, images/second.
+  double images_per_second(const nn::ModelSpec& spec,
+                           std::int64_t batch) const;
+
+ private:
+  double time_for_flops(double flops, std::int64_t activation_elems,
+                        std::size_t layers, std::int64_t batch,
+                        double passes, double efficiency_scale = 1.0) const;
+
+  P100Config cfg_;
+};
+
+}  // namespace dct::gpusim

@@ -1,0 +1,60 @@
+// The modelled evaluation platform: a POWER8 "Minsky" cluster on an
+// InfiniBand fat-tree (paper §5). Each node: 20 cores, 256 GB RAM,
+// 4× P100, and two ConnectX-5 adapters (2 rails × 100 Gbps per
+// direction). Helpers here assemble the fabric and price collective
+// operations on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/schedules.hpp"
+
+namespace dct::netsim {
+
+struct ClusterConfig {
+  int nodes = 16;
+  int rails = 2;
+  double rail_gbps = 100.0;
+  int hosts_per_leaf = 4;
+  int spines = 8;
+  double link_latency_s = 1.0e-6;
+  /// AltiVec summation bandwidth for folding network buffers.
+  double reduce_bw_Bps = 60.0e9;
+};
+
+/// Build the fat-tree for a cluster of `nodes` Minsky hosts.
+FatTree make_minsky_fabric(const ClusterConfig& cfg);
+
+/// Per-message software overhead by transport. The paper's multi-color
+/// implementation calls InfiniBand verbs directly ("low latency and
+/// higher level of pipelining"); the baselines run through the full
+/// OpenMPI matching stack.
+SimOptions sim_options_for(const std::string& algo);
+
+/// Wall-clock estimate of one sum-allreduce of `payload_bytes` across
+/// the cluster with the named algorithm.
+double allreduce_time_s(const ClusterConfig& cfg, const std::string& algo,
+                        std::uint64_t payload_bytes);
+
+/// Convenience: algorithm goodput (payload bytes / time).
+double allreduce_throughput_Bps(const ClusterConfig& cfg,
+                                const std::string& algo,
+                                std::uint64_t payload_bytes);
+
+/// Wall-clock estimate of an all-to-all exchange where every node sends
+/// `bytes_per_pair` to every other node (the equal-partition DIMD
+/// shuffle step).
+double alltoall_time_s(const ClusterConfig& cfg, std::uint64_t bytes_per_pair);
+
+/// Wall-clock estimate of one DIMD shuffle (paper Algorithm 2): every
+/// node redistributes its `per_node_bytes` partition uniformly across
+/// its `group_size`-node group via AlltoAllv. The exchange is priced on
+/// the fabric AND against the host-side record pack/unpack bandwidth —
+/// at the paper's data volumes the memory path dominates (220 GB over
+/// 32 nodes shuffles in ≈4.2 s). Groups occupy disjoint nodes of a
+/// symmetric fabric, so one group's time is the shuffle's time.
+double shuffle_time_s(const ClusterConfig& cfg, std::uint64_t per_node_bytes,
+                      int group_size, double pack_bw_Bps = 3.2e9);
+
+}  // namespace dct::netsim

@@ -1,0 +1,263 @@
+#include "netsim/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace dct::netsim {
+
+int CommSchedule::add(CommOp op) {
+  for (int d : op.deps) {
+    DCT_CHECK_MSG(d >= 0 && d < static_cast<int>(ops_.size()),
+                  "dependency on not-yet-added op " << d
+                                                    << " (forward edges only)");
+  }
+  ops_.push_back(std::move(op));
+  return static_cast<int>(ops_.size()) - 1;
+}
+
+int CommSchedule::add_transfer(int src, int dst, std::uint64_t bytes,
+                               std::vector<int> deps, double compute_s,
+                               std::uint64_t flow_seed) {
+  CommOp op;
+  op.src = src;
+  op.dst = dst;
+  op.bytes = bytes;
+  op.deps = std::move(deps);
+  op.compute_s = compute_s;
+  op.flow_seed = flow_seed;
+  return add(std::move(op));
+}
+
+int CommSchedule::add_compute(int rank, double seconds, std::vector<int> deps) {
+  CommOp op;
+  op.src = rank;
+  op.dst = rank;
+  op.bytes = 0;
+  op.compute_s = seconds;
+  op.deps = std::move(deps);
+  return add(std::move(op));
+}
+
+std::uint64_t CommSchedule::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& op : ops_) {
+    if (op.src != op.dst) total += op.bytes;
+  }
+  return total;
+}
+
+namespace {
+
+struct ActiveFlow {
+  int op = -1;
+  double remaining = 0.0;  ///< bytes left to drain
+  double rate = 0.0;       ///< current fair share, bytes/s
+  std::vector<int> route;
+};
+
+/// Progressive water-filling: assign every active flow its max-min fair
+/// rate given per-link capacities.
+void assign_fair_rates(std::vector<ActiveFlow>& flows,
+                       const FatTree& net,
+                       std::vector<double>& cap_scratch,
+                       std::vector<int>& count_scratch) {
+  const int nlinks = net.num_links();
+  cap_scratch.assign(static_cast<std::size_t>(nlinks), 0.0);
+  count_scratch.assign(static_cast<std::size_t>(nlinks), 0);
+  for (int l = 0; l < nlinks; ++l) {
+    cap_scratch[static_cast<std::size_t>(l)] = net.link(l).bandwidth_Bps;
+  }
+  for (const auto& f : flows) {
+    for (int l : f.route) ++count_scratch[static_cast<std::size_t>(l)];
+  }
+  std::vector<char> frozen(flows.size(), 0);
+  std::size_t remaining = flows.size();
+  while (remaining > 0) {
+    // Bottleneck link: smallest equal share among links still carrying
+    // unfrozen flows.
+    double best = std::numeric_limits<double>::infinity();
+    for (int l = 0; l < nlinks; ++l) {
+      const int n = count_scratch[static_cast<std::size_t>(l)];
+      if (n > 0) {
+        best = std::min(best, cap_scratch[static_cast<std::size_t>(l)] / n);
+      }
+    }
+    DCT_CHECK(std::isfinite(best));
+    // Freeze every unfrozen flow crossing a bottleneck link at `best`.
+    bool froze_any = false;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (frozen[i]) continue;
+      bool bottlenecked = false;
+      for (int l : flows[i].route) {
+        const int n = count_scratch[static_cast<std::size_t>(l)];
+        if (n > 0 &&
+            cap_scratch[static_cast<std::size_t>(l)] / n <= best * (1 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      flows[i].rate = best;
+      frozen[i] = 1;
+      froze_any = true;
+      --remaining;
+      for (int l : flows[i].route) {
+        cap_scratch[static_cast<std::size_t>(l)] -= best;
+        --count_scratch[static_cast<std::size_t>(l)];
+      }
+    }
+    DCT_CHECK_MSG(froze_any, "water-filling failed to make progress");
+  }
+}
+
+}  // namespace
+
+SimResult simulate(const FatTree& net, const CommSchedule& schedule,
+                   const SimOptions& options) {
+  const auto& ops = schedule.ops();
+  const std::size_t n = ops.size();
+  SimResult result;
+  result.op_end_s.assign(n, 0.0);
+  if (n == 0) return result;
+
+  std::vector<int> deps_left(n, 0);
+  std::vector<std::vector<int>> dependents(n);
+  std::vector<double> ready_at(n, 0.0);  // max over finished deps' end
+  for (std::size_t i = 0; i < n; ++i) {
+    deps_left[i] = static_cast<int>(ops[i].deps.size());
+    for (int d : ops[i].deps) {
+      dependents[static_cast<std::size_t>(d)].push_back(static_cast<int>(i));
+    }
+  }
+
+  // Pending ops whose deps are satisfied, keyed by activation time.
+  using TimedOp = std::pair<double, int>;
+  std::priority_queue<TimedOp, std::vector<TimedOp>, std::greater<>> pending;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (deps_left[i] == 0) {
+      pending.emplace(ops[i].compute_s, static_cast<int>(i));
+    }
+  }
+
+  std::vector<ActiveFlow> active;
+  std::vector<double> cap_scratch;
+  std::vector<int> count_scratch;
+  std::vector<double> link_bytes(static_cast<std::size_t>(net.num_links()),
+                                 0.0);
+  double now = 0.0;
+  std::size_t completed = 0;
+
+  auto finish_op = [&](int op_id, double t) {
+    result.op_end_s[static_cast<std::size_t>(op_id)] = t;
+    ++completed;
+    for (int dep : dependents[static_cast<std::size_t>(op_id)]) {
+      auto di = static_cast<std::size_t>(dep);
+      ready_at[di] = std::max(ready_at[di], t);
+      if (--deps_left[di] == 0) {
+        pending.emplace(ready_at[di] + ops[di].compute_s, dep);
+      }
+    }
+  };
+
+  while (completed < n) {
+    DCT_CHECK_MSG(!active.empty() || !pending.empty(),
+                  "schedule deadlocked: cyclic or dangling dependencies");
+    // Next activation time, if any.
+    const double next_activation =
+        pending.empty() ? std::numeric_limits<double>::infinity()
+                        : pending.top().first;
+
+    // Next flow completion at current rates.
+    double next_completion = std::numeric_limits<double>::infinity();
+    for (const auto& f : active) {
+      if (f.rate > 0.0) {
+        next_completion = std::min(next_completion, now + f.remaining / f.rate);
+      }
+    }
+
+    if (next_activation <= next_completion) {
+      // Advance to activation: drain active flows up to that instant.
+      const double dt = next_activation - now;
+      for (auto& f : active) {
+        const double moved = f.rate * dt;
+        f.remaining -= moved;
+        for (int l : f.route) link_bytes[static_cast<std::size_t>(l)] += moved;
+      }
+      now = next_activation;
+      // Activate every op scheduled for this instant.
+      while (!pending.empty() && pending.top().first <= now + 1e-15) {
+        const int op_id = pending.top().second;
+        pending.pop();
+        const auto& op = ops[static_cast<std::size_t>(op_id)];
+        if (op.src == op.dst || op.bytes == 0) {
+          // Pure compute (or zero-byte signal): charge only the
+          // per-message overhead for zero-byte remote signals.
+          const double extra =
+              (op.src == op.dst) ? 0.0 : options.per_message_overhead_s;
+          finish_op(op_id, now + extra);
+          continue;
+        }
+        ActiveFlow f;
+        f.op = op_id;
+        f.remaining = static_cast<double>(op.bytes);
+        f.route = net.route(op.src, op.dst, op.flow_seed);
+        active.push_back(std::move(f));
+        ++result.flows;
+      }
+      if (!active.empty()) {
+        assign_fair_rates(active, net, cap_scratch, count_scratch);
+      }
+      continue;
+    }
+
+    // Advance to the earliest flow completion.
+    const double dt = next_completion - now;
+    for (auto& f : active) {
+      const double moved = f.rate * dt;
+      f.remaining -= moved;
+      for (int l : f.route) link_bytes[static_cast<std::size_t>(l)] += moved;
+    }
+    now = next_completion;
+    // Complete every drained flow (ties complete together).
+    for (std::size_t i = 0; i < active.size();) {
+      if (active[i].remaining <= 1e-6) {
+        const auto& op = ops[static_cast<std::size_t>(active[i].op)];
+        const double latency = net.route_latency(active[i].route);
+        const double copy =
+            options.stack_copy_bw_Bps > 0.0
+                ? static_cast<double>(op.bytes) / options.stack_copy_bw_Bps
+                : 0.0;
+        finish_op(active[i].op,
+                  now + latency + options.per_message_overhead_s + copy);
+        active[i] = std::move(active.back());
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (!active.empty()) {
+      assign_fair_rates(active, net, cap_scratch, count_scratch);
+    }
+  }
+
+  for (double t : result.op_end_s) {
+    result.makespan_s = std::max(result.makespan_s, t);
+  }
+  if (result.makespan_s > 0.0) {
+    for (int l = 0; l < net.num_links(); ++l) {
+      const double cap = net.link(l).bandwidth_Bps * result.makespan_s;
+      if (cap > 0.0) {
+        result.max_link_utilization =
+            std::max(result.max_link_utilization,
+                     link_bytes[static_cast<std::size_t>(l)] / cap);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dct::netsim

@@ -1,0 +1,435 @@
+#include "netsim/schedules.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "allreduce/color_tree.hpp"
+#include "util/error.hpp"
+
+namespace dct::netsim {
+
+namespace {
+
+std::uint64_t chunk_count(std::uint64_t payload, std::uint64_t chunk) {
+  return payload == 0 ? 0 : (payload + chunk - 1) / chunk;
+}
+
+std::uint64_t chunk_len(std::uint64_t payload, std::uint64_t chunk,
+                        std::uint64_t index) {
+  const std::uint64_t lo = index * chunk;
+  return std::min(chunk, payload - lo);
+}
+
+}  // namespace
+
+CommSchedule ring_allreduce_schedule(const AllreduceParams& p) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  const std::uint64_t nchunks = chunk_count(p.payload_bytes, p.pipeline_bytes);
+
+  // op ids of the previous chunk's hops, for per-sender pipelining.
+  std::vector<int> prev_red(static_cast<std::size_t>(n), -1);
+  std::vector<int> prev_bc(static_cast<std::size_t>(n), -1);
+  for (std::uint64_t c = 0; c < nchunks; ++c) {
+    const std::uint64_t len = chunk_len(p.payload_bytes, p.pipeline_bytes, c);
+    const double add_s = static_cast<double>(len) / p.reduce_bw_Bps;
+    // Reduce hops: r+1 → r for r = n-2 … 0. Sender r+1 must have folded
+    // in the partial from r+2 (previous hop of this chunk) and finished
+    // sending the previous chunk.
+    int upstream = -1;  // op that delivered the partial to the sender
+    for (int r = n - 2; r >= 0; --r) {
+      const int sender = r + 1;
+      std::vector<int> deps;
+      if (upstream >= 0) deps.push_back(upstream);
+      if (prev_red[static_cast<std::size_t>(sender)] >= 0) {
+        deps.push_back(prev_red[static_cast<std::size_t>(sender)]);
+      }
+      // The fold-in cost applies when the sender received a partial.
+      const double compute = (sender == n - 1) ? 0.0 : add_s;
+      const int op = s.add_transfer(sender, r, len, std::move(deps), compute,
+                                    /*flow_seed=*/0);
+      prev_red[static_cast<std::size_t>(sender)] = op;
+      upstream = op;
+    }
+    // Root folds in the last partial, then the broadcast walks back up.
+    int carry = s.add_compute(0, add_s, {upstream});
+    for (int r = 0; r < n - 1; ++r) {
+      std::vector<int> deps{carry};
+      if (prev_bc[static_cast<std::size_t>(r)] >= 0) {
+        deps.push_back(prev_bc[static_cast<std::size_t>(r)]);
+      }
+      const int op = s.add_transfer(r, r + 1, len, std::move(deps), 0.0,
+                                    /*flow_seed=*/0);
+      prev_bc[static_cast<std::size_t>(r)] = op;
+      carry = op;
+    }
+  }
+  return s;
+}
+
+CommSchedule multicolor_allreduce_schedule(const AllreduceParams& p,
+                                           int colors) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  const int k = std::clamp(colors, 1, n);
+
+  for (int c = 0; c < k; ++c) {
+    const allreduce::ColorTree tree(n, k, c);
+    // Color chunk: near-equal split, as in the implementation.
+    const std::uint64_t clo =
+        p.payload_bytes * static_cast<std::uint64_t>(c) /
+        static_cast<std::uint64_t>(k);
+    const std::uint64_t chi =
+        p.payload_bytes * static_cast<std::uint64_t>(c + 1) /
+        static_cast<std::uint64_t>(k);
+    const std::uint64_t color_bytes = chi - clo;
+    const std::uint64_t nsub = chunk_count(color_bytes, p.pipeline_bytes);
+
+    // Per (rank) previous-subchunk op ids for pipelining.
+    std::vector<int> prev_up(static_cast<std::size_t>(n), -1);
+    std::vector<int> prev_dn(static_cast<std::size_t>(n), -1);
+    for (std::uint64_t sub = 0; sub < nsub; ++sub) {
+      const std::uint64_t len = chunk_len(color_bytes, p.pipeline_bytes, sub);
+      const double add_s = static_cast<double>(len) / p.reduce_bw_Bps;
+      // Rail assignment per tree edge (a→b): the sender rail follows
+      // (color + dst), the receiver rail (color + src), so a parent's
+      // fan-in and fan-out flows stripe across both adapters instead of
+      // piling onto one rail.
+      const auto edge_seed = [c](int a, int b) {
+        return (static_cast<std::uint64_t>(c + b) & 0xF) |
+               ((static_cast<std::uint64_t>(c + a) & 0xF) << 4);
+      };
+
+      // Reduce phase, deepest nodes first so deps reference earlier ops.
+      std::vector<int> ranks_by_depth(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) ranks_by_depth[static_cast<std::size_t>(r)] = r;
+      std::stable_sort(ranks_by_depth.begin(), ranks_by_depth.end(),
+                       [&](int a, int b) { return tree.depth(a) > tree.depth(b); });
+      // up_op[r]: op that delivers r's (summed) partial to its parent.
+      std::vector<int> up_op(static_cast<std::size_t>(n), -1);
+      std::vector<int> sum_op(static_cast<std::size_t>(n), -1);
+      for (int r : ranks_by_depth) {
+        std::vector<int> deps;
+        double compute = 0.0;
+        for (int ch : tree.children(r)) {
+          deps.push_back(up_op[static_cast<std::size_t>(ch)]);
+          compute += add_s;  // one SIMD fold per received child partial
+        }
+        if (tree.is_root(r)) {
+          // Root's summation is a compute op the broadcast hangs off.
+          sum_op[static_cast<std::size_t>(r)] =
+              s.add_compute(r, compute, std::move(deps));
+          continue;
+        }
+        if (prev_up[static_cast<std::size_t>(r)] >= 0) {
+          deps.push_back(prev_up[static_cast<std::size_t>(r)]);
+        }
+        const int op = s.add_transfer(r, tree.parent(r), len, std::move(deps),
+                                      compute, edge_seed(r, tree.parent(r)));
+        up_op[static_cast<std::size_t>(r)] = op;
+        prev_up[static_cast<std::size_t>(r)] = op;
+      }
+
+      // Broadcast phase, shallowest first. Pipelining is chained per
+      // tree edge (keyed by the child, whose parent edge is unique), so
+      // a parent's fan-out to different children proceeds concurrently —
+      // the shared uplink bandwidth is what the simulator arbitrates.
+      std::vector<int> dn_arrival(static_cast<std::size_t>(n), -1);
+      dn_arrival[static_cast<std::size_t>(tree.root())] =
+          sum_op[static_cast<std::size_t>(tree.root())];
+      std::reverse(ranks_by_depth.begin(), ranks_by_depth.end());
+      for (int r : ranks_by_depth) {
+        for (int ch : tree.children(r)) {
+          std::vector<int> deps{dn_arrival[static_cast<std::size_t>(r)]};
+          if (prev_dn[static_cast<std::size_t>(ch)] >= 0) {
+            deps.push_back(prev_dn[static_cast<std::size_t>(ch)]);
+          }
+          const int op = s.add_transfer(r, ch, len, std::move(deps), 0.0,
+                                        edge_seed(r, ch));
+          dn_arrival[static_cast<std::size_t>(ch)] = op;
+          prev_dn[static_cast<std::size_t>(ch)] = op;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+CommSchedule multiring_allreduce_schedule(const AllreduceParams& p,
+                                          int rings) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  const int k = std::clamp(rings, 1, n);
+  const int stride = n / k;
+
+  for (int c = 0; c < k; ++c) {
+    const int root = c * stride;
+    const std::uint64_t clo =
+        p.payload_bytes * static_cast<std::uint64_t>(c) /
+        static_cast<std::uint64_t>(k);
+    const std::uint64_t chi =
+        p.payload_bytes * static_cast<std::uint64_t>(c + 1) /
+        static_cast<std::uint64_t>(k);
+    const std::uint64_t color_bytes = chi - clo;
+    const std::uint64_t nchunks = chunk_count(color_bytes, p.pipeline_bytes);
+    // Stripe the rings across the rails like the color trees.
+    const std::uint64_t seed = (static_cast<std::uint64_t>(c) & 0xF) |
+                               ((static_cast<std::uint64_t>(c) & 0xF) << 4);
+
+    std::vector<int> prev_red(static_cast<std::size_t>(n), -1);
+    std::vector<int> prev_bc(static_cast<std::size_t>(n), -1);
+    for (std::uint64_t ch = 0; ch < nchunks; ++ch) {
+      const std::uint64_t len = chunk_len(color_bytes, p.pipeline_bytes, ch);
+      const double add_s = static_cast<double>(len) / p.reduce_bw_Bps;
+      int upstream = -1;
+      // Reduce hops in vrank space p-1 → 0, mapped through the rotation.
+      for (int vr = n - 2; vr >= 0; --vr) {
+        const int sender = (vr + 1 + root) % n;
+        const int dest = (vr + root) % n;
+        std::vector<int> deps;
+        if (upstream >= 0) deps.push_back(upstream);
+        if (prev_red[static_cast<std::size_t>(sender)] >= 0) {
+          deps.push_back(prev_red[static_cast<std::size_t>(sender)]);
+        }
+        const double compute = (vr + 1 == n - 1) ? 0.0 : add_s;
+        const int op =
+            s.add_transfer(sender, dest, len, std::move(deps), compute, seed);
+        prev_red[static_cast<std::size_t>(sender)] = op;
+        upstream = op;
+      }
+      int carry = s.add_compute(root, add_s, {upstream});
+      for (int vr = 0; vr < n - 1; ++vr) {
+        const int sender = (vr + root) % n;
+        const int dest = (vr + 1 + root) % n;
+        std::vector<int> deps{carry};
+        if (prev_bc[static_cast<std::size_t>(sender)] >= 0) {
+          deps.push_back(prev_bc[static_cast<std::size_t>(sender)]);
+        }
+        const int op =
+            s.add_transfer(sender, dest, len, std::move(deps), 0.0, seed);
+        prev_bc[static_cast<std::size_t>(sender)] = op;
+        carry = op;
+      }
+    }
+  }
+  return s;
+}
+
+CommSchedule bucket_ring_allreduce_schedule(const AllreduceParams& p) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  const std::uint64_t bucket =
+      (p.payload_bytes + static_cast<std::uint64_t>(n) - 1) /
+      static_cast<std::uint64_t>(n);
+  const double add_s = static_cast<double>(bucket) / p.reduce_bw_Bps;
+
+  // 2(p−1) rounds; in every round each rank sends one bucket to its
+  // right neighbour. Round r+1 at a rank depends on its own send and its
+  // received bucket of round r (fold included during reduce-scatter).
+  std::vector<int> last(static_cast<std::size_t>(n), -1);
+  for (int round = 0; round < 2 * (n - 1); ++round) {
+    const bool reducing = round < n - 1;
+    // Alternate rails per round.
+    const std::uint64_t seed = static_cast<std::uint64_t>(round & 0xF) |
+                               (static_cast<std::uint64_t>(round & 0xF) << 4);
+    std::vector<int> next(static_cast<std::size_t>(n), -1);
+    for (int r = 0; r < n; ++r) {
+      const int dst = (r + 1) % n;
+      std::vector<int> deps;
+      if (last[static_cast<std::size_t>(r)] >= 0) {
+        deps.push_back(last[static_cast<std::size_t>(r)]);
+      }
+      if (last[static_cast<std::size_t>(dst)] >= 0) {
+        deps.push_back(last[static_cast<std::size_t>(dst)]);
+      }
+      const int op = s.add_transfer(r, dst, bucket, std::move(deps),
+                                    reducing ? add_s : 0.0, seed);
+      next[static_cast<std::size_t>(dst)] = op;
+    }
+    last = std::move(next);
+  }
+  return s;
+}
+
+CommSchedule recursive_halving_schedule(const AllreduceParams& p) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+
+  int pof2 = 1, m = 0;
+  while (pof2 * 2 <= n) {
+    pof2 *= 2;
+    ++m;
+  }
+  const int rem = n - pof2;
+  auto actual = [&](int vr) { return vr < rem ? 2 * vr + 1 : vr + rem; };
+  const double full_add = static_cast<double>(p.payload_bytes) / p.reduce_bw_Bps;
+
+  // last_op[rank]: op the rank's next step must wait on.
+  std::vector<int> last_op(static_cast<std::size_t>(n), -1);
+  auto deps_of = [&](int rank) {
+    std::vector<int> d;
+    if (last_op[static_cast<std::size_t>(rank)] >= 0) {
+      d.push_back(last_op[static_cast<std::size_t>(rank)]);
+    }
+    return d;
+  };
+
+  // Fold.
+  for (int r = 0; r + 1 < 2 * rem; r += 2) {
+    const int send = s.add_transfer(r, r + 1, p.payload_bytes, {}, 0.0, 1);
+    const int add = s.add_compute(r + 1, full_add, {send});
+    last_op[static_cast<std::size_t>(r + 1)] = add;
+  }
+
+  // Core phases among the pof2 virtual ranks.
+  if (m > 0) {
+    // Reduce-scatter: exchanged block halves every step.
+    std::uint64_t block = p.payload_bytes;
+    for (int b = m - 1; b >= 0; --b) {
+      block /= 2;
+      const double add_s = static_cast<double>(block) / p.reduce_bw_Bps;
+      std::vector<int> new_last(last_op);
+      for (int vr = 0; vr < pof2; ++vr) {
+        const int partner = vr ^ (1 << b);
+        const int a = actual(vr), pa = actual(partner);
+        const int xfer =
+            s.add_transfer(a, pa, block, deps_of(a), 0.0,
+                           static_cast<std::uint64_t>(b) | (static_cast<std::uint64_t>(b) << 4));
+        // Partner folds my half in once it arrives (and is itself ready).
+        std::vector<int> add_deps{xfer};
+        if (last_op[static_cast<std::size_t>(pa)] >= 0) {
+          add_deps.push_back(last_op[static_cast<std::size_t>(pa)]);
+        }
+        const int add = s.add_compute(pa, add_s, std::move(add_deps));
+        new_last[static_cast<std::size_t>(pa)] = add;
+      }
+      last_op = std::move(new_last);
+    }
+    // Allgather: block doubles every step.
+    for (int b = 0; b <= m - 1; ++b) {
+      std::vector<int> new_last(last_op);
+      for (int vr = 0; vr < pof2; ++vr) {
+        const int partner = vr ^ (1 << b);
+        const int a = actual(vr), pa = actual(partner);
+        const int xfer =
+            s.add_transfer(a, pa, block, deps_of(a), 0.0,
+                           static_cast<std::uint64_t>(b + 1) | (static_cast<std::uint64_t>(b + 1) << 4));
+        std::vector<int> arr{xfer};
+        if (last_op[static_cast<std::size_t>(pa)] >= 0) {
+          arr.push_back(last_op[static_cast<std::size_t>(pa)]);
+        }
+        const int sync = s.add_compute(pa, 0.0, std::move(arr));
+        new_last[static_cast<std::size_t>(pa)] = sync;
+      }
+      last_op = std::move(new_last);
+      block *= 2;
+    }
+  }
+
+  // Unfold.
+  for (int r = 0; r + 1 < 2 * rem; r += 2) {
+    s.add_transfer(r + 1, r, p.payload_bytes, deps_of(r + 1), 0.0, 2);
+  }
+  return s;
+}
+
+CommSchedule binomial_allreduce_schedule(const AllreduceParams& p) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  const double full_add = static_cast<double>(p.payload_bytes) / p.reduce_bw_Bps;
+
+  // Binomial reduce to 0: rank sends at its lowest set bit; receives at
+  // every lower bit first.
+  std::vector<int> last_op(static_cast<std::size_t>(n), -1);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    for (int r = 0; r < n; ++r) {
+      if ((r & (mask - 1)) != 0) continue;  // retired at an earlier bit
+      if (r & mask) {
+        const int dest = r - mask;
+        std::vector<int> deps;
+        if (last_op[static_cast<std::size_t>(r)] >= 0) {
+          deps.push_back(last_op[static_cast<std::size_t>(r)]);
+        }
+        const int xfer = s.add_transfer(r, dest, p.payload_bytes,
+                                        std::move(deps), 0.0,
+                                        static_cast<std::uint64_t>(mask) | (static_cast<std::uint64_t>(mask) << 4));
+        std::vector<int> add_deps{xfer};
+        if (last_op[static_cast<std::size_t>(dest)] >= 0) {
+          add_deps.push_back(last_op[static_cast<std::size_t>(dest)]);
+        }
+        last_op[static_cast<std::size_t>(dest)] =
+            s.add_compute(dest, full_add, std::move(add_deps));
+      }
+    }
+  }
+  // Binomial broadcast from 0.
+  int top = 1;
+  while (top < n) top <<= 1;
+  for (int mask = top >> 1; mask >= 1; mask >>= 1) {
+    for (int r = 0; r < n; ++r) {
+      if ((r & ((mask << 1) - 1)) != 0) continue;  // not yet reached
+      const int child = r + mask;
+      if (child >= n) continue;
+      std::vector<int> deps;
+      if (last_op[static_cast<std::size_t>(r)] >= 0) {
+        deps.push_back(last_op[static_cast<std::size_t>(r)]);
+      }
+      const int xfer = s.add_transfer(r, child, p.payload_bytes,
+                                      std::move(deps), 0.0,
+                                      static_cast<std::uint64_t>(mask + 1) | (static_cast<std::uint64_t>(mask + 1) << 4));
+      last_op[static_cast<std::size_t>(child)] = xfer;
+    }
+  }
+  return s;
+}
+
+CommSchedule alltoallv_schedule(
+    const std::vector<std::vector<std::uint64_t>>& bytes) {
+  CommSchedule s;
+  const int n = static_cast<int>(bytes.size());
+  for (int i = 0; i < n; ++i) {
+    DCT_CHECK(static_cast<int>(bytes[static_cast<std::size_t>(i)].size()) == n);
+    for (int j = 0; j < n; ++j) {
+      const auto b = bytes[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (i == j || b == 0) continue;
+      s.add_transfer(i, j, b, {}, 0.0,
+                     static_cast<std::uint64_t>(i * 7 + j) |
+                         (static_cast<std::uint64_t>(j * 5 + i) << 4));
+    }
+  }
+  return s;
+}
+
+CommSchedule allreduce_schedule(const std::string& algo,
+                                const AllreduceParams& p) {
+  if (algo == "ring") return ring_allreduce_schedule(p);
+  if (algo == "bucket_ring") return bucket_ring_allreduce_schedule(p);
+  if (algo.rfind("multiring", 0) == 0) {
+    int k = 4;
+    if (algo.size() > 9) k = std::stoi(algo.substr(9));
+    return multiring_allreduce_schedule(p, k);
+  }
+  if (algo.rfind("multicolor", 0) == 0) {
+    int k = 4;
+    if (algo.size() > 10) k = std::stoi(algo.substr(10));
+    return multicolor_allreduce_schedule(p, k);
+  }
+  if (algo == "recursive_halving") return recursive_halving_schedule(p);
+  if (algo == "naive" || algo == "binomial") {
+    return binomial_allreduce_schedule(p);
+  }
+  if (algo == "openmpi_default") {
+    return p.payload_bytes <= 64 * 1024 ? binomial_allreduce_schedule(p)
+                                        : recursive_halving_schedule(p);
+  }
+  DCT_CHECK_MSG(false, "unknown allreduce schedule '" << algo << "'");
+  return {};
+}
+
+}  // namespace dct::netsim

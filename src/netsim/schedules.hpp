@@ -1,0 +1,60 @@
+// Schedule builders: translate each allreduce algorithm (and the DIMD
+// alltoallv shuffle) into the CommSchedule DAG its implementation
+// executes, so the flow simulator can price it on the modelled fabric.
+//
+// The builders mirror the message structure of the implementations in
+// src/allreduce/ — same trees (shared ColorTree code), same pipeline
+// chunking, same hop order — so the simulated time corresponds to the
+// schedule the functional code actually runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/flow_sim.hpp"
+
+namespace dct::netsim {
+
+struct AllreduceParams {
+  std::uint64_t payload_bytes = 0;
+  int ranks = 1;
+  /// Pipeline granularity for the chunked algorithms (ring, multicolor).
+  std::uint64_t pipeline_bytes = 1 << 20;
+  /// Local summation bandwidth (SIMD adds over network buffers; the
+  /// paper uses POWER8 AltiVec). Charged wherever partials are combined.
+  double reduce_bw_Bps = 60.0e9;
+};
+
+/// Pipelined reduce-to-root + opposite-direction broadcast (paper ring).
+CommSchedule ring_allreduce_schedule(const AllreduceParams& p);
+
+/// The paper's k-color tree allreduce.
+CommSchedule multicolor_allreduce_schedule(const AllreduceParams& p,
+                                           int colors);
+
+/// The multi-color ring (§5.2): k rotated pipelined rings, one payload
+/// chunk each, with distinct root ranks.
+CommSchedule multiring_allreduce_schedule(const AllreduceParams& p,
+                                          int rings);
+
+/// NCCL/Horovod bandwidth-optimal ring exchange (reduce-scatter ring +
+/// allgather ring), 2(p−1) fully-parallel steps.
+CommSchedule bucket_ring_allreduce_schedule(const AllreduceParams& p);
+
+/// Rabenseifner reduce-scatter + allgather (OpenMPI large default).
+CommSchedule recursive_halving_schedule(const AllreduceParams& p);
+
+/// Binomial reduce + binomial broadcast with the full payload
+/// (OpenMPI small default / the naive reference).
+CommSchedule binomial_allreduce_schedule(const AllreduceParams& p);
+
+/// Personalized all-to-all: bytes[i][j] flows i → j, all eligible at
+/// t = 0 (buffered sends). Used to price the DIMD shuffle.
+CommSchedule alltoallv_schedule(const std::vector<std::vector<std::uint64_t>>& bytes);
+
+/// Dispatch by algorithm name (same names as allreduce::make_algorithm).
+CommSchedule allreduce_schedule(const std::string& algo,
+                                const AllreduceParams& p);
+
+}  // namespace dct::netsim

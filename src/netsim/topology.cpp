@@ -1,0 +1,100 @@
+#include "netsim/topology.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace dct::netsim {
+
+namespace {
+// Deterministic flow hash (fmix64 of seed ⊕ endpoints).
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+FatTree::FatTree(Config cfg) : cfg_(std::move(cfg)) {
+  DCT_CHECK(cfg_.hosts >= 1);
+  DCT_CHECK(cfg_.hosts_per_leaf >= 1);
+  DCT_CHECK(cfg_.spines >= 1);
+  DCT_CHECK(cfg_.rails >= 1);
+  if (!cfg_.mapping.empty()) {
+    DCT_CHECK_MSG(static_cast<int>(cfg_.mapping.size()) == cfg_.hosts,
+                  "mapping must cover every rank");
+  }
+  leaves_ = (cfg_.hosts + cfg_.hosts_per_leaf - 1) / cfg_.hosts_per_leaf;
+  const int host_links = cfg_.hosts * cfg_.rails * 2;
+  const int fabric_links = leaves_ * cfg_.spines * 2;
+  links_.resize(static_cast<std::size_t>(host_links + fabric_links));
+  const Link host_link{gbps_to_bytes_per_sec(cfg_.host_link_gbps),
+                       cfg_.link_latency_s};
+  const Link fabric_link{gbps_to_bytes_per_sec(cfg_.fabric_link_gbps),
+                         cfg_.link_latency_s};
+  for (int i = 0; i < host_links; ++i) {
+    links_[static_cast<std::size_t>(i)] = host_link;
+  }
+  for (int i = 0; i < fabric_links; ++i) {
+    links_[static_cast<std::size_t>(host_links + i)] = fabric_link;
+  }
+}
+
+int FatTree::host_of(int rank) const {
+  DCT_CHECK(rank >= 0 && rank < cfg_.hosts);
+  return cfg_.mapping.empty() ? rank
+                              : cfg_.mapping[static_cast<std::size_t>(rank)];
+}
+
+int FatTree::host_link(int host, int rail, bool up) const {
+  return (host * cfg_.rails + rail) * 2 + (up ? 0 : 1);
+}
+
+int FatTree::fabric_link(int leaf, int spine, bool up) const {
+  const int base = cfg_.hosts * cfg_.rails * 2;
+  return base + (leaf * cfg_.spines + spine) * 2 + (up ? 0 : 1);
+}
+
+std::vector<int> FatTree::route(int src, int dst, std::uint64_t flow_seed) const {
+  DCT_CHECK(src != dst);
+  const int hs = host_of(src);
+  const int hd = host_of(dst);
+  // Rail selection is deliberate: the low seed bits pick the source rail,
+  // the next bits the destination rail. Schedule builders exploit this to
+  // stripe independent streams (e.g. the multicolor colors) across the
+  // adapters, or to pin a single logical stream to one rail.
+  const int rail_up =
+      static_cast<int>(flow_seed % static_cast<std::uint64_t>(cfg_.rails));
+  const int rail_down = static_cast<int>((flow_seed >> 4) %
+                                         static_cast<std::uint64_t>(cfg_.rails));
+  std::vector<int> r;
+  r.push_back(host_link(hs, rail_up, /*up=*/true));
+  const int ls = leaf_of_host(hs);
+  const int ld = leaf_of_host(hd);
+  if (ls != ld) {
+    // Destination-based deterministic routing (D-mod-k): flows to
+    // different hosts of a leaf ascend through different spines, so the
+    // core adds no contention beyond what the destination's own downlink
+    // already imposes. This mirrors the standard fat-tree routing used
+    // on InfiniBand clusters.
+    const int spine = static_cast<int>(
+        (static_cast<std::uint64_t>(hd % cfg_.hosts_per_leaf) *
+             static_cast<std::uint64_t>(cfg_.rails) +
+         static_cast<std::uint64_t>(rail_down)) %
+        static_cast<std::uint64_t>(cfg_.spines));
+    r.push_back(fabric_link(ls, spine, /*up=*/true));
+    r.push_back(fabric_link(ld, spine, /*up=*/false));
+  }
+  r.push_back(host_link(hd, rail_down, /*up=*/false));
+  return r;
+}
+
+double FatTree::route_latency(const std::vector<int>& route) const {
+  double total = 0.0;
+  for (int id : route) total += link(id).latency_s;
+  return total;
+}
+
+}  // namespace dct::netsim

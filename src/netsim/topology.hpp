@@ -1,0 +1,73 @@
+// Network topology model for the timing simulations.
+//
+// The evaluation platform of the paper is a POWER8 Minsky cluster on a
+// Mellanox InfiniBand fat-tree, every node attached through two
+// ConnectX-5 adapters ("rails"). We model a two-level fat-tree: hosts
+// hang off leaf switches, every leaf connects to every spine. A flow's
+// route is host → leaf (on one rail) → spine (ECMP-hashed) → leaf →
+// host. Every physical cable is two directed links with independent
+// capacity, which is how full-duplex InfiniBand behaves for our purposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dct::netsim {
+
+/// One directed link.
+struct Link {
+  double bandwidth_Bps = 0.0;  ///< capacity in bytes/second
+  double latency_s = 0.0;      ///< propagation + switch latency
+};
+
+/// Two-level fat-tree over `hosts` hosts.
+class FatTree {
+ public:
+  struct Config {
+    int hosts = 16;
+    int hosts_per_leaf = 4;
+    int spines = 4;
+    int rails = 2;                    ///< parallel host↔leaf cables
+    double host_link_gbps = 100.0;    ///< per rail, each direction
+    double fabric_link_gbps = 100.0;  ///< leaf↔spine, each direction
+    double link_latency_s = 1.0e-6;   ///< per hop
+    /// Optional permutation: rank r lives on host mapping[r]. Empty =
+    /// identity. Lets experiments study "arbitrarily mapped" ranks
+    /// (paper §4.2 observes good utilisation either way).
+    std::vector<int> mapping;
+  };
+
+  explicit FatTree(Config cfg);
+
+  int hosts() const { return cfg_.hosts; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const Link& link(int id) const { return links_[static_cast<std::size_t>(id)]; }
+
+  /// Directed route for a flow from rank `src` to rank `dst`.
+  /// `flow_seed` picks among equal-cost paths (rail and spine) the way
+  /// ECMP hashing would; the same seed always yields the same path.
+  std::vector<int> route(int src, int dst, std::uint64_t flow_seed) const;
+
+  /// Total propagation latency along a route.
+  double route_latency(const std::vector<int>& route) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  int host_of(int rank) const;
+  int leaf_of_host(int host) const { return host / cfg_.hosts_per_leaf; }
+
+  // Link id layout (all directed):
+  //   host h, rail r, up:    (h*rails + r)*2
+  //   host h, rail r, down:  (h*rails + r)*2 + 1
+  //   leaf l, spine s, up:   base + (l*spines + s)*2
+  //   leaf l, spine s, down: base + (l*spines + s)*2 + 1
+  int host_link(int host, int rail, bool up) const;
+  int fabric_link(int leaf, int spine, bool up) const;
+
+  Config cfg_;
+  int leaves_ = 0;
+  std::vector<Link> links_;
+};
+
+}  // namespace dct::netsim

@@ -1,0 +1,64 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dct::nn {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'C', 'T', 'C', 'K', 'P', 'T', '1'};
+}
+
+void save_checkpoint(Sequential& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DCT_CHECK_MSG(os.is_open(), "cannot open checkpoint " << path);
+  const auto n = static_cast<std::uint64_t>(net.param_count());
+  os.write(kMagic, sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  std::vector<float> buf(static_cast<std::size_t>(n));
+  net.flatten_params(std::span<float>(buf));
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size() * sizeof(float)));
+  // Momentum buffers, in the same parameter order.
+  std::size_t off = 0;
+  for (Param* p : net.params()) {
+    const auto count = static_cast<std::size_t>(p->velocity.numel());
+    std::memcpy(buf.data() + off, p->velocity.data(), count * sizeof(float));
+    off += count;
+  }
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size() * sizeof(float)));
+  DCT_CHECK_MSG(os.good(), "checkpoint write failed: " << path);
+}
+
+void load_checkpoint(Sequential& net, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DCT_CHECK_MSG(is.is_open(), "cannot open checkpoint " << path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  DCT_CHECK_MSG(is.good() && std::equal(magic, magic + 8, kMagic),
+                "bad checkpoint magic in " << path);
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  DCT_CHECK_MSG(is.good() &&
+                    n == static_cast<std::uint64_t>(net.param_count()),
+                "checkpoint parameter count " << n << " != network "
+                                              << net.param_count());
+  std::vector<float> buf(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size() * sizeof(float)));
+  DCT_CHECK_MSG(is.good(), "checkpoint truncated (values): " << path);
+  net.load_params(buf);
+  is.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size() * sizeof(float)));
+  DCT_CHECK_MSG(is.good(), "checkpoint truncated (momentum): " << path);
+  std::size_t off = 0;
+  for (Param* p : net.params()) {
+    const auto count = static_cast<std::size_t>(p->velocity.numel());
+    std::memcpy(p->velocity.data(), buf.data() + off, count * sizeof(float));
+    off += count;
+  }
+}
+
+}  // namespace dct::nn

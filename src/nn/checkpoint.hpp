@@ -1,0 +1,20 @@
+// Checkpointing: serialize a network's parameters (and optimizer
+// momentum) to a file and restore them — what a multi-hour 90-epoch run
+// needs to survive a node loss. Format: magic "DCTCKPT1" | u64 param
+// scalars | values… | velocities…, little-endian float32.
+#pragma once
+
+#include <string>
+
+#include "nn/layers.hpp"
+
+namespace dct::nn {
+
+/// Write `net`'s parameter values and momentum buffers to `path`.
+void save_checkpoint(Sequential& net, const std::string& path);
+
+/// Restore values and momentum from `path`; the network must have the
+/// same parameter count. Throws CheckError on mismatch or corruption.
+void load_checkpoint(Sequential& net, const std::string& path);
+
+}  // namespace dct::nn

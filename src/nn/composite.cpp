@@ -1,0 +1,245 @@
+#include "nn/composite.hpp"
+
+#include <cstring>
+
+namespace dct::nn {
+
+using tensor::Tensor;
+
+// ---- Residual ----------------------------------------------------------
+
+Tensor Residual::forward(const Tensor& x, bool train) {
+  Tensor main = body_->forward(x, train);
+  Tensor skip = projection_ ? projection_->forward(x, train) : x;
+  DCT_CHECK_MSG(main.shape() == skip.shape(),
+                "residual branch shapes diverge");
+  Tensor out(main.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = main[i] + skip[i];
+  return out;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor grad_main = body_->backward(grad_out);
+  if (projection_) {
+    Tensor grad_skip = projection_->backward(grad_out);
+    DCT_CHECK(grad_main.shape() == grad_skip.shape());
+    for (std::int64_t i = 0; i < grad_main.numel(); ++i) {
+      grad_main[i] += grad_skip[i];
+    }
+    return grad_main;
+  }
+  // Identity skip: dL/dx = dL/d(main path) + dL/d(skip) = grad_in + grad_out.
+  DCT_CHECK(grad_main.shape() == grad_out.shape());
+  for (std::int64_t i = 0; i < grad_main.numel(); ++i) {
+    grad_main[i] += grad_out[i];
+  }
+  return grad_main;
+}
+
+std::vector<Param*> Residual::params() {
+  std::vector<Param*> all = body_->params();
+  if (projection_) {
+    for (Param* p : projection_->params()) all.push_back(p);
+  }
+  return all;
+}
+
+// ---- AvgPool2d ---------------------------------------------------------
+
+Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
+  input_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t ho = (h + 2 * pad_ - kernel_) / stride_ + 1;
+  const std::int64_t wo = (w + 2 * pad_ - kernel_) / stride_ + 1;
+  DCT_CHECK_MSG(ho > 0 && wo > 0, "avgpool output collapsed");
+  Tensor out({n, c, ho, wo});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t oi = 0; oi < ho; ++oi) {
+        for (std::int64_t oj = 0; oj < wo; ++oj) {
+          double acc = 0.0;
+          for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+            for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+              const std::int64_t ii = oi * stride_ - pad_ + ki;
+              const std::int64_t jj = oj * stride_ - pad_ + kj;
+              if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+                acc += x.at(img, ch, ii, jj);
+              }
+            }
+          }
+          out.at(img, ch, oi, oj) = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  Tensor grad_in(input_shape_);
+  const std::int64_t n = input_shape_[0], c = input_shape_[1],
+                     h = input_shape_[2], w = input_shape_[3];
+  const std::int64_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t oi = 0; oi < ho; ++oi) {
+        for (std::int64_t oj = 0; oj < wo; ++oj) {
+          const float g = grad_out.at(img, ch, oi, oj) * inv;
+          for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+            for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+              const std::int64_t ii = oi * stride_ - pad_ + ki;
+              const std::int64_t jj = oj * stride_ - pad_ + kj;
+              if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+                grad_in.at(img, ch, ii, jj) += g;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ---- Dropout -----------------------------------------------------------
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || probability_ == 0.0f) {
+    mask_ = Tensor();  // marks "pass-through" for backward
+    return x;
+  }
+  mask_ = Tensor(x.shape());
+  Tensor out(x.shape());
+  const float keep = 1.0f - probability_;
+  const float scale = 1.0f / keep;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool kept = rng_.next_float() >= probability_;
+    mask_[i] = kept ? scale : 0.0f;
+    out[i] = x[i] * mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  DCT_CHECK(mask_.shape() == grad_out.shape());
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = grad_out[i] * mask_[i];
+  }
+  return grad_in;
+}
+
+// ---- ConcatBranches ----------------------------------------------------
+
+Tensor ConcatBranches::forward(const Tensor& x, bool train) {
+  DCT_CHECK_MSG(!branches_.empty(), "concat with no branches");
+  std::vector<Tensor> outs;
+  outs.reserve(branches_.size());
+  branch_channels_.clear();
+  std::int64_t total_c = 0;
+  for (auto& branch : branches_) {
+    outs.push_back(branch->forward(x, train));
+    DCT_CHECK(outs.back().rank() == 4);
+    DCT_CHECK(outs.back().dim(0) == outs.front().dim(0) &&
+              outs.back().dim(2) == outs.front().dim(2) &&
+              outs.back().dim(3) == outs.front().dim(3));
+    branch_channels_.push_back(outs.back().dim(1));
+    total_c += outs.back().dim(1);
+  }
+  const std::int64_t n = outs[0].dim(0), h = outs[0].dim(2),
+                     w = outs[0].dim(3);
+  Tensor out({n, total_c, h, w});
+  for (std::int64_t img = 0; img < n; ++img) {
+    std::int64_t c_off = 0;
+    for (std::size_t b = 0; b < outs.size(); ++b) {
+      const std::int64_t bc = branch_channels_[b];
+      std::memcpy(out.data() + ((img * total_c + c_off) * h) * w,
+                  outs[b].data() + (img * bc * h) * w,
+                  static_cast<std::size_t>(bc * h * w) * sizeof(float));
+      c_off += bc;
+    }
+  }
+  return out;
+}
+
+Tensor ConcatBranches::backward(const Tensor& grad_out) {
+  const std::int64_t n = grad_out.dim(0), total_c = grad_out.dim(1),
+                     h = grad_out.dim(2), w = grad_out.dim(3);
+  Tensor grad_in;
+  std::int64_t c_off = 0;
+  for (std::size_t b = 0; b < branches_.size(); ++b) {
+    const std::int64_t bc = branch_channels_[b];
+    Tensor slice({n, bc, h, w});
+    for (std::int64_t img = 0; img < n; ++img) {
+      std::memcpy(slice.data() + (img * bc * h) * w,
+                  grad_out.data() + ((img * total_c + c_off) * h) * w,
+                  static_cast<std::size_t>(bc * h * w) * sizeof(float));
+    }
+    Tensor g = branches_[b]->backward(slice);
+    if (b == 0) {
+      grad_in = std::move(g);
+    } else {
+      DCT_CHECK(g.shape() == grad_in.shape());
+      for (std::int64_t i = 0; i < grad_in.numel(); ++i) grad_in[i] += g[i];
+    }
+    c_off += bc;
+  }
+  return grad_in;
+}
+
+std::vector<Param*> ConcatBranches::params() {
+  std::vector<Param*> all;
+  for (auto& branch : branches_) {
+    for (Param* p : branch->params()) all.push_back(p);
+  }
+  return all;
+}
+
+// ---- MiniResNet --------------------------------------------------------
+
+namespace {
+LayerPtr conv_bn_relu(std::int64_t in, std::int64_t out, std::int64_t stride,
+                      Rng& rng, bool relu = true) {
+  auto seq = std::make_unique<Sequential>();
+  seq->emplace<Conv2d>(in, out, 3, stride, 1, rng, /*bias=*/false);
+  seq->emplace<BatchNorm2d>(out);
+  if (relu) seq->emplace<ReLU>();
+  return seq;
+}
+
+LayerPtr basic_block(std::int64_t in, std::int64_t out, std::int64_t stride,
+                     Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->add(conv_bn_relu(in, out, stride, rng));
+  body->add(conv_bn_relu(out, out, 1, rng, /*relu=*/false));
+  LayerPtr projection;
+  if (in != out || stride != 1) {
+    auto proj = std::make_unique<Sequential>();
+    proj->emplace<Conv2d>(in, out, 1, stride, 0, rng, /*bias=*/false);
+    proj->emplace<BatchNorm2d>(out);
+    projection = std::move(proj);
+  }
+  auto block = std::make_unique<Sequential>();
+  block->add(std::make_unique<Residual>(std::move(body), std::move(projection)));
+  block->emplace<ReLU>();
+  return block;
+}
+}  // namespace
+
+std::unique_ptr<Sequential> make_mini_resnet(int classes, std::int64_t image,
+                                             Rng& rng) {
+  DCT_CHECK(image >= 8 && image % 4 == 0);
+  auto net = std::make_unique<Sequential>();
+  net->add(conv_bn_relu(3, 8, 1, rng));        // stem
+  net->add(basic_block(8, 8, 1, rng));         // stage 1 (identity skip)
+  net->add(basic_block(8, 16, 2, rng));        // stage 2 (projection skip)
+  net->emplace<GlobalAvgPool>();
+  // GlobalAvgPool emits [N, C]; the classifier reads it directly.
+  net->emplace<Linear>(16, classes, rng);
+  return net;
+}
+
+}  // namespace dct::nn

@@ -1,0 +1,95 @@
+// Composite and auxiliary layers: the pieces needed to express the
+// paper's model families (ResNet's residual blocks, GoogleNet's
+// concatenated inception branches) as real trainable networks, plus
+// dropout and windowed average pooling.
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace dct::nn {
+
+/// y = F(x) + x, with F an arbitrary inner network whose output shape
+/// matches its input (ResNet's identity block). An optional projection
+/// network transforms the skip path (the 1×1 downsample of the paper's
+/// bottleneck blocks).
+class Residual final : public Layer {
+ public:
+  explicit Residual(LayerPtr body, LayerPtr projection = nullptr)
+      : body_(std::move(body)), projection_(std::move(projection)) {
+    DCT_CHECK(body_ != nullptr);
+  }
+
+  std::string name() const override { return "residual"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  LayerPtr body_;
+  LayerPtr projection_;  ///< may be null → identity skip
+};
+
+/// Windowed average pooling (GoogleNet's 5×5/3 aux-head pool and the
+/// inception avg-pool branches).
+class AvgPool2d final : public Layer {
+ public:
+  AvgPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad = 0)
+      : kernel_(kernel), stride_(stride), pad_(pad) {}
+
+  std::string name() const override { return "avgpool2d"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  std::int64_t kernel_, stride_, pad_;
+  std::vector<std::int64_t> input_shape_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1−p) at train time,
+/// identity at inference. Deterministic given the layer's RNG state.
+class Dropout final : public Layer {
+ public:
+  Dropout(float probability, std::uint64_t seed)
+      : probability_(probability), rng_(seed) {
+    DCT_CHECK(probability_ >= 0.0f && probability_ < 1.0f);
+  }
+
+  std::string name() const override { return "dropout"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  float probability_;
+  Rng rng_;
+  tensor::Tensor mask_;
+};
+
+/// Runs several branch networks on the same input and concatenates their
+/// outputs along the channel dimension (the inception block structure).
+/// All branches must emit [N, C_i, H, W] with matching N/H/W.
+class ConcatBranches final : public Layer {
+ public:
+  ConcatBranches() = default;
+
+  ConcatBranches& add(LayerPtr branch) {
+    branches_.push_back(std::move(branch));
+    return *this;
+  }
+
+  std::string name() const override { return "concat_branches"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  std::vector<LayerPtr> branches_;
+  std::vector<std::int64_t> branch_channels_;
+};
+
+/// A small trainable residual network ("MiniResNet"): conv stem + two
+/// residual stages + classifier — the real-math counterpart of the
+/// ResNet-50 spec for functional experiments.
+std::unique_ptr<Sequential> make_mini_resnet(int classes, std::int64_t image,
+                                             Rng& rng);
+
+}  // namespace dct::nn

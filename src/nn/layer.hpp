@@ -1,0 +1,46 @@
+// Layer abstraction for the real (functional) training path.
+//
+// Layers cache whatever forward state their backward needs, exactly one
+// backward per forward. Parameters expose value+grad pairs; the
+// distributed trainer flattens all grads into the single payload that
+// goes through MPI_Allreduce (paper Algorithm 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dct::nn {
+
+struct Param {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+  /// Momentum buffer, owned here so optimizer state follows the param.
+  tensor::Tensor velocity;
+
+  explicit Param(tensor::Tensor v)
+      : value(std::move(v)),
+        grad(value.shape()),
+        velocity(value.shape()) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// `train` toggles training-time behaviour (batch statistics).
+  virtual tensor::Tensor forward(const tensor::Tensor& x, bool train) = 0;
+
+  /// Consumes the cached forward state; accumulates into param grads.
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace dct::nn

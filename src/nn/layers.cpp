@@ -1,0 +1,250 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace dct::nn {
+
+using tensor::Tensor;
+
+// ---- Conv2d -----------------------------------------------------------
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng, bool bias)
+    : shape_{in_channels, out_channels, kernel, stride, pad},
+      weight_(Tensor::kaiming({out_channels, in_channels * kernel * kernel},
+                              in_channels * kernel * kernel, rng)),
+      bias_(Tensor({bias ? out_channels : 0})),
+      has_bias_(bias) {}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  cached_input_ = x;
+  return tensor::conv2d_forward(x, weight_.value, bias_.value, shape_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  tensor::conv2d_backward(cached_input_, weight_.value, grad_out, shape_,
+                          grad_in, weight_.grad, bias_.grad);
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+// ---- Linear -----------------------------------------------------------
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : weight_(Tensor::kaiming({out_features, in_features}, in_features, rng)),
+      bias_(Tensor({out_features})) {}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  DCT_CHECK(x.rank() == 2);
+  cached_input_ = x;
+  Tensor out({x.dim(0), weight_.value.dim(0)});
+  tensor::gemm(x, false, weight_.value, true, out);
+  for (std::int64_t i = 0; i < out.dim(0); ++i) {
+    for (std::int64_t j = 0; j < out.dim(1); ++j) {
+      out.at(i, j) += bias_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  // dW = gᵀ·x ; db = colsum(g) ; dx = g·W
+  tensor::gemm(grad_out, true, cached_input_, false, weight_.grad);
+  for (std::int64_t j = 0; j < grad_out.dim(1); ++j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < grad_out.dim(0); ++i) {
+      acc += grad_out.at(i, j);
+    }
+    bias_.grad[j] = static_cast<float>(acc);
+  }
+  Tensor grad_in({cached_input_.dim(0), cached_input_.dim(1)});
+  tensor::gemm(grad_out, false, weight_.value, false, grad_in);
+  return grad_in;
+}
+
+// ---- ReLU -------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  tensor::relu_forward(x, y);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in(cached_input_.shape());
+  tensor::relu_backward(cached_input_, grad_out, grad_in);
+  return grad_in;
+}
+
+// ---- MaxPool2d --------------------------------------------------------
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  input_shape_ = x.shape();
+  return tensor::maxpool_forward(x, kernel_, stride_, argmax_);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  return tensor::maxpool_backward(grad_out, argmax_, input_shape_);
+}
+
+// ---- GlobalAvgPool ----------------------------------------------------
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  input_shape_ = x.shape();
+  return tensor::global_avgpool_forward(x);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  return tensor::global_avgpool_backward(grad_out, input_shape_);
+}
+
+// ---- BatchNorm2d ------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::full({channels}, 1.0f)),
+      beta_(Tensor({channels})),
+      running_mean_({channels}),
+      running_var_(Tensor::full({channels}, 1.0f)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  if (train) {
+    Tensor out =
+        tensor::batchnorm_forward(x, gamma_.value, beta_.value, eps_, cache_);
+    // Track running statistics for inference.
+    const std::int64_t c = x.dim(1);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float m = cache_.mean[static_cast<std::size_t>(ch)];
+      const float inv = cache_.inv_std[static_cast<std::size_t>(ch)];
+      const float var = 1.0f / (inv * inv) - eps_;
+      running_mean_[ch] =
+          (1.0f - momentum_) * running_mean_[ch] + momentum_ * m;
+      running_var_[ch] =
+          (1.0f - momentum_) * running_var_[ch] + momentum_ * var;
+    }
+    return out;
+  }
+  // Inference: normalise with running statistics.
+  Tensor out(x.shape());
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float inv = 1.0f / std::sqrt(running_var_[ch] + eps_);
+    const float g = gamma_.value[ch], b = beta_.value[ch];
+    const float m = running_mean_[ch];
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = x.data() + (img * c + ch) * hw;
+      float* dst = out.data() + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) dst[i] = g * (src[i] - m) * inv + b;
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  Tensor grad_in;
+  tensor::batchnorm_backward(grad_out, gamma_.value, cache_, grad_in,
+                             gamma_.grad, beta_.grad);
+  return grad_in;
+}
+
+// ---- Flatten ----------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  input_shape_ = x.shape();
+  std::int64_t rest = 1;
+  for (std::size_t i = 1; i < input_shape_.size(); ++i) rest *= input_shape_[i];
+  return x.reshaped({x.dim(0), rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(input_shape_);
+}
+
+// ---- Sequential -------------------------------------------------------
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::int64_t Sequential::param_count() {
+  std::int64_t total = 0;
+  for (Param* p : params()) total += p->value.numel();
+  return total;
+}
+
+void Sequential::flatten_grads(std::span<float> out) {
+  std::size_t off = 0;
+  for (Param* p : params()) {
+    const auto n = static_cast<std::size_t>(p->grad.numel());
+    DCT_CHECK(off + n <= out.size());
+    std::memcpy(out.data() + off, p->grad.data(), n * sizeof(float));
+    off += n;
+  }
+  DCT_CHECK_MSG(off == out.size(), "payload size != param count");
+}
+
+void Sequential::load_grads(std::span<const float> in) {
+  std::size_t off = 0;
+  for (Param* p : params()) {
+    const auto n = static_cast<std::size_t>(p->grad.numel());
+    DCT_CHECK(off + n <= in.size());
+    std::memcpy(p->grad.data(), in.data() + off, n * sizeof(float));
+    off += n;
+  }
+  DCT_CHECK(off == in.size());
+}
+
+void Sequential::flatten_params(std::span<float> out) {
+  std::size_t off = 0;
+  for (Param* p : params()) {
+    const auto n = static_cast<std::size_t>(p->value.numel());
+    DCT_CHECK(off + n <= out.size());
+    std::memcpy(out.data() + off, p->value.data(), n * sizeof(float));
+    off += n;
+  }
+  DCT_CHECK(off == out.size());
+}
+
+void Sequential::load_params(std::span<const float> in) {
+  std::size_t off = 0;
+  for (Param* p : params()) {
+    const auto n = static_cast<std::size_t>(p->value.numel());
+    DCT_CHECK(off + n <= in.size());
+    std::memcpy(p->value.data(), in.data() + off, n * sizeof(float));
+    off += n;
+  }
+  DCT_CHECK(off == in.size());
+}
+
+void Sequential::zero_grads() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+}  // namespace dct::nn

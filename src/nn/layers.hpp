@@ -1,0 +1,148 @@
+// Concrete layers: convolution, linear, ReLU, pooling, batch norm,
+// flatten, and the Sequential container.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace dct::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng,
+         bool bias = true);
+
+  std::string name() const override { return "conv2d"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  tensor::Conv2dShape shape_;
+  Param weight_;
+  Param bias_;
+  bool has_bias_;
+  tensor::Tensor cached_input_;
+};
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  std::string name() const override { return "linear"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+ private:
+  Param weight_;  ///< [out, in]
+  Param bias_;    ///< [out]
+  tensor::Tensor cached_input_;
+};
+
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  tensor::Tensor cached_input_;
+};
+
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  std::string name() const override { return "maxpool2d"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  std::int64_t kernel_, stride_;
+  std::vector<std::int64_t> argmax_;
+  std::vector<std::int64_t> input_shape_;
+};
+
+/// Global average pool [N,C,H,W] → [N,C].
+class GlobalAvgPool final : public Layer {
+ public:
+  std::string name() const override { return "global_avgpool"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  std::vector<std::int64_t> input_shape_;
+};
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  std::string name() const override { return "batchnorm2d"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+ private:
+  float eps_, momentum_;
+  Param gamma_, beta_;
+  tensor::Tensor running_mean_, running_var_;
+  tensor::BatchNormCache cache_;
+};
+
+/// [N,C,H,W] → [N, C·H·W].
+class Flatten final : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  std::vector<std::int64_t> input_shape_;
+};
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  Sequential& add(LayerPtr layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  std::string name() const override { return "sequential"; }
+  tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  std::size_t size() const { return layers_.size(); }
+
+  /// Total trainable scalars.
+  std::int64_t param_count();
+
+  /// Pack every parameter gradient, in declaration order, into `out`
+  /// (must hold param_count() floats). This is the allreduce payload.
+  void flatten_grads(std::span<float> out);
+  /// Unpack a (reduced) payload back into the parameter grads.
+  void load_grads(std::span<const float> in);
+  /// Pack parameter values (for replication checks / broadcast).
+  void flatten_params(std::span<float> out);
+  void load_params(std::span<const float> in);
+  /// Zero all gradients.
+  void zero_grads();
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace dct::nn

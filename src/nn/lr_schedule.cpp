@@ -1,0 +1,29 @@
+#include "nn/lr_schedule.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dct::nn {
+
+WarmupStepSchedule::WarmupStepSchedule(Config cfg) : cfg_(cfg) {
+  DCT_CHECK(cfg_.per_gpu_batch > 0 && cfg_.workers > 0);
+  target_ = cfg_.base_lr * (static_cast<double>(cfg_.per_gpu_batch) *
+                            static_cast<double>(cfg_.workers) / 256.0);
+}
+
+double WarmupStepSchedule::lr(double epoch) const {
+  DCT_CHECK(epoch >= 0.0);
+  double rate;
+  if (epoch < cfg_.warmup_epochs && target_ > cfg_.base_lr) {
+    const double f = epoch / cfg_.warmup_epochs;
+    rate = cfg_.base_lr + f * (target_ - cfg_.base_lr);
+  } else {
+    rate = target_;
+  }
+  const int drops = static_cast<int>(epoch / cfg_.step_epochs);
+  for (int i = 0; i < drops; ++i) rate *= cfg_.gamma;
+  return rate;
+}
+
+}  // namespace dct::nn

@@ -1,0 +1,33 @@
+// The paper's learning-rate policy (§5, adopted from Goyal et al.):
+// start at 0.1, ramp linearly to 0.1·(k·n/256) over the warm-up epochs
+// (k = per-GPU batch, n = total workers), then decay ×0.1 every 30
+// epochs of the 90-epoch regime.
+#pragma once
+
+namespace dct::nn {
+
+class WarmupStepSchedule {
+ public:
+  struct Config {
+    double base_lr = 0.1;
+    int per_gpu_batch = 64;    ///< k
+    int workers = 8;           ///< n = nodes × GPUs/node
+    double warmup_epochs = 5.0;
+    double step_epochs = 30.0;
+    double gamma = 0.1;
+  };
+
+  explicit WarmupStepSchedule(Config cfg);
+
+  /// Learning rate at a (fractional) epoch index.
+  double lr(double epoch) const;
+
+  /// The post-warmup target rate 0.1·k·n/256.
+  double target_lr() const { return target_; }
+
+ private:
+  Config cfg_;
+  double target_;
+};
+
+}  // namespace dct::nn

@@ -1,0 +1,87 @@
+// Layer-descriptor specifications of the paper's two evaluation models.
+//
+// The epoch-time experiments need exactly two things from a model: the
+// gradient payload that goes through MPI_Allreduce, and the per-image
+// forward/backward FLOPs that occupy the GPUs. The specs enumerate every
+// parameterised layer (convolutions, batch norms, fully-connected, the
+// GoogleNet auxiliary heads) with its parameter count, spatial size, and
+// FLOPs, so both quantities are derived rather than hard-coded.
+//
+// ResNet-50 reproduces the canonical 25,557,032-parameter network
+// exactly (asserted in tests). GoogleNetBN follows the
+// batch-normalised Inception table of Ioffe & Szegedy plus the two
+// auxiliary classifier branches of the Torch model the paper ran; the
+// paper reports its reduction payload as 93 MB (§5.1), which we carry as
+// `reported_gradient_bytes` alongside the value derived from the spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dct::nn {
+
+struct LayerSpec {
+  std::string name;
+  std::int64_t params = 0;      ///< trainable scalars
+  double fwd_flops = 0.0;       ///< per image
+  std::int64_t out_elems = 0;   ///< activation elements per image
+};
+
+class ModelSpec {
+ public:
+  ModelSpec(std::string name, std::vector<LayerSpec> layers,
+            std::uint64_t reported_gradient_bytes = 0,
+            double gpu_efficiency_scale = 1.0)
+      : name_(std::move(name)),
+        layers_(std::move(layers)),
+        reported_gradient_bytes_(reported_gradient_bytes),
+        gpu_efficiency_scale_(gpu_efficiency_scale) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+
+  std::int64_t param_count() const;
+  double fwd_flops() const;                 ///< per image
+  /// Backward ≈ 2× forward (grad wrt activations + wrt weights).
+  double bwd_flops() const { return 2.0 * fwd_flops(); }
+  double train_flops() const { return fwd_flops() + bwd_flops(); }
+  std::int64_t activation_elems() const;    ///< per image, all layers
+
+  /// fp32 gradient payload derived from the spec.
+  std::uint64_t derived_gradient_bytes() const {
+    return static_cast<std::uint64_t>(param_count()) * 4;
+  }
+  /// The payload the paper reports for this model, falling back to the
+  /// derived value where the paper gives none.
+  std::uint64_t gradient_bytes() const {
+    return reported_gradient_bytes_ ? reported_gradient_bytes_
+                                    : derived_gradient_bytes();
+  }
+
+  /// Relative GPU utilisation vs a dense-conv workload. GoogleNetBN's
+  /// many small inception-branch kernels sustain a markedly lower
+  /// fraction of peak on a P100 than ResNet-50's dense 3×3 stacks.
+  double gpu_efficiency_scale() const { return gpu_efficiency_scale_; }
+
+ private:
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+  std::uint64_t reported_gradient_bytes_;
+  double gpu_efficiency_scale_;
+};
+
+/// The 25.56 M-parameter ResNet-50 at 224×224 (paper's headline model).
+ModelSpec resnet50_spec(int classes = 1000);
+
+/// Batch-normalised GoogleNet with two auxiliary heads at 224×224.
+ModelSpec googlenet_bn_spec(int classes = 1000);
+
+/// Spec mirroring the trainable SmallCNN (for end-to-end consistency
+/// tests between the functional and modelled paths).
+ModelSpec small_cnn_spec(int classes = 10, std::int64_t image = 16);
+
+/// Lookup by name: "resnet50", "googlenetbn", "smallcnn".
+ModelSpec model_spec_by_name(const std::string& name);
+
+}  // namespace dct::nn

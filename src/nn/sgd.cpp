@@ -1,0 +1,18 @@
+#include "nn/sgd.hpp"
+
+namespace dct::nn {
+
+void Sgd::step(const std::vector<Param*>& params, float lr) const {
+  for (Param* p : params) {
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = p->velocity.data();
+    const std::int64_t n = p->value.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      v[i] = cfg_.momentum * v[i] + g[i] + cfg_.weight_decay * w[i];
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+}  // namespace dct::nn

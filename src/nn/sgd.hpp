@@ -1,0 +1,30 @@
+// SGD with momentum and weight decay, matching the Torch update used by
+// the paper (and by Goyal et al., whose hyper-parameter schedule §5
+// adopts): v ← μ·v + (g + λ·w);  w ← w − lr·v.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dct::nn {
+
+struct SgdConfig {
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig cfg = {}) : cfg_(cfg) {}
+
+  /// One update over the given parameters at learning rate `lr`.
+  void step(const std::vector<Param*>& params, float lr) const;
+
+  const SgdConfig& config() const { return cfg_; }
+
+ private:
+  SgdConfig cfg_;
+};
+
+}  // namespace dct::nn

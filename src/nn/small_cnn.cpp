@@ -1,0 +1,23 @@
+#include "nn/small_cnn.hpp"
+
+namespace dct::nn {
+
+std::unique_ptr<Sequential> make_small_cnn(const SmallCnnConfig& cfg,
+                                           Rng& rng) {
+  DCT_CHECK(cfg.image >= 4 && cfg.image % 4 == 0);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(cfg.channels, 8, 3, 1, 1, rng, /*bias=*/false);
+  net->emplace<BatchNorm2d>(8);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2, 2);
+  net->emplace<Conv2d>(8, 16, 3, 1, 1, rng, /*bias=*/false);
+  net->emplace<BatchNorm2d>(16);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2, 2);
+  net->emplace<Flatten>();
+  net->emplace<Linear>(16 * (cfg.image / 4) * (cfg.image / 4), cfg.classes,
+                       rng);
+  return net;
+}
+
+}  // namespace dct::nn

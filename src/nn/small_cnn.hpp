@@ -1,0 +1,25 @@
+// The small trainable CNN used wherever the reproduction needs *real*
+// gradients: accuracy-parity checks between optimized and baseline code
+// paths, distributed-vs-serial equivalence, and the end-to-end examples.
+// Architecture mirrors small_cnn_spec(): conv-bn-relu ×2 with pooling,
+// then a linear classifier.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace dct::nn {
+
+struct SmallCnnConfig {
+  int classes = 10;
+  std::int64_t image = 16;     ///< square input size
+  std::int64_t channels = 3;
+};
+
+/// Build the network with weights drawn from `rng` (two models built
+/// from equal-state RNGs are bit-identical).
+std::unique_ptr<Sequential> make_small_cnn(const SmallCnnConfig& cfg,
+                                           Rng& rng);
+
+}  // namespace dct::nn

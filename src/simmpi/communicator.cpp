@@ -1,0 +1,138 @@
+#include "simmpi/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dct::simmpi {
+
+void Communicator::send_bytes(std::span<const std::byte> payload, int dest,
+                              int tag) {
+  DCT_CHECK_MSG(dest >= 0 && dest < size(),
+                "send to out-of-range rank " << dest);
+  transport().send(global_rank(dest), group_->context, rank_, tag, payload);
+}
+
+Status Communicator::recv_bytes(std::span<std::byte> buffer, int source,
+                                int tag) {
+  DCT_CHECK(source == kAnySource || (source >= 0 && source < size()));
+  auto msg = transport().recv(global_rank(rank_), group_->context, source, tag);
+  DCT_CHECK_MSG(msg.data.size() <= buffer.size(),
+                "message of " << msg.data.size()
+                              << " bytes does not fit receive buffer of "
+                              << buffer.size());
+  std::memcpy(buffer.data(), msg.data.data(), msg.data.size());
+  return Status{msg.source, msg.tag, msg.data.size()};
+}
+
+std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
+                                                    Status* status) {
+  auto msg = transport().recv(global_rank(rank_), group_->context, source, tag);
+  if (status != nullptr) {
+    *status = Status{msg.source, msg.tag, msg.data.size()};
+  }
+  return std::move(msg.data);
+}
+
+Status Communicator::probe(int source, int tag) {
+  return transport().probe(global_rank(rank_), group_->context, source, tag);
+}
+
+void Communicator::barrier() {
+  const int tag = next_collective_tag();
+  const int p = size();
+  const std::byte token{0};
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int to = (rank_ + dist) % p;
+    const int from = (rank_ - dist + p) % p;
+    send_bytes(std::span<const std::byte>(&token, 1), to, tag);
+    std::byte sink;
+    recv_bytes(std::span<std::byte>(&sink, 1), from, tag);
+  }
+}
+
+void Communicator::bcast_bytes(std::span<std::byte> data, int root) {
+  DCT_CHECK(root >= 0 && root < size());
+  const int tag = next_collective_tag();
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  // Binomial tree: climb masks until the bit that names my parent, receive,
+  // then fan out to children at every lower bit.
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % p;
+      recv_bytes(data, src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  for (; mask >= 1; mask >>= 1) {
+    const int child_vrank = vrank + mask;
+    if ((vrank & (mask - 1)) == 0 && (vrank & mask) == 0 && child_vrank < p) {
+      const int dest = (child_vrank + root) % p;
+      send_bytes(data, dest, tag);
+    }
+  }
+}
+
+Communicator Communicator::split(int color, int key) {
+  DCT_CHECK_MSG(color >= 0, "split color must be non-negative");
+  struct Entry {
+    int color;
+    int key;
+    int old_rank;
+  };
+  const Entry mine{color, key, rank_};
+  const int p = size();
+  std::vector<Entry> all(static_cast<std::size_t>(p));
+  allgather(std::span<const Entry>(&mine, 1), std::span<Entry>(all));
+
+  // Deterministically derive each color's context id on every member:
+  // rank 0 allocates one id per distinct color and broadcasts the map.
+  std::vector<int> colors;
+  for (const auto& e : all) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+  std::vector<std::uint64_t> contexts(colors.size());
+  if (rank_ == 0) {
+    for (auto& c : contexts) c = transport().new_context();
+  }
+  bcast(std::span<std::uint64_t>(contexts), 0);
+
+  // Members of my color, ordered by (key, old rank).
+  std::vector<Entry> mates;
+  for (const auto& e : all) {
+    if (e.color == color) mates.push_back(e);
+  }
+  std::sort(mates.begin(), mates.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.old_rank < b.old_rank;
+  });
+
+  auto group = std::make_shared<detail::Group>();
+  group->transport = group_->transport;
+  const auto color_idx = static_cast<std::size_t>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+  group->context = contexts[color_idx];
+  int new_rank = -1;
+  group->members.reserve(mates.size());
+  for (std::size_t i = 0; i < mates.size(); ++i) {
+    group->members.push_back(global_rank(mates[i].old_rank));
+    if (mates[i].old_rank == rank_) new_rank = static_cast<int>(i);
+  }
+  DCT_CHECK(new_rank >= 0);
+  return Communicator(std::move(group), new_rank);
+}
+
+Communicator Communicator::dup() {
+  std::uint64_t ctx = 0;
+  if (rank_ == 0) ctx = transport().new_context();
+  bcast(std::span<std::uint64_t>(&ctx, 1), 0);
+  auto group = std::make_shared<detail::Group>(*group_);
+  group->context = ctx;
+  return Communicator(std::move(group), rank_);
+}
+
+}  // namespace dct::simmpi

@@ -1,0 +1,354 @@
+// Communicator: the MPI-like endpoint each simulated rank programs against.
+//
+// Each rank owns its own Communicator handle; handles of the same
+// communicator share an immutable Group (context id + member list). All
+// collectives are implemented over tagged point-to-point messages, with a
+// per-handle operation sequence number providing a fresh internal tag per
+// collective call — MPI's usual "collectives are called in the same order
+// on all ranks" rule makes the sequence numbers agree across ranks.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simmpi/request.hpp"
+#include "simmpi/transport.hpp"
+#include "simmpi/types.hpp"
+#include "util/error.hpp"
+
+namespace dct::simmpi {
+
+namespace detail {
+struct Group {
+  Transport* transport = nullptr;
+  std::uint64_t context = 0;
+  std::vector<int> members;  ///< comm rank -> global rank
+};
+}  // namespace detail
+
+class Communicator {
+ public:
+  Communicator() = default;
+  Communicator(std::shared_ptr<const detail::Group> group, int rank)
+      : group_(std::move(group)), rank_(rank) {}
+
+  bool valid() const { return group_ != nullptr; }
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_->members.size()); }
+  std::uint64_t context() const { return group_->context; }
+  /// Global (world) rank backing a rank of this communicator.
+  int global_rank(int comm_rank) const {
+    DCT_CHECK(comm_rank >= 0 && comm_rank < size());
+    return group_->members[static_cast<std::size_t>(comm_rank)];
+  }
+  Transport& transport() const { return *group_->transport; }
+
+  // ---- point-to-point, byte level -----------------------------------
+
+  void send_bytes(std::span<const std::byte> payload, int dest, int tag = 0);
+
+  /// Receive into `buffer`; the matched message must fit. Returns the
+  /// actual (source, tag, byte count).
+  Status recv_bytes(std::span<std::byte> buffer, int source = kAnySource,
+                    int tag = kAnyTag);
+
+  /// Receive a message of unknown size.
+  std::vector<std::byte> recv_any_bytes(int source, int tag, Status* status);
+
+  Status probe(int source = kAnySource, int tag = kAnyTag);
+
+  // ---- point-to-point, typed ----------------------------------------
+
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(std::as_bytes(data), dest, tag);
+  }
+
+  template <typename T>
+  Status recv(std::span<T> data, int source = kAnySource, int tag = kAnyTag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_bytes(std::as_writable_bytes(data), source, tag);
+  }
+
+  template <typename T>
+  void send_value(const T& v, int dest, int tag = 0) {
+    send(std::span<const T>(&v, 1), dest, tag);
+  }
+
+  template <typename T>
+  T recv_value(int source = kAnySource, int tag = kAnyTag) {
+    T v{};
+    recv(std::span<T>(&v, 1), source, tag);
+    return v;
+  }
+
+  /// Combined send+recv (never deadlocks: sends are buffered).
+  template <typename T>
+  Status sendrecv(std::span<const T> send_data, int dest, int send_tag,
+                  std::span<T> recv_data, int source, int recv_tag) {
+    send(send_data, dest, send_tag);
+    return recv(recv_data, source, recv_tag);
+  }
+
+  // ---- nonblocking ---------------------------------------------------
+
+  template <typename T>
+  Request isend(std::span<const T> data, int dest, int tag = 0) {
+    send(data, dest, tag);  // buffered: completes eagerly
+    return Request::completed(Status{rank_, tag, data.size_bytes()});
+  }
+
+  template <typename T>
+  Request irecv(std::span<T> data, int source = kAnySource,
+                int tag = kAnyTag) {
+    return Request::deferred(
+        [this, data, source, tag] { return recv(data, source, tag); });
+  }
+
+  // ---- collectives ----------------------------------------------------
+
+  /// Dissemination barrier: ceil(log2(p)) rounds of zero-byte messages.
+  void barrier();
+
+  void bcast_bytes(std::span<std::byte> data, int root);
+
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    bcast_bytes(std::as_writable_bytes(data), root);
+  }
+
+  /// Binomial-tree reduce; `op(acc, incoming)` combines element-wise.
+  /// `data` is both input and (on root) output.
+  template <typename T, typename BinaryOp>
+  void reduce_inplace(std::span<T> data, int root, BinaryOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_collective_tag();
+    const int p = size();
+    const int vrank = (rank_ - root + p) % p;
+    std::vector<T> incoming(data.size());
+    // Standard binomial combine: at round k, vranks with bit k set send
+    // to vrank - 2^k; others receive from vrank + 2^k if it exists.
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (vrank & mask) {
+        const int dest = ((vrank - mask) + root) % p;
+        send(std::span<const T>(data.data(), data.size()), dest, tag);
+        return;  // this rank is done after sending its partial
+      }
+      const int src_vrank = vrank + mask;
+      if (src_vrank < p) {
+        const int src = (src_vrank + root) % p;
+        recv(std::span<T>(incoming), src, tag);
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          data[i] = op(data[i], incoming[i]);
+        }
+      }
+    }
+  }
+
+  /// Naive allreduce = reduce to rank 0, then broadcast. The optimized
+  /// algorithms live in the `allreduce` module; this is the correctness
+  /// fallback and the reference for their tests.
+  template <typename T, typename BinaryOp>
+  void allreduce_inplace(std::span<T> data, BinaryOp op) {
+    reduce_inplace(data, /*root=*/0, op);
+    bcast(data, /*root=*/0);
+  }
+
+  /// Ring allgather of fixed-size contributions. `all` must hold
+  /// size() * mine.size() elements; rank r's block lands at offset
+  /// r * mine.size().
+  template <typename T>
+  void allgather(std::span<const T> mine, std::span<T> all) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    const std::size_t block = mine.size();
+    DCT_CHECK_MSG(all.size() == block * static_cast<std::size_t>(p),
+                  "allgather output size mismatch");
+    const int tag = next_collective_tag();
+    std::memcpy(all.data() + static_cast<std::size_t>(rank_) * block,
+                mine.data(), block * sizeof(T));
+    const int right = (rank_ + 1) % p;
+    const int left = (rank_ - 1 + p) % p;
+    // At step s we forward the block that originated at rank - s.
+    for (int s = 0; s < p - 1; ++s) {
+      const int send_block = (rank_ - s + p) % p;
+      const int recv_block = (rank_ - s - 1 + p) % p;
+      send(std::span<const T>(
+               all.data() + static_cast<std::size_t>(send_block) * block,
+               block),
+           right, tag);
+      recv(std::span<T>(
+               all.data() + static_cast<std::size_t>(recv_block) * block,
+               block),
+           left, tag);
+    }
+  }
+
+  /// Allgather of one value per rank.
+  template <typename T>
+  std::vector<T> allgather_value(const T& v) {
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    allgather(std::span<const T>(&v, 1), std::span<T>(out));
+    return out;
+  }
+
+  /// Variable-size allgather. counts[r] elements contributed by rank r;
+  /// output blocks are packed in rank order.
+  template <typename T>
+  void allgatherv(std::span<const T> mine, std::span<T> all,
+                  std::span<const std::size_t> counts) {
+    const int p = size();
+    DCT_CHECK(static_cast<int>(counts.size()) == p);
+    DCT_CHECK(mine.size() == counts[static_cast<std::size_t>(rank_)]);
+    const int tag = next_collective_tag();
+    std::size_t offset = 0;
+    std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      displs[static_cast<std::size_t>(r)] = offset;
+      offset += counts[static_cast<std::size_t>(r)];
+    }
+    DCT_CHECK_MSG(all.size() == offset, "allgatherv output size mismatch");
+    // Buffered sends: broadcast my block to all peers, then collect.
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      send(mine, r, tag);
+    }
+    std::memcpy(all.data() + displs[static_cast<std::size_t>(rank_)],
+                mine.data(), mine.size_bytes());
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      recv(std::span<T>(all.data() + displs[static_cast<std::size_t>(r)],
+                        counts[static_cast<std::size_t>(r)]),
+           r, tag);
+    }
+  }
+
+  /// Gather fixed-size blocks to root (rank order).
+  template <typename T>
+  void gather(std::span<const T> mine, std::span<T> all, int root) {
+    const int p = size();
+    const std::size_t block = mine.size();
+    const int tag = next_collective_tag();
+    if (rank_ == root) {
+      DCT_CHECK(all.size() == block * static_cast<std::size_t>(p));
+      std::memcpy(all.data() + static_cast<std::size_t>(root) * block,
+                  mine.data(), block * sizeof(T));
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        recv(std::span<T>(all.data() + static_cast<std::size_t>(r) * block,
+                          block),
+             r, tag);
+      }
+    } else {
+      send(mine, root, tag);
+    }
+  }
+
+  /// Scatter fixed-size blocks from root (rank order).
+  template <typename T>
+  void scatter(std::span<const T> all, std::span<T> mine, int root) {
+    const int p = size();
+    const std::size_t block = mine.size();
+    const int tag = next_collective_tag();
+    if (rank_ == root) {
+      DCT_CHECK(all.size() == block * static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        send(std::span<const T>(
+                 all.data() + static_cast<std::size_t>(r) * block, block),
+             r, tag);
+      }
+      std::memcpy(mine.data(),
+                  all.data() + static_cast<std::size_t>(root) * block,
+                  block * sizeof(T));
+    } else {
+      recv(mine, root, tag);
+    }
+  }
+
+  /// Personalized all-to-all with per-destination counts/displacements
+  /// (element units). This is the workhorse of the DIMD shuffle
+  /// (paper Algorithm 2).
+  template <typename T>
+  void alltoallv(std::span<const T> send_buf,
+                 std::span<const std::size_t> send_counts,
+                 std::span<const std::size_t> send_displs,
+                 std::span<T> recv_buf,
+                 std::span<const std::size_t> recv_counts,
+                 std::span<const std::size_t> recv_displs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    DCT_CHECK(static_cast<int>(send_counts.size()) == p &&
+              static_cast<int>(send_displs.size()) == p &&
+              static_cast<int>(recv_counts.size()) == p &&
+              static_cast<int>(recv_displs.size()) == p);
+    const int tag = next_collective_tag();
+    // Pairwise-shifted schedule spreads traffic; buffered sends cannot
+    // block, so send-then-recv per shift is deadlock-free.
+    for (int shift = 0; shift < p; ++shift) {
+      const int dest = (rank_ + shift) % p;
+      const int src = (rank_ - shift + p) % p;
+      const auto sc = send_counts[static_cast<std::size_t>(dest)];
+      const auto rc = recv_counts[static_cast<std::size_t>(src)];
+      if (dest == rank_) {
+        DCT_CHECK(sc == rc);
+        if (sc > 0) {
+          std::memcpy(recv_buf.data() + recv_displs[static_cast<std::size_t>(src)],
+                      send_buf.data() + send_displs[static_cast<std::size_t>(dest)],
+                      sc * sizeof(T));
+        }
+        continue;
+      }
+      if (sc > 0) {
+        send(std::span<const T>(
+                 send_buf.data() + send_displs[static_cast<std::size_t>(dest)],
+                 sc),
+             dest, tag);
+      }
+      if (rc > 0) {
+        recv(std::span<T>(
+                 recv_buf.data() + recv_displs[static_cast<std::size_t>(src)],
+                 rc),
+             src, tag);
+      }
+    }
+  }
+
+  /// Equal-count all-to-all convenience wrapper.
+  template <typename T>
+  void alltoall(std::span<const T> send_buf, std::span<T> recv_buf) {
+    const int p = size();
+    DCT_CHECK(send_buf.size() == recv_buf.size() &&
+              send_buf.size() % static_cast<std::size_t>(p) == 0);
+    const std::size_t block = send_buf.size() / static_cast<std::size_t>(p);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p), block);
+    std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      displs[static_cast<std::size_t>(r)] = static_cast<std::size_t>(r) * block;
+    }
+    alltoallv<T>(send_buf, counts, displs, recv_buf, counts, displs);
+  }
+
+  // ---- communicator management ---------------------------------------
+
+  /// MPI_Comm_split: ranks sharing `color` form a new communicator,
+  /// ordered by (key, old rank). Collective over this communicator.
+  Communicator split(int color, int key);
+
+  /// Duplicate with a fresh context id (collective).
+  Communicator dup();
+
+ private:
+  int next_collective_tag() {
+    return kCollectiveTagBase + static_cast<int>(op_seq_++ & 0x07FFFFFF);
+  }
+
+  std::shared_ptr<const detail::Group> group_;
+  int rank_ = -1;
+  std::uint32_t op_seq_ = 0;
+};
+
+}  // namespace dct::simmpi

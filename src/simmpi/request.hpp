@@ -1,0 +1,65 @@
+// Nonblocking-operation handles.
+//
+// Sends in simmpi are buffered and complete eagerly, so an isend Request
+// is born complete. An irecv Request captures the receive arguments and
+// performs the blocking receive on wait() — legal because no send can
+// block on a matching receive in this transport.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "simmpi/types.hpp"
+#include "util/error.hpp"
+
+namespace dct::simmpi {
+
+class Request {
+ public:
+  /// An already-complete request (isend).
+  static Request completed(Status status) {
+    Request r;
+    r.status_ = status;
+    r.done_ = true;
+    return r;
+  }
+
+  /// A deferred request completed by running `completer` (irecv).
+  static Request deferred(std::function<Status()> completer) {
+    Request r;
+    r.completer_ = std::move(completer);
+    return r;
+  }
+
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// Block until the operation finishes; returns its Status.
+  Status wait() {
+    if (!done_) {
+      DCT_CHECK_MSG(completer_ != nullptr, "wait() on empty Request");
+      status_ = completer_();
+      completer_ = nullptr;
+      done_ = true;
+    }
+    return status_;
+  }
+
+  bool done() const { return done_; }
+
+ private:
+  std::function<Status()> completer_;
+  Status status_{};
+  bool done_ = false;
+};
+
+/// Wait on every request in the span.
+inline void wait_all(std::vector<Request>& requests) {
+  for (auto& r : requests) r.wait();
+}
+
+}  // namespace dct::simmpi

@@ -1,0 +1,58 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dct::simmpi {
+
+Runtime::Runtime(int nranks) : transport_(std::make_unique<Transport>(nranks)) {
+  DCT_CHECK_MSG(nranks >= 1 && nranks <= 4096,
+                "unreasonable rank count " << nranks);
+}
+
+void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
+  DCT_CHECK_MSG(!transport_->aborted(),
+                "runtime was aborted by a previous run; create a new one");
+  const int p = nranks();
+  auto group = std::make_shared<detail::Group>();
+  group->transport = transport_.get();
+  group->context = transport_->new_context();
+  group->members.resize(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) group->members[static_cast<std::size_t>(i)] = i;
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(group, r);
+      try {
+        rank_main(comm);
+      } catch (const Aborted&) {
+        // Secondary casualty of another rank's failure; ignore.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        transport_->abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Runtime::execute(int nranks,
+                      const std::function<void(Communicator&)>& rank_main) {
+  Runtime rt(nranks);
+  rt.run(rank_main);
+}
+
+}  // namespace dct::simmpi

@@ -1,0 +1,34 @@
+// Runtime: spawns N rank threads, hands each a world Communicator, and
+// propagates the first rank exception after aborting the others.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "simmpi/communicator.hpp"
+#include "simmpi/transport.hpp"
+
+namespace dct::simmpi {
+
+class Runtime {
+ public:
+  explicit Runtime(int nranks);
+
+  int nranks() const { return transport_->nranks(); }
+  Transport& transport() { return *transport_; }
+
+  /// Run `rank_main(comm)` on every rank concurrently; returns when all
+  /// ranks finish. If any rank throws, the others are aborted and the
+  /// first exception is rethrown here. Reusable: each call creates a
+  /// fresh world context (but reuses the transport and its counters).
+  void run(const std::function<void(Communicator&)>& rank_main);
+
+  /// One-shot convenience: construct, run, tear down.
+  static void execute(int nranks,
+                      const std::function<void(Communicator&)>& rank_main);
+
+ private:
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace dct::simmpi

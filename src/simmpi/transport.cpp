@@ -1,0 +1,116 @@
+#include "simmpi/transport.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dct::simmpi {
+
+namespace detail {
+
+void Mailbox::push(RawMessage msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::matches(const RawMessage& m, std::uint64_t context, int source,
+                      int tag) const {
+  if (m.context != context) return false;
+  if (source != kAnySource && m.source != source) return false;
+  if (tag != kAnyTag && m.tag != tag) return false;
+  return true;
+}
+
+RawMessage Mailbox::pop_matching(std::uint64_t context, int source, int tag,
+                                 const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted.load(std::memory_order_acquire)) throw Aborted();
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const RawMessage& m) {
+                             return matches(m, context, source, tag);
+                           });
+    if (it != queue_.end()) {
+      RawMessage msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+Status Mailbox::probe(std::uint64_t context, int source, int tag,
+                      const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted.load(std::memory_order_acquire)) throw Aborted();
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const RawMessage& m) {
+                             return matches(m, context, source, tag);
+                           });
+    if (it != queue_.end()) {
+      return Status{it->source, it->tag, it->data.size()};
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace detail
+
+Transport::Transport(int nranks) {
+  DCT_CHECK_MSG(nranks > 0, "transport needs at least one rank");
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    boxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+}
+
+void Transport::send(int dest_global, std::uint64_t context, int source,
+                     int tag, std::span<const std::byte> payload) {
+  DCT_CHECK_MSG(dest_global >= 0 && dest_global < nranks(),
+                "send to out-of-range global rank " << dest_global);
+  if (aborted()) throw Aborted();
+  detail::RawMessage msg;
+  msg.context = context;
+  msg.source = source;
+  msg.tag = tag;
+  msg.data.assign(payload.begin(), payload.end());
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  boxes_[static_cast<std::size_t>(dest_global)]->push(std::move(msg));
+}
+
+detail::RawMessage Transport::recv(int self_global, std::uint64_t context,
+                                   int source, int tag) {
+  DCT_CHECK(self_global >= 0 && self_global < nranks());
+  return boxes_[static_cast<std::size_t>(self_global)]->pop_matching(
+      context, source, tag, aborted_);
+}
+
+Status Transport::probe(int self_global, std::uint64_t context, int source,
+                        int tag) {
+  DCT_CHECK(self_global >= 0 && self_global < nranks());
+  return boxes_[static_cast<std::size_t>(self_global)]->probe(context, source,
+                                                              tag, aborted_);
+}
+
+std::uint64_t Transport::new_context() {
+  return next_context_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Transport::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) box->interrupt();
+}
+
+}  // namespace dct::simmpi

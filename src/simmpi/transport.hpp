@@ -1,0 +1,117 @@
+// In-process message transport: one mailbox per simulated rank.
+//
+// Semantics follow MPI's buffered eager protocol: sends copy the payload
+// into the destination mailbox and complete immediately; receives block
+// until a matching message (context, source, tag) arrives. Non-overtaking
+// order is preserved per (source, tag) pair because enqueue order equals
+// program order under the mailbox lock.
+//
+// A cooperative abort flag lets the runtime unwind all ranks when any one
+// of them throws, instead of deadlocking the remaining receives.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "simmpi/types.hpp"
+
+namespace dct::simmpi {
+
+/// Thrown out of blocked operations when the runtime aborts.
+class Aborted : public std::runtime_error {
+ public:
+  Aborted() : std::runtime_error("simmpi runtime aborted") {}
+};
+
+namespace detail {
+
+struct RawMessage {
+  std::uint64_t context = 0;  ///< Communicator context id.
+  int source = 0;             ///< Sender's rank *within that communicator*.
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+class Mailbox {
+ public:
+  void push(RawMessage msg);
+
+  /// Block until a message matching (context, source-or-any, tag-or-any)
+  /// is available, remove and return it. Throws Aborted on runtime abort.
+  RawMessage pop_matching(std::uint64_t context, int source, int tag,
+                          const std::atomic<bool>& aborted);
+
+  /// Block until a match is available and return (source, tag, size)
+  /// without removing it.
+  Status probe(std::uint64_t context, int source, int tag,
+               const std::atomic<bool>& aborted);
+
+  /// Wake all waiters (used on abort).
+  void interrupt();
+
+  /// Number of queued messages (diagnostics).
+  std::size_t pending() const;
+
+ private:
+  bool matches(const RawMessage& m, std::uint64_t context, int source,
+               int tag) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<RawMessage> queue_;
+};
+
+}  // namespace detail
+
+/// Owns the mailboxes for all global ranks of one Runtime instance plus
+/// shared counters (context-id allocation, traffic statistics).
+class Transport {
+ public:
+  explicit Transport(int nranks);
+
+  int nranks() const { return static_cast<int>(boxes_.size()); }
+
+  /// Deliver a payload to `dest_global`'s mailbox. `source` is the
+  /// sender's rank within the communicator identified by `context`.
+  void send(int dest_global, std::uint64_t context, int source, int tag,
+            std::span<const std::byte> payload);
+
+  /// Blocking receive on `self_global`'s mailbox.
+  detail::RawMessage recv(int self_global, std::uint64_t context, int source,
+                          int tag);
+
+  Status probe(int self_global, std::uint64_t context, int source, int tag);
+
+  /// Allocate a fresh communicator context id (thread-safe).
+  std::uint64_t new_context();
+
+  /// Abort: wake every blocked receive with Aborted.
+  void abort();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Cumulative bytes pushed through the transport (all ranks).
+  std::uint64_t total_bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative message count.
+  std::uint64_t total_messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<detail::Mailbox>> boxes_;
+  std::atomic<std::uint64_t> next_context_{1};
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_{0};
+};
+
+}  // namespace dct::simmpi

@@ -1,0 +1,25 @@
+// Shared constants and small value types for the simmpi runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dct::simmpi {
+
+/// Wildcard source for recv, mirroring MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for recv, mirroring MPI_ANY_TAG.
+inline constexpr int kAnyTag = -1;
+
+/// Tags at or above this value are reserved for internal collective
+/// traffic; user point-to-point tags must stay below it.
+inline constexpr int kCollectiveTagBase = 1 << 28;
+
+/// Completion record of a receive.
+struct Status {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+}  // namespace dct::simmpi

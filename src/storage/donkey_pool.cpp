@@ -1,0 +1,79 @@
+#include "storage/donkey_pool.hpp"
+
+#include <algorithm>
+
+#include "data/codec.hpp"
+#include "util/error.hpp"
+
+namespace dct::storage {
+
+DonkeyPool::DonkeyPool(data::RecordFile& file, data::ImageDef image,
+                       int threads)
+    : file_(file), image_(image), pool_(static_cast<std::size_t>(
+                                       std::max(1, threads))) {}
+
+std::future<LoadedBatch> DonkeyPool::submit_batch(std::int64_t n,
+                                                  std::uint64_t seed) {
+  auto promise = std::make_shared<std::promise<LoadedBatch>>();
+  auto fut = promise->get_future();
+  pool_.submit([this, n, seed, promise] {
+    try {
+      promise->set_value(assemble(n, seed));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+LoadedBatch DonkeyPool::load_batch(std::int64_t n, std::uint64_t seed) {
+  return submit_batch(n, seed).get();
+}
+
+LoadedBatch DonkeyPool::assemble(std::int64_t n, std::uint64_t seed) {
+  DCT_CHECK_MSG(file_.size() > 0, "empty record file");
+  Rng rng(seed);
+  LoadedBatch batch;
+  batch.images = tensor::Tensor(
+      {n, image_.channels, image_.height, image_.width});
+  batch.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t pix = image_.pixels();
+  for (std::int64_t b = 0; b < n; ++b) {
+    const std::uint64_t idx = rng.next_below(file_.size());
+    std::vector<std::uint8_t> blob;
+    std::int32_t label;
+    {
+      // One reader at a time — the single filesystem channel.
+      std::lock_guard<std::mutex> lock(file_mutex_);
+      blob = file_.read_record(idx);
+      label = file_.entry(idx).label;
+    }
+    const auto raw = data::codec_decode(blob);
+    DCT_CHECK(static_cast<std::int64_t>(raw.size()) == pix);
+    data::pixels_to_float(
+        raw, std::span<float>(batch.images.data() + b * pix,
+                              static_cast<std::size_t>(pix)));
+    batch.labels[static_cast<std::size_t>(b)] = label;
+  }
+  return batch;
+}
+
+double donkey_images_per_second(const SimFilesystem& fs,
+                                std::uint64_t avg_image_bytes, int threads,
+                                int nodes, double decode_bw_Bps) {
+  DCT_CHECK(threads >= 1 && nodes >= 1);
+  // Every node runs `threads` concurrent random-read streams.
+  const int streams = threads * nodes;
+  const double read_s = fs.random_read_time(avg_image_bytes, streams);
+  const double decode_s = static_cast<double>(avg_image_bytes * 4) /
+                          decode_bw_Bps;  // decompressed ≈ 4× JPEG bytes
+  const double per_image_s = read_s + decode_s;
+  const double node_rate = threads / per_image_s;
+  // The array's aggregate bandwidth caps total image bytes served.
+  const double array_rate = fs.config().aggregate_bw_Bps /
+                            static_cast<double>(avg_image_bytes) /
+                            static_cast<double>(nodes);
+  return std::min(node_rate, array_rate);
+}
+
+}  // namespace dct::storage

@@ -1,0 +1,64 @@
+// The baseline Torch data-loading path: "donkey" worker threads fetch
+// individual images with random reads and decode them (§4.1). Two
+// facets:
+//
+//   • DonkeyPool — a real worker pool that loads and decodes batches
+//     from a RecordFile (used by the functional trainer's baseline mode
+//     and by tests; the record file stands in for the per-image JPEG
+//     directory).
+//   • donkey_images_per_second — the analytic throughput of that
+//     pipeline against the simulated network filesystem, used by the
+//     epoch-time model to reproduce Figures 10–11.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "data/record_file.hpp"
+#include "storage/sim_filesystem.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dct::storage {
+
+struct LoadedBatch {
+  tensor::Tensor images;
+  std::vector<std::int32_t> labels;
+};
+
+class DonkeyPool {
+ public:
+  /// `threads` donkeys serving batches from `file` (not owned; must
+  /// outlive the pool). Reads are serialised on the file like the
+  /// single NFS channel they model.
+  DonkeyPool(data::RecordFile& file, data::ImageDef image, int threads);
+
+  /// Asynchronously assemble a batch of `n` randomly sampled images;
+  /// `seed` fixes the sample.
+  std::future<LoadedBatch> submit_batch(std::int64_t n, std::uint64_t seed);
+
+  /// Synchronous convenience.
+  LoadedBatch load_batch(std::int64_t n, std::uint64_t seed);
+
+  int threads() const { return static_cast<int>(pool_.size()); }
+
+ private:
+  LoadedBatch assemble(std::int64_t n, std::uint64_t seed);
+
+  data::RecordFile& file_;
+  data::ImageDef image_;
+  std::mutex file_mutex_;
+  ThreadPool pool_;
+};
+
+/// Analytic throughput (images/s) of one node's donkey pipeline:
+/// `threads` workers each cycling random-read (vs the shared filesystem
+/// serving `nodes` clients) + in-memory decode.
+double donkey_images_per_second(const SimFilesystem& fs,
+                                std::uint64_t avg_image_bytes, int threads,
+                                int nodes, double decode_bw_Bps = 1.5e9);
+
+}  // namespace dct::storage

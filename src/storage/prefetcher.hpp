@@ -1,0 +1,57 @@
+// Double-buffered batch prefetching.
+//
+// The whole point of the Torch donkey design is to hide data loading
+// behind GPU compute; this helper makes that explicit and reusable: it
+// keeps `depth` batch requests in flight and hands them out in issue
+// order, so the consumer blocks only when the producer genuinely cannot
+// keep up (the condition the paper's §4.1 diagnoses).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+
+#include "storage/donkey_pool.hpp"
+#include "util/error.hpp"
+
+namespace dct::storage {
+
+class BatchPrefetcher {
+ public:
+  using Loader = std::function<std::future<LoadedBatch>(std::uint64_t seq)>;
+
+  /// `loader(seq)` must start loading the seq-th batch and return its
+  /// future; `depth` ≥ 1 requests are kept in flight.
+  BatchPrefetcher(Loader loader, int depth)
+      : loader_(std::move(loader)), depth_(depth) {
+    DCT_CHECK_MSG(depth_ >= 1, "prefetch depth must be positive");
+    refill();
+  }
+
+  /// Blocking: the next batch, in sequence order.
+  LoadedBatch next() {
+    refill();
+    auto fut = std::move(inflight_.front());
+    inflight_.pop_front();
+    LoadedBatch batch = fut.get();
+    refill();
+    return batch;
+  }
+
+  std::uint64_t issued() const { return next_seq_; }
+
+ private:
+  void refill() {
+    while (static_cast<int>(inflight_.size()) < depth_) {
+      inflight_.push_back(loader_(next_seq_++));
+    }
+  }
+
+  Loader loader_;
+  int depth_;
+  std::uint64_t next_seq_ = 0;
+  std::deque<std::future<LoadedBatch>> inflight_;
+};
+
+}  // namespace dct::storage

@@ -1,0 +1,28 @@
+#include "storage/sim_filesystem.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dct::storage {
+
+double SimFilesystem::effective_stream_bw(int concurrent_streams) const {
+  DCT_CHECK(concurrent_streams >= 1);
+  return std::min(cfg_.stream_bw_Bps,
+                  cfg_.aggregate_bw_Bps / concurrent_streams);
+}
+
+double SimFilesystem::random_read_time(std::uint64_t bytes,
+                                       int concurrent_streams) const {
+  return cfg_.request_latency_s +
+         static_cast<double>(bytes) / effective_stream_bw(concurrent_streams);
+}
+
+double SimFilesystem::sequential_read_time(std::uint64_t bytes,
+                                           int concurrent_streams) const {
+  // One request's latency amortised over the whole streaming read.
+  return cfg_.request_latency_s +
+         static_cast<double>(bytes) / effective_stream_bw(concurrent_streams);
+}
+
+}  // namespace dct::storage

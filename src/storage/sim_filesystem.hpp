@@ -1,0 +1,44 @@
+// Shared-filesystem performance model.
+//
+// The paper's baseline bottleneck (§4.1): Torch donkey threads issue
+// random reads of individual JPEG files against a network filesystem and
+// cannot keep 4 P100s fed. We model the filesystem with three numbers —
+// per-request latency, per-stream bandwidth, and an aggregate array
+// limit shared by all clients — which is enough to reproduce the
+// random-vs-bulk asymmetry DIMD exploits.
+#pragma once
+
+#include <cstdint>
+
+namespace dct::storage {
+
+struct SimFsConfig {
+  /// Latency of one random file open+seek against the network FS.
+  double request_latency_s = 6.5e-3;
+  /// Sequential bandwidth of a single client stream.
+  double stream_bw_Bps = 400.0e6;
+  /// Aggregate bandwidth of the storage array across all clients.
+  double aggregate_bw_Bps = 4.0e9;
+};
+
+class SimFilesystem {
+ public:
+  explicit SimFilesystem(SimFsConfig cfg = {}) : cfg_(cfg) {}
+
+  const SimFsConfig& config() const { return cfg_; }
+
+  /// Effective bandwidth one of `concurrent_streams` clients sees.
+  double effective_stream_bw(int concurrent_streams) const;
+
+  /// Time for one random-access read of `bytes` (per-image fetch).
+  double random_read_time(std::uint64_t bytes, int concurrent_streams) const;
+
+  /// Time for one bulk sequential read of `bytes` (partition load).
+  double sequential_read_time(std::uint64_t bytes,
+                              int concurrent_streams) const;
+
+ private:
+  SimFsConfig cfg_;
+};
+
+}  // namespace dct::storage

@@ -1,0 +1,425 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dct::tensor {
+
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha, float beta) {
+  DCT_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const std::int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  DCT_CHECK_MSG(k == kb, "gemm inner dimension mismatch " << k << " vs " << kb);
+  DCT_CHECK(c.dim(0) == m && c.dim(1) == n);
+
+  auto a_at = [&](std::int64_t i, std::int64_t j) {
+    return trans_a ? a.at(j, i) : a.at(i, j);
+  };
+  auto b_at = [&](std::int64_t i, std::int64_t j) {
+    return trans_b ? b.at(j, i) : b.at(i, j);
+  };
+
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    scale(c, beta);
+  }
+  // i-k-j loop order: the inner j loop streams through rows of B and C.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * a_at(i, kk);
+      if (av == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = b.data() + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * b_at(kk, j);
+      }
+    }
+  }
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  DCT_CHECK(x.numel() == y.numel());
+  const float* xs = x.data();
+  float* ys = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void scale(Tensor& x, float alpha) {
+  float* xs = x.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) xs[i] *= alpha;
+}
+
+double sum(const Tensor& x) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) s += x[i];
+  return s;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dShape& s) {
+  DCT_CHECK(input.rank() == 4);
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  DCT_CHECK(c == s.in_channels);
+  const std::int64_t ho = s.out_size(h), wo = s.out_size(w);
+  DCT_CHECK_MSG(ho > 0 && wo > 0, "conv output collapsed to zero");
+  Tensor cols({c * s.kernel * s.kernel, n * ho * wo});
+  const std::int64_t col_w = n * ho * wo;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t ki = 0; ki < s.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < s.kernel; ++kj) {
+        const std::int64_t row = (ch * s.kernel + ki) * s.kernel + kj;
+        float* dst = cols.data() + row * col_w;
+        for (std::int64_t img = 0; img < n; ++img) {
+          for (std::int64_t oi = 0; oi < ho; ++oi) {
+            const std::int64_t ii = oi * s.stride - s.pad + ki;
+            for (std::int64_t oj = 0; oj < wo; ++oj) {
+              const std::int64_t jj = oj * s.stride - s.pad + kj;
+              const std::int64_t idx = (img * ho + oi) * wo + oj;
+              dst[idx] = (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                             ? input.at(img, ch, ii, jj)
+                             : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dShape& s, std::int64_t n,
+              std::int64_t h, std::int64_t w) {
+  const std::int64_t c = s.in_channels;
+  const std::int64_t ho = s.out_size(h), wo = s.out_size(w);
+  DCT_CHECK(cols.dim(0) == c * s.kernel * s.kernel);
+  DCT_CHECK(cols.dim(1) == n * ho * wo);
+  Tensor out({n, c, h, w});
+  const std::int64_t col_w = n * ho * wo;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t ki = 0; ki < s.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < s.kernel; ++kj) {
+        const std::int64_t row = (ch * s.kernel + ki) * s.kernel + kj;
+        const float* src = cols.data() + row * col_w;
+        for (std::int64_t img = 0; img < n; ++img) {
+          for (std::int64_t oi = 0; oi < ho; ++oi) {
+            const std::int64_t ii = oi * s.stride - s.pad + ki;
+            if (ii < 0 || ii >= h) continue;
+            for (std::int64_t oj = 0; oj < wo; ++oj) {
+              const std::int64_t jj = oj * s.stride - s.pad + kj;
+              if (jj < 0 || jj >= w) continue;
+              out.at(img, ch, ii, jj) += src[(img * ho + oi) * wo + oj];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dShape& s) {
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t ho = s.out_size(h), wo = s.out_size(w);
+  DCT_CHECK(weight.dim(0) == s.out_channels);
+  DCT_CHECK(weight.dim(1) == s.in_channels * s.kernel * s.kernel);
+  const Tensor cols = im2col(input, s);
+  Tensor flat({s.out_channels, n * ho * wo});
+  gemm(weight, false, cols, false, flat);
+  // [Co, N·Ho·Wo] → [N, Co, Ho, Wo] (+bias)
+  Tensor out({n, s.out_channels, ho, wo});
+  const bool has_bias = bias.numel() > 0;
+  for (std::int64_t co = 0; co < s.out_channels; ++co) {
+    const float b = has_bias ? bias[co] : 0.0f;
+    const float* src = flat.data() + co * (n * ho * wo);
+    for (std::int64_t img = 0; img < n; ++img) {
+      float* dst = out.data() + ((img * s.out_channels + co) * ho) * wo;
+      const float* s2 = src + img * ho * wo;
+      for (std::int64_t i = 0; i < ho * wo; ++i) dst[i] = s2[i] + b;
+    }
+  }
+  return out;
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_out, const Conv2dShape& s,
+                     Tensor& grad_input, Tensor& grad_weight,
+                     Tensor& grad_bias) {
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t ho = s.out_size(h), wo = s.out_size(w);
+  DCT_CHECK(grad_out.dim(0) == n && grad_out.dim(1) == s.out_channels &&
+            grad_out.dim(2) == ho && grad_out.dim(3) == wo);
+
+  // Rearrange upstream grad to [Co, N·Ho·Wo].
+  Tensor g({s.out_channels, n * ho * wo});
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t co = 0; co < s.out_channels; ++co) {
+      const float* src =
+          grad_out.data() + ((img * s.out_channels + co) * ho) * wo;
+      float* dst = g.data() + co * (n * ho * wo) + img * ho * wo;
+      std::copy(src, src + ho * wo, dst);
+    }
+  }
+
+  const Tensor cols = im2col(input, s);
+  // dW = g · colsᵀ
+  gemm(g, false, cols, true, grad_weight);
+  // dBias = row sums of g.
+  if (grad_bias.numel() > 0) {
+    for (std::int64_t co = 0; co < s.out_channels; ++co) {
+      double acc = 0.0;
+      const float* row = g.data() + co * (n * ho * wo);
+      for (std::int64_t i = 0; i < n * ho * wo; ++i) acc += row[i];
+      grad_bias[co] = static_cast<float>(acc);
+    }
+  }
+  // dX = col2im(Wᵀ · g)
+  Tensor dcols({s.in_channels * s.kernel * s.kernel, n * ho * wo});
+  gemm(weight, true, g, false, dcols);
+  grad_input = col2im(dcols, s, n, h, w);
+}
+
+void relu_forward(const Tensor& x, Tensor& y) {
+  DCT_CHECK(x.numel() == y.numel());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+}
+
+void relu_backward(const Tensor& x, const Tensor& grad_out, Tensor& grad_in) {
+  DCT_CHECK(x.numel() == grad_out.numel() && x.numel() == grad_in.numel());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    grad_in[i] = x[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+}
+
+Tensor maxpool_forward(const Tensor& input, std::int64_t kernel,
+                       std::int64_t stride,
+                       std::vector<std::int64_t>& argmax) {
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t ho = (h - kernel) / stride + 1;
+  const std::int64_t wo = (w - kernel) / stride + 1;
+  DCT_CHECK(ho > 0 && wo > 0);
+  Tensor out({n, c, ho, wo});
+  argmax.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::int64_t oidx = 0;
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t oi = 0; oi < ho; ++oi) {
+        for (std::int64_t oj = 0; oj < wo; ++oj, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ki = 0; ki < kernel; ++ki) {
+            for (std::int64_t kj = 0; kj < kernel; ++kj) {
+              const std::int64_t ii = oi * stride + ki;
+              const std::int64_t jj = oj * stride + kj;
+              const float v = input.at(img, ch, ii, jj);
+              if (v > best) {
+                best = v;
+                best_idx = ((img * c + ch) * h + ii) * w + jj;
+              }
+            }
+          }
+          out[oidx] = best;
+          argmax[static_cast<std::size_t>(oidx)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool_backward(const Tensor& grad_out,
+                        const std::vector<std::int64_t>& argmax,
+                        const std::vector<std::int64_t>& input_shape) {
+  Tensor grad_in(input_shape);
+  DCT_CHECK(static_cast<std::size_t>(grad_out.numel()) == argmax.size());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[argmax[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+Tensor global_avgpool_forward(const Tensor& input) {
+  const std::int64_t n = input.dim(0), c = input.dim(1),
+                     hw = input.dim(2) * input.dim(3);
+  Tensor out({n, c});
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* src = input.data() + (img * c + ch) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += src[i];
+      out.at(img, ch) = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_out,
+                               const std::vector<std::int64_t>& input_shape) {
+  Tensor grad_in(input_shape);
+  const std::int64_t n = input_shape[0], c = input_shape[1],
+                     hw = input_shape[2] * input_shape[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      float* dst = grad_in.data() + (img * c + ch) * hw;
+      const float g = grad_out.at(img, ch) * inv;
+      for (std::int64_t i = 0; i < hw; ++i) dst[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps,
+                         BatchNormCache& cache) {
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  DCT_CHECK(gamma.numel() == c && beta.numel() == c);
+  const std::int64_t count = n * hw;
+  DCT_CHECK_MSG(count > 0, "batch norm over empty batch");
+  cache.mean.assign(static_cast<std::size_t>(c), 0.0f);
+  cache.inv_std.assign(static_cast<std::size_t>(c), 0.0f);
+  cache.x_hat = Tensor(x.shape());
+  Tensor out(x.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double mean = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = x.data() + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) mean += src[i];
+    }
+    mean /= static_cast<double>(count);
+    double var = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = x.data() + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const double d = src[i] - mean;
+        var += d * d;
+      }
+    }
+    var /= static_cast<double>(count);
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    cache.mean[static_cast<std::size_t>(ch)] = static_cast<float>(mean);
+    cache.inv_std[static_cast<std::size_t>(ch)] = inv_std;
+    const float g = gamma[ch], b = beta[ch];
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* src = x.data() + (img * c + ch) * hw;
+      float* xh = cache.x_hat.data() + (img * c + ch) * hw;
+      float* dst = out.data() + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        xh[i] = (src[i] - static_cast<float>(mean)) * inv_std;
+        dst[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return out;
+}
+
+void batchnorm_backward(const Tensor& grad_out, const Tensor& gamma,
+                        const BatchNormCache& cache, Tensor& grad_in,
+                        Tensor& grad_gamma, Tensor& grad_beta) {
+  const auto& xh = cache.x_hat;
+  const std::int64_t n = xh.dim(0), c = xh.dim(1), hw = xh.dim(2) * xh.dim(3);
+  const std::int64_t count = n * hw;
+  grad_in = Tensor(xh.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double dgamma = 0.0, dbeta = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* go = grad_out.data() + (img * c + ch) * hw;
+      const float* x = xh.data() + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        dgamma += static_cast<double>(go[i]) * x[i];
+        dbeta += go[i];
+      }
+    }
+    grad_gamma[ch] = static_cast<float>(dgamma);
+    grad_beta[ch] = static_cast<float>(dbeta);
+    const float g = gamma[ch];
+    const float inv_std = cache.inv_std[static_cast<std::size_t>(ch)];
+    const float k1 = static_cast<float>(dbeta) / static_cast<float>(count);
+    const float k2 = static_cast<float>(dgamma) / static_cast<float>(count);
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* go = grad_out.data() + (img * c + ch) * hw;
+      const float* x = xh.data() + (img * c + ch) * hw;
+      float* gi = grad_in.data() + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        gi[i] = g * inv_std * (go[i] - k1 - x[i] * k2);
+      }
+    }
+  }
+}
+
+Tensor softmax(const Tensor& logits) {
+  DCT_CHECK(logits.rank() == 2);
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* dst = out.data() + i * k;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      dst[j] = std::exp(row[j] - mx);
+      z += dst[j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::int64_t j = 0; j < k; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+float softmax_cross_entropy(const Tensor& logits,
+                            std::span<const std::int32_t> labels,
+                            Tensor& grad_logits) {
+  return softmax_cross_entropy_scaled(
+      logits, labels, grad_logits,
+      1.0f / static_cast<float>(logits.dim(0)));
+}
+
+float softmax_cross_entropy_scaled(const Tensor& logits,
+                                   std::span<const std::int32_t> labels,
+                                   Tensor& grad_logits, float inv_denom) {
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  DCT_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+  grad_logits = softmax(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t y = labels[static_cast<std::size_t>(i)];
+    DCT_CHECK(y >= 0 && y < k);
+    const float p = std::max(grad_logits.at(i, y), 1e-12f);
+    loss -= std::log(p);
+    grad_logits.at(i, y) -= 1.0f;
+  }
+  scale(grad_logits, inv_denom);
+  return static_cast<float>(loss) * inv_denom;
+}
+
+double top1_accuracy(const Tensor& logits,
+                     std::span<const std::int32_t> labels) {
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  DCT_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+  if (n == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    correct += (best == labels[static_cast<std::size_t>(i)]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace dct::tensor

@@ -1,0 +1,108 @@
+// Dense kernels the layers are built from. All operate on contiguous
+// row-major float32 tensors; shapes are validated with DCT_CHECK.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dct::tensor {
+
+// ---- BLAS-ish ---------------------------------------------------------
+
+/// C = alpha·op(A)·op(B) + beta·C, with op controlled by the transpose
+/// flags. A is [m,k] (or [k,m] if trans_a), B is [k,n] (or [n,k]),
+/// C is [m,n]. Blocked loops; single-threaded determinism.
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha = 1.0f, float beta = 0.0f);
+
+/// y += alpha·x (flat).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// x *= alpha (flat).
+void scale(Tensor& x, float alpha);
+
+/// Σ x_i.
+double sum(const Tensor& x);
+
+// ---- convolution (NCHW, im2col) --------------------------------------
+
+struct Conv2dShape {
+  std::int64_t in_channels = 0, out_channels = 0;
+  std::int64_t kernel = 1, stride = 1, pad = 0;
+
+  std::int64_t out_size(std::int64_t in) const {
+    return (in + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// Unfold input [N,C,H,W] into columns [C·k·k, N·Ho·Wo].
+Tensor im2col(const Tensor& input, const Conv2dShape& s);
+
+/// Fold columns back, accumulating overlapping windows (conv backward).
+Tensor col2im(const Tensor& cols, const Conv2dShape& s, std::int64_t n,
+              std::int64_t h, std::int64_t w);
+
+/// Forward conv: weight [Co, C·k·k], bias [Co] (optional, may be empty).
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dShape& s);
+
+/// Gradients of conv given upstream grad [N,Co,Ho,Wo].
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_out, const Conv2dShape& s,
+                     Tensor& grad_input, Tensor& grad_weight,
+                     Tensor& grad_bias);
+
+// ---- elementwise / pooling / normalisation ---------------------------
+
+void relu_forward(const Tensor& x, Tensor& y);
+/// grad_in = grad_out ⊙ [x > 0]
+void relu_backward(const Tensor& x, const Tensor& grad_out, Tensor& grad_in);
+
+/// 2×2-style max pooling with stride; returns output and records argmax
+/// indices (flat into input) for the backward pass.
+Tensor maxpool_forward(const Tensor& input, std::int64_t kernel,
+                       std::int64_t stride, std::vector<std::int64_t>& argmax);
+Tensor maxpool_backward(const Tensor& grad_out,
+                        const std::vector<std::int64_t>& argmax,
+                        const std::vector<std::int64_t>& input_shape);
+
+/// Global average pooling [N,C,H,W] → [N,C].
+Tensor global_avgpool_forward(const Tensor& input);
+Tensor global_avgpool_backward(const Tensor& grad_out,
+                               const std::vector<std::int64_t>& input_shape);
+
+/// Per-channel batch norm over N,H,W. Returns normalised output and the
+/// saved statistics needed by backward.
+struct BatchNormCache {
+  Tensor x_hat;         ///< normalised activations
+  std::vector<float> mean, inv_std;
+};
+Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps, BatchNormCache& cache);
+void batchnorm_backward(const Tensor& grad_out, const Tensor& gamma,
+                        const BatchNormCache& cache, Tensor& grad_in,
+                        Tensor& grad_gamma, Tensor& grad_beta);
+
+// ---- classification head ----------------------------------------------
+
+/// Row-wise softmax of logits [N, classes].
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of logits against integer labels; also emits
+/// d(loss)/d(logits) (already divided by N).
+float softmax_cross_entropy(const Tensor& logits,
+                            std::span<const std::int32_t> labels,
+                            Tensor& grad_logits);
+
+/// Cross-entropy with an explicit normaliser: loss = Σᵢ CEᵢ · inv_denom,
+/// grad rows scaled by inv_denom. Lets a data-parallel criterion shard
+/// compute its slice with the *global* batch denominator, so the sum of
+/// shard losses/grads is bit-identical to the unsharded evaluation.
+float softmax_cross_entropy_scaled(const Tensor& logits,
+                                   std::span<const std::int32_t> labels,
+                                   Tensor& grad_logits, float inv_denom);
+
+/// Top-1 accuracy of logits against labels, in [0, 1].
+double top1_accuracy(const Tensor& logits,
+                     std::span<const std::int32_t> labels);
+
+}  // namespace dct::tensor

@@ -1,0 +1,60 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dct::tensor {
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  numel_ = 1;
+  for (auto d : shape_) {
+    DCT_CHECK_MSG(d >= 0, "negative tensor dimension " << d);
+    numel_ *= d;
+  }
+  data_.assign(static_cast<std::size_t>(numel_), 0.0f);
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::kaiming(std::vector<std::int64_t> shape, std::int64_t fan_in,
+                       Rng& rng) {
+  Tensor t(std::move(shape));
+  DCT_CHECK(fan_in > 0);
+  const float std_dev =
+      std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.next_gaussian()) * std_dev;
+  }
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const {
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = 1;
+  for (auto d : t.shape_) t.numel_ *= d;
+  DCT_CHECK_MSG(t.numel_ == numel_, "reshape element count mismatch");
+  t.data_ = data_;
+  return t;
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  DCT_CHECK(shape_ == other.shape_);
+  float m = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace dct::tensor

@@ -1,0 +1,93 @@
+// Minimal dense float32 tensor.
+//
+// The functional training path (layers, SGD, gradient checks, DPT
+// equivalence tests) runs on real math over these tensors. Layout is
+// always contiguous row-major; views/strides are deliberately out of
+// scope — layers copy where a framework would alias, which keeps the
+// aliasing rules trivial and the numerics reproducible.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dct::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  static Tensor zeros(std::vector<std::int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  /// He/Kaiming-normal initialisation with the given fan-in.
+  static Tensor kaiming(std::vector<std::int64_t> shape, std::int64_t fan_in,
+                        Rng& rng);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    DCT_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return std::span<float>(data_); }
+  std::span<const float> flat() const { return std::span<const float>(data_); }
+
+  float& operator[](std::int64_t i) {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D indexing (rank must be 2).
+  float& at(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  float at(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  /// 4-D indexing (rank must be 4; NCHW).
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Reinterpret with a new shape of identical element count.
+  Tensor reshaped(std::vector<std::int64_t> new_shape) const;
+
+  /// Deep equality (exact bit comparison).
+  bool equals(const Tensor& other) const;
+
+  /// Max |a-b| over elements; shapes must match.
+  float max_abs_diff(const Tensor& other) const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::int64_t numel_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dct::tensor

@@ -1,0 +1,129 @@
+#include "trainer/async_trainer.hpp"
+
+#include <cstring>
+#include <deque>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dct::trainer {
+
+namespace {
+
+// Message tags of the parameter-server protocol.
+constexpr int kGradTag = 101;    // worker → server: [version u64][loss f32][grads…]
+constexpr int kWeightTag = 102;  // server → worker: [version u64][weights…]
+constexpr int kDoneTag = 103;    // worker → server: zero-byte retirement
+
+std::vector<std::byte> pack_grad(std::uint64_t version, float loss,
+                                 std::span<const float> grads) {
+  std::vector<std::byte> msg(8 + 4 + grads.size_bytes());
+  std::memcpy(msg.data(), &version, 8);
+  std::memcpy(msg.data() + 8, &loss, 4);
+  std::memcpy(msg.data() + 12, grads.data(), grads.size_bytes());
+  return msg;
+}
+
+std::vector<std::byte> pack_weights(std::uint64_t version,
+                                    std::span<const float> weights) {
+  std::vector<std::byte> msg(8 + weights.size_bytes());
+  std::memcpy(msg.data(), &version, 8);
+  std::memcpy(msg.data() + 8, weights.data(), weights.size_bytes());
+  return msg;
+}
+
+}  // namespace
+
+AsyncResult run_async_sgd(simmpi::Communicator& comm, const AsyncConfig& cfg) {
+  DCT_CHECK_MSG(comm.size() >= 2, "async SGD needs a server and ≥1 worker");
+  AsyncResult result;
+
+  // Identical initial weights everywhere (the synchronous Algorithm 1
+  // convention carries over).
+  Rng init_rng(cfg.seed);
+  auto model = nn::make_small_cnn(cfg.model, init_rng);
+  const auto nparams = static_cast<std::size_t>(model->param_count());
+
+  // Collective split before the server enters its event loop: workers
+  // get their own communicator for the DIMD partition bookkeeping.
+  auto worker_comm = comm.split(comm.rank() == 0 ? 0 : 1, comm.rank());
+
+  if (comm.rank() == 0) {
+    // ---- parameter server ------------------------------------------
+    // Master weights live in the model's Param values; SGD state (the
+    // momentum buffers) lives server-side only.
+    nn::Sgd opt(cfg.sgd);
+    std::uint64_t version = 0;
+    int active_workers = comm.size() - 1;
+    std::vector<float> weights(nparams);
+    std::deque<double> recent_losses;
+    while (active_workers > 0) {
+      simmpi::Status st;
+      auto msg = comm.recv_any_bytes(simmpi::kAnySource, simmpi::kAnyTag, &st);
+      if (st.tag == kDoneTag) {
+        --active_workers;
+        continue;
+      }
+      DCT_CHECK(st.tag == kGradTag);
+      DCT_CHECK(msg.size() == 12 + nparams * sizeof(float));
+      std::uint64_t grad_version = 0;
+      float loss = 0.0f;
+      std::memcpy(&grad_version, msg.data(), 8);
+      std::memcpy(&loss, msg.data() + 8, 4);
+      result.staleness.add(static_cast<double>(version - grad_version));
+      recent_losses.push_back(loss);
+      if (recent_losses.size() > static_cast<std::size_t>(comm.size() - 1)) {
+        recent_losses.pop_front();
+      }
+      // Apply the (stale) gradient to the master weights.
+      model->load_grads(std::span<const float>(
+          reinterpret_cast<const float*>(msg.data() + 12), nparams));
+      opt.step(model->params(), static_cast<float>(cfg.lr));
+      ++version;
+      ++result.updates;
+      // Ship the updated weights back to that worker.
+      model->flatten_params(std::span<float>(weights));
+      comm.send_bytes(pack_weights(version, weights), st.source, kWeightTag);
+    }
+    result.final_params.resize(nparams);
+    model->flatten_params(std::span<float>(result.final_params));
+    for (double l : recent_losses) result.final_loss += l;
+    if (!recent_losses.empty()) {
+      result.final_loss /= static_cast<double>(recent_losses.size());
+    }
+    return result;
+  }
+
+  // ---- worker ------------------------------------------------------
+  // Workers partition the dataset among themselves (server holds none).
+  data::DimdStore store(worker_comm, data::DimdConfig{1, 4 << 20});
+  store.load_partition(data::SyntheticImageGenerator(cfg.dataset));
+
+  Rng sample_rng(cfg.seed * 31 + static_cast<std::uint64_t>(comm.rank()));
+  std::uint64_t version = 0;
+  std::vector<float> grads(nparams);
+  for (int step = 0; step < cfg.steps_per_worker; ++step) {
+    const auto batch = store.random_batch(cfg.batch, cfg.dataset.image,
+                                          sample_rng);
+    model->zero_grads();
+    tensor::Tensor logits = model->forward(batch.images, /*train=*/true);
+    tensor::Tensor grad_logits;
+    const float loss =
+        tensor::softmax_cross_entropy(logits, batch.labels, grad_logits);
+    model->backward(grad_logits);
+    model->flatten_grads(std::span<float>(grads));
+    comm.send_bytes(pack_grad(version, loss, grads), 0, kGradTag);
+    // Fresh weights (and their version) come back; continue from them.
+    simmpi::Status st;
+    auto msg = comm.recv_any_bytes(0, kWeightTag, &st);
+    DCT_CHECK(msg.size() == 8 + nparams * sizeof(float));
+    std::memcpy(&version, msg.data(), 8);
+    model->load_params(std::span<const float>(
+        reinterpret_cast<const float*>(msg.data() + 8), nparams));
+    ++result.steps;
+  }
+  comm.send_bytes({}, 0, kDoneTag);
+  return result;
+}
+
+}  // namespace dct::trainer

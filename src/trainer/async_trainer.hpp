@@ -1,0 +1,56 @@
+// Asynchronous SGD — the paper's stated future work (§6): "we would
+// like to explore the use and impact of our optimizations for the case
+// of asynchronous SGD", using the parameter-server organisation its
+// related-work section describes (one MPI process collects gradients
+// from peers and returns updated weights, à la Zhang et al.).
+//
+// Rank 0 is the parameter server holding the master weights; every
+// other rank is a worker with its own DIMD partition. A worker computes
+// a gradient on its current weights, ships it to the server, and
+// receives the post-update weights back. Updates apply in arrival
+// order, so gradients are *stale*: computed against weights that are
+// several versions old by the time they land. The trainer records the
+// staleness distribution — the quantity the async-SGD literature the
+// paper cites (staleness-aware SGD) revolves around.
+//
+// DIMD composes with this unchanged (in-memory batches per worker); the
+// collective shuffle does not (it is synchronous by nature), which is
+// exactly the caveat the paper's future-work paragraph raises.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dimd.hpp"
+#include "nn/sgd.hpp"
+#include "nn/small_cnn.hpp"
+#include "simmpi/communicator.hpp"
+#include "util/stats.hpp"
+
+namespace dct::trainer {
+
+struct AsyncConfig {
+  nn::SmallCnnConfig model;
+  std::int64_t batch = 8;
+  int steps_per_worker = 20;
+  data::DatasetDef dataset;
+  nn::SgdConfig sgd;
+  double lr = 0.05;
+  std::uint64_t seed = 1;
+};
+
+struct AsyncResult {
+  // Server-side (valid on rank 0):
+  std::uint64_t updates = 0;           ///< gradients applied
+  RunningStat staleness;               ///< versions between compute and apply
+  std::vector<float> final_params;     ///< master weights after the run
+  double final_loss = 0.0;             ///< mean of the last |workers| losses
+  // Worker-side (valid on ranks > 0):
+  int steps = 0;
+};
+
+/// Run the asynchronous training job; collective over `comm`
+/// (size ≥ 2: one server + at least one worker).
+AsyncResult run_async_sgd(simmpi::Communicator& comm, const AsyncConfig& cfg);
+
+}  // namespace dct::trainer

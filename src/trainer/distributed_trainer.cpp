@@ -1,0 +1,156 @@
+#include "trainer/distributed_trainer.hpp"
+
+#include <chrono>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dct::trainer {
+
+DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
+                                       TrainerConfig cfg)
+    : comm_(comm),
+      cfg_(std::move(cfg)),
+      sgd_(cfg_.sgd),
+      sample_rng_(cfg_.seed * 7919 +
+                  static_cast<std::uint64_t>(comm.rank()) + 1),
+      shuffle_rng_(cfg_.seed * 104729 +
+                   static_cast<std::uint64_t>(comm.rank()) + 1) {
+  // Identical initial weights on every GPU of every learner
+  // (Algorithm 1): the same seed feeds every replica.
+  if (cfg_.optimized_dpt) {
+    table_ = std::make_unique<dpt::OptimizedDpt>(cfg_.model,
+                                                 cfg_.gpus_per_node,
+                                                 cfg_.seed);
+  } else {
+    table_ = std::make_unique<dpt::BaselineDpt>(cfg_.model,
+                                                cfg_.gpus_per_node, cfg_.seed);
+  }
+  allreduce_ = allreduce::make_algorithm(cfg_.allreduce);
+
+  if (cfg_.record_blob_path) {
+    DCT_CHECK(cfg_.record_index_path.has_value());
+    record_file_ = std::make_unique<data::RecordFile>(
+        *cfg_.record_blob_path, *cfg_.record_index_path);
+    donkeys_ = std::make_unique<storage::DonkeyPool>(
+        *record_file_, cfg_.dataset.image, cfg_.donkey_threads);
+    // Seeds are drawn at issue time, so the sample sequence is identical
+    // to unprefetched loading.
+    prefetcher_ = std::make_unique<storage::BatchPrefetcher>(
+        [this](std::uint64_t) {
+          return donkeys_->submit_batch(node_batch(), sample_rng_.next_u64());
+        },
+        cfg_.prefetch_depth);
+  } else {
+    dimd_ = std::make_unique<data::DimdStore>(comm_, cfg_.dimd);
+    dimd_->load_partition(data::SyntheticImageGenerator(cfg_.dataset));
+  }
+  if (cfg_.deterministic_global_sampling) {
+    DCT_CHECK_MSG(dimd_ != nullptr && dimd_->group_size() == 1,
+                  "global sampling needs every learner to hold the full "
+                  "dataset (dimd.groups == communicator size)");
+  }
+}
+
+storage::LoadedBatch DistributedTrainer::next_batch() {
+  const std::int64_t b = node_batch();
+  if (donkeys_ != nullptr) {
+    // Baseline path: donkey threads fetch from the record file behind a
+    // prefetch window; the per-learner seed keeps sampling independent
+    // across ranks (§3).
+    return prefetcher_->next();
+  }
+  if (cfg_.deterministic_global_sampling) {
+    // A shared stream of global-batch indices; rank r consumes slice r.
+    Rng step_rng(cfg_.seed * 1000003 + iteration_);
+    const std::int64_t global = global_batch();
+    std::vector<std::uint64_t> indices(static_cast<std::size_t>(global));
+    for (auto& idx : indices) {
+      idx = step_rng.next_below(static_cast<std::uint64_t>(
+          dimd_->local_count()));
+    }
+    const auto lo = static_cast<std::size_t>(comm_.rank() * b);
+    const auto batch = dimd_->batch_from_indices(
+        std::span<const std::uint64_t>(indices.data() + lo,
+                                       static_cast<std::size_t>(b)),
+        cfg_.dataset.image);
+    return storage::LoadedBatch{batch.images, batch.labels};
+  }
+  auto batch = dimd_->random_batch(b, cfg_.dataset.image, sample_rng_);
+  return storage::LoadedBatch{std::move(batch.images),
+                              std::move(batch.labels)};
+}
+
+StepMetrics DistributedTrainer::step() {
+  // Periodic in-memory shuffle (Algorithm 2).
+  if (dimd_ != nullptr && cfg_.shuffle_every > 0 && iteration_ > 0 &&
+      iteration_ % static_cast<std::uint64_t>(cfg_.shuffle_every) == 0 &&
+      !cfg_.deterministic_global_sampling) {
+    dimd_->shuffle(shuffle_rng_);
+    ++shuffles_;
+  }
+
+  const auto batch = next_batch();
+  StepMetrics metrics;
+  metrics.loss = table_->forward_backward(batch.images, batch.labels);
+
+  // Inter-node summation (Algorithm 1's MPI_Allreduce), then average
+  // over learners so the update uses the global-batch mean gradient.
+  auto grads = table_->node_grads();
+  const auto start = std::chrono::steady_clock::now();
+  allreduce_->run(comm_, grads);
+  metrics.allreduce_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const float inv_n = 1.0f / static_cast<float>(comm_.size());
+  for (auto& g : grads) g *= inv_n;
+
+  table_->apply_gradients(grads, sgd_, static_cast<float>(cfg_.base_lr));
+  ++iteration_;
+  return metrics;
+}
+
+EpochMetrics DistributedTrainer::train_epoch(int iterations) {
+  EpochMetrics em;
+  storage::LoadedBatch last;
+  for (int i = 0; i < iterations; ++i) {
+    const auto m = step();
+    em.mean_loss += m.loss;
+  }
+  em.mean_loss /= iterations;
+  em.shuffles = shuffles_;
+  // Training accuracy probe on a fresh batch, without updating.
+  auto probe = next_batch();
+  const auto logits = table_->predict(probe.images);
+  em.train_accuracy = tensor::top1_accuracy(logits, probe.labels);
+  return em;
+}
+
+double DistributedTrainer::evaluate(std::int64_t count) {
+  data::DatasetDef val = cfg_.dataset;
+  val.seed ^= 0xDEADBEEFULL;  // held-out images
+  val.images = count;
+  data::SyntheticImageGenerator gen(val);
+  tensor::Tensor images({count, val.image.channels, val.image.height,
+                         val.image.width});
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(count));
+  const std::int64_t pix = val.image.pixels();
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto img = gen.generate(i);
+    data::pixels_to_float(
+        img.pixels, std::span<float>(images.data() + i * pix,
+                                     static_cast<std::size_t>(pix)));
+    labels[static_cast<std::size_t>(i)] = img.label;
+  }
+  const auto logits = table_->predict(images);
+  return tensor::top1_accuracy(logits, labels);
+}
+
+std::vector<float> DistributedTrainer::snapshot_params() {
+  std::vector<float> params(
+      static_cast<std::size_t>(table_->param_count()));
+  table_->replica(0).flatten_params(std::span<float>(params));
+  return params;
+}
+
+}  // namespace dct::trainer

@@ -1,0 +1,114 @@
+// DistributedTrainer — the paper's Algorithm 1, functional path.
+//
+// Each simmpi rank is one learner (node) driving `gpus_per_node`
+// simulated GPUs through a DataParallelTable. Per iteration:
+//   1. sample B_node images (DIMD random in-memory batch, or the donkey
+//      file loader in baseline mode),
+//   2. DPT forward/criterion/backward → intra-node gradient sum,
+//   3. inter-node MPI_Allreduce of the gradient payload (pluggable
+//      algorithm), averaged over learners,
+//   4. broadcast to all GPUs + per-GPU SGD step (inside the DPT).
+// Optionally re-shuffles the DIMD partitions every `shuffle_every`
+// iterations (paper §4.1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "allreduce/algorithm.hpp"
+#include "data/dimd.hpp"
+#include "dpt/data_parallel_table.hpp"
+#include "nn/lr_schedule.hpp"
+#include "simmpi/communicator.hpp"
+#include "storage/donkey_pool.hpp"
+#include "storage/prefetcher.hpp"
+
+namespace dct::trainer {
+
+struct TrainerConfig {
+  nn::SmallCnnConfig model;
+  int gpus_per_node = 2;
+  std::int64_t batch_per_gpu = 4;
+  std::string allreduce = "multicolor";
+  bool optimized_dpt = true;
+
+  data::DatasetDef dataset;
+  data::DimdConfig dimd;          ///< dimd.groups etc.
+  int shuffle_every = 0;          ///< iterations between shuffles; 0 = never
+
+  /// When set, load batches through the donkey file path instead of
+  /// DIMD (baseline mode). Points at an existing record file pair.
+  std::optional<std::string> record_blob_path;
+  std::optional<std::string> record_index_path;
+  int donkey_threads = 4;
+  /// Batches kept in flight ahead of the consumer in donkey mode (the
+  /// donkeys' raison d'être: hiding file I/O behind compute).
+  int prefetch_depth = 2;
+
+  nn::SgdConfig sgd;
+  double base_lr = 0.05;
+  std::uint64_t seed = 1;
+
+  /// Sampling:
+  ///  false → paper §3: every learner samples with its own seed.
+  ///  true  → a shared per-step seed; rank r consumes slice r of the
+  ///          global batch (requires every learner to hold the full
+  ///          dataset, i.e. dimd.groups == comm.size()); enables exact
+  ///          distributed-vs-serial equivalence tests.
+  bool deterministic_global_sampling = false;
+};
+
+struct StepMetrics {
+  float loss = 0.0f;
+  double allreduce_seconds = 0.0;  ///< wall time of the collective call
+};
+
+struct EpochMetrics {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;  ///< on the last batch of the epoch
+  std::uint64_t shuffles = 0;
+};
+
+class DistributedTrainer {
+ public:
+  DistributedTrainer(simmpi::Communicator& comm, TrainerConfig cfg);
+
+  /// One training iteration (collective across all ranks).
+  StepMetrics step();
+
+  /// `iterations` steps; returns aggregate metrics.
+  EpochMetrics train_epoch(int iterations);
+
+  /// Top-1 accuracy of the current model on `count` fresh validation
+  /// images (generated with an offset seed; identical on every rank).
+  double evaluate(std::int64_t count);
+
+  /// Flattened parameters (for equivalence checks).
+  std::vector<float> snapshot_params();
+
+  dpt::DataParallelTable& table() { return *table_; }
+  std::int64_t node_batch() const {
+    return cfg_.batch_per_gpu * cfg_.gpus_per_node;
+  }
+  std::int64_t global_batch() const { return node_batch() * comm_.size(); }
+
+ private:
+  storage::LoadedBatch next_batch();
+
+  simmpi::Communicator& comm_;
+  TrainerConfig cfg_;
+  std::unique_ptr<dpt::DataParallelTable> table_;
+  std::unique_ptr<allreduce::Algorithm> allreduce_;
+  std::unique_ptr<data::DimdStore> dimd_;
+  std::unique_ptr<data::RecordFile> record_file_;
+  std::unique_ptr<storage::DonkeyPool> donkeys_;
+  std::unique_ptr<storage::BatchPrefetcher> prefetcher_;
+  nn::Sgd sgd_;
+  Rng sample_rng_;
+  Rng shuffle_rng_;
+  std::uint64_t iteration_ = 0;
+  std::uint64_t shuffles_ = 0;
+};
+
+}  // namespace dct::trainer

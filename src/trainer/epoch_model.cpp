@@ -1,0 +1,111 @@
+#include "trainer/epoch_model.hpp"
+
+#include <algorithm>
+
+#include "storage/donkey_pool.hpp"
+#include "util/error.hpp"
+
+namespace dct::trainer {
+
+namespace {
+
+/// Per-step DataParallelTable overhead beyond pure GPU compute (§4.3).
+double dpt_overhead_s(const EpochModelConfig& cfg) {
+  const gpusim::P100Model gpu(cfg.gpu);
+  const int m = cfg.gpus_per_node;
+  const std::int64_t node_batch = cfg.batch_per_gpu * m;
+  // Torch ships float input tensors to the device.
+  const std::uint64_t input_bytes =
+      static_cast<std::uint64_t>(node_batch) * 3 * 224 * 224 * 4;
+  const std::uint64_t logits_bytes =
+      static_cast<std::uint64_t>(node_batch) * cfg.classes * 4;
+
+  if (cfg.optimized_dpt) {
+    // Direct per-GPU transfers proceed in parallel (independent NVLinks),
+    // criterion on-device, one serialized callback per GPU + one sync.
+    const double h2d = gpu.transfer_time(input_bytes / static_cast<std::uint64_t>(m));
+    const double callbacks = (m + 1) * cfg.serialized_callback_s;
+    return h2d + callbacks;
+  }
+  // Baseline (Fig. 3):
+  //  – whole batch to GPU 1, then scatter shares device-to-device;
+  const double stage = gpu.transfer_time(input_bytes);
+  const double scatter = gpu.transfer_time(
+      input_bytes * static_cast<std::uint64_t>(m - 1) /
+      static_cast<std::uint64_t>(m));
+  //  – outputs gathered and criterion evaluated serially on the host;
+  const double gather = gpu.transfer_time(logits_bytes) * 2;  // out + grad
+  const double criterion = static_cast<double>(node_batch) * cfg.classes *
+                           cfg.criterion_cpu_per_elem_s;
+  //  – 2 serialized callbacks per GPU + 2 full syncs.
+  const double callbacks = (2 * m + 2) * cfg.serialized_callback_s;
+  return stage + scatter + gather + criterion + callbacks;
+}
+
+}  // namespace
+
+EpochBreakdown estimate_epoch(const EpochModelConfig& cfg) {
+  DCT_CHECK(cfg.nodes >= 1 && cfg.gpus_per_node >= 1 &&
+            cfg.batch_per_gpu >= 1);
+  const nn::ModelSpec spec = nn::model_spec_by_name(cfg.model);
+  const gpusim::P100Model gpu(cfg.gpu);
+
+  EpochBreakdown b;
+  const std::int64_t global_batch =
+      cfg.batch_per_gpu * cfg.gpus_per_node * cfg.nodes;
+  b.steps = static_cast<double>(cfg.dataset_images) /
+            static_cast<double>(global_batch);
+
+  b.compute_s = gpu.train_step_time(spec, cfg.batch_per_gpu);
+  b.dpt_overhead_s = dpt_overhead_s(cfg);
+
+  // Batch availability. Donkeys prefetch concurrently with compute, so
+  // the data term competes with (rather than adds to) the GPU time.
+  const std::int64_t node_images = cfg.batch_per_gpu * cfg.gpus_per_node;
+  if (cfg.dimd) {
+    // In-memory: decode cost only, spread over the loader threads.
+    const double decode = static_cast<double>(node_images) *
+                          static_cast<double>(cfg.avg_image_bytes) * 4.0 /
+                          cfg.decode_bw_Bps / cfg.donkey_threads;
+    b.data_s = decode;
+  } else {
+    const storage::SimFilesystem fs(cfg.fs);
+    const double node_rate = storage::donkey_images_per_second(
+        fs, cfg.avg_image_bytes, cfg.donkey_threads, cfg.nodes,
+        cfg.decode_bw_Bps);
+    b.data_s = static_cast<double>(node_images) / node_rate;
+  }
+
+  // Gradient allreduce on the modelled fabric.
+  netsim::ClusterConfig cluster = cfg.cluster;
+  cluster.nodes = cfg.nodes;
+  b.allreduce_s =
+      netsim::allreduce_time_s(cluster, cfg.allreduce, spec.gradient_bytes());
+
+  // Data loading overlaps the GPU phase; the allreduce is synchronous
+  // (the paper does not pipeline gradient communication with backward).
+  b.step_s = std::max(b.compute_s + b.dpt_overhead_s, b.data_s) +
+             b.allreduce_s;
+  b.epoch_s = b.step_s * b.steps;
+  return b;
+}
+
+double epoch_seconds(const EpochModelConfig& cfg) {
+  return estimate_epoch(cfg).epoch_s;
+}
+
+EpochModelConfig with_all_optimizations(EpochModelConfig cfg) {
+  cfg.dimd = true;
+  cfg.allreduce = "multicolor";
+  cfg.optimized_dpt = true;
+  return cfg;
+}
+
+EpochModelConfig with_open_source_baseline(EpochModelConfig cfg) {
+  cfg.dimd = false;
+  cfg.allreduce = "openmpi_default";
+  cfg.optimized_dpt = false;
+  return cfg;
+}
+
+}  // namespace dct::trainer

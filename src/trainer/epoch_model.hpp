@@ -1,0 +1,67 @@
+// EpochTimeModel — composes the platform models (P100 compute, network
+// fat-tree collectives, shared-filesystem I/O, DPT scheduling overheads)
+// into per-epoch wall-clock for any configuration of the paper's
+// experiment grid. This is what regenerates Figures 6 and 10–12 and
+// Tables 1–2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/p100_model.hpp"
+#include "netsim/cluster.hpp"
+#include "nn/model_spec.hpp"
+#include "storage/sim_filesystem.hpp"
+
+namespace dct::trainer {
+
+struct EpochModelConfig {
+  std::string model = "resnet50";
+  int nodes = 8;
+  int gpus_per_node = 4;
+  std::int64_t batch_per_gpu = 64;
+  std::int64_t dataset_images = 1'281'167;  ///< ImageNet-1k train set
+  std::uint64_t avg_image_bytes = 60'000;   ///< compressed record size
+
+  // The three optimizations, individually toggleable (the paper's
+  // ablation axes).
+  bool dimd = true;                     ///< vs donkey file I/O
+  std::string allreduce = "multicolor"; ///< vs "ring"/"openmpi_default"
+  bool optimized_dpt = true;            ///< vs the stock Fig.-3 table
+
+  int donkey_threads = 4;
+  netsim::ClusterConfig cluster;
+  storage::SimFsConfig fs;
+  gpusim::P100Config gpu;
+
+  // Torch scheduling overheads (§4.3): serialized ending callbacks and
+  // the main-thread criterion.
+  double serialized_callback_s = 4.0e-3;
+  double criterion_cpu_per_elem_s = 8.0e-8;
+  int classes = 1000;
+  /// In-memory decode bandwidth (DIMD batch assembly).
+  double decode_bw_Bps = 1.5e9;
+};
+
+struct EpochBreakdown {
+  double steps = 0.0;           ///< iterations per epoch
+  double compute_s = 0.0;       ///< per step: GPU fwd+bwd
+  double dpt_overhead_s = 0.0;  ///< per step: transfers + serialization
+  double data_s = 0.0;          ///< per step: batch availability time
+  double allreduce_s = 0.0;     ///< per step: gradient collective
+  double step_s = 0.0;          ///< per step total
+  double epoch_s = 0.0;
+};
+
+/// Per-epoch wall-clock estimate with its decomposition.
+EpochBreakdown estimate_epoch(const EpochModelConfig& cfg);
+
+/// Convenience: epoch seconds only.
+double epoch_seconds(const EpochModelConfig& cfg);
+
+/// The fully-optimized and open-source-baseline variants of `cfg`
+/// (Table 1's two columns).
+EpochModelConfig with_all_optimizations(EpochModelConfig cfg);
+EpochModelConfig with_open_source_baseline(EpochModelConfig cfg);
+
+}  // namespace dct::trainer

@@ -1,0 +1,28 @@
+#include "trainer/metrics_log.hpp"
+
+namespace dct::trainer {
+
+MetricsLog::MetricsLog(const std::string& path,
+                       std::vector<std::string> columns)
+    : os_(path, std::ios::trunc), columns_(columns.size()) {
+  DCT_CHECK_MSG(os_.is_open(), "cannot open metrics log " << path);
+  DCT_CHECK_MSG(!columns.empty(), "metrics log needs columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    os_ << (i ? "," : "") << columns[i];
+  }
+  os_ << '\n';
+}
+
+void MetricsLog::append(const std::vector<double>& values) {
+  DCT_CHECK_MSG(values.size() == columns_,
+                "metrics row arity " << values.size() << " != header "
+                                     << columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os_ << (i ? "," : "") << values[i];
+  }
+  os_ << '\n';
+  ++rows_;
+  DCT_CHECK_MSG(os_.good(), "metrics log write failed");
+}
+
+}  // namespace dct::trainer

@@ -1,0 +1,30 @@
+// CSV metrics sink: the artifact a real training run leaves behind for
+// plotting (the data behind Figures 13–16 style curves).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dct::trainer {
+
+class MetricsLog {
+ public:
+  /// Open `path` for writing and emit the header row.
+  MetricsLog(const std::string& path, std::vector<std::string> columns);
+
+  /// Append one row (must match the header arity).
+  void append(const std::vector<double>& values);
+
+  std::size_t rows() const { return rows_; }
+  void flush() { os_.flush(); }
+
+ private:
+  std::ofstream os_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dct::trainer

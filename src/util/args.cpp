@@ -1,0 +1,75 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dct {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      DCT_CHECK_MSG(command_.empty(),
+                    "unexpected positional argument '" << token << "'");
+      command_ = std::move(token);
+      continue;
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      options_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is another option (then it is
+    // a bare switch).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[token] = argv[++i];
+    } else {
+      options_[token] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  touched_[key] = true;
+  return options_.count(key) > 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  touched_[key] = true;
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  DCT_CHECK_MSG(end != nullptr && *end == '\0',
+                "option --" << key << " expects an integer, got '" << v << "'");
+  return parsed;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  DCT_CHECK_MSG(end != nullptr && *end == '\0',
+                "option --" << key << " expects a number, got '" << v << "'");
+  return parsed;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) {
+    if (!touched_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace dct

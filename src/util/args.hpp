@@ -1,0 +1,34 @@
+// Minimal command-line parsing for the CLI tool: one positional
+// subcommand followed by --key value / --key=value options and bare
+// --switch flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dct {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// First non-option token (the subcommand); empty if none.
+  const std::string& command() const { return command_; }
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Option keys that were provided but never queried — typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace dct

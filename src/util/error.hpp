@@ -1,0 +1,45 @@
+// Lightweight runtime-check macros used across the library.
+//
+// DCT_CHECK fires in every build type: these guard API contracts
+// (rank ranges, buffer sizes, communicator membership) whose violation
+// would corrupt simulation state. They throw dct::CheckError so tests
+// can assert on misuse.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dct {
+
+/// Thrown when a DCT_CHECK contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dct
+
+#define DCT_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::dct::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DCT_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream os__;                                       \
+      os__ << msg;                                                   \
+      ::dct::detail::check_failed(#expr, __FILE__, __LINE__, os__.str()); \
+    }                                                                \
+  } while (0)

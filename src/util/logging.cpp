@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace dct {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  using namespace std::chrono;
+  const auto now = steady_clock::now().time_since_epoch();
+  const double t = duration_cast<duration<double>>(now).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%12.6f] %s %s\n", t, level_name(level), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace dct

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe line output; level settable at
+// runtime (benches default to kWarn so tables stay clean, tests may
+// raise verbosity).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dct {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dct
+
+#define DCT_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::dct::log_level())) { \
+  } else                                                \
+    ::dct::detail::LogStream(level)
+
+#define DCT_DEBUG DCT_LOG(::dct::LogLevel::kDebug)
+#define DCT_INFO DCT_LOG(::dct::LogLevel::kInfo)
+#define DCT_WARN DCT_LOG(::dct::LogLevel::kWarn)
+#define DCT_ERROR DCT_LOG(::dct::LogLevel::kError)

@@ -1,0 +1,72 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component in the library (samplers, shuffles, synthetic
+// data, noise models) draws from an explicitly seeded Rng so runs are
+// reproducible. Rank-local generators are derived with split() so that
+// "each learner samples with a different random seed" (paper §3) is
+// deterministic given the root seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dct {
+
+/// SplitMix64 step — used for seeding and stream splitting.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Small, fast, suitable for simulation workloads
+/// (not cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform float in [0, 1).
+  float next_float();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (caches the spare value).
+  double next_gaussian();
+
+  /// Derive an independent child stream; deterministic in (parent state,
+  /// call order). Used to give each simulated rank its own seed.
+  Rng split();
+
+  /// Fisher–Yates shuffle of [first, last).
+  template <typename It>
+  void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = next_below(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+  /// Random permutation of {0, …, n-1}.
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace dct

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dct {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  DCT_CHECK_MSG(!samples.empty(), "percentile of empty sample set");
+  DCT_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+double entropy_bits(const std::vector<std::size_t>& counts) {
+  double total = 0.0;
+  for (auto c : counts) total += static_cast<double>(c);
+  if (total == 0.0) return 0.0;
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double chi_squared_uniform(const std::vector<std::size_t>& counts) {
+  DCT_CHECK(!counts.empty());
+  double total = 0.0;
+  for (auto c : counts) total += static_cast<double>(c);
+  const double expected = total / static_cast<double>(counts.size());
+  if (expected == 0.0) return 0.0;
+  double chi = 0.0;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+}  // namespace dct

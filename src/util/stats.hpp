@@ -1,0 +1,44 @@
+// Streaming and batch statistics used by benches and the simulators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dct {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merge another accumulator (parallel reduction of partial stats).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation). p in [0,100].
+/// Sorts a copy; fine for bench-sized samples.
+double percentile(std::vector<double> samples, double p);
+
+/// Shannon entropy (bits) of a discrete histogram of counts.
+/// Used by the shuffle-quality ablation to quantify batch randomness.
+double entropy_bits(const std::vector<std::size_t>& counts);
+
+/// Chi-squared statistic of counts against a uniform expectation.
+double chi_squared_uniform(const std::vector<std::size_t>& counts);
+
+}  // namespace dct

@@ -1,0 +1,34 @@
+// Column-aligned plain-text table printer used by every bench binary so
+// reproduced figures/tables share one look.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dct {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with a rule under the header. Optionally a title line above.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Render and write to stdout.
+  void print(const std::string& title = "") const;
+
+  /// CSV rendering for machine-readable capture.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dct

@@ -1,0 +1,53 @@
+// Fixed-size worker pool.
+//
+// Used by the tensor kernels (parallel_for over rows/output channels) and
+// as the execution substrate for simulated GPU device threads. Tasks are
+// plain std::function jobs; submit() returns a future, parallel_for blocks
+// until the whole index range is processed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dct {
+
+class ThreadPool {
+ public:
+  /// threads == 0 → use hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a job; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> job);
+
+  /// Run fn(i) for i in [begin, end), split into ~size() contiguous
+  /// chunks, and wait for completion. Runs inline when the range is
+  /// small or the pool has one worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool for kernel parallelism.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dct

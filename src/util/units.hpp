@@ -1,0 +1,49 @@
+// Byte and time unit helpers shared by the cost models and bench output.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dct {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// Gigabits-per-second link rate → bytes per second.
+constexpr double gbps_to_bytes_per_sec(double gbps) {
+  return gbps * 1e9 / 8.0;
+}
+
+/// Human-readable byte count, e.g. "93.0 MiB".
+inline std::string format_bytes(double bytes) {
+  const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int idx = 0;
+  while (bytes >= 1024.0 && idx < 4) {
+    bytes /= 1024.0;
+    ++idx;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, suffix[idx]);
+  return buf;
+}
+
+/// Human-readable duration, e.g. "48.0 min" or "4.2 s" or "312 us".
+inline std::string format_seconds(double s) {
+  char buf[48];
+  if (s >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", s / 3600.0);
+  } else if (s >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", s / 60.0);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace dct

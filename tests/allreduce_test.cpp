@@ -1,0 +1,301 @@
+// Tests for the allreduce module: color-tree structural properties
+// (including the paper's Figure 2 instance), correctness of every
+// algorithm across rank counts and payload sizes, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "allreduce/algorithm.hpp"
+#include "allreduce/algorithms_impl.hpp"
+#include "allreduce/color_tree.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace dct::allreduce {
+namespace {
+
+// ---------------------------------------------------------------- trees
+
+TEST(ColorTree, ReproducesPaperFigure2) {
+  // 4 colors on 8 nodes: color 0 rooted at 0 with interior {0,1};
+  // color 1 rooted at 2 with interior {2,3}; etc.
+  for (int c = 0; c < 4; ++c) {
+    ColorTree tree(8, 4, c);
+    EXPECT_EQ(tree.root(), 2 * c);
+    const auto interior = tree.interior_ranks();
+    EXPECT_EQ(interior, (std::vector<int>{2 * c, 2 * c + 1}));
+    EXPECT_EQ(tree.arity(), 4);
+  }
+  // Color 0 concretely: root 0 has children 1,2,3,4; node 1 has 5,6,7.
+  ColorTree t0(8, 4, 0);
+  EXPECT_EQ(t0.children(0), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(t0.children(1), (std::vector<int>{5, 6, 7}));
+  EXPECT_TRUE(t0.children(5).empty());
+}
+
+TEST(ColorTree, SpanningTreeInvariants) {
+  for (int p : {1, 2, 3, 5, 8, 13, 16, 32, 61}) {
+    for (int k : {1, 2, 3, 4, 8}) {
+      if (k > p) continue;
+      for (int c = 0; c < k; ++c) {
+        ColorTree tree(p, k, c);
+        // Exactly one root; every other rank reaches it via parent chain.
+        int roots = 0;
+        for (int r = 0; r < p; ++r) {
+          if (tree.parent(r) == -1) {
+            ++roots;
+            EXPECT_EQ(tree.root(), r);
+          } else {
+            EXPECT_LE(tree.depth(r), p);
+          }
+        }
+        EXPECT_EQ(roots, 1);
+        // Parent/child relations are mutually consistent and every rank
+        // except the root is someone's child exactly once.
+        std::vector<int> child_count(static_cast<std::size_t>(p), 0);
+        for (int r = 0; r < p; ++r) {
+          for (int ch : tree.children(r)) {
+            EXPECT_EQ(tree.parent(ch), r);
+            ++child_count[static_cast<std::size_t>(ch)];
+          }
+        }
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(child_count[static_cast<std::size_t>(r)],
+                    r == tree.root() ? 0 : 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(ColorTree, InteriorNodesDisjointAcrossColors) {
+  // The load-bearing property of the paper's algorithm: summing nodes of
+  // different colors never coincide — for every (p, k) with k ≤ p.
+  for (int p = 1; p <= 64; ++p) {
+    for (int k = 1; k <= std::min(p, 8); ++k) {
+      std::set<int> seen;
+      for (int c = 0; c < k; ++c) {
+        ColorTree tree(p, k, c);
+        for (int r = 0; r < p; ++r) {
+          if (!tree.is_interior(r)) continue;
+          const bool inserted = seen.insert(r).second;
+          ASSERT_TRUE(inserted) << "interior rank " << r
+                                << " reused across colors, p=" << p
+                                << " k=" << k << " color=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(ColorTree, RootsDistinctAcrossColors) {
+  for (int p : {4, 8, 12, 16, 32}) {
+    const int k = 4;
+    std::set<int> roots;
+    for (int c = 0; c < k; ++c) roots.insert(ColorTree(p, k, c).root());
+    EXPECT_EQ(roots.size(), static_cast<std::size_t>(k));
+  }
+}
+
+// ----------------------------------------------------------- algorithms
+
+struct Case {
+  std::string algo;
+  int ranks;
+  std::size_t elems;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const std::vector<std::string> algos{
+      "naive",      "recursive_halving", "openmpi_default",
+      "ring",       "multicolor",        "multicolor1",
+      "multicolor2", "multiring",        "multiring2",
+      "bucket_ring"};
+  for (const auto& a : algos) {
+    for (int p : {1, 2, 3, 4, 5, 7, 8, 12, 16}) {
+      for (std::size_t n : {std::size_t{1}, std::size_t{13},
+                            std::size_t{1000}, std::size_t{65536 + 7}}) {
+        cases.push_back({a, p, n});
+      }
+    }
+  }
+  return cases;
+}
+
+class AllreduceP : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AllreduceP, SumsMatchReference) {
+  const auto& c = GetParam();
+  auto algo = make_algorithm(c.algo);
+  // Deterministic per-rank inputs; reference computed serially in double.
+  std::vector<std::vector<float>> inputs(static_cast<std::size_t>(c.ranks));
+  for (int r = 0; r < c.ranks; ++r) {
+    Rng rng(1000 + static_cast<std::uint64_t>(r));
+    auto& v = inputs[static_cast<std::size_t>(r)];
+    v.resize(c.elems);
+    for (auto& x : v) x = rng.next_float() * 2.0f - 1.0f;
+  }
+  std::vector<double> reference(c.elems, 0.0);
+  for (const auto& v : inputs) {
+    for (std::size_t i = 0; i < c.elems; ++i) reference[i] += v[i];
+  }
+
+  std::vector<std::vector<float>> outputs(static_cast<std::size_t>(c.ranks));
+  simmpi::Runtime::execute(c.ranks, [&](simmpi::Communicator& comm) {
+    auto data = inputs[static_cast<std::size_t>(comm.rank())];
+    algo->run(comm, std::span<float>(data));
+    outputs[static_cast<std::size_t>(comm.rank())] = std::move(data);
+  });
+
+  // Summation order differs per algorithm; float32 tolerance scales with
+  // the number of ranks.
+  const double tol = 1e-5 * c.ranks;
+  for (int r = 0; r < c.ranks; ++r) {
+    const auto& out = outputs[static_cast<std::size_t>(r)];
+    ASSERT_EQ(out.size(), c.elems);
+    for (std::size_t i = 0; i < c.elems; i += std::max<std::size_t>(1, c.elems / 64)) {
+      ASSERT_NEAR(out[i], reference[i], tol)
+          << "algo=" << c.algo << " ranks=" << c.ranks << " i=" << i;
+    }
+    // All ranks agree bit-for-bit with rank 0 (same deterministic order).
+    if (r > 0) {
+      const auto& out0 = outputs[0];
+      for (std::size_t i = 0; i < c.elems; i += 97) {
+        ASSERT_EQ(out[i], out0[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllreduceP, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.algo + "_p" + std::to_string(info.param.ranks) + "_n" +
+             std::to_string(info.param.elems);
+    });
+
+TEST(Allreduce, ExactForIntegers) {
+  // Dyadic values sum exactly in float regardless of order, so every
+  // algorithm must agree exactly.
+  for (const auto& name : {"naive", "recursive_halving", "ring",
+                           "multicolor"}) {
+    auto algo = make_algorithm(name);
+    const int p = 8;
+    const std::size_t n = 4096;
+    simmpi::Runtime::execute(p, [&](simmpi::Communicator& comm) {
+      std::vector<float> data(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        data[i] = static_cast<float>((comm.rank() + 1) * (i % 32));
+      }
+      algo->run(comm, std::span<float>(data));
+      const float rank_sum = static_cast<float>(p * (p + 1) / 2);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(data[i], rank_sum * static_cast<float>(i % 32));
+      }
+    });
+  }
+}
+
+TEST(Allreduce, MultiColorTrafficSplitsAcrossColors) {
+  // With k colors each rank is interior in at most one tree, so its send
+  // volume must stay well below sending the whole payload up k trees.
+  const int p = 8;
+  const std::size_t n = 1 << 16;
+  MultiColorAllreduce algo(4, 4096);
+  std::vector<RankTraffic> traffic(p);
+  simmpi::Runtime::execute(p, [&](simmpi::Communicator& comm) {
+    std::vector<float> data(n, 1.0f);
+    algo.run(comm, std::span<float>(data),
+             &traffic[static_cast<std::size_t>(comm.rank())]);
+  });
+  const std::uint64_t payload = n * sizeof(float);
+  for (int r = 0; r < p; ++r) {
+    const auto& t = traffic[static_cast<std::size_t>(r)];
+    // A leaf in all k trees sends its k chunks (≈ payload) in reduce and
+    // nothing in bcast; interior nodes add their bcast fan-out of one
+    // chunk. Nothing should approach k × payload.
+    EXPECT_GE(t.bytes_sent, payload / 2);
+    EXPECT_LE(t.bytes_sent, 2 * payload);
+  }
+}
+
+TEST(Allreduce, RingTrafficIsTwoPayloadsInterior) {
+  const int p = 4;
+  const std::size_t n = 10000;
+  PipelinedRingAllreduce algo(1024);
+  std::vector<RankTraffic> traffic(p);
+  simmpi::Runtime::execute(p, [&](simmpi::Communicator& comm) {
+    std::vector<float> data(n, 1.0f);
+    algo.run(comm, std::span<float>(data),
+             &traffic[static_cast<std::size_t>(comm.rank())]);
+  });
+  const std::uint64_t payload = n * sizeof(float);
+  // Ends of the chain send once (reduce or bcast); middle ranks twice.
+  EXPECT_EQ(traffic[0].bytes_sent, payload);          // root: bcast only
+  EXPECT_EQ(traffic[p - 1].bytes_sent, payload);      // tail: reduce only
+  for (int r = 1; r < p - 1; ++r) {
+    EXPECT_EQ(traffic[static_cast<std::size_t>(r)].bytes_sent, 2 * payload);
+  }
+}
+
+TEST(Allreduce, ReduceFlopsAccounted) {
+  // Total additions across ranks must equal (p-1) × n for any
+  // sum-allreduce that adds each contribution exactly once.
+  const int p = 6;
+  const std::size_t n = 5000;
+  for (const auto& name : {"ring", "multicolor", "recursive_halving",
+                           "multiring", "bucket_ring"}) {
+    auto algo = make_algorithm(name);
+    std::vector<RankTraffic> traffic(p);
+    simmpi::Runtime::execute(p, [&](simmpi::Communicator& comm) {
+      std::vector<float> data(n, 1.0f);
+      algo->run(comm, std::span<float>(data),
+                &traffic[static_cast<std::size_t>(comm.rank())]);
+    });
+    std::uint64_t total = 0;
+    for (const auto& t : traffic) total += t.reduce_flops;
+    EXPECT_EQ(total, static_cast<std::uint64_t>(p - 1) * n) << name;
+  }
+}
+
+TEST(Registry, KnownNamesConstruct) {
+  for (const auto& name : algorithm_names()) {
+    EXPECT_NE(make_algorithm(name), nullptr);
+  }
+  EXPECT_EQ(make_algorithm("multicolor8")->name(), "multicolor8");
+  EXPECT_EQ(make_algorithm("multiring2")->name(), "multiring2");
+  EXPECT_THROW(make_algorithm("nope"), CheckError);
+  EXPECT_THROW(make_algorithm("multicolorx"), CheckError);
+}
+
+TEST(Allreduce, WorksOnSplitCommunicator) {
+  // The algorithms must run on any communicator, not just world.
+  simmpi::Runtime::execute(8, [](simmpi::Communicator& world) {
+    auto sub = world.split(world.rank() % 2, world.rank());
+    MultiColorAllreduce algo(2, 512);
+    std::vector<float> data(1000, static_cast<float>(world.rank()));
+    algo.run(sub, std::span<float>(data));
+    // Sum over my parity class: ranks {0,2,4,6} or {1,3,5,7}.
+    const float expect = (world.rank() % 2 == 0) ? 12.0f : 16.0f;
+    for (float v : data) ASSERT_EQ(v, expect);
+  });
+}
+
+TEST(Allreduce, EmptyPayloadIsNoop) {
+  for (const auto& name : {"naive", "ring", "multicolor",
+                           "recursive_halving"}) {
+    auto algo = make_algorithm(name);
+    simmpi::Runtime::execute(4, [&](simmpi::Communicator& comm) {
+      std::vector<float> data;
+      algo->run(comm, std::span<float>(data));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace dct::allreduce

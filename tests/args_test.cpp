@@ -1,0 +1,64 @@
+// Tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+namespace dct {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"dctrain"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SubcommandAndKeyValue) {
+  const auto args = parse({"train", "--ranks", "4", "--allreduce=ring"});
+  EXPECT_EQ(args.command(), "train");
+  EXPECT_EQ(args.get_int("ranks", 0), 4);
+  EXPECT_EQ(args.get("allreduce", ""), "ring");
+}
+
+TEST(Args, BareSwitchesAndDefaults) {
+  const auto args = parse({"plan", "--baseline", "--nodes", "8"});
+  EXPECT_TRUE(args.has("baseline"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_int("nodes", 0), 8);
+  EXPECT_EQ(args.get_int("batch", 64), 64);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.1), 0.1);
+}
+
+TEST(Args, SwitchFollowedByOption) {
+  // "--flag --key v": flag must not swallow the next option.
+  const auto args = parse({"x", "--flag", "--key", "v"});
+  EXPECT_EQ(args.get("flag", ""), "true");
+  EXPECT_EQ(args.get("key", ""), "v");
+}
+
+TEST(Args, NumericValidation) {
+  const auto args = parse({"x", "--n", "abc", "--f", "1.5"});
+  EXPECT_THROW(args.get_int("n", 0), CheckError);
+  EXPECT_DOUBLE_EQ(args.get_double("f", 0), 1.5);
+}
+
+TEST(Args, RejectsTwoPositionals) {
+  EXPECT_THROW(parse({"a", "b"}), CheckError);
+}
+
+TEST(Args, TracksUnusedOptions) {
+  const auto args = parse({"x", "--used", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("used", 0), 1);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, NoArguments) {
+  const auto args = parse({});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_TRUE(args.unused().empty());
+}
+
+}  // namespace
+}  // namespace dct

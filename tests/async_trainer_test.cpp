@@ -1,0 +1,115 @@
+// Tests for the asynchronous-SGD extension (the paper's §6 future work):
+// protocol integrity, staleness accounting, convergence, and the
+// degenerate single-worker case (which must behave like plain SGD).
+#include <gtest/gtest.h>
+
+#include "simmpi/runtime.hpp"
+#include "tensor/ops.hpp"
+#include "trainer/async_trainer.hpp"
+
+namespace dct::trainer {
+namespace {
+
+AsyncConfig small_async() {
+  AsyncConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.batch = 8;
+  cfg.steps_per_worker = 12;
+  cfg.dataset.seed = 3;
+  cfg.dataset.images = 96;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.lr = 0.03;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(AsyncSgd, AppliesEveryGradientExactlyOnce) {
+  const auto cfg = small_async();
+  for (int ranks : {2, 3, 5}) {
+    AsyncResult server;
+    simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
+      const auto r = run_async_sgd(comm, cfg);
+      if (comm.rank() == 0) server = r;
+    });
+    EXPECT_EQ(server.updates,
+              static_cast<std::uint64_t>((ranks - 1) * cfg.steps_per_worker));
+    EXPECT_EQ(server.staleness.count(), server.updates);
+    EXPECT_FALSE(server.final_params.empty());
+  }
+}
+
+TEST(AsyncSgd, SingleWorkerHasZeroStaleness) {
+  // With one worker the protocol is fully serial: every gradient is
+  // computed on the freshest weights.
+  const auto cfg = small_async();
+  AsyncResult server;
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    const auto r = run_async_sgd(comm, cfg);
+    if (comm.rank() == 0) server = r;
+  });
+  EXPECT_EQ(server.staleness.max(), 0.0);
+}
+
+TEST(AsyncSgd, MultiWorkerStalenessIsRealButBounded) {
+  // With ≥2 workers some gradient is always stale: both first gradients
+  // are computed on version 0, and only one can land first. The other
+  // bound is structural: a gradient can never be staler than the total
+  // number of updates ever applied. (The classic workers−1 bound assumes
+  // round-robin scheduling, which a real async system — and this one —
+  // does not provide.)
+  const auto cfg = small_async();
+  const int ranks = 5;  // 4 workers
+  AsyncResult server;
+  simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
+    const auto r = run_async_sgd(comm, cfg);
+    if (comm.rank() == 0) server = r;
+  });
+  EXPECT_GE(server.staleness.max(), 1.0);
+  EXPECT_LT(server.staleness.max(), static_cast<double>(server.updates));
+  EXPECT_GE(server.staleness.mean(), 0.0);
+}
+
+TEST(AsyncSgd, LearnsTheSyntheticTask) {
+  auto cfg = small_async();
+  cfg.steps_per_worker = 40;
+  AsyncResult server;
+  simmpi::Runtime::execute(3, [&](simmpi::Communicator& comm) {
+    const auto r = run_async_sgd(comm, cfg);
+    if (comm.rank() == 0) server = r;
+  });
+  // Loss of the final gradients well under the ln(4) ≈ 1.39 of chance.
+  EXPECT_LT(server.final_loss, 0.9);
+
+  // And the final master weights classify held-out data above chance.
+  Rng rng(cfg.seed);
+  auto model = nn::make_small_cnn(cfg.model, rng);
+  model->load_params(server.final_params);
+  data::DatasetDef val = cfg.dataset;
+  val.seed ^= 0xABCDEF;
+  val.images = 64;
+  data::SyntheticImageGenerator gen(val);
+  tensor::Tensor images({64, 3, 8, 8});
+  std::vector<std::int32_t> labels(64);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    const auto img = gen.generate(i);
+    data::pixels_to_float(
+        img.pixels,
+        std::span<float>(images.data() + i * 192, 192));
+    labels[static_cast<std::size_t>(i)] = img.label;
+  }
+  const auto logits = model->forward(images, /*train=*/false);
+  EXPECT_GT(tensor::top1_accuracy(logits, labels), 0.4);  // chance 0.25
+}
+
+TEST(AsyncSgd, RequiresAtLeastOneWorker) {
+  simmpi::Runtime rt(1);
+  EXPECT_THROW(rt.run([&](simmpi::Communicator& comm) {
+                 run_async_sgd(comm, small_async());
+               }),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace dct::trainer

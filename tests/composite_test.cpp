@@ -1,0 +1,252 @@
+// Tests for the composite layers (residual, windowed avg-pool, dropout,
+// branch concat), the MiniResNet, and checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "nn/checkpoint.hpp"
+#include "nn/composite.hpp"
+#include "nn/small_cnn.hpp"
+#include "nn/sgd.hpp"
+#include "tensor/ops.hpp"
+
+namespace dct::nn {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng,
+                     float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = (rng.next_float() * 2.0f - 1.0f) * scale;
+  }
+  return t;
+}
+
+float weighted_sum(const Tensor& y, const Tensor& w) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < y.numel(); ++i) acc += y[i] * w[i];
+  return acc;
+}
+
+void check_input_gradient(Layer& layer, Tensor x, double tol = 8e-2) {
+  Rng rng(99);
+  Tensor y = layer.forward(x, true);
+  Tensor w = random_tensor(y.shape(), rng);
+  Tensor grad_in = layer.backward(w);
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < x.numel();
+       i += std::max<std::int64_t>(1, x.numel() / 19)) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fp = weighted_sum(layer.forward(xp, true), w);
+    const float fm = weighted_sum(layer.forward(xm, true), w);
+    ASSERT_NEAR((fp - fm) / (2.0 * eps), grad_in[i], tol) << "index " << i;
+  }
+}
+
+TEST(Residual, IdentitySkipAddsInput) {
+  // Body = zero-weight conv → residual output equals the skip path.
+  Rng rng(1);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(2, 2, 3, 1, 1, rng, false);
+  for (Param* p : body->params()) p->value.zero();
+  Residual res(std::move(body));
+  Rng xr(2);
+  Tensor x = random_tensor({1, 2, 4, 4}, xr);
+  Tensor y = res.forward(x, true);
+  EXPECT_LT(y.max_abs_diff(x), 1e-6f);
+}
+
+TEST(Residual, GradCheckIdentitySkip) {
+  Rng rng(3);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(2, 2, 3, 1, 1, rng, false);
+  Residual res(std::move(body));
+  Rng xr(4);
+  check_input_gradient(res, random_tensor({2, 2, 4, 4}, xr));
+}
+
+TEST(Residual, GradCheckProjectionSkip) {
+  Rng rng(5);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(2, 4, 3, 2, 1, rng, false);
+  auto proj = std::make_unique<Sequential>();
+  proj->emplace<Conv2d>(2, 4, 1, 2, 0, rng, false);
+  Residual res(std::move(body), std::move(proj));
+  Rng xr(6);
+  check_input_gradient(res, random_tensor({1, 2, 6, 6}, xr));
+  EXPECT_EQ(res.params().size(), 2u);  // both convs exposed
+}
+
+TEST(AvgPool2d, AveragesWindows) {
+  Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  AvgPool2d pool(2, 2);
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], (0 + 1 + 4 + 5) / 4.0f);
+  EXPECT_FLOAT_EQ(y[3], (10 + 11 + 14 + 15) / 4.0f);
+}
+
+TEST(AvgPool2d, GradCheckWithPaddingAndStride) {
+  AvgPool2d pool(3, 2, 1);
+  Rng rng(7);
+  check_input_gradient(pool, random_tensor({2, 2, 5, 5}, rng));
+}
+
+TEST(AvgPool2d, PaperAuxHeadGeometry) {
+  // GoogleNet aux head: 14×14 → 5×5/3 → 4×4.
+  AvgPool2d pool(5, 3);
+  Tensor x({1, 2, 14, 14});
+  EXPECT_EQ(pool.forward(x, true).shape(),
+            (std::vector<std::int64_t>{1, 2, 4, 4}));
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Dropout drop(0.5f, 1);
+  Rng rng(8);
+  Tensor x = random_tensor({2, 3, 4, 4}, rng);
+  Tensor y = drop.forward(x, /*train=*/false);
+  EXPECT_TRUE(y.equals(x));
+}
+
+TEST(Dropout, TrainKeepsExpectedValue) {
+  Dropout drop(0.3f, 42);
+  Tensor x = tensor::Tensor::full({10000}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  double mean = 0, zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    mean += y[i];
+    zeros += (y[i] == 0.0f);
+  }
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 1.0, 0.05);  // inverted dropout preserves E[x]
+  EXPECT_NEAR(zeros / static_cast<double>(y.numel()), 0.3, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5f, 9);
+  Tensor x = tensor::Tensor::full({100}, 2.0f);
+  Tensor y = drop.forward(x, true);
+  Tensor g = tensor::Tensor::full({100}, 1.0f);
+  Tensor gi = drop.backward(g);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    // Gradient passes exactly where the activation passed.
+    EXPECT_EQ(gi[i] == 0.0f, y[i] == 0.0f);
+  }
+  EXPECT_THROW(Dropout(1.0f, 1), CheckError);
+}
+
+TEST(ConcatBranches, ConcatenatesChannels) {
+  Rng rng(10);
+  auto cat = std::make_unique<ConcatBranches>();
+  auto b1 = std::make_unique<Sequential>();
+  b1->emplace<Conv2d>(2, 3, 1, 1, 0, rng, false);
+  auto b2 = std::make_unique<Sequential>();
+  b2->emplace<Conv2d>(2, 5, 1, 1, 0, rng, false);
+  cat->add(std::move(b1)).add(std::move(b2));
+  Rng xr(11);
+  Tensor x = random_tensor({2, 2, 4, 4}, xr);
+  Tensor y = cat->forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 8, 4, 4}));
+  EXPECT_EQ(cat->params().size(), 2u);
+}
+
+TEST(ConcatBranches, GradCheck) {
+  Rng rng(12);
+  ConcatBranches cat;
+  auto b1 = std::make_unique<Sequential>();
+  b1->emplace<Conv2d>(2, 2, 3, 1, 1, rng, false);
+  auto b2 = std::make_unique<Sequential>();
+  b2->emplace<Conv2d>(2, 3, 1, 1, 0, rng, false);
+  cat.add(std::move(b1)).add(std::move(b2));
+  Rng xr(13);
+  check_input_gradient(cat, random_tensor({1, 2, 4, 4}, xr));
+}
+
+TEST(MiniResNet, TrainsOnSyntheticTask) {
+  Rng rng(20);
+  auto net = make_mini_resnet(/*classes=*/3, /*image=*/8, rng);
+  EXPECT_GT(net->param_count(), 1000);
+  Sgd opt(SgdConfig{0.9f, 0.0f});
+  Rng dr(21);
+  Tensor x({12, 3, 8, 8});
+  std::vector<std::int32_t> labels(12);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    const auto y = static_cast<std::int32_t>(i % 3);
+    labels[static_cast<std::size_t>(i)] = y;
+    for (std::int64_t j = 0; j < 192; ++j) {
+      x.data()[i * 192 + j] =
+          static_cast<float>(y - 1) * 0.6f + dr.next_float() * 0.4f;
+    }
+  }
+  float first = 0, last = 0;
+  for (int step = 0; step < 40; ++step) {
+    net->zero_grads();
+    Tensor logits = net->forward(x, true);
+    Tensor grad;
+    const float loss = tensor::softmax_cross_entropy(logits, labels, grad);
+    net->backward(grad);
+    opt.step(net->params(), 0.05f);
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(Checkpoint, RoundTripsValuesAndMomentum) {
+  const std::string path = testing::TempDir() + "dct_ckpt_test.bin";
+  Rng rng(30);
+  SmallCnnConfig cfg;
+  auto net = make_small_cnn(cfg, rng);
+  // Give the momentum buffers nontrivial content via a few SGD steps.
+  Sgd opt;
+  for (Param* p : net->params()) p->grad.fill(0.01f);
+  opt.step(net->params(), 0.1f);
+  save_checkpoint(*net, path);
+
+  Rng rng2(31);  // different init
+  auto restored = make_small_cnn(cfg, rng2);
+  load_checkpoint(*restored, path);
+  const auto n = static_cast<std::size_t>(net->param_count());
+  std::vector<float> a(n), b(n);
+  net->flatten_params(std::span<float>(a));
+  restored->flatten_params(std::span<float>(b));
+  EXPECT_EQ(a, b);
+  // Momentum came back too.
+  const auto pa = net->params();
+  const auto pb = restored->params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->velocity.equals(pb[i]->velocity));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMismatchedNetworkAndCorruption) {
+  const std::string path = testing::TempDir() + "dct_ckpt_bad.bin";
+  Rng rng(32);
+  SmallCnnConfig small;
+  auto net = make_small_cnn(small, rng);
+  save_checkpoint(*net, path);
+  // A differently-sized network must refuse the checkpoint.
+  SmallCnnConfig big;
+  big.classes = 20;
+  auto other = make_small_cnn(big, rng);
+  EXPECT_THROW(load_checkpoint(*other, path), CheckError);
+  // Truncated file must refuse too.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "DCTCKPT1 garbage";
+  }
+  EXPECT_THROW(load_checkpoint(*net, path), CheckError);
+  EXPECT_THROW(load_checkpoint(*net, "/nonexistent/ckpt"), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dct::nn

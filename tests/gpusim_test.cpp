@@ -1,0 +1,61 @@
+// Tests for the P100 cost model: calibration against the period's known
+// training throughputs and basic monotonicity.
+#include <gtest/gtest.h>
+
+#include "gpusim/p100_model.hpp"
+
+namespace dct::gpusim {
+namespace {
+
+TEST(P100, ResNet50ThroughputNearPeriodNumbers) {
+  // P100 + cuDNN ResNet-50 training ran at roughly 170–260 img/s.
+  P100Model gpu;
+  const auto spec = nn::resnet50_spec();
+  const double ips = gpu.images_per_second(spec, 64);
+  EXPECT_GT(ips, 150.0);
+  EXPECT_LT(ips, 300.0);
+}
+
+TEST(P100, GoogleNetBnFasterThanResNet) {
+  // The paper's epoch times (Table 1): GoogleNetBN ≈ 155 s vs ResNet-50
+  // ≈ 224 s on 8 nodes → about 1.4× higher image rate.
+  P100Model gpu;
+  const double g = gpu.images_per_second(nn::googlenet_bn_spec(), 64);
+  const double r = gpu.images_per_second(nn::resnet50_spec(), 64);
+  EXPECT_GT(g, 1.15 * r);
+  EXPECT_LT(g, 2.5 * r);
+}
+
+TEST(P100, StepTimeScalesWithBatch) {
+  P100Model gpu;
+  const auto spec = nn::resnet50_spec();
+  const double t32 = gpu.train_step_time(spec, 32);
+  const double t64 = gpu.train_step_time(spec, 64);
+  EXPECT_GT(t64, 1.8 * t32);
+  EXPECT_LT(t64, 2.2 * t32);
+}
+
+TEST(P100, InferenceCheaperThanTraining) {
+  P100Model gpu;
+  const auto spec = nn::resnet50_spec();
+  EXPECT_LT(gpu.inference_time(spec, 64),
+            0.5 * gpu.train_step_time(spec, 64));
+}
+
+TEST(P100, TransferTimeLinear) {
+  P100Model gpu;
+  EXPECT_DOUBLE_EQ(gpu.transfer_time(32'000'000'000ULL), 1.0);
+  EXPECT_DOUBLE_EQ(gpu.transfer_time(0), 0.0);
+}
+
+TEST(P100, SmallBatchDominatedByLaunchOverhead) {
+  P100Model gpu;
+  const auto spec = nn::resnet50_spec();
+  // Images/s at batch 1 is much worse than at batch 64.
+  const double ips1 = gpu.images_per_second(spec, 1);
+  const double ips64 = gpu.images_per_second(spec, 64);
+  EXPECT_LT(ips1, 0.75 * ips64);
+}
+
+}  // namespace
+}  // namespace dct::gpusim

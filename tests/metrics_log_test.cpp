@@ -1,0 +1,41 @@
+// Tests for the CSV metrics sink.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trainer/metrics_log.hpp"
+
+namespace dct::trainer {
+namespace {
+
+TEST(MetricsLog, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "dct_metrics.csv";
+  {
+    MetricsLog log(path, {"epoch", "loss", "top1"});
+    log.append({1, 2.5, 0.31});
+    log.append({2, 1.75, 0.44});
+    EXPECT_EQ(log.rows(), 2u);
+    log.flush();
+  }
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("epoch,loss,top1\n"), std::string::npos);
+  EXPECT_NE(content.find("1,2.5,0.31\n"), std::string::npos);
+  EXPECT_NE(content.find("2,1.75,0.44\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsLog, RejectsArityMismatchAndBadPath) {
+  const std::string path = testing::TempDir() + "dct_metrics2.csv";
+  MetricsLog log(path, {"a", "b"});
+  EXPECT_THROW(log.append({1.0}), CheckError);
+  EXPECT_THROW(MetricsLog("/nonexistent/dir/x.csv", {"a"}), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dct::trainer

@@ -1,0 +1,255 @@
+// Tests for the network simulator: topology routing, flow fair-sharing
+// physics, schedule builders, and the qualitative ordering the paper's
+// Figure 5 depends on (multicolor > ring > OpenMPI default).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/cluster.hpp"
+#include "netsim/flow_sim.hpp"
+#include "netsim/schedules.hpp"
+#include "netsim/topology.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace dct::netsim {
+namespace {
+
+FatTree small_net(int hosts = 8, int rails = 1, double gbps = 80.0) {
+  FatTree::Config cfg;
+  cfg.hosts = hosts;
+  cfg.hosts_per_leaf = 4;
+  cfg.spines = 2;
+  cfg.rails = rails;
+  cfg.host_link_gbps = gbps;
+  cfg.fabric_link_gbps = gbps;
+  return FatTree(cfg);
+}
+
+TEST(Topology, RoutesAreHostUpFabricHostDown) {
+  const auto net = small_net();
+  // Same leaf (hosts 0 and 1): two hops, no fabric.
+  EXPECT_EQ(net.route(0, 1, 0).size(), 2u);
+  // Cross leaf (hosts 0 and 5): four hops.
+  EXPECT_EQ(net.route(0, 5, 0).size(), 4u);
+}
+
+TEST(Topology, RoutesAreDeterministicPerSeed) {
+  const auto net = small_net(8, 2);
+  EXPECT_EQ(net.route(0, 5, 42), net.route(0, 5, 42));
+}
+
+TEST(Topology, SeedsSpreadAcrossRails) {
+  const auto net = small_net(8, 2);
+  bool differs = false;
+  const auto base = net.route(0, 5, 0);
+  for (std::uint64_t seed = 1; seed < 32 && !differs; ++seed) {
+    differs = (net.route(0, 5, seed) != base);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Topology, MappingRelocatesRanks) {
+  FatTree::Config cfg;
+  cfg.hosts = 4;
+  cfg.hosts_per_leaf = 2;
+  cfg.spines = 1;
+  cfg.rails = 1;
+  cfg.mapping = {3, 2, 1, 0};
+  const FatTree net(cfg);
+  // Ranks 0 and 1 live on hosts 3 and 2 → same leaf → 2 hops.
+  EXPECT_EQ(net.route(0, 1, 0).size(), 2u);
+  // Ranks 0 and 3 live on hosts 3 and 0 → cross leaf → 4 hops.
+  EXPECT_EQ(net.route(0, 3, 0).size(), 4u);
+}
+
+TEST(FlowSim, SingleFlowAtLineRate) {
+  const auto net = small_net(8, 1, 80.0);  // 10 GB/s per link
+  CommSchedule s;
+  s.add_transfer(0, 1, 1'000'000'000);  // 1 GB, same leaf
+  const auto r = simulate(net, s);
+  EXPECT_NEAR(r.makespan_s, 0.1, 0.001);  // 1 GB / 10 GB/s
+  EXPECT_EQ(r.flows, 1u);
+}
+
+TEST(FlowSim, TwoFlowsShareALink) {
+  const auto net = small_net(8, 1, 80.0);
+  CommSchedule s;
+  // Both flows leave host 0 → share its single 10 GB/s uplink.
+  s.add_transfer(0, 1, 500'000'000);
+  s.add_transfer(0, 2, 500'000'000);
+  const auto r = simulate(net, s);
+  EXPECT_NEAR(r.makespan_s, 0.1, 0.001);  // 1 GB total through 10 GB/s
+}
+
+TEST(FlowSim, DisjointFlowsRunConcurrently) {
+  const auto net = small_net(8, 1, 80.0);
+  CommSchedule s;
+  s.add_transfer(0, 1, 500'000'000);
+  s.add_transfer(2, 3, 500'000'000);
+  const auto r = simulate(net, s);
+  EXPECT_NEAR(r.makespan_s, 0.05, 0.001);
+}
+
+TEST(FlowSim, DependenciesSerialize) {
+  const auto net = small_net(8, 1, 80.0);
+  CommSchedule s;
+  const int a = s.add_transfer(0, 1, 500'000'000);
+  s.add_transfer(1, 2, 500'000'000, {a});
+  const auto r = simulate(net, s);
+  EXPECT_NEAR(r.makespan_s, 0.1, 0.001);
+}
+
+TEST(FlowSim, ComputeDelaysFlowStart) {
+  const auto net = small_net(8, 1, 80.0);
+  CommSchedule s;
+  const int c = s.add_compute(0, 0.25);
+  s.add_transfer(0, 1, 500'000'000, {c});
+  const auto r = simulate(net, s);
+  EXPECT_NEAR(r.makespan_s, 0.3, 0.001);
+}
+
+TEST(FlowSim, FairnessIsMaxMin) {
+  // Flow A crosses a contended link; flow B shares only part of the
+  // path. Max-min: both bottlenecked flows get half, the free flow gets
+  // the leftover.
+  const auto net = small_net(8, 1, 80.0);
+  CommSchedule s;
+  s.add_transfer(0, 2, 1'000'000'000);  // shares host-0 uplink
+  s.add_transfer(0, 3, 1'000'000'000);  // shares host-0 uplink
+  s.add_transfer(1, 2, 1'000'000'000);  // contends at host-2 downlink
+  const auto r = simulate(net, s);
+  // Host-0 uplink carries 2 GB at 10 GB/s → those two finish ≥ 0.2 s.
+  // The 1→2 flow shares host-2's downlink with flow (0→2): each gets
+  // 5 GB/s while both active.
+  EXPECT_GT(r.makespan_s, 0.19);
+  EXPECT_LT(r.makespan_s, 0.35);
+}
+
+TEST(FlowSim, ZeroByteOpsAndEmptySchedules) {
+  const auto net = small_net();
+  CommSchedule empty;
+  EXPECT_EQ(simulate(net, empty).makespan_s, 0.0);
+  CommSchedule s;
+  s.add_transfer(0, 1, 0);  // zero-byte signal costs only overhead
+  const auto r = simulate(net, s);
+  EXPECT_GT(r.makespan_s, 0.0);
+  EXPECT_LT(r.makespan_s, 1e-4);
+}
+
+TEST(FlowSim, ForwardOnlyDependenciesEnforced) {
+  CommSchedule s;
+  CommOp op;
+  op.src = 0;
+  op.dst = 1;
+  op.bytes = 10;
+  op.deps = {5};
+  EXPECT_THROW(s.add(std::move(op)), dct::CheckError);
+}
+
+// ------------------------------------------------------------ schedules
+
+TEST(Schedules, ConserveBytes) {
+  AllreduceParams p;
+  p.payload_bytes = 16 << 20;
+  p.ranks = 8;
+  // Ring moves ~2·S·(p-1) bytes in total (reduce + broadcast chains).
+  const auto ring = ring_allreduce_schedule(p);
+  EXPECT_NEAR(static_cast<double>(ring.total_bytes()),
+              2.0 * p.payload_bytes * (p.ranks - 1),
+              static_cast<double>(p.payload_bytes) * 0.01);
+  // Multicolor: every rank's payload climbs to a root once and the sum
+  // descends once → also ~2·S·(p-1) in aggregate.
+  const auto mc = multicolor_allreduce_schedule(p, 4);
+  EXPECT_NEAR(static_cast<double>(mc.total_bytes()),
+              2.0 * p.payload_bytes * (p.ranks - 1),
+              static_cast<double>(p.payload_bytes) * 0.05);
+  // Rabenseifner: 2·S·(pof2-1)/pof2 per rank → 2·S·(p-1) aggregate.
+  const auto rh = recursive_halving_schedule(p);
+  EXPECT_NEAR(static_cast<double>(rh.total_bytes()),
+              2.0 * p.payload_bytes * (p.ranks - 1) / p.ranks * p.ranks,
+              static_cast<double>(p.payload_bytes) * 0.30);
+}
+
+TEST(Schedules, RingTimeRespectsBandwidthLowerBound) {
+  // The pipelined ring is limited by one link carrying the whole payload
+  // twice (reduce in, broadcast out of the root's neighbour).
+  ClusterConfig cfg;
+  cfg.nodes = 16;
+  const std::uint64_t payload = 64 << 20;
+  const double t = allreduce_time_s(cfg, "ring", payload);
+  const double link_bw = gbps_to_bytes_per_sec(cfg.rail_gbps);
+  EXPECT_GE(t, 2.0 * static_cast<double>(payload) / link_bw * 0.99);
+}
+
+TEST(Schedules, TimesScaleWithPayload) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  for (const char* algo : {"ring", "multicolor", "recursive_halving",
+                           "naive"}) {
+    const double t1 = allreduce_time_s(cfg, algo, 8 << 20);
+    const double t2 = allreduce_time_s(cfg, algo, 64 << 20);
+    EXPECT_GT(t2, t1 * 3.0) << algo;  // ~linear in payload at this size
+    EXPECT_LT(t2, t1 * 20.0) << algo;
+  }
+}
+
+TEST(Schedules, Figure5OrderingHolds) {
+  // The paper's Fig. 5 (16 nodes): multicolor beats ring beats the
+  // OpenMPI default for large payloads.
+  // Ring has a long latency chain, so it only overtakes the default above
+  // a few tens of MB (the regime Fig. 5 reports); multicolor wins at
+  // every size.
+  ClusterConfig cfg;
+  cfg.nodes = 16;
+  const double t_mc_small = allreduce_time_s(cfg, "multicolor", 4 << 20);
+  const double t_def_small =
+      allreduce_time_s(cfg, "openmpi_default", 4 << 20);
+  EXPECT_LT(t_mc_small, t_def_small);
+  for (std::uint64_t payload : {std::uint64_t{64} << 20,
+                                std::uint64_t{93} << 20}) {
+    const double t_mc = allreduce_time_s(cfg, "multicolor", payload);
+    const double t_ring = allreduce_time_s(cfg, "ring", payload);
+    const double t_def = allreduce_time_s(cfg, "openmpi_default", payload);
+    EXPECT_LT(t_mc, t_ring) << payload;
+    EXPECT_LT(t_ring, t_def) << payload;
+    // Fig. 5's gap: multicolor well ahead of the stock stack (the
+    // 50–60 % *epoch*-time band is asserted at the trainer level, where
+    // compute dilutes the communication saving).
+    EXPECT_GT(t_def / t_mc, 3.0) << "payload " << payload;
+    // And ring meaningfully better than default at large payloads.
+    EXPECT_GT(t_def / t_ring, 1.5) << "payload " << payload;
+  }
+}
+
+TEST(Schedules, MulticolorUsesBothRails) {
+  // With 2 rails the color streams spread over both adapters; a 1-rail
+  // cluster must be materially slower.
+  ClusterConfig two;
+  two.nodes = 16;
+  ClusterConfig one = two;
+  one.rails = 1;
+  const std::uint64_t payload = 64 << 20;
+  const double t2 = allreduce_time_s(two, "multicolor", payload);
+  const double t1 = allreduce_time_s(one, "multicolor", payload);
+  EXPECT_GT(t1, t2 * 1.15);
+}
+
+TEST(Schedules, AlltoallScalesWithPairBytes) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  const double t1 = alltoall_time_s(cfg, 1 << 20);
+  const double t2 = alltoall_time_s(cfg, 4 << 20);
+  EXPECT_GT(t2, t1 * 2.0);
+  EXPECT_LT(t2, t1 * 8.0);
+}
+
+TEST(Schedules, SingleNodeIsFree) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  EXPECT_EQ(allreduce_time_s(cfg, "multicolor", 1 << 20), 0.0);
+  EXPECT_EQ(alltoall_time_s(cfg, 1 << 20), 0.0);
+}
+
+}  // namespace
+}  // namespace dct::netsim

@@ -1,0 +1,112 @@
+// Property sweep over the netsim schedule builders: for every algorithm
+// × rank count × payload, the generated DAG must simulate to completion
+// with sane physics — positive makespan, byte conservation in the
+// expected band, monotonicity in payload, and a cost no better than the
+// bandwidth lower bound of an allreduce.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "netsim/cluster.hpp"
+#include "netsim/schedules.hpp"
+#include "util/units.hpp"
+
+namespace dct::netsim {
+namespace {
+
+using Param = std::tuple<std::string, int, std::uint64_t>;
+
+class SchedulePropertyP : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchedulePropertyP, SimulatesWithSanePhysics) {
+  const auto& [algo, nodes, payload] = GetParam();
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  const FatTree net = make_minsky_fabric(cfg);
+  AllreduceParams params;
+  params.payload_bytes = payload;
+  params.ranks = nodes;
+  params.reduce_bw_Bps = cfg.reduce_bw_Bps;
+  params.pipeline_bytes = std::max<std::uint64_t>(64 << 10, payload / 32);
+
+  const CommSchedule schedule = allreduce_schedule(algo, params);
+  ASSERT_GT(schedule.size(), 0u);
+
+  // Aggregate traffic of any correct allreduce: at least S·(p−1)/p·2·p/p…
+  // use the loose band [S, 2·S·(p−1)] ∪ padding for the tree fan-outs.
+  const double total = static_cast<double>(schedule.total_bytes());
+  EXPECT_GE(total, static_cast<double>(payload));
+  EXPECT_LE(total, 2.5 * static_cast<double>(payload) * nodes);
+
+  const auto result = simulate(net, schedule, sim_options_for(algo));
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_GT(result.flows, 0u);
+  EXPECT_LE(result.max_link_utilization, 1.0 + 1e-6);
+
+  // No algorithm can beat the injection lower bound: some rank must
+  // send at least S·(p−1)/p bytes through its NIC (2 rails).
+  const double nic_bw = 2.0 * gbps_to_bytes_per_sec(cfg.rail_gbps);
+  const double lower =
+      static_cast<double>(payload) * (nodes - 1) / nodes / nic_bw;
+  EXPECT_GE(result.makespan_s, 0.5 * lower) << "suspiciously fast";
+
+  // Monotone in payload.
+  AllreduceParams smaller = params;
+  smaller.payload_bytes = payload / 2;
+  const auto small_result = simulate(net, allreduce_schedule(algo, smaller),
+                                     sim_options_for(algo));
+  EXPECT_LE(small_result.makespan_s, result.makespan_s * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SchedulePropertyP,
+    ::testing::Combine(
+        ::testing::Values("ring", "bucket_ring", "multiring", "multicolor",
+                          "multicolor2", "multicolor8", "recursive_halving",
+                          "naive"),
+        ::testing::Values(4, 8, 16, 27),
+        ::testing::Values(std::uint64_t{2} << 20, std::uint64_t{16} << 20)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::get<0>(info.param) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param) >> 20) + "MB";
+    });
+
+TEST(ScheduleProperty, MulticolorBeatsSingleColorEverywhere) {
+  for (int nodes : {8, 16, 32}) {
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    const double t4 = allreduce_time_s(cfg, "multicolor4", 32 << 20);
+    const double t1 = allreduce_time_s(cfg, "multicolor1", 32 << 20);
+    EXPECT_LT(t4, t1) << nodes;
+  }
+}
+
+TEST(ScheduleProperty, MultiringBeatsPlainRing) {
+  // The §5.2 "multi-color ring": spreading the root hot-spots must beat
+  // the single reduce-to-root ring.
+  for (int nodes : {8, 16, 32}) {
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    const double t_multi = allreduce_time_s(cfg, "multiring", 64 << 20);
+    const double t_single = allreduce_time_s(cfg, "ring", 64 << 20);
+    EXPECT_LT(t_multi, t_single) << nodes;
+  }
+}
+
+TEST(ScheduleProperty, BucketRingIsBandwidthCompetitive) {
+  // The NCCL-style exchange must comfortably beat the paper's
+  // reduce-to-root ring and land within ~2× of multicolor.
+  ClusterConfig cfg;
+  cfg.nodes = 16;
+  const std::uint64_t payload = 93 << 20;
+  const double t_bucket = allreduce_time_s(cfg, "bucket_ring", payload);
+  const double t_ring = allreduce_time_s(cfg, "ring", payload);
+  const double t_mc = allreduce_time_s(cfg, "multicolor", payload);
+  EXPECT_LT(t_bucket, t_ring);
+  EXPECT_LT(t_bucket, 2.5 * t_mc);
+}
+
+}  // namespace
+}  // namespace dct::netsim

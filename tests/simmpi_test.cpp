@@ -1,0 +1,436 @@
+// Tests for the in-process MPI runtime: point-to-point semantics,
+// collectives across many rank counts, communicator split/dup, and
+// failure propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace dct::simmpi {
+namespace {
+
+TEST(P2P, SendRecvValue) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(12345, 1, 7);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 12345);
+    }
+  });
+}
+
+TEST(P2P, TagsMatchSelectively) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, /*tag=*/10);
+      comm.send_value<int>(2, 1, /*tag=*/20);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 2);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 1);
+    }
+  });
+}
+
+TEST(P2P, NonOvertakingSameTag) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) comm.send_value<int>(i, 1, 3);
+    } else {
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(P2P, AnySourceAnyTag) {
+  Runtime::execute(3, [](Communicator& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(comm.rank() * 100, 0, comm.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        std::int32_t v = 0;
+        Status st = comm.recv(std::span<std::int32_t>(&v, 1), kAnySource,
+                              kAnyTag);
+        EXPECT_EQ(v, st.source * 100);
+        EXPECT_EQ(st.tag, st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 300);
+    }
+  });
+}
+
+TEST(P2P, ProbeReportsSize) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> payload(37, 1.5);
+      comm.send(std::span<const double>(payload), 1, 4);
+    } else {
+      Status st = comm.probe(0, 4);
+      EXPECT_EQ(st.bytes, 37 * sizeof(double));
+      std::vector<double> buf(37);
+      comm.recv(std::span<double>(buf), 0, 4);
+      EXPECT_DOUBLE_EQ(buf[36], 1.5);
+    }
+  });
+}
+
+TEST(P2P, RecvAnyBytesUnknownSize) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(123, std::byte{0xAB});
+      comm.send_bytes(data, 1, 0);
+    } else {
+      Status st;
+      auto data = comm.recv_any_bytes(0, 0, &st);
+      EXPECT_EQ(data.size(), 123u);
+      EXPECT_EQ(st.bytes, 123u);
+      EXPECT_EQ(data[50], std::byte{0xAB});
+    }
+  });
+}
+
+TEST(P2P, SendRecvExchange) {
+  Runtime::execute(2, [](Communicator& comm) {
+    const int me = comm.rank();
+    const int peer = 1 - me;
+    std::int64_t out = me + 100, in = -1;
+    comm.sendrecv(std::span<const std::int64_t>(&out, 1), peer, 9,
+                  std::span<std::int64_t>(&in, 1), peer, 9);
+    EXPECT_EQ(in, peer + 100);
+  });
+}
+
+TEST(P2P, IrecvCompletesOnWait) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(55, 1, 1);
+    } else {
+      int v = 0;
+      auto req = comm.irecv(std::span<int>(&v, 1), 0, 1);
+      EXPECT_FALSE(req.done());
+      req.wait();
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(v, 55);
+    }
+  });
+}
+
+class CollectiveP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveP, Barrier) {
+  const int p = GetParam();
+  std::atomic<int> phase{0};
+  Runtime::execute(p, [&](Communicator& comm) {
+    phase++;
+    comm.barrier();
+    // After the barrier every rank must have incremented.
+    EXPECT_EQ(phase.load(), p);
+    comm.barrier();
+  });
+}
+
+TEST_P(CollectiveP, BcastFromEveryRoot) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::uint32_t> data(17, 0);
+      if (comm.rank() == root) {
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          data[i] = static_cast<std::uint32_t>(root * 1000 + i);
+        }
+      }
+      comm.bcast(std::span<std::uint32_t>(data), root);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(data[i], static_cast<std::uint32_t>(root * 1000 + i));
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveP, ReduceSumToEveryRoot) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int64_t> data(8);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = comm.rank() + static_cast<int>(i);
+      }
+      comm.reduce_inplace(std::span<std::int64_t>(data), root,
+                          [](std::int64_t a, std::int64_t b) { return a + b; });
+      if (comm.rank() == root) {
+        const std::int64_t rank_sum = std::int64_t(p) * (p - 1) / 2;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          ASSERT_EQ(data[i], rank_sum + std::int64_t(p) * static_cast<int>(i));
+        }
+      }
+      comm.barrier();  // keep roots in lockstep across iterations
+    }
+  });
+}
+
+TEST_P(CollectiveP, AllreduceNaive) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    std::vector<double> data(33, static_cast<double>(comm.rank() + 1));
+    comm.allreduce_inplace(std::span<double>(data),
+                           [](double a, double b) { return a + b; });
+    const double expect = p * (p + 1) / 2.0;
+    for (double v : data) ASSERT_DOUBLE_EQ(v, expect);
+  });
+}
+
+TEST_P(CollectiveP, AllgatherOrdersBlocks) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    std::vector<std::int32_t> mine(3, comm.rank());
+    std::vector<std::int32_t> all(3 * static_cast<std::size_t>(p));
+    comm.allgather(std::span<const std::int32_t>(mine),
+                   std::span<std::int32_t>(all));
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r) * 3 + i], r);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveP, AllgathervRaggedBlocks) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    // Rank r contributes r+1 elements, all equal to r.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts[static_cast<std::size_t>(r)] = static_cast<std::size_t>(r + 1);
+      total += static_cast<std::size_t>(r + 1);
+    }
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(comm.rank() + 1),
+                                   comm.rank());
+    std::vector<std::int32_t> all(total);
+    comm.allgatherv(std::span<const std::int32_t>(mine),
+                    std::span<std::int32_t>(all),
+                    std::span<const std::size_t>(counts));
+    std::size_t off = 0;
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+        ASSERT_EQ(all[off++], r);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveP, GatherScatterRoundTrip) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    const int root = p - 1;
+    std::vector<std::int32_t> mine{comm.rank() * 2, comm.rank() * 2 + 1};
+    std::vector<std::int32_t> all(static_cast<std::size_t>(2 * p));
+    comm.gather(std::span<const std::int32_t>(mine),
+                std::span<std::int32_t>(all), root);
+    if (comm.rank() == root) {
+      for (int i = 0; i < 2 * p; ++i) ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+      // Reverse it and scatter back.
+      std::reverse(all.begin(), all.end());
+    }
+    std::vector<std::int32_t> back(2);
+    comm.scatter(std::span<const std::int32_t>(all),
+                 std::span<std::int32_t>(back), root);
+    EXPECT_EQ(back[0], 2 * p - 1 - comm.rank() * 2);
+    EXPECT_EQ(back[1], 2 * p - 2 - comm.rank() * 2);
+  });
+}
+
+TEST_P(CollectiveP, AlltoallTransposes) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    // Element for dest d from rank r encodes (r, d).
+    std::vector<std::int32_t> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      send[static_cast<std::size_t>(d)] = comm.rank() * 1000 + d;
+    }
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(p));
+    comm.alltoall(std::span<const std::int32_t>(send),
+                  std::span<std::int32_t>(recv));
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(r)], r * 1000 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectiveP, AlltoallvRaggedCounts) {
+  const int p = GetParam();
+  Runtime::execute(p, [&](Communicator& comm) {
+    const int me = comm.rank();
+    // Rank r sends (r + d) % 3 elements to dest d, each equal to r*100+d.
+    auto count_for = [](int src, int dst) {
+      return static_cast<std::size_t>((src + dst) % 3);
+    };
+    std::vector<std::size_t> scounts(static_cast<std::size_t>(p)),
+        sdispls(static_cast<std::size_t>(p)), rcounts(static_cast<std::size_t>(p)),
+        rdispls(static_cast<std::size_t>(p));
+    std::size_t stot = 0, rtot = 0;
+    for (int d = 0; d < p; ++d) {
+      scounts[static_cast<std::size_t>(d)] = count_for(me, d);
+      sdispls[static_cast<std::size_t>(d)] = stot;
+      stot += scounts[static_cast<std::size_t>(d)];
+      rcounts[static_cast<std::size_t>(d)] = count_for(d, me);
+      rdispls[static_cast<std::size_t>(d)] = rtot;
+      rtot += rcounts[static_cast<std::size_t>(d)];
+    }
+    std::vector<std::int32_t> send(stot);
+    for (int d = 0; d < p; ++d) {
+      for (std::size_t i = 0; i < scounts[static_cast<std::size_t>(d)]; ++i) {
+        send[sdispls[static_cast<std::size_t>(d)] + i] = me * 100 + d;
+      }
+    }
+    std::vector<std::int32_t> recv(rtot, -1);
+    comm.alltoallv(std::span<const std::int32_t>(send),
+                   std::span<const std::size_t>(scounts),
+                   std::span<const std::size_t>(sdispls),
+                   std::span<std::int32_t>(recv),
+                   std::span<const std::size_t>(rcounts),
+                   std::span<const std::size_t>(rdispls));
+    for (int s = 0; s < p; ++s) {
+      for (std::size_t i = 0; i < rcounts[static_cast<std::size_t>(s)]; ++i) {
+        ASSERT_EQ(recv[rdispls[static_cast<std::size_t>(s)] + i], s * 100 + me);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(CommSplit, GroupsByColorOrderedByKey) {
+  Runtime::execute(8, [](Communicator& comm) {
+    // Two colors: even/odd ranks; key reverses order inside the group.
+    const int color = comm.rank() % 2;
+    const int key = -comm.rank();
+    Communicator sub = comm.split(color, key);
+    EXPECT_EQ(sub.size(), 4);
+    // Highest old rank gets new rank 0 within its color.
+    const int expected_rank = (7 - comm.rank()) / 2;
+    EXPECT_EQ(sub.rank(), expected_rank);
+    // The sub-communicator must be fully functional.
+    std::vector<std::int32_t> v{comm.rank()};
+    auto gathered = sub.allgather_value<std::int32_t>(comm.rank());
+    // Members are the 4 ranks of my parity, descending.
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(gathered[static_cast<std::size_t>(i)] % 2, color);
+    }
+    EXPECT_TRUE(std::is_sorted(gathered.rbegin(), gathered.rend()));
+  });
+}
+
+TEST(CommSplit, SingleColorKeepsOrder) {
+  Runtime::execute(5, [](Communicator& comm) {
+    Communicator sub = comm.split(0, comm.rank());
+    EXPECT_EQ(sub.size(), 5);
+    EXPECT_EQ(sub.rank(), comm.rank());
+  });
+}
+
+TEST(CommSplit, SubCommTrafficDoesNotLeak) {
+  Runtime::execute(4, [](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() / 2, comm.rank());
+    // Same tag, same comm-rank numbering in both subgroups — traffic must
+    // stay within each context.
+    if (sub.rank() == 0) {
+      comm.barrier();
+      sub.send_value<int>(comm.rank(), 1, 42);
+    } else {
+      comm.barrier();
+      const int got = sub.recv_value<int>(0, 42);
+      EXPECT_EQ(got, (comm.rank() / 2) * 2);  // rank 0 of my own group
+    }
+  });
+}
+
+TEST(CommDup, IndependentContext) {
+  Runtime::execute(3, [](Communicator& comm) {
+    Communicator dup = comm.dup();
+    EXPECT_EQ(dup.size(), comm.size());
+    EXPECT_EQ(dup.rank(), comm.rank());
+    EXPECT_NE(dup.context(), comm.context());
+    // Message on dup is not received on comm.
+    if (comm.rank() == 0) {
+      dup.send_value<int>(7, 1, 5);
+      comm.send_value<int>(8, 1, 5);
+    } else if (comm.rank() == 1) {
+      EXPECT_EQ(comm.recv_value<int>(0, 5), 8);
+      EXPECT_EQ(dup.recv_value<int>(0, 5), 7);
+    }
+  });
+}
+
+TEST(Runtime, RankExceptionPropagates) {
+  EXPECT_THROW(
+      Runtime::execute(4,
+                       [](Communicator& comm) {
+                         if (comm.rank() == 2) {
+                           throw std::runtime_error("rank 2 exploded");
+                         }
+                         // Other ranks block; must be woken by abort.
+                         comm.barrier();
+                         comm.barrier();
+                         comm.barrier();
+                       }),
+      std::runtime_error);
+}
+
+TEST(Runtime, TrafficCountersAdvance) {
+  Runtime rt(2);
+  const auto before = rt.transport().total_bytes_sent();
+  rt.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> blob(1000, std::byte{1});
+      comm.send_bytes(blob, 1, 0);
+    } else {
+      std::vector<std::byte> blob(1000);
+      comm.recv_bytes(std::span<std::byte>(blob), 0, 0);
+    }
+  });
+  EXPECT_GE(rt.transport().total_bytes_sent() - before, 1000u);
+  EXPECT_GE(rt.transport().total_messages(), 1u);
+}
+
+TEST(Runtime, SingleRankWorks) {
+  Runtime::execute(1, [](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    std::vector<int> v{41};
+    comm.bcast(std::span<int>(v), 0);
+    comm.allreduce_inplace(std::span<int>(v),
+                           [](int a, int b) { return a + b; });
+    EXPECT_EQ(v[0], 41);
+    auto g = comm.allgather_value<int>(9);
+    EXPECT_EQ(g, std::vector<int>{9});
+  });
+}
+
+TEST(Runtime, LargePayloadIntegrity) {
+  Runtime::execute(2, [](Communicator& comm) {
+    constexpr std::size_t n = 1 << 20;  // 4 MiB of int32
+    if (comm.rank() == 0) {
+      std::vector<std::int32_t> big(n);
+      std::iota(big.begin(), big.end(), 0);
+      comm.send(std::span<const std::int32_t>(big), 1, 0);
+    } else {
+      std::vector<std::int32_t> big(n);
+      comm.recv(std::span<std::int32_t>(big), 0, 0);
+      for (std::size_t i = 0; i < n; i += 4099) {
+        ASSERT_EQ(big[i], static_cast<std::int32_t>(i));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dct::simmpi

@@ -1,0 +1,119 @@
+// Tests for the storage module: filesystem model physics, donkey-pool
+// functional loading, and the random-vs-bulk asymmetry that motivates
+// DIMD (paper §4.1).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/codec.hpp"
+#include "storage/donkey_pool.hpp"
+
+namespace dct::storage {
+namespace {
+
+TEST(SimFs, StreamBandwidthCappedByAggregate) {
+  SimFilesystem fs(SimFsConfig{1e-3, 400e6, 2e9});
+  EXPECT_DOUBLE_EQ(fs.effective_stream_bw(1), 400e6);
+  EXPECT_DOUBLE_EQ(fs.effective_stream_bw(4), 400e6);   // 2e9/4 = 500e6 > 400e6
+  EXPECT_DOUBLE_EQ(fs.effective_stream_bw(10), 200e6);  // aggregate bound
+}
+
+TEST(SimFs, RandomReadDominatedByLatencyForSmallFiles) {
+  SimFilesystem fs(SimFsConfig{2.5e-3, 400e6, 3e9});
+  // 60 KB image: transfer 0.15 ms ≪ 2.5 ms seek.
+  const double t = fs.random_read_time(60'000, 1);
+  EXPECT_GT(t, 2.5e-3);
+  EXPECT_LT(t, 2.8e-3);
+}
+
+TEST(SimFs, BulkReadAmortisesLatency) {
+  SimFilesystem fs(SimFsConfig{2.5e-3, 400e6, 3e9});
+  const std::uint64_t partition = 2ULL << 30;  // 2 GiB slice
+  const double bulk = fs.sequential_read_time(partition, 1);
+  // Per-image random loading of the same bytes is far slower.
+  const std::uint64_t image = 60'000;
+  const double random_total =
+      fs.random_read_time(image, 1) * (partition / image);
+  EXPECT_GT(random_total, 10.0 * bulk);
+}
+
+TEST(Donkey, AnalyticThroughputShapes) {
+  SimFilesystem fs;
+  const std::uint64_t img = 60'000;
+  // More donkey threads → more throughput, until the array saturates.
+  const double t1 = donkey_images_per_second(fs, img, 1, 1);
+  const double t8 = donkey_images_per_second(fs, img, 8, 1);
+  EXPECT_GT(t8, 3.0 * t1);
+  // More nodes share the array: per-node rate must fall once saturated.
+  const double one_node = donkey_images_per_second(fs, img, 16, 1);
+  const double many_nodes = donkey_images_per_second(fs, img, 16, 32);
+  EXPECT_LT(many_nodes, one_node);
+}
+
+TEST(Donkey, CannotFeedFourP100s) {
+  // The paper's observation: the donkey pipeline cannot sustain the
+  // ≈800 img/s four P100s consume per node (ResNet-50).
+  SimFilesystem fs;
+  const double rate = donkey_images_per_second(fs, 60'000, 8, 32);
+  EXPECT_LT(rate, 800.0);
+}
+
+class DonkeyPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    blob_ = testing::TempDir() + "dct_donkey_blob.bin";
+    index_ = testing::TempDir() + "dct_donkey_index.bin";
+    def_.seed = 3;
+    def_.images = 50;
+    def_.classes = 5;
+    def_.image = data::ImageDef{3, 8, 8};
+    data::build_synthetic_record_file(def_, blob_, index_);
+  }
+  void TearDown() override {
+    std::remove(blob_.c_str());
+    std::remove(index_.c_str());
+  }
+  data::DatasetDef def_;
+  std::string blob_, index_;
+};
+
+TEST_F(DonkeyPoolTest, LoadsDecodedBatches) {
+  data::RecordFile file(blob_, index_);
+  DonkeyPool pool(file, def_.image, 4);
+  const auto batch = pool.load_batch(12, /*seed=*/99);
+  EXPECT_EQ(batch.images.shape(), (std::vector<std::int64_t>{12, 3, 8, 8}));
+  EXPECT_EQ(batch.labels.size(), 12u);
+  for (auto l : batch.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+  // Deterministic in the seed.
+  const auto again = pool.load_batch(12, 99);
+  EXPECT_TRUE(batch.images.equals(again.images));
+  EXPECT_EQ(batch.labels, again.labels);
+  // Different seed differs.
+  const auto other = pool.load_batch(12, 100);
+  EXPECT_FALSE(batch.images.equals(other.images));
+}
+
+TEST_F(DonkeyPoolTest, ConcurrentBatchesAreConsistent) {
+  data::RecordFile file(blob_, index_);
+  DonkeyPool pool(file, def_.image, 4);
+  std::vector<std::future<LoadedBatch>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit_batch(6, static_cast<std::uint64_t>(i)));
+  }
+  data::SyntheticImageGenerator gen(def_);
+  for (auto& f : futs) {
+    const auto b = f.get();
+    EXPECT_EQ(b.images.dim(0), 6);
+    for (std::int64_t i = 0; i < b.images.numel(); ++i) {
+      ASSERT_GE(b.images[i], -1.0f);
+      ASSERT_LE(b.images[i], 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dct::storage

@@ -1,0 +1,310 @@
+// Tests for the tensor kernels: gemm against naive reference, im2col /
+// col2im adjointness, pooling, batch norm statistics, softmax losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace dct::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng,
+                     float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = (rng.next_float() * 2.0f - 1.0f) * scale;
+  }
+  return t;
+}
+
+TEST(Tensor, ConstructionAndIndexing) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  Tensor u = Tensor::full({4}, 2.5f);
+  EXPECT_EQ(u[3], 2.5f);
+  EXPECT_THROW(Tensor({-1, 2}), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.at(2, 3), 11.0f);
+  EXPECT_THROW(t.reshaped({5, 2}), CheckError);
+}
+
+TEST(Tensor, KaimingStats) {
+  Rng rng(1);
+  Tensor t = Tensor::kaiming({1000, 50}, 50, rng);
+  double mean = 0, var = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) mean += t[i];
+  mean /= static_cast<double>(t.numel());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - mean) * (t[i] - mean);
+  }
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), std::sqrt(2.0 / 50.0), 0.01);
+}
+
+TEST(Gemm, MatchesNaive) {
+  Rng rng(2);
+  const std::int64_t m = 7, k = 11, n = 5;
+  Tensor a = random_tensor({m, k}, rng);
+  Tensor b = random_tensor({k, n}, rng);
+  Tensor c({m, n});
+  gemm(a, false, b, false, c);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      ASSERT_NEAR(c.at(i, j), acc, 1e-4);
+    }
+  }
+}
+
+TEST(Gemm, TransposeVariantsAgree) {
+  Rng rng(3);
+  const std::int64_t m = 4, k = 6, n = 3;
+  Tensor a = random_tensor({m, k}, rng);
+  Tensor b = random_tensor({k, n}, rng);
+  // Build transposed copies.
+  Tensor at({k, m}), bt({n, k});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) at.at(j, i) = a.at(i, j);
+  }
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor c0({m, n}), c1({m, n}), c2({m, n}), c3({m, n});
+  gemm(a, false, b, false, c0);
+  gemm(at, true, b, false, c1);
+  gemm(a, false, bt, true, c2);
+  gemm(at, true, bt, true, c3);
+  EXPECT_LT(c0.max_abs_diff(c1), 1e-5f);
+  EXPECT_LT(c0.max_abs_diff(c2), 1e-5f);
+  EXPECT_LT(c0.max_abs_diff(c3), 1e-5f);
+}
+
+TEST(Gemm, AlphaBetaSemantics) {
+  Rng rng(4);
+  Tensor a = random_tensor({2, 2}, rng);
+  Tensor b = random_tensor({2, 2}, rng);
+  Tensor c = Tensor::full({2, 2}, 1.0f);
+  gemm(a, false, b, false, c, 2.0f, 3.0f);
+  Tensor ref({2, 2});
+  gemm(a, false, b, false, ref);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    ASSERT_NEAR(c[i], 2.0f * ref[i] + 3.0f, 1e-5);
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2}), c({2, 2});
+  EXPECT_THROW(gemm(a, false, b, false, c), CheckError);
+}
+
+TEST(Conv, Identity1x1KernelPassesThrough) {
+  Rng rng(5);
+  Tensor x = random_tensor({2, 3, 5, 5}, rng);
+  Conv2dShape s{3, 3, 1, 1, 0};
+  Tensor w({3, 3});  // identity mixing
+  for (std::int64_t i = 0; i < 3; ++i) w.at(i, i) = 1.0f;
+  Tensor out = conv2d_forward(x, w, Tensor({0}), s);
+  EXPECT_LT(out.max_abs_diff(x), 1e-6f);
+}
+
+TEST(Conv, MatchesDirectConvolution) {
+  Rng rng(6);
+  Tensor x = random_tensor({2, 2, 6, 6}, rng);
+  Conv2dShape s{2, 3, 3, 1, 1};
+  Tensor w = random_tensor({3, 2 * 9}, rng);
+  Tensor bias = random_tensor({3}, rng);
+  Tensor out = conv2d_forward(x, w, bias, s);
+  ASSERT_EQ(out.shape(), (std::vector<std::int64_t>{2, 3, 6, 6}));
+  // Direct computation at a few positions.
+  for (std::int64_t img : {0, 1}) {
+    for (std::int64_t co : {0, 2}) {
+      for (std::int64_t oi : {0, 3, 5}) {
+        for (std::int64_t oj : {1, 5}) {
+          double acc = bias[co];
+          for (std::int64_t ci = 0; ci < 2; ++ci) {
+            for (std::int64_t ki = 0; ki < 3; ++ki) {
+              for (std::int64_t kj = 0; kj < 3; ++kj) {
+                const std::int64_t ii = oi - 1 + ki, jj = oj - 1 + kj;
+                if (ii < 0 || ii >= 6 || jj < 0 || jj >= 6) continue;
+                acc += x.at(img, ci, ii, jj) *
+                       w.at(co, (ci * 3 + ki) * 3 + kj);
+              }
+            }
+          }
+          ASSERT_NEAR(out.at(img, co, oi, oj), acc, 1e-4);
+        }
+      }
+    }
+  }
+}
+
+TEST(Conv, StrideAndPadShapes) {
+  Conv2dShape s{1, 1, 3, 2, 1};
+  EXPECT_EQ(s.out_size(224), 112);
+  Conv2dShape t{1, 1, 7, 2, 3};
+  EXPECT_EQ(t.out_size(224), 112);
+  Conv2dShape u{1, 1, 1, 1, 0};
+  EXPECT_EQ(u.out_size(7), 7);
+}
+
+TEST(Conv, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+  // that makes the conv backward correct.
+  Rng rng(7);
+  Conv2dShape s{2, 4, 3, 2, 1};
+  Tensor x = random_tensor({1, 2, 5, 5}, rng);
+  const Tensor cx = im2col(x, s);
+  Tensor y = random_tensor(cx.shape(), rng);
+  const Tensor ay = col2im(y, s, 1, 5, 5);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < cx.numel(); ++i) lhs += cx[i] * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * ay[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Pool, MaxPoolForwardBackward) {
+  Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  std::vector<std::int64_t> argmax;
+  Tensor out = maxpool_forward(x, 2, 2, argmax);
+  ASSERT_EQ(out.shape(), (std::vector<std::int64_t>{1, 1, 2, 2}));
+  EXPECT_EQ(out[0], 5.0f);
+  EXPECT_EQ(out[3], 15.0f);
+  Tensor g({1, 1, 2, 2});
+  g.fill(1.0f);
+  Tensor gin = maxpool_backward(g, argmax, x.shape());
+  EXPECT_EQ(gin[5], 1.0f);
+  EXPECT_EQ(gin[15], 1.0f);
+  EXPECT_EQ(gin[0], 0.0f);
+  double total = sum(gin);
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+TEST(Pool, GlobalAvgPool) {
+  Tensor x({2, 3, 2, 2});
+  x.fill(2.0f);
+  Tensor out = global_avgpool_forward(x);
+  ASSERT_EQ(out.shape(), (std::vector<std::int64_t>{2, 3}));
+  EXPECT_EQ(out.at(1, 2), 2.0f);
+  Tensor g({2, 3});
+  g.fill(4.0f);
+  Tensor gin = global_avgpool_backward(g, x.shape());
+  EXPECT_EQ(gin[0], 1.0f);  // 4 / (2·2)
+}
+
+TEST(BatchNorm, NormalisesPerChannel) {
+  Rng rng(8);
+  Tensor x = random_tensor({4, 2, 3, 3}, rng, 5.0f);
+  Tensor gamma = Tensor::full({2}, 1.0f);
+  Tensor beta({2});
+  BatchNormCache cache;
+  Tensor out = batchnorm_forward(x, gamma, beta, 1e-5f, cache);
+  for (std::int64_t ch = 0; ch < 2; ++ch) {
+    double mean = 0, var = 0;
+    std::int64_t count = 0;
+    for (std::int64_t img = 0; img < 4; ++img) {
+      for (std::int64_t i = 0; i < 9; ++i) {
+        mean += out.data()[(img * 2 + ch) * 9 + i];
+        ++count;
+      }
+    }
+    mean /= count;
+    for (std::int64_t img = 0; img < 4; ++img) {
+      for (std::int64_t i = 0; i < 9; ++i) {
+        const double d = out.data()[(img * 2 + ch) * 9 + i] - mean;
+        var += d * d;
+      }
+    }
+    var /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApplied) {
+  Rng rng(9);
+  Tensor x = random_tensor({2, 1, 2, 2}, rng);
+  Tensor gamma = Tensor::full({1}, 3.0f);
+  Tensor beta = Tensor::full({1}, -1.0f);
+  BatchNormCache cache;
+  Tensor out = batchnorm_forward(x, gamma, beta, 1e-5f, cache);
+  double mean = 0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) mean += out[i];
+  EXPECT_NEAR(mean / static_cast<double>(out.numel()), -1.0, 1e-4);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(10);
+  Tensor logits = random_tensor({5, 7}, rng, 3.0f);
+  Tensor p = softmax(logits);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double row = 0;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      row += p.at(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 3});
+  logits[0] = 1000.0f;
+  logits[1] = 1001.0f;
+  logits[2] = 999.0f;
+  Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(CrossEntropy, LossAndGradient) {
+  Tensor logits({2, 3});
+  // Uniform logits → loss = ln 3, grad = (p - y)/N.
+  std::vector<std::int32_t> labels{1, 2};
+  Tensor grad;
+  const float loss = softmax_cross_entropy(logits, labels, grad);
+  EXPECT_NEAR(loss, std::log(3.0f), 1e-5);
+  EXPECT_NEAR(grad.at(0, 1), (1.0f / 3.0f - 1.0f) / 2.0f, 1e-5);
+  EXPECT_NEAR(grad.at(0, 0), (1.0f / 3.0f) / 2.0f, 1e-5);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(11);
+  Tensor logits = random_tensor({3, 4}, rng);
+  std::vector<std::int32_t> labels{2, 0, 3};
+  Tensor grad;
+  softmax_cross_entropy(logits, labels, grad);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    Tensor g_unused;
+    const float fp = softmax_cross_entropy(lp, labels, g_unused);
+    const float fm = softmax_cross_entropy(lm, labels, g_unused);
+    ASSERT_NEAR((fp - fm) / (2 * eps), grad[i], 2e-3);
+  }
+}
+
+TEST(Accuracy, Top1) {
+  Tensor logits({3, 3});
+  logits.at(0, 0) = 1;  // argmax 0
+  logits.at(1, 2) = 1;  // argmax 2
+  logits.at(2, 1) = 1;  // argmax 1
+  std::vector<std::int32_t> labels{0, 2, 0};
+  EXPECT_NEAR(top1_accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dct::tensor

@@ -1,0 +1,334 @@
+// Tests for the trainer module: Algorithm-1 functional correctness
+// (distributed == serial, optimization-invariance of the training
+// trajectory), real end-to-end learning through the full stack, the
+// epoch-time model's reproduction of the paper's headline bands, and
+// the accuracy curves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simmpi/runtime.hpp"
+#include "trainer/accuracy_model.hpp"
+#include "trainer/distributed_trainer.hpp"
+#include "trainer/epoch_model.hpp"
+
+namespace dct::trainer {
+namespace {
+
+TrainerConfig small_config() {
+  TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 2;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.seed = 11;
+  cfg.dataset.images = 64;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.base_lr = 0.02;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Trainer, DistributedMatchesSerial) {
+  // 2 learners × 2 GPUs == 1 learner × 4 GPUs at the same per-GPU batch:
+  // the per-GPU sub-batches (and hence the batch-norm statistics) are
+  // identical, so with deterministic global sampling the parameter
+  // trajectories must agree up to float summation order. (Configurations
+  // with *different* per-GPU batches are NOT equivalent — batch norm is
+  // per-replica — which is also true of the paper's Torch setup.)
+  auto cfg = small_config();
+  cfg.deterministic_global_sampling = true;
+  cfg.batch_per_gpu = 4;
+
+  std::vector<float> serial_params;
+  {
+    auto serial = cfg;
+    serial.gpus_per_node = 4;
+    serial.dimd.groups = 1;
+    simmpi::Runtime::execute(1, [&](simmpi::Communicator& comm) {
+      DistributedTrainer trainer(comm, serial);
+      EXPECT_EQ(trainer.global_batch(), 16);
+      for (int i = 0; i < 4; ++i) trainer.step();
+      serial_params = trainer.snapshot_params();
+    });
+  }
+
+  std::vector<float> dist_params;
+  {
+    auto dist = cfg;
+    dist.gpus_per_node = 2;
+    dist.dimd.groups = 2;  // every learner holds the full dataset
+    simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+      DistributedTrainer trainer(comm, dist);
+      EXPECT_EQ(trainer.global_batch(), 16);
+      for (int i = 0; i < 4; ++i) trainer.step();
+      if (comm.rank() == 0) dist_params = trainer.snapshot_params();
+    });
+  }
+
+  ASSERT_EQ(serial_params.size(), dist_params.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < serial_params.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(serial_params[i]) -
+                                 dist_params[i]));
+  }
+  EXPECT_LT(max_diff, 5e-4);
+}
+
+TEST(Trainer, AllRanksHoldIdenticalModels) {
+  auto cfg = small_config();
+  simmpi::Runtime::execute(3, [&](simmpi::Communicator& comm) {
+    DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < 3; ++i) trainer.step();
+    const auto mine = trainer.snapshot_params();
+    auto reference = mine;
+    comm.bcast(std::span<float>(reference), 0);
+    EXPECT_EQ(mine, reference);
+  });
+}
+
+TEST(Trainer, OptimizationChoicesDoNotChangeTrajectory) {
+  // The paper's §5.4 claim: none of the optimizations affect accuracy.
+  // Same seeds, same sampling → switching DPT design and allreduce
+  // algorithm leaves parameters (nearly bit-) identical.
+  auto cfg = small_config();
+  cfg.deterministic_global_sampling = true;
+  cfg.dimd.groups = 2;
+
+  auto run_with = [&](bool optimized_dpt, const std::string& algo) {
+    auto c = cfg;
+    c.optimized_dpt = optimized_dpt;
+    c.allreduce = algo;
+    std::vector<float> params;
+    simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+      DistributedTrainer trainer(comm, c);
+      for (int i = 0; i < 3; ++i) trainer.step();
+      if (comm.rank() == 0) params = trainer.snapshot_params();
+    });
+    return params;
+  };
+
+  const auto reference = run_with(true, "multicolor");
+  for (const auto& [dpt, algo] :
+       std::vector<std::pair<bool, std::string>>{
+           {false, "multicolor"}, {true, "ring"}, {true, "openmpi_default"},
+           {false, "naive"}}) {
+    const auto params = run_with(dpt, algo);
+    ASSERT_EQ(params.size(), reference.size());
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::abs(static_cast<double>(params[i]) -
+                                   reference[i]));
+    }
+    EXPECT_LT(max_diff, 2e-5) << "dpt=" << dpt << " algo=" << algo;
+  }
+}
+
+TEST(Trainer, LearnsSyntheticClassesEndToEnd) {
+  // Full stack — DIMD + multicolor + optimized DPT — learns the
+  // synthetic class structure well above chance.
+  auto cfg = small_config();
+  cfg.dataset.images = 128;
+  cfg.batch_per_gpu = 8;
+  cfg.base_lr = 0.05;
+  cfg.shuffle_every = 10;
+  double val = 0.0;
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    DistributedTrainer trainer(comm, cfg);
+    EpochMetrics last;
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      last = trainer.train_epoch(8);
+    }
+    EXPECT_GT(last.shuffles, 0u);  // the periodic shuffle really ran
+    if (comm.rank() == 0) val = trainer.evaluate(64);
+  });
+  EXPECT_GT(val, 0.5);  // chance = 0.25
+}
+
+TEST(Trainer, DonkeyModeTrainsFromRecordFile) {
+  const std::string blob = testing::TempDir() + "dct_trainer_blob.bin";
+  const std::string index = testing::TempDir() + "dct_trainer_index.bin";
+  auto cfg = small_config();
+  data::build_synthetic_record_file(cfg.dataset, blob, index);
+  cfg.record_blob_path = blob;
+  cfg.record_index_path = index;
+  float first = 0.0f, last = 0.0f;
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < 10; ++i) {
+      const auto m = trainer.step();
+      if (i == 0) first = m.loss;
+      last = m.loss;
+    }
+  });
+  EXPECT_LT(last, first);
+  std::remove(blob.c_str());
+  std::remove(index.c_str());
+}
+
+// ----------------------------------------------------------- epoch model
+
+TEST(EpochModel, OptimizedColumnMatchesTable1) {
+  // Paper Table 1, fully-optimized epoch seconds:
+  //   GoogleNetBN: 155 / 76 / 41     ResNet-50: 224 / 109 / 58
+  const double paper[2][3] = {{155, 76, 41}, {224, 109, 58}};
+  const char* models[2] = {"googlenetbn", "resnet50"};
+  const int nodes[3] = {8, 16, 32};
+  for (int m = 0; m < 2; ++m) {
+    for (int n = 0; n < 3; ++n) {
+      EpochModelConfig cfg;
+      cfg.model = models[m];
+      cfg.nodes = nodes[n];
+      const double ours = epoch_seconds(with_all_optimizations(cfg));
+      EXPECT_GT(ours, paper[m][n] * 0.80) << models[m] << " " << nodes[n];
+      EXPECT_LT(ours, paper[m][n] * 1.20) << models[m] << " " << nodes[n];
+    }
+  }
+}
+
+TEST(EpochModel, BaselineMuchSlowerAndSpeedupInPaperBand) {
+  // Table 1's overall speedups span 58–130 %; our model lands in a
+  // broadly consistent band (50–260 %) for every row. (The baseline
+  // column overshoots for GoogleNetBN — see EXPERIMENTS.md: a single
+  // shared I/O-rate model makes the lighter-compute model relatively
+  // more I/O-bound than the paper observed.)
+  for (const char* model : {"googlenetbn", "resnet50"}) {
+    for (int nodes : {8, 16, 32}) {
+      EpochModelConfig cfg;
+      cfg.model = model;
+      cfg.nodes = nodes;
+      const double base = epoch_seconds(with_open_source_baseline(cfg));
+      const double opt = epoch_seconds(with_all_optimizations(cfg));
+      const double speedup = base / opt - 1.0;
+      EXPECT_GT(speedup, 0.50) << model << " " << nodes;
+      EXPECT_LT(speedup, 2.60) << model << " " << nodes;
+    }
+  }
+}
+
+TEST(EpochModel, MulticolorEpochSavingMatchesFig6Band) {
+  // Fig. 6: the multicolor algorithm's epoch time is 50–60 % below the
+  // default OpenMPI epoch time (GoogleNetBN, other optimizations held).
+  for (int nodes : {8, 16, 32}) {
+    EpochModelConfig cfg;
+    cfg.model = "googlenetbn";
+    cfg.nodes = nodes;
+    cfg = with_all_optimizations(cfg);
+    const double t_mc = epoch_seconds(cfg);
+    cfg.allreduce = "openmpi_default";
+    const double t_def = epoch_seconds(cfg);
+    const double saving = 1.0 - t_mc / t_def;
+    EXPECT_GT(saving, 0.30) << nodes;
+    EXPECT_LT(saving, 0.65) << nodes;
+    // Ring lands in between.
+    cfg.allreduce = "ring";
+    const double t_ring = epoch_seconds(cfg);
+    EXPECT_GT(t_ring, t_mc);
+    EXPECT_LT(t_ring, t_def);
+  }
+}
+
+TEST(EpochModel, DimdImprovesEpochTime) {
+  // Fig. 10 direction: disabling DIMD slows both models; the gain grows
+  // with node count (fixed array bandwidth, more clients).
+  for (const char* model : {"googlenetbn", "resnet50"}) {
+    double prev_gain = 0.0;
+    for (int nodes : {8, 16, 32}) {
+      EpochModelConfig cfg;
+      cfg.model = model;
+      cfg.nodes = nodes;
+      cfg = with_all_optimizations(cfg);
+      const double with_dimd = epoch_seconds(cfg);
+      cfg.dimd = false;
+      const double without = epoch_seconds(cfg);
+      const double gain = without / with_dimd - 1.0;
+      EXPECT_GT(gain, 0.10) << model << " " << nodes;
+      EXPECT_GE(gain, prev_gain * 0.9) << model << " " << nodes;
+      prev_gain = gain;
+    }
+  }
+}
+
+TEST(EpochModel, DptOptimizationWorthAFewPercent) {
+  // Fig. 12: +15 % (GoogleNetBN) / +18 % (ResNet-50) epoch improvement.
+  for (const char* model : {"googlenetbn", "resnet50"}) {
+    EpochModelConfig cfg;
+    cfg.model = model;
+    cfg.nodes = 16;
+    cfg = with_all_optimizations(cfg);
+    const double opt = epoch_seconds(cfg);
+    cfg.optimized_dpt = false;
+    const double base = epoch_seconds(cfg);
+    const double gain = base / opt - 1.0;
+    EXPECT_GT(gain, 0.05) << model;
+    EXPECT_LT(gain, 0.35) << model;
+  }
+}
+
+TEST(EpochModel, ScalesWithNodes) {
+  EpochModelConfig cfg;
+  cfg = with_all_optimizations(cfg);
+  cfg.nodes = 8;
+  const double t8 = epoch_seconds(cfg);
+  cfg.nodes = 32;
+  const double t32 = epoch_seconds(cfg);
+  // Near-linear strong scaling (the paper reports 90 %+ efficiency).
+  EXPECT_LT(t32, t8 / 3.0);
+  EXPECT_GT(t32, t8 / 4.2);
+}
+
+// --------------------------------------------------------- accuracy model
+
+TEST(Accuracy, TerminalValuesMatchTable1) {
+  // 8 nodes → effective batch 2048.
+  AccuracyCurveConfig cfg;
+  cfg.model = "resnet50";
+  cfg.effective_batch = 2048;
+  EXPECT_NEAR(AccuracyCurve(cfg).final_top1(), 0.7599, 1e-4);
+  cfg.effective_batch = 4096;
+  EXPECT_NEAR(AccuracyCurve(cfg).final_top1(), 0.7578, 1e-3);
+  cfg.effective_batch = 8192;
+  EXPECT_NEAR(AccuracyCurve(cfg).final_top1(), 0.7557, 1e-3);
+  cfg.model = "googlenetbn";
+  cfg.effective_batch = 2048;
+  EXPECT_NEAR(AccuracyCurve(cfg).final_top1(), 0.7486, 1e-4);
+}
+
+TEST(Accuracy, CurveIsMonotoneWithLrDropJumps) {
+  AccuracyCurveConfig cfg;
+  AccuracyCurve curve(cfg);
+  double prev = -1.0;
+  for (double e = 0.0; e <= 90.0; e += 0.5) {
+    const double a = curve.top1(e);
+    EXPECT_GE(a, prev - 1e-9) << "epoch " << e;
+    EXPECT_LE(a, curve.final_top1() + 1e-9);
+    prev = a;
+  }
+  // The LR drop at epoch 30 produces the familiar jump.
+  EXPECT_GT(curve.top1(33.0) - curve.top1(29.9), 0.02);
+}
+
+TEST(Accuracy, TrainErrorDecreasesFromLn1000) {
+  AccuracyCurveConfig cfg;
+  AccuracyCurve curve(cfg);
+  EXPECT_NEAR(curve.train_error(0.0), std::log(1000.0), 0.3);
+  double prev = 1e9;
+  for (double e = 0.0; e <= 90.0; e += 1.0) {
+    const double err = curve.train_error(e);
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+  EXPECT_LT(curve.train_error(90.0), 1.0);
+}
+
+TEST(Accuracy, UnknownModelThrows) {
+  AccuracyCurveConfig cfg;
+  cfg.model = "alexnet";
+  EXPECT_THROW(AccuracyCurve{cfg}, CheckError);
+}
+
+}  // namespace
+}  // namespace dct::trainer

@@ -1,0 +1,232 @@
+// Unit tests for the util module: RNG determinism and distribution sanity,
+// streaming statistics, table formatting, unit helpers, thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace dct {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<std::size_t> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(8)];
+  // chi-squared with 7 dof; 99.9th percentile ≈ 24.3.
+  EXPECT_LT(chi_squared_uniform(counts), 24.3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  RunningStat st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.next_gaussian());
+  EXPECT_NEAR(st.mean(), 0.0, 0.03);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng c1 = parent1.split();
+  Rng c2 = parent2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  // A second split differs from the first.
+  Rng c3 = parent1.split();
+  int same = 0;
+  Rng c1b(0);
+  (void)c1b;
+  Rng c1r = Rng(99).split();
+  for (int i = 0; i < 100; ++i) same += (c3.next_u64() == c1r.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(17);
+  auto p = rng.permutation(257);
+  std::vector<std::uint32_t> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < 257; ++i) EXPECT_EQ(sorted[i], i);
+  // And not the identity (probability ~0 for n=257).
+  EXPECT_NE(p, sorted);
+}
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat st;
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  for (double x : xs) st.add(x);
+  EXPECT_EQ(st.count(), xs.size());
+  EXPECT_DOUBLE_EQ(st.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 8.0);
+  EXPECT_NEAR(st.variance(), 6.0, 1e-12);
+  EXPECT_NEAR(st.sum(), 36.0, 1e-12);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  Rng rng(23);
+  RunningStat whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian() * 3 + 1;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+  EXPECT_THROW(percentile({}, 50), CheckError);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  EXPECT_NEAR(entropy_bits({5, 5, 5, 5}), 2.0, 1e-12);
+  EXPECT_NEAR(entropy_bits({7, 0, 0, 0}), 0.0, 1e-12);
+  EXPECT_EQ(entropy_bits({0, 0}), 0.0);
+}
+
+TEST(ChiSquared, ZeroForPerfectUniform) {
+  EXPECT_DOUBLE_EQ(chi_squared_uniform({4, 4, 4, 4}), 0.0);
+  EXPECT_GT(chi_squared_uniform({16, 0, 0, 0}), 0.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(93.0 * 1024 * 1024), "93.0 MiB");
+  EXPECT_EQ(format_bytes(2.5 * 1024 * 1024 * 1024), "2.5 GiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(48 * 60.0), "48.0 min");
+  EXPECT_EQ(format_seconds(4.2), "4.20 s");
+  EXPECT_EQ(format_seconds(0.0123), "12.30 ms");
+  EXPECT_EQ(format_seconds(2 * 3600.0), "2.00 h");
+}
+
+TEST(Units, GbpsConversion) {
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(100.0), 12.5e9);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"model", "nodes", "time"});
+  t.add_row({"ResNet-50", "32", "58"});
+  t.add_row({"GoogleNetBN", "8", "155"});
+  const auto s = t.to_string("Table X");
+  EXPECT_NE(s.find("ResNet-50"), std::string::npos);
+  EXPECT_NE(s.find("Table X"), std::string::npos);
+  // Header row and both data rows present.
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-two", "cells"}), CheckError);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmitFutureResolves) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([&] { counter++; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+}  // namespace
+}  // namespace dct

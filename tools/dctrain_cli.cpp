@@ -1,0 +1,202 @@
+// dctrain — command-line driver over the library's public API.
+//
+//   dctrain train     [--ranks N] [--gpus M] [--batch B] [--epochs E]
+//                     [--iters I] [--allreduce NAME] [--shuffle-every S]
+//                     [--classes C] [--images D] [--baseline-dpt]
+//   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
+//                     [--batch B] [--baseline]
+//   dctrain allreduce [--algo NAME] [--nodes N] [--payload-mb P]
+//   dctrain shuffle   [--nodes N] [--dataset-gb G] [--groups K]
+//   dctrain dataset   [--blob PATH] [--index PATH] [--images D]
+//                     [--classes C] [--size S]
+//   dctrain help
+//
+// Every subcommand drives the same code paths the tests and benches use.
+#include <cstdio>
+
+#include "core/dctrain.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace dct;
+
+int cmd_train(const ArgParser& args) {
+  const int ranks = static_cast<int>(args.get_int("ranks", 2));
+  trainer::TrainerConfig cfg;
+  cfg.gpus_per_node = static_cast<int>(args.get_int("gpus", 2));
+  cfg.batch_per_gpu = args.get_int("batch", 8);
+  cfg.allreduce = args.get("allreduce", "multicolor");
+  cfg.shuffle_every = static_cast<int>(args.get_int("shuffle-every", 8));
+  cfg.optimized_dpt = !args.has("baseline-dpt");
+  cfg.model.classes = static_cast<int>(args.get_int("classes", 10));
+  cfg.model.image = 16;
+  cfg.dataset.classes = cfg.model.classes;
+  cfg.dataset.images = args.get_int("images", 640);
+  cfg.dataset.image = data::ImageDef{3, 16, 16};
+  cfg.dataset.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  cfg.base_lr = args.get_double("lr", 0.05);
+  const int epochs = static_cast<int>(args.get_int("epochs", 5));
+  const int iters = static_cast<int>(args.get_int("iters", 10));
+
+  std::printf("training SmallCNN: %d learners x %d GPUs, batch %lld/GPU, "
+              "%s allreduce, %s DPT\n\n",
+              ranks, cfg.gpus_per_node,
+              static_cast<long long>(cfg.batch_per_gpu),
+              cfg.allreduce.c_str(),
+              cfg.optimized_dpt ? "optimized" : "baseline");
+  simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    for (int e = 1; e <= epochs; ++e) {
+      const auto m = trainer.train_epoch(iters);
+      if (comm.rank() == 0) {
+        std::printf("epoch %2d  loss %.4f  train-acc %5.1f %%\n", e,
+                    m.mean_loss, 100.0 * m.train_accuracy);
+      }
+    }
+    if (comm.rank() == 0) {
+      std::printf("\nheld-out top-1: %.1f %%\n",
+                  100.0 * trainer.evaluate(200));
+    }
+  });
+  return 0;
+}
+
+int cmd_plan(const ArgParser& args) {
+  trainer::EpochModelConfig cfg;
+  cfg.model = args.get("model", "resnet50");
+  cfg.nodes = static_cast<int>(args.get_int("nodes", 16));
+  cfg.batch_per_gpu = args.get_int("batch", 64);
+  cfg = args.has("baseline") ? trainer::with_open_source_baseline(cfg)
+                             : trainer::with_all_optimizations(cfg);
+  const auto b = trainer::estimate_epoch(cfg);
+  std::printf("%s on %d nodes (batch %lld/GPU, %s config):\n", cfg.model.c_str(),
+              cfg.nodes, static_cast<long long>(cfg.batch_per_gpu),
+              args.has("baseline") ? "open-source" : "optimized");
+  std::printf("  epoch      %s (%0.f steps)\n", format_seconds(b.epoch_s).c_str(),
+              b.steps);
+  std::printf("  step       %s = max(compute %s + dpt %s, data %s) + "
+              "allreduce %s\n",
+              format_seconds(b.step_s).c_str(),
+              format_seconds(b.compute_s).c_str(),
+              format_seconds(b.dpt_overhead_s).c_str(),
+              format_seconds(b.data_s).c_str(),
+              format_seconds(b.allreduce_s).c_str());
+  std::printf("  90 epochs  %s\n", format_seconds(90.0 * b.epoch_s).c_str());
+  return 0;
+}
+
+int cmd_allreduce(const ArgParser& args) {
+  const std::string algo = args.get("algo", "multicolor");
+  const int nodes = static_cast<int>(args.get_int("nodes", 16));
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(args.get_int("payload-mb", 93)) << 20;
+  netsim::ClusterConfig cluster;
+  cluster.nodes = nodes;
+  const double t = netsim::allreduce_time_s(cluster, algo, payload);
+  std::printf("%s: %s of gradients across %d nodes → %s (%.2f GB/s)\n",
+              algo.c_str(), format_bytes(static_cast<double>(payload)).c_str(),
+              nodes, format_seconds(t).c_str(),
+              static_cast<double>(payload) / t / 1e9);
+
+  // Functional verification on min(nodes, 8) in-process ranks.
+  const int ranks = std::min(nodes, 8);
+  auto algorithm = allreduce::make_algorithm(algo);
+  bool correct = true;
+  simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
+    std::vector<float> data(4096, static_cast<float>(comm.rank() + 1));
+    algorithm->run(comm, std::span<float>(data));
+    const float expect = ranks * (ranks + 1) / 2.0f;
+    for (float v : data) {
+      if (v != expect) correct = false;
+    }
+  });
+  std::printf("functional check on %d ranks: %s\n", ranks,
+              correct ? "OK" : "FAILED");
+  return correct ? 0 : 1;
+}
+
+int cmd_shuffle(const ArgParser& args) {
+  const int nodes = static_cast<int>(args.get_int("nodes", 32));
+  const double dataset_gb = args.get_double("dataset-gb", 220.0);
+  const int groups = static_cast<int>(args.get_int("groups", 1));
+  netsim::ClusterConfig cluster;
+  cluster.nodes = nodes;
+  const auto per_node = static_cast<std::uint64_t>(
+      dataset_gb * 1024.0 * 1024.0 * 1024.0 / nodes);
+  const int group_size = nodes / std::max(1, groups);
+  const double t = netsim::shuffle_time_s(cluster, per_node, group_size);
+  std::printf("DIMD shuffle: %.0f GB over %d nodes (%d group(s) of %d) → "
+              "%s; %s per node in memory\n",
+              dataset_gb, nodes, groups, group_size,
+              format_seconds(t).c_str(),
+              format_bytes(static_cast<double>(per_node)).c_str());
+  return 0;
+}
+
+int cmd_dataset(const ArgParser& args) {
+  data::DatasetDef def;
+  def.images = args.get_int("images", 512);
+  def.classes = static_cast<std::int32_t>(args.get_int("classes", 10));
+  const auto size = args.get_int("size", 16);
+  def.image = data::ImageDef{3, size, size};
+  def.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string blob = args.get("blob", "dctrain_blob.bin");
+  const std::string index = args.get("index", "dctrain_index.bin");
+  const auto bytes = data::build_synthetic_record_file(def, blob, index);
+  std::printf("wrote %lld records (%d classes, %lldx%lld) → %s (%s) + %s\n",
+              static_cast<long long>(def.images), def.classes,
+              static_cast<long long>(size), static_cast<long long>(size),
+              blob.c_str(), format_bytes(static_cast<double>(bytes)).c_str(),
+              index.c_str());
+  return 0;
+}
+
+int cmd_help() {
+  std::printf(
+      "dctrain %s — reproduction of Kumar et al., CLUSTER 2018\n\n"
+      "subcommands:\n"
+      "  train      run distributed SGD on simulated learners (real math)\n"
+      "  plan       epoch-time decomposition for a cluster configuration\n"
+      "  allreduce  price + verify a gradient allreduce algorithm\n"
+      "  shuffle    price a DIMD dataset shuffle (Algorithm 2)\n"
+      "  dataset    build a synthetic record blob + index file\n"
+      "  help       this message\n\n"
+      "see the header of tools/dctrain_cli.cpp for every option.\n",
+      dct::kVersionString);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    const std::string& cmd = args.command();
+    int rc;
+    if (cmd == "train") {
+      rc = cmd_train(args);
+    } else if (cmd == "plan") {
+      rc = cmd_plan(args);
+    } else if (cmd == "allreduce") {
+      rc = cmd_allreduce(args);
+    } else if (cmd == "shuffle") {
+      rc = cmd_shuffle(args);
+    } else if (cmd == "dataset") {
+      rc = cmd_dataset(args);
+    } else {
+      rc = cmd_help();
+      if (!cmd.empty() && cmd != "help") {
+        std::fprintf(stderr, "\nunknown subcommand '%s'\n", cmd.c_str());
+        rc = 2;
+      }
+    }
+    for (const auto& key : args.unused()) {
+      std::fprintf(stderr, "warning: unrecognised option --%s\n", key.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
