@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_colors"
+  "../bench/bench_ablation_colors.pdb"
+  "CMakeFiles/bench_ablation_colors.dir/bench_ablation_colors.cpp.o"
+  "CMakeFiles/bench_ablation_colors.dir/bench_ablation_colors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_colors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_pipeline.cpp" "bench-build/CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trainer/CMakeFiles/dct_trainer.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpt/CMakeFiles/dct_dpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dct_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dct_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/allreduce/CMakeFiles/dct_allreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dct_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dct_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dct_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dct_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_shuffle_period"
+  "../bench/bench_ablation_shuffle_period.pdb"
+  "CMakeFiles/bench_ablation_shuffle_period.dir/bench_ablation_shuffle_period.cpp.o"
+  "CMakeFiles/bench_ablation_shuffle_period.dir/bench_ablation_shuffle_period.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shuffle_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_shuffle_imagenet22k.
+# This may be replaced when dependencies are built.

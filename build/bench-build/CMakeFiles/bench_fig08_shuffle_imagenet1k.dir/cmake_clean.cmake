@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_shuffle_imagenet1k"
+  "../bench/bench_fig08_shuffle_imagenet1k.pdb"
+  "CMakeFiles/bench_fig08_shuffle_imagenet1k.dir/bench_fig08_shuffle_imagenet1k.cpp.o"
+  "CMakeFiles/bench_fig08_shuffle_imagenet1k.dir/bench_fig08_shuffle_imagenet1k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_shuffle_imagenet1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

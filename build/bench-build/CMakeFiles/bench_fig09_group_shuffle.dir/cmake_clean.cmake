@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_group_shuffle"
+  "../bench/bench_fig09_group_shuffle.pdb"
+  "CMakeFiles/bench_fig09_group_shuffle.dir/bench_fig09_group_shuffle.cpp.o"
+  "CMakeFiles/bench_fig09_group_shuffle.dir/bench_fig09_group_shuffle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_group_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_dimd_imagenet22k"
+  "../bench/bench_fig11_dimd_imagenet22k.pdb"
+  "CMakeFiles/bench_fig11_dimd_imagenet22k.dir/bench_fig11_dimd_imagenet22k.cpp.o"
+  "CMakeFiles/bench_fig11_dimd_imagenet22k.dir/bench_fig11_dimd_imagenet22k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dimd_imagenet22k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_dpt"
+  "../bench/bench_fig12_dpt.pdb"
+  "CMakeFiles/bench_fig12_dpt.dir/bench_fig12_dpt.cpp.o"
+  "CMakeFiles/bench_fig12_dpt.dir/bench_fig12_dpt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_accuracy_resnet"
+  "../bench/bench_fig13_accuracy_resnet.pdb"
+  "CMakeFiles/bench_fig13_accuracy_resnet.dir/bench_fig13_accuracy_resnet.cpp.o"
+  "CMakeFiles/bench_fig13_accuracy_resnet.dir/bench_fig13_accuracy_resnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_accuracy_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

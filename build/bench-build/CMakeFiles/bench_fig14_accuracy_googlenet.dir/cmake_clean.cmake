@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_accuracy_googlenet"
+  "../bench/bench_fig14_accuracy_googlenet.pdb"
+  "CMakeFiles/bench_fig14_accuracy_googlenet.dir/bench_fig14_accuracy_googlenet.cpp.o"
+  "CMakeFiles/bench_fig14_accuracy_googlenet.dir/bench_fig14_accuracy_googlenet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_accuracy_googlenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_error_resnet"
+  "../bench/bench_fig15_error_resnet.pdb"
+  "CMakeFiles/bench_fig15_error_resnet.dir/bench_fig15_error_resnet.cpp.o"
+  "CMakeFiles/bench_fig15_error_resnet.dir/bench_fig15_error_resnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_error_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_error_googlenet"
+  "../bench/bench_fig16_error_googlenet.pdb"
+  "CMakeFiles/bench_fig16_error_googlenet.dir/bench_fig16_error_googlenet.cpp.o"
+  "CMakeFiles/bench_fig16_error_googlenet.dir/bench_fig16_error_googlenet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_error_googlenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_sota"
+  "../bench/bench_table2_sota.pdb"
+  "CMakeFiles/bench_table2_sota.dir/bench_table2_sota.cpp.o"
+  "CMakeFiles/bench_table2_sota.dir/bench_table2_sota.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_explorer.dir/allreduce_explorer.cpp.o"
+  "CMakeFiles/allreduce_explorer.dir/allreduce_explorer.cpp.o.d"
+  "allreduce_explorer"
+  "allreduce_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

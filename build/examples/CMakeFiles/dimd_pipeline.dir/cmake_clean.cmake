@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimd_pipeline.dir/dimd_pipeline.cpp.o"
+  "CMakeFiles/dimd_pipeline.dir/dimd_pipeline.cpp.o.d"
+  "dimd_pipeline"
+  "dimd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

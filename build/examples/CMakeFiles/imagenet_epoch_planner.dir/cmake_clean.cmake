@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagenet_epoch_planner.dir/imagenet_epoch_planner.cpp.o"
+  "CMakeFiles/imagenet_epoch_planner.dir/imagenet_epoch_planner.cpp.o.d"
+  "imagenet_epoch_planner"
+  "imagenet_epoch_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagenet_epoch_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

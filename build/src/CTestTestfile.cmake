@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("simmpi")
+subdirs("allreduce")
+subdirs("netsim")
+subdirs("nn")
+subdirs("data")
+subdirs("storage")
+subdirs("gpusim")
+subdirs("dpt")
+subdirs("trainer")
+subdirs("core")

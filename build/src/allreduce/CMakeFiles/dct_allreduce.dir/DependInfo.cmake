@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/allreduce/bucket_ring.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/bucket_ring.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/bucket_ring.cpp.o.d"
+  "/root/repo/src/allreduce/color_tree.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/color_tree.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/color_tree.cpp.o.d"
+  "/root/repo/src/allreduce/multicolor.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/multicolor.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/multicolor.cpp.o.d"
+  "/root/repo/src/allreduce/multiring.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/multiring.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/multiring.cpp.o.d"
+  "/root/repo/src/allreduce/naive.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/naive.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/naive.cpp.o.d"
+  "/root/repo/src/allreduce/recursive_halving.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/recursive_halving.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/recursive_halving.cpp.o.d"
+  "/root/repo/src/allreduce/registry.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/registry.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/registry.cpp.o.d"
+  "/root/repo/src/allreduce/ring.cpp" "src/allreduce/CMakeFiles/dct_allreduce.dir/ring.cpp.o" "gcc" "src/allreduce/CMakeFiles/dct_allreduce.dir/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/dct_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_allreduce.dir/bucket_ring.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/bucket_ring.cpp.o.d"
+  "CMakeFiles/dct_allreduce.dir/color_tree.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/color_tree.cpp.o.d"
+  "CMakeFiles/dct_allreduce.dir/multicolor.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/multicolor.cpp.o.d"
+  "CMakeFiles/dct_allreduce.dir/multiring.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/multiring.cpp.o.d"
+  "CMakeFiles/dct_allreduce.dir/naive.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/naive.cpp.o.d"
+  "CMakeFiles/dct_allreduce.dir/recursive_halving.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/recursive_halving.cpp.o.d"
+  "CMakeFiles/dct_allreduce.dir/registry.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/registry.cpp.o.d"
+  "CMakeFiles/dct_allreduce.dir/ring.cpp.o"
+  "CMakeFiles/dct_allreduce.dir/ring.cpp.o.d"
+  "libdct_allreduce.a"
+  "libdct_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

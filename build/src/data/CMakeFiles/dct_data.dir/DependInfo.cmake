@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/codec.cpp" "src/data/CMakeFiles/dct_data.dir/codec.cpp.o" "gcc" "src/data/CMakeFiles/dct_data.dir/codec.cpp.o.d"
+  "/root/repo/src/data/dimd.cpp" "src/data/CMakeFiles/dct_data.dir/dimd.cpp.o" "gcc" "src/data/CMakeFiles/dct_data.dir/dimd.cpp.o.d"
+  "/root/repo/src/data/record_file.cpp" "src/data/CMakeFiles/dct_data.dir/record_file.cpp.o" "gcc" "src/data/CMakeFiles/dct_data.dir/record_file.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/dct_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/dct_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/dct_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

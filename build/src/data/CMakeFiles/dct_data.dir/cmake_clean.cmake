@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_data.dir/codec.cpp.o"
+  "CMakeFiles/dct_data.dir/codec.cpp.o.d"
+  "CMakeFiles/dct_data.dir/dimd.cpp.o"
+  "CMakeFiles/dct_data.dir/dimd.cpp.o.d"
+  "CMakeFiles/dct_data.dir/record_file.cpp.o"
+  "CMakeFiles/dct_data.dir/record_file.cpp.o.d"
+  "CMakeFiles/dct_data.dir/synthetic.cpp.o"
+  "CMakeFiles/dct_data.dir/synthetic.cpp.o.d"
+  "libdct_data.a"
+  "libdct_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

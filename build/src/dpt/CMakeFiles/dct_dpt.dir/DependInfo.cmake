@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpt/data_parallel_table.cpp" "src/dpt/CMakeFiles/dct_dpt.dir/data_parallel_table.cpp.o" "gcc" "src/dpt/CMakeFiles/dct_dpt.dir/data_parallel_table.cpp.o.d"
+  "/root/repo/src/dpt/torch_threads.cpp" "src/dpt/CMakeFiles/dct_dpt.dir/torch_threads.cpp.o" "gcc" "src/dpt/CMakeFiles/dct_dpt.dir/torch_threads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dct_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_dpt.dir/data_parallel_table.cpp.o"
+  "CMakeFiles/dct_dpt.dir/data_parallel_table.cpp.o.d"
+  "CMakeFiles/dct_dpt.dir/torch_threads.cpp.o"
+  "CMakeFiles/dct_dpt.dir/torch_threads.cpp.o.d"
+  "libdct_dpt.a"
+  "libdct_dpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_dpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dct_dpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_gpusim.dir/p100_model.cpp.o"
+  "CMakeFiles/dct_gpusim.dir/p100_model.cpp.o.d"
+  "libdct_gpusim.a"
+  "libdct_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/cluster.cpp" "src/netsim/CMakeFiles/dct_netsim.dir/cluster.cpp.o" "gcc" "src/netsim/CMakeFiles/dct_netsim.dir/cluster.cpp.o.d"
+  "/root/repo/src/netsim/flow_sim.cpp" "src/netsim/CMakeFiles/dct_netsim.dir/flow_sim.cpp.o" "gcc" "src/netsim/CMakeFiles/dct_netsim.dir/flow_sim.cpp.o.d"
+  "/root/repo/src/netsim/schedules.cpp" "src/netsim/CMakeFiles/dct_netsim.dir/schedules.cpp.o" "gcc" "src/netsim/CMakeFiles/dct_netsim.dir/schedules.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/dct_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/dct_netsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/allreduce/CMakeFiles/dct_allreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dct_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_netsim.dir/cluster.cpp.o"
+  "CMakeFiles/dct_netsim.dir/cluster.cpp.o.d"
+  "CMakeFiles/dct_netsim.dir/flow_sim.cpp.o"
+  "CMakeFiles/dct_netsim.dir/flow_sim.cpp.o.d"
+  "CMakeFiles/dct_netsim.dir/schedules.cpp.o"
+  "CMakeFiles/dct_netsim.dir/schedules.cpp.o.d"
+  "CMakeFiles/dct_netsim.dir/topology.cpp.o"
+  "CMakeFiles/dct_netsim.dir/topology.cpp.o.d"
+  "libdct_netsim.a"
+  "libdct_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

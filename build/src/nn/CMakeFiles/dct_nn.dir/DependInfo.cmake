@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/dct_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/dct_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/composite.cpp" "src/nn/CMakeFiles/dct_nn.dir/composite.cpp.o" "gcc" "src/nn/CMakeFiles/dct_nn.dir/composite.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/dct_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/dct_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/lr_schedule.cpp" "src/nn/CMakeFiles/dct_nn.dir/lr_schedule.cpp.o" "gcc" "src/nn/CMakeFiles/dct_nn.dir/lr_schedule.cpp.o.d"
+  "/root/repo/src/nn/model_spec.cpp" "src/nn/CMakeFiles/dct_nn.dir/model_spec.cpp.o" "gcc" "src/nn/CMakeFiles/dct_nn.dir/model_spec.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/dct_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/dct_nn.dir/sgd.cpp.o.d"
+  "/root/repo/src/nn/small_cnn.cpp" "src/nn/CMakeFiles/dct_nn.dir/small_cnn.cpp.o" "gcc" "src/nn/CMakeFiles/dct_nn.dir/small_cnn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

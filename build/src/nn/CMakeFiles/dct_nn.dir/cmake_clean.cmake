@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/dct_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dct_nn.dir/composite.cpp.o"
+  "CMakeFiles/dct_nn.dir/composite.cpp.o.d"
+  "CMakeFiles/dct_nn.dir/layers.cpp.o"
+  "CMakeFiles/dct_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/dct_nn.dir/lr_schedule.cpp.o"
+  "CMakeFiles/dct_nn.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/dct_nn.dir/model_spec.cpp.o"
+  "CMakeFiles/dct_nn.dir/model_spec.cpp.o.d"
+  "CMakeFiles/dct_nn.dir/sgd.cpp.o"
+  "CMakeFiles/dct_nn.dir/sgd.cpp.o.d"
+  "CMakeFiles/dct_nn.dir/small_cnn.cpp.o"
+  "CMakeFiles/dct_nn.dir/small_cnn.cpp.o.d"
+  "libdct_nn.a"
+  "libdct_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_simmpi.dir/communicator.cpp.o"
+  "CMakeFiles/dct_simmpi.dir/communicator.cpp.o.d"
+  "CMakeFiles/dct_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/dct_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/dct_simmpi.dir/transport.cpp.o"
+  "CMakeFiles/dct_simmpi.dir/transport.cpp.o.d"
+  "libdct_simmpi.a"
+  "libdct_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

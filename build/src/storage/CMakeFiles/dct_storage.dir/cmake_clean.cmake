@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_storage.dir/donkey_pool.cpp.o"
+  "CMakeFiles/dct_storage.dir/donkey_pool.cpp.o.d"
+  "CMakeFiles/dct_storage.dir/sim_filesystem.cpp.o"
+  "CMakeFiles/dct_storage.dir/sim_filesystem.cpp.o.d"
+  "libdct_storage.a"
+  "libdct_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

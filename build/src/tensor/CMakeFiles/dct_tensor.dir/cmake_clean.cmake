@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_tensor.dir/ops.cpp.o"
+  "CMakeFiles/dct_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/dct_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dct_tensor.dir/tensor.cpp.o.d"
+  "libdct_tensor.a"
+  "libdct_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

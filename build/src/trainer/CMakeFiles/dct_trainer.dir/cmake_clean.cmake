@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_trainer.dir/accuracy_model.cpp.o"
+  "CMakeFiles/dct_trainer.dir/accuracy_model.cpp.o.d"
+  "CMakeFiles/dct_trainer.dir/async_trainer.cpp.o"
+  "CMakeFiles/dct_trainer.dir/async_trainer.cpp.o.d"
+  "CMakeFiles/dct_trainer.dir/distributed_trainer.cpp.o"
+  "CMakeFiles/dct_trainer.dir/distributed_trainer.cpp.o.d"
+  "CMakeFiles/dct_trainer.dir/epoch_model.cpp.o"
+  "CMakeFiles/dct_trainer.dir/epoch_model.cpp.o.d"
+  "CMakeFiles/dct_trainer.dir/metrics_log.cpp.o"
+  "CMakeFiles/dct_trainer.dir/metrics_log.cpp.o.d"
+  "libdct_trainer.a"
+  "libdct_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_util.dir/args.cpp.o"
+  "CMakeFiles/dct_util.dir/args.cpp.o.d"
+  "CMakeFiles/dct_util.dir/logging.cpp.o"
+  "CMakeFiles/dct_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dct_util.dir/rng.cpp.o"
+  "CMakeFiles/dct_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dct_util.dir/stats.cpp.o"
+  "CMakeFiles/dct_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dct_util.dir/table.cpp.o"
+  "CMakeFiles/dct_util.dir/table.cpp.o.d"
+  "CMakeFiles/dct_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dct_util.dir/thread_pool.cpp.o.d"
+  "libdct_util.a"
+  "libdct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

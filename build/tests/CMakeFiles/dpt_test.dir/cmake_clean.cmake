@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpt_test.dir/dpt_test.cpp.o"
+  "CMakeFiles/dpt_test.dir/dpt_test.cpp.o.d"
+  "dpt_test"
+  "dpt_test.pdb"
+  "dpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_log_test.dir/metrics_log_test.cpp.o"
+  "CMakeFiles/metrics_log_test.dir/metrics_log_test.cpp.o.d"
+  "metrics_log_test"
+  "metrics_log_test.pdb"
+  "metrics_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

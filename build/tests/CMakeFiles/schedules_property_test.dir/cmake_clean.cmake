@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedules_property_test.dir/schedules_property_test.cpp.o"
+  "CMakeFiles/schedules_property_test.dir/schedules_property_test.cpp.o.d"
+  "schedules_property_test"
+  "schedules_property_test.pdb"
+  "schedules_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedules_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

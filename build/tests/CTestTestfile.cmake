@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/allreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/dpt_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/async_trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/schedules_property_test[1]_include.cmake")
+include("/root/repo/build/tests/composite_test[1]_include.cmake")
+include("/root/repo/build/tests/args_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_log_test[1]_include.cmake")

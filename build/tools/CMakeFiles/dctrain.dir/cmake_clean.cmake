@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctrain.dir/dctrain_cli.cpp.o"
+  "CMakeFiles/dctrain.dir/dctrain_cli.cpp.o.d"
+  "dctrain"
+  "dctrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

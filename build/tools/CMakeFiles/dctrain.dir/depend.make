@@ -1,0 +1,2 @@
+# Empty dependencies file for dctrain.
+# This may be replaced when dependencies are built.
