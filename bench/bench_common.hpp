@@ -7,7 +7,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -23,6 +26,62 @@ inline void banner(const std::string& experiment, const std::string& paper_says,
   std::printf("  method: %s\n", how_reproduced.c_str());
   std::printf("=============================================================\n");
 }
+
+/// Machine-readable capture: when the binary was invoked with
+/// `--json <path>` (or `--json=<path>`), metrics recorded via add() are
+/// written to `path` as `{"bench": ..., "metrics": {...}}` on
+/// destruction. Without the flag every call is a no-op, so benches can
+/// record unconditionally.
+class JsonResult {
+ public:
+  JsonResult(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  ~JsonResult() {
+    if (path_.empty()) return;
+    std::ofstream os(path_, std::ios::trunc);
+    if (!os.is_open()) {
+      std::fprintf(stderr, "warning: cannot open %s\n", path_.c_str());
+      return;
+    }
+    os << "{\"bench\": \"" << escape(bench_) << "\", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      os << (i ? ", " : "") << '"' << escape(metrics_[i].first)
+         << "\": " << metrics_[i].second;
+    }
+    os << "}}\n";
+    std::printf("wrote JSON results to %s\n", path_.c_str());
+  }
+
+  void add(const std::string& metric, double value) {
+    if (!path_.empty()) metrics_.emplace_back(metric, value);
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// ImageNet-1k / -22k scale constants used across the experiments.
 inline constexpr std::int64_t kImagenet1kImages = 1'281'167;

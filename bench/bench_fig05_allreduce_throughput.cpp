@@ -12,8 +12,9 @@
 #include "bench_common.hpp"
 #include "core/dctrain.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dct;
+  bench::JsonResult json("fig05_allreduce_throughput", argc, argv);
   bench::banner(
       "Figure 5 — Allreduce throughput, 16 nodes / 64 GPUs",
       "multicolor > ring > OpenMPI default across the payload range; "
@@ -41,6 +42,10 @@ int main() {
                    Table::num(gbps(t_ring), 2), Table::num(gbps(t_def), 2),
                    Table::num(t_def / t_mc, 2),
                    Table::num(t_ring / t_mc, 2)});
+    const std::string tag = std::to_string(mb) + "mb";
+    json.add("multicolor_gbps_" + tag, gbps(t_mc));
+    json.add("ring_gbps_" + tag, gbps(t_ring));
+    json.add("openmpi_default_gbps_" + tag, gbps(t_def));
   }
   table.print("Modelled allreduce goodput (payload bytes / completion time)");
 
@@ -78,5 +83,6 @@ int main() {
     }
   }
   std::printf("  all algorithms agree: %s\n\n", all_equal ? "YES" : "NO");
+  json.add("functional_check_passed", all_equal ? 1.0 : 0.0);
   return all_equal ? 0 : 1;
 }

@@ -5,9 +5,10 @@
 #include "bench_common.hpp"
 #include "core/dctrain.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dct;
   using namespace dct::trainer;
+  bench::JsonResult json("fig10_dimd_imagenet1k", argc, argv);
   bench::banner(
       "Figure 10 — DIMD vs file I/O, ImageNet-1k",
       "DIMD improves per-epoch time: GoogleNetBN +33 %, ResNet-50 +25 %; "
@@ -29,6 +30,10 @@ int main() {
                      Table::num(with_dimd, 1),
                      Table::num(100.0 * (without / with_dimd - 1.0), 1) +
                          " %"});
+      const std::string tag =
+          std::string(model) + "_" + std::to_string(nodes) + "n";
+      json.add("without_dimd_s_" + tag, without);
+      json.add("with_dimd_s_" + tag, with_dimd);
     }
     table.print(std::string("Epoch seconds, ") + model +
                 " (paper improvement: " +

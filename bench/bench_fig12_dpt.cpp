@@ -8,9 +8,10 @@
 #include "bench_common.hpp"
 #include "core/dctrain.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dct;
   using namespace dct::trainer;
+  bench::JsonResult json("fig12_dpt", argc, argv);
   bench::banner(
       "Figure 12 — DataParallelTable optimizations",
       "optimized DPT improves epochs by 15 % (GoogleNetBN) / 18 % "
@@ -32,6 +33,10 @@ int main() {
       table.add_row({std::to_string(nodes), Table::num(base, 1),
                      Table::num(opt, 1),
                      Table::num(100.0 * (base / opt - 1.0), 1) + " %"});
+      const std::string tag =
+          std::string(model) + "_" + std::to_string(nodes) + "n";
+      json.add("baseline_dpt_s_" + tag, base);
+      json.add("optimized_dpt_s_" + tag, opt);
     }
     table.print(std::string("Epoch seconds, ") + model +
                 " (paper improvement: " +
@@ -75,5 +80,6 @@ int main() {
   fn.print("Functional step on 4 simulated GPUs (real math)");
   std::printf("gradients bit-identical across designs: %s\n\n",
               grads_equal ? "YES" : "NO");
+  json.add("gradients_bit_identical", grads_equal ? 1.0 : 0.0);
   return grads_equal ? 0 : 1;
 }

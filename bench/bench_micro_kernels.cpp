@@ -130,6 +130,32 @@ void BM_DimdShuffle(benchmark::State& state) {
 }
 BENCHMARK(BM_DimdShuffle)->Arg(2)->Arg(4);
 
+// Cost of DCT_TRACE_SPAN: disabled it should be a single relaxed atomic
+// load; enabled, one clock read + buffered append per span.
+void BM_TraceSpan(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  const bool was_enabled = obs::Tracer::enabled();
+  obs::Tracer::set_enabled(enabled);
+  for (auto _ : state) {
+    DCT_TRACE_SPAN("bench", "micro");
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::set_enabled(was_enabled);
+  obs::Tracer::reset();
+  state.SetLabel(enabled ? "enabled" : "disabled");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1);
+
+void BM_CounterAdd(benchmark::State& state) {
+  static obs::Counter& counter = obs::Metrics::counter("bench.counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
 void BM_FlowSimulator(benchmark::State& state) {
   netsim::ClusterConfig cluster;
   cluster.nodes = 16;

@@ -4,9 +4,10 @@
 #include "bench_common.hpp"
 #include "core/dctrain.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dct;
   using namespace dct::trainer;
+  bench::JsonResult json("table1_total_improvement", argc, argv);
   bench::banner(
       "Table 1 — total improvement over the open-source base",
       "GoogleNetBN 249/131/65 → 155/76/41 s (58–72 %); ResNet-50 "
@@ -38,6 +39,10 @@ int main() {
     AccuracyCurveConfig acc;
     acc.model = row.model;
     acc.effective_batch = row.nodes * 4 * 64;
+    const std::string tag =
+        std::string(row.model) + "_" + std::to_string(row.nodes) + "n";
+    json.add("base_s_" + tag, base);
+    json.add("opt_s_" + tag, opt);
     table.add_row({row.model, std::to_string(row.nodes), Table::num(base, 0),
                    Table::num(opt, 0),
                    Table::num(100.0 * (base / opt - 1.0), 0) + " %",

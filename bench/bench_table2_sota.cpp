@@ -5,9 +5,10 @@
 #include "bench_common.hpp"
 #include "core/dctrain.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dct;
   using namespace dct::trainer;
+  bench::JsonResult json("table2_sota", argc, argv);
   bench::banner(
       "Table 2 — 90-epoch ResNet-50 vs the state of the art",
       "ours: 256 P100 / batch 8k / 48 min / 75.4 % top-1, beating Goyal "
@@ -36,6 +37,10 @@ int main() {
   table.add_row({"this reproduction", "256 P100 (modelled)", "90", "8k",
                  Table::num(top1, 1), Table::num(total_min, 0)});
   table.print("90-epoch ImageNet-1k training");
+  json.add("total_min", total_min);
+  json.add("top1_pct", top1);
+  json.add("epoch_s", breakdown.epoch_s);
+  json.add("step_s", breakdown.step_s);
 
   std::printf("Per-step breakdown at 64 nodes (batch 32/GPU): compute %s, "
               "DPT %s, data %s, allreduce %s → step %s × %.0f steps/epoch\n\n",

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "allreduce/color_tree.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dct::allreduce {
@@ -26,6 +27,8 @@ std::string MultiColorAllreduce::name() const {
 void MultiColorAllreduce::run(simmpi::Communicator& comm,
                               std::span<float> data,
                               RankTraffic* traffic) const {
+  DCT_TRACE_SPAN("multicolor", "allreduce",
+                 static_cast<std::int64_t>(data.size_bytes()));
   RankTraffic t;
   const int p = comm.size();
   const int rank = comm.rank();
@@ -62,6 +65,7 @@ void MultiColorAllreduce::run(simmpi::Communicator& comm,
       const std::size_t clo = color_lo(c), chi = color_lo(c + 1);
       const std::size_t lo = clo + s * pipe;
       if (lo >= chi) continue;
+      DCT_TRACE_SPAN("reduce", "multicolor", c);
       const std::size_t len = std::min(pipe, chi - lo);
       std::span<float> part(data.data() + lo, len);
       const ColorTree& tree = trees[static_cast<std::size_t>(c)];
@@ -82,6 +86,7 @@ void MultiColorAllreduce::run(simmpi::Communicator& comm,
       const std::size_t clo = color_lo(c), chi = color_lo(c + 1);
       const std::size_t lo = clo + s * pipe;
       if (lo >= chi) continue;
+      DCT_TRACE_SPAN("broadcast", "multicolor", c);
       const std::size_t len = std::min(pipe, chi - lo);
       std::span<float> part(data.data() + lo, len);
       const ColorTree& tree = trees[static_cast<std::size_t>(c)];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace dct::allreduce {
 
 // Paper §5.1: "a pipelined ring algorithm where packets are reduced to a
@@ -18,6 +20,8 @@ namespace dct::allreduce {
 void PipelinedRingAllreduce::run(simmpi::Communicator& comm,
                                  std::span<float> data,
                                  RankTraffic* traffic) const {
+  DCT_TRACE_SPAN("ring", "allreduce",
+                 static_cast<std::int64_t>(data.size_bytes()));
   RankTraffic t;
   const int p = comm.size();
   const int rank = comm.rank();
@@ -39,25 +43,33 @@ void PipelinedRingAllreduce::run(simmpi::Communicator& comm,
 
     // Reduce toward rank 0: receive the running partial sum from my
     // upstream neighbour (rank+1), fold in my contribution, pass down.
-    if (rank != p - 1) {
-      comm.recv(std::span<float>(scratch.data(), len), rank + 1, kAlgoTag);
-      for (std::size_t i = 0; i < len; ++i) part[i] += scratch[i];
-      t.reduce_flops += len;
-    }
-    if (rank != 0) {
-      comm.send(std::span<const float>(part.data(), len), rank - 1, kAlgoTag);
-      t.bytes_sent += len * sizeof(float);
-      ++t.messages_sent;
+    {
+      DCT_TRACE_SPAN("reduce", "ring", static_cast<std::int64_t>(c));
+      if (rank != p - 1) {
+        comm.recv(std::span<float>(scratch.data(), len), rank + 1, kAlgoTag);
+        for (std::size_t i = 0; i < len; ++i) part[i] += scratch[i];
+        t.reduce_flops += len;
+      }
+      if (rank != 0) {
+        comm.send(std::span<const float>(part.data(), len), rank - 1,
+                  kAlgoTag);
+        t.bytes_sent += len * sizeof(float);
+        ++t.messages_sent;
+      }
     }
 
     // Broadcast back up the ring from rank 0.
-    if (rank != 0) {
-      comm.recv(part, rank - 1, kAlgoTag);
-    }
-    if (rank != p - 1) {
-      comm.send(std::span<const float>(part.data(), len), rank + 1, kAlgoTag);
-      t.bytes_sent += len * sizeof(float);
-      ++t.messages_sent;
+    {
+      DCT_TRACE_SPAN("broadcast", "ring", static_cast<std::int64_t>(c));
+      if (rank != 0) {
+        comm.recv(part, rank - 1, kAlgoTag);
+      }
+      if (rank != p - 1) {
+        comm.send(std::span<const float>(part.data(), len), rank + 1,
+                  kAlgoTag);
+        t.bytes_sent += len * sizeof(float);
+        ++t.messages_sent;
+      }
     }
   }
   if (traffic != nullptr) *traffic = t;

@@ -38,6 +38,9 @@
 #include "nn/model_spec.hpp"
 #include "nn/sgd.hpp"
 #include "nn/small_cnn.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/donkey_pool.hpp"
 #include "storage/sim_filesystem.hpp"

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "data/codec.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dct::data {
@@ -139,6 +141,12 @@ DimdStore::Batch DimdStore::batch_from_indices(
 }
 
 std::uint64_t DimdStore::shuffle(Rng& rng) {
+  DCT_TRACE_SPAN("dimd.shuffle", "data",
+                 static_cast<std::int64_t>(items_.size()));
+  static obs::Counter& shuffle_count = obs::Metrics::counter("dimd.shuffles");
+  static obs::Counter& shuffle_bytes =
+      obs::Metrics::counter("dimd.shuffle_bytes_sent");
+  shuffle_count.add(1);
   const int s = group_size();
   if (s == 1) {
     rng.shuffle(items_.begin(), items_.end());
@@ -180,17 +188,20 @@ std::uint64_t DimdStore::shuffle(Rng& rng) {
 
     // Per-destination byte counts and packing.
     std::vector<std::size_t> send_counts(static_cast<std::size_t>(s), 0);
-    for (std::size_t i = seg_begin; i < cursor; ++i) {
-      send_counts[static_cast<std::size_t>(dest[i])] += wire_size(items_[i]);
-    }
     std::vector<std::size_t> send_displs(static_cast<std::size_t>(s), 0);
     std::size_t total_send = 0;
-    for (int r = 0; r < s; ++r) {
-      send_displs[static_cast<std::size_t>(r)] = total_send;
-      total_send += send_counts[static_cast<std::size_t>(r)];
-    }
-    std::vector<std::uint8_t> send_buf(total_send);
+    std::vector<std::uint8_t> send_buf;
     {
+      DCT_TRACE_SPAN("shuffle.pack", "data",
+                     static_cast<std::int64_t>(cursor - seg_begin));
+      for (std::size_t i = seg_begin; i < cursor; ++i) {
+        send_counts[static_cast<std::size_t>(dest[i])] += wire_size(items_[i]);
+      }
+      for (int r = 0; r < s; ++r) {
+        send_displs[static_cast<std::size_t>(r)] = total_send;
+        total_send += send_counts[static_cast<std::size_t>(r)];
+      }
+      send_buf.resize(total_send);
       std::vector<std::size_t> fill(send_displs);
       for (std::size_t i = seg_begin; i < cursor; ++i) {
         auto& off = fill[static_cast<std::size_t>(dest[i])];
@@ -201,26 +212,36 @@ std::uint64_t DimdStore::shuffle(Rng& rng) {
 
     // "Exchange lengths and offsets with every node" (Algorithm 2).
     std::vector<std::size_t> recv_counts(static_cast<std::size_t>(s), 0);
-    group_comm_.alltoall(std::span<const std::size_t>(send_counts),
-                         std::span<std::size_t>(recv_counts));
-    std::vector<std::size_t> recv_displs(static_cast<std::size_t>(s), 0);
-    std::size_t total_recv = 0;
-    for (int r = 0; r < s; ++r) {
-      recv_displs[static_cast<std::size_t>(r)] = total_recv;
-      total_recv += recv_counts[static_cast<std::size_t>(r)];
-    }
-    std::vector<std::uint8_t> recv_buf(total_recv);
+    std::vector<std::uint8_t> recv_buf;
+    {
+      DCT_TRACE_SPAN("shuffle.exchange", "data",
+                     static_cast<std::int64_t>(total_send));
+      group_comm_.alltoall(std::span<const std::size_t>(send_counts),
+                           std::span<std::size_t>(recv_counts));
+      std::vector<std::size_t> recv_displs(static_cast<std::size_t>(s), 0);
+      std::size_t total_recv = 0;
+      for (int r = 0; r < s; ++r) {
+        recv_displs[static_cast<std::size_t>(r)] = total_recv;
+        total_recv += recv_counts[static_cast<std::size_t>(r)];
+      }
+      recv_buf.resize(total_recv);
 
-    group_comm_.alltoallv<std::uint8_t>(send_buf, send_counts, send_displs,
-                                        recv_buf, recv_counts, recv_displs);
-    bytes_sent += total_send;
+      group_comm_.alltoallv<std::uint8_t>(send_buf, send_counts, send_displs,
+                                          recv_buf, recv_counts, recv_displs);
+      bytes_sent += total_send;
+      shuffle_bytes.add(total_send);
+    }
 
     // Unpack received records.
-    std::size_t off = 0;
-    while (off < recv_buf.size()) {
-      DimdItem item;
-      off += deserialize(recv_buf.data() + off, recv_buf.size() - off, item);
-      incoming.push_back(std::move(item));
+    {
+      DCT_TRACE_SPAN("shuffle.unpack", "data",
+                     static_cast<std::int64_t>(recv_buf.size()));
+      std::size_t off = 0;
+      while (off < recv_buf.size()) {
+        DimdItem item;
+        off += deserialize(recv_buf.data() + off, recv_buf.size() - off, item);
+        incoming.push_back(std::move(item));
+      }
     }
   }
 

@@ -1,0 +1,147 @@
+#include "obs/counters.hpp"
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dct::obs {
+
+void LatencyHistogram::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_.size() < kWindow) {
+    window_.push_back(seconds);
+  } else {
+    window_[stat_.count() % kWindow] = seconds;
+  }
+  stat_.add(seconds);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.count = stat_.count();
+  if (s.count == 0) return s;
+  s.mean = stat_.mean();
+  s.stddev = stat_.stddev();
+  s.min = stat_.min();
+  s.max = stat_.max();
+  s.p50 = percentile(window_, 50.0);
+  s.p95 = percentile(window_, 95.0);
+  s.p99 = percentile(window_, 99.0);
+  return s;
+}
+
+void LatencyHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stat_ = RunningStat();
+  window_.clear();
+}
+
+namespace {
+
+// One mutex guards all three name->instrument maps; instruments
+// themselves are internally synchronized, so the registry lock is only
+// taken on first use, snapshot, and reset. Leaked like the trace
+// registry so atexit reporting never races static destruction.
+struct RegistryState {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms;
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState;
+  return *s;
+}
+
+template <typename Map>
+auto& find_or_create(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Metrics::counter(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return find_or_create(s.counters, name);
+}
+
+Gauge& Metrics::gauge(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return find_or_create(s.gauges, name);
+}
+
+LatencyHistogram& Metrics::histogram(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return find_or_create(s.histograms, name);
+}
+
+MetricsSnapshot Metrics::snapshot() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : s.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  for (const auto& [name, g] : s.gauges) {
+    snap.gauges.push_back({name, g->value(), g->max_value()});
+  }
+  for (const auto& [name, h] : s.histograms) {
+    snap.histograms.push_back({name, h->snapshot()});
+  }
+  return snap;
+}
+
+void Metrics::reset() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [name, c] : s.counters) c->reset();
+  for (auto& [name, g] : s.gauges) g->reset();
+  for (auto& [name, h] : s.histograms) h->reset();
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream os;
+  if (!counters.empty()) {
+    Table t({"counter", "value"});
+    for (const auto& row : counters) {
+      t.add_row({row.name, std::to_string(row.value)});
+    }
+    os << t.to_string("Counters");
+  }
+  if (!gauges.empty()) {
+    Table t({"gauge", "value", "max"});
+    for (const auto& row : gauges) {
+      t.add_row({row.name, std::to_string(row.value),
+                 std::to_string(row.max)});
+    }
+    os << t.to_string("Gauges");
+  }
+  if (!histograms.empty()) {
+    Table t({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& row : histograms) {
+      t.add_row({row.name, std::to_string(row.h.count),
+                 format_seconds(row.h.mean), format_seconds(row.h.p50),
+                 format_seconds(row.h.p95), format_seconds(row.h.p99),
+                 format_seconds(row.h.max)});
+    }
+    os << t.to_string("Latency histograms");
+  }
+  return os.str();
+}
+
+}  // namespace dct::obs

@@ -1,0 +1,133 @@
+// Counter / gauge / latency-histogram registry (the "how much happened"
+// half of the obs module; trace.hpp is the "where did the time go" half).
+//
+// Instruments are process-global, named, and created on first use:
+//
+//   static obs::Counter& bytes = obs::Metrics::counter("simmpi.bytes_sent");
+//   bytes.add(payload.size());
+//
+// The `static` at the call site makes the registry lookup a one-time
+// cost; the steady-state update is one relaxed atomic RMW, cheap enough
+// to leave enabled unconditionally (unlike spans, counters carry no
+// payload to buffer). `Metrics::snapshot()` returns a consistent-enough
+// copy for end-of-run reporting; histograms are built on the existing
+// RunningStat / percentile utilities.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dct::obs {
+
+/// Monotonic event count (messages sent, images decoded, ...).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, in-flight batches) with a
+/// high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+  void add(std::int64_t delta) {
+    raise_max(v_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t v) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Latency distribution: full-stream moments via RunningStat plus
+/// percentiles over a rolling window of the most recent samples.
+class LatencyHistogram {
+ public:
+  struct Snapshot {
+    std::size_t count = 0;
+    double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+
+  void record(double seconds);
+  Snapshot snapshot() const;
+  void reset();
+
+  /// Rolling-window capacity backing the percentile estimates.
+  static constexpr std::size_t kWindow = 8192;
+
+ private:
+  mutable std::mutex mutex_;
+  RunningStat stat_;
+  std::vector<double> window_;
+};
+
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::int64_t value;
+    std::int64_t max;
+  };
+  struct HistogramRow {
+    std::string name;
+    LatencyHistogram::Snapshot h;
+  };
+
+  std::vector<CounterRow> counters;      // sorted by name
+  std::vector<GaugeRow> gauges;          // sorted by name
+  std::vector<HistogramRow> histograms;  // sorted by name
+
+  /// Human-readable rendering (one table per instrument kind).
+  std::string to_string() const;
+};
+
+class Metrics {
+ public:
+  /// Find-or-create by name. Returned references are stable for the
+  /// process lifetime — cache them in a `static` at the call site.
+  static Counter& counter(std::string_view name);
+  static Gauge& gauge(std::string_view name);
+  static LatencyHistogram& histogram(std::string_view name);
+
+  static MetricsSnapshot snapshot();
+
+  /// Zero every registered instrument (registrations survive).
+  static void reset();
+};
+
+}  // namespace dct::obs

@@ -1,0 +1,386 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace dct::obs {
+
+namespace {
+
+// ---- minimal JSON reader -------------------------------------------
+//
+// Just enough of RFC 8259 to re-load the traces trace.cpp writes (and
+// any well-formed Chrome trace of the same shape): objects, arrays,
+// strings with escapes, numbers, literals. Recursive descent over a
+// string_view with a cursor; errors throw CheckError with an offset.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    DCT_CHECK_MSG(pos_ == text_.size(),
+                  "trailing characters in JSON at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    DCT_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    DCT_CHECK_MSG(peek() == c, "expected '" << c << "' at JSON offset "
+                                            << pos_ << ", got '" << text_[pos_]
+                                            << "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", bool_value(true));
+      case 'f': return literal("false", bool_value(false));
+      case 'n': return literal("null", JsonValue{});
+      default: return number();
+    }
+  }
+
+  static JsonValue bool_value(bool b) {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue literal(std::string_view word, JsonValue v) {
+    DCT_CHECK_MSG(text_.substr(pos_, word.size()) == word,
+                  "bad JSON literal at offset " << pos_);
+    pos_ += word.size();
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.object.emplace_back(std::move(key.str), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (true) {
+      DCT_CHECK_MSG(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str.push_back(c);
+        continue;
+      }
+      DCT_CHECK_MSG(pos_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.str.push_back('"'); break;
+        case '\\': v.str.push_back('\\'); break;
+        case '/': v.str.push_back('/'); break;
+        case 'b': v.str.push_back('\b'); break;
+        case 'f': v.str.push_back('\f'); break;
+        case 'n': v.str.push_back('\n'); break;
+        case 'r': v.str.push_back('\r'); break;
+        case 't': v.str.push_back('\t'); break;
+        case 'u': {
+          DCT_CHECK_MSG(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else DCT_CHECK_MSG(false, "bad \\u escape digit '" << h << "'");
+          }
+          // Labels are ASCII in practice; fold anything else to '?'.
+          v.str.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          DCT_CHECK_MSG(false, "unknown JSON escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  JsonValue number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    DCT_CHECK_MSG(pos_ > start, "bad JSON number at offset " << start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double number_or(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::kNumber) ? v->number
+                                                               : fallback;
+}
+
+std::string string_or(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::kString) ? v->str
+                                                               : std::string();
+}
+
+int pid_to_rank(double pid) {
+  const int p = static_cast<int>(pid);
+  return p == 999999 ? kUnattributedRank : p;
+}
+
+}  // namespace
+
+std::vector<ReportEvent> tracer_events() {
+  std::vector<ReportEvent> out;
+  for (const auto& ce : Tracer::collect()) {
+    ReportEvent ev;
+    ev.name = ce.event.name;
+    ev.cat = ce.event.cat;
+    ev.rank = ce.event.rank;
+    ev.tid = ce.tid;
+    ev.ts_us = static_cast<double>(ce.event.ts_ns) / 1000.0;
+    ev.dur_us = static_cast<double>(ce.event.dur_ns) / 1000.0;
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::vector<ReportEvent> parse_chrome_trace(std::string_view json) {
+  const JsonValue root = JsonParser(json).parse();
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kObject) {
+    events = root.find("traceEvents");
+    DCT_CHECK_MSG(events != nullptr && events->type == JsonValue::Type::kArray,
+                  "trace JSON object lacks a traceEvents array");
+  } else {
+    DCT_CHECK_MSG(root.type == JsonValue::Type::kArray,
+                  "trace JSON is neither an object nor an event array");
+    events = &root;
+  }
+
+  std::vector<ReportEvent> out;
+  for (const JsonValue& e : events->array) {
+    if (e.type != JsonValue::Type::kObject) continue;
+    const std::string ph = string_or(e, "ph");
+    if (ph != "X" && ph != "i" && ph != "I") continue;  // skip metadata etc.
+    ReportEvent ev;
+    ev.name = string_or(e, "name");
+    ev.cat = string_or(e, "cat");
+    ev.rank = pid_to_rank(number_or(e, "pid", -1.0));
+    ev.tid = static_cast<int>(number_or(e, "tid", 0.0));
+    ev.ts_us = number_or(e, "ts", 0.0);
+    ev.dur_us = ph == "X" ? number_or(e, "dur", 0.0) : 0.0;
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::vector<ReportEvent> load_chrome_trace(const std::string& path) {
+  std::ifstream is(path);
+  DCT_CHECK_MSG(is.is_open(), "cannot open trace file " << path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse_chrome_trace(ss.str());
+}
+
+double PhaseBreakdown::Rank::covered_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, s] : phase_seconds) total += s;
+  return total;
+}
+
+double PhaseBreakdown::Rank::coverage() const {
+  return step_seconds > 0.0 ? covered_seconds() / step_seconds : 0.0;
+}
+
+PhaseBreakdown phase_breakdown(const std::vector<ReportEvent>& events,
+                               std::string_view step_cat,
+                               std::string_view phase_cat) {
+  std::map<int, PhaseBreakdown::Rank> by_rank;
+  std::set<std::string> names;
+  for (const ReportEvent& ev : events) {
+    if (ev.cat != step_cat && ev.cat != phase_cat) continue;
+    auto& rank = by_rank[ev.rank];
+    rank.rank = ev.rank;
+    const double seconds = ev.dur_us / 1e6;
+    if (ev.cat == step_cat) {
+      rank.step_seconds += seconds;
+      ++rank.steps;
+    } else {
+      rank.phase_seconds[ev.name] += seconds;
+      names.insert(ev.name);
+    }
+  }
+  PhaseBreakdown b;
+  for (auto& [rank, row] : by_rank) {
+    (void)rank;
+    b.ranks.push_back(std::move(row));
+  }
+  b.phase_names.assign(names.begin(), names.end());
+  return b;
+}
+
+Table phase_table(const PhaseBreakdown& b) {
+  std::vector<std::string> headers{"rank", "steps", "step (s)"};
+  for (const auto& name : b.phase_names) {
+    headers.push_back(name + " (s)");
+    headers.push_back(name + " %");
+  }
+  headers.push_back("coverage %");
+  Table t(std::move(headers));
+  for (const auto& rank : b.ranks) {
+    std::vector<std::string> row{
+        rank.rank == kUnattributedRank ? std::string("-")
+                                       : std::to_string(rank.rank),
+        std::to_string(rank.steps), Table::num(rank.step_seconds, 3)};
+    for (const auto& name : b.phase_names) {
+      const auto it = rank.phase_seconds.find(name);
+      const double s = it == rank.phase_seconds.end() ? 0.0 : it->second;
+      row.push_back(Table::num(s, 3));
+      row.push_back(Table::num(
+          rank.step_seconds > 0.0 ? 100.0 * s / rank.step_seconds : 0.0, 1));
+    }
+    row.push_back(Table::num(100.0 * rank.coverage(), 1));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table span_totals_table(const std::vector<ReportEvent>& events,
+                        std::size_t top) {
+  struct Totals {
+    double seconds = 0.0;
+    std::size_t count = 0;
+    std::map<int, double> per_rank;
+  };
+  std::map<std::string, Totals> by_label;  // "cat/name"
+  std::set<int> ranks;
+  for (const ReportEvent& ev : events) {
+    if (ev.dur_us <= 0.0) continue;
+    auto& t = by_label[ev.cat.empty() ? ev.name : ev.cat + "/" + ev.name];
+    t.seconds += ev.dur_us / 1e6;
+    ++t.count;
+    t.per_rank[ev.rank] += ev.dur_us / 1e6;
+    ranks.insert(ev.rank);
+  }
+  std::vector<std::pair<std::string, Totals>> sorted(by_label.begin(),
+                                                     by_label.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.seconds > b.second.seconds;
+  });
+  if (sorted.size() > top) sorted.resize(top);
+
+  std::vector<std::string> headers{"span", "count", "total (s)"};
+  for (int r : ranks) {
+    headers.push_back("rank " + (r == kUnattributedRank
+                                     ? std::string("-")
+                                     : std::to_string(r)) +
+                      " (s)");
+  }
+  Table t(std::move(headers));
+  for (const auto& [label, totals] : sorted) {
+    std::vector<std::string> row{label, std::to_string(totals.count),
+                                 Table::num(totals.seconds, 3)};
+    for (int r : ranks) {
+      const auto it = totals.per_rank.find(r);
+      row.push_back(
+          Table::num(it == totals.per_rank.end() ? 0.0 : it->second, 3));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace dct::obs

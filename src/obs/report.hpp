@@ -1,0 +1,70 @@
+// Trace analysis: turn a span stream (in-process or re-loaded from a
+// Chrome-trace JSON file) into the per-rank per-phase time-breakdown
+// tables of the paper's Table 1 / Figure 12 — "how many seconds per
+// epoch go to data loading, allreduce, SGD, shuffle, on which rank".
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace dct::obs {
+
+/// One span/instant with attribution, in exported (microsecond) units.
+struct ReportEvent {
+  std::string name;
+  std::string cat;
+  int rank = -1;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< 0 for instants
+};
+
+/// Events currently buffered in this process's Tracer.
+std::vector<ReportEvent> tracer_events();
+
+/// Parse Chrome Trace Event Format JSON (the subset this library writes:
+/// a {"traceEvents": [...]} object or a bare event array; "X" complete
+/// events and "i" instants; metadata events are skipped). Throws
+/// CheckError on malformed input.
+std::vector<ReportEvent> parse_chrome_trace(std::string_view json);
+
+/// Read + parse a trace file. Throws CheckError when unreadable.
+std::vector<ReportEvent> load_chrome_trace(const std::string& path);
+
+/// Per-rank decomposition of step time into phases. A "step" span
+/// (category `step_cat`) measures the wall time of one training
+/// iteration; spans with category `phase_cat` attribute slices of it.
+struct PhaseBreakdown {
+  struct Rank {
+    int rank = -1;
+    std::size_t steps = 0;
+    double step_seconds = 0.0;
+    std::map<std::string, double> phase_seconds;
+
+    double covered_seconds() const;
+    /// Fraction of step wall time the phases account for, in [0, ~1].
+    double coverage() const;
+  };
+
+  std::vector<Rank> ranks;               ///< sorted by rank
+  std::vector<std::string> phase_names;  ///< union across ranks, sorted
+};
+
+PhaseBreakdown phase_breakdown(const std::vector<ReportEvent>& events,
+                               std::string_view step_cat = "step",
+                               std::string_view phase_cat = "phase");
+
+/// Render the breakdown: one row per rank, one column per phase
+/// (seconds and share of step time), plus a coverage column.
+Table phase_table(const PhaseBreakdown& b);
+
+/// Secondary view: total time per (category, name) span label per rank,
+/// `top` labels by aggregate time — surfaces allreduce/simmpi internals.
+Table span_totals_table(const std::vector<ReportEvent>& events,
+                        std::size_t top = 12);
+
+}  // namespace dct::obs

@@ -1,0 +1,266 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace dct::obs {
+
+namespace {
+
+struct ThreadBuffer {
+  int tid = 0;
+  std::mutex mutex;  ///< owner thread appends; collectors read
+  std::vector<TraceEvent> events;
+};
+
+// The registry and the thread_local handles leak deliberately: rank and
+// donkey threads outlive no particular scope, and an atexit trace write
+// must still see every buffer, so static-destruction order must not be
+// allowed to tear anything down.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local int t_rank = kUnattributedRank;
+
+ThreadBuffer& thread_buffer() {
+  if (!t_buffer) {
+    t_buffer = std::make_shared<ThreadBuffer>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    t_buffer->tid = reg.next_tid++;
+    reg.buffers.push_back(t_buffer);
+  }
+  return *t_buffer;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// JSON string escaping for event labels (control chars, quotes).
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// rank -> Chrome pid. Perfetto sorts pids numerically, so ranks map to
+/// themselves and untagged threads share one out-of-band pid.
+int rank_pid(int rank) { return rank >= 0 ? rank : 999999; }
+
+// DCTRAIN_TRACE=<path>: enable at startup, write the trace at exit.
+struct EnvAutoTrace {
+  EnvAutoTrace() {
+    const char* path = std::getenv("DCTRAIN_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    destination() = path;
+    Tracer::set_enabled(true);
+    std::atexit([] {
+      Tracer::write_chrome_trace(destination());
+      std::fprintf(stderr, "dctrain: wrote %zu trace events to %s\n",
+                   Tracer::event_count(), destination().c_str());
+    });
+  }
+  static std::string& destination() {
+    static std::string* d = new std::string;
+    return *d;
+  }
+};
+const EnvAutoTrace env_auto_trace;
+
+}  // namespace
+
+std::atomic<bool> Tracer::g_enabled{
+#ifdef DCTRAIN_TRACE_DEFAULT_ON
+    true
+#else
+    false
+#endif
+};
+
+void Tracer::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void Tracer::set_thread_rank(int rank) { t_rank = rank; }
+
+int Tracer::thread_rank() { return t_rank; }
+
+void Tracer::span(std::string_view name, std::string_view cat,
+                  std::uint64_t ts_ns, std::uint64_t dur_ns,
+                  std::int64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  copy_label(ev.name, name);
+  copy_label(ev.cat, cat);
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg = arg;
+  ev.rank = t_rank;
+  ev.kind = TraceEvent::Kind::kSpan;
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(ev);
+}
+
+void Tracer::instant(std::string_view name, std::string_view cat,
+                     std::int64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  copy_label(ev.name, name);
+  copy_label(ev.cat, cat);
+  ev.ts_ns = now_ns();
+  ev.dur_ns = 0;
+  ev.arg = arg;
+  ev.rank = t_rank;
+  ev.kind = TraceEvent::Kind::kInstant;
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(ev);
+}
+
+std::vector<CollectedEvent> Tracer::collect() {
+  std::vector<CollectedEvent> out;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    for (const TraceEvent& ev : buf->events) {
+      out.push_back(CollectedEvent{ev, buf->tid});
+    }
+  }
+  return out;
+}
+
+std::size_t Tracer::event_count() {
+  std::size_t n = 0;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Tracer::reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) {
+  const auto events = collect();
+
+  // Metadata: name each rank's pid and each thread's tid so the Perfetto
+  // timeline groups tracks by rank.
+  std::map<int, bool> ranks;             // rank -> seen
+  std::map<int, int> thread_rank_hint;   // tid -> rank of its last event
+  for (const auto& ce : events) {
+    ranks[ce.event.rank] = true;
+    thread_rank_hint[ce.tid] = ce.event.rank;
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [rank, seen] : ranks) {
+    (void)seen;
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << rank_pid(rank)
+       << ",\"args\":{\"name\":";
+    write_json_string(os, rank >= 0 ? "rank " + std::to_string(rank)
+                                    : std::string("unattributed"));
+    os << "}}";
+  }
+  for (const auto& [tid, rank] : thread_rank_hint) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << rank_pid(rank)
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":";
+    write_json_string(os, "thread " + std::to_string(tid));
+    os << "}}";
+  }
+  for (const auto& ce : events) {
+    const TraceEvent& ev = ce.event;
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, ev.name);
+    if (ev.cat[0] != '\0') {
+      os << ",\"cat\":";
+      write_json_string(os, ev.cat);
+    }
+    const bool is_span = ev.kind == TraceEvent::Kind::kSpan;
+    os << ",\"ph\":\"" << (is_span ? 'X' : 'i') << '"';
+    if (!is_span) os << ",\"s\":\"t\"";
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(ev.ts_ns) / 1000.0);
+    os << ",\"ts\":" << ts;
+    if (is_span) {
+      std::snprintf(ts, sizeof(ts), "%.3f",
+                    static_cast<double>(ev.dur_ns) / 1000.0);
+      os << ",\"dur\":" << ts;
+    }
+    os << ",\"pid\":" << rank_pid(ev.rank) << ",\"tid\":" << ce.tid;
+    if (ev.arg != kNoArg) os << ",\"args\":{\"arg\":" << ev.arg << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::write_chrome_trace(const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  DCT_CHECK_MSG(os.is_open(), "cannot open trace output " << path);
+  write_chrome_trace(os);
+  os.flush();
+  DCT_CHECK_MSG(os.good(), "trace write to " << path << " failed");
+}
+
+}  // namespace dct::obs

@@ -1,0 +1,166 @@
+// Per-rank event tracer (the "where did the time go" half of the obs
+// module; counters.hpp is the "how much happened" half).
+//
+// Design goals, in order:
+//   1. Near-zero cost when disabled: every instrumentation point reduces
+//      to one relaxed atomic load (`Tracer::enabled()`), so tracing can
+//      stay compiled into release benches.
+//   2. Per-rank attribution: simmpi ranks are threads of one process, so
+//      each event carries the rank its thread was tagged with
+//      (`Tracer::set_thread_rank`, done by simmpi::Runtime); worker
+//      threads serving a rank borrow its tag via ScopedRank.
+//   3. Chrome-trace export: `write_chrome_trace` emits the Trace Event
+//      Format JSON that chrome://tracing and Perfetto load, mapping
+//      rank -> pid and thread -> tid so the timeline groups by rank.
+//
+// Usage:
+//   DCT_TRACE_SPAN("forward_backward", "phase");       // RAII scope
+//   DCT_TRACE_SPAN("reduce", "multicolor", color);     // numeric arg
+//   Tracer::instant("shuffle_triggered", "data");
+//
+// Runtime toggles: Tracer::set_enabled(bool), or environment variable
+// DCTRAIN_TRACE=<path> which enables tracing at startup and writes the
+// Chrome trace to <path> at process exit. The compile-time default state
+// is OFF unless the build sets -DDCTRAIN_TRACE_DEFAULT=ON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dct::obs {
+
+/// Sentinel for "no numeric payload attached to this event".
+inline constexpr std::int64_t kNoArg = INT64_MIN;
+
+/// Ranks are small non-negative integers; events recorded on a thread
+/// nobody tagged get kUnattributedRank (exported under one shared pid).
+inline constexpr int kUnattributedRank = -1;
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+
+  char name[48];         ///< truncating copy, always NUL-terminated
+  char cat[16];          ///< category ("phase", "simmpi", ...)
+  std::uint64_t ts_ns;   ///< start, ns since the process trace epoch
+  std::uint64_t dur_ns;  ///< 0 for instants
+  std::int64_t arg;      ///< kNoArg when unused
+  int rank;              ///< rank tag of the recording thread
+  Kind kind;
+};
+
+/// An event annotated with the stable id of the thread that recorded it.
+struct CollectedEvent {
+  TraceEvent event;
+  int tid;
+};
+
+class Tracer {
+ public:
+  /// The one check every instrumentation point performs first.
+  static bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+  static void set_enabled(bool on);
+
+  /// Monotonic nanoseconds since the process trace epoch.
+  static std::uint64_t now_ns();
+
+  /// Tag the calling thread with a rank; subsequent events it records
+  /// are attributed to that rank. Cheap (a thread_local store).
+  static void set_thread_rank(int rank);
+  static int thread_rank();
+
+  /// Append a completed span / an instant event to the calling thread's
+  /// buffer. No-ops when disabled. Prefer the DCT_TRACE_* macros.
+  static void span(std::string_view name, std::string_view cat,
+                   std::uint64_t ts_ns, std::uint64_t dur_ns,
+                   std::int64_t arg = kNoArg);
+  static void instant(std::string_view name, std::string_view cat = "",
+                      std::int64_t arg = kNoArg);
+
+  /// Snapshot of every thread's buffered events (any thread may call).
+  static std::vector<CollectedEvent> collect();
+
+  /// Number of buffered events across all threads.
+  static std::size_t event_count();
+
+  /// Drop all buffered events (thread registrations survive).
+  static void reset();
+
+  /// Emit buffered events as Chrome Trace Event Format JSON.
+  static void write_chrome_trace(std::ostream& os);
+  static void write_chrome_trace(const std::string& path);
+
+ private:
+  static std::atomic<bool> g_enabled;
+};
+
+/// Truncating label copy into a fixed event field.
+template <std::size_t N>
+inline void copy_label(char (&dst)[N], std::string_view src) {
+  const std::size_t n = src.size() < N - 1 ? src.size() : N - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// RAII span: stamps the start on construction, records on destruction.
+/// Inactive (and free apart from one atomic load) when tracing is off at
+/// construction time.
+class SpanScope {
+ public:
+  explicit SpanScope(std::string_view name, std::string_view cat = "",
+                     std::int64_t arg = kNoArg) {
+    if (!Tracer::enabled()) return;
+    active_ = true;
+    copy_label(name_, name);
+    copy_label(cat_, cat);
+    arg_ = arg;
+    start_ = Tracer::now_ns();
+  }
+  ~SpanScope() {
+    if (!active_) return;
+    Tracer::span(name_, cat_, start_, Tracer::now_ns() - start_, arg_);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  char name_[48];
+  char cat_[16];
+  std::uint64_t start_ = 0;
+  std::int64_t arg_ = kNoArg;
+  bool active_ = false;
+};
+
+/// Temporarily re-tag the calling thread (worker threads doing work on
+/// behalf of a rank, e.g. donkey loaders).
+class ScopedRank {
+ public:
+  explicit ScopedRank(int rank) : prev_(Tracer::thread_rank()) {
+    Tracer::set_thread_rank(rank);
+  }
+  ~ScopedRank() { Tracer::set_thread_rank(prev_); }
+
+  ScopedRank(const ScopedRank&) = delete;
+  ScopedRank& operator=(const ScopedRank&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace dct::obs
+
+#define DCT_OBS_CONCAT_IMPL(a, b) a##b
+#define DCT_OBS_CONCAT(a, b) DCT_OBS_CONCAT_IMPL(a, b)
+
+/// DCT_TRACE_SPAN(name [, category [, arg]]) — RAII span over the
+/// enclosing scope.
+#define DCT_TRACE_SPAN(...) \
+  ::dct::obs::SpanScope DCT_OBS_CONCAT(dct_trace_span_, __COUNTER__){__VA_ARGS__}
+
+/// DCT_TRACE_INSTANT(name [, category [, arg]]) — point event.
+#define DCT_TRACE_INSTANT(...) ::dct::obs::Tracer::instant(__VA_ARGS__)

@@ -3,12 +3,39 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/counters.hpp"
+
 namespace dct::simmpi {
+
+namespace {
+
+// Process-global traffic accounting across every rank and communicator;
+// registered once, then one relaxed atomic add per message.
+obs::Counter& bytes_sent_counter() {
+  static obs::Counter& c = obs::Metrics::counter("simmpi.bytes_sent");
+  return c;
+}
+obs::Counter& msgs_sent_counter() {
+  static obs::Counter& c = obs::Metrics::counter("simmpi.messages_sent");
+  return c;
+}
+obs::Counter& bytes_recv_counter() {
+  static obs::Counter& c = obs::Metrics::counter("simmpi.bytes_received");
+  return c;
+}
+obs::Counter& msgs_recv_counter() {
+  static obs::Counter& c = obs::Metrics::counter("simmpi.messages_received");
+  return c;
+}
+
+}  // namespace
 
 void Communicator::send_bytes(std::span<const std::byte> payload, int dest,
                               int tag) {
   DCT_CHECK_MSG(dest >= 0 && dest < size(),
                 "send to out-of-range rank " << dest);
+  bytes_sent_counter().add(payload.size());
+  msgs_sent_counter().add(1);
   transport().send(global_rank(dest), group_->context, rank_, tag, payload);
 }
 
@@ -20,6 +47,8 @@ Status Communicator::recv_bytes(std::span<std::byte> buffer, int source,
                 "message of " << msg.data.size()
                               << " bytes does not fit receive buffer of "
                               << buffer.size());
+  bytes_recv_counter().add(msg.data.size());
+  msgs_recv_counter().add(1);
   std::memcpy(buffer.data(), msg.data.data(), msg.data.size());
   return Status{msg.source, msg.tag, msg.data.size()};
 }
@@ -27,6 +56,8 @@ Status Communicator::recv_bytes(std::span<std::byte> buffer, int source,
 std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
                                                     Status* status) {
   auto msg = transport().recv(global_rank(rank_), group_->context, source, tag);
+  bytes_recv_counter().add(msg.data.size());
+  msgs_recv_counter().add(1);
   if (status != nullptr) {
     *status = Status{msg.source, msg.tag, msg.data.size()};
   }
@@ -38,6 +69,7 @@ Status Communicator::probe(int source, int tag) {
 }
 
 void Communicator::barrier() {
+  DCT_TRACE_SPAN("barrier", "simmpi");
   const int tag = next_collective_tag();
   const int p = size();
   const std::byte token{0};
@@ -51,6 +83,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::bcast_bytes(std::span<std::byte> data, int root) {
+  DCT_TRACE_SPAN("bcast", "simmpi", static_cast<std::int64_t>(data.size()));
   DCT_CHECK(root >= 0 && root < size());
   const int tag = next_collective_tag();
   const int p = size();
@@ -77,6 +110,7 @@ void Communicator::bcast_bytes(std::span<std::byte> data, int root) {
 }
 
 Communicator Communicator::split(int color, int key) {
+  DCT_TRACE_SPAN("comm_split", "simmpi", color);
   DCT_CHECK_MSG(color >= 0, "split color must be non-negative");
   struct Entry {
     int color;
@@ -127,6 +161,7 @@ Communicator Communicator::split(int color, int key) {
 }
 
 Communicator Communicator::dup() {
+  DCT_TRACE_SPAN("comm_dup", "simmpi");
   std::uint64_t ctx = 0;
   if (rank_ == 0) ctx = transport().new_context();
   bcast(std::span<std::uint64_t>(&ctx, 1), 0);

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "simmpi/request.hpp"
 #include "simmpi/transport.hpp"
 #include "simmpi/types.hpp"
@@ -125,6 +126,8 @@ class Communicator {
   template <typename T, typename BinaryOp>
   void reduce_inplace(std::span<T> data, int root, BinaryOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    DCT_TRACE_SPAN("reduce", "simmpi",
+                   static_cast<std::int64_t>(data.size_bytes()));
     const int tag = next_collective_tag();
     const int p = size();
     const int vrank = (rank_ - root + p) % p;
@@ -153,6 +156,8 @@ class Communicator {
   /// fallback and the reference for their tests.
   template <typename T, typename BinaryOp>
   void allreduce_inplace(std::span<T> data, BinaryOp op) {
+    DCT_TRACE_SPAN("allreduce", "simmpi",
+                   static_cast<std::int64_t>(data.size_bytes()));
     reduce_inplace(data, /*root=*/0, op);
     bcast(data, /*root=*/0);
   }
@@ -163,6 +168,8 @@ class Communicator {
   template <typename T>
   void allgather(std::span<const T> mine, std::span<T> all) {
     static_assert(std::is_trivially_copyable_v<T>);
+    DCT_TRACE_SPAN("allgather", "simmpi",
+                   static_cast<std::int64_t>(mine.size_bytes()));
     const int p = size();
     const std::size_t block = mine.size();
     DCT_CHECK_MSG(all.size() == block * static_cast<std::size_t>(p),
@@ -200,6 +207,8 @@ class Communicator {
   template <typename T>
   void allgatherv(std::span<const T> mine, std::span<T> all,
                   std::span<const std::size_t> counts) {
+    DCT_TRACE_SPAN("allgatherv", "simmpi",
+                   static_cast<std::int64_t>(mine.size_bytes()));
     const int p = size();
     DCT_CHECK(static_cast<int>(counts.size()) == p);
     DCT_CHECK(mine.size() == counts[static_cast<std::size_t>(rank_)]);
@@ -229,6 +238,8 @@ class Communicator {
   /// Gather fixed-size blocks to root (rank order).
   template <typename T>
   void gather(std::span<const T> mine, std::span<T> all, int root) {
+    DCT_TRACE_SPAN("gather", "simmpi",
+                   static_cast<std::int64_t>(mine.size_bytes()));
     const int p = size();
     const std::size_t block = mine.size();
     const int tag = next_collective_tag();
@@ -250,6 +261,8 @@ class Communicator {
   /// Scatter fixed-size blocks from root (rank order).
   template <typename T>
   void scatter(std::span<const T> all, std::span<T> mine, int root) {
+    DCT_TRACE_SPAN("scatter", "simmpi",
+                   static_cast<std::int64_t>(mine.size_bytes()));
     const int p = size();
     const std::size_t block = mine.size();
     const int tag = next_collective_tag();
@@ -280,6 +293,8 @@ class Communicator {
                  std::span<const std::size_t> recv_counts,
                  std::span<const std::size_t> recv_displs) {
     static_assert(std::is_trivially_copyable_v<T>);
+    DCT_TRACE_SPAN("alltoallv", "simmpi",
+                   static_cast<std::int64_t>(send_buf.size_bytes()));
     const int p = size();
     DCT_CHECK(static_cast<int>(send_counts.size()) == p &&
               static_cast<int>(send_displs.size()) == p &&

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dct::simmpi {
@@ -31,6 +32,9 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
   threads.reserve(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
+      // Tag the rank thread so obs trace events attribute to this rank
+      // (rank -> pid in the Chrome-trace export).
+      obs::Tracer::set_thread_rank(r);
       Communicator comm(group, r);
       try {
         rank_main(comm);

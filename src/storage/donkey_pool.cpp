@@ -1,8 +1,11 @@
 #include "storage/donkey_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "data/codec.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dct::storage {
@@ -16,9 +19,23 @@ std::future<LoadedBatch> DonkeyPool::submit_batch(std::int64_t n,
                                                   std::uint64_t seed) {
   auto promise = std::make_shared<std::promise<LoadedBatch>>();
   auto fut = promise->get_future();
-  pool_.submit([this, n, seed, promise] {
+  // Donkey threads are shared workers with no rank of their own; tag the
+  // job with the submitting rank so its trace spans land on that rank's
+  // timeline.
+  const int rank = obs::Tracer::thread_rank();
+  pool_.submit([this, n, seed, promise, rank] {
+    obs::ScopedRank scoped(rank);
+    static obs::LatencyHistogram& fetch_hist =
+        obs::Metrics::histogram("donkey.fetch_seconds");
+    static obs::Counter& images = obs::Metrics::counter("donkey.images");
     try {
+      DCT_TRACE_SPAN("donkey.batch", "storage", n);
+      const auto start = std::chrono::steady_clock::now();
       promise->set_value(assemble(n, seed));
+      fetch_hist.record(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+      images.add(static_cast<std::uint64_t>(n));
     } catch (...) {
       promise->set_exception(std::current_exception());
     }

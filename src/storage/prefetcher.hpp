@@ -7,11 +7,13 @@
 // keep up (the condition the paper's §4.1 diagnoses).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 
+#include "obs/counters.hpp"
 #include "storage/donkey_pool.hpp"
 #include "util/error.hpp"
 
@@ -31,10 +33,17 @@ class BatchPrefetcher {
 
   /// Blocking: the next batch, in sequence order.
   LoadedBatch next() {
+    static obs::LatencyHistogram& wait_hist =
+        obs::Metrics::histogram("prefetch.wait_seconds");
     refill();
     auto fut = std::move(inflight_.front());
     inflight_.pop_front();
+    queue_gauge().set(static_cast<std::int64_t>(inflight_.size()));
+    const auto start = std::chrono::steady_clock::now();
     LoadedBatch batch = fut.get();
+    wait_hist.record(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
     refill();
     return batch;
   }
@@ -42,10 +51,16 @@ class BatchPrefetcher {
   std::uint64_t issued() const { return next_seq_; }
 
  private:
+  static obs::Gauge& queue_gauge() {
+    static obs::Gauge& g = obs::Metrics::gauge("prefetch.queue_depth");
+    return g;
+  }
+
   void refill() {
     while (static_cast<int>(inflight_.size()) < depth_) {
       inflight_.push_back(loader_(next_seq_++));
     }
+    queue_gauge().set(static_cast<std::int64_t>(inflight_.size()));
   }
 
   Loader loader_;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
 
@@ -82,31 +83,54 @@ storage::LoadedBatch DistributedTrainer::next_batch() {
 }
 
 StepMetrics DistributedTrainer::step() {
+  using clock = std::chrono::steady_clock;
+  const auto elapsed = [](clock::time_point since) {
+    return std::chrono::duration<double>(clock::now() - since).count();
+  };
+  DCT_TRACE_SPAN("step", "step", static_cast<std::int64_t>(iteration_));
+  const auto step_start = clock::now();
+  StepMetrics metrics;
+
   // Periodic in-memory shuffle (Algorithm 2).
   if (dimd_ != nullptr && cfg_.shuffle_every > 0 && iteration_ > 0 &&
       iteration_ % static_cast<std::uint64_t>(cfg_.shuffle_every) == 0 &&
       !cfg_.deterministic_global_sampling) {
+    DCT_TRACE_SPAN("shuffle", "phase");
     dimd_->shuffle(shuffle_rng_);
     ++shuffles_;
   }
 
-  const auto batch = next_batch();
-  StepMetrics metrics;
-  metrics.loss = table_->forward_backward(batch.images, batch.labels);
+  storage::LoadedBatch batch;
+  {
+    DCT_TRACE_SPAN("sample", "phase");
+    const auto start = clock::now();
+    batch = next_batch();
+    metrics.data_seconds = elapsed(start);
+  }
+
+  {
+    DCT_TRACE_SPAN("forward_backward", "phase");
+    metrics.loss = table_->forward_backward(batch.images, batch.labels);
+  }
 
   // Inter-node summation (Algorithm 1's MPI_Allreduce), then average
   // over learners so the update uses the global-batch mean gradient.
   auto grads = table_->node_grads();
-  const auto start = std::chrono::steady_clock::now();
-  allreduce_->run(comm_, grads);
-  metrics.allreduce_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  const float inv_n = 1.0f / static_cast<float>(comm_.size());
-  for (auto& g : grads) g *= inv_n;
+  {
+    DCT_TRACE_SPAN("allreduce", "phase");
+    const auto start = clock::now();
+    allreduce_->run(comm_, grads);
+    metrics.allreduce_seconds = elapsed(start);
+  }
 
-  table_->apply_gradients(grads, sgd_, static_cast<float>(cfg_.base_lr));
+  {
+    DCT_TRACE_SPAN("sgd", "phase");
+    const float inv_n = 1.0f / static_cast<float>(comm_.size());
+    for (auto& g : grads) g *= inv_n;
+    table_->apply_gradients(grads, sgd_, static_cast<float>(cfg_.base_lr));
+  }
   ++iteration_;
+  metrics.step_seconds = elapsed(step_start);
   return metrics;
 }
 
@@ -119,6 +143,8 @@ EpochMetrics DistributedTrainer::train_epoch(int iterations) {
   }
   em.mean_loss /= iterations;
   em.shuffles = shuffles_;
+  DCT_TRACE_INSTANT("epoch_end", "step",
+                    static_cast<std::int64_t>(iteration_));
   // Training accuracy probe on a fresh batch, without updating.
   auto probe = next_batch();
   const auto logits = table_->predict(probe.images);

@@ -61,6 +61,8 @@ struct TrainerConfig {
 
 struct StepMetrics {
   float loss = 0.0f;
+  double step_seconds = 0.0;       ///< wall time of the whole iteration
+  double data_seconds = 0.0;       ///< batch sampling / loading
   double allreduce_seconds = 0.0;  ///< wall time of the collective call
 };
 

@@ -2,15 +2,36 @@
 
 namespace dct::trainer {
 
+namespace {
+
+/// RFC 4180 field quoting: wrap in double quotes when the name contains
+/// a delimiter, and double any embedded quotes.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 MetricsLog::MetricsLog(const std::string& path,
                        std::vector<std::string> columns)
     : os_(path, std::ios::trunc), columns_(columns.size()) {
   DCT_CHECK_MSG(os_.is_open(), "cannot open metrics log " << path);
   DCT_CHECK_MSG(!columns.empty(), "metrics log needs columns");
   for (std::size_t i = 0; i < columns.size(); ++i) {
-    os_ << (i ? "," : "") << columns[i];
+    os_ << (i ? "," : "") << csv_escape(columns[i]);
   }
   os_ << '\n';
+}
+
+MetricsLog::~MetricsLog() {
+  os_.flush();
 }
 
 void MetricsLog::append(const std::vector<double>& values) {

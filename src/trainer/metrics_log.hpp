@@ -12,8 +12,12 @@ namespace dct::trainer {
 
 class MetricsLog {
  public:
-  /// Open `path` for writing and emit the header row.
+  /// Open `path` for writing and emit the header row. Column names
+  /// containing commas, quotes, or newlines are CSV-quoted.
   MetricsLog(const std::string& path, std::vector<std::string> columns);
+
+  /// Flushes buffered rows; a crash mid-run still leaves a usable file.
+  ~MetricsLog();
 
   /// Append one row (must match the header arity).
   void append(const std::vector<double>& values);

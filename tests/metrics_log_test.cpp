@@ -29,6 +29,22 @@ TEST(MetricsLog, WritesHeaderAndRows) {
   std::remove(path.c_str());
 }
 
+TEST(MetricsLog, QuotesColumnNamesWithDelimiters) {
+  const std::string path = testing::TempDir() + "dct_metrics_quoted.csv";
+  {
+    MetricsLog log(path, {"epoch", "loss, mean", "say \"top1\""});
+    log.append({1, 2.5, 0.31});
+  }  // destructor flushes — no explicit flush() on purpose
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "epoch,\"loss, mean\",\"say \"\"top1\"\"\"");
+  std::string row;
+  std::getline(is, row);
+  EXPECT_EQ(row, "1,2.5,0.31");
+  std::remove(path.c_str());
+}
+
 TEST(MetricsLog, RejectsArityMismatchAndBadPath) {
   const std::string path = testing::TempDir() + "dct_metrics2.csv";
   MetricsLog log(path, {"a", "b"});

@@ -1,0 +1,308 @@
+// Tests for the obs module: tracer span semantics, per-rank/thread
+// attribution, Chrome-trace export + re-parse round trip, the counter
+// registry, and the phase-breakdown report over a real trainer run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/distributed_trainer.hpp"
+#include "util/error.hpp"
+
+namespace dct::obs {
+namespace {
+
+/// Every test owns the global tracer: clean slate in, disabled out.
+class ObsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::set_enabled(false);
+    Tracer::reset();
+    Tracer::set_thread_rank(kUnattributedRank);
+  }
+  void TearDown() override {
+    Tracer::set_enabled(false);
+    Tracer::reset();
+    Tracer::set_thread_rank(kUnattributedRank);
+  }
+};
+
+const CollectedEvent* find_event(const std::vector<CollectedEvent>& events,
+                                 const std::string& name) {
+  for (const auto& e : events) {
+    if (name == e.event.name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    DCT_TRACE_SPAN("should_not_appear", "test");
+    DCT_TRACE_INSTANT("nor_this", "test");
+  }
+  EXPECT_EQ(Tracer::event_count(), 0u);
+}
+
+TEST_F(ObsTest, SpanDisabledAtOpenStaysInactive) {
+  // A span opened while tracing is off must not record even if tracing
+  // is switched on before it closes.
+  {
+    DCT_TRACE_SPAN("opened_disabled", "test");
+    Tracer::set_enabled(true);
+  }
+  EXPECT_EQ(Tracer::event_count(), 0u);
+}
+
+TEST_F(ObsTest, NestedSpansAreContained) {
+  Tracer::set_enabled(true);
+  {
+    DCT_TRACE_SPAN("outer", "test");
+    {
+      DCT_TRACE_SPAN("inner", "test", 42);
+    }
+  }
+  const auto events = Tracer::collect();
+  ASSERT_EQ(events.size(), 2u);
+  const auto* outer = find_event(events, "outer");
+  const auto* inner = find_event(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Inner closes first, so it is recorded first; its interval nests
+  // inside the outer one.
+  EXPECT_GE(inner->event.ts_ns, outer->event.ts_ns);
+  EXPECT_LE(inner->event.ts_ns + inner->event.dur_ns,
+            outer->event.ts_ns + outer->event.dur_ns);
+  EXPECT_EQ(inner->event.arg, 42);
+  EXPECT_EQ(outer->event.arg, kNoArg);
+  EXPECT_STREQ(inner->event.cat, "test");
+}
+
+TEST_F(ObsTest, LongLabelsTruncateSafely) {
+  Tracer::set_enabled(true);
+  const std::string long_name(200, 'x');
+  {
+    DCT_TRACE_SPAN(long_name, "category_name_longer_than_field");
+  }
+  const auto events = Tracer::collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].event.name), std::string(47, 'x'));
+  EXPECT_EQ(std::string(events[0].event.cat).size(), 15u);
+}
+
+TEST_F(ObsTest, ThreadsGetDistinctBuffers) {
+  Tracer::set_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      Tracer::set_thread_rank(t);
+      DCT_TRACE_SPAN("worker", "test", t);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto events = Tracer::collect();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads));
+  std::vector<int> tids, ranks;
+  for (const auto& e : events) {
+    tids.push_back(e.tid);
+    ranks.push_back(e.event.rank);
+  }
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "each thread must collect under its own tid";
+  std::sort(ranks.begin(), ranks.end());
+  EXPECT_EQ(ranks, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(ObsTest, ScopedRankRestores) {
+  Tracer::set_enabled(true);
+  Tracer::set_thread_rank(7);
+  {
+    ScopedRank borrowed(2);
+    EXPECT_EQ(Tracer::thread_rank(), 2);
+    DCT_TRACE_INSTANT("tagged", "test");
+  }
+  EXPECT_EQ(Tracer::thread_rank(), 7);
+  const auto events = Tracer::collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event.rank, 2);
+  EXPECT_EQ(events[0].event.kind, TraceEvent::Kind::kInstant);
+  EXPECT_EQ(events[0].event.dur_ns, 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceRoundTrip) {
+  Tracer::set_enabled(true);
+  Tracer::set_thread_rank(3);
+  {
+    DCT_TRACE_SPAN("alpha", "test", 1234);
+  }
+  DCT_TRACE_INSTANT("beta", "test");
+  std::ostringstream os;
+  Tracer::write_chrome_trace(os);
+  const std::string json = os.str();
+
+  // Structural checks on the emitted JSON.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 3\""), std::string::npos);
+
+  // Parse it back and verify the events survive with attribution.
+  const auto events = parse_chrome_trace(json);
+  ASSERT_EQ(events.size(), 2u);
+  const auto& span = events[0].name == "alpha" ? events[0] : events[1];
+  const auto& instant = events[0].name == "beta" ? events[0] : events[1];
+  EXPECT_EQ(span.name, "alpha");
+  EXPECT_EQ(span.cat, "test");
+  EXPECT_EQ(span.rank, 3);
+  EXPECT_GE(span.dur_us, 0.0);
+  EXPECT_EQ(instant.name, "beta");
+  EXPECT_EQ(instant.dur_us, 0.0);
+}
+
+TEST_F(ObsTest, WriteChromeTraceToFile) {
+  Tracer::set_enabled(true);
+  {
+    DCT_TRACE_SPAN("file_span", "test");
+  }
+  const std::string path = testing::TempDir() + "dct_obs_trace.json";
+  Tracer::write_chrome_trace(path);
+  const auto events = load_chrome_trace(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "file_span");
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ParserRejectsMalformedJson) {
+  EXPECT_THROW(parse_chrome_trace("not json"), CheckError);
+  EXPECT_THROW(parse_chrome_trace("{\"traceEvents\": [1,"), CheckError);
+  EXPECT_THROW(load_chrome_trace("/nonexistent/trace.json"), CheckError);
+  // Missing traceEvents key and bare arrays are both tolerated shapes.
+  EXPECT_TRUE(parse_chrome_trace("[]").empty());
+  EXPECT_TRUE(parse_chrome_trace("{\"traceEvents\": []}").empty());
+}
+
+TEST_F(ObsTest, CountersGaugesHistograms) {
+  Metrics::reset();
+  auto& c = Metrics::counter("test.counter");
+  auto& same = Metrics::counter("test.counter");
+  EXPECT_EQ(&c, &same) << "same name must return the same instrument";
+  c.add(5);
+  c.add();
+  EXPECT_EQ(c.value(), 6u);
+
+  auto& g = Metrics::gauge("test.gauge");
+  g.set(10);
+  g.set(3);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max_value(), 10);
+
+  auto& h = Metrics::histogram("test.hist");
+  for (int i = 1; i <= 100; ++i) h.record(i * 0.001);
+  const auto hs = h.snapshot();
+  EXPECT_EQ(hs.count, 100u);
+  EXPECT_NEAR(hs.mean, 0.0505, 1e-9);
+  EXPECT_NEAR(hs.p50, 0.0505, 1e-3);
+  EXPECT_NEAR(hs.p99, 0.099, 1e-3);
+  EXPECT_DOUBLE_EQ(hs.min, 0.001);
+  EXPECT_DOUBLE_EQ(hs.max, 0.100);
+
+  const auto snap = Metrics::snapshot();
+  const auto has = [](const auto& rows, const std::string& name) {
+    for (const auto& r : rows) {
+      if (r.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(snap.counters, "test.counter"));
+  EXPECT_TRUE(has(snap.gauges, "test.gauge"));
+  EXPECT_TRUE(has(snap.histograms, "test.hist"));
+  EXPECT_FALSE(snap.to_string().empty());
+
+  Metrics::reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.max_value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, HistogramWindowKeepsRecentSamples) {
+  auto& h = Metrics::histogram("test.windowed");
+  h.reset();
+  // Overfill the window: early small samples must age out of the
+  // percentile estimates while the full-stream count keeps growing.
+  for (std::size_t i = 0; i < LatencyHistogram::kWindow; ++i) h.record(0.001);
+  for (std::size_t i = 0; i < LatencyHistogram::kWindow; ++i) h.record(1.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 2 * LatencyHistogram::kWindow);
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  h.reset();
+}
+
+TEST_F(ObsTest, TrainerTraceCoversStepTime) {
+  Tracer::set_enabled(true);
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 1;
+  cfg.batch_per_gpu = 4;
+  cfg.dataset.classes = 4;
+  cfg.dataset.images = 64;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.shuffle_every = 3;
+  constexpr int kIters = 6;
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer t(comm, cfg);
+    for (int i = 0; i < kIters; ++i) {
+      const auto m = t.step();
+      EXPECT_GT(m.step_seconds, 0.0);
+      EXPECT_GE(m.step_seconds,
+                m.data_seconds + m.allreduce_seconds - 1e-9);
+    }
+  });
+  Tracer::set_enabled(false);
+
+  const auto events = tracer_events();
+  const auto breakdown = phase_breakdown(events);
+  ASSERT_EQ(breakdown.ranks.size(), 2u);
+  for (const auto& r : breakdown.ranks) {
+    EXPECT_EQ(r.steps, static_cast<std::size_t>(kIters));
+    EXPECT_GT(r.step_seconds, 0.0);
+    // Acceptance criterion: phases account for >= 95 % of step time.
+    EXPECT_GE(r.coverage(), 0.95) << "rank " << r.rank;
+    EXPECT_LE(r.coverage(), 1.02) << "rank " << r.rank;
+  }
+  // The instrumented subsystems all show up.
+  const auto names = [&] {
+    std::vector<std::string> out;
+    for (const auto& e : events) out.push_back(e.cat + "/" + e.name);
+    return out;
+  }();
+  const auto contains = [&](const std::string& label) {
+    return std::find(names.begin(), names.end(), label) != names.end();
+  };
+  EXPECT_TRUE(contains("phase/forward_backward"));
+  EXPECT_TRUE(contains("phase/allreduce"));
+  EXPECT_TRUE(contains("phase/shuffle"));
+  EXPECT_TRUE(contains("allreduce/multicolor"));
+  EXPECT_TRUE(contains("data/dimd.shuffle"));
+  EXPECT_TRUE(contains("simmpi/comm_split"));
+
+  // Rendered tables mention every rank and the phases.
+  const std::string table = phase_table(breakdown).to_string();
+  EXPECT_NE(table.find("forward_backward"), std::string::npos);
+  EXPECT_NE(table.find("coverage"), std::string::npos);
+  const std::string totals = span_totals_table(events, 8).to_string();
+  EXPECT_NE(totals.find("step/step"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dct::obs

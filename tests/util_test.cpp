@@ -152,6 +152,21 @@ TEST(Percentile, Interpolates) {
   EXPECT_THROW(percentile({}, 50), CheckError);
 }
 
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100), 7.5);
+}
+
+TEST(Percentile, EdgesOfUnsortedInput) {
+  const std::vector<double> xs{30, 10, 40, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_THROW(percentile({}, 0), CheckError);
+  EXPECT_THROW(percentile({}, 100), CheckError);
+}
+
 TEST(Entropy, UniformIsLogN) {
   EXPECT_NEAR(entropy_bits({5, 5, 5, 5}), 2.0, 1e-12);
   EXPECT_NEAR(entropy_bits({7, 0, 0, 0}), 0.0, 1e-12);

@@ -3,6 +3,8 @@
 //   dctrain train     [--ranks N] [--gpus M] [--batch B] [--epochs E]
 //                     [--iters I] [--allreduce NAME] [--shuffle-every S]
 //                     [--classes C] [--images D] [--baseline-dpt]
+//                     [--trace PATH]
+//   dctrain trace-report --trace PATH [--top N]
 //   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
 //                     [--batch B] [--baseline]
 //   dctrain allreduce [--algo NAME] [--nodes N] [--payload-mb P]
@@ -38,6 +40,8 @@ int cmd_train(const ArgParser& args) {
   cfg.base_lr = args.get_double("lr", 0.05);
   const int epochs = static_cast<int>(args.get_int("epochs", 5));
   const int iters = static_cast<int>(args.get_int("iters", 10));
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) obs::Tracer::set_enabled(true);
 
   std::printf("training SmallCNN: %d learners x %d GPUs, batch %lld/GPU, "
               "%s allreduce, %s DPT\n\n",
@@ -59,6 +63,31 @@ int cmd_train(const ArgParser& args) {
                   100.0 * trainer.evaluate(200));
     }
   });
+  if (!trace_path.empty()) {
+    const auto events = obs::tracer_events();
+    obs::Tracer::write_chrome_trace(trace_path);
+    std::printf("\nwrote %zu trace events to %s "
+                "(open in https://ui.perfetto.dev/ or chrome://tracing)\n",
+                events.size(), trace_path.c_str());
+    obs::phase_table(obs::phase_breakdown(events))
+        .print("per-rank step phase breakdown");
+    std::printf("%s", obs::Metrics::snapshot().to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_trace_report(const ArgParser& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "trace-report needs --trace PATH\n");
+    return 2;
+  }
+  const auto top = static_cast<std::size_t>(args.get_int("top", 12));
+  const auto events = obs::load_chrome_trace(path);
+  std::printf("%s: %zu events\n", path.c_str(), events.size());
+  obs::phase_table(obs::phase_breakdown(events))
+      .print("per-rank step phase breakdown");
+  obs::span_totals_table(events, top).print("busiest span labels");
   return 0;
 }
 
@@ -157,6 +186,7 @@ int cmd_help() {
       "dctrain %s — reproduction of Kumar et al., CLUSTER 2018\n\n"
       "subcommands:\n"
       "  train      run distributed SGD on simulated learners (real math)\n"
+      "  trace-report  per-rank phase breakdown of a captured trace\n"
       "  plan       epoch-time decomposition for a cluster configuration\n"
       "  allreduce  price + verify a gradient allreduce algorithm\n"
       "  shuffle    price a DIMD dataset shuffle (Algorithm 2)\n"
@@ -176,6 +206,8 @@ int main(int argc, char** argv) {
     int rc;
     if (cmd == "train") {
       rc = cmd_train(args);
+    } else if (cmd == "trace-report") {
+      rc = cmd_trace_report(args);
     } else if (cmd == "plan") {
       rc = cmd_plan(args);
     } else if (cmd == "allreduce") {
