@@ -156,6 +156,40 @@ void BM_CounterAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_CounterAdd);
 
+// Prices the fault-injection hook in Transport::send (acceptance: the
+// no-plan arm must stay within noise of the pre-hook transport). Arg 0:
+// no plan installed — the production configuration, where the hook is
+// one never-taken branch on an acquire load. Arg 1: an installed plan
+// whose rules never fire — the per-message overhead a chaos run pays
+// (rule scan, rng roll, message-id assignment, dedup bookkeeping).
+void BM_TransportSend(benchmark::State& state) {
+  const bool with_plan = state.range(0) != 0;
+  simmpi::Transport transport(2);
+  simmpi::FaultPlan plan;
+  if (with_plan) {
+    plan.add(simmpi::FaultRule{.kind = simmpi::FaultKind::kDrop,
+                               .rank = 0,
+                               .probability = 0.0});
+    transport.install_fault_plan(&plan);
+  }
+  // Register this thread as rank 0 so on_send runs its rule loop (as it
+  // would on a real rank thread) instead of bailing on rank -1.
+  const int prev_rank = simmpi::this_thread_rank();
+  simmpi::set_this_thread_rank(0);
+  std::vector<std::byte> payload(256);
+  for (auto _ : state) {
+    transport.send(1, 0, 0, /*tag=*/7, std::span<const std::byte>(payload));
+    auto msg = transport.recv(1, 0, 0, 7);
+    benchmark::DoNotOptimize(msg.data.data());
+  }
+  simmpi::set_this_thread_rank(prev_rank);
+  state.SetLabel(with_plan ? "empty-plan" : "no-plan");
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_TransportSend)->Arg(0)->Arg(1);
+
 void BM_FlowSimulator(benchmark::State& state) {
   netsim::ClusterConfig cluster;
   cluster.nodes = 16;

@@ -41,6 +41,7 @@
 #include "obs/counters.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/runtime.hpp"
 #include "storage/donkey_pool.hpp"
 #include "storage/sim_filesystem.hpp"
@@ -48,8 +49,10 @@
 #include "tensor/tensor.hpp"
 #include "trainer/accuracy_model.hpp"
 #include "trainer/async_trainer.hpp"
+#include "trainer/checkpoint_io.hpp"
 #include "trainer/distributed_trainer.hpp"
 #include "trainer/epoch_model.hpp"
+#include "trainer/resilient.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

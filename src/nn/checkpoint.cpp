@@ -1,62 +1,92 @@
 #include "nn/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
+#include "util/crc32.hpp"
+
 namespace dct::nn {
 
 namespace {
-constexpr char kMagic[8] = {'D', 'C', 'T', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagic[8] = {'D', 'C', 'T', 'C', 'K', 'P', 'T', '2'};
 }
 
 void save_checkpoint(Sequential& net, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  DCT_CHECK_MSG(os.is_open(), "cannot open checkpoint " << path);
-  const auto n = static_cast<std::uint64_t>(net.param_count());
-  os.write(kMagic, sizeof(kMagic));
-  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  std::vector<float> buf(static_cast<std::size_t>(n));
-  net.flatten_params(std::span<float>(buf));
-  os.write(reinterpret_cast<const char*>(buf.data()),
-           static_cast<std::streamsize>(buf.size() * sizeof(float)));
-  // Momentum buffers, in the same parameter order.
-  std::size_t off = 0;
-  for (Param* p : net.params()) {
-    const auto count = static_cast<std::size_t>(p->velocity.numel());
-    std::memcpy(buf.data() + off, p->velocity.data(), count * sizeof(float));
-    off += count;
+  // Write the whole file to a sibling tmp and rename it into place:
+  // std::rename replaces atomically on POSIX, so a crash mid-write can
+  // never leave a half-written file at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    DCT_CHECK_MSG(os.is_open(), "cannot open checkpoint " << tmp);
+    std::uint32_t crc = crc32_init();
+    const auto put = [&](const void* data, std::size_t size) {
+      os.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+      crc = crc32_update(crc, data, size);
+    };
+    const auto n = static_cast<std::uint64_t>(net.param_count());
+    put(kMagic, sizeof(kMagic));
+    put(&n, sizeof(n));
+    std::vector<float> buf(static_cast<std::size_t>(n));
+    net.flatten_params(std::span<float>(buf));
+    put(buf.data(), buf.size() * sizeof(float));
+    // Momentum buffers, in the same parameter order.
+    std::size_t off = 0;
+    for (Param* p : net.params()) {
+      const auto count = static_cast<std::size_t>(p->velocity.numel());
+      std::memcpy(buf.data() + off, p->velocity.data(),
+                  count * sizeof(float));
+      off += count;
+    }
+    put(buf.data(), buf.size() * sizeof(float));
+    const std::uint32_t sealed = crc32_final(crc);
+    os.write(reinterpret_cast<const char*>(&sealed), sizeof(sealed));
+    os.flush();
+    DCT_CHECK_MSG(os.good(), "checkpoint write failed: " << tmp);
   }
-  os.write(reinterpret_cast<const char*>(buf.data()),
-           static_cast<std::streamsize>(buf.size() * sizeof(float)));
-  DCT_CHECK_MSG(os.good(), "checkpoint write failed: " << path);
+  DCT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename " << tmp << " into place");
 }
 
 void load_checkpoint(Sequential& net, const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   DCT_CHECK_MSG(is.is_open(), "cannot open checkpoint " << path);
+  std::uint32_t crc = crc32_init();
+  const auto get = [&](void* data, std::size_t size, const char* what) {
+    is.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    DCT_CHECK_MSG(is.good(),
+                  "checkpoint truncated (" << what << "): " << path);
+    crc = crc32_update(crc, data, size);
+  };
   char magic[8];
-  is.read(magic, sizeof(magic));
-  DCT_CHECK_MSG(is.good() && std::equal(magic, magic + 8, kMagic),
+  get(magic, sizeof(magic), "magic");
+  DCT_CHECK_MSG(std::equal(magic, magic + 8, kMagic),
                 "bad checkpoint magic in " << path);
   std::uint64_t n = 0;
-  is.read(reinterpret_cast<char*>(&n), sizeof(n));
-  DCT_CHECK_MSG(is.good() &&
-                    n == static_cast<std::uint64_t>(net.param_count()),
+  get(&n, sizeof(n), "header");
+  DCT_CHECK_MSG(n == static_cast<std::uint64_t>(net.param_count()),
                 "checkpoint parameter count " << n << " != network "
                                               << net.param_count());
-  std::vector<float> buf(static_cast<std::size_t>(n));
-  is.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size() * sizeof(float)));
-  DCT_CHECK_MSG(is.good(), "checkpoint truncated (values): " << path);
-  net.load_params(buf);
-  is.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size() * sizeof(float)));
-  DCT_CHECK_MSG(is.good(), "checkpoint truncated (momentum): " << path);
+  std::vector<float> values(static_cast<std::size_t>(n));
+  get(values.data(), values.size() * sizeof(float), "values");
+  std::vector<float> momentum(static_cast<std::size_t>(n));
+  get(momentum.data(), momentum.size() * sizeof(float), "momentum");
+  // Validate the integrity seal *before* touching the network, so a
+  // corrupt file cannot leave it half-loaded.
+  std::uint32_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  DCT_CHECK_MSG(is.good(), "checkpoint truncated (crc): " << path);
+  DCT_CHECK_MSG(stored == crc32_final(crc),
+                "checkpoint CRC mismatch (bit rot?): " << path);
+  net.load_params(values);
   std::size_t off = 0;
   for (Param* p : net.params()) {
     const auto count = static_cast<std::size_t>(p->velocity.numel());
-    std::memcpy(p->velocity.data(), buf.data() + off, count * sizeof(float));
+    std::memcpy(p->velocity.data(), momentum.data() + off,
+                count * sizeof(float));
     off += count;
   }
 }

@@ -1,7 +1,9 @@
 // Checkpointing: serialize a network's parameters (and optimizer
 // momentum) to a file and restore them — what a multi-hour 90-epoch run
-// needs to survive a node loss. Format: magic "DCTCKPT1" | u64 param
-// scalars | values… | velocities…, little-endian float32.
+// needs to survive a node loss. Format: magic "DCTCKPT2" | u64 param
+// scalars | values… | velocities… | u32 CRC32, little-endian float32.
+// Files are written to "<path>.tmp" and renamed into place (atomic on
+// POSIX), and the CRC is verified before any state is loaded.
 #pragma once
 
 #include <string>

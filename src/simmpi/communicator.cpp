@@ -42,7 +42,11 @@ void Communicator::send_bytes(std::span<const std::byte> payload, int dest,
 Status Communicator::recv_bytes(std::span<std::byte> buffer, int source,
                                 int tag) {
   DCT_CHECK(source == kAnySource || (source >= 0 && source < size()));
-  auto msg = transport().recv(global_rank(rank_), group_->context, source, tag);
+  // The sender's global rank (when named) lets a blocked receive fail
+  // fast with RankFailed if that rank is marked dead.
+  const int src_global = source == kAnySource ? -1 : global_rank(source);
+  auto msg = transport().recv(global_rank(rank_), group_->context, source, tag,
+                              src_global);
   DCT_CHECK_MSG(msg.data.size() <= buffer.size(),
                 "message of " << msg.data.size()
                               << " bytes does not fit receive buffer of "
@@ -55,7 +59,10 @@ Status Communicator::recv_bytes(std::span<std::byte> buffer, int source,
 
 std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
                                                     Status* status) {
-  auto msg = transport().recv(global_rank(rank_), group_->context, source, tag);
+  const int src_global =
+      source == kAnySource ? -1 : global_rank(source);
+  auto msg = transport().recv(global_rank(rank_), group_->context, source, tag,
+                              src_global);
   bytes_recv_counter().add(msg.data.size());
   msgs_recv_counter().add(1);
   if (status != nullptr) {
@@ -65,7 +72,10 @@ std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
 }
 
 Status Communicator::probe(int source, int tag) {
-  return transport().probe(global_rank(rank_), group_->context, source, tag);
+  const int src_global =
+      source == kAnySource ? -1 : global_rank(source);
+  return transport().probe(global_rank(rank_), group_->context, source, tag,
+                           src_global);
 }
 
 void Communicator::barrier() {

@@ -1,0 +1,236 @@
+#include "simmpi/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/counters.hpp"
+#include "util/error.hpp"
+
+namespace dct::simmpi {
+
+namespace {
+
+thread_local int t_rank = -1;
+
+obs::Counter& injected_counter() {
+  static obs::Counter& c = obs::Metrics::counter("fault.injected");
+  return c;
+}
+
+obs::Counter& kind_counter(FaultKind kind) {
+  static obs::Counter& drop = obs::Metrics::counter("fault.injected.drop");
+  static obs::Counter& delay = obs::Metrics::counter("fault.injected.delay");
+  static obs::Counter& dup =
+      obs::Metrics::counter("fault.injected.duplicate");
+  static obs::Counter& crash = obs::Metrics::counter("fault.injected.crash");
+  static obs::Counter& straggle =
+      obs::Metrics::counter("fault.injected.straggle");
+  switch (kind) {
+    case FaultKind::kDrop: return drop;
+    case FaultKind::kDelay: return delay;
+    case FaultKind::kDuplicate: return dup;
+    case FaultKind::kCrash: return crash;
+    case FaultKind::kStraggle: return straggle;
+  }
+  return drop;  // unreachable
+}
+
+}  // namespace
+
+int this_thread_rank() { return t_rank; }
+void set_this_thread_rank(int rank) { t_rank = rank; }
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kStraggle: return "straggle";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(const FaultRule& rule) {
+  DCT_CHECK_MSG(per_rank_.empty(),
+                "fault rules must be added before the plan is installed");
+  DCT_CHECK_MSG(rule.probability >= 0.0 && rule.probability <= 1.0,
+                "fault probability out of [0,1]");
+  if (rule.kind == FaultKind::kCrash) {
+    DCT_CHECK_MSG(rule.rank >= 0, "crash rules need an explicit rank=");
+    DCT_CHECK_MSG(rule.at_step != FaultRule::kNoTrigger ||
+                      rule.at_message != FaultRule::kNoTrigger,
+                  "crash rules need a step= or msg= trigger");
+  }
+  rules_.push_back(rule);
+  fired_.push_back(std::make_unique<std::atomic<bool>>(false));
+  return *this;
+}
+
+FaultRule FaultPlan::parse_rule(const std::string& spec) {
+  FaultRule rule;
+  bool have_kind = false;
+  std::stringstream ss(spec);
+  std::string field;
+  const auto to_u64 = [&](const std::string& v) {
+    std::uint64_t out = 0;
+    const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    DCT_CHECK_MSG(ec == std::errc() && ptr == v.data() + v.size(),
+                  "bad number '" << v << "' in fault spec '" << spec << "'");
+    return out;
+  };
+  while (std::getline(ss, field, ',')) {
+    const auto eq = field.find('=');
+    DCT_CHECK_MSG(eq != std::string::npos,
+                  "fault spec field '" << field << "' is not key=value");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "rank") {
+      rule.rank = static_cast<int>(to_u64(value));
+    } else if (key == "step") {
+      rule.at_step = to_u64(value);
+    } else if (key == "msg") {
+      rule.at_message = to_u64(value);
+    } else if (key == "prob") {
+      rule.probability = std::stod(value);
+    } else if (key == "ms") {
+      rule.delay_ms = std::stod(value);
+    } else if (key == "kind") {
+      have_kind = true;
+      if (value == "drop") {
+        rule.kind = FaultKind::kDrop;
+      } else if (value == "delay") {
+        rule.kind = FaultKind::kDelay;
+      } else if (value == "duplicate" || value == "dup") {
+        rule.kind = FaultKind::kDuplicate;
+      } else if (value == "crash") {
+        rule.kind = FaultKind::kCrash;
+      } else if (value == "straggle") {
+        rule.kind = FaultKind::kStraggle;
+      } else {
+        DCT_CHECK_MSG(false, "unknown fault kind '" << value << "'");
+      }
+    } else {
+      DCT_CHECK_MSG(false, "unknown fault spec key '" << key << "'");
+    }
+  }
+  DCT_CHECK_MSG(have_kind, "fault spec '" << spec << "' needs kind=");
+  return rule;
+}
+
+FaultPlan& FaultPlan::add_specs(const std::string& specs) {
+  std::stringstream ss(specs);
+  std::string spec;
+  while (std::getline(ss, spec, ';')) {
+    if (!spec.empty()) add(parse_rule(spec));
+  }
+  return *this;
+}
+
+void FaultPlan::bind(int nranks) {
+  for (const auto& rule : rules_) {
+    DCT_CHECK_MSG(rule.rank < nranks,
+                  "fault rule targets rank " << rule.rank << " but the world "
+                  "has only " << nranks << " ranks");
+  }
+  if (static_cast<int>(per_rank_.size()) == nranks) return;  // rebind
+  per_rank_.clear();
+  per_rank_.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    per_rank_[static_cast<std::size_t>(r)].rng =
+        Rng(seed_ * 0x9E3779B97F4A7C15ULL +
+            static_cast<std::uint64_t>(r) + 1);
+  }
+}
+
+void FaultPlan::note_injected(FaultKind kind) {
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  injected_counter().add(1);
+  kind_counter(kind).add(1);
+}
+
+bool FaultPlan::roll(int rank, double probability) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  return per_rank_[static_cast<std::size_t>(rank)].rng.next_double() <
+         probability;
+}
+
+SendVerdict FaultPlan::on_send(int src_global, std::size_t payload_bytes) {
+  (void)payload_bytes;
+  SendVerdict verdict;
+  if (src_global < 0 || src_global >= static_cast<int>(per_rank_.size())) {
+    return verdict;  // non-rank thread (tests, donkeys): no injection
+  }
+  auto& state = per_rank_[static_cast<std::size_t>(src_global)];
+  const std::uint64_t send_no = ++state.sends;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.rank >= 0 && rule.rank != src_global) continue;
+    switch (rule.kind) {
+      case FaultKind::kCrash: {
+        if (rule.at_message == FaultRule::kNoTrigger) break;
+        if (send_no < rule.at_message) break;
+        bool expected = false;
+        if (!fired_[i]->compare_exchange_strong(expected, true)) break;
+        note_injected(FaultKind::kCrash);
+        std::ostringstream os;
+        os << "injected crash of rank " << src_global << " at message "
+           << send_no;
+        throw RankFailed(src_global, os.str());
+      }
+      case FaultKind::kDrop: {
+        if (roll(src_global, rule.probability)) {
+          note_injected(FaultKind::kDrop);
+          verdict.drop = true;
+        }
+        break;
+      }
+      case FaultKind::kDelay: {
+        if (roll(src_global, rule.probability)) {
+          note_injected(FaultKind::kDelay);
+          verdict.delay_ms = std::max(verdict.delay_ms, rule.delay_ms);
+        }
+        break;
+      }
+      case FaultKind::kDuplicate: {
+        if (roll(src_global, rule.probability)) {
+          note_injected(FaultKind::kDuplicate);
+          verdict.duplicate = true;
+        }
+        break;
+      }
+      case FaultKind::kStraggle: {
+        if (roll(src_global, rule.probability)) {
+          note_injected(FaultKind::kStraggle);
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<std::int64_t>(rule.delay_ms * 1000.0)));
+        }
+        break;
+      }
+    }
+  }
+  return verdict;
+}
+
+void FaultPlan::on_step(int rank_global, std::uint64_t step) {
+  if (rank_global < 0) return;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.kind != FaultKind::kCrash) continue;
+    if (rule.at_step == FaultRule::kNoTrigger) continue;
+    if (rule.rank != rank_global) continue;
+    if (step < rule.at_step) continue;
+    bool expected = false;
+    if (!fired_[i]->compare_exchange_strong(expected, true)) continue;
+    note_injected(FaultKind::kCrash);
+    std::ostringstream os;
+    os << "injected crash of rank " << rank_global << " at step " << step;
+    throw RankFailed(rank_global, os.str());
+  }
+}
+
+}  // namespace dct::simmpi

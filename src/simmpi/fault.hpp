@@ -1,0 +1,132 @@
+// Deterministic fault injection for the simmpi transport (the fault
+// model of DESIGN.md §9).
+//
+// A FaultPlan is a seeded set of rules evaluated inside
+// Transport::send (behind a single null-check on the hot path, so an
+// uninstalled plan costs one predicted branch):
+//
+//   • drop       — the message is counted but never enqueued
+//   • delay      — the message is enqueued with a future visibility
+//                  time; receivers hold it back until then
+//   • duplicate  — the message is enqueued twice
+//   • straggle   — the sending rank sleeps before every send,
+//                  simulating a slow node
+//   • crash      — the rank throws RankFailed, a fail-stop: the
+//                  runtime lets the thread die *silently* so peers
+//                  must detect the loss (liveness or deadline)
+//
+// Crash triggers fire either at a trainer step (`step=N`, requires the
+// trainer to call on_step) or at the rank's Nth transport send
+// (`msg=N`, mid-collective). Probabilistic rules draw from per-rank
+// Rng streams derived from the plan seed, so a given (seed, traffic
+// pattern) always injects the same faults. Crash triggers are
+// one-shot: after a rollback/restart the same trigger does not
+// re-fire, which is what lets a resumed run finish.
+//
+// Rules are installed before the plan is handed to a Transport and are
+// immutable afterwards; the mutable per-rank state (rng, counters,
+// fired flags) is sized at install time and accessed only from that
+// rank's own thread, so the hooks need no locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simmpi/transport.hpp"
+#include "util/rng.hpp"
+
+namespace dct::simmpi {
+
+enum class FaultKind { kDrop, kDelay, kDuplicate, kCrash, kStraggle };
+
+const char* to_string(FaultKind kind);
+
+struct FaultRule {
+  static constexpr std::uint64_t kNoTrigger =
+      std::numeric_limits<std::uint64_t>::max();
+
+  FaultKind kind = FaultKind::kDrop;
+  int rank = -1;  ///< global rank the rule applies to; -1 = every rank
+
+  /// Probability per message for drop/delay/duplicate (1.0 = always).
+  double probability = 1.0;
+  /// Visibility delay for kDelay, sender sleep for kStraggle.
+  double delay_ms = 20.0;
+  /// Crash trigger: trainer step (needs FaultPlan::on_step call sites).
+  std::uint64_t at_step = kNoTrigger;
+  /// Crash trigger: the rank's Nth transport send (1-based).
+  std::uint64_t at_message = kNoTrigger;
+};
+
+/// What Transport::send should do with one message (crash is thrown,
+/// not returned).
+struct SendVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  double delay_ms = 0.0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1) : seed_(seed) {}
+
+  /// Add a rule (before installation into a Transport).
+  FaultPlan& add(const FaultRule& rule);
+
+  /// Parse one CLI spec, e.g. "rank=2,step=37,kind=crash",
+  /// "rank=1,kind=drop,prob=0.5", "kind=delay,ms=40",
+  /// "rank=0,msg=120,kind=crash", "rank=3,kind=straggle,ms=5".
+  static FaultRule parse_rule(const std::string& spec);
+
+  /// Parse a ';'-separated list of specs and add them all.
+  FaultPlan& add_specs(const std::string& specs);
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  /// Called by Transport when installed: sizes the per-rank state.
+  /// Re-installation into a rebuilt world of the same size keeps the
+  /// fired flags (crash triggers stay one-shot across rollbacks).
+  void bind(int nranks);
+
+  /// Hook for Transport::send, called on the sending rank's thread.
+  /// May sleep (straggle) or throw RankFailed (crash-at-message).
+  SendVerdict on_send(int src_global, std::size_t payload_bytes);
+
+  /// Hook for the trainer's step loop. Throws RankFailed when a
+  /// crash-at-step trigger fires for (rank, step).
+  void on_step(int rank_global, std::uint64_t step);
+
+  /// Total faults this plan has injected (all kinds).
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool roll(int rank, double probability);
+  void note_injected(FaultKind kind);
+
+  std::uint64_t seed_;
+  std::vector<FaultRule> rules_;
+  // Per-rule one-shot flags (crash triggers), shared across rebinds.
+  std::vector<std::unique_ptr<std::atomic<bool>>> fired_;
+  // Per-rank mutable state, touched only by that rank's thread.
+  struct RankState {
+    Rng rng{0};
+    std::uint64_t sends = 0;
+  };
+  std::vector<RankState> per_rank_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+/// Thread-local global rank of the calling simmpi rank thread (set by
+/// Runtime::run; -1 on non-rank threads). Lets the transport attribute
+/// sends to the sending rank without threading it through every call.
+int this_thread_rank();
+void set_this_thread_rank(int rank);
+
+}  // namespace dct::simmpi

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "simmpi/fault.hpp"
 #include "util/error.hpp"
 
 namespace dct::simmpi {
@@ -33,13 +34,30 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
       // Tag the rank thread so obs trace events attribute to this rank
-      // (rank -> pid in the Chrome-trace export).
+      // (rank -> pid in the Chrome-trace export) and so the transport's
+      // fault hook knows which global rank is sending.
       obs::Tracer::set_thread_rank(r);
+      set_this_thread_rank(r);
       Communicator comm(group, r);
       try {
         rank_main(comm);
       } catch (const Aborted&) {
         // Secondary casualty of another rank's failure; ignore.
+      } catch (const RankFailed& rf) {
+        if (rf.rank() == r) {
+          // Injected fail-stop: this rank dies *silently* — no abort —
+          // so that the survivors have to detect the loss themselves
+          // (liveness fast path or receive deadline). The liveness mark
+          // wakes blocked receives naming this rank.
+          transport_->mark_rank_dead(r);
+        } else {
+          // This rank *detected* a dead peer; record and tear down.
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          transport_->abort();
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -51,6 +69,14 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  // All surviving ranks returned cleanly, but a silently crashed rank
+  // still failed the collective program — surface it.
+  const auto dead = transport_->dead_ranks();
+  if (!dead.empty()) {
+    throw RankFailed(dead.front(),
+                     "rank " + std::to_string(dead.front()) +
+                         " crashed (fault injection)");
+  }
 }
 
 void Runtime::execute(int nranks,

@@ -1,5 +1,14 @@
 // Runtime: spawns N rank threads, hands each a world Communicator, and
 // propagates the first rank exception after aborting the others.
+//
+// Fault semantics: a rank that throws RankFailed about *itself* (fault
+// injection's fail-stop) dies silently — the runtime marks it dead in
+// the transport's liveness table but does not abort, so the surviving
+// ranks must detect the loss (RankFailed from a liveness-aware receive,
+// or Timeout from a deadline'd one). Any other exception, including a
+// survivor's detection, aborts the world; run() rethrows the first
+// recorded error, and throws RankFailed itself if every rank returned
+// but some died silently.
 #pragma once
 
 #include <functional>
@@ -16,6 +25,9 @@ class Runtime {
 
   int nranks() const { return transport_->nranks(); }
   Transport& transport() { return *transport_; }
+
+  /// Global ranks whose thread died (liveness table; see Transport).
+  std::vector<int> dead_ranks() const { return transport_->dead_ranks(); }
 
   /// Run `rank_main(comm)` on every rank concurrently; returns when all
   /// ranks finish. If any rank throws, the others are aborted and the

@@ -8,28 +8,65 @@
 //
 // A cooperative abort flag lets the runtime unwind all ranks when any one
 // of them throws, instead of deadlocking the remaining receives.
+//
+// Fault tolerance (DESIGN.md §9): an optional FaultPlan hooks into
+// send() behind a single null-check; an optional receive deadline turns
+// a receive that would block forever (peer dead, message dropped) into
+// a Timeout; and a per-rank liveness table lets a receive that names a
+// known-dead source fail fast with RankFailed instead of waiting out
+// the deadline.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "simmpi/types.hpp"
 
 namespace dct::simmpi {
 
+class FaultPlan;
+
 /// Thrown out of blocked operations when the runtime aborts.
 class Aborted : public std::runtime_error {
  public:
   Aborted() : std::runtime_error("simmpi runtime aborted") {}
 };
+
+/// Thrown when a deadline'd receive/probe expires with no matching
+/// message — the fail-fast alternative to deadlocking on a dead peer or
+/// a dropped message.
+class Timeout : public std::runtime_error {
+ public:
+  explicit Timeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown (a) by fault injection on the crashing rank itself
+/// (rank() == own rank: fail-stop) and (b) by receives that detect a
+/// dead peer (rank() == the dead peer). Distinct from Aborted, which
+/// marks secondary casualties of a cooperative teardown.
+class RankFailed : public std::runtime_error {
+ public:
+  RankFailed(int rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+class Transport;
 
 namespace detail {
 
@@ -38,6 +75,13 @@ struct RawMessage {
   int source = 0;             ///< Sender's rank *within that communicator*.
   int tag = 0;
   std::vector<std::byte> data;
+  /// Fault-injected visibility delay: receivers hold the message back
+  /// until this instant (default-constructed = immediately visible).
+  std::chrono::steady_clock::time_point deliver_at{};
+  /// Nonzero only under fault injection; a duplicated message's copy
+  /// shares the original's id, which is how receivers discard it even
+  /// when a later receive reuses the same (context, source, tag).
+  std::uint64_t id = 0;
 };
 
 class Mailbox {
@@ -45,16 +89,19 @@ class Mailbox {
   void push(RawMessage msg);
 
   /// Block until a message matching (context, source-or-any, tag-or-any)
-  /// is available, remove and return it. Throws Aborted on runtime abort.
+  /// is visible, remove and return it. Throws Aborted on runtime abort,
+  /// Timeout when `owner`'s receive deadline expires first, and
+  /// RankFailed when `src_global` (≥ 0) is marked dead with no matching
+  /// message queued.
   RawMessage pop_matching(std::uint64_t context, int source, int tag,
-                          const std::atomic<bool>& aborted);
+                          const Transport& owner, int src_global);
 
-  /// Block until a match is available and return (source, tag, size)
-  /// without removing it.
+  /// Block until a match is visible and return (source, tag, size)
+  /// without removing it. Same failure modes as pop_matching.
   Status probe(std::uint64_t context, int source, int tag,
-               const std::atomic<bool>& aborted);
+               const Transport& owner, int src_global);
 
-  /// Wake all waiters (used on abort).
+  /// Wake all waiters (used on abort and on liveness changes).
   void interrupt();
 
   /// Number of queued messages (diagnostics).
@@ -67,6 +114,10 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<RawMessage> queue_;
+  /// id of the last delivered message per (context, source, tag) —
+  /// duplicate-injection filter. Populated only for id-carrying
+  /// messages, i.e. only under an installed fault plan.
+  std::map<std::tuple<std::uint64_t, int, int>, std::uint64_t> delivered_;
 };
 
 }  // namespace detail
@@ -84,11 +135,14 @@ class Transport {
   void send(int dest_global, std::uint64_t context, int source, int tag,
             std::span<const std::byte> payload);
 
-  /// Blocking receive on `self_global`'s mailbox.
+  /// Blocking receive on `self_global`'s mailbox. `src_global` is the
+  /// sender's global rank when known (specific-source receives), else
+  /// -1; it enables fail-fast dead-peer detection.
   detail::RawMessage recv(int self_global, std::uint64_t context, int source,
-                          int tag);
+                          int tag, int src_global = -1);
 
-  Status probe(int self_global, std::uint64_t context, int source, int tag);
+  Status probe(int self_global, std::uint64_t context, int source, int tag,
+               int src_global = -1);
 
   /// Allocate a fresh communicator context id (thread-safe).
   std::uint64_t new_context();
@@ -96,6 +150,36 @@ class Transport {
   /// Abort: wake every blocked receive with Aborted.
   void abort();
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  // ---- fault tolerance ------------------------------------------------
+
+  /// Install a fault plan (not owned; must outlive the transport or be
+  /// uninstalled with nullptr). Binds the plan to this world size.
+  void install_fault_plan(FaultPlan* plan);
+  FaultPlan* fault_plan() const {
+    return fault_.load(std::memory_order_acquire);
+  }
+
+  /// Deadline applied to every blocking receive/probe; zero = wait
+  /// forever (the default, and the only mode without a fault plan that
+  /// can lose messages or ranks).
+  void set_recv_deadline(std::chrono::milliseconds deadline) {
+    recv_deadline_ms_.store(deadline.count(), std::memory_order_relaxed);
+  }
+  std::chrono::milliseconds recv_deadline() const {
+    return std::chrono::milliseconds(
+        recv_deadline_ms_.load(std::memory_order_relaxed));
+  }
+
+  /// Liveness table: the runtime marks ranks whose thread died. Blocked
+  /// receives naming a dead source are woken and fail with RankFailed.
+  void mark_rank_dead(int global_rank);
+  bool rank_dead(int global_rank) const {
+    return dead_[static_cast<std::size_t>(global_rank)].load(
+        std::memory_order_acquire);
+  }
+  /// Global ranks currently marked dead (diagnostics / driver).
+  std::vector<int> dead_ranks() const;
 
   /// Cumulative bytes pushed through the transport (all ranks).
   std::uint64_t total_bytes_sent() const {
@@ -110,6 +194,10 @@ class Transport {
   std::vector<std::unique_ptr<detail::Mailbox>> boxes_;
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
+  std::atomic<FaultPlan*> fault_{nullptr};
+  std::atomic<std::uint64_t> next_msg_id_{1};
+  std::atomic<std::int64_t> recv_deadline_ms_{0};
+  std::vector<std::atomic<bool>> dead_;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_{0};
 };

@@ -31,7 +31,11 @@ class BatchPrefetcher {
     refill();
   }
 
-  /// Blocking: the next batch, in sequence order.
+  /// Blocking: the next batch, in sequence order. A loader failure —
+  /// whether thrown on the worker thread (via the future) or thrown
+  /// synchronously while issuing the request — is rethrown here, at the
+  /// failed request's position in the sequence, not swallowed inside
+  /// refill().
   LoadedBatch next() {
     static obs::LatencyHistogram& wait_hist =
         obs::Metrics::histogram("prefetch.wait_seconds");
@@ -58,7 +62,17 @@ class BatchPrefetcher {
 
   void refill() {
     while (static_cast<int>(inflight_.size()) < depth_) {
-      inflight_.push_back(loader_(next_seq_++));
+      const std::uint64_t seq = next_seq_++;
+      try {
+        inflight_.push_back(loader_(seq));
+      } catch (...) {
+        // A synchronous loader failure becomes a poisoned future at
+        // this request's slot, so the consumer sees the exception from
+        // next() in issue order instead of from deep inside a refill.
+        std::promise<LoadedBatch> failed;
+        failed.set_exception(std::current_exception());
+        inflight_.push_back(failed.get_future());
+      }
     }
     queue_gauge().set(static_cast<std::int64_t>(inflight_.size()));
   }

@@ -1,0 +1,179 @@
+#include "trainer/checkpoint_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace dct::trainer {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'C', 'T', 'T', 'R', 'N', 'R', '1'};
+
+// Stream writer/reader pair that folds every byte into a running CRC32
+// so the file can carry a trailing integrity word.
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::ofstream& os) : os_(os) {}
+
+  void write(const void* data, std::size_t size) {
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    crc_ = crc32_update(crc_, data, size);
+  }
+  template <typename T>
+  void write_pod(const T& value) {
+    write(&value, sizeof(T));
+  }
+  std::uint32_t crc() const { return crc32_final(crc_); }
+
+ private:
+  std::ofstream& os_;
+  std::uint32_t crc_ = crc32_init();
+};
+
+class CrcReader {
+ public:
+  CrcReader(std::ifstream& is, const std::string& path)
+      : is_(is), path_(path) {}
+
+  void read(void* data, std::size_t size) {
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    DCT_CHECK_MSG(is_.good(), "truncated checkpoint file " << path_);
+    crc_ = crc32_update(crc_, data, size);
+  }
+  template <typename T>
+  void read_pod(T& value) {
+    read(&value, sizeof(T));
+  }
+  std::uint32_t crc() const { return crc32_final(crc_); }
+
+ private:
+  std::ifstream& is_;
+  const std::string& path_;
+  std::uint32_t crc_ = crc32_init();
+};
+
+void write_rng_state(CrcWriter& w, const Rng::State& st) {
+  for (const auto lane : st.s) w.write_pod(lane);
+  w.write_pod(st.spare_gaussian);
+  const std::uint8_t has = st.has_spare ? 1 : 0;
+  w.write_pod(has);
+}
+
+void read_rng_state(CrcReader& r, Rng::State& st) {
+  for (auto& lane : st.s) r.read_pod(lane);
+  r.read_pod(st.spare_gaussian);
+  std::uint8_t has = 0;
+  r.read_pod(has);
+  st.has_spare = has != 0;
+}
+
+// Atomic publish: write to "<path>.tmp", flush, rename over `path`.
+// std::rename replaces the destination atomically on POSIX, so readers
+// only ever see the old file or the complete new one.
+void commit_tmp(const std::string& tmp, const std::string& path) {
+  DCT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "failed to rename " << tmp << " into place");
+}
+
+}  // namespace
+
+std::string rank_checkpoint_path(const std::string& dir,
+                                 std::uint64_t iteration, int rank) {
+  return dir + "/ckpt-" + std::to_string(iteration) + ".rank" +
+         std::to_string(rank);
+}
+
+void write_trainer_state(const TrainerState& state, const std::string& path) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    DCT_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+    CrcWriter w(os);
+    w.write(kMagic, sizeof(kMagic));
+    w.write_pod(state.iteration);
+    w.write_pod(state.shuffles);
+    write_rng_state(w, state.sample_rng);
+    write_rng_state(w, state.shuffle_rng);
+    const auto n = static_cast<std::uint64_t>(state.params.size());
+    DCT_CHECK(state.velocities.size() == state.params.size());
+    w.write_pod(n);
+    w.write(state.params.data(), state.params.size() * sizeof(float));
+    w.write(state.velocities.data(), state.velocities.size() * sizeof(float));
+    const std::uint32_t crc = w.crc();
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    os.flush();
+    DCT_CHECK_MSG(os.good(), "failed writing checkpoint " << tmp);
+  }
+  commit_tmp(tmp, path);
+}
+
+TrainerState read_trainer_state(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DCT_CHECK_MSG(is.good(), "cannot open checkpoint file " << path);
+  CrcReader r(is, path);
+  char magic[sizeof(kMagic)];
+  r.read(magic, sizeof(magic));
+  DCT_CHECK_MSG(std::equal(std::begin(magic), std::end(magic), kMagic),
+                "bad magic in checkpoint file " << path);
+  TrainerState state;
+  r.read_pod(state.iteration);
+  r.read_pod(state.shuffles);
+  read_rng_state(r, state.sample_rng);
+  read_rng_state(r, state.shuffle_rng);
+  std::uint64_t n = 0;
+  r.read_pod(n);
+  DCT_CHECK_MSG(n < (1ull << 32),
+                "implausible parameter count in " << path);
+  state.params.resize(static_cast<std::size_t>(n));
+  state.velocities.resize(static_cast<std::size_t>(n));
+  r.read(state.params.data(), state.params.size() * sizeof(float));
+  r.read(state.velocities.data(), state.velocities.size() * sizeof(float));
+  const std::uint32_t expected = r.crc();
+  std::uint32_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  DCT_CHECK_MSG(is.good(), "truncated checkpoint file " << path);
+  DCT_CHECK_MSG(stored == expected,
+                "CRC mismatch in checkpoint file " << path << " (stored "
+                    << stored << ", computed " << expected << ")");
+  return state;
+}
+
+void write_manifest(const std::string& dir, std::uint64_t iteration,
+                    int nranks) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/MANIFEST";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    DCT_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+    os << iteration << ' ' << nranks << '\n';
+    os.flush();
+    DCT_CHECK_MSG(os.good(), "failed writing manifest " << tmp);
+  }
+  commit_tmp(tmp, path);
+}
+
+std::optional<std::uint64_t> read_manifest(const std::string& dir,
+                                           int nranks) {
+  std::ifstream is(dir + "/MANIFEST");
+  if (!is.good()) return std::nullopt;
+  std::uint64_t iteration = 0;
+  int manifest_ranks = 0;
+  is >> iteration >> manifest_ranks;
+  DCT_CHECK_MSG(!is.fail(), "malformed manifest in " << dir);
+  DCT_CHECK_MSG(manifest_ranks == nranks,
+                "checkpoint in " << dir << " was taken with "
+                                 << manifest_ranks << " ranks, cannot resume "
+                                 << "with " << nranks);
+  return iteration;
+}
+
+}  // namespace dct::trainer

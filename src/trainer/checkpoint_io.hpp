@@ -1,0 +1,58 @@
+// On-disk format of the trainer's resumable state (DESIGN.md §9).
+//
+// One file per rank per checkpoint plus a MANIFEST naming the newest
+// complete set:
+//
+//   <dir>/ckpt-<iteration>.rank<r>   binary, CRC32-sealed
+//   <dir>/MANIFEST                   text: "<iteration> <nranks>\n"
+//
+// Every file is written to "<path>.tmp" and renamed into place, and the
+// MANIFEST is only updated after a barrier confirms all rank files are
+// durable — so a crash at any instant leaves the directory pointing at
+// the last complete checkpoint. The rank file carries everything a
+// learner needs to resume bit-exactly on the deterministic sampling
+// path: iteration, shuffle count, both RNG streams, parameters, and
+// momentum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dct::trainer {
+
+struct TrainerState {
+  std::uint64_t iteration = 0;
+  std::uint64_t shuffles = 0;
+  Rng::State sample_rng;
+  Rng::State shuffle_rng;
+  std::vector<float> params;
+  std::vector<float> velocities;  ///< momentum, same order as params
+};
+
+/// Path of rank `rank`'s file for the checkpoint taken at `iteration`.
+std::string rank_checkpoint_path(const std::string& dir,
+                                 std::uint64_t iteration, int rank);
+
+/// Serialize `state` to `path` (atomic: tmp + rename, CRC32-sealed).
+/// Creates `path`'s directory if needed.
+void write_trainer_state(const TrainerState& state, const std::string& path);
+
+/// Read and validate a rank file. Throws CheckError on missing file,
+/// bad magic, truncation, or CRC mismatch.
+TrainerState read_trainer_state(const std::string& path);
+
+/// Atomically publish `iteration` as the newest complete checkpoint.
+void write_manifest(const std::string& dir, std::uint64_t iteration,
+                    int nranks);
+
+/// The newest complete checkpoint iteration, or nullopt when the
+/// directory holds none. Throws CheckError if the manifest names a
+/// different world size than `nranks`.
+std::optional<std::uint64_t> read_manifest(const std::string& dir,
+                                           int nranks);
+
+}  // namespace dct::trainer

@@ -1,12 +1,25 @@
 #include "trainer/distributed_trainer.hpp"
 
 #include <chrono>
+#include <cstring>
 
+#include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "simmpi/fault.hpp"
 #include "tensor/ops.hpp"
+#include "trainer/checkpoint_io.hpp"
 #include "util/error.hpp"
 
 namespace dct::trainer {
+
+namespace {
+
+obs::Counter& checkpoint_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.checkpoints");
+  return c;
+}
+
+}  // namespace
 
 DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
                                        TrainerConfig cfg)
@@ -88,6 +101,12 @@ StepMetrics DistributedTrainer::step() {
     return std::chrono::duration<double>(clock::now() - since).count();
   };
   DCT_TRACE_SPAN("step", "step", static_cast<std::int64_t>(iteration_));
+  // Fault injection's crash-at-step trigger; free when no plan is
+  // installed.
+  if (simmpi::FaultPlan* plan = comm_.transport().fault_plan();
+      plan != nullptr) [[unlikely]] {
+    plan->on_step(comm_.global_rank(comm_.rank()), iteration_);
+  }
   const auto step_start = clock::now();
   StepMetrics metrics;
 
@@ -130,11 +149,18 @@ StepMetrics DistributedTrainer::step() {
     table_->apply_gradients(grads, sgd_, static_cast<float>(cfg_.base_lr));
   }
   ++iteration_;
+  if (!cfg_.checkpoint_dir.empty() && cfg_.checkpoint_every > 0 &&
+      iteration_ % static_cast<std::uint64_t>(cfg_.checkpoint_every) == 0) {
+    save_checkpoint();
+  }
   metrics.step_seconds = elapsed(step_start);
   return metrics;
 }
 
 EpochMetrics DistributedTrainer::train_epoch(int iterations) {
+  DCT_CHECK_MSG(iterations > 0,
+                "train_epoch needs a positive iteration count, got "
+                    << iterations);
   EpochMetrics em;
   storage::LoadedBatch last;
   for (int i = 0; i < iterations; ++i) {
@@ -177,6 +203,93 @@ std::vector<float> DistributedTrainer::snapshot_params() {
       static_cast<std::size_t>(table_->param_count()));
   table_->replica(0).flatten_params(std::span<float>(params));
   return params;
+}
+
+void DistributedTrainer::save_checkpoint() {
+  DCT_CHECK_MSG(!cfg_.checkpoint_dir.empty(),
+                "save_checkpoint needs cfg.checkpoint_dir");
+  DCT_TRACE_SPAN("checkpoint_save", "recovery",
+                 static_cast<std::int64_t>(iteration_));
+  TrainerState st;
+  st.iteration = iteration_;
+  st.shuffles = shuffles_;
+  st.sample_rng = sample_rng_.state();
+  st.shuffle_rng = shuffle_rng_.state();
+  st.params = snapshot_params();
+  st.velocities.resize(st.params.size());
+  std::size_t off = 0;
+  for (nn::Param* p : table_->replica(0).params()) {
+    const auto count = static_cast<std::size_t>(p->velocity.numel());
+    std::memcpy(st.velocities.data() + off, p->velocity.data(),
+                count * sizeof(float));
+    off += count;
+  }
+  DCT_CHECK(off == st.velocities.size());
+  write_trainer_state(
+      st, rank_checkpoint_path(cfg_.checkpoint_dir, iteration_, comm_.rank()));
+  // Only publish once every rank file of this set is durable, so a
+  // crash at any instant leaves the MANIFEST naming a complete set.
+  comm_.barrier();
+  if (comm_.rank() == 0) {
+    write_manifest(cfg_.checkpoint_dir, iteration_, comm_.size());
+  }
+  checkpoint_counter().add(1);
+}
+
+bool DistributedTrainer::resume() {
+  if (cfg_.checkpoint_dir.empty()) return false;
+  const auto iter = read_manifest(cfg_.checkpoint_dir, comm_.size());
+  if (!iter.has_value()) return false;
+  DCT_TRACE_SPAN("checkpoint_restore", "recovery",
+                 static_cast<std::int64_t>(*iter));
+  const auto st = read_trainer_state(
+      rank_checkpoint_path(cfg_.checkpoint_dir, *iter, comm_.rank()));
+  DCT_CHECK_MSG(st.iteration == *iter,
+                "checkpoint file iteration " << st.iteration
+                    << " disagrees with MANIFEST " << *iter);
+  DCT_CHECK_MSG(
+      st.params.size() == static_cast<std::size_t>(table_->param_count()),
+      "checkpoint parameter count mismatch (model config changed?)");
+  for (int g = 0; g < table_->gpus(); ++g) {
+    auto& rep = table_->replica(g);
+    rep.load_params(std::span<const float>(st.params));
+    std::size_t off = 0;
+    for (nn::Param* p : rep.params()) {
+      const auto count = static_cast<std::size_t>(p->velocity.numel());
+      std::memcpy(p->velocity.data(), st.velocities.data() + off,
+                  count * sizeof(float));
+      off += count;
+    }
+    DCT_CHECK(off == st.velocities.size());
+  }
+  iteration_ = st.iteration;
+  shuffles_ = st.shuffles;
+  // DIMD shuffles moved samples across ranks before the crash. Replay
+  // the same shuffle sequence from the constructor-seeded stream to
+  // reconstruct identical placement, then verify the replayed stream
+  // landed exactly on the checkpointed state (the state doubles as a
+  // checksum of the replay).
+  if (dimd_ != nullptr && st.shuffles > 0) {
+    Rng replay(cfg_.seed * 104729 +
+               static_cast<std::uint64_t>(comm_.rank()) + 1);
+    for (std::uint64_t i = 0; i < st.shuffles; ++i) dimd_->shuffle(replay);
+    DCT_CHECK_MSG(replay.state() == st.shuffle_rng,
+                  "DIMD shuffle replay diverged from checkpointed stream "
+                  "(data placement would not match)");
+  }
+  sample_rng_.set_state(st.sample_rng);
+  shuffle_rng_.set_state(st.shuffle_rng);
+  // Donkey mode: the constructor's prefetcher already drew seeds from
+  // the pre-restore stream; rebuild it so the in-flight window restarts
+  // from the restored stream.
+  if (prefetcher_ != nullptr) {
+    prefetcher_ = std::make_unique<storage::BatchPrefetcher>(
+        [this](std::uint64_t) {
+          return donkeys_->submit_batch(node_batch(), sample_rng_.next_u64());
+        },
+        cfg_.prefetch_depth);
+  }
+  return true;
 }
 
 }  // namespace dct::trainer

@@ -50,6 +50,14 @@ struct TrainerConfig {
   double base_lr = 0.05;
   std::uint64_t seed = 1;
 
+  /// Periodic checkpointing (DESIGN.md §9). When `checkpoint_dir` is
+  /// non-empty and `checkpoint_every` > 0, every rank writes its full
+  /// resumable state every N iterations (atomic, CRC32-sealed), and
+  /// rank 0 publishes a MANIFEST after a barrier confirms the set is
+  /// complete. `resume()` restores from the newest complete set.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+
   /// Sampling:
   ///  false → paper §3: every learner samples with its own seed.
   ///  true  → a shared per-step seed; rank r consumes slice r of the
@@ -88,6 +96,21 @@ class DistributedTrainer {
 
   /// Flattened parameters (for equivalence checks).
   std::vector<float> snapshot_params();
+
+  /// Write this rank's resumable state (params, momentum, iteration,
+  /// RNG streams) to cfg.checkpoint_dir. Collective: barriers before
+  /// rank 0 publishes the MANIFEST, so a published checkpoint is always
+  /// complete. Also called automatically every `checkpoint_every`
+  /// steps.
+  void save_checkpoint();
+
+  /// Restore from the newest complete checkpoint in cfg.checkpoint_dir,
+  /// if any. Replays DIMD shuffles to reconstruct data placement and
+  /// verifies the replayed RNG stream against the checkpointed one.
+  /// Collective. Returns false when there is nothing to resume from.
+  bool resume();
+
+  std::uint64_t iteration() const { return iteration_; }
 
   dpt::DataParallelTable& table() { return *table_; }
   std::int64_t node_batch() const {

@@ -1,0 +1,98 @@
+#include "trainer/resilient.hpp"
+
+#include <mutex>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/checkpoint_io.hpp"
+#include "util/error.hpp"
+
+namespace dct::trainer {
+
+namespace {
+
+obs::Counter& rollback_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.rollbacks");
+  return c;
+}
+obs::Counter& lost_steps_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.lost_steps");
+  return c;
+}
+
+}  // namespace
+
+ResilientResult run_resilient(const ResilientConfig& cfg,
+                              simmpi::FaultPlan* plan) {
+  DCT_CHECK_MSG(!cfg.trainer.checkpoint_dir.empty(),
+                "run_resilient needs trainer.checkpoint_dir (rollback "
+                "target)");
+  DCT_CHECK_MSG(cfg.trainer.checkpoint_every > 0,
+                "run_resilient needs trainer.checkpoint_every > 0");
+  ResilientResult res;
+  if (plan != nullptr && plan->empty()) plan = nullptr;
+
+  for (int attempt = 0; attempt <= cfg.max_rollbacks; ++attempt) {
+    // Fresh world per attempt: the previous one may hold dead ranks and
+    // poisoned mailboxes. The fault plan's one-shot crash triggers are
+    // preserved across install_fault_plan (same world size), so a
+    // rolled-back attempt gets past the trigger that killed the last.
+    simmpi::Runtime rt(cfg.ranks);
+    rt.transport().set_recv_deadline(cfg.recv_deadline);
+    if (plan != nullptr) rt.transport().install_fault_plan(plan);
+
+    // Progress highwater of this attempt, for lost-step accounting.
+    // Written by rank 0's thread, read after the world is torn down.
+    std::uint64_t reached = 0;
+    float last_loss = 0.0f;
+    std::vector<float> final_params;
+    const bool want_resume = cfg.resume_first || attempt > 0;
+
+    try {
+      DCT_TRACE_SPAN("recovery_attempt", "recovery", attempt);
+      rt.run([&](simmpi::Communicator& comm) {
+        DistributedTrainer trainer(comm, cfg.trainer);
+        if (want_resume) trainer.resume();
+        float loss = 0.0f;
+        while (trainer.iteration() < cfg.total_iterations) {
+          loss = trainer.step().loss;
+          if (comm.rank() == 0) reached = trainer.iteration();
+        }
+        // Final checkpoint so completion itself is durable.
+        trainer.save_checkpoint();
+        if (comm.rank() == 0) {
+          last_loss = loss;
+          final_params = trainer.snapshot_params();
+        }
+      });
+      res.completed = true;
+      res.final_loss = last_loss;
+      res.final_params = std::move(final_params);
+      break;
+    } catch (const simmpi::RankFailed& rf) {
+      res.failures.push_back("attempt " + std::to_string(attempt) + ": " +
+                             rf.what());
+    } catch (const simmpi::Timeout& to) {
+      res.failures.push_back("attempt " + std::to_string(attempt) + ": " +
+                             to.what());
+    }
+
+    // Roll back: the next attempt resumes from the newest complete
+    // checkpoint; everything past it is redone.
+    ++res.rollbacks;
+    rollback_counter().add(1);
+    const auto ckpt =
+        read_manifest(cfg.trainer.checkpoint_dir, cfg.ranks).value_or(0);
+    const std::uint64_t lost = reached > ckpt ? reached - ckpt : 0;
+    res.lost_steps += lost;
+    lost_steps_counter().add(lost);
+    DCT_TRACE_INSTANT("rollback", "recovery",
+                      static_cast<std::int64_t>(ckpt));
+  }
+  if (plan != nullptr) res.faults_injected = plan->injected();
+  return res;
+}
+
+}  // namespace dct::trainer

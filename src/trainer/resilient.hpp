@@ -1,0 +1,58 @@
+// Resilient training driver (DESIGN.md §9): run DistributedTrainer to a
+// target iteration count, surviving injected rank crashes, dropped
+// messages, and stragglers.
+//
+// The driver owns the rollback loop: each attempt builds a fresh simmpi
+// world, installs the fault plan and receive deadline, resumes every
+// rank from the newest complete checkpoint, and trains. When a fault
+// takes the attempt down (RankFailed from a crash or liveness
+// detection, Timeout from a dropped message or a dead peer), the
+// attempt's world is torn down and the next attempt rolls back to the
+// last published checkpoint. Crash triggers in the plan are one-shot,
+// so a rolled-back run makes progress past the trigger. Lost work is
+// accounted in `recovery.lost_steps` (iterations reached minus the
+// checkpoint the next attempt resumes from) — bounded by the checkpoint
+// interval.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/fault.hpp"
+#include "trainer/distributed_trainer.hpp"
+
+namespace dct::trainer {
+
+struct ResilientConfig {
+  TrainerConfig trainer;  ///< must set checkpoint_dir/checkpoint_every
+  int ranks = 2;
+  std::uint64_t total_iterations = 20;
+  /// Give up after this many rollbacks (0 = a single attempt).
+  int max_rollbacks = 8;
+  /// Receive deadline installed on every attempt's transport; this is
+  /// the failure detector for drops and silent crashes.
+  std::chrono::milliseconds recv_deadline{5000};
+  /// Resume from an existing checkpoint on the *first* attempt too
+  /// (the CLI's --resume); rollback attempts always resume.
+  bool resume_first = false;
+};
+
+struct ResilientResult {
+  bool completed = false;          ///< reached total_iterations
+  std::uint64_t rollbacks = 0;     ///< world rebuilds after a fault
+  std::uint64_t lost_steps = 0;    ///< iterations redone across rollbacks
+  std::uint64_t faults_injected = 0;
+  float final_loss = 0.0f;         ///< rank 0's last step loss
+  std::vector<float> final_params; ///< rank 0's parameters at the end
+  std::vector<std::string> failures;  ///< one line per failed attempt
+};
+
+/// Run to cfg.total_iterations under `plan` (may be null or empty =
+/// no injection). Throws only on non-fault errors; fault-terminated
+/// attempts are retried up to cfg.max_rollbacks times, after which the
+/// result returns with completed == false.
+ResilientResult run_resilient(const ResilientConfig& cfg,
+                              simmpi::FaultPlan* plan = nullptr);
+
+}  // namespace dct::trainer

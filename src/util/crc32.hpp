@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Used as the payload integrity check of every on-disk artifact that a
+// crash can truncate mid-write (nn and trainer checkpoints): magic/count
+// headers catch truncation at field boundaries, the CRC catches torn
+// tails and silent bit-rot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dct {
+
+/// Incremental update: fold `size` bytes at `data` into a running CRC.
+/// Start from crc32_init(), finish with crc32_final().
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+inline constexpr std::uint32_t crc32_final(std::uint32_t crc) {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+}  // namespace dct

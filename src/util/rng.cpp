@@ -82,6 +82,20 @@ double Rng::next_gaussian() {
   return u * mul;
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[static_cast<std::size_t>(i)] = s_[i];
+  st.spare_gaussian = spare_gaussian_;
+  st.has_spare = has_spare_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[static_cast<std::size_t>(i)];
+  spare_gaussian_ = st.spare_gaussian;
+  has_spare_ = st.has_spare;
+}
+
 Rng Rng::split() {
   // Mix two draws into a fresh seed; children of distinct calls differ.
   std::uint64_t seed = next_u64() ^ rotl(next_u64(), 31);

@@ -7,6 +7,7 @@
 // deterministic given the root seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,17 @@ class Rng {
   /// Derive an independent child stream; deterministic in (parent state,
   /// call order). Used to give each simulated rank its own seed.
   Rng split();
+
+  /// Complete serializable generator state (xoshiro lanes plus the
+  /// Box–Muller spare), so checkpoint/restart resumes the exact stream.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double spare_gaussian = 0.0;
+    bool has_spare = false;
+    bool operator==(const State&) const = default;
+  };
+  State state() const;
+  void set_state(const State& st);
 
   /// Fisher–Yates shuffle of [first, last).
   template <typename It>

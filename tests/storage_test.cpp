@@ -5,9 +5,11 @@
 
 #include <cstdio>
 #include <set>
+#include <stdexcept>
 
 #include "data/codec.hpp"
 #include "storage/donkey_pool.hpp"
+#include "storage/prefetcher.hpp"
 
 namespace dct::storage {
 namespace {
@@ -113,6 +115,43 @@ TEST_F(DonkeyPoolTest, ConcurrentBatchesAreConsistent) {
       ASSERT_LE(b.images[i], 1.0f);
     }
   }
+}
+
+TEST(BatchPrefetcher, PropagatesLoaderExceptionsInIssueOrder) {
+  // seq 0 and 3+ succeed, seq 1 throws synchronously while being
+  // issued, seq 2 throws on the worker thread. The consumer must see
+  // both failures from next(), at the failed request's position.
+  const auto ok = [] {
+    return std::async(std::launch::deferred, [] { return LoadedBatch{}; });
+  };
+  BatchPrefetcher pf(
+      [&](std::uint64_t seq) -> std::future<LoadedBatch> {
+        if (seq == 1) throw std::runtime_error("sync boom");
+        if (seq == 2) {
+          return std::async(std::launch::async,
+                            []() -> LoadedBatch {
+                              throw std::runtime_error("async boom");
+                            });
+        }
+        return ok();
+      },
+      /*depth=*/2);
+  EXPECT_NO_THROW(pf.next());  // seq 0
+  try {
+    pf.next();  // seq 1: the synchronous issue failure
+    FAIL() << "expected sync loader failure to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sync boom");
+  }
+  try {
+    pf.next();  // seq 2: the worker-thread failure
+    FAIL() << "expected async loader failure to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "async boom");
+  }
+  // The window recovers: later requests still come through.
+  EXPECT_NO_THROW(pf.next());  // seq 3
+  EXPECT_GE(pf.issued(), 4u);
 }
 
 }  // namespace

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the concurrency-heavy subsystems: builds the tree
+# with -DDCTRAIN_SANITIZE=thread (override: DCTRAIN_SANITIZE=address)
+# and runs the `fault` and `simmpi` ctest labels under it. The simmpi
+# rank threads plus the fault-injection hooks are exactly the code a
+# data race would hide in, so this is the check to run after touching
+# src/simmpi or the recovery path.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${DCTRAIN_SANITIZE:-thread}"
+BUILD_DIR="${1:-build-tsan}"
+
+echo "== configuring ${BUILD_DIR} with DCTRAIN_SANITIZE=${SANITIZER}"
+cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building sanitized test binaries"
+cmake --build "${BUILD_DIR}" -j --target \
+  fault_test simmpi_test simmpi_stress_test
+
+echo "== running ctest -L 'fault|simmpi' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi" --output-on-failure -j 4
+
+echo "== sanitizer check passed (${SANITIZER})"

@@ -4,6 +4,13 @@
 //                     [--iters I] [--allreduce NAME] [--shuffle-every S]
 //                     [--classes C] [--images D] [--baseline-dpt]
 //                     [--trace PATH]
+//                     [--checkpoint-dir D] [--checkpoint-every N] [--resume]
+//                     [--inject SPEC[;SPEC…]] [--deadline-ms MS]
+//                     SPEC: rank=R,kind=crash,step=N | msg=N; kind=drop/
+//                     delay/duplicate/straggle with prob=P, ms=D
+//   dctrain chaos     [--ranks N] [--iters I] [--seed S] [--rollbacks R]
+//                     [--checkpoint-dir D] [--checkpoint-every N]
+//                     [--deadline-ms MS] [--drop-prob P]
 //   dctrain trace-report --trace PATH [--top N]
 //   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
 //                     [--batch B] [--baseline]
@@ -14,6 +21,9 @@
 //   dctrain help
 //
 // Every subcommand drives the same code paths the tests and benches use.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "core/dctrain.hpp"
@@ -43,26 +53,66 @@ int cmd_train(const ArgParser& args) {
   const std::string trace_path = args.get("trace", "");
   if (!trace_path.empty()) obs::Tracer::set_enabled(true);
 
+  cfg.checkpoint_dir = args.get("checkpoint-dir", "");
+  cfg.checkpoint_every = static_cast<int>(args.get_int("checkpoint-every", 20));
+  const auto deadline =
+      std::chrono::milliseconds(args.get_int("deadline-ms", 5000));
+  simmpi::FaultPlan plan(cfg.dataset.seed);
+  const std::string inject = args.get("inject", "");
+  if (!inject.empty()) plan.add_specs(inject);
+
   std::printf("training SmallCNN: %d learners x %d GPUs, batch %lld/GPU, "
               "%s allreduce, %s DPT\n\n",
               ranks, cfg.gpus_per_node,
               static_cast<long long>(cfg.batch_per_gpu),
               cfg.allreduce.c_str(),
               cfg.optimized_dpt ? "optimized" : "baseline");
-  simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
-    trainer::DistributedTrainer trainer(comm, cfg);
-    for (int e = 1; e <= epochs; ++e) {
-      const auto m = trainer.train_epoch(iters);
-      if (comm.rank() == 0) {
-        std::printf("epoch %2d  loss %.4f  train-acc %5.1f %%\n", e,
-                    m.mean_loss, 100.0 * m.train_accuracy);
+  if (!cfg.checkpoint_dir.empty()) {
+    // Resilient path: checkpoint/rollback driver; survives --inject
+    // crashes and resumes interrupted runs with --resume.
+    trainer::ResilientConfig rcfg;
+    rcfg.trainer = cfg;
+    rcfg.ranks = ranks;
+    rcfg.total_iterations =
+        static_cast<std::uint64_t>(epochs) * static_cast<std::uint64_t>(iters);
+    rcfg.recv_deadline = deadline;
+    rcfg.resume_first = args.has("resume");
+    const auto res = trainer::run_resilient(
+        rcfg, plan.empty() ? nullptr : &plan);
+    for (const auto& f : res.failures) {
+      std::printf("  fault: %s\n", f.c_str());
+    }
+    std::printf("%s after %llu rollback(s): %llu iterations, loss %.4f, "
+                "%llu fault(s) injected, %llu step(s) redone\n",
+                res.completed ? "completed" : "GAVE UP",
+                static_cast<unsigned long long>(res.rollbacks),
+                static_cast<unsigned long long>(rcfg.total_iterations),
+                res.final_loss,
+                static_cast<unsigned long long>(res.faults_injected),
+                static_cast<unsigned long long>(res.lost_steps));
+    if (!res.completed) return 1;
+  } else {
+    simmpi::Runtime rt(ranks);
+    if (!plan.empty()) {
+      rt.transport().install_fault_plan(&plan);
+      rt.transport().set_recv_deadline(deadline);
+    }
+    rt.run([&](simmpi::Communicator& comm) {
+      trainer::DistributedTrainer trainer(comm, cfg);
+      if (args.has("resume")) trainer.resume();
+      for (int e = 1; e <= epochs; ++e) {
+        const auto m = trainer.train_epoch(iters);
+        if (comm.rank() == 0) {
+          std::printf("epoch %2d  loss %.4f  train-acc %5.1f %%\n", e,
+                      m.mean_loss, 100.0 * m.train_accuracy);
+        }
       }
-    }
-    if (comm.rank() == 0) {
-      std::printf("\nheld-out top-1: %.1f %%\n",
-                  100.0 * trainer.evaluate(200));
-    }
-  });
+      if (comm.rank() == 0) {
+        std::printf("\nheld-out top-1: %.1f %%\n",
+                    100.0 * trainer.evaluate(200));
+      }
+    });
+  }
   if (!trace_path.empty()) {
     const auto events = obs::tracer_events();
     obs::Tracer::write_chrome_trace(trace_path);
@@ -74,6 +124,76 @@ int cmd_train(const ArgParser& args) {
     std::printf("%s", obs::Metrics::snapshot().to_string().c_str());
   }
   return 0;
+}
+
+int cmd_chaos(const ArgParser& args) {
+  // Randomized fault schedule against the resilient driver: crashes,
+  // drops, delays, duplicates and a straggler, all derived from --seed.
+  // Exit 0 only if training still reaches the target iteration count
+  // and the loss actually came down.
+  const int ranks = static_cast<int>(args.get_int("ranks", 2));
+  const auto total =
+      static_cast<std::uint64_t>(args.get_int("iters", 60));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const double drop_prob = args.get_double("drop-prob", 0.001);
+
+  trainer::ResilientConfig rcfg;
+  rcfg.trainer.gpus_per_node = static_cast<int>(args.get_int("gpus", 2));
+  rcfg.trainer.batch_per_gpu = args.get_int("batch", 8);
+  rcfg.trainer.seed = seed;
+  rcfg.trainer.checkpoint_dir = args.get("checkpoint-dir", "chaos-ckpt");
+  rcfg.trainer.checkpoint_every =
+      static_cast<int>(args.get_int("checkpoint-every", 10));
+  rcfg.ranks = ranks;
+  rcfg.total_iterations = total;
+  rcfg.max_rollbacks = static_cast<int>(args.get_int("rollbacks", 12));
+  rcfg.recv_deadline =
+      std::chrono::milliseconds(args.get_int("deadline-ms", 3000));
+
+  Rng rng(seed * 0xC0FFEE + 1);
+  simmpi::FaultPlan plan(seed);
+  const auto pick_rank = [&] {
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+  };
+  plan.add({.kind = simmpi::FaultKind::kCrash, .rank = pick_rank(),
+            .at_step = total / 4 + rng.next_below(std::max<std::uint64_t>(
+                                      1, total / 2))});
+  plan.add({.kind = simmpi::FaultKind::kCrash, .rank = pick_rank(),
+            .at_message = 200 + rng.next_below(2000)});
+  plan.add({.kind = simmpi::FaultKind::kDrop, .rank = pick_rank(),
+            .probability = drop_prob});
+  plan.add({.kind = simmpi::FaultKind::kDelay, .probability = 0.01,
+            .delay_ms = 2.0});
+  plan.add({.kind = simmpi::FaultKind::kDuplicate, .rank = pick_rank(),
+            .probability = 0.01});
+  plan.add({.kind = simmpi::FaultKind::kStraggle, .rank = pick_rank(),
+            .probability = 0.05, .delay_ms = 1.0});
+
+  std::printf("chaos: %d learners, %llu iterations, seed %llu, "
+              "%zu fault rule(s)\n",
+              ranks, static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(seed), plan.rules().size());
+  const auto res = trainer::run_resilient(rcfg, &plan);
+  for (const auto& f : res.failures) std::printf("  fault: %s\n", f.c_str());
+  std::printf("%s: %llu rollback(s), %llu fault(s) injected, %llu step(s) "
+              "redone, final loss %.4f\n",
+              res.completed ? "survived" : "GAVE UP",
+              static_cast<unsigned long long>(res.rollbacks),
+              static_cast<unsigned long long>(res.faults_injected),
+              static_cast<unsigned long long>(res.lost_steps),
+              res.final_loss);
+  std::printf("%s", obs::Metrics::snapshot().to_string().c_str());
+  // Convergence check: random-guess cross-entropy is ln(classes); the
+  // run must land clearly below it despite the injected faults.
+  const double chance =
+      std::log(static_cast<double>(rcfg.trainer.model.classes));
+  const bool converged =
+      std::isfinite(res.final_loss) && res.final_loss < chance;
+  if (!converged) {
+    std::printf("loss %.4f did not beat random-guess %.4f\n", res.final_loss,
+                chance);
+  }
+  return res.completed && converged ? 0 : 1;
 }
 
 int cmd_trace_report(const ArgParser& args) {
@@ -185,7 +305,9 @@ int cmd_help() {
   std::printf(
       "dctrain %s — reproduction of Kumar et al., CLUSTER 2018\n\n"
       "subcommands:\n"
-      "  train      run distributed SGD on simulated learners (real math)\n"
+      "  train      run distributed SGD on simulated learners (real math);\n"
+      "             --checkpoint-dir/--resume/--inject for fault tolerance\n"
+      "  chaos      randomized fault schedule against the resilient driver\n"
       "  trace-report  per-rank phase breakdown of a captured trace\n"
       "  plan       epoch-time decomposition for a cluster configuration\n"
       "  allreduce  price + verify a gradient allreduce algorithm\n"
@@ -206,6 +328,8 @@ int main(int argc, char** argv) {
     int rc;
     if (cmd == "train") {
       rc = cmd_train(args);
+    } else if (cmd == "chaos") {
+      rc = cmd_chaos(args);
     } else if (cmd == "trace-report") {
       rc = cmd_trace_report(args);
     } else if (cmd == "plan") {
