@@ -93,6 +93,41 @@ BENCHMARK(BM_AllreduceInProcess)
     ->Args({4, 1})
     ->Args({8, 1});
 
+void BM_CommOverlap(benchmark::State& state) {
+  // Full GradComm step at 4 ranks: arg 0 reduces the buckets blocking
+  // after "backward", arg 1 streams them on the progress engine as the
+  // rear-first ready ranges arrive (src/comm overlap path).
+  const bool overlap = state.range(0) != 0;
+  constexpr std::size_t kSegments = 16;
+  constexpr std::size_t kSegElems = 1 << 12;
+  auto algo = allreduce::make_algorithm("multicolor");
+  for (auto _ : state) {
+    simmpi::Runtime::execute(4, [&](simmpi::Communicator& comm) {
+      const std::vector<std::size_t> sizes(kSegments, kSegElems);
+      comm::CommConfig cfg;
+      cfg.bucket_bytes = 4 * kSegElems * sizeof(float);
+      cfg.overlap = overlap;
+      comm::GradComm gc(comm, *algo, cfg,
+                        std::span<const std::size_t>(sizes));
+      std::vector<float> grads(kSegments * kSegElems,
+                               static_cast<float>(comm.rank()));
+      gc.begin_step(grads);
+      if (overlap) {
+        for (std::size_t seg = kSegments; seg-- > 0;) {
+          gc.on_range_ready(seg * kSegElems, (seg + 1) * kSegElems);
+        }
+      }
+      gc.finish();
+      benchmark::DoNotOptimize(grads.data());
+    });
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(kSegments * kSegElems * sizeof(float)) * 4);
+  state.SetLabel(overlap ? "overlap" : "blocking");
+}
+BENCHMARK(BM_CommOverlap)->Arg(0)->Arg(1);
+
 void BM_DimdRandomBatch(benchmark::State& state) {
   data::DatasetDef def;
   def.images = 256;

@@ -56,4 +56,15 @@ std::unique_ptr<Algorithm> make_algorithm(const std::string& name);
 /// All registered algorithm names (for sweeps in tests/benches).
 std::vector<std::string> algorithm_names();
 
+/// Run `algo` once per chunk of `data`, where `ends` holds the strictly
+/// increasing element end-offsets of the chunks (ends.back() ==
+/// data.size()). This is the chunk-granular entry point the comm
+/// subsystem reduces gradient buckets through: each chunk is an
+/// independent collective, so callers may interleave other work between
+/// chunks, but every rank must process the same chunks in the same
+/// order. Traffic (when given) accumulates across chunks.
+void run_chunked(const Algorithm& algo, simmpi::Communicator& comm,
+                 std::span<float> data, std::span<const std::size_t> ends,
+                 RankTraffic* traffic = nullptr);
+
 }  // namespace dct::allreduce

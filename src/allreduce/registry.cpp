@@ -60,6 +60,27 @@ std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
   return nullptr;  // unreachable
 }
 
+void run_chunked(const Algorithm& algo, simmpi::Communicator& comm,
+                 std::span<float> data, std::span<const std::size_t> ends,
+                 RankTraffic* traffic) {
+  DCT_CHECK_MSG(!ends.empty() && ends.back() == data.size(),
+                "chunk ends must cover the payload");
+  std::size_t begin = 0;
+  for (const std::size_t end : ends) {
+    DCT_CHECK_MSG(end > begin && end <= data.size(),
+                  "chunk ends must be strictly increasing");
+    RankTraffic chunk;
+    algo.run(comm, data.subspan(begin, end - begin),
+             traffic != nullptr ? &chunk : nullptr);
+    if (traffic != nullptr) {
+      traffic->bytes_sent += chunk.bytes_sent;
+      traffic->messages_sent += chunk.messages_sent;
+      traffic->reduce_flops += chunk.reduce_flops;
+    }
+    begin = end;
+  }
+}
+
 std::vector<std::string> algorithm_names() {
   return {"naive",     "recursive_halving", "openmpi_default", "ring",
           "multiring", "multicolor",        "bucket_ring"};

@@ -1,0 +1,64 @@
+#include "comm/bucket_plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dct::comm {
+
+BucketPlan BucketPlan::build(std::span<const std::size_t> segment_sizes,
+                             std::size_t bucket_bytes) {
+  BucketPlan plan;
+  for (const std::size_t s : segment_sizes) plan.total_ += s;
+
+  const std::size_t cap_elems =
+      bucket_bytes == 0 ? plan.total_
+                        : std::max<std::size_t>(1, bucket_bytes / sizeof(float));
+
+  Bucket cur;
+  bool open = false;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < segment_sizes.size(); ++i) {
+    const std::size_t n = segment_sizes[i];
+    if (!open) {
+      cur = Bucket{offset, offset, i, i};
+      open = true;
+    }
+    cur.end = offset + n;
+    cur.last_segment = i;
+    offset += n;
+    // Close once the cap is reached — but only on a non-empty bucket,
+    // so an oversized layer lands alone in its own bucket.
+    if (cur.elements() >= cap_elems && cur.elements() > 0) {
+      plan.buckets_.push_back(cur);
+      open = false;
+    }
+  }
+  if (open || plan.buckets_.empty()) {
+    // Trailing partial bucket, or a degenerate all-empty payload (keep
+    // one empty bucket so callers need no special case).
+    if (!open) cur = Bucket{0, 0, 0, 0};
+    plan.buckets_.push_back(cur);
+  }
+  DCT_CHECK(plan.buckets_.back().end == plan.total_);
+  return plan;
+}
+
+std::size_t BucketPlan::bucket_of(std::size_t elem) const {
+  DCT_CHECK_MSG(elem < total_, "offset " << elem << " out of payload");
+  // Buckets are contiguous and sorted; find the first with end > elem.
+  const auto it = std::upper_bound(
+      buckets_.begin(), buckets_.end(), elem,
+      [](std::size_t e, const Bucket& b) { return e < b.end; });
+  DCT_CHECK(it != buckets_.end());
+  return static_cast<std::size_t>(it - buckets_.begin());
+}
+
+std::vector<std::size_t> BucketPlan::chunk_ends() const {
+  std::vector<std::size_t> ends;
+  ends.reserve(buckets_.size());
+  for (const Bucket& b : buckets_) ends.push_back(b.end);
+  return ends;
+}
+
+}  // namespace dct::comm

@@ -1,0 +1,58 @@
+// BucketPlan — partition of the flattened gradient payload into
+// size-bounded, layer-aligned buckets (DESIGN.md §10).
+//
+// The backward pass finishes layers back-to-front; grouping consecutive
+// layers into buckets of roughly `bucket_bytes` gives the overlap
+// engine units that are (a) big enough to amortize per-collective
+// latency and (b) small enough that the first reduction can launch long
+// before backward finishes. Buckets never split a layer: a layer's
+// gradient becomes final atomically, so a split bucket could never
+// launch earlier than the whole layer anyway.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dct::comm {
+
+/// One contiguous slice [begin, end) of the flattened payload, covering
+/// whole segments (layers) [first_segment, last_segment].
+struct Bucket {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t first_segment = 0;
+  std::size_t last_segment = 0;
+
+  std::size_t elements() const { return end - begin; }
+};
+
+class BucketPlan {
+ public:
+  /// Build from per-segment (per-layer) element counts in flattened
+  /// order. A bucket closes once it holds >= `bucket_bytes` of float32
+  /// payload; `bucket_bytes` == 0 means one bucket spanning everything.
+  /// Zero-element segments attach to whichever bucket is open. A single
+  /// oversized segment gets a bucket of its own (never split).
+  static BucketPlan build(std::span<const std::size_t> segment_sizes,
+                          std::size_t bucket_bytes);
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  std::size_t size() const { return buckets_.size(); }
+  const Bucket& bucket(std::size_t i) const { return buckets_[i]; }
+  std::size_t total_elements() const { return total_; }
+
+  /// Index of the bucket containing flattened element offset `elem`
+  /// (elem < total_elements()).
+  std::size_t bucket_of(std::size_t elem) const;
+
+  /// End offsets of each bucket, in payload order — the `ends` argument
+  /// of allreduce::run_chunked.
+  std::vector<std::size_t> chunk_ends() const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dct::comm

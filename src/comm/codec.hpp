@@ -1,0 +1,60 @@
+// Gradient compression codecs (DESIGN.md §10).
+//
+// A codec maps a float32 gradient slice to a wire form and back. The
+// simulated transport still reduces float32 payloads, so the overlap
+// engine applies a codec as a *quantization* of each rank's local
+// contribution before the reduction (encode→decode round trip), and
+// charges the modeled wire cost as encoded_bytes / (4·n) of the float
+// traffic. This reproduces both effects of real compressed allreduce —
+// gradient precision loss and bandwidth reduction — without a second
+// byte-level collective path.
+//
+// Lossy codecs are paired with error feedback (EF-SGD): the scheduler
+// keeps a per-element residual r, quantizes (g + r), and stores the
+// quantization error back into r so it is re-injected next step instead
+// of being lost. The identity codec is lossless and bypasses all of
+// this: its path is bit-identical to uncompressed training.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dct::comm {
+
+class GradCodec {
+ public:
+  virtual ~GradCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Lossless codecs round-trip every float bit-exactly; the scheduler
+  /// skips quantization and error feedback for them entirely.
+  virtual bool lossless() const = 0;
+
+  /// Wire bytes for a slice of `n` floats.
+  virtual std::size_t encoded_bytes(std::size_t n) const = 0;
+
+  /// Serialize `in` to wire form (out is resized).
+  virtual void encode(std::span<const float> in,
+                      std::vector<std::byte>& out) const = 0;
+
+  /// Inverse of encode: reconstruct exactly `out.size()` floats.
+  virtual void decode(std::span<const std::byte> in,
+                      std::span<float> out) const = 0;
+};
+
+/// Instantiate by name:
+///   "identity" / "none"   pass-through (lossless, bit-identical)
+///   "fp16"                IEEE half, round-to-nearest-even
+///   "int8-ef" / "int8"    per-slice max-abs linear int8 (pair with
+///                         error feedback; the scheduler does)
+/// Throws CheckError for unknown names.
+std::unique_ptr<GradCodec> make_codec(const std::string& name);
+
+/// All registered codec names (for CLI help / sweeps).
+std::vector<std::string> codec_names();
+
+}  // namespace dct::comm

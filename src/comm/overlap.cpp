@@ -1,0 +1,179 @@
+#include "comm/overlap.hpp"
+
+#include <algorithm>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace dct::comm {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double elapsed(clock::time_point since) {
+  return std::chrono::duration<double>(clock::now() - since).count();
+}
+
+obs::Counter& buckets_counter() {
+  static obs::Counter& c = obs::Metrics::counter("comm.buckets_reduced");
+  return c;
+}
+obs::Counter& wire_bytes_counter() {
+  static obs::Counter& c = obs::Metrics::counter("comm.wire_bytes");
+  return c;
+}
+obs::LatencyHistogram& exposed_hist() {
+  static obs::LatencyHistogram& h =
+      obs::Metrics::histogram("comm.exposed_seconds");
+  return h;
+}
+
+}  // namespace
+
+GradComm::GradComm(simmpi::Communicator& comm,
+                   const allreduce::Algorithm& algo, CommConfig cfg,
+                   std::span<const std::size_t> segment_sizes)
+    : algo_(algo),
+      cfg_(std::move(cfg)),
+      plan_(BucketPlan::build(segment_sizes, cfg_.bucket_bytes)),
+      codec_(make_codec(cfg_.codec)),
+      codec_name_(codec_->name()),
+      lossless_(codec_->lossless()),
+      comm_(comm),
+      filled_(plan_.size(), 0) {
+  if (!lossless_) residual_.assign(plan_.total_elements(), 0.0f);
+  // Collective: every rank reaches this constructor at the same program
+  // point, so the engine's dup() (itself collective) lines up.
+  if (cfg_.overlap) engine_ = std::make_unique<simmpi::ProgressEngine>(comm);
+}
+
+GradComm::~GradComm() = default;
+
+void GradComm::begin_step(std::span<float> grads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DCT_CHECK_MSG(grads.size() == plan_.total_elements(),
+                "payload size does not match the bucket plan");
+  DCT_CHECK_MSG(requests_.empty(), "previous step not finished");
+  grads_ = grads;
+  std::fill(filled_.begin(), filled_.end(), 0);
+  step_stats_ = CommStats{};
+}
+
+void GradComm::on_range_ready(std::size_t lo, std::size_t hi) {
+  if (lo == hi) return;  // parameter-free layer
+  DCT_CHECK_MSG(engine_ != nullptr,
+                "on_range_ready without overlap enabled");
+  const std::size_t b = plan_.bucket_of(lo);
+  const Bucket& bk = plan_.bucket(b);
+  DCT_CHECK_MSG(hi <= bk.end, "ready range straddles a bucket boundary");
+  std::lock_guard<std::mutex> lock(mutex_);
+  filled_[b] += hi - lo;
+  DCT_CHECK(filled_[b] <= bk.elements());
+  if (filled_[b] == bk.elements()) {
+    // Bucket complete — hand its reduction to the progress thread.
+    // Completion order is rear-bucket-first on every rank (descending
+    // layer order), satisfying the engine's collective-order contract.
+    requests_.push_back(engine_->submit([this, b](simmpi::Communicator& c) {
+      reduce_bucket(b, c);
+      return simmpi::Status{
+          c.rank(), 0, plan_.bucket(b).elements() * sizeof(float)};
+    }));
+  }
+}
+
+CommStats GradComm::finish() {
+  const auto start = clock::now();
+  if (engine_ == nullptr) {
+    // Blocking mode: quantize + reduce every bucket now, in payload
+    // order, through the chunk-granular allreduce entry point.
+    std::vector<std::size_t> ends;
+    for (std::size_t b = 0; b < plan_.size(); ++b) {
+      if (plan_.bucket(b).elements() == 0) continue;
+      quantize_bucket(b);
+      ends.push_back(plan_.bucket(b).end);
+    }
+    allreduce::RankTraffic traffic;
+    if (!ends.empty()) {
+      allreduce::run_chunked(algo_, comm_, grads_, ends, &traffic);
+    }
+    CommStats out;
+    out.buckets = ends.size();
+    out.wire_bytes =
+        modeled_wire_bytes(plan_.total_elements(), traffic.bytes_sent);
+    out.reduce_seconds = elapsed(start);
+    out.exposed_seconds = out.reduce_seconds;
+    buckets_counter().add(out.buckets);
+    wire_bytes_counter().add(out.wire_bytes);
+    exposed_hist().record(out.exposed_seconds);
+    return out;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t b = 0; b < plan_.size(); ++b) {
+      DCT_CHECK_MSG(filled_[b] == plan_.bucket(b).elements(),
+                    "bucket " << b << " never filled — missing ready hook?");
+    }
+  }
+  simmpi::wait_all(requests_);
+  requests_.clear();
+  CommStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = step_stats_;
+  }
+  out.exposed_seconds = elapsed(start);
+  exposed_hist().record(out.exposed_seconds);
+  return out;
+}
+
+void GradComm::reduce_bucket(std::size_t b, simmpi::Communicator& c) {
+  const Bucket& bk = plan_.bucket(b);
+  DCT_TRACE_SPAN("bucket_reduce", "comm_overlap",
+                 static_cast<std::int64_t>(b));
+  const auto start = clock::now();
+  quantize_bucket(b);
+  allreduce::RankTraffic traffic;
+  auto span = grads_.subspan(bk.begin, bk.elements());
+  if (!span.empty()) algo_.run(c, span, &traffic);
+  const double secs = elapsed(start);
+  const auto wire = modeled_wire_bytes(bk.elements(), traffic.bytes_sent);
+  buckets_counter().add(1);
+  wire_bytes_counter().add(wire);
+  std::lock_guard<std::mutex> lock(mutex_);
+  step_stats_.buckets += 1;
+  step_stats_.wire_bytes += wire;
+  step_stats_.reduce_seconds += secs;
+}
+
+void GradComm::quantize_bucket(std::size_t b) {
+  if (lossless_) return;
+  const Bucket& bk = plan_.bucket(b);
+  if (bk.elements() == 0) return;
+  auto g = grads_.subspan(bk.begin, bk.elements());
+  auto r = std::span<float>(residual_).subspan(bk.begin, bk.elements());
+  // Error feedback: quantize the compensated gradient (g + r) and keep
+  // this step's quantization error in r for re-injection next step.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] += r[i];
+    r[i] = g[i];  // stash the compensated value
+  }
+  codec_->encode(g, wire_);
+  codec_->decode(wire_, g);
+  for (std::size_t i = 0; i < g.size(); ++i) r[i] -= g[i];
+}
+
+std::uint64_t GradComm::modeled_wire_bytes(std::size_t elements,
+                                           std::uint64_t float_bytes) const {
+  if (elements == 0 || float_bytes == 0) return 0;
+  // Scale the float traffic the algorithm actually moved by the codec's
+  // compression ratio — the bytes a byte-level transport would carry.
+  const double ratio =
+      static_cast<double>(codec_->encoded_bytes(elements)) /
+      static_cast<double>(elements * sizeof(float));
+  return static_cast<std::uint64_t>(static_cast<double>(float_bytes) * ratio);
+}
+
+}  // namespace dct::comm

@@ -1,0 +1,122 @@
+// GradComm — bucketed, optionally overlapped, optionally compressed
+// inter-node gradient reduction (DESIGN.md §10).
+//
+// Modes (by CommConfig):
+//   • bucketed-blocking: begin_step() then finish() reduces every
+//     bucket in payload order on the calling thread (via
+//     allreduce::run_chunked). Same arithmetic as overlap mode, just
+//     zero concurrency — the determinism reference for the tests.
+//   • bucketed-overlap: the trainer forwards DataParallelTable's
+//     per-layer "gradient ready" ranges to on_range_ready(); once a
+//     bucket's last range lands, its reduction is submitted to a simmpi
+//     ProgressEngine and proceeds on the progress thread while backward
+//     keeps running. finish() blocks only on whatever is still in
+//     flight — the *exposed* communication time.
+//
+// Ordering: backward delivers ranges in descending layer order and the
+// DPT serializes the callbacks, so buckets complete rear-first in the
+// same order on every rank — which is exactly the "same collectives in
+// the same order" contract the ProgressEngine requires.
+//
+// Compression: a lossy codec quantizes each rank's local bucket
+// (encode→decode round trip with error-feedback residuals) before the
+// float reduction, and the modeled wire traffic is scaled by the
+// codec's compression ratio. The identity codec skips quantization
+// entirely, making its results bit-identical to uncompressed runs.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "allreduce/algorithm.hpp"
+#include "comm/bucket_plan.hpp"
+#include "comm/codec.hpp"
+#include "simmpi/communicator.hpp"
+#include "simmpi/progress.hpp"
+#include "simmpi/request.hpp"
+
+namespace dct::comm {
+
+struct CommConfig {
+  /// Bucket size bound in bytes; 0 = one bucket spanning the payload.
+  std::size_t bucket_bytes = 0;
+  /// Gradient codec name (see make_codec).
+  std::string codec = "identity";
+  /// Reduce buckets on a background progress thread as backward fills
+  /// them, instead of all-at-once after backward.
+  bool overlap = false;
+
+  /// Anything beyond the legacy monolithic blocking allreduce?
+  bool enabled() const {
+    return overlap || bucket_bytes > 0 ||
+           (!codec.empty() && codec != "identity" && codec != "none");
+  }
+};
+
+/// Per-step communication accounting.
+struct CommStats {
+  std::uint64_t wire_bytes = 0;   ///< modeled bytes this rank sent
+  std::uint64_t buckets = 0;      ///< bucket reductions performed
+  double reduce_seconds = 0.0;    ///< total wall time inside reductions
+  double exposed_seconds = 0.0;   ///< time finish() blocked the step
+};
+
+class GradComm {
+ public:
+  /// Collective when cfg.overlap (the ProgressEngine dup()s `comm`).
+  /// `segment_sizes` are the per-layer element counts of the flattened
+  /// payload, in payload order.
+  GradComm(simmpi::Communicator& comm, const allreduce::Algorithm& algo,
+           CommConfig cfg, std::span<const std::size_t> segment_sizes);
+  ~GradComm();
+
+  const BucketPlan& plan() const { return plan_; }
+  bool overlap_enabled() const { return engine_ != nullptr; }
+  const std::string& codec_name() const { return codec_name_; }
+
+  /// Arm the step. `grads` (the node gradient payload) must stay valid
+  /// and untouched by the caller until finish() returns.
+  void begin_step(std::span<float> grads);
+
+  /// Gradient-ready callback: node grads [lo, hi) are final. Wire this
+  /// to DataParallelTable::set_grad_ready_hook in overlap mode. Ranges
+  /// must not straddle bucket boundaries (layer-aligned buckets
+  /// guarantee this). Thread-safe; empty ranges are ignored.
+  void on_range_ready(std::size_t lo, std::size_t hi);
+
+  /// Complete the step: in overlap mode wait for in-flight buckets, in
+  /// blocking mode reduce everything now. On return `grads` holds the
+  /// global sum. Returns this step's accounting.
+  CommStats finish();
+
+ private:
+  void reduce_bucket(std::size_t b, simmpi::Communicator& c);
+  void quantize_bucket(std::size_t b);
+  std::uint64_t modeled_wire_bytes(std::size_t elements,
+                                   std::uint64_t float_bytes) const;
+
+  const allreduce::Algorithm& algo_;
+  CommConfig cfg_;
+  BucketPlan plan_;
+  std::unique_ptr<GradCodec> codec_;
+  std::string codec_name_;
+  bool lossless_;
+  simmpi::Communicator& comm_;  ///< blocking-mode reductions only
+  std::unique_ptr<simmpi::ProgressEngine> engine_;
+
+  std::mutex mutex_;
+  std::span<float> grads_;
+  std::vector<std::size_t> filled_;  ///< per-bucket elements ready
+  std::vector<simmpi::Request> requests_;
+  std::vector<float> residual_;      ///< EF residuals (lossy codecs)
+  std::vector<std::byte> wire_;      ///< codec scratch (reduction thread)
+  CommStats step_stats_;
+};
+
+}  // namespace dct::comm

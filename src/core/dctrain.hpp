@@ -19,6 +19,9 @@
 #include "allreduce/algorithm.hpp"
 #include "allreduce/algorithms_impl.hpp"
 #include "allreduce/color_tree.hpp"
+#include "comm/bucket_plan.hpp"
+#include "comm/codec.hpp"
+#include "comm/overlap.hpp"
 #include "data/codec.hpp"
 #include "data/dimd.hpp"
 #include "data/record_file.hpp"
@@ -52,6 +55,7 @@
 #include "trainer/checkpoint_io.hpp"
 #include "trainer/distributed_trainer.hpp"
 #include "trainer/epoch_model.hpp"
+#include "trainer/metrics_log.hpp"
 #include "trainer/resilient.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"

@@ -25,7 +25,28 @@ DataParallelTable::DataParallelTable(const nn::SmallCnnConfig& model_cfg,
   scratch_.assign(n, 0.0f);
 }
 
+namespace {
+
+/// Pack one layer's parameter gradients into `dst` (that layer's slice
+/// of the flattened payload), in the same param order flatten_grads()
+/// uses.
+void flatten_layer_grads(nn::Layer& layer, std::span<float> dst) {
+  std::size_t off = 0;
+  for (nn::Param* p : layer.params()) {
+    const auto n = static_cast<std::size_t>(p->grad.numel());
+    DCT_CHECK(off + n <= dst.size());
+    std::memcpy(dst.data() + off, p->grad.data(), n * sizeof(float));
+    off += n;
+  }
+  DCT_CHECK(off == dst.size());
+}
+
+}  // namespace
+
 void DataParallelTable::reduce_replica_grads_to_node() {
+  // With a grad-ready hook installed the reduction already happened
+  // layer-by-layer during backward.
+  if (grad_ready_hook_) return;
   const std::size_t n = node_grads_.size();
   replicas_[0]->flatten_grads(std::span<float>(node_grads_));
   for (std::size_t g = 1; g < replicas_.size(); ++g) {
@@ -34,6 +55,55 @@ void DataParallelTable::reduce_replica_grads_to_node() {
     replicas_[g]->flatten_grads(std::span<float>(scratch_));
     for (std::size_t i = 0; i < n; ++i) node_grads_[i] += scratch_[i];
   }
+}
+
+void DataParallelTable::set_grad_ready_hook(
+    std::function<void(std::size_t, std::size_t)> hook) {
+  grad_ready_hook_ = std::move(hook);
+  if (!grad_ready_hook_) {
+    for (auto& r : replicas_) r->set_grad_ready_hook(nullptr);
+    return;
+  }
+  layer_counts_ = replicas_[0]->layer_param_counts();
+  layer_offsets_.assign(layer_counts_.size(), 0);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < layer_counts_.size(); ++i) {
+    layer_offsets_[i] = off;
+    off += layer_counts_[i];
+  }
+  DCT_CHECK(off == node_grads_.size());
+  layer_done_ = std::vector<std::atomic<int>>(layer_counts_.size());
+  for (auto& r : replicas_) {
+    r->set_grad_ready_hook(
+        [this](std::size_t layer) { on_replica_layer_done(layer); });
+  }
+}
+
+void DataParallelTable::on_replica_layer_done(std::size_t layer) {
+  const int m = gpus();
+  // acq_rel so the last finisher observes every replica's gradient
+  // writes for this layer.
+  const int done =
+      layer_done_[layer].fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (done < m) return;
+  // Safe to re-arm here: the next step's increments are separated from
+  // this store by the forward_backward join on the main thread.
+  layer_done_[layer].store(0, std::memory_order_relaxed);
+  const std::size_t lo = layer_offsets_[layer];
+  const std::size_t n = layer_counts_[layer];
+  if (n > 0) {
+    // Same replica summation order as reduce_replica_grads_to_node —
+    // the incremental path is bit-identical to the monolithic one.
+    auto dst = std::span<float>(node_grads_).subspan(lo, n);
+    auto tmp = std::span<float>(scratch_).subspan(lo, n);
+    flatten_layer_grads(replicas_[0]->layer(layer), dst);
+    for (std::size_t g = 1; g < replicas_.size(); ++g) {
+      gpus_[g]->count_p2p(n * sizeof(float));
+      flatten_layer_grads(replicas_[g]->layer(layer), tmp);
+      for (std::size_t i = 0; i < n; ++i) dst[i] += tmp[i];
+    }
+  }
+  grad_ready_hook_(lo, lo + n);
 }
 
 void DataParallelTable::apply_gradients(std::span<const float> grads,

@@ -18,6 +18,9 @@
 // to the timing model.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -66,6 +69,26 @@ class DataParallelTable {
   /// Inference over the node batch on GPU 0's replica.
   tensor::Tensor predict(const tensor::Tensor& input);
 
+  /// Incremental gradient sync: install `hook(lo, hi)` to be notified,
+  /// *during* forward_backward, that node_grads()[lo, hi) now holds the
+  /// final intra-node gradient sum for one layer. Ranges arrive in
+  /// descending layer order (backward order); invocations are strictly
+  /// serialized (happens-before-ordered) but run on GPU worker threads,
+  /// so the hook must not touch the caller's thread state. When a hook
+  /// is installed the monolithic reduce_replica_grads_to_node() becomes
+  /// a no-op — every range has been delivered by the time
+  /// forward_backward returns. Per-element addition order matches the
+  /// monolithic reduction, so node_grads() is bit-identical either way.
+  /// Pass nullptr to restore the monolithic path.
+  void set_grad_ready_hook(
+      std::function<void(std::size_t, std::size_t)> hook);
+
+  /// Flattened-payload element offset of each layer's parameter block
+  /// (valid while a grad-ready hook is installed).
+  std::span<const std::size_t> layer_offsets() const {
+    return layer_offsets_;
+  }
+
   int gpus() const { return static_cast<int>(replicas_.size()); }
   std::int64_t param_count() { return replicas_[0]->param_count(); }
   nn::Sequential& replica(int g) { return *replicas_[static_cast<std::size_t>(g)]; }
@@ -82,6 +105,16 @@ class DataParallelTable {
   TorchThreads threads_;
   std::vector<float> node_grads_;
   std::vector<float> scratch_;
+
+ private:
+  void on_replica_layer_done(std::size_t layer);
+
+  std::function<void(std::size_t, std::size_t)> grad_ready_hook_;
+  std::vector<std::size_t> layer_offsets_;
+  std::vector<std::size_t> layer_counts_;
+  /// Replicas finished with layer i this step; the last one performs
+  /// the cross-replica sum for that layer and re-arms the counter.
+  std::vector<std::atomic<int>> layer_done_;
 };
 
 class BaselineDpt final : public DataParallelTable {

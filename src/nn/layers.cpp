@@ -179,8 +179,9 @@ Tensor Sequential::forward(const Tensor& x, bool train) {
 
 Tensor Sequential::backward(const Tensor& grad_out) {
   Tensor cur = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    cur = (*it)->backward(cur);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    cur = layers_[i]->backward(cur);
+    if (grad_ready_hook_) grad_ready_hook_(i);
   }
   return cur;
 }
@@ -197,6 +198,19 @@ std::int64_t Sequential::param_count() {
   std::int64_t total = 0;
   for (Param* p : params()) total += p->value.numel();
   return total;
+}
+
+std::vector<std::size_t> Sequential::layer_param_counts() {
+  std::vector<std::size_t> counts;
+  counts.reserve(layers_.size());
+  for (auto& layer : layers_) {
+    std::size_t n = 0;
+    for (Param* p : layer->params()) {
+      n += static_cast<std::size_t>(p->value.numel());
+    }
+    counts.push_back(n);
+  }
+  return counts;
 }
 
 void Sequential::flatten_grads(std::span<float> out) {

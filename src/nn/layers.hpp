@@ -2,6 +2,8 @@
 // flatten, and the Sequential container.
 #pragma once
 
+#include <functional>
+
 #include "nn/layer.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
@@ -126,9 +128,23 @@ class Sequential final : public Layer {
   std::vector<Param*> params() override;
 
   std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
 
   /// Total trainable scalars.
   std::int64_t param_count();
+
+  /// Trainable scalars per layer, in declaration order — the packing
+  /// order of flatten_grads(). Parameter-free layers contribute 0.
+  std::vector<std::size_t> layer_param_counts();
+
+  /// Install a hook fired from backward() right after each layer's
+  /// backward completes, with that layer's index into this container.
+  /// Backward runs back-to-front, so indices arrive descending. This is
+  /// how the comm subsystem learns a layer's gradient is final; pass
+  /// nullptr to remove.
+  void set_grad_ready_hook(std::function<void(std::size_t)> hook) {
+    grad_ready_hook_ = std::move(hook);
+  }
 
   /// Pack every parameter gradient, in declaration order, into `out`
   /// (must hold param_count() floats). This is the allreduce payload.
@@ -143,6 +159,7 @@ class Sequential final : public Layer {
 
  private:
   std::vector<LayerPtr> layers_;
+  std::function<void(std::size_t)> grad_ready_hook_;
 };
 
 }  // namespace dct::nn

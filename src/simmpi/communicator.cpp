@@ -78,6 +78,12 @@ Status Communicator::probe(int source, int tag) {
                            src_global);
 }
 
+std::optional<Status> Communicator::try_probe(int source, int tag) {
+  DCT_CHECK(source == kAnySource || (source >= 0 && source < size()));
+  return transport().try_probe(global_rank(rank_), group_->context, source,
+                               tag);
+}
+
 void Communicator::barrier() {
   DCT_TRACE_SPAN("barrier", "simmpi");
   const int tag = next_collective_tag();

@@ -10,6 +10,7 @@
 
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,11 @@ class Communicator {
 
   Status probe(int source = kAnySource, int tag = kAnyTag);
 
+  /// Non-blocking probe (MPI_Iprobe): the first visible match's status,
+  /// or nothing. Never waits and never throws Timeout/RankFailed; only
+  /// Aborted propagates.
+  std::optional<Status> try_probe(int source = kAnySource, int tag = kAnyTag);
+
   // ---- point-to-point, typed ----------------------------------------
 
   template <typename T>
@@ -96,17 +102,26 @@ class Communicator {
 
   // ---- nonblocking ---------------------------------------------------
 
+  /// isend is *eager-buffered*: the payload is copied into the
+  /// destination mailbox before this returns, so the Request is born
+  /// completed and the caller's buffer is immediately reusable. Unlike
+  /// real MPI, completion never implies the receiver matched the
+  /// message — only that the send buffer is free.
   template <typename T>
   Request isend(std::span<const T> data, int dest, int tag = 0) {
     send(data, dest, tag);  // buffered: completes eagerly
     return Request::completed(Status{rank_, tag, data.size_bytes()});
   }
 
+  /// Deferred receive: wait() performs the blocking receive; test()
+  /// polls try_probe() and completes only once a match is queued, so it
+  /// never blocks.
   template <typename T>
   Request irecv(std::span<T> data, int source = kAnySource,
                 int tag = kAnyTag) {
     return Request::deferred(
-        [this, data, source, tag] { return recv(data, source, tag); });
+        [this, data, source, tag] { return recv(data, source, tag); },
+        [this, source, tag] { return try_probe(source, tag).has_value(); });
   }
 
   // ---- collectives ----------------------------------------------------

@@ -1,0 +1,94 @@
+#include "simmpi/progress.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "simmpi/fault.hpp"
+#include "util/error.hpp"
+
+namespace dct::simmpi {
+
+ProgressEngine::ProgressEngine(Communicator& comm) : comm_(comm.dup()) {
+  const int global = comm_.global_rank(comm_.rank());
+  worker_ = std::thread([this, global] {
+    // The worker acts on behalf of its rank: tag the thread so trace
+    // events attribute to it and so the transport's fault hook charges
+    // sends to the right global rank.
+    obs::Tracer::set_thread_rank(global);
+    set_this_thread_rank(global);
+    worker_main();
+  });
+}
+
+ProgressEngine::~ProgressEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+Request ProgressEngine::submit(Op op) {
+  DCT_CHECK_MSG(op != nullptr, "submit of empty op");
+  auto state = std::make_shared<Request::AsyncState>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DCT_CHECK_MSG(!stop_, "submit on a stopping ProgressEngine");
+    if (broken_ != nullptr) {
+      state->fail(broken_);
+      return Request::async(std::move(state));
+    }
+    queue_.push_back(Job{std::move(op), state});
+    ++in_flight_;
+  }
+  cv_.notify_one();
+  return Request::async(std::move(state));
+}
+
+Request ProgressEngine::iallreduce_sum(std::span<float> data) {
+  return submit([data](Communicator& comm) {
+    comm.allreduce_inplace(data, [](float a, float b) { return a + b; });
+    return Status{comm.rank(), 0, data.size_bytes()};
+  });
+}
+
+std::size_t ProgressEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+void ProgressEngine::worker_main() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (broken_ != nullptr) {
+        job.state->fail(broken_);
+        --in_flight_;
+        continue;
+      }
+    }
+    Status st{};
+    std::exception_ptr err;
+    try {
+      st = job.op(comm_);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (err != nullptr) {
+      broken_ = err;
+      job.state->fail(err);
+    } else {
+      job.state->finish(st);
+    }
+    --in_flight_;
+  }
+}
+
+}  // namespace dct::simmpi

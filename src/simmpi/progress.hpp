@@ -1,0 +1,94 @@
+// Background communication progress engine.
+//
+// simmpi collectives are synchronous: they run on the calling thread and
+// return only when done. True compute/communication overlap needs a
+// *progress thread* — real MPI implementations hide one inside the
+// library; here it is explicit. Each rank constructs one ProgressEngine
+// (collectively: the constructor dup()s the communicator, so background
+// traffic can never match tags with foreground traffic on the parent
+// communicator), then submits operations that the engine's worker thread
+// executes in FIFO order against the private communicator.
+//
+// Ordering contract: collective ops must be submitted in the same order
+// on every rank, exactly as if they were called directly — the usual MPI
+// rule. FIFO execution then keeps the engine communicators' internal
+// collective tags in agreement. (Communicator is not thread-safe; the
+// dup()'ed handle is touched by the worker thread only.)
+//
+// Failure model: an exception thrown by an op (RankFailed, Timeout,
+// Aborted) is captured into the op's Request and rethrown from wait()/
+// test() on the submitting thread, so fault handling stays in rank_main
+// where the Runtime expects it. Once an op has failed, the engine is
+// broken — a collective that died mid-flight leaves the communicator in
+// an undefined state — and every queued or later-submitted op fails with
+// the same error.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+
+#include "simmpi/communicator.hpp"
+#include "simmpi/request.hpp"
+#include "simmpi/types.hpp"
+
+namespace dct::simmpi {
+
+class ProgressEngine {
+ public:
+  /// An operation run on the worker thread. Receives the engine's
+  /// private communicator; the returned Status lands in the Request.
+  using Op = std::function<Status(Communicator&)>;
+
+  /// Collective over `comm` (it dup()s). Every rank must construct its
+  /// engine at the same program point.
+  explicit ProgressEngine(Communicator& comm);
+
+  /// Joins the worker after it drains the queue. Pending ops still run
+  /// (or fail, if the engine is broken); callers who need the results
+  /// should wait() their Requests before destruction.
+  ~ProgressEngine();
+
+  ProgressEngine(const ProgressEngine&) = delete;
+  ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  /// Enqueue an op; returns a handle completed by the worker thread.
+  Request submit(Op op);
+
+  /// Nonblocking sum-allreduce over `data` (MPI_Iallreduce). The span
+  /// must stay valid until the Request completes; `data` must not be
+  /// touched by the caller in between.
+  Request iallreduce_sum(std::span<float> data);
+
+  /// Ops submitted but not yet finished (diagnostics).
+  std::size_t pending() const;
+
+  /// Rank within the engine's communicator (== parent comm rank).
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+
+ private:
+  struct Job {
+    Op op;
+    std::shared_ptr<Request::AsyncState> state;
+  };
+
+  void worker_main();
+
+  Communicator comm_;  ///< dup()'ed; worker thread only after start.
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stop_ = false;
+  std::exception_ptr broken_;  ///< first op failure; poisons the rest
+  std::thread worker_;
+};
+
+}  // namespace dct::simmpi

@@ -1,12 +1,30 @@
 // Nonblocking-operation handles.
 //
-// Sends in simmpi are buffered and complete eagerly, so an isend Request
-// is born complete. An irecv Request captures the receive arguments and
-// performs the blocking receive on wait() — legal because no send can
-// block on a matching receive in this transport.
+// A Request is in one of four states:
+//   • empty     — default-constructed; test()/wait() are errors.
+//   • completed — born finished. isend returns these: sends in simmpi
+//     are *eager-buffered* (the payload is copied into the destination
+//     mailbox before isend returns), so an isend Request never has
+//     anything left to wait for. Code written against real MPI must not
+//     assume the reverse — here completion does NOT mean the receiver
+//     has matched the message, only that the buffer is reusable.
+//   • deferred  — completed lazily on the caller's thread. irecv
+//     Requests capture the receive arguments; wait() performs the
+//     blocking receive (legal because no send can block on a matching
+//     receive in this transport), and test() polls a non-blocking
+//     readiness probe and only runs the receive once it cannot block.
+//   • async     — completed by another thread (the simmpi
+//     ProgressEngine's background collectives). wait() blocks on the
+//     shared state; an exception thrown by the async operation is
+//     rethrown here, on the waiting thread.
 #pragma once
 
+#include <condition_variable>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -17,7 +35,35 @@ namespace dct::simmpi {
 
 class Request {
  public:
-  /// An already-complete request (isend).
+  /// Completion record shared between an asynchronous producer (e.g. a
+  /// progress thread) and the Request holder. The producer fills
+  /// `status` or `error` and calls `finish()` exactly once.
+  struct AsyncState {
+    void finish(Status st) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        status = st;
+        done = true;
+      }
+      cv.notify_all();
+    }
+    void fail(std::exception_ptr err) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        error = std::move(err);
+        done = true;
+      }
+      cv.notify_all();
+    }
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Status status{};
+    std::exception_ptr error;
+  };
+
+  /// An already-complete request (isend: sends are eager-buffered).
   static Request completed(Status status) {
     Request r;
     r.status_ = status;
@@ -26,9 +72,20 @@ class Request {
   }
 
   /// A deferred request completed by running `completer` (irecv).
-  static Request deferred(std::function<Status()> completer) {
+  /// Optional `ready` reports — without blocking — whether `completer`
+  /// can finish immediately; test() uses it, wait() does not need it.
+  static Request deferred(std::function<Status()> completer,
+                          std::function<bool()> ready = nullptr) {
     Request r;
     r.completer_ = std::move(completer);
+    r.ready_ = std::move(ready);
+    return r;
+  }
+
+  /// A request another thread completes through `state` (ProgressEngine).
+  static Request async(std::shared_ptr<AsyncState> state) {
+    Request r;
+    r.async_ = std::move(state);
     return r;
   }
 
@@ -38,28 +95,81 @@ class Request {
   Request(const Request&) = delete;
   Request& operator=(const Request&) = delete;
 
-  /// Block until the operation finishes; returns its Status.
-  Status wait() {
-    if (!done_) {
-      DCT_CHECK_MSG(completer_ != nullptr, "wait() on empty Request");
-      status_ = completer_();
-      completer_ = nullptr;
-      done_ = true;
+  /// Non-blocking completion poll (MPI_Test). Returns true once the
+  /// operation has finished; after it returns true, status() is valid
+  /// and wait() returns immediately. For deferred receives this only
+  /// succeeds when a matching message is already queued.
+  bool test() {
+    if (done_) return true;
+    if (async_ != nullptr) {
+      std::unique_lock<std::mutex> lock(async_->mutex);
+      if (!async_->done) return false;
+      finish_from_async(lock);
+      return true;
     }
+    DCT_CHECK_MSG(completer_ != nullptr, "test() on empty Request");
+    if (ready_ != nullptr && !ready_()) return false;
+    complete_deferred();
+    return true;
+  }
+
+  /// Block until the operation finishes; returns its Status. Rethrows
+  /// the operation's exception for failed async requests.
+  Status wait() {
+    if (done_) return status_;
+    if (async_ != nullptr) {
+      std::unique_lock<std::mutex> lock(async_->mutex);
+      async_->cv.wait(lock, [&] { return async_->done; });
+      finish_from_async(lock);
+      return status_;
+    }
+    DCT_CHECK_MSG(completer_ != nullptr, "wait() on empty Request");
+    complete_deferred();
     return status_;
   }
 
   bool done() const { return done_; }
 
+  /// Valid once done() (after completed(), or test() → true, or wait()).
+  Status status() const {
+    DCT_CHECK_MSG(done_, "status() on unfinished Request");
+    return status_;
+  }
+
  private:
+  void complete_deferred() {
+    status_ = completer_();
+    completer_ = nullptr;
+    ready_ = nullptr;
+    done_ = true;
+  }
+
+  /// Pre: lock holds async_->mutex and async_->done is true.
+  void finish_from_async(std::unique_lock<std::mutex>& lock) {
+    const Status st = async_->status;
+    std::exception_ptr err = async_->error;
+    lock.unlock();
+    async_ = nullptr;
+    done_ = true;
+    status_ = st;
+    if (err) std::rethrow_exception(err);
+  }
+
   std::function<Status()> completer_;
+  std::function<bool()> ready_;
+  std::shared_ptr<AsyncState> async_;
   Status status_{};
   bool done_ = false;
 };
 
-/// Wait on every request in the span.
-inline void wait_all(std::vector<Request>& requests) {
+/// Wait on every request in the span (MPI_Waitall). If several failed,
+/// the first failure (in span order) propagates.
+inline void wait_all(std::span<Request> requests) {
   for (auto& r : requests) r.wait();
+}
+
+inline void wait_all(std::vector<Request>& requests) {
+  wait_all(std::span<Request>(requests));
 }
 
 }  // namespace dct::simmpi

@@ -178,6 +178,33 @@ Status Mailbox::probe(std::uint64_t context, int source, int tag,
   }
 }
 
+std::optional<Status> Mailbox::try_probe(std::uint64_t context, int source,
+                                         int tag, const Transport& owner) {
+  if (owner.aborted()) throw Aborted();
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t k = 0; k < queue_.size();) {
+    const RawMessage& m = queue_[k];
+    if (!matches(m, context, source, tag)) {
+      ++k;
+      continue;
+    }
+    if (m.id != 0) {
+      const auto seen =
+          delivered_.find(std::make_tuple(m.context, m.source, m.tag));
+      if (seen != delivered_.end() && seen->second == m.id) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(k));
+        continue;
+      }
+    }
+    // A fault-delayed match is not yet visible; report "nothing" rather
+    // than waiting it out.
+    if (m.deliver_at <= now) return Status{m.source, m.tag, m.data.size()};
+    ++k;
+  }
+  return std::nullopt;
+}
+
 void Mailbox::interrupt() { cv_.notify_all(); }
 
 std::size_t Mailbox::pending() const {
@@ -242,6 +269,14 @@ Status Transport::probe(int self_global, std::uint64_t context, int source,
   DCT_CHECK(self_global >= 0 && self_global < nranks());
   return boxes_[static_cast<std::size_t>(self_global)]->probe(
       context, source, tag, *this, src_global);
+}
+
+std::optional<Status> Transport::try_probe(int self_global,
+                                           std::uint64_t context, int source,
+                                           int tag) {
+  DCT_CHECK(self_global >= 0 && self_global < nranks());
+  return boxes_[static_cast<std::size_t>(self_global)]->try_probe(
+      context, source, tag, *this);
 }
 
 std::uint64_t Transport::new_context() {

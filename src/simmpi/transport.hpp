@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <tuple>
 #include <span>
 #include <stdexcept>
@@ -101,6 +102,11 @@ class Mailbox {
   Status probe(std::uint64_t context, int source, int tag,
                const Transport& owner, int src_global);
 
+  /// Non-blocking probe: (source, tag, size) of the first visible match,
+  /// or nothing. Never waits; throws only Aborted (on runtime abort).
+  std::optional<Status> try_probe(std::uint64_t context, int source, int tag,
+                                  const Transport& owner);
+
   /// Wake all waiters (used on abort and on liveness changes).
   void interrupt();
 
@@ -143,6 +149,11 @@ class Transport {
 
   Status probe(int self_global, std::uint64_t context, int source, int tag,
                int src_global = -1);
+
+  /// Non-blocking probe (MPI_Iprobe): the first visible match's status,
+  /// or nothing. Backs Request::test() for deferred receives.
+  std::optional<Status> try_probe(int self_global, std::uint64_t context,
+                                  int source, int tag);
 
   /// Allocate a fresh communicator context id (thread-safe).
   std::uint64_t new_context();

@@ -42,6 +42,22 @@ DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
   }
   allreduce_ = allreduce::make_algorithm(cfg_.allreduce);
 
+  if (cfg_.comm.enabled()) {
+    // Bucketed / overlapped / compressed gradient reduction. Collective
+    // when overlapping (the GradComm ctor dup()s the communicator for
+    // its progress thread), which is fine: every rank constructs the
+    // trainer at the same program point.
+    const auto segments = table_->replica(0).layer_param_counts();
+    gradcomm_ = std::make_unique<comm::GradComm>(
+        comm_, *allreduce_, cfg_.comm,
+        std::span<const std::size_t>(segments));
+    if (gradcomm_->overlap_enabled()) {
+      table_->set_grad_ready_hook([this](std::size_t lo, std::size_t hi) {
+        gradcomm_->on_range_ready(lo, hi);
+      });
+    }
+  }
+
   if (cfg_.record_blob_path) {
     DCT_CHECK(cfg_.record_index_path.has_value());
     record_file_ = std::make_unique<data::RecordFile>(
@@ -127,6 +143,10 @@ StepMetrics DistributedTrainer::step() {
     metrics.data_seconds = elapsed(start);
   }
 
+  // Arm the gradient-comm step before backward so overlapped bucket
+  // reductions can launch while backward is still running.
+  if (gradcomm_ != nullptr) gradcomm_->begin_step(table_->node_grads());
+
   {
     DCT_TRACE_SPAN("forward_backward", "phase");
     metrics.loss = table_->forward_backward(batch.images, batch.labels);
@@ -134,11 +154,20 @@ StepMetrics DistributedTrainer::step() {
 
   // Inter-node summation (Algorithm 1's MPI_Allreduce), then average
   // over learners so the update uses the global-batch mean gradient.
+  // With overlap enabled most of it already happened under
+  // forward_backward; this span measures only the exposed remainder.
   auto grads = table_->node_grads();
   {
     DCT_TRACE_SPAN("allreduce", "phase");
     const auto start = clock::now();
-    allreduce_->run(comm_, grads);
+    if (gradcomm_ != nullptr) {
+      const auto cs = gradcomm_->finish();
+      metrics.comm_bytes = cs.wire_bytes;
+    } else {
+      allreduce::RankTraffic traffic;
+      allreduce_->run(comm_, grads, &traffic);
+      metrics.comm_bytes = traffic.bytes_sent;
+    }
     metrics.allreduce_seconds = elapsed(start);
   }
 

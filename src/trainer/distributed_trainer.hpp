@@ -17,6 +17,7 @@
 #include <string>
 
 #include "allreduce/algorithm.hpp"
+#include "comm/overlap.hpp"
 #include "data/dimd.hpp"
 #include "dpt/data_parallel_table.hpp"
 #include "nn/lr_schedule.hpp"
@@ -32,6 +33,11 @@ struct TrainerConfig {
   std::int64_t batch_per_gpu = 4;
   std::string allreduce = "multicolor";
   bool optimized_dpt = true;
+
+  /// Gradient communication (src/comm): bucketing, backward/allreduce
+  /// overlap, compression. All-default = the legacy monolithic blocking
+  /// allreduce, bit-identical to pre-comm behavior.
+  comm::CommConfig comm;
 
   data::DatasetDef dataset;
   data::DimdConfig dimd;          ///< dimd.groups etc.
@@ -71,7 +77,9 @@ struct StepMetrics {
   float loss = 0.0f;
   double step_seconds = 0.0;       ///< wall time of the whole iteration
   double data_seconds = 0.0;       ///< batch sampling / loading
-  double allreduce_seconds = 0.0;  ///< wall time of the collective call
+  double allreduce_seconds = 0.0;  ///< wall time the collective *blocked*
+                                   ///< the step (exposed time w/ overlap)
+  std::uint64_t comm_bytes = 0;    ///< gradient bytes this rank sent
 };
 
 struct EpochMetrics {
@@ -125,6 +133,7 @@ class DistributedTrainer {
   TrainerConfig cfg_;
   std::unique_ptr<dpt::DataParallelTable> table_;
   std::unique_ptr<allreduce::Algorithm> allreduce_;
+  std::unique_ptr<comm::GradComm> gradcomm_;  ///< null = legacy path
   std::unique_ptr<data::DimdStore> dimd_;
   std::unique_ptr<data::RecordFile> record_file_;
   std::unique_ptr<storage::DonkeyPool> donkeys_;

@@ -76,16 +76,39 @@ EpochBreakdown estimate_epoch(const EpochModelConfig& cfg) {
     b.data_s = static_cast<double>(node_images) / node_rate;
   }
 
-  // Gradient allreduce on the modelled fabric.
+  // Gradient allreduce on the modelled fabric. The codec scales the
+  // wire payload (identity = 1.0 leaves it untouched).
   netsim::ClusterConfig cluster = cfg.cluster;
   cluster.nodes = cfg.nodes;
-  b.allreduce_s =
-      netsim::allreduce_time_s(cluster, cfg.allreduce, spec.gradient_bytes());
+  const auto wire_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(spec.gradient_bytes()) * cfg.compression_ratio);
+  b.allreduce_s = netsim::allreduce_time_s(cluster, cfg.allreduce, wire_bytes);
+  b.comm_buckets = 1.0;
+  b.exposed_allreduce_s = b.allreduce_s;
 
-  // Data loading overlaps the GPU phase; the allreduce is synchronous
-  // (the paper does not pipeline gradient communication with backward).
+  if (cfg.comm_overlap && cfg.bucket_bytes > 0) {
+    // Bucketed pipeline: reductions stream on the progress thread while
+    // backward fills later buckets. With bucket time c, n buckets, and a
+    // backward window W, the un-hidden tail is total − W, but never less
+    // than one bucket (the front bucket only becomes ready when backward
+    // finishes).
+    const auto nb = std::max<std::uint64_t>(
+        1, (wire_bytes + cfg.bucket_bytes - 1) / cfg.bucket_bytes);
+    const double per_bucket = netsim::allreduce_time_s(
+        cluster, cfg.allreduce, wire_bytes / nb);
+    const double total = per_bucket * static_cast<double>(nb);
+    const double window = cfg.backward_fraction * b.compute_s;
+    b.comm_buckets = static_cast<double>(nb);
+    b.allreduce_s = total;
+    b.exposed_allreduce_s = std::max(per_bucket, total - window);
+  }
+
+  // Data loading overlaps the GPU phase; only the exposed part of the
+  // gradient collective extends the step (all of it when the comm
+  // pipeline is off — the paper itself does not overlap backward with
+  // gradient communication).
   b.step_s = std::max(b.compute_s + b.dpt_overhead_s, b.data_s) +
-             b.allreduce_s;
+             b.exposed_allreduce_s;
   b.epoch_s = b.step_s * b.steps;
   return b;
 }

@@ -29,6 +29,19 @@ struct EpochModelConfig {
   std::string allreduce = "multicolor"; ///< vs "ring"/"openmpi_default"
   bool optimized_dpt = true;            ///< vs the stock Fig.-3 table
 
+  // Gradient-communication pipeline (src/comm). When `comm_overlap` is
+  // set the gradient is split into `bucket_bytes` buckets whose
+  // reductions stream on a progress thread while backward still runs;
+  // only the un-hidden remainder shows up in the step time.
+  bool comm_overlap = false;
+  std::uint64_t bucket_bytes = 4ull << 20;
+  /// Wire bytes / float32 bytes of the gradient codec (1.0 = identity,
+  /// 0.5 = fp16, ~0.25 = int8).
+  double compression_ratio = 1.0;
+  /// Fraction of the GPU step that is backward — the window bucket
+  /// reductions can hide under.
+  double backward_fraction = 0.65;
+
   int donkey_threads = 4;
   netsim::ClusterConfig cluster;
   storage::SimFsConfig fs;
@@ -48,7 +61,11 @@ struct EpochBreakdown {
   double compute_s = 0.0;       ///< per step: GPU fwd+bwd
   double dpt_overhead_s = 0.0;  ///< per step: transfers + serialization
   double data_s = 0.0;          ///< per step: batch availability time
-  double allreduce_s = 0.0;     ///< per step: gradient collective
+  double allreduce_s = 0.0;     ///< per step: gradient collective (total)
+  /// Collective time the step actually waits for: == allreduce_s
+  /// without overlap, the un-hidden tail with comm_overlap.
+  double exposed_allreduce_s = 0.0;
+  double comm_buckets = 0.0;    ///< bucket count of the modeled plan
   double step_s = 0.0;          ///< per step total
   double epoch_s = 0.0;
 };

@@ -1,5 +1,7 @@
 #include "trainer/metrics_log.hpp"
 
+#include "trainer/distributed_trainer.hpp"
+
 namespace dct::trainer {
 
 namespace {
@@ -32,6 +34,18 @@ MetricsLog::MetricsLog(const std::string& path,
 
 MetricsLog::~MetricsLog() {
   os_.flush();
+}
+
+std::vector<std::string> MetricsLog::step_columns() {
+  return {"iteration",         "loss",
+          "step_seconds",      "data_seconds",
+          "allreduce_seconds", "comm_bytes"};
+}
+
+void MetricsLog::append_step(std::uint64_t iteration, const StepMetrics& m) {
+  append({static_cast<double>(iteration), static_cast<double>(m.loss),
+          m.step_seconds, m.data_seconds, m.allreduce_seconds,
+          static_cast<double>(m.comm_bytes)});
 }
 
 void MetricsLog::append(const std::vector<double>& values) {

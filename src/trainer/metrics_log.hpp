@@ -2,6 +2,7 @@
 // plotting (the data behind Figures 13–16 style curves).
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "util/error.hpp"
 
 namespace dct::trainer {
+
+struct StepMetrics;
 
 class MetricsLog {
  public:
@@ -21,6 +24,14 @@ class MetricsLog {
 
   /// Append one row (must match the header arity).
   void append(const std::vector<double>& values);
+
+  /// Canonical per-step training columns. Construct the log with these
+  /// to use append_step.
+  static std::vector<std::string> step_columns();
+
+  /// Append one training step: iteration, loss, the three phase
+  /// timings, and the gradient bytes this rank moved (comm_bytes).
+  void append_step(std::uint64_t iteration, const StepMetrics& m);
 
   std::size_t rows() const { return rows_; }
   void flush() { os_.flush(); }

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "trainer/distributed_trainer.hpp"
 #include "trainer/metrics_log.hpp"
 
 namespace dct::trainer {
@@ -42,6 +43,30 @@ TEST(MetricsLog, QuotesColumnNamesWithDelimiters) {
   std::string row;
   std::getline(is, row);
   EXPECT_EQ(row, "1,2.5,0.31");
+  std::remove(path.c_str());
+}
+
+TEST(MetricsLog, StepColumnsRoundTripStepMetrics) {
+  const std::string path = testing::TempDir() + "dct_metrics_step.csv";
+  {
+    MetricsLog log(path, MetricsLog::step_columns());
+    StepMetrics m;
+    m.loss = 1.5;
+    m.step_seconds = 0.25;
+    m.data_seconds = 0.0625;
+    m.allreduce_seconds = 0.125;
+    m.comm_bytes = 4096;
+    log.append_step(7, m);
+    EXPECT_EQ(log.rows(), 1u);
+  }
+  std::ifstream is(path);
+  std::string header, row;
+  std::getline(is, header);
+  EXPECT_EQ(header,
+            "iteration,loss,step_seconds,data_seconds,allreduce_seconds,"
+            "comm_bytes");
+  std::getline(is, row);
+  EXPECT_EQ(row, "7,1.5,0.25,0.0625,0.125,4096");
   std::remove(path.c_str());
 }
 

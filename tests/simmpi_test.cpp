@@ -122,6 +122,88 @@ TEST(P2P, IrecvCompletesOnWait) {
   });
 }
 
+TEST(P2P, IsendIsEagerAndCompletedAtBirth) {
+  // The mailbox transport buffers eagerly: isend copies the payload and
+  // the request is complete immediately — wait() never blocks and the
+  // buffer is reusable right away.
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      int v = 77;
+      auto req = comm.isend(std::span<const int>(&v, 1), 1, 3);
+      EXPECT_TRUE(req.done());
+      EXPECT_TRUE(req.test());
+      v = -1;  // must not affect the in-flight message
+      req.wait();
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 3), 77);
+    }
+  });
+}
+
+TEST(P2P, IrecvTestPollsWithoutBlocking) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      // Rank 1 signals it has polled at least once before we send.
+      comm.recv_value<int>(1, 0);
+      comm.send_value<int>(66, 1, 5);
+    } else {
+      int v = 0;
+      auto req = comm.irecv(std::span<int>(&v, 1), 0, 5);
+      EXPECT_FALSE(req.test());  // nothing sent yet: polls false, no block
+      comm.send_value<int>(1, 0, 0);
+      while (!req.test()) {
+      }
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(req.status().bytes, sizeof(int));
+      EXPECT_EQ(v, 66);
+      req.wait();  // idempotent after completion
+    }
+  });
+}
+
+TEST(P2P, TryProbeReportsPendingMessage) {
+  Runtime::execute(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<std::int64_t>(5, 1, 11);
+      comm.barrier();
+    } else {
+      EXPECT_FALSE(comm.try_probe(0, 99).has_value());  // wrong tag
+      comm.barrier();  // now the tag-11 message is definitely queued
+      const auto st = comm.try_probe(0, 11);
+      ASSERT_TRUE(st.has_value());
+      EXPECT_EQ(st->source, 0);
+      EXPECT_EQ(st->tag, 11);
+      EXPECT_EQ(st->bytes, sizeof(std::int64_t));
+      // Probing does not consume: the receive still sees the payload.
+      EXPECT_EQ(comm.recv_value<std::int64_t>(0, 11), 5);
+    }
+  });
+}
+
+TEST(P2P, WaitAllDrainsMixedRequests) {
+  Runtime::execute(2, [](Communicator& comm) {
+    constexpr int n = 8;
+    if (comm.rank() == 0) {
+      std::vector<int> out(n);
+      std::vector<Request> reqs;
+      for (int i = 0; i < n; ++i) {
+        out[i] = 1000 + i;
+        reqs.push_back(comm.isend(std::span<const int>(&out[i], 1), 1, i));
+      }
+      wait_all(reqs);
+      for (auto& r : reqs) EXPECT_TRUE(r.done());
+    } else {
+      std::vector<int> in(n, -1);
+      std::vector<Request> reqs;
+      for (int i = 0; i < n; ++i) {
+        reqs.push_back(comm.irecv(std::span<int>(&in[i], 1), 0, i));
+      }
+      wait_all(std::span<Request>(reqs));
+      for (int i = 0; i < n; ++i) EXPECT_EQ(in[i], 1000 + i);
+    }
+  });
+}
+
 class CollectiveP : public ::testing::TestWithParam<int> {};
 
 TEST_P(CollectiveP, Barrier) {

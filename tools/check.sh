@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
-# with -DDCTRAIN_SANITIZE=thread (override: DCTRAIN_SANITIZE=address)
-# and runs the `fault` and `simmpi` ctest labels under it. The simmpi
-# rank threads plus the fault-injection hooks are exactly the code a
-# data race would hide in, so this is the check to run after touching
-# src/simmpi or the recovery path.
+# under TSan and runs the `fault`, `simmpi`, and `comm` ctest labels,
+# then repeats the `comm` label under ASan. The simmpi rank threads,
+# the fault-injection hooks, and the comm progress engine (background
+# reductions racing backward) are exactly the code a data race would
+# hide in; the comm codecs' byte-level encode/decode is where an
+# out-of-bounds write would hide, hence the address leg.
 #
-# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+# Usage: tools/check.sh [tsan-build-dir] [asan-build-dir]
+#        (defaults: build-tsan build-asan)
+# DCTRAIN_SANITIZE overrides the first leg's sanitizer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZER="${DCTRAIN_SANITIZE:-thread}"
 BUILD_DIR="${1:-build-tsan}"
+ASAN_BUILD_DIR="${2:-build-asan}"
 
 echo "== configuring ${BUILD_DIR} with DCTRAIN_SANITIZE=${SANITIZER}"
 cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
@@ -20,9 +24,20 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
-  fault_test simmpi_test simmpi_stress_test
+  fault_test simmpi_test simmpi_stress_test comm_test
 
-echo "== running ctest -L 'fault|simmpi' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi" --output-on-failure -j 4
+echo "== running ctest -L 'fault|simmpi|comm' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm" \
+  --output-on-failure -j 4
 
-echo "== sanitizer check passed (${SANITIZER})"
+echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"
+cmake -B "${ASAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building address-sanitized comm tests"
+cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test
+
+echo "== running ctest -L comm under address sanitizer"
+ctest --test-dir "${ASAN_BUILD_DIR}" -L comm --output-on-failure -j 4
+
+echo "== sanitizer checks passed (${SANITIZER} + address)"

@@ -3,6 +3,8 @@
 //   dctrain train     [--ranks N] [--gpus M] [--batch B] [--epochs E]
 //                     [--iters I] [--allreduce NAME] [--shuffle-every S]
 //                     [--classes C] [--images D] [--baseline-dpt]
+//                     [--bucket-mb MB] [--compress none|fp16|int8-ef]
+//                     [--no-overlap] [--metrics-csv PATH]
 //                     [--trace PATH]
 //                     [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //                     [--inject SPEC[;SPEC…]] [--deadline-ms MS]
@@ -10,7 +12,7 @@
 //                     delay/duplicate/straggle with prob=P, ms=D
 //   dctrain chaos     [--ranks N] [--iters I] [--seed S] [--rollbacks R]
 //                     [--checkpoint-dir D] [--checkpoint-every N]
-//                     [--deadline-ms MS] [--drop-prob P]
+//                     [--deadline-ms MS] [--drop-prob P] [--no-overlap]
 //   dctrain trace-report --trace PATH [--top N]
 //   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
 //                     [--batch B] [--baseline]
@@ -48,6 +50,14 @@ int cmd_train(const ArgParser& args) {
   cfg.dataset.image = data::ImageDef{3, 16, 16};
   cfg.dataset.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
   cfg.base_lr = args.get_double("lr", 0.05);
+  // Gradient-comm pipeline: bucketed overlap on by default; --bucket-mb 0
+  // restores the monolithic blocking allreduce.
+  const double bucket_mb = args.get_double("bucket-mb", 4.0);
+  cfg.comm.bucket_bytes =
+      static_cast<std::size_t>(bucket_mb * 1024.0 * 1024.0);
+  cfg.comm.codec = args.get("compress", "none");
+  cfg.comm.overlap = cfg.comm.bucket_bytes > 0 && !args.has("no-overlap");
+  const std::string metrics_csv = args.get("metrics-csv", "");
   const int epochs = static_cast<int>(args.get_int("epochs", 5));
   const int iters = static_cast<int>(args.get_int("iters", 10));
   const std::string trace_path = args.get("trace", "");
@@ -62,11 +72,18 @@ int cmd_train(const ArgParser& args) {
   if (!inject.empty()) plan.add_specs(inject);
 
   std::printf("training SmallCNN: %d learners x %d GPUs, batch %lld/GPU, "
-              "%s allreduce, %s DPT\n\n",
+              "%s allreduce, %s DPT\n",
               ranks, cfg.gpus_per_node,
               static_cast<long long>(cfg.batch_per_gpu),
               cfg.allreduce.c_str(),
               cfg.optimized_dpt ? "optimized" : "baseline");
+  if (cfg.comm.enabled()) {
+    std::printf("gradient comm: %.1f MB buckets, %s codec, overlap %s\n\n",
+                bucket_mb, cfg.comm.codec.empty() ? "none" : cfg.comm.codec.c_str(),
+                cfg.comm.overlap ? "on" : "off");
+  } else {
+    std::printf("gradient comm: monolithic blocking allreduce\n\n");
+  }
   if (!cfg.checkpoint_dir.empty()) {
     // Resilient path: checkpoint/rollback driver; survives --inject
     // crashes and resumes interrupted runs with --resume.
@@ -100,12 +117,32 @@ int cmd_train(const ArgParser& args) {
     rt.run([&](simmpi::Communicator& comm) {
       trainer::DistributedTrainer trainer(comm, cfg);
       if (args.has("resume")) trainer.resume();
+      // Per-step CSV (rank 0): iteration, loss, timings, comm bytes.
+      std::unique_ptr<trainer::MetricsLog> mlog;
+      if (comm.rank() == 0 && !metrics_csv.empty()) {
+        mlog = std::make_unique<trainer::MetricsLog>(
+            metrics_csv, trainer::MetricsLog::step_columns());
+      }
       for (int e = 1; e <= epochs; ++e) {
+        if (mlog != nullptr) {
+          double mean_loss = 0.0;
+          for (int i = 0; i < iters; ++i) {
+            const auto m = trainer.step();
+            mean_loss += m.loss;
+            mlog->append_step(trainer.iteration(), m);
+          }
+          std::printf("epoch %2d  loss %.4f\n", e, mean_loss / iters);
+          continue;
+        }
         const auto m = trainer.train_epoch(iters);
         if (comm.rank() == 0) {
           std::printf("epoch %2d  loss %.4f  train-acc %5.1f %%\n", e,
                       m.mean_loss, 100.0 * m.train_accuracy);
         }
+      }
+      if (mlog != nullptr) {
+        std::printf("\nwrote %zu step rows to %s\n", mlog->rows(),
+                    metrics_csv.c_str());
       }
       if (comm.rank() == 0) {
         std::printf("\nheld-out top-1: %.1f %%\n",
@@ -149,6 +186,10 @@ int cmd_chaos(const ArgParser& args) {
   rcfg.max_rollbacks = static_cast<int>(args.get_int("rollbacks", 12));
   rcfg.recv_deadline =
       std::chrono::milliseconds(args.get_int("deadline-ms", 3000));
+  // Run the bucketed-overlap comm path under fault injection so the
+  // progress thread sees crashes, drops, and stragglers too.
+  rcfg.trainer.comm.bucket_bytes = 256 * 1024;
+  rcfg.trainer.comm.overlap = !args.has("no-overlap");
 
   Rng rng(seed * 0xC0FFEE + 1);
   simmpi::FaultPlan plan(seed);
@@ -218,6 +259,12 @@ int cmd_plan(const ArgParser& args) {
   cfg.batch_per_gpu = args.get_int("batch", 64);
   cfg = args.has("baseline") ? trainer::with_open_source_baseline(cfg)
                              : trainer::with_all_optimizations(cfg);
+  // Modeled gradient-comm pipeline (src/comm): --overlap hides bucket
+  // reductions under backward; --compression-ratio scales wire bytes.
+  cfg.comm_overlap = args.has("overlap");
+  cfg.bucket_bytes = static_cast<std::uint64_t>(
+      args.get_double("bucket-mb", 4.0) * 1024.0 * 1024.0);
+  cfg.compression_ratio = args.get_double("compression-ratio", 1.0);
   const auto b = trainer::estimate_epoch(cfg);
   std::printf("%s on %d nodes (batch %lld/GPU, %s config):\n", cfg.model.c_str(),
               cfg.nodes, static_cast<long long>(cfg.batch_per_gpu),
@@ -230,7 +277,12 @@ int cmd_plan(const ArgParser& args) {
               format_seconds(b.compute_s).c_str(),
               format_seconds(b.dpt_overhead_s).c_str(),
               format_seconds(b.data_s).c_str(),
-              format_seconds(b.allreduce_s).c_str());
+              format_seconds(b.exposed_allreduce_s).c_str());
+  if (cfg.comm_overlap) {
+    std::printf("  overlap    %.0f bucket(s): %s total allreduce, %s exposed\n",
+                b.comm_buckets, format_seconds(b.allreduce_s).c_str(),
+                format_seconds(b.exposed_allreduce_s).c_str());
+  }
   std::printf("  90 epochs  %s\n", format_seconds(90.0 * b.epoch_s).c_str());
   return 0;
 }
