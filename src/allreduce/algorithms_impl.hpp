@@ -4,8 +4,12 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
 
 #include "allreduce/algorithm.hpp"
+#include "allreduce/color_tree.hpp"
 
 namespace dct::allreduce {
 
@@ -115,9 +119,21 @@ class MultiColorAllreduce final : public Algorithm {
   int colors() const { return colors_; }
   std::size_t pipeline_elems() const { return pipeline_elems_; }
 
+  /// World sizes with cached tree sets (diagnostics / tests).
+  std::vector<int> cached_world_sizes() const;
+
  private:
+  const std::vector<ColorTree>& trees_for(int p) const;
+
   int colors_;
   std::size_t pipeline_elems_;
+  /// Tree sets are a pure function of (p, colors), so they are built
+  /// once per world size and reused — and rebuilt on demand when an
+  /// elastic shrink changes comm.size() mid-run. Mutex-guarded because
+  /// one Algorithm instance is shared across rank threads (CLI,
+  /// GradComm overlap).
+  mutable std::mutex tree_mutex_;
+  mutable std::map<int, std::vector<ColorTree>> tree_cache_;
 };
 
 }  // namespace dct::allreduce

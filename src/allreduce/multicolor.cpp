@@ -13,6 +13,30 @@ std::string MultiColorAllreduce::name() const {
   return "multicolor" + std::to_string(colors_);
 }
 
+// Tree sets are deterministic in (p, colors); cache per world size so a
+// training run builds them once, yet an elastic shrink that changes
+// comm.size() transparently gets a fresh set for the survivor count.
+// Thread-safe: CLI drivers and GradComm share one instance across ranks.
+const std::vector<ColorTree>& MultiColorAllreduce::trees_for(int p) const {
+  std::lock_guard<std::mutex> lock(tree_mutex_);
+  auto it = tree_cache_.find(p);
+  if (it == tree_cache_.end()) {
+    const int k = std::clamp(colors_, 1, p);
+    std::vector<ColorTree> trees;
+    trees.reserve(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) trees.emplace_back(p, k, c);
+    it = tree_cache_.emplace(p, std::move(trees)).first;
+  }
+  return it->second;
+}
+
+std::vector<int> MultiColorAllreduce::cached_world_sizes() const {
+  std::lock_guard<std::mutex> lock(tree_mutex_);
+  std::vector<int> out;
+  for (const auto& [p, trees] : tree_cache_) out.push_back(p);
+  return out;
+}
+
 // Paper §4.2: the payload is split into k color chunks. Chunk c is
 // reduced up the color-c spanning tree (leaves send their contribution;
 // interior nodes sum children then forward; the root holds the total)
@@ -39,9 +63,7 @@ void MultiColorAllreduce::run(simmpi::Communicator& comm,
   }
 
   const int k = std::clamp(colors_, 1, p);
-  std::vector<ColorTree> trees;
-  trees.reserve(static_cast<std::size_t>(k));
-  for (int c = 0; c < k; ++c) trees.emplace_back(p, k, c);
+  const std::vector<ColorTree>& trees = trees_for(p);
 
   // Color chunk boundaries: near-equal split of [0, n).
   auto color_lo = [&](int c) {

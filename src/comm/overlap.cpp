@@ -117,7 +117,25 @@ CommStats GradComm::finish() {
                     "bucket " << b << " never filled — missing ready hook?");
     }
   }
-  simmpi::wait_all(requests_);
+  try {
+    simmpi::wait_all(requests_);
+  } catch (...) {
+    // A fault inside an overlapped bucket reduce (RankFailed/Timeout
+    // captured by the ProgressEngine) surfaces here. Drain the rest of
+    // the in-flight requests — they are poisoned with the same error —
+    // and leave the GradComm reusable, so the *original* fault
+    // propagates to the step loop as a recoverable fault instead of a
+    // later "previous step not finished" assertion.
+    for (auto& r : requests_) {
+      try {
+        r.wait();
+      } catch (...) {
+        // Subsequent failures repeat the first; the primary is rethrown.
+      }
+    }
+    requests_.clear();
+    throw;
+  }
   requests_.clear();
   CommStats out;
   {

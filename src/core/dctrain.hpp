@@ -54,6 +54,7 @@
 #include "trainer/async_trainer.hpp"
 #include "trainer/checkpoint_io.hpp"
 #include "trainer/distributed_trainer.hpp"
+#include "trainer/elastic.hpp"
 #include "trainer/epoch_model.hpp"
 #include "trainer/metrics_log.hpp"
 #include "trainer/resilient.hpp"

@@ -1,5 +1,6 @@
 #include "data/dimd.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "data/codec.hpp"
@@ -47,6 +48,7 @@ std::size_t deserialize(const std::uint8_t* src, std::size_t avail,
 
 DimdStore::DimdStore(simmpi::Communicator& comm, DimdConfig cfg) : cfg_(cfg) {
   DCT_CHECK_MSG(cfg_.groups >= 1, "need at least one group");
+  DCT_CHECK_MSG(cfg_.replication >= 1, "replication must be at least 1");
   DCT_CHECK_MSG(comm.size() % cfg_.groups == 0,
                 "groups " << cfg_.groups << " must divide communicator size "
                           << comm.size());
@@ -54,35 +56,159 @@ DimdStore::DimdStore(simmpi::Communicator& comm, DimdConfig cfg) : cfg_(cfg) {
   group_id_ = comm.rank() / per_group;
   group_comm_ = comm.split(group_id_, comm.rank());
   DCT_CHECK(group_comm_.size() == per_group);
+  shard_count_ = per_group;
+  origin_rank_ = group_comm_.rank();
+  owned_shards_ = {origin_rank_};
+}
+
+DimdStore::DimdStore(simmpi::Communicator& comm, DimdSalvage salvage,
+                     std::span<const int> newly_dead_origin_ranks)
+    : cfg_(salvage.cfg) {
+  DCT_CHECK_MSG(cfg_.groups == 1,
+                "repartition requires single-group DIMD (got "
+                    << cfg_.groups << " groups)");
+  group_id_ = 0;
+  group_comm_ = comm.split(0, comm.rank());
+  shard_count_ = salvage.shard_count;
+  origin_rank_ = salvage.origin_rank;
+  pristine_ = std::move(salvage.pristine);
+  dead_origin_ranks_ = std::move(salvage.dead_origin_ranks);
+  dead_origin_ranks_.insert(dead_origin_ranks_.end(),
+                            newly_dead_origin_ranks.begin(),
+                            newly_dead_origin_ranks.end());
+  std::sort(dead_origin_ranks_.begin(), dead_origin_ranks_.end());
+  dead_origin_ranks_.erase(
+      std::unique(dead_origin_ranks_.begin(), dead_origin_ranks_.end()),
+      dead_origin_ranks_.end());
+  const int r = replication();
+  DCT_CHECK_MSG(recoverable(shard_count_, r, dead_origin_ranks_),
+                "repartition of an unrecoverable dead set — caller must "
+                "check recoverable() and roll back instead");
+  const auto is_dead = [&](int rank) {
+    return std::binary_search(dead_origin_ranks_.begin(),
+                              dead_origin_ranks_.end(), rank);
+  };
+  // Deterministic new ownership: shard s goes to its first live holder
+  // in replica order s, s-1, … — every survivor computes the same
+  // assignment locally. A survivor resets its records to the pristine
+  // shards it now owns; the group's record multiset is exactly the
+  // original dataset again.
+  items_.clear();
+  owned_shards_.clear();
+  for (int s = 0; s < shard_count_; ++s) {
+    int owner = -1;
+    for (int h : shard_holders(s, shard_count_, r)) {
+      if (!is_dead(h)) {
+        owner = h;
+        break;
+      }
+    }
+    DCT_CHECK(owner >= 0);
+    if (owner == origin_rank_) {
+      owned_shards_.push_back(s);
+      const auto& src = pristine_.at(s);
+      items_.insert(items_.end(), src.begin(), src.end());
+    }
+  }
+}
+
+std::vector<int> DimdStore::shard_holders(int shard, int shard_count,
+                                          int replication) {
+  DCT_CHECK(shard >= 0 && shard < shard_count);
+  std::vector<int> out;
+  const int r = std::min(replication, shard_count);
+  out.reserve(static_cast<std::size_t>(r));
+  for (int k = 0; k < r; ++k) {
+    out.push_back((shard - k + shard_count) % shard_count);
+  }
+  return out;
+}
+
+bool DimdStore::recoverable(int shard_count, int replication,
+                            std::span<const int> dead_origin_ranks) {
+  std::vector<bool> dead(static_cast<std::size_t>(shard_count), false);
+  for (int d : dead_origin_ranks) {
+    if (d >= 0 && d < shard_count) dead[static_cast<std::size_t>(d)] = true;
+  }
+  for (int s = 0; s < shard_count; ++s) {
+    bool alive = false;
+    for (int h : shard_holders(s, shard_count, replication)) {
+      if (!dead[static_cast<std::size_t>(h)]) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) return false;
+  }
+  return true;
+}
+
+DimdSalvage DimdStore::take_salvage() {
+  DimdSalvage out;
+  out.cfg = cfg_;
+  out.shard_count = shard_count_;
+  out.origin_rank = origin_rank_;
+  out.pristine = std::move(pristine_);
+  out.dead_origin_ranks = dead_origin_ranks_;
+  items_.clear();
+  return out;
+}
+
+int DimdStore::replication() const {
+  return std::min(cfg_.replication, shard_count_);
+}
+
+void DimdStore::store_pristine_copies(
+    const std::function<std::vector<DimdItem>(int)>& load_shard) {
+  pristine_.clear();
+  if (replication() <= 1) return;
+  // Rank g holds shards {g, …, g+r-1 mod S}. In a real cluster the
+  // replicas would arrive over the network at load time; the simulation
+  // reads them straight from the (globally visible) source, which moves
+  // the same bytes without the wire model.
+  for (int k = 0; k < replication(); ++k) {
+    const int s = (origin_rank_ + k) % shard_count_;
+    pristine_[s] = load_shard(s);
+  }
 }
 
 void DimdStore::load_partition(const SyntheticImageGenerator& gen) {
   const std::int64_t total = gen.def().images;
-  const std::int64_t s = group_size();
-  const std::int64_t lo = total * group_rank() / s;
-  const std::int64_t hi = total * (group_rank() + 1) / s;
-  items_.clear();
-  items_.reserve(static_cast<std::size_t>(hi - lo));
-  for (std::int64_t i = lo; i < hi; ++i) {
-    const RawImage img = gen.generate(i);
-    items_.push_back(DimdItem{codec_encode(img.pixels), img.label});
-  }
+  const std::int64_t s = shard_count_;
+  const auto load_shard = [&](int shard) {
+    const std::int64_t lo = total * shard / s;
+    const std::int64_t hi = total * (shard + 1) / s;
+    std::vector<DimdItem> out;
+    out.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const RawImage img = gen.generate(i);
+      out.push_back(DimdItem{codec_encode(img.pixels), img.label});
+    }
+    return out;
+  };
+  items_ = load_shard(origin_rank_);
+  store_pristine_copies(load_shard);
 }
 
 void DimdStore::load_partition(RecordFile& file) {
   const auto total = static_cast<std::int64_t>(file.size());
-  const std::int64_t s = group_size();
-  const std::int64_t lo = total * group_rank() / s;
-  const std::int64_t hi = total * (group_rank() + 1) / s;
-  auto blobs = file.read_range(static_cast<std::uint64_t>(lo),
-                               static_cast<std::uint64_t>(hi - lo));
-  items_.clear();
-  items_.reserve(blobs.size());
-  for (std::int64_t i = lo; i < hi; ++i) {
-    items_.push_back(
-        DimdItem{std::move(blobs[static_cast<std::size_t>(i - lo)]),
-                 file.entry(static_cast<std::uint64_t>(i)).label});
-  }
+  const std::int64_t s = shard_count_;
+  const auto load_shard = [&](int shard) {
+    const std::int64_t lo = total * shard / s;
+    const std::int64_t hi = total * (shard + 1) / s;
+    auto blobs = file.read_range(static_cast<std::uint64_t>(lo),
+                                 static_cast<std::uint64_t>(hi - lo));
+    std::vector<DimdItem> out;
+    out.reserve(blobs.size());
+    for (std::int64_t i = lo; i < hi; ++i) {
+      out.push_back(
+          DimdItem{std::move(blobs[static_cast<std::size_t>(i - lo)]),
+                   file.entry(static_cast<std::uint64_t>(i)).label});
+    }
+    return out;
+  };
+  items_ = load_shard(origin_rank_);
+  store_pristine_copies(load_shard);
 }
 
 std::uint64_t DimdStore::local_bytes() const {

@@ -16,6 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "data/record_file.hpp"
@@ -38,6 +41,23 @@ struct DimdConfig {
   /// Segment bound for the shuffle exchange (Algorithm 2's m-way
   /// segmentation standing in for MPI's 32-bit count limit).
   std::uint64_t max_segment_bytes = 4ULL << 20;
+  /// Copies of each partition shard held within the group (DESIGN.md
+  /// §11). Rank g keeps pristine compressed copies of shards
+  /// {g, …, g+r-1 mod S}, so a dead rank's shard survives on up to r-1
+  /// other group members and the group can repartition instead of
+  /// rolling back. 1 = no replication (no extra memory, rollback only).
+  int replication = 1;
+};
+
+/// State carried across a shrink: the pristine replica shards plus the
+/// bookkeeping needed to recompute shard ownership in *original* group
+/// rank space (stable across repeated shrinks).
+struct DimdSalvage {
+  DimdConfig cfg;
+  int shard_count = 0;  ///< original group size S
+  int origin_rank = 0;  ///< this rank's original group rank
+  std::map<int, std::vector<DimdItem>> pristine;  ///< shard -> records
+  std::vector<int> dead_origin_ranks;  ///< cumulative dead, original ranks
 };
 
 class DimdStore {
@@ -45,6 +65,43 @@ class DimdStore {
   /// Collective over `comm`: splits it into `cfg.groups` contiguous
   /// groups and keeps the group communicator.
   DimdStore(simmpi::Communicator& comm, DimdConfig cfg);
+
+  /// Repartition after a shrink (DESIGN.md §11): rebuild over the
+  /// shrunken communicator from salvaged pristine replicas, with every
+  /// shard re-owned by its first live holder. Purely local — no
+  /// communication beyond the internal comm split — because each
+  /// survivor already holds pristine copies of the shards it may
+  /// inherit. Every survivor's record set is reset to its owned
+  /// pristine shards (shuffled placement is dropped), so the group's
+  /// record *multiset* — and group_checksum() — is exactly the original
+  /// dataset. Requires cfg.groups == 1 and a recoverable dead set
+  /// (check with recoverable() first; this ctor asserts).
+  DimdStore(simmpi::Communicator& comm, DimdSalvage salvage,
+            std::span<const int> newly_dead_origin_ranks);
+
+  /// Original group ranks holding a pristine copy of `shard`:
+  /// {shard, shard-1, …, shard-replication+1} mod shard_count.
+  static std::vector<int> shard_holders(int shard, int shard_count,
+                                        int replication);
+
+  /// True when every shard retains at least one live holder — the
+  /// feasibility predicate for repartition vs. rollback.
+  static bool recoverable(int shard_count, int replication,
+                          std::span<const int> dead_origin_ranks);
+
+  /// Move the replica state out for a post-shrink rebuild; this store
+  /// is unusable afterwards.
+  DimdSalvage take_salvage();
+
+  int shard_count() const { return shard_count_; }
+  /// Effective replication factor (config clamped to the group size).
+  int replication() const;
+  /// Shards whose records this rank currently owns (ascending).
+  const std::vector<int>& owned_shards() const { return owned_shards_; }
+  /// Cumulative dead original group ranks across repartitions.
+  const std::vector<int>& dead_origin_ranks() const {
+    return dead_origin_ranks_;
+  }
 
   int group_id() const { return group_id_; }
   int group_rank() const { return group_comm_.rank(); }
@@ -90,9 +147,17 @@ class DimdStore {
   std::uint64_t group_count();
 
  private:
+  void store_pristine_copies(
+      const std::function<std::vector<DimdItem>(int)>& load_shard);
+
   simmpi::Communicator group_comm_;
   DimdConfig cfg_;
   int group_id_ = 0;
+  int shard_count_ = 0;   ///< original group size S
+  int origin_rank_ = 0;   ///< this rank's original group rank
+  std::vector<int> owned_shards_;
+  std::vector<int> dead_origin_ranks_;
+  std::map<int, std::vector<DimdItem>> pristine_;  ///< replicas (r ≥ 2)
   std::vector<DimdItem> items_;
   std::uint64_t last_segments_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
+#include <thread>
 
 #include "obs/counters.hpp"
 
@@ -184,6 +186,120 @@ Communicator Communicator::dup() {
   auto group = std::make_shared<detail::Group>(*group_);
   group->context = ctx;
   return Communicator(std::move(group), rank_);
+}
+
+ShrinkResult Communicator::shrink(std::chrono::milliseconds join_deadline) {
+  DCT_TRACE_SPAN("shrink", "recovery");
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + join_deadline;
+  Transport& tr = transport();
+  const int p = size();
+  // Commit payload layout: [0] new context, [1] survivor count n,
+  // [2 .. 2+n) survivor old ranks ascending. u64 throughout so one
+  // typed message carries it.
+  std::vector<std::uint64_t> commit;
+
+  if (rank_ == 0) {
+    // Coordinator: wait until every other old member has either sent
+    // JOIN (on this — the old — context) or shows up dead in the
+    // liveness table. A wedged-but-alive rank means no agreement:
+    // Timeout, and the caller falls back to rollback.
+    std::vector<bool> joined(static_cast<std::size_t>(p), false);
+    joined[0] = true;
+    for (;;) {
+      while (auto st = try_probe(kAnySource, kShrinkJoinTag)) {
+        std::int32_t old_rank = -1;
+        recv(std::span<std::int32_t>(&old_rank, 1), st->source,
+             kShrinkJoinTag);
+        DCT_CHECK(old_rank == st->source);
+        joined[static_cast<std::size_t>(st->source)] = true;
+      }
+      bool all_accounted = true;
+      for (int r = 1; r < p; ++r) {
+        if (!joined[static_cast<std::size_t>(r)] &&
+            !tr.rank_dead(global_rank(r))) {
+          all_accounted = false;
+          break;
+        }
+      }
+      if (all_accounted) break;
+      if (clock::now() >= deadline) {
+        std::ostringstream os;
+        os << "shrink: agreement did not form within " << join_deadline.count()
+           << " ms (some rank neither joined nor died)";
+        throw Timeout(os.str());
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    // Membership decision: joined AND not dead *now* (a rank can join
+    // and then die before commit; re-checking liveness here keeps it
+    // out). A death after this point leaves a dead member in the new
+    // communicator — the next collective on it detects that and the
+    // caller shrinks again or rolls back.
+    std::vector<std::uint64_t> survivors{0};
+    for (int r = 1; r < p; ++r) {
+      if (joined[static_cast<std::size_t>(r)] && !tr.rank_dead(global_rank(r))) {
+        survivors.push_back(static_cast<std::uint64_t>(r));
+      }
+    }
+    commit.push_back(tr.new_context());
+    commit.push_back(static_cast<std::uint64_t>(survivors.size()));
+    commit.insert(commit.end(), survivors.begin(), survivors.end());
+    for (std::size_t i = 1; i < survivors.size(); ++i) {
+      send(std::span<const std::uint64_t>(commit),
+           static_cast<int>(survivors[i]), kShrinkCommitTag);
+    }
+  } else {
+    const std::int32_t me = rank_;
+    send(std::span<const std::int32_t>(&me, 1), 0, kShrinkJoinTag);
+    // Poll for COMMIT rather than blocking: the transport recv deadline
+    // may be shorter than the agreement deadline, and a blocking recv
+    // naming rank 0 would fail fast the instant rank 0 died — we want
+    // that, but via an explicit liveness check so the error names the
+    // coordinator.
+    for (;;) {
+      if (auto st = try_probe(0, kShrinkCommitTag)) {
+        commit.resize(st->bytes / sizeof(std::uint64_t));
+        recv(std::span<std::uint64_t>(commit), 0, kShrinkCommitTag);
+        break;
+      }
+      if (tr.rank_dead(global_rank(0))) {
+        throw RankFailed(global_rank(0),
+                         "shrink: coordinator (rank 0) is dead");
+      }
+      if (clock::now() >= deadline) {
+        std::ostringstream os;
+        os << "shrink: no commit from coordinator within "
+           << join_deadline.count() << " ms";
+        throw Timeout(os.str());
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  DCT_CHECK(commit.size() >= 2 && commit.size() == 2 + commit[1]);
+  ShrinkResult result;
+  auto group = std::make_shared<detail::Group>();
+  group->transport = &tr;
+  group->context = commit[0];
+  int new_rank = -1;
+  for (std::size_t i = 0; i < commit[1]; ++i) {
+    const int old_rank = static_cast<int>(commit[2 + i]);
+    group->members.push_back(global_rank(old_rank));
+    result.survivor_old_ranks.push_back(old_rank);
+    if (old_rank == rank_) new_rank = static_cast<int>(i);
+  }
+  DCT_CHECK_MSG(new_rank >= 0, "shrink: this rank missing from commit");
+  for (int r = 0; r < p; ++r) {
+    if (!std::binary_search(result.survivor_old_ranks.begin(),
+                            result.survivor_old_ranks.end(), r)) {
+      result.dead_old_ranks.push_back(r);
+      // Claim the loss: Runtime::run reports only unacknowledged deaths.
+      tr.acknowledge_rank_death(global_rank(r));
+    }
+  }
+  result.comm = Communicator(std::move(group), new_rank);
+  return result;
 }
 
 }  // namespace dct::simmpi

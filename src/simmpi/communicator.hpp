@@ -8,6 +8,7 @@
 // on all ranks" rule makes the sequence numbers agree across ranks.
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -29,6 +30,8 @@ struct Group {
   std::vector<int> members;  ///< comm rank -> global rank
 };
 }  // namespace detail
+
+struct ShrinkResult;
 
 class Communicator {
  public:
@@ -371,6 +374,25 @@ class Communicator {
   /// Duplicate with a fresh context id (collective).
   Communicator dup();
 
+  /// Shrink to the survivors after one or more members died (DESIGN.md
+  /// §11). Collective over the *live* members only: every survivor must
+  /// call shrink on this communicator, with no other traffic in flight
+  /// on it (drain or destroy any ProgressEngine first).
+  ///
+  /// Rank 0 coordinates: it collects JOIN messages from the other
+  /// members and consults the transport liveness table until every old
+  /// member has either joined or been marked dead, then commits a dense
+  /// re-ranked membership (survivors ordered by old rank) under a fresh
+  /// context id. Dead members are acknowledged in the transport so
+  /// Runtime::run treats the loss as recovered.
+  ///
+  /// Failure modes: throws Timeout when agreement does not form within
+  /// `join_deadline` (e.g. a rank is wedged rather than dead), and
+  /// RankFailed when rank 0 itself is dead (no coordinator — callers
+  /// must fall back to rollback). If no member is actually dead, the
+  /// result is a full-membership "reform" with a fresh context.
+  ShrinkResult shrink(std::chrono::milliseconds join_deadline);
+
  private:
   int next_collective_tag() {
     return kCollectiveTagBase + static_cast<int>(op_seq_++ & 0x07FFFFFF);
@@ -379,6 +401,15 @@ class Communicator {
   std::shared_ptr<const detail::Group> group_;
   int rank_ = -1;
   std::uint32_t op_seq_ = 0;
+};
+
+/// Outcome of Communicator::shrink(): the dense survivor communicator
+/// plus the membership delta, expressed in *old* comm ranks so callers
+/// can remap rank-indexed state (DIMD partitions, checkpoints).
+struct ShrinkResult {
+  Communicator comm;                    ///< survivors, densely re-ranked
+  std::vector<int> survivor_old_ranks;  ///< ascending; index == new rank
+  std::vector<int> dead_old_ranks;      ///< old ranks declared dead
 };
 
 }  // namespace dct::simmpi

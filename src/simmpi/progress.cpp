@@ -58,6 +58,11 @@ std::size_t ProgressEngine::pending() const {
   return in_flight_;
 }
 
+bool ProgressEngine::broken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return broken_ != nullptr;
+}
+
 void ProgressEngine::worker_main() {
   for (;;) {
     Job job;

@@ -69,6 +69,12 @@ class ProgressEngine {
   /// Ops submitted but not yet finished (diagnostics).
   std::size_t pending() const;
 
+  /// True once any op has failed: the engine refuses further work and
+  /// every queued op fails with the first error. The recovery drivers
+  /// use this to distinguish "engine drained clean" from "engine
+  /// poisoned by a fault" when quiescing before a shrink.
+  bool broken() const;
+
   /// Rank within the engine's communicator (== parent comm rank).
   int rank() const { return comm_.rank(); }
   int size() const { return comm_.size(); }

@@ -70,8 +70,10 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
   // All surviving ranks returned cleanly, but a silently crashed rank
-  // still failed the collective program — surface it.
-  const auto dead = transport_->dead_ranks();
+  // still failed the collective program — surface it, unless a recovery
+  // path (Communicator::shrink) acknowledged the loss and the survivors
+  // finished without it.
+  const auto dead = transport_->unacknowledged_dead_ranks();
   if (!dead.empty()) {
     throw RankFailed(dead.front(),
                      "rank " + std::to_string(dead.front()) +

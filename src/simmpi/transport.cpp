@@ -215,7 +215,8 @@ std::size_t Mailbox::pending() const {
 }  // namespace detail
 
 Transport::Transport(int nranks)
-    : dead_(static_cast<std::size_t>(std::max(nranks, 1))) {
+    : dead_(static_cast<std::size_t>(std::max(nranks, 1))),
+      death_acked_(static_cast<std::size_t>(std::max(nranks, 1))) {
   DCT_CHECK_MSG(nranks > 0, "transport needs at least one rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -306,6 +307,20 @@ std::vector<int> Transport::dead_ranks() const {
   std::vector<int> out;
   for (int r = 0; r < nranks(); ++r) {
     if (rank_dead(r)) out.push_back(r);
+  }
+  return out;
+}
+
+void Transport::acknowledge_rank_death(int global_rank) {
+  DCT_CHECK(global_rank >= 0 && global_rank < nranks());
+  death_acked_[static_cast<std::size_t>(global_rank)].store(
+      true, std::memory_order_release);
+}
+
+std::vector<int> Transport::unacknowledged_dead_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < nranks(); ++r) {
+    if (rank_dead(r) && !rank_death_acknowledged(r)) out.push_back(r);
   }
   return out;
 }

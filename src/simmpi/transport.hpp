@@ -192,6 +192,18 @@ class Transport {
   /// Global ranks currently marked dead (diagnostics / driver).
   std::vector<int> dead_ranks() const;
 
+  /// Record that a recovery path (Communicator::shrink) observed this
+  /// death and reformed the world around it. Runtime::run only reports
+  /// *unacknowledged* deaths as a run failure, so a shrink-recovered
+  /// loss does not fail an otherwise successful run.
+  void acknowledge_rank_death(int global_rank);
+  bool rank_death_acknowledged(int global_rank) const {
+    return death_acked_[static_cast<std::size_t>(global_rank)].load(
+        std::memory_order_acquire);
+  }
+  /// Dead ranks no recovery path has claimed (silent casualties).
+  std::vector<int> unacknowledged_dead_ranks() const;
+
   /// Cumulative bytes pushed through the transport (all ranks).
   std::uint64_t total_bytes_sent() const {
     return bytes_sent_.load(std::memory_order_relaxed);
@@ -209,6 +221,7 @@ class Transport {
   std::atomic<std::uint64_t> next_msg_id_{1};
   std::atomic<std::int64_t> recv_deadline_ms_{0};
   std::vector<std::atomic<bool>> dead_;
+  std::vector<std::atomic<bool>> death_acked_;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_{0};
 };

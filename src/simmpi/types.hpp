@@ -15,6 +15,14 @@ inline constexpr int kAnyTag = -1;
 /// traffic; user point-to-point tags must stay below it.
 inline constexpr int kCollectiveTagBase = 1 << 28;
 
+/// Reserved tags for the shrink agreement protocol (Communicator::
+/// shrink). They sit just below the collective range so they can never
+/// collide with user point-to-point tags (small) or collective tags
+/// (≥ kCollectiveTagBase). kAlgoTag in the allreduce module occupies
+/// kCollectiveTagBase - 1.
+inline constexpr int kShrinkJoinTag = kCollectiveTagBase - 2;
+inline constexpr int kShrinkCommitTag = kCollectiveTagBase - 3;
+
 /// Completion record of a receive.
 struct Status {
   int source = 0;

@@ -4,6 +4,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "util/crc32.hpp"
 #include "util/error.hpp"
@@ -73,12 +79,34 @@ void read_rng_state(CrcReader& r, Rng::State& st) {
   st.has_spare = has != 0;
 }
 
-// Atomic publish: write to "<path>.tmp", flush, rename over `path`.
-// std::rename replaces the destination atomically on POSIX, so readers
-// only ever see the old file or the complete new one.
+// Push file contents (and afterwards the rename) to stable storage; an
+// atomic rename alone orders nothing — a crash can still surface a
+// renamed-but-empty file without these fsyncs.
+void fsync_path(const std::string& path, bool directory) {
+#ifdef __unix__
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_WRONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+// Atomic publish: write to "<path>.tmp", flush+fsync, rename over
+// `path`, fsync the directory. std::rename replaces the destination
+// atomically on POSIX, so readers only ever see the old file or the
+// complete new one — and the fsyncs make that hold across a host crash,
+// not just a process death.
 void commit_tmp(const std::string& tmp, const std::string& path) {
+  fsync_path(tmp, /*directory=*/false);
   DCT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
                 "failed to rename " << tmp << " into place");
+  fsync_path(std::filesystem::path(path).parent_path().string(),
+             /*directory=*/true);
 }
 
 }  // namespace
@@ -174,6 +202,66 @@ std::optional<std::uint64_t> read_manifest(const std::string& dir,
                                  << manifest_ranks << " ranks, cannot resume "
                                  << "with " << nranks);
   return iteration;
+}
+
+std::optional<std::pair<std::uint64_t, int>> read_manifest_any(
+    const std::string& dir) {
+  std::ifstream is(dir + "/MANIFEST");
+  if (!is.good()) return std::nullopt;
+  std::uint64_t iteration = 0;
+  int manifest_ranks = 0;
+  is >> iteration >> manifest_ranks;
+  DCT_CHECK_MSG(!is.fail(), "malformed manifest in " << dir);
+  return std::make_pair(iteration, manifest_ranks);
+}
+
+bool checkpoint_set_valid(const std::string& dir, std::uint64_t iteration,
+                          int nranks) {
+  for (int r = 0; r < nranks; ++r) {
+    try {
+      read_trainer_state(rank_checkpoint_path(dir, iteration, r));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> find_restorable_checkpoint(const std::string& dir,
+                                                        int nranks) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(dir)) return std::nullopt;
+  // Candidate iterations: the manifest's first, then every set present
+  // on disk, newest first. The manifest is only ever published after a
+  // barrier, but rank files can be damaged later (disk truncation) or a
+  // stray set can be newer than the manifest (writer died between the
+  // per-rank renames and the manifest publish) — scanning the directory
+  // covers both.
+  std::vector<std::uint64_t> candidates;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0) continue;
+    const auto dot = name.find(".rank");
+    if (dot == std::string::npos) continue;
+    if (name.find(".tmp") != std::string::npos) continue;
+    try {
+      candidates.push_back(std::stoull(name.substr(5, dot - 5)));
+    } catch (...) {
+      continue;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), std::greater<>());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (const auto manifest = read_manifest_any(dir);
+      manifest.has_value() && manifest->second == nranks &&
+      checkpoint_set_valid(dir, manifest->first, nranks)) {
+    return manifest->first;
+  }
+  for (const auto it : candidates) {
+    if (checkpoint_set_valid(dir, it, nranks)) return it;
+  }
+  return std::nullopt;
 }
 
 }  // namespace dct::trainer

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -54,5 +55,25 @@ void write_manifest(const std::string& dir, std::uint64_t iteration,
 /// different world size than `nranks`.
 std::optional<std::uint64_t> read_manifest(const std::string& dir,
                                            int nranks);
+
+/// Manifest contents without a world-size check: (iteration, nranks).
+/// The elastic driver uses this to size a rollback world from whatever
+/// world the newest checkpoint was taken with (a post-shrink checkpoint
+/// records the shrunken size).
+std::optional<std::pair<std::uint64_t, int>> read_manifest_any(
+    const std::string& dir);
+
+/// True when every rank file of the checkpoint at `iteration` exists
+/// and passes magic/size/CRC validation. Never throws on damage.
+bool checkpoint_set_valid(const std::string& dir, std::uint64_t iteration,
+                          int nranks);
+
+/// Newest checkpoint whose *entire* rank-file set validates, preferring
+/// the manifest's but falling back to older on-disk sets when that one
+/// is damaged (e.g. a rank died mid-write before the atomic rename, or
+/// the files were truncated after the fact). nullopt when nothing on
+/// disk is restorable.
+std::optional<std::uint64_t> find_restorable_checkpoint(const std::string& dir,
+                                                        int nranks);
 
 }  // namespace dct::trainer

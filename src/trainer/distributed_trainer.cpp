@@ -1,5 +1,6 @@
 #include "trainer/distributed_trainer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -17,6 +18,22 @@ namespace {
 obs::Counter& checkpoint_counter() {
   static obs::Counter& c = obs::Metrics::counter("recovery.checkpoints");
   return c;
+}
+
+obs::Counter& shrinks_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.shrinks");
+  return c;
+}
+
+obs::Counter& lost_steps_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.lost_steps");
+  return c;
+}
+
+obs::LatencyHistogram& rebuild_hist() {
+  static obs::LatencyHistogram& h =
+      obs::Metrics::histogram("recovery.rebuild_seconds");
+  return h;
 }
 
 }  // namespace
@@ -80,6 +97,147 @@ DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
                   "global sampling needs every learner to hold the full "
                   "dataset (dimd.groups == communicator size)");
   }
+  origin_ranks_.resize(static_cast<std::size_t>(comm_.size()));
+  for (int r = 0; r < comm_.size(); ++r) {
+    origin_ranks_[static_cast<std::size_t>(r)] = r;
+  }
+}
+
+void DistributedTrainer::quiesce() {
+  if (gradcomm_ == nullptr) return;
+  // Unhook first so a concurrent backward can no longer submit bucket
+  // reductions, then destroy the GradComm — its ProgressEngine drains
+  // the op queue before joining (a queue stuck on a dead peer unblocks
+  // via the transport recv deadline, failing the remaining ops).
+  table_->set_grad_ready_hook(nullptr);
+  gradcomm_.reset();
+}
+
+bool DistributedTrainer::shrink_feasible(
+    const simmpi::ShrinkResult& shrink) const {
+  // The shared-stream sampling mode hard-requires dimd.groups ==
+  // world size, which cannot follow an arbitrary survivor count.
+  if (cfg_.deterministic_global_sampling) return false;
+  if (dimd_ == nullptr) return true;  // donkey mode: no partitioned data
+  if (cfg_.dimd.groups != 1) return false;
+  std::vector<int> dead = dimd_->dead_origin_ranks();
+  for (int r : shrink.dead_old_ranks) {
+    dead.push_back(origin_ranks_[static_cast<std::size_t>(r)]);
+  }
+  return data::DimdStore::recoverable(dimd_->shard_count(),
+                                      dimd_->replication(),
+                                      std::span<const int>(dead));
+}
+
+void DistributedTrainer::shrink_to(const simmpi::ShrinkResult& shrink,
+                                   bool rescale_lr) {
+  DCT_TRACE_SPAN("shrink_rebuild", "recovery",
+                 static_cast<std::int64_t>(shrink.dead_old_ranks.size()));
+  const auto rebuild_start = std::chrono::steady_clock::now();
+  DCT_CHECK_MSG(gradcomm_ == nullptr || !gradcomm_->overlap_enabled(),
+                "quiesce() before shrink_to()");
+  DCT_CHECK_MSG(
+      comm_.size() == static_cast<int>(shrink.survivor_old_ranks.size()),
+      "assign the shrunken communicator into the trainer's comm object "
+      "before calling shrink_to()");
+  const auto old_size = static_cast<int>(origin_ranks_.size());
+  const int new_size = comm_.size();
+
+  // Remap rank-indexed state into the survivor numbering, keeping the
+  // original-world ranks around for DIMD shard ownership.
+  std::vector<int> dead_origins;
+  for (int r : shrink.dead_old_ranks) {
+    dead_origins.push_back(origin_ranks_[static_cast<std::size_t>(r)]);
+  }
+  std::vector<int> new_origins;
+  for (int r : shrink.survivor_old_ranks) {
+    new_origins.push_back(origin_ranks_[static_cast<std::size_t>(r)]);
+  }
+  origin_ranks_ = std::move(new_origins);
+
+  // Repartition the dataset from pristine replicas (placement reset:
+  // the group's record multiset is the full original dataset again).
+  if (dimd_ != nullptr && !dead_origins.empty()) {
+    auto salvage = dimd_->take_salvage();
+    dimd_ = std::make_unique<data::DimdStore>(
+        comm_, std::move(salvage), std::span<const int>(dead_origins));
+  }
+  // Reform (no deaths, fresh context only): the old group communicator
+  // still spans the same live members, so the store is left untouched.
+
+  // Rebuild the gradient pipeline over the survivor communicator.
+  if (cfg_.comm.enabled()) {
+    const auto segments = table_->replica(0).layer_param_counts();
+    gradcomm_ = std::make_unique<comm::GradComm>(
+        comm_, *allreduce_, cfg_.comm,
+        std::span<const std::size_t>(segments));
+    if (gradcomm_->overlap_enabled()) {
+      table_->set_grad_ready_hook([this](std::size_t lo, std::size_t hi) {
+        gradcomm_->on_range_ready(lo, hi);
+      });
+    }
+  }
+
+  // Linear LR scaling (Goyal et al.): the effective global batch is
+  // node_batch × world size, so the shrunken world steps with
+  // proportionally less data per update.
+  if (rescale_lr) {
+    cfg_.base_lr = cfg_.base_lr * new_size / old_size;
+  }
+
+  // Resync: a fault can kill a step after some survivors applied their
+  // SGD update but before others did, so survivor states may straddle
+  // one iteration boundary. Adopt the furthest-ahead state everywhere.
+  const auto iters = comm_.allgather_value(iteration_);
+  int src = 0;
+  for (int r = 1; r < new_size; ++r) {
+    if (iters[static_cast<std::size_t>(r)] >
+        iters[static_cast<std::size_t>(src)]) {
+      src = r;
+    }
+  }
+  std::uint64_t min_iter = iters[0];
+  for (const auto it : iters) min_iter = std::min(min_iter, it);
+  const std::uint64_t max_iter = iters[static_cast<std::size_t>(src)];
+  lost_steps_counter().add(max_iter - min_iter);
+
+  std::vector<float> params = snapshot_params();
+  std::vector<float> velocities(params.size());
+  std::size_t off = 0;
+  for (nn::Param* p : table_->replica(0).params()) {
+    const auto count = static_cast<std::size_t>(p->velocity.numel());
+    std::memcpy(velocities.data() + off, p->velocity.data(),
+                count * sizeof(float));
+    off += count;
+  }
+  comm_.bcast(std::span<float>(params), src);
+  comm_.bcast(std::span<float>(velocities), src);
+  std::uint64_t sync[2] = {max_iter, shuffles_};
+  comm_.bcast(std::span<std::uint64_t>(sync, 2), src);
+  for (int g = 0; g < table_->gpus(); ++g) {
+    auto& rep = table_->replica(g);
+    rep.load_params(std::span<const float>(params));
+    off = 0;
+    for (nn::Param* p : rep.params()) {
+      const auto count = static_cast<std::size_t>(p->velocity.numel());
+      std::memcpy(p->velocity.data(), velocities.data() + off,
+                  count * sizeof(float));
+      off += count;
+    }
+  }
+  iteration_ = sync[0];
+  shuffles_ = 0;
+  // Post-shrink shuffle stream: restart from a seed derived from the
+  // *new* rank, exactly what a fresh trainer at this world size would
+  // use — so a later rollback of a post-shrink checkpoint replays
+  // shuffles identically (resume() verifies the replayed stream).
+  shuffle_rng_ = Rng(cfg_.seed * 104729 +
+                     static_cast<std::uint64_t>(comm_.rank()) + 1);
+
+  shrinks_counter().add(1);
+  rebuild_hist().record(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - rebuild_start)
+                            .count());
 }
 
 storage::LoadedBatch DistributedTrainer::next_batch() {
@@ -267,15 +425,28 @@ void DistributedTrainer::save_checkpoint() {
 
 bool DistributedTrainer::resume() {
   if (cfg_.checkpoint_dir.empty()) return false;
-  const auto iter = read_manifest(cfg_.checkpoint_dir, comm_.size());
-  if (!iter.has_value()) return false;
+  // Rank 0 picks the newest checkpoint whose whole rank-file set
+  // validates — skipping past a truncated or corrupt newest set — and
+  // broadcasts the choice so every rank restores the same iteration.
+  std::uint64_t chosen[2] = {0, 0};  // [has_value, iteration]
+  if (comm_.rank() == 0) {
+    const auto found =
+        find_restorable_checkpoint(cfg_.checkpoint_dir, comm_.size());
+    if (found.has_value()) {
+      chosen[0] = 1;
+      chosen[1] = *found;
+    }
+  }
+  comm_.bcast(std::span<std::uint64_t>(chosen, 2), 0);
+  if (chosen[0] == 0) return false;
+  const std::optional<std::uint64_t> iter = chosen[1];
   DCT_TRACE_SPAN("checkpoint_restore", "recovery",
                  static_cast<std::int64_t>(*iter));
   const auto st = read_trainer_state(
       rank_checkpoint_path(cfg_.checkpoint_dir, *iter, comm_.rank()));
   DCT_CHECK_MSG(st.iteration == *iter,
                 "checkpoint file iteration " << st.iteration
-                    << " disagrees with MANIFEST " << *iter);
+                    << " disagrees with the restorable set chosen");
   DCT_CHECK_MSG(
       st.params.size() == static_cast<std::size_t>(table_->param_count()),
       "checkpoint parameter count mismatch (model config changed?)");

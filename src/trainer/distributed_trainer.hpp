@@ -120,6 +120,33 @@ class DistributedTrainer {
 
   std::uint64_t iteration() const { return iteration_; }
 
+  // ---- elastic recovery (DESIGN.md §11) -------------------------------
+
+  /// Stop all background communication: unhook the gradient-ready
+  /// callback and destroy the GradComm (joining its ProgressEngine
+  /// after the queue drains — bounded by the transport recv deadline
+  /// when ops are stuck on a dead peer). Must be called before
+  /// Communicator::shrink(); shrink_to() rebuilds the pipeline.
+  /// Idempotent.
+  void quiesce();
+
+  /// Can training continue on the survivors of `shrink`? False when the
+  /// run uses deterministic global sampling (its group layout cannot
+  /// follow an arbitrary survivor count) or when a DIMD shard lost its
+  /// last replica (cfg.dimd.replication too low / multi-group layout).
+  /// Deterministic: every survivor computes the same verdict locally.
+  bool shrink_feasible(const simmpi::ShrinkResult& shrink) const;
+
+  /// Adopt the shrunken world. The caller must first assign the new
+  /// communicator into the object this trainer references (so comm_
+  /// already views the survivor world), then call this. Rebuilds the
+  /// gradient pipeline and the DIMD store (repartitioned from replicas),
+  /// rescales the LR linearly with the world size when `rescale_lr`,
+  /// and resyncs iteration/parameters/momentum from the furthest-ahead
+  /// survivor (a fault can kill a step between some ranks' SGD updates
+  /// and others'). Collective over the new communicator.
+  void shrink_to(const simmpi::ShrinkResult& shrink, bool rescale_lr);
+
   dpt::DataParallelTable& table() { return *table_; }
   std::int64_t node_batch() const {
     return cfg_.batch_per_gpu * cfg_.gpus_per_node;
@@ -143,6 +170,10 @@ class DistributedTrainer {
   Rng shuffle_rng_;
   std::uint64_t iteration_ = 0;
   std::uint64_t shuffles_ = 0;
+  /// Current comm rank -> rank in the *original* world this trainer was
+  /// constructed on. Shrinks renumber ranks densely; DIMD shard
+  /// ownership math stays in original-rank space.
+  std::vector<int> origin_ranks_;
 };
 
 }  // namespace dct::trainer

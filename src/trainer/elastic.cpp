@@ -1,0 +1,182 @@
+#include "trainer/elastic.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/checkpoint_io.hpp"
+#include "util/error.hpp"
+
+namespace dct::trainer {
+
+namespace {
+
+obs::Counter& rollback_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.rollbacks");
+  return c;
+}
+obs::Counter& lost_steps_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.lost_steps");
+  return c;
+}
+
+/// A plan whose rules target ranks beyond the (possibly shrunken)
+/// rollback world cannot bind; its crash triggers have fired anyway.
+bool plan_fits(const simmpi::FaultPlan* plan, int nranks) {
+  for (const auto& rule : plan->rules()) {
+    if (rule.rank >= nranks) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
+  DCT_CHECK_MSG(cfg.min_ranks >= 1, "min_ranks must be positive");
+  DCT_CHECK_MSG(cfg.join_deadline > cfg.recv_deadline,
+                "join_deadline must exceed recv_deadline, or survivors "
+                "stuck in a collective cannot time out and join in time");
+  ElasticResult res;
+  if (plan != nullptr && plan->empty()) plan = nullptr;
+
+  for (int attempt = 0; attempt <= cfg.max_rollbacks; ++attempt) {
+    // Size the attempt's world from the newest manifest when rolling
+    // back (a post-shrink checkpoint records the shrunken world), else
+    // from the config.
+    int world_ranks = cfg.ranks;
+    const bool want_resume = cfg.resume_first || attempt > 0;
+    if (want_resume && !cfg.trainer.checkpoint_dir.empty()) {
+      if (const auto m = read_manifest_any(cfg.trainer.checkpoint_dir)) {
+        world_ranks = m->second;
+      }
+    }
+
+    simmpi::Runtime rt(world_ranks);
+    rt.transport().set_recv_deadline(cfg.recv_deadline);
+    if (plan != nullptr && plan_fits(plan, world_ranks)) {
+      rt.transport().install_fault_plan(plan);
+    }
+
+    // Rank 0 survives every shrink (it coordinates), so its thread can
+    // safely record attempt progress; read only after rt.run returns.
+    std::uint64_t reached = 0;
+    float last_loss = 0.0f;
+    int final_ranks = 0;
+    std::uint64_t shrink_count = 0;
+    std::vector<float> final_params;
+    std::vector<ElasticIncident> incidents;
+    bool attempt_completed = false;
+
+    try {
+      DCT_TRACE_SPAN("elastic_attempt", "recovery", attempt);
+      rt.run([&](simmpi::Communicator& comm) {
+        // The trainer holds a reference to `world`; adopting a shrunken
+        // communicator assigns into this same object, so the reference
+        // stays valid across recoveries.
+        simmpi::Communicator world = comm;
+        DistributedTrainer trainer(world, cfg.trainer);
+        if (want_resume) trainer.resume();
+        int shrinks_here = 0;
+        float loss = 0.0f;
+        for (;;) {
+          try {
+            while (trainer.iteration() < cfg.total_iterations) {
+              loss = trainer.step().loss;
+              if (world.rank() == 0) reached = trainer.iteration();
+            }
+            if (!cfg.trainer.checkpoint_dir.empty()) {
+              trainer.save_checkpoint();
+            }
+            if (world.rank() == 0) {
+              last_loss = loss;
+              final_ranks = world.size();
+              shrink_count = static_cast<std::uint64_t>(shrinks_here);
+              final_params = trainer.snapshot_params();
+            }
+            return;
+          } catch (const simmpi::RankFailed& rf) {
+            // This rank's own injected fail-stop: die for real (the
+            // runtime marks the rank dead and survivors take over).
+            if (rf.rank() == world.global_rank(world.rank())) throw;
+            trainer.quiesce();
+            if (shrinks_here >= cfg.max_shrinks) throw;
+            auto sr = world.shrink(cfg.join_deadline);
+            if (static_cast<int>(sr.survivor_old_ranks.size()) <
+                    cfg.min_ranks ||
+                !trainer.shrink_feasible(sr)) {
+              // Deterministic verdict on every survivor: fall back to
+              // rollback by rethrowing the original fault.
+              throw;
+            }
+            world = sr.comm;
+            trainer.shrink_to(sr, cfg.rescale_lr);
+            ++shrinks_here;
+            if (world.rank() == 0) {
+              incidents.push_back(ElasticIncident{
+                  "shrink", rf.what(), world.size()});
+              shrink_count = static_cast<std::uint64_t>(shrinks_here);
+            }
+          } catch (const simmpi::Timeout& to) {
+            trainer.quiesce();
+            if (shrinks_here >= cfg.max_shrinks) throw;
+            // A timeout may mean a silent death not yet in the liveness
+            // table, or just a dropped message: shrink() settles it —
+            // dead ranks drop out, a false alarm reforms the full
+            // membership under a fresh context.
+            auto sr = world.shrink(cfg.join_deadline);
+            if (static_cast<int>(sr.survivor_old_ranks.size()) <
+                    cfg.min_ranks ||
+                !trainer.shrink_feasible(sr)) {
+              throw;
+            }
+            world = sr.comm;
+            trainer.shrink_to(sr, cfg.rescale_lr);
+            ++shrinks_here;
+            if (world.rank() == 0) {
+              incidents.push_back(ElasticIncident{
+                  "shrink", to.what(), world.size()});
+              shrink_count = static_cast<std::uint64_t>(shrinks_here);
+            }
+          }
+        }
+      });
+      attempt_completed = true;
+    } catch (const simmpi::RankFailed& rf) {
+      incidents.push_back(ElasticIncident{"rollback", rf.what(), 0});
+    } catch (const simmpi::Timeout& to) {
+      incidents.push_back(ElasticIncident{"rollback", to.what(), 0});
+    }
+
+    res.shrinks += shrink_count;
+    res.incidents.insert(res.incidents.end(), incidents.begin(),
+                         incidents.end());
+    if (attempt_completed) {
+      res.completed = true;
+      res.final_loss = last_loss;
+      res.final_ranks = final_ranks;
+      res.final_params = std::move(final_params);
+      break;
+    }
+
+    ++res.rollbacks;
+    rollback_counter().add(1);
+    std::uint64_t ckpt = 0;
+    if (!cfg.trainer.checkpoint_dir.empty()) {
+      if (const auto m = read_manifest_any(cfg.trainer.checkpoint_dir)) {
+        ckpt = m->first;
+      }
+    }
+    const std::uint64_t lost = reached > ckpt ? reached - ckpt : 0;
+    res.lost_steps += lost;
+    lost_steps_counter().add(lost);
+    DCT_TRACE_INSTANT("rollback", "recovery",
+                      static_cast<std::int64_t>(ckpt));
+  }
+  if (plan != nullptr) res.faults_injected = plan->injected();
+  return res;
+}
+
+}  // namespace dct::trainer

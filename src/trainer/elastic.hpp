@@ -1,0 +1,77 @@
+// Elastic training driver (DESIGN.md §11): survive a fail-stop by
+// shrinking the world to the survivors and continuing, instead of
+// tearing everything down and rolling back.
+//
+// Recovery ladder per fault:
+//   1. shrink  — quiesce background comm, agree on the survivor set
+//      (Communicator::shrink), repartition DIMD from replicas, rebuild
+//      the gradient pipeline, rescale LR, resync parameters, continue.
+//      Costs at most one training step.
+//   2. rollback — when shrink is impossible (rank 0 lost, a DIMD shard
+//      lost its last replica, survivor count below min_ranks, agreement
+//      timeout), the attempt tears down PR 2-style and the next attempt
+//      resumes every rank from the newest restorable checkpoint.
+//   3. abort   — after max_rollbacks failed attempts the driver returns
+//      with completed == false; it never hangs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simmpi/fault.hpp"
+#include "trainer/distributed_trainer.hpp"
+
+namespace dct::trainer {
+
+struct ElasticConfig {
+  TrainerConfig trainer;
+  int ranks = 2;
+  std::uint64_t total_iterations = 20;
+  /// Survivor-shrink incidents tolerated per attempt before the driver
+  /// degrades to rollback.
+  int max_shrinks = 4;
+  /// Attempts after the first (each one a PR 2-style rollback).
+  int max_rollbacks = 4;
+  /// Refuse to shrink below this many ranks.
+  int min_ranks = 2;
+  /// Failure detector: receive deadline on every attempt's transport.
+  std::chrono::milliseconds recv_deadline{5000};
+  /// Shrink agreement deadline; must comfortably exceed recv_deadline
+  /// so survivors stuck in a collective time out and join before the
+  /// coordinator gives up on them.
+  std::chrono::milliseconds join_deadline{15000};
+  /// Linear LR rescale on shrink (lr *= new_size / old_size).
+  bool rescale_lr = true;
+  /// Resume from an existing checkpoint on the first attempt too.
+  bool resume_first = false;
+};
+
+/// One recovery incident, for reporting.
+struct ElasticIncident {
+  std::string kind;    ///< "shrink" | "rollback"
+  std::string detail;  ///< the triggering fault's message
+  int world_size = 0;  ///< world size after the incident
+};
+
+struct ElasticResult {
+  bool completed = false;
+  std::uint64_t shrinks = 0;       ///< survivor-shrink recoveries
+  std::uint64_t rollbacks = 0;     ///< whole-world rollbacks
+  std::uint64_t lost_steps = 0;    ///< iterations redone across rollbacks
+  std::uint64_t faults_injected = 0;
+  int final_ranks = 0;             ///< world size at completion
+  float final_loss = 0.0f;         ///< rank 0's last step loss
+  std::vector<float> final_params; ///< rank 0's parameters at the end
+  std::vector<ElasticIncident> incidents;
+};
+
+/// Run to cfg.total_iterations under `plan` (may be null or empty).
+/// Shrinks on recoverable faults, rolls back when shrink is impossible
+/// (requires trainer.checkpoint_dir for that path), aborts after
+/// cfg.max_rollbacks.
+ElasticResult run_elastic(const ElasticConfig& cfg,
+                          simmpi::FaultPlan* plan = nullptr);
+
+}  // namespace dct::trainer

@@ -1,0 +1,101 @@
+// Chaos soak (DESIGN.md §11): one bounded end-to-end run that layers
+// every hostile feature at once — bucketed backward/allreduce overlap,
+// lossy fp16 gradient compression, persistent stragglers, and two
+// non-adjacent fail-stop crashes — through the elastic driver. The run
+// must finish on the six survivors with zero rollbacks, in bounded
+// wall time, with every survivor holding bit-identical parameters.
+//
+// Registered under `ctest -L chaos`; budgeted well under 60 seconds.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "simmpi/fault.hpp"
+#include "trainer/checkpoint_io.hpp"
+#include "trainer/elastic.hpp"
+
+namespace dct {
+namespace {
+
+using simmpi::FaultKind;
+using simmpi::FaultPlan;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(ChaosSoak, OverlapFp16CrashesAndStragglersSurviveTwoShrinks) {
+  const std::string dir = testing::TempDir() + "dct_chaos_soak_ckpt";
+  std::filesystem::remove_all(dir);
+
+  trainer::ElasticConfig ecfg;
+  ecfg.trainer.model.classes = 4;
+  ecfg.trainer.model.image = 8;
+  ecfg.trainer.gpus_per_node = 2;
+  ecfg.trainer.batch_per_gpu = 2;
+  ecfg.trainer.dataset.seed = 29;
+  ecfg.trainer.dataset.images = 128;
+  ecfg.trainer.dataset.classes = 4;
+  ecfg.trainer.dataset.image = data::ImageDef{3, 8, 8};
+  ecfg.trainer.base_lr = 0.02;
+  ecfg.trainer.seed = 7;
+  // The full gradient pipeline: small buckets, background overlap
+  // thread, lossy fp16 wire format.
+  ecfg.trainer.comm.bucket_bytes = 4096;
+  ecfg.trainer.comm.overlap = true;
+  ecfg.trainer.comm.codec = "fp16";
+  ecfg.trainer.dimd.replication = 2;
+  ecfg.trainer.checkpoint_dir = dir;
+  ecfg.trainer.checkpoint_every = 4;
+  ecfg.ranks = 8;
+  ecfg.total_iterations = 14;
+  ecfg.min_ranks = 2;
+  ecfg.recv_deadline = milliseconds(3000);
+  ecfg.join_deadline = milliseconds(12000);
+
+  FaultPlan plan(41);
+  // Two fail-stops on non-adjacent ranks, so with replication 2 every
+  // shard keeps a live holder (holders of shard s are {s, s-1}).
+  plan.add({.kind = FaultKind::kCrash, .rank = 3, .at_step = 5});
+  plan.add({.kind = FaultKind::kCrash, .rank = 6, .at_step = 9});
+  // A persistent straggler that survives both shrinks.
+  plan.add({.kind = FaultKind::kStraggle, .rank = 2, .probability = 0.2,
+            .delay_ms = 1.0});
+
+  const auto start = steady_clock::now();
+  const auto res = trainer::run_elastic(ecfg, &plan);
+  const double elapsed =
+      std::chrono::duration<double>(steady_clock::now() - start).count();
+
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.shrinks, 2u);
+  EXPECT_EQ(res.rollbacks, 0u);
+  EXPECT_EQ(res.final_ranks, 6);
+  EXPECT_GE(res.faults_injected, 2u);
+  EXPECT_LT(elapsed, 60.0) << "chaos soak must stay bounded";
+
+  // Every survivor's final checkpoint holds bit-identical parameters —
+  // overlap + compression + shrinks must not let replicas diverge.
+  const auto manifest = trainer::read_manifest_any(dir);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->first, ecfg.total_iterations);
+  EXPECT_EQ(manifest->second, 6);
+  std::vector<float> rank0 =
+      trainer::read_trainer_state(
+          trainer::rank_checkpoint_path(dir, manifest->first, 0))
+          .params;
+  ASSERT_FALSE(rank0.empty());
+  for (int r = 1; r < 6; ++r) {
+    const auto params =
+        trainer::read_trainer_state(
+            trainer::rank_checkpoint_path(dir, manifest->first, r))
+            .params;
+    EXPECT_EQ(params, rank0) << "rank " << r << " diverged";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,406 @@
+// Elastic survivor-shrink recovery tests (DESIGN.md §11): the shrink
+// agreement protocol produces a dense survivor communicator (or fails
+// fast when the coordinator is gone), post-shrink collectives are
+// bit-identical to a fresh world of the same size, DIMD replication
+// makes repartitioning lossless, and the elastic driver finishes a
+// training run on the survivors without rolling back — degrading to
+// exactly one rollback when there are no replicas to recover from.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "allreduce/algorithm.hpp"
+#include "data/dimd.hpp"
+#include "data/synthetic.hpp"
+#include "obs/counters.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/checkpoint_io.hpp"
+#include "trainer/elastic.hpp"
+#include "util/error.hpp"
+
+namespace dct {
+namespace {
+
+using simmpi::FaultKind;
+using simmpi::FaultPlan;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+double seconds_since(steady_clock::time_point start) {
+  return std::chrono::duration<double>(steady_clock::now() - start).count();
+}
+
+/// Fail-stop the calling rank the way fault injection does: throw
+/// RankFailed(self); the runtime marks the rank dead silently.
+[[noreturn]] void die(simmpi::Communicator& comm) {
+  throw simmpi::RankFailed(comm.global_rank(comm.rank()),
+                           "injected fail-stop (test)");
+}
+
+// ---- Communicator::shrink --------------------------------------------
+
+TEST(Shrink, DropsDeadRankAndRenumbersDensely) {
+  simmpi::Runtime rt(4);
+  rt.transport().set_recv_deadline(milliseconds(2000));
+  std::mutex mu;
+  std::vector<std::vector<int>> seen_members(3);
+  rt.run([&](simmpi::Communicator& comm) {
+    if (comm.rank() == 2) die(comm);
+    auto sr = comm.shrink(milliseconds(8000));
+    EXPECT_EQ(sr.dead_old_ranks, std::vector<int>{2});
+    EXPECT_EQ(sr.survivor_old_ranks, (std::vector<int>{0, 1, 3}));
+    EXPECT_EQ(sr.comm.size(), 3);
+    // New rank = index into the ascending survivor list.
+    const int expected_new = comm.rank() == 3 ? 2 : comm.rank();
+    EXPECT_EQ(sr.comm.rank(), expected_new);
+
+    // The shrunken communicator is fully collective-capable.
+    const auto olds = sr.comm.allgather_value(comm.rank());
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      seen_members[static_cast<std::size_t>(sr.comm.rank())] = olds;
+    }
+    std::vector<float> data(32, static_cast<float>(comm.rank() + 1));
+    sr.comm.allreduce_inplace(std::span<float>(data),
+                              [](float a, float b) { return a + b; });
+    for (float v : data) EXPECT_EQ(v, 1.0f + 2.0f + 4.0f);
+  });
+  EXPECT_EQ(rt.dead_ranks(), std::vector<int>{2});
+  for (const auto& m : seen_members) {
+    EXPECT_EQ(m, (std::vector<int>{0, 1, 3}));
+  }
+}
+
+TEST(Shrink, NoDeathsReformsFullMembershipUnderFreshContext) {
+  simmpi::Runtime rt(3);
+  rt.transport().set_recv_deadline(milliseconds(2000));
+  rt.run([&](simmpi::Communicator& comm) {
+    auto sr = comm.shrink(milliseconds(8000));
+    EXPECT_TRUE(sr.dead_old_ranks.empty());
+    EXPECT_EQ(sr.survivor_old_ranks, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(sr.comm.size(), 3);
+    EXPECT_EQ(sr.comm.rank(), comm.rank());
+    int sum = 0;
+    for (int v : sr.comm.allgather_value(sr.comm.rank())) sum += v;
+    EXPECT_EQ(sum, 3);
+  });
+}
+
+TEST(Shrink, CoordinatorDeathSurfacesAsRankFailed) {
+  simmpi::Runtime rt(3);
+  rt.transport().set_recv_deadline(milliseconds(1000));
+  std::atomic<int> detected{0};
+  const auto start = steady_clock::now();
+  EXPECT_THROW(
+      rt.run([&](simmpi::Communicator& comm) {
+        if (comm.rank() == 0) die(comm);
+        try {
+          comm.shrink(milliseconds(8000));
+          FAIL() << "shrink without a coordinator must not succeed";
+        } catch (const simmpi::RankFailed& rf) {
+          EXPECT_EQ(rf.rank(), 0);
+          detected.fetch_add(1);
+          throw;
+        }
+        // The other survivor may instead see Aborted once the first
+        // detector's rethrow tears the world down — let it propagate.
+      }),
+      simmpi::RankFailed);
+  EXPECT_GE(detected.load(), 1);
+  EXPECT_LT(seconds_since(start), 30.0);  // deadline, not a hang
+}
+
+TEST(Shrink, RepeatedShrinksKeepOriginalRankMapping) {
+  simmpi::Runtime rt(5);
+  rt.transport().set_recv_deadline(milliseconds(2000));
+  rt.run([&](simmpi::Communicator& comm) {
+    const int original = comm.rank();
+    if (original == 1) die(comm);
+    auto first = comm.shrink(milliseconds(8000));
+    EXPECT_EQ(first.survivor_old_ranks, (std::vector<int>{0, 2, 3, 4}));
+    if (original == 3) die(first.comm);
+    auto second = first.comm.shrink(milliseconds(8000));
+    // Old ranks here are ranks in `first.comm`; rank 3 of the original
+    // world was rank 2 there.
+    EXPECT_EQ(second.dead_old_ranks, std::vector<int>{2});
+    EXPECT_EQ(second.comm.size(), 3);
+    // Composing the two maps recovers the original world ranks.
+    std::vector<int> originals;
+    for (int r : second.survivor_old_ranks) {
+      originals.push_back(
+          first.survivor_old_ranks[static_cast<std::size_t>(r)]);
+    }
+    EXPECT_EQ(originals, (std::vector<int>{0, 2, 4}));
+  });
+}
+
+// ---- post-shrink collectives vs a fresh world ------------------------
+
+TEST(Shrink, SurvivorCollectivesMatchFreshWorldBitExactly) {
+  // 8 ranks, rank 5 dies; multicolor and ring allreduce on the
+  // 7-survivor communicator must be bit-identical to a fresh 7-rank
+  // world fed the same per-survivor inputs.
+  constexpr int kElems = 257;  // odd, not divisible by 7
+  const std::vector<int> survivors{0, 1, 2, 3, 4, 6, 7};
+  auto input = [](int old_rank) {
+    std::vector<float> v(kElems);
+    for (int i = 0; i < kElems; ++i) {
+      v[static_cast<std::size_t>(i)] =
+          0.25f * static_cast<float>((old_rank + 1) * (i % 13 + 1));
+    }
+    return v;
+  };
+
+  for (const std::string name : {"multicolor", "ring"}) {
+    SCOPED_TRACE(name);
+    std::vector<float> fresh;
+    {
+      const auto algo = allreduce::make_algorithm(name);
+      simmpi::Runtime rt(7);
+      rt.run([&](simmpi::Communicator& comm) {
+        auto data =
+            input(survivors[static_cast<std::size_t>(comm.rank())]);
+        algo->run(comm, std::span<float>(data));
+        if (comm.rank() == 0) fresh = data;
+      });
+    }
+    ASSERT_EQ(fresh.size(), static_cast<std::size_t>(kElems));
+
+    std::vector<float> shrunken;
+    {
+      const auto algo = allreduce::make_algorithm(name);
+      simmpi::Runtime rt(8);
+      rt.transport().set_recv_deadline(milliseconds(2000));
+      rt.run([&](simmpi::Communicator& comm) {
+        // Exercise the algorithm at p=8 first so the shrunken run also
+        // covers the world-size switch (multicolor's per-p tree cache).
+        std::vector<float> warm(64, 1.0f);
+        algo->run(comm, std::span<float>(warm));
+        if (comm.rank() == 5) die(comm);
+        auto sr = comm.shrink(milliseconds(8000));
+        auto data = input(comm.rank());
+        algo->run(sr.comm, std::span<float>(data));
+        if (sr.comm.rank() == 0) shrunken = data;
+      });
+    }
+    // Bit-identical, not approximately equal.
+    ASSERT_EQ(shrunken.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      ASSERT_EQ(shrunken[i], fresh[i]) << "element " << i;
+    }
+  }
+}
+
+// ---- DIMD replication ------------------------------------------------
+
+TEST(DimdReplication, ShardHolderAndRecoverabilityMath) {
+  using data::DimdStore;
+  EXPECT_EQ(DimdStore::shard_holders(0, 4, 2), (std::vector<int>{0, 3}));
+  EXPECT_EQ(DimdStore::shard_holders(2, 4, 3), (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(DimdStore::shard_holders(1, 4, 1), std::vector<int>{1});
+  // Replication clamps to the shard count.
+  EXPECT_EQ(DimdStore::shard_holders(0, 2, 5).size(), 2u);
+
+  const std::vector<int> none;
+  EXPECT_TRUE(DimdStore::recoverable(4, 1, none));
+  const std::vector<int> one{1};
+  EXPECT_FALSE(DimdStore::recoverable(4, 1, one));  // r=1: any death fatal
+  EXPECT_TRUE(DimdStore::recoverable(4, 2, one));
+  const std::vector<int> adjacent{1, 2};
+  // Shard 2's holders {2, 1} are both dead.
+  EXPECT_FALSE(DimdStore::recoverable(4, 2, adjacent));
+  const std::vector<int> spread{0, 2};
+  EXPECT_TRUE(DimdStore::recoverable(4, 2, spread));
+  EXPECT_TRUE(DimdStore::recoverable(4, 4, {std::vector<int>{0, 1, 2}}));
+}
+
+TEST(DimdReplication, RepartitionAfterDeathPreservesTheDataset) {
+  simmpi::Runtime rt(4);
+  rt.run([&](simmpi::Communicator& comm) {
+    data::DatasetDef def;
+    def.seed = 21;
+    def.images = 64;
+    def.classes = 4;
+    def.image = data::ImageDef{3, 8, 8};
+    data::SyntheticImageGenerator gen(def);
+
+    data::DimdConfig cfg;
+    cfg.groups = 1;
+    cfg.replication = 2;
+    data::DimdStore store(comm, cfg);
+    store.load_partition(gen);
+    EXPECT_EQ(store.owned_shards(), std::vector<int>{comm.rank()});
+    const std::uint64_t checksum = store.group_checksum();
+    const std::uint64_t count = store.group_count();
+
+    // Rank 2 "dies": the survivors split off and repartition from
+    // replicas.
+    auto sub = comm.split(comm.rank() == 2 ? 1 : 0, comm.rank());
+    if (comm.rank() == 2) return;
+    const std::vector<int> dead{2};
+    data::DimdStore rebuilt(sub, store.take_salvage(),
+                            std::span<const int>(dead));
+    // Shard 2's holders are {2, 1}; with 2 dead, rank 1 inherits it.
+    if (comm.rank() == 1) {
+      EXPECT_EQ(rebuilt.owned_shards(), (std::vector<int>{1, 2}));
+    } else {
+      EXPECT_EQ(rebuilt.owned_shards(), std::vector<int>{comm.rank()});
+    }
+    EXPECT_EQ(rebuilt.dead_origin_ranks(), dead);
+    // The group still owns exactly the original dataset.
+    EXPECT_EQ(rebuilt.group_count(), count);
+    EXPECT_EQ(rebuilt.group_checksum(), checksum);
+  });
+}
+
+// ---- the elastic driver ----------------------------------------------
+
+trainer::TrainerConfig small_trainer_config() {
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 2;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.seed = 11;
+  cfg.dataset.images = 128;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.base_lr = 0.02;
+  cfg.seed = 5;
+  return cfg;
+}
+
+/// Params of every rank file of checkpoint `iter`; fails the test if a
+/// file is missing or damaged.
+std::vector<std::vector<float>> checkpoint_params(const std::string& dir,
+                                                  std::uint64_t iter,
+                                                  int nranks) {
+  std::vector<std::vector<float>> out;
+  for (int r = 0; r < nranks; ++r) {
+    out.push_back(
+        trainer::read_trainer_state(trainer::rank_checkpoint_path(dir, iter, r))
+            .params);
+  }
+  return out;
+}
+
+TEST(Elastic, NonRootCrashShrinksAndFinishesWithoutRollback) {
+  const std::string dir = testing::TempDir() + "dct_elastic_shrink_ckpt";
+  std::filesystem::remove_all(dir);
+
+  trainer::ElasticConfig ecfg;
+  ecfg.trainer = small_trainer_config();
+  ecfg.trainer.dimd.replication = 2;
+  ecfg.trainer.checkpoint_dir = dir;
+  ecfg.trainer.checkpoint_every = 4;
+  ecfg.ranks = 8;
+  ecfg.total_iterations = 12;
+  ecfg.min_ranks = 2;
+  ecfg.recv_deadline = milliseconds(3000);
+  ecfg.join_deadline = milliseconds(12000);
+
+  const std::uint64_t shrinks_before =
+      obs::Metrics::counter("recovery.shrinks").value();
+  FaultPlan plan(31);
+  plan.add({.kind = FaultKind::kCrash, .rank = 3, .at_step = 6});
+  const auto start = steady_clock::now();
+  const auto res = trainer::run_elastic(ecfg, &plan);
+
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.shrinks, 1u);
+  EXPECT_EQ(res.rollbacks, 0u);  // survivors never tore the world down
+  EXPECT_EQ(res.lost_steps, 0u);
+  EXPECT_EQ(res.final_ranks, 7);
+  EXPECT_GT(res.faults_injected, 0u);
+  ASSERT_EQ(res.incidents.size(), 1u);
+  EXPECT_EQ(res.incidents[0].kind, "shrink");
+  EXPECT_EQ(res.incidents[0].world_size, 7);
+  EXPECT_LT(seconds_since(start), 60.0);
+  EXPECT_GE(obs::Metrics::counter("recovery.shrinks").value(),
+            shrinks_before + 1);
+
+  // The final checkpoint was taken by the 7 survivors...
+  const auto manifest = trainer::read_manifest_any(dir);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->first, ecfg.total_iterations);
+  EXPECT_EQ(manifest->second, 7);
+  // ...and every survivor holds bit-identical parameters.
+  const auto params = checkpoint_params(dir, manifest->first, 7);
+  ASSERT_FALSE(params[0].empty());
+  for (int r = 1; r < 7; ++r) {
+    EXPECT_EQ(params[static_cast<std::size_t>(r)], params[0])
+        << "rank " << r << " diverged from rank 0";
+  }
+  ASSERT_EQ(res.final_params, params[0]);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Elastic, WithoutReplicationDegradesToExactlyOneRollback) {
+  const std::string dir = testing::TempDir() + "dct_elastic_rollback_ckpt";
+  std::filesystem::remove_all(dir);
+
+  trainer::ElasticConfig ecfg;
+  ecfg.trainer = small_trainer_config();
+  ecfg.trainer.dimd.replication = 1;  // no replicas: shrink infeasible
+  ecfg.trainer.checkpoint_dir = dir;
+  ecfg.trainer.checkpoint_every = 4;
+  ecfg.ranks = 4;
+  ecfg.total_iterations = 10;
+  ecfg.recv_deadline = milliseconds(3000);
+  ecfg.join_deadline = milliseconds(12000);
+
+  FaultPlan plan(32);
+  plan.add({.kind = FaultKind::kCrash, .rank = 1, .at_step = 6});
+  const auto start = steady_clock::now();
+  const auto res = trainer::run_elastic(ecfg, &plan);
+
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.shrinks, 0u);
+  EXPECT_EQ(res.rollbacks, 1u);
+  EXPECT_EQ(res.final_ranks, 4);  // rollback restarts the full world
+  // Rollback can only lose work since the last checkpoint.
+  EXPECT_LE(res.lost_steps,
+            static_cast<std::uint64_t>(ecfg.trainer.checkpoint_every));
+  EXPECT_LT(seconds_since(start), 60.0);  // bounded, never a hang
+  ASSERT_EQ(res.incidents.size(), 1u);
+  EXPECT_EQ(res.incidents[0].kind, "rollback");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Elastic, RootCrashFallsBackToRollback) {
+  // Rank 0 coordinates the shrink, so losing it forces the checkpoint
+  // path even with replicas to spare.
+  const std::string dir = testing::TempDir() + "dct_elastic_root_ckpt";
+  std::filesystem::remove_all(dir);
+
+  trainer::ElasticConfig ecfg;
+  ecfg.trainer = small_trainer_config();
+  ecfg.trainer.dimd.replication = 2;
+  ecfg.trainer.checkpoint_dir = dir;
+  ecfg.trainer.checkpoint_every = 3;
+  ecfg.ranks = 4;
+  ecfg.total_iterations = 8;
+  ecfg.recv_deadline = milliseconds(2000);
+  ecfg.join_deadline = milliseconds(6000);
+
+  FaultPlan plan(33);
+  plan.add({.kind = FaultKind::kCrash, .rank = 0, .at_step = 5});
+  const auto start = steady_clock::now();
+  const auto res = trainer::run_elastic(ecfg, &plan);
+
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.shrinks, 0u);
+  EXPECT_EQ(res.rollbacks, 1u);
+  EXPECT_LT(seconds_since(start), 90.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dct

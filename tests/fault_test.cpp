@@ -349,6 +349,51 @@ TEST(Recovery, ResumeRestoresExactTrainerState) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Recovery, TruncatedCheckpointSetIsSkippedOnResume) {
+  // A crash mid-write (or post-hoc damage) can leave the manifest's
+  // checkpoint set incomplete; resume must fall back to the newest set
+  // that fully validates instead of failing or restoring garbage.
+  auto cfg = small_trainer_config();
+  const std::string dir = testing::TempDir() + "dct_fault_truncated_ckpt";
+  std::filesystem::remove_all(dir);
+  cfg.checkpoint_dir = dir;
+  cfg.checkpoint_every = 3;
+
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < 6; ++i) trainer.step();  // sets at 3 and 6
+  });
+  ASSERT_EQ(trainer::find_restorable_checkpoint(dir, 2), 6u);
+
+  // Truncate rank 1's file of the manifest's set: the set no longer
+  // validates, so the scan must pick the older complete set.
+  {
+    const std::string victim = trainer::rank_checkpoint_path(dir, 6, 1);
+    const auto full = std::filesystem::file_size(victim);
+    std::filesystem::resize_file(victim, full / 2);
+  }
+  EXPECT_FALSE(trainer::checkpoint_set_valid(dir, 6, 2));
+  ASSERT_EQ(trainer::find_restorable_checkpoint(dir, 2), 3u);
+
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    ASSERT_TRUE(trainer.resume());
+    EXPECT_EQ(trainer.iteration(), 3u);
+  });
+
+  // Damage the last remaining set too: nothing restorable is left.
+  {
+    const std::string victim = trainer::rank_checkpoint_path(dir, 3, 0);
+    std::filesystem::resize_file(victim, 8);
+  }
+  EXPECT_EQ(trainer::find_restorable_checkpoint(dir, 2), std::nullopt);
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    EXPECT_FALSE(trainer.resume());
+  });
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Recovery, TrainerCheckpointFilesAreCrcSealed) {
   trainer::TrainerState st;
   st.iteration = 42;

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
-# under TSan and runs the `fault`, `simmpi`, and `comm` ctest labels,
-# then repeats the `comm` label under ASan. The simmpi rank threads,
-# the fault-injection hooks, and the comm progress engine (background
-# reductions racing backward) are exactly the code a data race would
-# hide in; the comm codecs' byte-level encode/decode is where an
-# out-of-bounds write would hide, hence the address leg.
+# under TSan and runs the `fault`, `simmpi`, `comm`, and `elastic` ctest
+# labels, repeats the `comm` label under ASan, and runs the `fault` +
+# `elastic` labels under UBSan. The simmpi rank threads, the
+# fault-injection hooks, the shrink agreement protocol, and the comm
+# progress engine (background reductions racing backward) are exactly
+# the code a data race would hide in; the comm codecs' byte-level
+# encode/decode is where an out-of-bounds write would hide, hence the
+# address leg; the checkpoint/shrink (de)serialization and rank
+# arithmetic is where signed overflow or misaligned loads would hide,
+# hence the undefined leg.
 #
-# Usage: tools/check.sh [tsan-build-dir] [asan-build-dir]
-#        (defaults: build-tsan build-asan)
+# Usage: tools/check.sh [tsan-build-dir] [asan-build-dir] [ubsan-build-dir]
+#        (defaults: build-tsan build-asan build-ubsan)
 # DCTRAIN_SANITIZE overrides the first leg's sanitizer.
 set -euo pipefail
 
@@ -17,6 +21,7 @@ cd "$(dirname "$0")/.."
 SANITIZER="${DCTRAIN_SANITIZE:-thread}"
 BUILD_DIR="${1:-build-tsan}"
 ASAN_BUILD_DIR="${2:-build-asan}"
+UBSAN_BUILD_DIR="${3:-build-ubsan}"
 
 echo "== configuring ${BUILD_DIR} with DCTRAIN_SANITIZE=${SANITIZER}"
 cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
@@ -24,10 +29,10 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
-  fault_test simmpi_test simmpi_stress_test comm_test
+  fault_test simmpi_test simmpi_stress_test comm_test elastic_test
 
-echo "== running ctest -L 'fault|simmpi|comm' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm" \
+echo "== running ctest -L 'fault|simmpi|comm|elastic' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic" \
   --output-on-failure -j 4
 
 echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"
@@ -40,4 +45,15 @@ cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test
 echo "== running ctest -L comm under address sanitizer"
 ctest --test-dir "${ASAN_BUILD_DIR}" -L comm --output-on-failure -j 4
 
-echo "== sanitizer checks passed (${SANITIZER} + address)"
+echo "== configuring ${UBSAN_BUILD_DIR} with DCTRAIN_SANITIZE=undefined"
+cmake -B "${UBSAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building undefined-sanitized recovery tests"
+cmake --build "${UBSAN_BUILD_DIR}" -j --target fault_test elastic_test
+
+echo "== running ctest -L 'fault|elastic' under undefined sanitizer"
+ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic" \
+  --output-on-failure -j 4
+
+echo "== sanitizer checks passed (${SANITIZER} + address + undefined)"

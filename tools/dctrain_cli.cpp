@@ -8,11 +8,14 @@
 //                     [--trace PATH]
 //                     [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //                     [--inject SPEC[;SPEC…]] [--deadline-ms MS]
+//                     [--replication R]
 //                     SPEC: rank=R,kind=crash,step=N | msg=N; kind=drop/
 //                     delay/duplicate/straggle with prob=P, ms=D
 //   dctrain chaos     [--ranks N] [--iters I] [--seed S] [--rollbacks R]
 //                     [--checkpoint-dir D] [--checkpoint-every N]
 //                     [--deadline-ms MS] [--drop-prob P] [--no-overlap]
+//                     [--elastic] [--replication R] [--min-ranks N]
+//                     [--shrinks N]
 //   dctrain trace-report --trace PATH [--top N]
 //   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
 //                     [--batch B] [--baseline]
@@ -49,6 +52,7 @@ int cmd_train(const ArgParser& args) {
   cfg.dataset.images = args.get_int("images", 640);
   cfg.dataset.image = data::ImageDef{3, 16, 16};
   cfg.dataset.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  cfg.dimd.replication = static_cast<int>(args.get_int("replication", 1));
   cfg.base_lr = args.get_double("lr", 0.05);
   // Gradient-comm pipeline: bucketed overlap on by default; --bucket-mb 0
   // restores the monolithic blocking allreduce.
@@ -211,9 +215,55 @@ int cmd_chaos(const ArgParser& args) {
             .probability = 0.05, .delay_ms = 1.0});
 
   std::printf("chaos: %d learners, %llu iterations, seed %llu, "
-              "%zu fault rule(s)\n",
+              "%zu fault rule(s)%s\n",
               ranks, static_cast<unsigned long long>(total),
-              static_cast<unsigned long long>(seed), plan.rules().size());
+              static_cast<unsigned long long>(seed), plan.rules().size(),
+              args.has("elastic") ? ", elastic recovery" : "");
+
+  if (args.has("elastic")) {
+    // Survivor-shrink recovery (DESIGN.md §11): shrink past crashes on
+    // the ranks that are left, roll back only when shrink is impossible.
+    trainer::ElasticConfig ecfg;
+    ecfg.trainer = rcfg.trainer;
+    ecfg.trainer.dimd.replication =
+        static_cast<int>(args.get_int("replication", 2));
+    ecfg.ranks = rcfg.ranks;
+    ecfg.total_iterations = rcfg.total_iterations;
+    ecfg.max_rollbacks = rcfg.max_rollbacks;
+    ecfg.max_shrinks = static_cast<int>(args.get_int("shrinks", 4));
+    ecfg.min_ranks = static_cast<int>(args.get_int("min-ranks", 2));
+    ecfg.recv_deadline = rcfg.recv_deadline;
+    ecfg.join_deadline = 4 * rcfg.recv_deadline;
+    const auto res = trainer::run_elastic(ecfg, &plan);
+    for (const auto& inc : res.incidents) {
+      std::printf("  %s%s: %s\n", inc.kind.c_str(),
+                  inc.kind == "shrink"
+                      ? (" to " + std::to_string(inc.world_size) + " ranks")
+                            .c_str()
+                      : "",
+                  inc.detail.c_str());
+    }
+    std::printf("%s: %llu shrink(s), %llu rollback(s), %llu fault(s) "
+                "injected, %llu step(s) redone, %d rank(s) at the end, "
+                "final loss %.4f\n",
+                res.completed ? "survived" : "GAVE UP",
+                static_cast<unsigned long long>(res.shrinks),
+                static_cast<unsigned long long>(res.rollbacks),
+                static_cast<unsigned long long>(res.faults_injected),
+                static_cast<unsigned long long>(res.lost_steps),
+                res.final_ranks, res.final_loss);
+    std::printf("%s", obs::Metrics::snapshot().to_string().c_str());
+    const double chance =
+        std::log(static_cast<double>(ecfg.trainer.model.classes));
+    const bool converged =
+        std::isfinite(res.final_loss) && res.final_loss < chance;
+    if (!converged) {
+      std::printf("loss %.4f did not beat random-guess %.4f\n",
+                  res.final_loss, chance);
+    }
+    return res.completed && converged ? 0 : 1;
+  }
+
   const auto res = trainer::run_resilient(rcfg, &plan);
   for (const auto& f : res.failures) std::printf("  fault: %s\n", f.c_str());
   std::printf("%s: %llu rollback(s), %llu fault(s) injected, %llu step(s) "
@@ -359,7 +409,8 @@ int cmd_help() {
       "subcommands:\n"
       "  train      run distributed SGD on simulated learners (real math);\n"
       "             --checkpoint-dir/--resume/--inject for fault tolerance\n"
-      "  chaos      randomized fault schedule against the resilient driver\n"
+      "  chaos      randomized fault schedule against the resilient driver;\n"
+      "             --elastic shrinks past crashes on the surviving ranks\n"
       "  trace-report  per-rank phase breakdown of a captured trace\n"
       "  plan       epoch-time decomposition for a cluster configuration\n"
       "  allreduce  price + verify a gradient allreduce algorithm\n"
