@@ -1,9 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the
 // functional stack: GEMM, convolution, the image codec, DIMD batch
-// assembly, the in-process allreduce algorithms, and the shuffle.
+// assembly, the in-process allreduce algorithms, the shuffle, and the
+// src/kernels/ primitives (each with a pinned-scalar "before" arm and,
+// for GEMM/conv, a 1-vs-N-thread pair).
+//
+// Accepts `--json <path>` (the repo-wide bench convention) in addition
+// to the native --benchmark_* flags; see main() at the bottom.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/dctrain.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -235,6 +244,204 @@ void BM_FlowSimulator(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowSimulator);
 
+// ---- src/kernels/ primitives: vector kernel vs pinned-scalar arm ------
+// Args: {elements, 0 = kernel | 1 = scalar reference}. 1 << 18 floats is
+// the 1 MiB working set from the acceptance criteria.
+
+void BM_ReduceAdd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool use_scalar = state.range(1) != 0;
+  std::vector<float> dst(n, 1.0f), src(n, 1e-30f);
+  for (auto _ : state) {
+    if (use_scalar) {
+      kernels::scalar::reduce_add(dst.data(), src.data(), n);
+    } else {
+      kernels::reduce_add(dst.data(), src.data(), n);
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+  state.SetLabel(use_scalar ? "scalar" : "kernel");
+}
+BENCHMARK(BM_ReduceAdd)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1});
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool use_scalar = state.range(1) != 0;
+  std::vector<float> x(n, 1e-30f), y(n, 1.0f);
+  for (auto _ : state) {
+    if (use_scalar) {
+      kernels::scalar::axpy(0.5f, x.data(), y.data(), n);
+    } else {
+      kernels::axpy(0.5f, x.data(), y.data(), n);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+  state.SetLabel(use_scalar ? "scalar" : "kernel");
+}
+BENCHMARK(BM_Axpy)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1});
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool use_scalar = state.range(1) != 0;
+  std::vector<float> a(n, 0.5f), b(n, 0.25f);
+  for (auto _ : state) {
+    const float r = use_scalar ? kernels::scalar::dot(a.data(), b.data(), n)
+                               : kernels::dot(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetLabel(use_scalar ? "scalar" : "kernel");
+}
+BENCHMARK(BM_Dot)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1});
+
+void BM_Fp16Pack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool use_scalar = state.range(1) != 0;
+  Rng rng(6);
+  std::vector<float> in(n);
+  for (auto& v : in) v = rng.next_float() * 2.0f - 1.0f;
+  std::vector<std::uint16_t> out(n);
+  for (auto _ : state) {
+    if (use_scalar) {
+      kernels::scalar::fp16_pack(in.data(), out.data(), n);
+    } else {
+      kernels::fp16_pack(in.data(), out.data(), n);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetLabel(use_scalar ? "scalar" : "kernel");
+}
+BENCHMARK(BM_Fp16Pack)->Args({1 << 14, 0})->Args({1 << 14, 1});
+
+void BM_Int8Quantize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool use_scalar = state.range(1) != 0;
+  Rng rng(7);
+  std::vector<float> in(n);
+  for (auto& v : in) v = rng.next_float() * 2.0f - 1.0f;
+  std::vector<std::int8_t> out(n);
+  for (auto _ : state) {
+    const float scale =
+        use_scalar ? kernels::scalar::int8_quantize(in.data(), out.data(), n)
+                   : kernels::int8_quantize(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(scale);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetLabel(use_scalar ? "scalar" : "kernel");
+}
+BENCHMARK(BM_Int8Quantize)->Args({1 << 14, 0})->Args({1 << 14, 1});
+
+// Pooled scratch vs the fresh std::vector the allreduce loops used to
+// allocate each step (vector value-initializes, i.e. memsets — exactly
+// the cost the pool removes along with the allocator round-trip).
+void BM_ScratchBorrow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool fresh = state.range(1) != 0;
+  auto& pool = kernels::ScratchPool::local();
+  for (auto _ : state) {
+    if (fresh) {
+      std::vector<float> v(n);
+      benchmark::DoNotOptimize(v.data());
+    } else {
+      auto lease = pool.borrow(n);
+      benchmark::DoNotOptimize(lease.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(fresh ? "fresh-vector" : "pooled");
+}
+BENCHMARK(BM_ScratchBorrow)->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+// ---- 1-vs-N-thread pairs for the range-parallel tensor kernels --------
+// Arg: worker count for ThreadPool::global(). Same shapes either way, so
+// the ratio is the threading speedup (and the results are bit-identical
+// by the §12 determinism contract — kernels_test proves it).
+
+void BM_GemmThreaded(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::reset_global(threads);
+  const std::int64_t n = 192;
+  Rng rng(8);
+  tensor::Tensor a({n, n}), b({n, n}), c({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = rng.next_float();
+    b[i] = rng.next_float();
+  }
+  for (auto _ : state) {
+    tensor::gemm(a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(std::to_string(threads) + "-thread");
+  ThreadPool::reset_global(0);
+}
+BENCHMARK(BM_GemmThreaded)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ConvForwardThreaded(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::reset_global(threads);
+  Rng rng(9);
+  tensor::Tensor x({16, 8, 16, 16});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.next_float();
+  tensor::Conv2dShape s{8, 16, 3, 1, 1};
+  tensor::Tensor w = tensor::Tensor::kaiming({16, 8 * 9}, 72, rng);
+  tensor::Tensor bias({16});
+  for (auto _ : state) {
+    auto out = tensor::conv2d_forward(x, w, bias, s);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.SetLabel(std::to_string(threads) + "-thread");
+  ThreadPool::reset_global(0);
+}
+BENCHMARK(BM_ConvForwardThreaded)->Arg(1)->Arg(4)->Arg(8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus translation of the repo-wide `--json <path>` /
+// `--json=<path>` convention into google-benchmark's out-file flags so
+// tools that drive the other bench binaries can drive this one too
+// (e.g. regenerating bench/BENCH_kernels.json).
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[++i]));
+      args.push_back("--benchmark_out_format=json");
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + a.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "allreduce/algorithms_impl.hpp"
 
 #include <algorithm>
-#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
 
 namespace dct::allreduce {
 
@@ -38,7 +40,9 @@ void BucketRingAllreduce::run(simmpi::Communicator& comm,
 
   const int right = (rank + 1) % p;
   const int left = (rank - 1 + p) % p;
-  std::vector<float> scratch(n / static_cast<std::size_t>(p) + 1);
+  auto scratch_lease = kernels::ScratchPool::local().borrow(
+      n / static_cast<std::size_t>(p) + 1);
+  float* const scratch = scratch_lease.data();
 
   // Reduce-scatter: at step s, send bucket (rank − s) right and fold the
   // incoming bucket (rank − s − 1) into our copy.
@@ -52,10 +56,8 @@ void BucketRingAllreduce::run(simmpi::Communicator& comm,
       ++t.messages_sent;
     }
     if (rhi > rlo) {
-      comm.recv(std::span<float>(scratch.data(), rhi - rlo), left, kAlgoTag);
-      for (std::size_t i = 0; i < rhi - rlo; ++i) {
-        data[rlo + i] += scratch[i];
-      }
+      comm.recv(std::span<float>(scratch, rhi - rlo), left, kAlgoTag);
+      kernels::reduce_add(data.data() + rlo, scratch, rhi - rlo);
       t.reduce_flops += rhi - rlo;
     }
   }

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "allreduce/color_tree.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -76,7 +78,8 @@ void MultiColorAllreduce::run(simmpi::Communicator& comm,
     max_sub = std::max(max_sub, (len + pipe - 1) / pipe);
   }
 
-  std::vector<float> scratch(pipe);
+  auto scratch_lease = kernels::ScratchPool::local().borrow(pipe);
+  float* const scratch = scratch_lease.data();
 
   // Sub-chunk-major loop with round-robin over colors: structurally this
   // is the interleaved multi-stream schedule of the paper (all colors in
@@ -92,8 +95,8 @@ void MultiColorAllreduce::run(simmpi::Communicator& comm,
       std::span<float> part(data.data() + lo, len);
       const ColorTree& tree = trees[static_cast<std::size_t>(c)];
       for (int child : tree.children(rank)) {
-        comm.recv(std::span<float>(scratch.data(), len), child, kAlgoTag);
-        for (std::size_t i = 0; i < len; ++i) part[i] += scratch[i];
+        comm.recv(std::span<float>(scratch, len), child, kAlgoTag);
+        kernels::reduce_add(part.data(), scratch, len);
         t.reduce_flops += len;
       }
       if (!tree.is_root(rank)) {

@@ -1,7 +1,9 @@
 #include "allreduce/algorithms_impl.hpp"
 
 #include <algorithm>
-#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
 
 namespace dct::allreduce {
 
@@ -30,7 +32,8 @@ void MultiRingAllreduce::run(simmpi::Communicator& comm,
 
   const int k = std::clamp(rings_, 1, p);
   const std::size_t pipe = std::max<std::size_t>(1, pipeline_elems_);
-  std::vector<float> scratch(pipe);
+  auto scratch_lease = kernels::ScratchPool::local().borrow(pipe);
+  float* const scratch = scratch_lease.data();
 
   auto color_lo = [&](int c) {
     return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(k);
@@ -61,8 +64,8 @@ void MultiRingAllreduce::run(simmpi::Communicator& comm,
 
       // Reduce toward the root: partials flow vrank p-1 → … → 0.
       if (vrank != p - 1) {
-        comm.recv(std::span<float>(scratch.data(), len), up, kAlgoTag);
-        for (std::size_t i = 0; i < len; ++i) part[i] += scratch[i];
+        comm.recv(std::span<float>(scratch, len), up, kAlgoTag);
+        kernels::reduce_add(part.data(), scratch, len);
         t.reduce_flops += len;
       }
       if (vrank != 0) {

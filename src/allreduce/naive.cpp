@@ -1,24 +1,42 @@
 #include "allreduce/algorithms_impl.hpp"
 
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
+
 namespace dct::allreduce {
 
+// Binomial reduce to rank 0 + binomial broadcast. The reduce used to go
+// through Communicator::reduce_inplace with a per-element combine
+// lambda (one virtual-ish std::function call per float); it is unrolled
+// here into the same binomial schedule over kernels::reduce_add with
+// pooled scratch, which sums chunks at SIMD speed. The element order is
+// identical, so this remains the bit-exact reference the other
+// algorithms' tests compare against.
 void NaiveAllreduce::run(simmpi::Communicator& comm, std::span<float> data,
                          RankTraffic* traffic) const {
   RankTraffic t;
   const int p = comm.size();
   const int rank = comm.rank();
+  const std::size_t n = data.size();
   if (p > 1) {
-    // Binomial reduce to rank 0 — count this rank's traffic by mirroring
-    // the tree structure (one send per rank except the root's subtree
-    // spine; additions at each combine).
-    comm.reduce_inplace(data, /*root=*/0, [&](float a, float b) {
-      ++t.reduce_flops;
-      return a + b;
-    });
-    // Every non-root vrank sends exactly once in the binomial reduce.
-    if (rank != 0) {
-      t.bytes_sent += data.size_bytes();
-      ++t.messages_sent;
+    auto scratch_lease = kernels::ScratchPool::local().borrow(n);
+    float* const scratch = scratch_lease.data();
+    // Standard binomial combine toward rank 0: at round k, ranks with
+    // bit k set send their partial and are done; others fold in the
+    // partial from rank + 2^k if it exists.
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (rank & mask) {
+        comm.send(std::span<const float>(data.data(), n), rank - mask,
+                  kAlgoTag);
+        t.bytes_sent += data.size_bytes();
+        ++t.messages_sent;
+        break;  // this rank is done after sending its partial
+      }
+      if (rank + mask < p) {
+        comm.recv(std::span<float>(scratch, n), rank + mask, kAlgoTag);
+        kernels::reduce_add(data.data(), scratch, n);
+        t.reduce_flops += n;
+      }
     }
     comm.bcast(data, /*root=*/0);
     // Broadcast sends: rank forwards to each of its binomial children.

@@ -1,7 +1,7 @@
 #include "allreduce/algorithms_impl.hpp"
 
-#include <vector>
-
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
 #include "util/error.hpp"
 
 namespace dct::allreduce {
@@ -55,14 +55,15 @@ void RecursiveHalvingAllreduce::run(simmpi::Communicator& comm,
   }
   const int rem = p - pof2;
   int vrank;
-  std::vector<float> scratch(n);
+  auto scratch_lease = kernels::ScratchPool::local().borrow(n);
+  float* const scratch = scratch_lease.data();
   if (rank < 2 * rem) {
     if (rank % 2 == 0) {
       send_block(data, rank + 1);
       vrank = -1;  // idle until the final unfold
     } else {
-      comm.recv(std::span<float>(scratch), rank - 1, tag);
-      for (std::size_t i = 0; i < n; ++i) data[i] += scratch[i];
+      comm.recv(std::span<float>(scratch, n), rank - 1, tag);
+      kernels::reduce_add(data.data(), scratch, n);
       t.reduce_flops += n;
       vrank = rank / 2;
     }
@@ -80,11 +81,8 @@ void RecursiveHalvingAllreduce::run(simmpi::Communicator& comm,
       const auto [plo, phi] = block_range(n, partner, m, levels);
       send_block(std::span<const float>(data.data() + plo, phi - plo),
                  actual(partner));
-      comm.recv(std::span<float>(scratch.data(), myhi - mylo), actual(partner),
-                tag);
-      for (std::size_t i = 0; i < myhi - mylo; ++i) {
-        data[mylo + i] += scratch[i];
-      }
+      comm.recv(std::span<float>(scratch, myhi - mylo), actual(partner), tag);
+      kernels::reduce_add(data.data() + mylo, scratch, myhi - mylo);
       t.reduce_flops += myhi - mylo;
     }
     // Recursive-doubling allgather (reverse order).

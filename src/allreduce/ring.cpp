@@ -1,8 +1,9 @@
 #include "allreduce/algorithms_impl.hpp"
 
 #include <algorithm>
-#include <vector>
 
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
 #include "obs/trace.hpp"
 
 namespace dct::allreduce {
@@ -33,7 +34,8 @@ void PipelinedRingAllreduce::run(simmpi::Communicator& comm,
 
   const std::size_t chunk = std::max<std::size_t>(1, pipeline_elems_);
   const std::size_t nchunks = (n + chunk - 1) / chunk;
-  std::vector<float> scratch(chunk);
+  auto scratch_lease = kernels::ScratchPool::local().borrow(chunk);
+  float* const scratch = scratch_lease.data();
 
   for (std::size_t c = 0; c < nchunks; ++c) {
     const std::size_t lo = c * chunk;
@@ -46,8 +48,8 @@ void PipelinedRingAllreduce::run(simmpi::Communicator& comm,
     {
       DCT_TRACE_SPAN("reduce", "ring", static_cast<std::int64_t>(c));
       if (rank != p - 1) {
-        comm.recv(std::span<float>(scratch.data(), len), rank + 1, kAlgoTag);
-        for (std::size_t i = 0; i < len; ++i) part[i] += scratch[i];
+        comm.recv(std::span<float>(scratch, len), rank + 1, kAlgoTag);
+        kernels::reduce_add(part.data(), scratch, len);
         t.reduce_flops += len;
       }
       if (rank != 0) {

@@ -1,79 +1,21 @@
 #include "comm/codec.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
 #include <cstdint>
 #include <cstring>
 
+#include "kernels/kernels.hpp"
 #include "util/error.hpp"
 
 namespace dct::comm {
 
 namespace {
 
-// ---- fp16 conversion (software, round-to-nearest-even) ----------------
-
-std::uint16_t float_to_half(float f) {
-  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
-  const std::uint32_t sign = (bits >> 16) & 0x8000u;
-  const std::uint32_t exp = (bits >> 23) & 0xFFu;
-  std::uint32_t mant = bits & 0x007FFFFFu;
-
-  if (exp == 0xFF) {  // inf / nan
-    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant != 0 ? 0x200u : 0));
-  }
-  // Re-bias 127 -> 15.
-  const std::int32_t half_exp = static_cast<std::int32_t>(exp) - 127 + 15;
-  if (half_exp >= 0x1F) {  // overflow -> inf
-    return static_cast<std::uint16_t>(sign | 0x7C00u);
-  }
-  if (half_exp <= 0) {  // subnormal or zero
-    if (half_exp < -10) return static_cast<std::uint16_t>(sign);
-    // Add the implicit bit, then shift into subnormal position with
-    // round-to-nearest-even on the dropped bits.
-    mant |= 0x00800000u;
-    const std::uint32_t shift = static_cast<std::uint32_t>(14 - half_exp);
-    const std::uint32_t lsb = 1u << shift;
-    const std::uint32_t round = lsb >> 1;
-    std::uint32_t half_mant = mant >> shift;
-    const std::uint32_t rem = mant & (lsb - 1);
-    if (rem > round || (rem == round && (half_mant & 1u))) ++half_mant;
-    return static_cast<std::uint16_t>(sign | half_mant);
-  }
-  // Normal: keep 10 mantissa bits, round-to-nearest-even on the 13
-  // dropped bits.
-  std::uint32_t half = sign | (static_cast<std::uint32_t>(half_exp) << 10) |
-                       (mant >> 13);
-  const std::uint32_t rem = mant & 0x1FFFu;
-  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // may carry
-  return static_cast<std::uint16_t>(half);
-}
-
-float half_to_float(std::uint16_t h) {
-  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
-  std::uint32_t exp = (h >> 10) & 0x1Fu;
-  std::uint32_t mant = h & 0x3FFu;
-
-  if (exp == 0x1F) {  // inf / nan
-    return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
-  }
-  if (exp == 0) {
-    if (mant == 0) return std::bit_cast<float>(sign);  // ±0
-    // Subnormal: normalize.
-    std::int32_t e = -1;
-    do {
-      ++e;
-      mant <<= 1;
-    } while ((mant & 0x400u) == 0);
-    mant &= 0x3FFu;
-    return std::bit_cast<float>(
-        sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | (mant << 13));
-  }
-  return std::bit_cast<float>(sign | ((exp - 15 + 127) << 23) | (mant << 13));
-}
-
-// ---- codecs ------------------------------------------------------------
+// The fp16 conversion and int8 quantization loops live in
+// src/kernels/ (vectorized, restrict-qualified batch forms); the codecs
+// are thin wire-format wrappers around them. The numerics are unchanged:
+// kernels::fp16_pack/unpack use the same round-to-nearest-even software
+// conversion this file used to define inline, and kernels::int8_quantize
+// is bit-identical to the old scale-then-lrintf loop.
 
 class IdentityCodec final : public GradCodec {
  public:
@@ -105,17 +47,13 @@ class Fp16Codec final : public GradCodec {
               std::vector<std::byte>& out) const override {
     out.resize(in.size() * sizeof(std::uint16_t));
     auto* halves = reinterpret_cast<std::uint16_t*>(out.data());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      halves[i] = float_to_half(in[i]);
-    }
+    kernels::fp16_pack(in.data(), halves, in.size());
   }
   void decode(std::span<const std::byte> in,
               std::span<float> out) const override {
     DCT_CHECK(in.size() == out.size() * sizeof(std::uint16_t));
     const auto* halves = reinterpret_cast<const std::uint16_t*>(in.data());
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = half_to_float(halves[i]);
-    }
+    kernels::fp16_unpack(halves, out.data(), out.size());
   }
 };
 
@@ -134,16 +72,9 @@ class Int8Codec final : public GradCodec {
   void encode(std::span<const float> in,
               std::vector<std::byte>& out) const override {
     out.resize(sizeof(float) + in.size());
-    float maxabs = 0.0f;
-    for (const float v : in) maxabs = std::max(maxabs, std::fabs(v));
-    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
-    std::memcpy(out.data(), &scale, sizeof(float));
     auto* q = reinterpret_cast<std::int8_t*>(out.data() + sizeof(float));
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const float scaled = in[i] / scale;
-      q[i] = static_cast<std::int8_t>(
-          std::lrintf(std::clamp(scaled, -127.0f, 127.0f)));
-    }
+    const float scale = kernels::int8_quantize(in.data(), q, in.size());
+    std::memcpy(out.data(), &scale, sizeof(float));
   }
   void decode(std::span<const std::byte> in,
               std::span<float> out) const override {
@@ -152,9 +83,7 @@ class Int8Codec final : public GradCodec {
     std::memcpy(&scale, in.data(), sizeof(float));
     const auto* q =
         reinterpret_cast<const std::int8_t*>(in.data() + sizeof(float));
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = static_cast<float>(q[i]) * scale;
-    }
+    kernels::int8_dequantize(q, scale, out.data(), out.size());
   }
 };
 

@@ -30,6 +30,8 @@
 #include "dpt/sim_gpu.hpp"
 #include "dpt/torch_threads.hpp"
 #include "gpusim/p100_model.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
 #include "netsim/cluster.hpp"
 #include "netsim/flow_sim.hpp"
 #include "netsim/schedules.hpp"

@@ -1,0 +1,267 @@
+#include "kernels/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/counters.hpp"
+
+// The scalar references must stay scalar no matter how hard the file is
+// optimized, or the bench "before" arm silently measures the same SIMD
+// code as the "after" arm.
+#if defined(__GNUC__) && !defined(__clang__)
+#define DCT_SCALAR_REF \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize", \
+                          "no-unroll-loops")))
+#else
+#define DCT_SCALAR_REF
+#endif
+
+namespace dct::kernels {
+
+namespace {
+
+/// Lane width of the unrolled bodies. 8 floats = one AVX vector or two
+/// SSE vectors; the tails stay scalar.
+constexpr std::size_t kLanes = 8;
+
+}  // namespace
+
+// ---- float32 elementwise ----------------------------------------------
+
+void reduce_add(float* DCT_RESTRICT dst, const float* DCT_RESTRICT src,
+                std::size_t n) {
+  static obs::Counter& bytes = obs::Metrics::counter("kernels.reduce_bytes");
+  bytes.add(n * sizeof(float));
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) dst[i + l] += src[i + l];
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void axpy(float a, const float* DCT_RESTRICT x, float* DCT_RESTRICT y,
+          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) y[i + l] += a * x[i + l];
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale(float* x, float a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) x[i + l] *= a;
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+float dot(const float* DCT_RESTRICT a, const float* DCT_RESTRICT b,
+          std::size_t n) {
+  // Fixed 8-lane accumulators, combined pairwise in a fixed order: the
+  // result is a pure function of the inputs (not of the thread count or
+  // of which call site ran it), just not the sequential-order sum.
+  float acc[kLanes] = {0.0f};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) acc[l] += a[i + l] * b[i + l];
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  const float s01 = acc[0] + acc[1], s23 = acc[2] + acc[3];
+  const float s45 = acc[4] + acc[5], s67 = acc[6] + acc[7];
+  return ((s01 + s23) + (s45 + s67)) + tail;
+}
+
+float max_abs(const float* x, std::size_t n) {
+  float acc[kLanes] = {0.0f};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const float v = std::fabs(x[i + l]);
+      acc[l] = acc[l] < v ? v : acc[l];
+    }
+  }
+  float m = 0.0f;
+  for (std::size_t l = 0; l < kLanes; ++l) m = m < acc[l] ? acc[l] : m;
+  for (; i < n; ++i) {
+    const float v = std::fabs(x[i]);
+    m = m < v ? v : m;
+  }
+  return m;
+}
+
+// ---- fp16 --------------------------------------------------------------
+
+std::uint16_t float_to_half(float f) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exp = (bits >> 23) & 0xFFu;
+  std::uint32_t mant = bits & 0x007FFFFFu;
+
+  if (exp == 0xFF) {  // inf / nan
+    return static_cast<std::uint16_t>(sign | 0x7C00u |
+                                      (mant != 0 ? 0x200u : 0));
+  }
+  // Re-bias 127 -> 15.
+  const std::int32_t half_exp = static_cast<std::int32_t>(exp) - 127 + 15;
+  if (half_exp >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (half_exp <= 0) {  // subnormal or zero
+    if (half_exp < -10) return static_cast<std::uint16_t>(sign);
+    // Add the implicit bit, then shift into subnormal position with
+    // round-to-nearest-even on the dropped bits.
+    mant |= 0x00800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - half_exp);
+    const std::uint32_t lsb = 1u << shift;
+    const std::uint32_t round = lsb >> 1;
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rem = mant & (lsb - 1);
+    if (rem > round || (rem == round && (half_mant & 1u))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // Normal: keep 10 mantissa bits, round-to-nearest-even on the 13
+  // dropped bits.
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(half_exp) << 10) |
+                       (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // may carry
+  return static_cast<std::uint16_t>(half);
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+
+  if (exp == 0x1F) {  // inf / nan
+    return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return std::bit_cast<float>(sign);  // ±0
+    // Subnormal: normalize.
+    std::int32_t e = -1;
+    do {
+      ++e;
+      mant <<= 1;
+    } while ((mant & 0x400u) == 0);
+    mant &= 0x3FFu;
+    return std::bit_cast<float>(
+        sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | (mant << 13));
+  }
+  return std::bit_cast<float>(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+void fp16_pack(const float* DCT_RESTRICT in, std::uint16_t* DCT_RESTRICT out,
+               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      out[i + l] = float_to_half(in[i + l]);
+    }
+  }
+  for (; i < n; ++i) out[i] = float_to_half(in[i]);
+}
+
+void fp16_unpack(const std::uint16_t* DCT_RESTRICT in, float* DCT_RESTRICT out,
+                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      out[i + l] = half_to_float(in[i + l]);
+    }
+  }
+  for (; i < n; ++i) out[i] = half_to_float(in[i]);
+}
+
+// ---- int8 --------------------------------------------------------------
+
+float int8_quantize(const float* DCT_RESTRICT in, std::int8_t* DCT_RESTRICT out,
+                    std::size_t n) {
+  const float maxabs = max_abs(in, n);
+  const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const float scaled = in[i + l] / scale;
+      out[i + l] = static_cast<std::int8_t>(
+          std::lrintf(std::clamp(scaled, -127.0f, 127.0f)));
+    }
+  }
+  for (; i < n; ++i) {
+    const float scaled = in[i] / scale;
+    out[i] = static_cast<std::int8_t>(
+        std::lrintf(std::clamp(scaled, -127.0f, 127.0f)));
+  }
+  return scale;
+}
+
+void int8_dequantize(const std::int8_t* DCT_RESTRICT in, float scale,
+                     float* DCT_RESTRICT out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      out[i + l] = static_cast<float>(in[i + l]) * scale;
+    }
+  }
+  for (; i < n; ++i) out[i] = static_cast<float>(in[i]) * scale;
+}
+
+// ---- scalar references -------------------------------------------------
+
+namespace scalar {
+
+DCT_SCALAR_REF void reduce_add(float* dst, const float* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+DCT_SCALAR_REF void axpy(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+DCT_SCALAR_REF void scale(float* x, float a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+DCT_SCALAR_REF float dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+DCT_SCALAR_REF float max_abs(const float* x, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+DCT_SCALAR_REF void fp16_pack(const float* in, std::uint16_t* out,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = float_to_half(in[i]);
+}
+
+DCT_SCALAR_REF void fp16_unpack(const std::uint16_t* in, float* out,
+                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = half_to_float(in[i]);
+}
+
+DCT_SCALAR_REF float int8_quantize(const float* in, std::int8_t* out,
+                                   std::size_t n) {
+  const float maxabs = scalar::max_abs(in, n);
+  const float s = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::int8_t>(
+        std::lrintf(std::clamp(in[i] / s, -127.0f, 127.0f)));
+  }
+  return s;
+}
+
+DCT_SCALAR_REF void int8_dequantize(const std::int8_t* in, float scale,
+                                    float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(in[i]) * scale;
+}
+
+}  // namespace scalar
+
+}  // namespace dct::kernels

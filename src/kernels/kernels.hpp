@@ -1,0 +1,97 @@
+// Vectorization-friendly hot-path primitives (DESIGN.md §12).
+//
+// Every allreduce reduction loop, the gradient codecs, and the GEMM /
+// conv inner loops funnel through this module. The functions are written
+// the way auto-vectorizers like them: `restrict`-qualified pointers (no
+// aliasing disambiguation branches), fixed-width unrolled bodies with a
+// scalar tail, and — for reductions — a fixed lane count combined in a
+// fixed order, so results are bit-identical across runs, builds with
+// different thread counts, and call sites.
+//
+// Each primitive has a deliberately-unoptimized twin in
+// `kernels::scalar::` that serves as the semantic reference for the
+// property tests and the "before" arm of bench_micro_kernels. The
+// elementwise kernels (reduce_add, axpy, scale, fp16, int8) are
+// bit-identical to their scalar references — vector lanes perform the
+// same single IEEE op per element. dot/max_abs use a fixed 8-lane
+// accumulator tree, so they match the sequential reference only to
+// rounding (but are themselves fully deterministic).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DCT_RESTRICT __restrict__
+#else
+#define DCT_RESTRICT
+#endif
+
+namespace dct::kernels {
+
+// ---- float32 elementwise ----------------------------------------------
+
+/// dst[i] += src[i]. The allreduce combine step. Bit-identical to the
+/// scalar reference for every input (one IEEE add per element).
+void reduce_add(float* DCT_RESTRICT dst, const float* DCT_RESTRICT src,
+                std::size_t n);
+
+/// y[i] += a·x[i]. GEMM's inner row update.
+void axpy(float a, const float* DCT_RESTRICT x, float* DCT_RESTRICT y,
+          std::size_t n);
+
+/// x[i] *= a.
+void scale(float* x, float a, std::size_t n);
+
+/// Σ a[i]·b[i] with a fixed 8-lane accumulator combined in a fixed tree
+/// order — deterministic, but not the sequential-order sum.
+float dot(const float* DCT_RESTRICT a, const float* DCT_RESTRICT b,
+          std::size_t n);
+
+/// max_i |x[i]|, NaNs ignored (same `(m < v) ? v : m` lattice as the
+/// scalar std::max chain). Returns 0 for n == 0.
+float max_abs(const float* x, std::size_t n);
+
+// ---- fp16 (IEEE binary16, round-to-nearest-even, software) ------------
+
+std::uint16_t float_to_half(float f);
+float half_to_float(std::uint16_t h);
+
+void fp16_pack(const float* DCT_RESTRICT in, std::uint16_t* DCT_RESTRICT out,
+               std::size_t n);
+void fp16_unpack(const std::uint16_t* DCT_RESTRICT in,
+                 float* DCT_RESTRICT out, std::size_t n);
+
+// ---- int8 max-abs linear quantization ---------------------------------
+
+/// q[i] = round(in[i]/scale) clamped to [-127, 127], where
+/// scale = max_abs(in)/127 (1.0 when the slice is all zero). Returns the
+/// scale so callers can serialize it next to the payload.
+float int8_quantize(const float* DCT_RESTRICT in, std::int8_t* DCT_RESTRICT out,
+                    std::size_t n);
+
+/// out[i] = q[i]·scale.
+void int8_dequantize(const std::int8_t* DCT_RESTRICT in, float scale,
+                     float* DCT_RESTRICT out, std::size_t n);
+
+// ---- scalar references -------------------------------------------------
+// One obviously-correct loop each, pinned non-vectorized so the bench
+// comparison measures the kernels rather than the compiler's mood.
+
+namespace scalar {
+
+void reduce_add(float* dst, const float* src, std::size_t n);
+void axpy(float a, const float* x, float* y, std::size_t n);
+void scale(float* x, float a, std::size_t n);
+float dot(const float* a, const float* b, std::size_t n);
+float max_abs(const float* x, std::size_t n);
+void fp16_pack(const float* in, std::uint16_t* out, std::size_t n);
+void fp16_unpack(const std::uint16_t* in, float* out, std::size_t n);
+float int8_quantize(const float* in, std::int8_t* out, std::size_t n);
+void int8_dequantize(const std::int8_t* in, float scale, float* out,
+                     std::size_t n);
+
+}  // namespace scalar
+
+}  // namespace dct::kernels

@@ -1,0 +1,99 @@
+#include "kernels/scratch_pool.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/counters.hpp"
+#include "util/error.hpp"
+
+namespace dct::kernels {
+
+ScratchPool::Lease& ScratchPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && buf_ != nullptr) {
+      pool_->give_back(std::move(buf_), cap_);
+    }
+    pool_ = other.pool_;
+    buf_ = std::move(other.buf_);
+    cap_ = other.cap_;
+    n_ = other.n_;
+    other.pool_ = nullptr;
+    other.cap_ = 0;
+    other.n_ = 0;
+  }
+  return *this;
+}
+
+ScratchPool::Lease::~Lease() {
+  if (pool_ != nullptr && buf_ != nullptr) {
+    pool_->give_back(std::move(buf_), cap_);
+  }
+}
+
+ScratchPool& ScratchPool::local() {
+  thread_local ScratchPool pool;
+  return pool;
+}
+
+std::size_t ScratchPool::bucket_index(std::size_t n) {
+  const std::size_t rounded = std::bit_ceil(std::max(n, kMinElems));
+  const std::size_t idx =
+      static_cast<std::size_t>(std::countr_zero(rounded)) -
+      static_cast<std::size_t>(std::countr_zero(kMinElems));
+  DCT_CHECK_MSG(idx < kBuckets, "scratch request of " << n
+                                << " floats exceeds the largest bucket");
+  return idx;
+}
+
+ScratchPool::Lease ScratchPool::borrow(std::size_t n) {
+  static obs::Counter& hit_counter =
+      obs::Metrics::counter("kernels.scratch_hits");
+  static obs::Counter& miss_counter =
+      obs::Metrics::counter("kernels.scratch_misses");
+  if (n == 0) return Lease();
+  const std::size_t idx = bucket_index(n);
+  const std::size_t cap = kMinElems << idx;
+  auto& bucket = free_[idx];
+  if (!bucket.empty()) {
+    std::unique_ptr<float[]> buf = std::move(bucket.back());
+    bucket.pop_back();
+    ++hits_;
+    hit_counter.add(1);
+    return Lease(this, std::move(buf), cap, n);
+  }
+  ++misses_;
+  miss_counter.add(1);
+  return Lease(this, std::make_unique<float[]>(cap), cap, n);
+}
+
+void ScratchPool::give_back(std::unique_ptr<float[]> buf, std::size_t cap) {
+  free_[bucket_index(cap)].push_back(std::move(buf));
+}
+
+double ScratchPool::hit_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+std::size_t ScratchPool::cached_buffers() const {
+  std::size_t count = 0;
+  for (const auto& bucket : free_) count += bucket.size();
+  return count;
+}
+
+std::size_t ScratchPool::cached_bytes() const {
+  std::size_t bytes = 0;
+  for (std::size_t idx = 0; idx < kBuckets; ++idx) {
+    bytes += free_[idx].size() * (kMinElems << idx) * sizeof(float);
+  }
+  return bytes;
+}
+
+void ScratchPool::clear() {
+  for (auto& bucket : free_) bucket.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dct::kernels

@@ -1,0 +1,109 @@
+// Thread-local pooled scratch buffers (DESIGN.md §12).
+//
+// Every allreduce step used to heap-allocate a fresh std::vector<float>
+// for the incoming-chunk staging buffer — at one alloc/free per
+// Algorithm::run per rank per step, the allocator shows up next to the
+// reduction itself. ScratchPool replaces that with size-bucketed reuse:
+//
+//   auto lease = kernels::ScratchPool::local().borrow(len);
+//   comm.recv(lease.span().subspan(0, len), ...);
+//
+// Buffers are bucketed by the next power of two (min 256 floats), so a
+// steady-state training loop borrows the same buffer every step: after
+// the first step the pool's hit rate is ~100% and the allocator is out
+// of the hot path entirely.
+//
+// Lifetime rules:
+//  * The pool is thread_local. A Lease must be returned (destroyed) on
+//    the thread that borrowed it — leases are scoped locals, never
+//    stored or handed to another thread.
+//  * A Lease's span stays valid until the Lease is destroyed; the pool
+//    may hand the same memory out again afterwards.
+//  * Contents are uninitialized on borrow (like the vectors they
+//    replace, callers fully overwrite before reading).
+//  * Per-thread caches die with the thread. A Lease must not outlive
+//    its pool — trivially true for scoped locals, which is the only
+//    supported usage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace dct::kernels {
+
+class ScratchPool {
+ public:
+  /// RAII handle to a borrowed buffer. Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    /// The requested-size view (capacity may be larger).
+    std::span<float> span() const { return {buf_.get(), n_}; }
+    float* data() const { return buf_.get(); }
+    std::size_t size() const { return n_; }
+
+   private:
+    friend class ScratchPool;
+    Lease(ScratchPool* pool, std::unique_ptr<float[]> buf, std::size_t cap,
+          std::size_t n)
+        : pool_(pool), buf_(std::move(buf)), cap_(cap), n_(n) {}
+
+    ScratchPool* pool_ = nullptr;
+    std::unique_ptr<float[]> buf_;
+    std::size_t cap_ = 0;
+    std::size_t n_ = 0;
+  };
+
+  ScratchPool() = default;
+  ~ScratchPool() = default;
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// This thread's pool (created on first use, dies with the thread).
+  static ScratchPool& local();
+
+  /// Borrow at least `n` floats. n == 0 returns an empty lease without
+  /// touching the pool.
+  Lease borrow(std::size_t n);
+
+  /// Instance-level reuse statistics (process-wide totals live on the
+  /// obs counters kernels.scratch_{hits,misses}).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  /// hits / (hits + misses); 0 when nothing was borrowed yet.
+  double hit_rate() const;
+
+  /// Buffers currently cached (idle) and their total byte footprint.
+  std::size_t cached_buffers() const;
+  std::size_t cached_bytes() const;
+
+  /// Drop every idle buffer (outstanding leases are unaffected) and
+  /// zero the instance statistics.
+  void clear();
+
+ private:
+  friend class Lease;
+
+  static constexpr std::size_t kMinElems = 256;   // smallest bucket
+  static constexpr std::size_t kBuckets = 34;     // 2^8 .. beyond 2^40
+
+  static std::size_t bucket_index(std::size_t n);
+
+  void give_back(std::unique_ptr<float[]> buf, std::size_t cap);
+
+  std::array<std::vector<std::unique_ptr<float[]>>, kBuckets> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dct::kernels

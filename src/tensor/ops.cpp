@@ -4,7 +4,34 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
+#include "obs/counters.hpp"
+#include "util/thread_pool.hpp"
+
 namespace dct::tensor {
+
+namespace {
+
+/// Rough work (in flops or moved elements) aimed at each parallel_for
+/// chunk. Chunk boundaries derive from the problem shape only — never
+/// from the thread count — which is what keeps threaded results
+/// bit-identical at any DCTRAIN_THREADS (DESIGN.md §12).
+constexpr std::int64_t kChunkWork = 1 << 20;
+constexpr std::int64_t kChunkCopy = 1 << 15;
+
+/// Fixed chunk grain: enough units that each chunk carries ~`target`
+/// work, clamped to [1, max_grain]. Tiny problems collapse to one
+/// inline chunk; max_grain keeps per-chunk tiles cache-sized.
+std::size_t work_grain(std::int64_t unit_work, std::int64_t target,
+                       std::int64_t max_grain) {
+  const std::int64_t per = std::max<std::int64_t>(1, unit_work);
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(target / per, 1,
+                               std::max<std::int64_t>(1, max_grain)));
+}
+
+}  // namespace
 
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           Tensor& c, float alpha, float beta) {
@@ -15,47 +42,85 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
   DCT_CHECK_MSG(k == kb, "gemm inner dimension mismatch " << k << " vs " << kb);
   DCT_CHECK(c.dim(0) == m && c.dim(1) == n);
-
-  auto a_at = [&](std::int64_t i, std::int64_t j) {
-    return trans_a ? a.at(j, i) : a.at(i, j);
-  };
-  auto b_at = [&](std::int64_t i, std::int64_t j) {
-    return trans_b ? b.at(j, i) : b.at(i, j);
-  };
+  static obs::Counter& gemm_flops = obs::Metrics::counter("kernels.gemm_flops");
+  gemm_flops.add(static_cast<std::uint64_t>(2) *
+                 static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+                 static_cast<std::uint64_t>(k));
 
   if (beta == 0.0f) {
     c.zero();
   } else if (beta != 1.0f) {
     scale(c, beta);
   }
-  // i-k-j loop order: the inner j loop streams through rows of B and C.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c.data() + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = alpha * a_at(i, kk);
-      if (av == 0.0f) continue;
-      if (!trans_b) {
-        const float* brow = b.data() + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      } else {
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * b_at(kk, j);
-      }
-    }
+  if (m == 0 || n == 0 || k == 0) return;
+
+  const float* adata = a.data();
+  const float* bdata = b.data();
+  float* cdata = c.data();
+
+  // With trans_a the A row lives strided in memory; gather it once per
+  // output row into pooled scratch so the inner kernels stay contiguous.
+  auto load_arow = [&](std::int64_t i, float* packed) -> const float* {
+    if (!trans_a) return adata + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) packed[kk] = adata[kk * m + i];
+    return packed;
+  };
+
+  if (!trans_b) {
+    // Column-tiled i-k-j order: each chunk owns a j-tile of C. Per
+    // element the kk additions run in ascending order — bit-identical
+    // for any tiling, and the tile keeps the C-row segment in L1 while
+    // rows of B stream through. (No av == 0 early-out: besides blocking
+    // vectorization it silently dropped NaN/Inf columns of B.)
+    const std::size_t grain =
+        work_grain(2 * m * k, kChunkWork, /*max_grain=*/4096);
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(n),
+        [&](std::size_t j_lo, std::size_t j_hi) {
+          const std::int64_t j0 = static_cast<std::int64_t>(j_lo);
+          const std::size_t jlen = j_hi - j_lo;
+          auto arow_lease = kernels::ScratchPool::local().borrow(
+              trans_a ? static_cast<std::size_t>(k) : 0);
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float* arow = load_arow(i, arow_lease.data());
+            float* crow = cdata + i * n + j0;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              kernels::axpy(alpha * arow[kk], bdata + kk * n + j0, crow, jlen);
+            }
+          }
+        },
+        grain);
+  } else {
+    // op(B) = Bᵀ with B stored [n, k]: C[i][j] is a dot of two
+    // contiguous rows. Parallel over row blocks of C.
+    const std::size_t grain = work_grain(2 * n * k, kChunkWork, m);
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(m),
+        [&](std::size_t i_lo, std::size_t i_hi) {
+          auto arow_lease = kernels::ScratchPool::local().borrow(
+              trans_a ? static_cast<std::size_t>(k) : 0);
+          for (std::size_t i = i_lo; i < i_hi; ++i) {
+            const float* arow =
+                load_arow(static_cast<std::int64_t>(i), arow_lease.data());
+            float* crow = cdata + static_cast<std::int64_t>(i) * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              crow[j] += alpha * kernels::dot(arow, bdata + j * k,
+                                              static_cast<std::size_t>(k));
+            }
+          }
+        },
+        grain);
   }
 }
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {
   DCT_CHECK(x.numel() == y.numel());
-  const float* xs = x.data();
-  float* ys = y.data();
-  const std::int64_t n = x.numel();
-  for (std::int64_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+  kernels::axpy(alpha, x.data(), y.data(),
+                static_cast<std::size_t>(x.numel()));
 }
 
 void scale(Tensor& x, float alpha) {
-  float* xs = x.data();
-  const std::int64_t n = x.numel();
-  for (std::int64_t i = 0; i < n; ++i) xs[i] *= alpha;
+  kernels::scale(x.data(), alpha, static_cast<std::size_t>(x.numel()));
 }
 
 double sum(const Tensor& x) {
@@ -73,26 +138,34 @@ Tensor im2col(const Tensor& input, const Conv2dShape& s) {
   DCT_CHECK_MSG(ho > 0 && wo > 0, "conv output collapsed to zero");
   Tensor cols({c * s.kernel * s.kernel, n * ho * wo});
   const std::int64_t col_w = n * ho * wo;
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    for (std::int64_t ki = 0; ki < s.kernel; ++ki) {
-      for (std::int64_t kj = 0; kj < s.kernel; ++kj) {
-        const std::int64_t row = (ch * s.kernel + ki) * s.kernel + kj;
-        float* dst = cols.data() + row * col_w;
-        for (std::int64_t img = 0; img < n; ++img) {
-          for (std::int64_t oi = 0; oi < ho; ++oi) {
-            const std::int64_t ii = oi * s.stride - s.pad + ki;
-            for (std::int64_t oj = 0; oj < wo; ++oj) {
-              const std::int64_t jj = oj * s.stride - s.pad + kj;
-              const std::int64_t idx = (img * ho + oi) * wo + oj;
-              dst[idx] = (ii >= 0 && ii < h && jj >= 0 && jj < w)
-                             ? input.at(img, ch, ii, jj)
-                             : 0.0f;
+  // Each output row (ch, ki, kj) is written by exactly one chunk, so the
+  // batch-parallel unfold is bit-identical at any thread count.
+  const std::int64_t rows = c * s.kernel * s.kernel;
+  const std::size_t grain = work_grain(col_w, kChunkCopy, rows);
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(rows),
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t r = row_lo; r < row_hi; ++r) {
+          const auto row = static_cast<std::int64_t>(r);
+          const std::int64_t ch = row / (s.kernel * s.kernel);
+          const std::int64_t ki = (row / s.kernel) % s.kernel;
+          const std::int64_t kj = row % s.kernel;
+          float* dst = cols.data() + row * col_w;
+          for (std::int64_t img = 0; img < n; ++img) {
+            for (std::int64_t oi = 0; oi < ho; ++oi) {
+              const std::int64_t ii = oi * s.stride - s.pad + ki;
+              for (std::int64_t oj = 0; oj < wo; ++oj) {
+                const std::int64_t jj = oj * s.stride - s.pad + kj;
+                const std::int64_t idx = (img * ho + oi) * wo + oj;
+                dst[idx] = (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                               ? input.at(img, ch, ii, jj)
+                               : 0.0f;
+              }
             }
           }
         }
-      }
-    }
-  }
+      },
+      grain);
   return cols;
 }
 
@@ -104,25 +177,34 @@ Tensor col2im(const Tensor& cols, const Conv2dShape& s, std::int64_t n,
   DCT_CHECK(cols.dim(1) == n * ho * wo);
   Tensor out({n, c, h, w});
   const std::int64_t col_w = n * ho * wo;
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    for (std::int64_t ki = 0; ki < s.kernel; ++ki) {
-      for (std::int64_t kj = 0; kj < s.kernel; ++kj) {
-        const std::int64_t row = (ch * s.kernel + ki) * s.kernel + kj;
-        const float* src = cols.data() + row * col_w;
-        for (std::int64_t img = 0; img < n; ++img) {
-          for (std::int64_t oi = 0; oi < ho; ++oi) {
-            const std::int64_t ii = oi * s.stride - s.pad + ki;
-            if (ii < 0 || ii >= h) continue;
-            for (std::int64_t oj = 0; oj < wo; ++oj) {
-              const std::int64_t jj = oj * s.stride - s.pad + kj;
-              if (jj < 0 || jj >= w) continue;
-              out.at(img, ch, ii, jj) += src[(img * ho + oi) * wo + oj];
+  // Overlapping windows accumulate, but only within one input channel:
+  // chunking on `ch` keeps writes disjoint, and each channel folds its
+  // (ki, kj) rows in the same order as the serial loop.
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(c),
+      [&](std::size_t ch_lo, std::size_t ch_hi) {
+        for (std::size_t chu = ch_lo; chu < ch_hi; ++chu) {
+          const auto ch = static_cast<std::int64_t>(chu);
+          for (std::int64_t ki = 0; ki < s.kernel; ++ki) {
+            for (std::int64_t kj = 0; kj < s.kernel; ++kj) {
+              const std::int64_t row = (ch * s.kernel + ki) * s.kernel + kj;
+              const float* src = cols.data() + row * col_w;
+              for (std::int64_t img = 0; img < n; ++img) {
+                for (std::int64_t oi = 0; oi < ho; ++oi) {
+                  const std::int64_t ii = oi * s.stride - s.pad + ki;
+                  if (ii < 0 || ii >= h) continue;
+                  for (std::int64_t oj = 0; oj < wo; ++oj) {
+                    const std::int64_t jj = oj * s.stride - s.pad + kj;
+                    if (jj < 0 || jj >= w) continue;
+                    out.at(img, ch, ii, jj) += src[(img * ho + oi) * wo + oj];
+                  }
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return out;
 }
 
@@ -135,18 +217,27 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   const Tensor cols = im2col(input, s);
   Tensor flat({s.out_channels, n * ho * wo});
   gemm(weight, false, cols, false, flat);
-  // [Co, N·Ho·Wo] → [N, Co, Ho, Wo] (+bias)
+  // [Co, N·Ho·Wo] → [N, Co, Ho, Wo] (+bias), batch-parallel: every
+  // (img, co) plane is written by exactly one chunk.
   Tensor out({n, s.out_channels, ho, wo});
   const bool has_bias = bias.numel() > 0;
-  for (std::int64_t co = 0; co < s.out_channels; ++co) {
-    const float b = has_bias ? bias[co] : 0.0f;
-    const float* src = flat.data() + co * (n * ho * wo);
-    for (std::int64_t img = 0; img < n; ++img) {
-      float* dst = out.data() + ((img * s.out_channels + co) * ho) * wo;
-      const float* s2 = src + img * ho * wo;
-      for (std::int64_t i = 0; i < ho * wo; ++i) dst[i] = s2[i] + b;
-    }
-  }
+  const std::size_t grain =
+      work_grain(s.out_channels * ho * wo, kChunkCopy, n);
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t img_lo, std::size_t img_hi) {
+        for (std::size_t imgu = img_lo; imgu < img_hi; ++imgu) {
+          const auto img = static_cast<std::int64_t>(imgu);
+          for (std::int64_t co = 0; co < s.out_channels; ++co) {
+            const float b = has_bias ? bias[co] : 0.0f;
+            const float* s2 =
+                flat.data() + co * (n * ho * wo) + img * ho * wo;
+            float* dst = out.data() + ((img * s.out_channels + co) * ho) * wo;
+            for (std::int64_t i = 0; i < ho * wo; ++i) dst[i] = s2[i] + b;
+          }
+        }
+      },
+      grain);
   return out;
 }
 
@@ -159,28 +250,46 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
   DCT_CHECK(grad_out.dim(0) == n && grad_out.dim(1) == s.out_channels &&
             grad_out.dim(2) == ho && grad_out.dim(3) == wo);
 
-  // Rearrange upstream grad to [Co, N·Ho·Wo].
+  // Rearrange upstream grad to [Co, N·Ho·Wo], batch-parallel (disjoint
+  // (img, co) planes per chunk).
   Tensor g({s.out_channels, n * ho * wo});
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t co = 0; co < s.out_channels; ++co) {
-      const float* src =
-          grad_out.data() + ((img * s.out_channels + co) * ho) * wo;
-      float* dst = g.data() + co * (n * ho * wo) + img * ho * wo;
-      std::copy(src, src + ho * wo, dst);
-    }
-  }
+  const std::size_t img_grain =
+      work_grain(s.out_channels * ho * wo, kChunkCopy, n);
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t img_lo, std::size_t img_hi) {
+        for (std::size_t imgu = img_lo; imgu < img_hi; ++imgu) {
+          const auto img = static_cast<std::int64_t>(imgu);
+          for (std::int64_t co = 0; co < s.out_channels; ++co) {
+            const float* src =
+                grad_out.data() + ((img * s.out_channels + co) * ho) * wo;
+            float* dst = g.data() + co * (n * ho * wo) + img * ho * wo;
+            std::copy(src, src + ho * wo, dst);
+          }
+        }
+      },
+      img_grain);
 
   const Tensor cols = im2col(input, s);
   // dW = g · colsᵀ
   gemm(g, false, cols, true, grad_weight);
-  // dBias = row sums of g.
+  // dBias = row sums of g (sequential double accumulation per channel,
+  // one channel per chunk — order within a channel is unchanged).
   if (grad_bias.numel() > 0) {
-    for (std::int64_t co = 0; co < s.out_channels; ++co) {
-      double acc = 0.0;
-      const float* row = g.data() + co * (n * ho * wo);
-      for (std::int64_t i = 0; i < n * ho * wo; ++i) acc += row[i];
-      grad_bias[co] = static_cast<float>(acc);
-    }
+    const std::size_t co_grain = work_grain(n * ho * wo, kChunkCopy,
+                                            s.out_channels);
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(s.out_channels),
+        [&](std::size_t co_lo, std::size_t co_hi) {
+          for (std::size_t cou = co_lo; cou < co_hi; ++cou) {
+            const auto co = static_cast<std::int64_t>(cou);
+            double acc = 0.0;
+            const float* row = g.data() + co * (n * ho * wo);
+            for (std::int64_t i = 0; i < n * ho * wo; ++i) acc += row[i];
+            grad_bias[co] = static_cast<float>(acc);
+          }
+        },
+        co_grain);
   }
   // dX = col2im(Wᵀ · g)
   Tensor dcols({s.in_channels * s.kernel * s.kernel, n * ho * wo});

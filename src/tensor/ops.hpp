@@ -10,7 +10,11 @@ namespace dct::tensor {
 
 /// C = alpha·op(A)·op(B) + beta·C, with op controlled by the transpose
 /// flags. A is [m,k] (or [k,m] if trans_a), B is [k,n] (or [n,k]),
-/// C is [m,n]. Blocked loops; single-threaded determinism.
+/// C is [m,n]. Blocked/tiled loops over kernels::axpy / kernels::dot,
+/// parallelized on ThreadPool::global() with shape-derived chunking:
+/// results are bit-identical across runs and thread counts
+/// (DESIGN.md §12). NaN/Inf inputs propagate per IEEE — there is no
+/// zero-skip shortcut.
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           Tensor& c, float alpha = 1.0f, float beta = 0.0f);
 

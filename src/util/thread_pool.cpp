@@ -1,13 +1,33 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 
 namespace dct {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace {
+
+/// DCTRAIN_THREADS when set to a positive integer, else
+/// hardware_concurrency (min 1).
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DCTRAIN_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
   }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -34,33 +54,59 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   return fut;
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
   const std::size_t n = end - begin;
-  const std::size_t nthreads = size();
-  if (nthreads <= 1 || n < 2) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  // The chunk decomposition is identical on every path below; only the
+  // execution (inline vs pooled) differs, so results cannot depend on
+  // the worker count.
+  if (chunks == 1 || size() <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
     return;
   }
-  const std::size_t chunks = std::min(nthreads, n);
-  const std::size_t per = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futs;
   futs.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * per;
-    const std::size_t hi = std::min(end, lo + per);
-    if (lo >= hi) break;
-    futs.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    futs.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
   }
   for (auto& f : futs) f.get();
 }
 
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  // Historic splitting: ~one chunk per worker.
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(std::max<std::size_t>(1, size()), n);
+  const std::size_t grain = (n + chunks - 1) / chunks;
+  parallel_for(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
+  return *g_global_pool;
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool.reset();  // join first so two pools never coexist
+  g_global_pool = std::make_unique<ThreadPool>(threads);
 }
 
 void ThreadPool::worker_loop() {

@@ -1,9 +1,17 @@
 // Fixed-size worker pool.
 //
-// Used by the tensor kernels (parallel_for over rows/output channels) and
-// as the execution substrate for simulated GPU device threads. Tasks are
-// plain std::function jobs; submit() returns a future, parallel_for blocks
-// until the whole index range is processed.
+// Used by the tensor kernels (range-parallel GEMM / conv loops) and as
+// the execution substrate for simulated GPU device threads. Tasks are
+// plain std::function jobs; submit() returns a future, parallel_for
+// blocks until the whole index range is processed.
+//
+// Determinism contract (DESIGN.md §12): the range overload splits
+// [begin, end) into fixed chunks of `grain` indices — a pure function
+// of the range and grain, never of the worker count. Chunks may execute
+// concurrently in any order, so a caller whose chunks write disjoint
+// outputs (or that combines per-chunk partials in chunk order) gets
+// bit-identical results at 1, 2, or N threads. Even the single-worker
+// inline path runs the same chunk decomposition.
 #pragma once
 
 #include <condition_variable>
@@ -31,14 +39,32 @@ class ThreadPool {
   /// Enqueue a job; the future resolves when it completes.
   std::future<void> submit(std::function<void()> job);
 
-  /// Run fn(i) for i in [begin, end), split into ~size() contiguous
-  /// chunks, and wait for completion. Runs inline when the range is
-  /// small or the pool has one worker.
+  /// Range-parallel execution: run fn(lo, hi) over fixed chunks of
+  /// `grain` indices covering [begin, end), and wait for completion.
+  /// The chunk boundaries depend only on (begin, end, grain) — see the
+  /// determinism contract above. One std::function dispatch per chunk
+  /// (not per index), so small per-element kernels stay cheap.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain);
+
+  /// Back-compat per-index form: fn(i) for i in [begin, end), split into
+  /// ~size() contiguous chunks. Thin wrapper over the range overload;
+  /// prefer the range form in hot paths (per-index std::function calls
+  /// dominate small kernels).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Process-wide shared pool for kernel parallelism.
+  /// Process-wide shared pool for kernel parallelism. Sized by the
+  /// DCTRAIN_THREADS environment variable when set (>= 1), otherwise
+  /// hardware_concurrency.
   static ThreadPool& global();
+
+  /// Replace the global pool with one of exactly `threads` workers
+  /// (0 → the DCTRAIN_THREADS / hardware default). Joins the old pool's
+  /// workers; callers must be quiescent — this is a test/bench hook for
+  /// the determinism-across-thread-counts checks, not a runtime knob.
+  static void reset_global(std::size_t threads);
 
  private:
   void worker_loop();

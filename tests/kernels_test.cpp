@@ -1,0 +1,426 @@
+// Property tests for the vectorized hot-path kernels (src/kernels/)
+// against their pinned-scalar references, ScratchPool reuse behaviour,
+// and the DESIGN.md §12 determinism contract: the threaded GEMM / conv /
+// im2col paths must be bit-identical at 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
+#include "obs/counters.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dct::kernels {
+namespace {
+
+using tensor::Conv2dShape;
+using tensor::Tensor;
+
+// Lengths that exercise the unrolled body, the scalar tail, and the
+// empty case; offsets that break any accidental alignment assumption.
+const std::vector<std::size_t> kLens = {0, 1, 3, 7, 8, 17, 31, 1023, 4097};
+const std::vector<std::size_t> kOffsets = {0, 1, 3};
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.next_gaussian()) * 3.0f;
+  }
+  // Sprinkle special values so the property tests cover them too.
+  if (n > 4) {
+    v[n / 4] = 0.0f;
+    v[n / 2] = -0.0f;
+    v[3 * n / 4] = 1e-41f;  // subnormal
+  }
+  return v;
+}
+
+::testing::AssertionResult bits_equal(const float* a, const float* b,
+                                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i])) {
+      return ::testing::AssertionFailure()
+             << "bit mismatch at [" << i << "]: " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---- elementwise kernels vs scalar references (bit equality) ----------
+
+TEST(Kernels, ReduceAddMatchesScalarBitwise) {
+  for (std::size_t n : kLens) {
+    for (std::size_t off : kOffsets) {
+      const auto src = random_vec(n + off, 11 * n + off);
+      auto dst_k = random_vec(n + off, 23 * n + off);
+      auto dst_s = dst_k;
+      reduce_add(dst_k.data() + off, src.data() + off, n);
+      scalar::reduce_add(dst_s.data() + off, src.data() + off, n);
+      EXPECT_TRUE(bits_equal(dst_k.data(), dst_s.data(), n + off))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(Kernels, AxpyMatchesScalarBitwise) {
+  for (std::size_t n : kLens) {
+    for (std::size_t off : kOffsets) {
+      for (float a : {0.0f, 1.0f, -1.7f, 0.3f}) {
+        const auto x = random_vec(n + off, 7 * n + off);
+        auto y_k = random_vec(n + off, 13 * n + off);
+        auto y_s = y_k;
+        axpy(a, x.data() + off, y_k.data() + off, n);
+        scalar::axpy(a, x.data() + off, y_s.data() + off, n);
+        EXPECT_TRUE(bits_equal(y_k.data(), y_s.data(), n + off))
+            << "n=" << n << " off=" << off << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ScaleMatchesScalarBitwise) {
+  for (std::size_t n : kLens) {
+    for (std::size_t off : kOffsets) {
+      auto x_k = random_vec(n + off, 5 * n + off);
+      auto x_s = x_k;
+      scale(x_k.data() + off, 0.37f, n);
+      scalar::scale(x_s.data() + off, 0.37f, n);
+      EXPECT_TRUE(bits_equal(x_k.data(), x_s.data(), n + off));
+    }
+  }
+}
+
+TEST(Kernels, DotMatchesScalarToRounding) {
+  for (std::size_t n : kLens) {
+    for (std::size_t off : kOffsets) {
+      const auto a = random_vec(n + off, 3 * n + off);
+      const auto b = random_vec(n + off, 17 * n + off);
+      const float got = dot(a.data() + off, b.data() + off, n);
+      const float ref = scalar::dot(a.data() + off, b.data() + off, n);
+      // Lane-tree vs sequential order: equal to rounding, and exactly
+      // repeatable call-to-call.
+      const float tol = 1e-4f * (std::fabs(ref) + float(n) + 1.0f);
+      EXPECT_NEAR(got, ref, tol) << "n=" << n << " off=" << off;
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(got),
+                std::bit_cast<std::uint32_t>(
+                    dot(a.data() + off, b.data() + off, n)));
+    }
+  }
+  EXPECT_EQ(dot(nullptr, nullptr, 0), 0.0f);
+}
+
+TEST(Kernels, MaxAbsMatchesScalarAndIgnoresNan) {
+  for (std::size_t n : kLens) {
+    auto v = random_vec(n, 29 * n + 1);
+    EXPECT_EQ(max_abs(v.data(), n), scalar::max_abs(v.data(), n));
+  }
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> v = {1.0f, nan, -5.0f, 2.0f};
+  EXPECT_EQ(max_abs(v.data(), v.size()), 5.0f);
+  EXPECT_EQ(scalar::max_abs(v.data(), v.size()), 5.0f);
+  EXPECT_EQ(max_abs(nullptr, 0), 0.0f);
+}
+
+// ---- NaN / signed-zero semantics --------------------------------------
+
+TEST(Kernels, NanAndSignedZeroPropagation) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // One IEEE add per element: NaN and Inf in either operand propagate,
+  // and -0 + +0 == +0 (round-to-nearest rules), exactly like the scalar
+  // reference.
+  std::vector<float> dst = {-0.0f, 1.0f, 0.5f, -inf};
+  std::vector<float> src = {0.0f, nan, inf, inf};
+  std::vector<float> dst_ref = dst;
+  reduce_add(dst.data(), src.data(), dst.size());
+  scalar::reduce_add(dst_ref.data(), src.data(), dst_ref.size());
+  EXPECT_TRUE(bits_equal(dst.data(), dst_ref.data(), dst.size()));
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(dst[0]),
+            std::bit_cast<std::uint32_t>(0.0f));  // -0 + +0 → +0
+  EXPECT_TRUE(std::isnan(dst[1]));
+  EXPECT_EQ(dst[2], inf);
+  EXPECT_TRUE(std::isnan(dst[3]));  // -inf + inf → NaN
+
+  // axpy with a NaN coefficient poisons every element, even where x == 0.
+  std::vector<float> x = {0.0f, 2.0f};
+  std::vector<float> y = {1.0f, 1.0f};
+  axpy(nan, x.data(), y.data(), y.size());
+  EXPECT_TRUE(std::isnan(y[0]));
+  EXPECT_TRUE(std::isnan(y[1]));
+}
+
+// ---- fp16 --------------------------------------------------------------
+
+TEST(Kernels, Fp16PackMatchesScalar) {
+  for (std::size_t n : kLens) {
+    const auto in = random_vec(n, 41 * n + 2);
+    std::vector<std::uint16_t> out_k(n), out_s(n);
+    fp16_pack(in.data(), out_k.data(), n);
+    scalar::fp16_pack(in.data(), out_s.data(), n);
+    EXPECT_EQ(out_k, out_s);
+    std::vector<float> back_k(n), back_s(n);
+    fp16_unpack(out_k.data(), back_k.data(), n);
+    scalar::fp16_unpack(out_s.data(), back_s.data(), n);
+    EXPECT_TRUE(bits_equal(back_k.data(), back_s.data(), n));
+  }
+}
+
+TEST(Kernels, Fp16ExhaustiveRoundTrip) {
+  // Every non-NaN half value must survive unpack→pack exactly
+  // (half-precision values are exactly representable in float32).
+  for (std::uint32_t h = 0; h <= 0xFFFF; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    const bool is_nan = (half & 0x7C00u) == 0x7C00u && (half & 0x3FFu) != 0;
+    const float f = half_to_float(half);
+    if (is_nan) {
+      EXPECT_TRUE(std::isnan(f));
+      EXPECT_TRUE(std::isnan(half_to_float(float_to_half(f))));
+    } else {
+      EXPECT_EQ(float_to_half(f), half) << "h=" << h;
+    }
+  }
+  // Round-to-nearest-even at the exact tie: 1 + 2⁻¹¹ is halfway between
+  // 1.0 and the next half (1 + 2⁻¹⁰); even mantissa wins → 1.0.
+  EXPECT_EQ(float_to_half(1.0f + 0.00048828125f), float_to_half(1.0f));
+}
+
+// ---- int8 ---------------------------------------------------------------
+
+TEST(Kernels, Int8QuantizeMatchesScalarBitwise) {
+  for (std::size_t n : kLens) {
+    const auto in = random_vec(n, 53 * n + 3);
+    std::vector<std::int8_t> q_k(n), q_s(n);
+    const float scale_k = int8_quantize(in.data(), q_k.data(), n);
+    const float scale_s = scalar::int8_quantize(in.data(), q_s.data(), n);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(scale_k),
+              std::bit_cast<std::uint32_t>(scale_s));
+    EXPECT_EQ(q_k, q_s);
+    std::vector<float> out_k(n), out_s(n);
+    int8_dequantize(q_k.data(), scale_k, out_k.data(), n);
+    scalar::int8_dequantize(q_s.data(), scale_s, out_s.data(), n);
+    EXPECT_TRUE(bits_equal(out_k.data(), out_s.data(), n));
+    // Error bound: |decode(x) - x| <= scale / 2 (+ rounding slack).
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::fabs(out_k[i] - in[i]), scale_k * 0.5f * 1.0001f + 1e-6f);
+    }
+  }
+}
+
+TEST(Kernels, Int8AllZeroSliceUsesUnitScale) {
+  std::vector<float> zeros(17, 0.0f);
+  std::vector<std::int8_t> q(zeros.size(), 42);
+  EXPECT_EQ(int8_quantize(zeros.data(), q.data(), zeros.size()), 1.0f);
+  for (auto b : q) EXPECT_EQ(b, 0);
+  EXPECT_EQ(int8_quantize(nullptr, nullptr, 0), 1.0f);
+}
+
+// ---- ScratchPool --------------------------------------------------------
+
+TEST(ScratchPoolTest, ReusesBuffersAcrossBorrows) {
+  ScratchPool pool;
+  float* first = nullptr;
+  {
+    auto lease = pool.borrow(1000);
+    ASSERT_NE(lease.data(), nullptr);
+    EXPECT_EQ(lease.size(), 1000u);
+    first = lease.data();
+    lease.span()[999] = 1.0f;  // the whole span is writable
+  }
+  {
+    // Same bucket (1024) → the identical buffer comes back.
+    auto lease = pool.borrow(600);
+    EXPECT_EQ(lease.data(), first);
+  }
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.cached_buffers(), 1u);
+  EXPECT_EQ(pool.cached_bytes(), 1024 * sizeof(float));
+}
+
+TEST(ScratchPoolTest, SteadyStateHitRateAboveNinetyNine) {
+  ScratchPool pool;
+  // Warm up with the working set an allreduce step borrows, then run
+  // "steps": every post-warmup borrow must hit.
+  for (int step = 0; step < 200; ++step) {
+    auto a = pool.borrow(4096);
+    auto b = pool.borrow(300);
+    a.span()[0] = b.span()[0] = 0.0f;
+  }
+  EXPECT_EQ(pool.misses(), 2u);  // one per bucket, first step only
+  EXPECT_GE(pool.hit_rate(), 0.99);
+}
+
+TEST(ScratchPoolTest, NestedLeasesGetDistinctBuffers) {
+  ScratchPool pool;
+  auto a = pool.borrow(512);
+  auto b = pool.borrow(512);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(ScratchPoolTest, EmptyBorrowAndMoveSemantics) {
+  ScratchPool pool;
+  auto empty = pool.borrow(0);
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(pool.hits() + pool.misses(), 0u);
+
+  auto a = pool.borrow(100);
+  float* p = a.data();
+  ScratchPool::Lease moved = std::move(a);
+  EXPECT_EQ(moved.data(), p);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ScratchPoolTest, ClearDropsIdleBuffersAndStats) {
+  ScratchPool pool;
+  { auto l = pool.borrow(256); }
+  EXPECT_EQ(pool.cached_buffers(), 1u);
+  pool.clear();
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+  EXPECT_EQ(pool.hits() + pool.misses(), 0u);
+}
+
+TEST(ScratchPoolTest, LocalIsPerThreadSingleton) {
+  EXPECT_EQ(&ScratchPool::local(), &ScratchPool::local());
+}
+
+// ---- obs counters -------------------------------------------------------
+
+TEST(KernelsCounters, ReduceBytesAdvances) {
+  auto& c = obs::Metrics::counter("kernels.reduce_bytes");
+  const std::uint64_t before = c.value();
+  std::vector<float> dst(100, 1.0f), src(100, 2.0f);
+  reduce_add(dst.data(), src.data(), dst.size());
+  EXPECT_EQ(c.value() - before, 100 * sizeof(float));
+}
+
+TEST(KernelsCounters, ScratchHitMissCountersAdvance) {
+  auto& hits = obs::Metrics::counter("kernels.scratch_hits");
+  auto& misses = obs::Metrics::counter("kernels.scratch_misses");
+  ScratchPool pool;
+  const std::uint64_t h0 = hits.value(), m0 = misses.value();
+  { auto l = pool.borrow(512); }
+  { auto l = pool.borrow(512); }
+  EXPECT_EQ(misses.value() - m0, 1u);
+  EXPECT_EQ(hits.value() - h0, 1u);
+}
+
+// ---- determinism across thread counts (DESIGN.md §12) -------------------
+
+Tensor random_tensor(std::vector<std::int64_t> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.next_gaussian());
+  }
+  return t;
+}
+
+class ThreadCountDeterminism : public ::testing::Test {
+ protected:
+  // Shapes chosen so every parallel loop splits into several chunks
+  // (work > grain), making the test meaningful rather than vacuous.
+  static constexpr std::int64_t kM = 33, kK = 65, kN = 300;
+
+  void TearDown() override { ThreadPool::reset_global(0); }
+
+  template <typename Fn>
+  void expect_identical_across_thread_counts(Fn&& compute) {
+    ThreadPool::reset_global(1);
+    const Tensor base = compute();
+    const Tensor repeat = compute();
+    EXPECT_TRUE(base.equals(repeat)) << "not repeatable at 1 thread";
+    for (std::size_t threads : {2u, 8u}) {
+      ThreadPool::reset_global(threads);
+      const Tensor got = compute();
+      EXPECT_TRUE(base.equals(got))
+          << "result differs at " << threads << " threads";
+    }
+  }
+};
+
+TEST_F(ThreadCountDeterminism, GemmAllTransposeCombos) {
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const Tensor a = ta ? random_tensor({kK, kM}, 1) : random_tensor({kM, kK}, 1);
+      const Tensor b = tb ? random_tensor({kN, kK}, 2) : random_tensor({kK, kN}, 2);
+      expect_identical_across_thread_counts([&] {
+        Tensor c = random_tensor({kM, kN}, 3);
+        tensor::gemm(a, ta, b, tb, c, 1.3f, 0.5f);
+        return c;
+      });
+    }
+  }
+}
+
+TEST_F(ThreadCountDeterminism, Im2colAndConvForward) {
+  const Conv2dShape s{.in_channels = 3, .out_channels = 5,
+                      .kernel = 3, .stride = 1, .pad = 1};
+  const Tensor input = random_tensor({4, 3, 13, 11}, 7);
+  const Tensor weight = random_tensor({5, 3 * 3 * 3}, 8);
+  const Tensor bias = random_tensor({5}, 9);
+  expect_identical_across_thread_counts(
+      [&] { return tensor::im2col(input, s); });
+  expect_identical_across_thread_counts(
+      [&] { return tensor::conv2d_forward(input, weight, bias, s); });
+}
+
+TEST_F(ThreadCountDeterminism, ConvBackward) {
+  const Conv2dShape s{.in_channels = 3, .out_channels = 5,
+                      .kernel = 3, .stride = 1, .pad = 1};
+  const Tensor input = random_tensor({4, 3, 13, 11}, 7);
+  const Tensor weight = random_tensor({5, 3 * 3 * 3}, 8);
+  const Tensor grad_out = random_tensor({4, 5, 13, 11}, 10);
+  auto run = [&] {
+    Tensor gi, gw({5, 3 * 3 * 3}), gb({5});
+    tensor::conv2d_backward(input, weight, grad_out, s, gi, gw, gb);
+    return std::tuple<Tensor, Tensor, Tensor>(std::move(gi), std::move(gw),
+                                              std::move(gb));
+  };
+  ThreadPool::reset_global(1);
+  const auto [gi1, gw1, gb1] = run();
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool::reset_global(threads);
+    const auto [gi, gw, gb] = run();
+    EXPECT_TRUE(gi.equals(gi1)) << threads << " threads: grad_input differs";
+    EXPECT_TRUE(gw.equals(gw1)) << threads << " threads: grad_weight differs";
+    EXPECT_TRUE(gb.equals(gb1)) << threads << " threads: grad_bias differs";
+  }
+}
+
+TEST_F(ThreadCountDeterminism, ReduceAddUnderParallelForIsDeterministic) {
+  // The allreduce combine itself run through the pool: disjoint chunks →
+  // bit-identical regardless of worker count.
+  const auto src = random_vec(100000, 99);
+  auto compute = [&] {
+    Tensor dst({100000});
+    auto base = random_vec(100000, 100);
+    std::copy(base.begin(), base.end(), dst.data());
+    ThreadPool::global().parallel_for(
+        0, 100000,
+        [&](std::size_t lo, std::size_t hi) {
+          reduce_add(dst.data() + lo, src.data() + lo, hi - lo);
+        },
+        /*grain=*/4096);
+    return dst;
+  };
+  expect_identical_across_thread_counts(compute);
+}
+
+}  // namespace
+}  // namespace dct::kernels

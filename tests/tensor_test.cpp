@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
@@ -106,6 +107,31 @@ TEST(Gemm, AlphaBetaSemantics) {
 TEST(Gemm, ShapeMismatchThrows) {
   Tensor a({2, 3}), b({4, 2}), c({2, 2});
   EXPECT_THROW(gemm(a, false, b, false, c), CheckError);
+}
+
+TEST(Gemm, NanAndInfPropagatePastZeroEntries) {
+  // Regression: gemm used to skip the inner update when a(i,kk) == 0,
+  // which silently turned 0·NaN and 0·Inf into 0. IEEE semantics:
+  // 0·NaN = NaN and 0·Inf = NaN, so a NaN/Inf anywhere in a used B
+  // column must reach C even when the matching A entries are zero.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a({1, 2});  // zeros
+  Tensor b({2, 2});
+  b.at(0, 0) = nan;
+  b.at(1, 1) = inf;
+  Tensor c({1, 2});
+  gemm(a, false, b, false, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0·NaN + 0·0
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));  // 0·0 + 0·Inf
+  // Same property on the dot-product (trans_b) path.
+  Tensor bt({2, 2});
+  bt.at(0, 0) = nan;
+  bt.at(1, 1) = inf;
+  Tensor c2({1, 2});
+  gemm(a, false, bt, true, c2);
+  EXPECT_TRUE(std::isnan(c2.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c2.at(0, 1)));
 }
 
 TEST(Conv, Identity1x1KernelPassesThrough) {

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -230,6 +232,60 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   bool ran = false;
   pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, RangeOverloadCoversRangeDisjointly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(
+      0, 1000,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+      },
+      /*grain=*/64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RangeChunksAreAFunctionOfRangeAndGrainOnly) {
+  // The determinism contract: chunk boundaries depend only on (range,
+  // grain), never on the worker count — so the same call made on pools
+  // of different sizes produces the identical chunk decomposition.
+  auto chunks_for = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(
+        0, 103,
+        [&](std::size_t lo, std::size_t hi) {
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.emplace(lo, hi);
+        },
+        /*grain=*/10);
+    return chunks;
+  };
+  const auto one = chunks_for(1);
+  const auto two = chunks_for(2);
+  const auto eight = chunks_for(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // ceil(103 / 10) = 11 chunks, the last one short.
+  EXPECT_EQ(one.size(), 11u);
+  EXPECT_TRUE(one.count({100, 103}));
+}
+
+TEST(ThreadPool, RangeEmptyAndZeroGrain) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(
+      7, 7, [&](std::size_t, std::size_t) { ran = true; }, /*grain=*/16);
+  EXPECT_FALSE(ran);
+  // grain 0 is clamped to 1 rather than dividing by zero.
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      0, 3, [&](std::size_t lo, std::size_t hi) { count += int(hi - lo); },
+      /*grain=*/0);
+  EXPECT_EQ(count.load(), 3);
 }
 
 TEST(ThreadPool, SubmitFutureResolves) {

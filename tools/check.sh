@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
-# under TSan and runs the `fault`, `simmpi`, `comm`, and `elastic` ctest
-# labels, repeats the `comm` label under ASan, and runs the `fault` +
-# `elastic` labels under UBSan. The simmpi rank threads, the
-# fault-injection hooks, the shrink agreement protocol, and the comm
-# progress engine (background reductions racing backward) are exactly
-# the code a data race would hide in; the comm codecs' byte-level
-# encode/decode is where an out-of-bounds write would hide, hence the
-# address leg; the checkpoint/shrink (de)serialization and rank
-# arithmetic is where signed overflow or misaligned loads would hide,
-# hence the undefined leg.
+# under TSan and runs the `fault`, `simmpi`, `comm`, `elastic`, and
+# `kernels` ctest labels, repeats the `comm` + `kernels` labels under
+# ASan, and runs the `fault` + `elastic` + `kernels` labels under UBSan.
+# The simmpi rank threads, the fault-injection hooks, the shrink
+# agreement protocol, and the comm progress engine (background
+# reductions racing backward) are exactly the code a data race would
+# hide in; the threaded GEMM/conv chunking rides the same TSan leg. The
+# comm codecs' byte-level encode/decode and the kernels' restrict
+# pointer arithmetic / ScratchPool recycling are where an out-of-bounds
+# write would hide, hence the address leg; the checkpoint/shrink
+# (de)serialization, rank arithmetic, and fp16/int8 bit twiddling are
+# where signed overflow or misaligned loads would hide, hence the
+# undefined leg.
 #
 # Usage: tools/check.sh [tsan-build-dir] [asan-build-dir] [ubsan-build-dir]
 #        (defaults: build-tsan build-asan build-ubsan)
@@ -29,31 +32,31 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
-  fault_test simmpi_test simmpi_stress_test comm_test elastic_test
+  fault_test simmpi_test simmpi_stress_test comm_test elastic_test kernels_test
 
-echo "== running ctest -L 'fault|simmpi|comm|elastic' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic" \
+echo "== running ctest -L 'fault|simmpi|comm|elastic|kernels' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|kernels" \
   --output-on-failure -j 4
 
 echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"
 cmake -B "${ASAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== building address-sanitized comm tests"
-cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test
+echo "== building address-sanitized comm + kernels tests"
+cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test kernels_test
 
-echo "== running ctest -L comm under address sanitizer"
-ctest --test-dir "${ASAN_BUILD_DIR}" -L comm --output-on-failure -j 4
+echo "== running ctest -L 'comm|kernels' under address sanitizer"
+ctest --test-dir "${ASAN_BUILD_DIR}" -L "comm|kernels" --output-on-failure -j 4
 
 echo "== configuring ${UBSAN_BUILD_DIR} with DCTRAIN_SANITIZE=undefined"
 cmake -B "${UBSAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== building undefined-sanitized recovery tests"
-cmake --build "${UBSAN_BUILD_DIR}" -j --target fault_test elastic_test
+echo "== building undefined-sanitized recovery + kernels tests"
+cmake --build "${UBSAN_BUILD_DIR}" -j --target fault_test elastic_test kernels_test
 
-echo "== running ctest -L 'fault|elastic' under undefined sanitizer"
-ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic" \
+echo "== running ctest -L 'fault|elastic|kernels' under undefined sanitizer"
+ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic|kernels" \
   --output-on-failure -j 4
 
 echo "== sanitizer checks passed (${SANITIZER} + address + undefined)"
