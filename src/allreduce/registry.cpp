@@ -2,6 +2,7 @@
 
 #include "allreduce/algorithm.hpp"
 #include "allreduce/algorithms_impl.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace dct::allreduce {
@@ -66,9 +67,11 @@ void run_chunked(const Algorithm& algo, simmpi::Communicator& comm,
   DCT_CHECK_MSG(!ends.empty() && ends.back() == data.size(),
                 "chunk ends must cover the payload");
   std::size_t begin = 0;
+  std::int32_t chunk_index = 0;
   for (const std::size_t end : ends) {
     DCT_CHECK_MSG(end > begin && end <= data.size(),
                   "chunk ends must be strictly increasing");
+    obs::ScopedContext dct_chunk_ctx(obs::with_chunk(chunk_index++));
     RankTraffic chunk;
     algo.run(comm, data.subspan(begin, end - begin),
              traffic != nullptr ? &chunk : nullptr);

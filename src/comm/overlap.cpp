@@ -57,6 +57,7 @@ void GradComm::begin_step(std::span<float> grads) {
                 "payload size does not match the bucket plan");
   DCT_CHECK_MSG(requests_.empty(), "previous step not finished");
   grads_ = grads;
+  step_ctx_ = obs::Tracer::context();
   std::fill(filled_.begin(), filled_.end(), 0);
   step_stats_ = CommStats{};
 }
@@ -76,6 +77,9 @@ void GradComm::on_range_ready(std::size_t lo, std::size_t hi) {
     // Completion order is rear-bucket-first on every rank (descending
     // layer order), satisfying the engine's collective-order contract.
     requests_.push_back(engine_->submit([this, b](simmpi::Communicator& c) {
+      obs::TraceContext ctx = step_ctx_;
+      ctx.chunk = static_cast<std::int32_t>(b);
+      obs::ScopedContext dct_ctx(ctx);
       reduce_bucket(b, c);
       return simmpi::Status{
           c.rank(), 0, plan_.bucket(b).elements() * sizeof(float)};

@@ -36,6 +36,7 @@
 
 #include "allreduce/algorithm.hpp"
 #include "comm/bucket_plan.hpp"
+#include "obs/trace.hpp"
 #include "comm/codec.hpp"
 #include "simmpi/communicator.hpp"
 #include "simmpi/progress.hpp"
@@ -112,6 +113,10 @@ class GradComm {
 
   std::mutex mutex_;
   std::span<float> grads_;
+  /// Caller's causal context at begin_step, replayed (with the bucket
+  /// index as chunk) on the progress thread so overlapped bucket
+  /// reductions stitch into the right step in the trace.
+  obs::TraceContext step_ctx_;
   std::vector<std::size_t> filled_;  ///< per-bucket elements ready
   std::vector<simmpi::Request> requests_;
   std::vector<float> residual_;      ///< EF residuals (lossy codecs)

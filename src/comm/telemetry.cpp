@@ -1,0 +1,161 @@
+#include "comm/telemetry.hpp"
+
+#include <utility>
+
+#include "obs/counters.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dct::comm {
+
+namespace {
+
+obs::Counter& frames_sent_counter() {
+  static obs::Counter& c = obs::Metrics::counter("telemetry.frames_sent");
+  return c;
+}
+obs::Counter& frames_recv_counter() {
+  static obs::Counter& c = obs::Metrics::counter("telemetry.frames_received");
+  return c;
+}
+obs::Counter& stragglers_counter() {
+  static obs::Counter& c = obs::Metrics::counter("telemetry.stragglers_flagged");
+  return c;
+}
+
+}  // namespace
+
+TelemetryPlane::TelemetryPlane(simmpi::Communicator& comm, TelemetryConfig cfg)
+    : cfg_(std::move(cfg)), rank_(comm.rank()) {
+  DCT_CHECK_MSG(cfg_.push_every > 0, "telemetry push_every must be positive");
+  // Collective: every rank constructs the plane at the same program
+  // point, so the engine's dup() lines up.
+  engine_ = std::make_unique<simmpi::ProgressEngine>(comm);
+  if (rank_ == 0) {
+    aggregator_ =
+        std::make_unique<obs::ClusterAggregator>(comm.size(), cfg_.window);
+    detector_ = std::make_unique<obs::StragglerDetector>(cfg_.detector);
+    if (!cfg_.jsonl_path.empty()) {
+      jsonl_ = std::make_unique<std::ofstream>(cfg_.jsonl_path,
+                                               std::ios::app);
+      if (!jsonl_->is_open()) {
+        DCT_WARN << "telemetry: cannot open JSONL sink " << cfg_.jsonl_path
+                 << "; disabling time-series export";
+        jsonl_.reset();
+      }
+    }
+  }
+}
+
+TelemetryPlane::~TelemetryPlane() {
+  // Fire-and-forget pushes may still sit in the engine queue; the
+  // engine destructor drains them (or fails them if broken). Absorb
+  // their errors — telemetry must not throw from a destructor.
+  for (auto& r : outstanding_) {
+    try {
+      r.wait();
+    } catch (...) {
+    }
+  }
+  outstanding_.clear();
+  engine_.reset();
+}
+
+void TelemetryPlane::disable() noexcept {
+  if (disabled_) return;
+  disabled_ = true;
+  DCT_WARN << "telemetry plane disabled on rank " << rank_
+           << " (comm failure); training continues without it";
+}
+
+std::vector<obs::StragglerEvent> TelemetryPlane::on_step(
+    const obs::TelemetryFrame& frame) {
+  if (disabled_) return {};
+  try {
+    // Prune completed fire-and-forget pushes; test() rethrows a
+    // poisoned op's error, which is our signal to stand down.
+    while (!outstanding_.empty() && outstanding_.front().test()) {
+      outstanding_.pop_front();
+    }
+    const bool push = frame.step >= 0 &&
+                      frame.step % static_cast<std::int64_t>(cfg_.push_every) ==
+                          0;
+    if (rank_ != 0) {
+      if (push) {
+        auto payload =
+            std::make_shared<std::vector<std::byte>>(frame.serialize());
+        outstanding_.push_back(
+            engine_->submit([payload](simmpi::Communicator& c) {
+              c.send_bytes(*payload, /*dest=*/0, simmpi::kTelemetryTag);
+              frames_sent_counter().add(1);
+              return simmpi::Status{c.rank(), simmpi::kTelemetryTag,
+                                    payload->size()};
+            }));
+      }
+      return {};
+    }
+    std::vector<obs::StragglerEvent> committed;
+    if (push) {
+      if (auto done = aggregator_->ingest(frame); done.has_value()) {
+        committed = drain_and_detect_step(*done);
+      }
+    }
+    auto drained = drain_and_detect();
+    committed.insert(committed.end(), drained.begin(), drained.end());
+    return committed;
+  } catch (...) {
+    disable();
+    return {};
+  }
+}
+
+std::vector<obs::StragglerEvent> TelemetryPlane::drain_and_detect() {
+  // Pull every frame currently queued on the telemetry communicator.
+  // The op runs on the engine worker (the only thread allowed to touch
+  // the dup()'ed communicator) and never blocks: try_probe + recv of
+  // already-queued messages only.
+  auto blobs = std::make_shared<std::vector<std::vector<std::byte>>>();
+  simmpi::Request req = engine_->submit([blobs](simmpi::Communicator& c) {
+    while (c.try_probe(simmpi::kAnySource, simmpi::kTelemetryTag)
+               .has_value()) {
+      simmpi::Status st;
+      blobs->push_back(c.recv_any_bytes(simmpi::kAnySource,
+                                        simmpi::kTelemetryTag, &st));
+    }
+    return simmpi::Status{c.rank(), simmpi::kTelemetryTag, blobs->size()};
+  });
+  req.wait();
+
+  std::vector<obs::StragglerEvent> committed;
+  for (const auto& blob : *blobs) {
+    frames_recv_counter().add(1);
+    const auto frame = obs::TelemetryFrame::deserialize(blob);
+    if (auto done = aggregator_->ingest(frame); done.has_value()) {
+      auto evs = drain_and_detect_step(*done);
+      committed.insert(committed.end(), evs.begin(), evs.end());
+    }
+  }
+  return committed;
+}
+
+std::vector<obs::StragglerEvent> TelemetryPlane::drain_and_detect_step(
+    const obs::CompletedStep& done) {
+  if (jsonl_ != nullptr) {
+    *jsonl_ << aggregator_->jsonl_line(done) << "\n";
+    jsonl_->flush();
+  }
+  auto events = detector_->observe(done);
+  for (const auto& ev : events) {
+    stragglers_counter().add(1);
+    DCT_WARN << "telemetry: rank " << ev.rank << " flagged as straggler in "
+             << ev.phase << " at step " << ev.step << " (" << ev.value
+             << "s vs median " << ev.median << "s, z=" << ev.z << ")";
+  }
+  if (!cfg_.prom_path.empty()) {
+    std::ofstream os(cfg_.prom_path, std::ios::trunc);
+    if (os.is_open()) os << aggregator_->prometheus_text();
+  }
+  return events;
+}
+
+}  // namespace dct::comm

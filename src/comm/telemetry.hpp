@@ -1,0 +1,89 @@
+// TelemetryPlane — the wire layer of the cluster telemetry plane
+// (DESIGN.md §13). Moves obs::TelemetryFrame blobs from every rank to
+// the rank-0 collector over the reserved simmpi::kTelemetryTag, without
+// ever blocking or failing the training step:
+//
+//   • The plane owns a ProgressEngine (collective dup() at
+//     construction), so telemetry traffic lives on a private
+//     communicator and its worker thread — it can never match tags or
+//     steal messages from training traffic.
+//   • Non-zero ranks submit their frame push as an engine op:
+//     eager-buffered send to rank 0, fire-and-forget (requests are
+//     pruned with test(), never waited on in the step path).
+//   • Rank 0 drains with a non-blocking try_probe loop (also on the
+//     worker thread), ingests into a ClusterAggregator, feeds completed
+//     steps to the StragglerDetector, appends the JSONL time series and
+//     rewrites the Prometheus snapshot.
+//   • Any failure (fault injection aborting the engine, a poisoned op)
+//     permanently disables the plane for this incarnation; training
+//     proceeds without telemetry. The trainer rebuilds the plane after
+//     a shrink, exactly like the GradComm.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "simmpi/communicator.hpp"
+#include "simmpi/progress.hpp"
+#include "simmpi/request.hpp"
+
+namespace dct::comm {
+
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Steps between frame pushes (1 = every step).
+  int push_every = 1;
+  /// Collector rolling-window length, in completed steps.
+  std::size_t window = 64;
+  obs::DetectorConfig detector;
+  /// Rank 0 appends one JSONL record per completed step when set.
+  std::string jsonl_path;
+  /// Rank 0 rewrites a Prometheus text snapshot per push when set.
+  std::string prom_path;
+};
+
+class TelemetryPlane {
+ public:
+  /// Collective over `comm` (the internal ProgressEngine dup()s it).
+  TelemetryPlane(simmpi::Communicator& comm, TelemetryConfig cfg);
+  ~TelemetryPlane();
+
+  TelemetryPlane(const TelemetryPlane&) = delete;
+  TelemetryPlane& operator=(const TelemetryPlane&) = delete;
+
+  /// Per-step hook. Every rank calls it with its own frame; rank 0
+  /// additionally drains peer frames and runs detection. Returns the
+  /// straggler events committed this step (always empty off rank 0).
+  /// Never throws and never blocks on remote progress.
+  std::vector<obs::StragglerEvent> on_step(const obs::TelemetryFrame& frame);
+
+  bool collector() const { return rank_ == 0; }
+  /// Telemetry died (fault injection / abort); training continues.
+  bool disabled() const { return disabled_; }
+
+  /// Collector state — non-null on rank 0 only.
+  const obs::ClusterAggregator* aggregator() const { return aggregator_.get(); }
+  const obs::StragglerDetector* detector() const { return detector_.get(); }
+
+ private:
+  void disable() noexcept;
+  std::vector<obs::StragglerEvent> drain_and_detect();
+  std::vector<obs::StragglerEvent> drain_and_detect_step(
+      const obs::CompletedStep& done);
+
+  TelemetryConfig cfg_;
+  int rank_ = -1;
+  bool disabled_ = false;
+  std::unique_ptr<simmpi::ProgressEngine> engine_;
+  std::deque<simmpi::Request> outstanding_;  ///< unpruned pushes
+  std::unique_ptr<obs::ClusterAggregator> aggregator_;  ///< rank 0
+  std::unique_ptr<obs::StragglerDetector> detector_;    ///< rank 0
+  std::unique_ptr<std::ofstream> jsonl_;                ///< rank 0
+};
+
+}  // namespace dct::comm

@@ -1,0 +1,47 @@
+#include "netsim/anomaly.hpp"
+
+#include <algorithm>
+
+#include "obs/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace dct::netsim {
+
+std::vector<SlowLink> detect_slow_links(const FatTree& net,
+                                        const SimResult& result,
+                                        const SlowLinkOptions& options) {
+  DCT_CHECK_MSG(
+      result.link_utilization.size() ==
+          static_cast<std::size_t>(net.num_links()),
+      "SimResult does not match this topology (wrong link count)");
+  std::vector<SlowLink> flagged;
+  // Class 0: host rails, class 1: fabric.
+  for (int cls = 0; cls < 2; ++cls) {
+    std::vector<int> busy;
+    std::vector<double> samples;
+    for (int l = 0; l < net.num_links(); ++l) {
+      if (net.is_host_link(l) != (cls == 0)) continue;
+      const double u = result.link_utilization[static_cast<std::size_t>(l)];
+      if (u <= 0.0) continue;
+      busy.push_back(l);
+      samples.push_back(u);
+    }
+    if (static_cast<int>(busy.size()) < options.min_links) continue;
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+      const double z =
+          obs::robust_zscore(samples[i], samples, options.mad_floor_frac);
+      if (z <= options.z_threshold) continue;
+      SlowLink s;
+      s.link = busy[i];
+      s.name = net.link_name(busy[i]);
+      s.utilization = samples[i];
+      s.z = z;
+      flagged.push_back(std::move(s));
+    }
+  }
+  std::sort(flagged.begin(), flagged.end(),
+            [](const SlowLink& a, const SlowLink& b) { return a.z > b.z; });
+  return flagged;
+}
+
+}  // namespace dct::netsim

@@ -1,0 +1,44 @@
+// Slow-link detection over flow-simulation results (DESIGN.md §13).
+//
+// A degraded cable shows up in a SimResult as a link whose utilization
+// (bytes / capacity·makespan) is far above its peers: the same traffic
+// must squeeze through a fraction of the capacity, so the link runs hot
+// while the rest of its class idles. We flag such links with the same
+// robust z-score (median/MAD) the rank-level straggler detector uses,
+// comparing a link only against peers of its own class (host rails vs
+// leaf↔spine fabric — independent nominal capacities) that actually
+// carried traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/flow_sim.hpp"
+#include "netsim/topology.hpp"
+
+namespace dct::netsim {
+
+struct SlowLink {
+  int link = -1;        ///< FatTree link id
+  std::string name;     ///< FatTree::link_name(link)
+  double utilization = 0.0;
+  double z = 0.0;       ///< robust z-score within the link's class
+};
+
+struct SlowLinkOptions {
+  double z_threshold = 3.5;
+  /// MAD floor as a fraction of the class median utilization — keeps a
+  /// near-uniform class (MAD ≈ 0) from flagging noise.
+  double mad_floor_frac = 0.05;
+  /// Minimum busy links in a class before scoring it.
+  int min_links = 3;
+};
+
+/// Links whose utilization is anomalously high within their class,
+/// sorted by descending z-score. Only links that carried traffic
+/// participate (idle links would drag the median to zero).
+std::vector<SlowLink> detect_slow_links(const FatTree& net,
+                                        const SimResult& result,
+                                        const SlowLinkOptions& options = {});
+
+}  // namespace dct::netsim

@@ -247,13 +247,16 @@ SimResult simulate(const FatTree& net, const CommSchedule& schedule,
   for (double t : result.op_end_s) {
     result.makespan_s = std::max(result.makespan_s, t);
   }
+  result.link_utilization.assign(static_cast<std::size_t>(net.num_links()),
+                                 0.0);
   if (result.makespan_s > 0.0) {
     for (int l = 0; l < net.num_links(); ++l) {
       const double cap = net.link(l).bandwidth_Bps * result.makespan_s;
       if (cap > 0.0) {
+        const double util = link_bytes[static_cast<std::size_t>(l)] / cap;
+        result.link_utilization[static_cast<std::size_t>(l)] = util;
         result.max_link_utilization =
-            std::max(result.max_link_utilization,
-                     link_bytes[static_cast<std::size_t>(l)] / cap);
+            std::max(result.max_link_utilization, util);
       }
     }
   }

@@ -55,6 +55,9 @@ struct SimResult {
   std::vector<double> op_end_s;      ///< per-op completion times
   std::uint64_t flows = 0;           ///< number of network flows simulated
   double max_link_utilization = 0.0; ///< busiest link's bytes/(cap·makespan)
+  /// Per-link bytes/(cap·makespan), indexed by FatTree link id. Feeds
+  /// slow-link detection (netsim/anomaly.hpp).
+  std::vector<double> link_utilization;
 };
 
 struct SimOptions {

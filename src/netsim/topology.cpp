@@ -91,6 +91,36 @@ std::vector<int> FatTree::route(int src, int dst, std::uint64_t flow_seed) const
   return r;
 }
 
+void FatTree::scale_link(int id, double factor) {
+  DCT_CHECK(id >= 0 && id < num_links());
+  DCT_CHECK_MSG(factor > 0.0, "link scale factor must be positive");
+  links_[static_cast<std::size_t>(id)].bandwidth_Bps *= factor;
+}
+
+bool FatTree::is_host_link(int id) const {
+  DCT_CHECK(id >= 0 && id < num_links());
+  return id < cfg_.hosts * cfg_.rails * 2;
+}
+
+std::string FatTree::link_name(int id) const {
+  DCT_CHECK(id >= 0 && id < num_links());
+  if (is_host_link(id)) {
+    const int idx = id / 2;
+    const int host = idx / cfg_.rails;
+    const int rail = idx % cfg_.rails;
+    return "host" + std::to_string(host) + ".rail" + std::to_string(rail) +
+           (id % 2 == 0 ? ".up" : ".down");
+  }
+  const int rel = id - cfg_.hosts * cfg_.rails * 2;
+  const int idx = rel / 2;
+  const int leaf = idx / cfg_.spines;
+  const int spine = idx % cfg_.spines;
+  if (rel % 2 == 0) {
+    return "leaf" + std::to_string(leaf) + "->spine" + std::to_string(spine);
+  }
+  return "spine" + std::to_string(spine) + "->leaf" + std::to_string(leaf);
+}
+
 double FatTree::route_latency(const std::vector<int>& route) const {
   double total = 0.0;
   for (int id : route) total += link(id).latency_s;

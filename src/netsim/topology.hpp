@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace dct::netsim {
@@ -50,6 +51,19 @@ class FatTree {
 
   /// Total propagation latency along a route.
   double route_latency(const std::vector<int>& route) const;
+
+  /// Degrade (or boost) one directed link's capacity by `factor` — the
+  /// netsim analogue of a flaky cable or a congested switch port. Used
+  /// by the telemetry tests to plant a known bottleneck.
+  void scale_link(int id, double factor);
+
+  /// True for a host↔leaf rail link (false: leaf↔spine fabric link).
+  /// Anomaly detection compares links only within their class, since
+  /// the two classes have independent nominal capacities.
+  bool is_host_link(int id) const;
+
+  /// Human-readable name, e.g. "host3.rail0.up" or "leaf1->spine2".
+  std::string link_name(int id) const;
 
   const Config& config() const { return cfg_; }
 

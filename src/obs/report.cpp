@@ -8,212 +8,12 @@
 
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/units.hpp"
 
 namespace dct::obs {
 
 namespace {
-
-// ---- minimal JSON reader -------------------------------------------
-//
-// Just enough of RFC 8259 to re-load the traces trace.cpp writes (and
-// any well-formed Chrome trace of the same shape): objects, arrays,
-// strings with escapes, numbers, literals. Recursive descent over a
-// string_view with a cursor; errors throw CheckError with an offset.
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    DCT_CHECK_MSG(pos_ == text_.size(),
-                  "trailing characters in JSON at offset " << pos_);
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    DCT_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    DCT_CHECK_MSG(peek() == c, "expected '" << c << "' at JSON offset "
-                                            << pos_ << ", got '" << text_[pos_]
-                                            << "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    switch (c) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': return literal("true", bool_value(true));
-      case 'f': return literal("false", bool_value(false));
-      case 'n': return literal("null", JsonValue{});
-      default: return number();
-    }
-  }
-
-  static JsonValue bool_value(bool b) {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    v.boolean = b;
-    return v;
-  }
-
-  JsonValue literal(std::string_view word, JsonValue v) {
-    DCT_CHECK_MSG(text_.substr(pos_, word.size()) == word,
-                  "bad JSON literal at offset " << pos_);
-    pos_ += word.size();
-    return v;
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      JsonValue key = string_value();
-      expect(':');
-      v.object.emplace_back(std::move(key.str), value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string_value() {
-    expect('"');
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    while (true) {
-      DCT_CHECK_MSG(pos_ < text_.size(), "unterminated JSON string");
-      const char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c != '\\') {
-        v.str.push_back(c);
-        continue;
-      }
-      DCT_CHECK_MSG(pos_ < text_.size(), "unterminated JSON escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': v.str.push_back('"'); break;
-        case '\\': v.str.push_back('\\'); break;
-        case '/': v.str.push_back('/'); break;
-        case 'b': v.str.push_back('\b'); break;
-        case 'f': v.str.push_back('\f'); break;
-        case 'n': v.str.push_back('\n'); break;
-        case 'r': v.str.push_back('\r'); break;
-        case 't': v.str.push_back('\t'); break;
-        case 'u': {
-          DCT_CHECK_MSG(pos_ + 4 <= text_.size(), "truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else DCT_CHECK_MSG(false, "bad \\u escape digit '" << h << "'");
-          }
-          // Labels are ASCII in practice; fold anything else to '?'.
-          v.str.push_back(code < 0x80 ? static_cast<char>(code) : '?');
-          break;
-        }
-        default:
-          DCT_CHECK_MSG(false, "unknown JSON escape '\\" << esc << "'");
-      }
-    }
-  }
-
-  JsonValue number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    DCT_CHECK_MSG(pos_ > start, "bad JSON number at offset " << start);
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-double number_or(const JsonValue& obj, std::string_view key, double fallback) {
-  const JsonValue* v = obj.find(key);
-  return (v != nullptr && v->type == JsonValue::Type::kNumber) ? v->number
-                                                               : fallback;
-}
-
-std::string string_or(const JsonValue& obj, std::string_view key) {
-  const JsonValue* v = obj.find(key);
-  return (v != nullptr && v->type == JsonValue::Type::kString) ? v->str
-                                                               : std::string();
-}
 
 int pid_to_rank(double pid) {
   const int p = static_cast<int>(pid);
@@ -226,19 +26,40 @@ std::vector<ReportEvent> tracer_events() {
   std::vector<ReportEvent> out;
   for (const auto& ce : Tracer::collect()) {
     ReportEvent ev;
+    switch (ce.event.kind) {
+      case TraceEvent::Kind::kSpan: ev.kind = ReportEvent::Kind::kSpan; break;
+      case TraceEvent::Kind::kInstant:
+        ev.kind = ReportEvent::Kind::kInstant;
+        break;
+      case TraceEvent::Kind::kFlowStart:
+        ev.kind = ReportEvent::Kind::kFlowStart;
+        break;
+      case TraceEvent::Kind::kFlowEnd:
+        ev.kind = ReportEvent::Kind::kFlowEnd;
+        break;
+    }
     ev.name = ce.event.name;
     ev.cat = ce.event.cat;
     ev.rank = ce.event.rank;
     ev.tid = ce.tid;
     ev.ts_us = static_cast<double>(ce.event.ts_ns) / 1000.0;
     ev.dur_us = static_cast<double>(ce.event.dur_ns) / 1000.0;
+    ev.arg = ce.event.arg;
+    if (ev.kind == ReportEvent::Kind::kFlowStart ||
+        ev.kind == ReportEvent::Kind::kFlowEnd) {
+      ev.flow = ce.event.flow;
+      ev.step = ce.event.ctx.step;
+      ev.collective = ce.event.ctx.collective;
+      ev.chunk = ce.event.ctx.chunk;
+      ev.bytes = ce.event.arg == kNoArg ? -1 : ce.event.arg;
+    }
     out.push_back(std::move(ev));
   }
   return out;
 }
 
 std::vector<ReportEvent> parse_chrome_trace(std::string_view json) {
-  const JsonValue root = JsonParser(json).parse();
+  const JsonValue root = parse_json(json);
   const JsonValue* events = nullptr;
   if (root.type == JsonValue::Type::kObject) {
     events = root.find("traceEvents");
@@ -253,15 +74,36 @@ std::vector<ReportEvent> parse_chrome_trace(std::string_view json) {
   std::vector<ReportEvent> out;
   for (const JsonValue& e : events->array) {
     if (e.type != JsonValue::Type::kObject) continue;
-    const std::string ph = string_or(e, "ph");
-    if (ph != "X" && ph != "i" && ph != "I") continue;  // skip metadata etc.
+    const std::string ph = json_string_or(e, "ph");
+    const bool flow = ph == "s" || ph == "f";
+    if (ph != "X" && ph != "i" && ph != "I" && !flow) continue;  // metadata
     ReportEvent ev;
-    ev.name = string_or(e, "name");
-    ev.cat = string_or(e, "cat");
-    ev.rank = pid_to_rank(number_or(e, "pid", -1.0));
-    ev.tid = static_cast<int>(number_or(e, "tid", 0.0));
-    ev.ts_us = number_or(e, "ts", 0.0);
-    ev.dur_us = ph == "X" ? number_or(e, "dur", 0.0) : 0.0;
+    ev.name = json_string_or(e, "name");
+    ev.cat = json_string_or(e, "cat");
+    ev.rank = pid_to_rank(json_number_or(e, "pid", -1.0));
+    ev.tid = static_cast<int>(json_number_or(e, "tid", 0.0));
+    ev.ts_us = json_number_or(e, "ts", 0.0);
+    ev.dur_us = ph == "X" ? json_number_or(e, "dur", 0.0) : 0.0;
+    if (flow) {
+      ev.kind = ph == "s" ? ReportEvent::Kind::kFlowStart
+                          : ReportEvent::Kind::kFlowEnd;
+      ev.flow = static_cast<std::uint64_t>(json_number_or(e, "id", 0.0));
+      if (const JsonValue* args = e.find("args");
+          args != nullptr && args->type == JsonValue::Type::kObject) {
+        ev.step = static_cast<std::int64_t>(json_number_or(*args, "step", -1));
+        ev.collective =
+            static_cast<int>(json_number_or(*args, "coll", -1));
+        ev.chunk = static_cast<int>(json_number_or(*args, "chunk", -1));
+        ev.bytes = static_cast<std::int64_t>(json_number_or(*args, "bytes", -1));
+      }
+    } else {
+      ev.kind = ph == "X" ? ReportEvent::Kind::kSpan : ReportEvent::Kind::kInstant;
+      if (const JsonValue* args = e.find("args");
+          args != nullptr && args->type == JsonValue::Type::kObject) {
+        ev.arg = static_cast<std::int64_t>(
+            json_number_or(*args, "arg", static_cast<double>(INT64_MIN)));
+      }
+    }
     out.push_back(std::move(ev));
   }
   return out;
@@ -379,6 +221,178 @@ Table span_totals_table(const std::vector<ReportEvent>& events,
           Table::num(it == totals.per_rank.end() ? 0.0 : it->second, 3));
     }
     t.add_row(std::move(row));
+  }
+  return t;
+}
+
+namespace {
+
+/// One rank's view of one step: its step span plus its received flow
+/// edges (flow-ends), sorted by timestamp.
+struct RankStep {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  bool has_span = false;
+  std::vector<const ReportEvent*> ends;  ///< flow-ends, ascending ts
+};
+
+}  // namespace
+
+CriticalPath critical_path(const std::vector<ReportEvent>& events,
+                           std::string_view step_cat,
+                           std::string_view phase_cat) {
+  // Index the trace: per (step id, rank) step intervals and flow-ends,
+  // plus a global flow-id -> flow-start map for the backward hops.
+  std::map<std::int64_t, std::map<int, RankStep>> steps;
+  std::map<std::uint64_t, const ReportEvent*> starts;
+  for (const ReportEvent& ev : events) {
+    if (ev.kind == ReportEvent::Kind::kFlowStart) {
+      starts.emplace(ev.flow, &ev);
+    } else if (ev.kind == ReportEvent::Kind::kFlowEnd) {
+      if (ev.step >= 0 && ev.rank >= 0) {
+        steps[ev.step][ev.rank].ends.push_back(&ev);
+      }
+    } else if (ev.kind == ReportEvent::Kind::kSpan && ev.cat == step_cat &&
+               ev.arg != INT64_MIN && ev.rank >= 0) {
+      RankStep& rs = steps[ev.arg][ev.rank];
+      rs.start_us = ev.ts_us;
+      rs.end_us = ev.ts_us + ev.dur_us;
+      rs.has_span = true;
+    }
+  }
+
+  CriticalPath cp;
+  for (auto& [step_id, ranks] : steps) {
+    // The walk needs at least the step spans; flow-ends for a step id
+    // with no spans at all (e.g. context bleed past the step scope)
+    // are skipped rather than misattributed.
+    int end_rank = -1;
+    double end_us = 0.0;
+    for (auto& [rank, rs] : ranks) {
+      std::sort(rs.ends.begin(), rs.ends.end(),
+                [](const ReportEvent* a, const ReportEvent* b) {
+                  return a->ts_us < b->ts_us;
+                });
+      if (rs.has_span && (end_rank < 0 || rs.end_us > end_us)) {
+        end_rank = rank;
+        end_us = rs.end_us;
+      }
+    }
+    if (end_rank < 0) continue;
+
+    CriticalPath::Step out;
+    out.step = step_id;
+    out.end_rank = end_rank;
+
+    // Backward walk. Local time between the cursor and the previous
+    // inbound message is charged to the current rank; then the cursor
+    // teleports to the sender at the moment it sent. Terminates at a
+    // rank with no earlier inbound edge (charge back to its step start)
+    // or on a broken edge; the hop cap guards pathological traces.
+    int cur = end_rank;
+    double cursor = end_us;
+    const std::size_t kMaxHops = 100000;
+    std::set<std::uint64_t> visited;
+    while (out.hops < kMaxHops) {
+      const RankStep& rs = ranks[cur];
+      const ReportEvent* edge = nullptr;
+      for (auto it = rs.ends.rbegin(); it != rs.ends.rend(); ++it) {
+        if ((*it)->ts_us <= cursor && visited.count((*it)->flow) == 0) {
+          edge = *it;
+          break;
+        }
+      }
+      if (edge == nullptr) {
+        const double base = rs.has_span ? rs.start_us : cursor;
+        out.local_seconds[cur] += std::max(0.0, cursor - base) / 1e6;
+        break;
+      }
+      out.local_seconds[cur] += std::max(0.0, cursor - edge->ts_us) / 1e6;
+      visited.insert(edge->flow);
+      ++out.hops;
+      const auto sit = starts.find(edge->flow);
+      if (sit == starts.end() || sit->second->rank < 0) break;
+      cur = sit->second->rank;
+      cursor = sit->second->ts_us;
+    }
+
+    for (const auto& [rank, secs] : out.local_seconds) {
+      if (out.culprit < 0 || secs > out.culprit_seconds) {
+        out.culprit = rank;
+        out.culprit_seconds = secs;
+      }
+    }
+
+    // The culprit's dominant phase this step: largest total phase-span
+    // time overlapping its step interval.
+    if (out.culprit >= 0) {
+      const RankStep& rs = ranks[out.culprit];
+      std::map<std::string, double> phase_us;
+      for (const ReportEvent& ev : events) {
+        if (ev.kind != ReportEvent::Kind::kSpan || ev.cat != phase_cat ||
+            ev.rank != out.culprit) {
+          continue;
+        }
+        const double lo = std::max(ev.ts_us, rs.start_us);
+        const double hi = std::min(ev.ts_us + ev.dur_us, rs.end_us);
+        if (hi > lo) phase_us[ev.name] += hi - lo;
+      }
+      double best = 0.0;
+      for (const auto& [name, us] : phase_us) {
+        if (us > best) {
+          best = us;
+          out.culprit_phase = name;
+        }
+      }
+    }
+
+    for (const auto& [rank, secs] : out.local_seconds) {
+      cp.rank_local_seconds[rank] += secs;
+    }
+    if (out.culprit >= 0) ++cp.rank_culprit_steps[out.culprit];
+    cp.steps.push_back(std::move(out));
+  }
+
+  std::size_t best_steps = 0;
+  double best_secs = -1.0;
+  for (const auto& [rank, n] : cp.rank_culprit_steps) {
+    const double secs = cp.rank_local_seconds[rank];
+    if (n > best_steps || (n == best_steps && secs > best_secs)) {
+      best_steps = n;
+      best_secs = secs;
+      cp.overall_culprit = rank;
+    }
+  }
+  return cp;
+}
+
+Table critical_path_table(const CriticalPath& cp) {
+  // Dominant phase per rank across the steps it was culpable for.
+  std::map<int, std::map<std::string, std::size_t>> phase_votes;
+  for (const auto& step : cp.steps) {
+    if (step.culprit >= 0 && !step.culprit_phase.empty()) {
+      ++phase_votes[step.culprit][step.culprit_phase];
+    }
+  }
+  Table t({"rank", "culprit steps", "path time (s)", "dominant phase"});
+  for (const auto& [rank, secs] : cp.rank_local_seconds) {
+    const auto cit = cp.rank_culprit_steps.find(rank);
+    const std::size_t culprit_steps =
+        cit == cp.rank_culprit_steps.end() ? 0 : cit->second;
+    std::string phase = "-";
+    std::size_t best = 0;
+    if (const auto pit = phase_votes.find(rank); pit != phase_votes.end()) {
+      for (const auto& [name, n] : pit->second) {
+        if (n > best) {
+          best = n;
+          phase = name;
+        }
+      }
+    }
+    std::string label = std::to_string(rank);
+    if (rank == cp.overall_culprit) label += " *";
+    t.add_row({std::move(label), std::to_string(culprit_steps),
+               Table::num(secs, 4), std::move(phase)});
   }
   return t;
 }

@@ -4,6 +4,7 @@
 // epoch go to data loading, allreduce, SGD, shuffle, on which rank".
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -13,14 +14,27 @@
 
 namespace dct::obs {
 
-/// One span/instant with attribution, in exported (microsecond) units.
+/// One span/instant/flow half with attribution, in exported
+/// (microsecond) units.
 struct ReportEvent {
+  enum class Kind { kSpan, kInstant, kFlowStart, kFlowEnd };
+
+  Kind kind = Kind::kSpan;
   std::string name;
   std::string cat;
   int rank = -1;
   int tid = 0;
   double ts_us = 0.0;
-  double dur_us = 0.0;  ///< 0 for instants
+  double dur_us = 0.0;  ///< 0 for instants and flows
+  std::int64_t arg = INT64_MIN;  ///< args.arg (spans), kNoArg when absent
+
+  // Flow halves only: the id pairing start with end, plus the *sender's*
+  // causal context replayed on both halves.
+  std::uint64_t flow = 0;
+  std::int64_t step = -1;
+  int collective = -1;
+  int chunk = -1;
+  std::int64_t bytes = -1;
 };
 
 /// Events currently buffered in this process's Tracer.
@@ -66,5 +80,39 @@ Table phase_table(const PhaseBreakdown& b);
 /// `top` labels by aggregate time — surfaces allreduce/simmpi internals.
 Table span_totals_table(const std::vector<ReportEvent>& events,
                         std::size_t top = 12);
+
+/// Critical-path attribution over the stitched flow graph (DESIGN.md
+/// §13). Per step: start at the rank whose step span finishes last and
+/// walk message edges backwards — each hop jumps from a flow-end on the
+/// current rank to the matching flow-start on the sender, and the time
+/// between the cursor and that flow-end is *local* time charged to the
+/// current rank. The rank accumulating the most local time is the
+/// step's culprit: a straggler's pre-send sleep lands exactly there,
+/// between its last receive and its delayed send.
+struct CriticalPath {
+  struct Step {
+    std::int64_t step = -1;
+    int end_rank = -1;   ///< last rank to finish the step
+    int culprit = -1;    ///< rank with the most local time on the path
+    double culprit_seconds = 0.0;
+    std::string culprit_phase;  ///< culprit's dominant phase that step
+    std::size_t hops = 0;       ///< message edges walked
+    std::map<int, double> local_seconds;  ///< per-rank time on the path
+  };
+
+  std::vector<Step> steps;
+  /// Aggregates over all analysed steps.
+  std::map<int, double> rank_local_seconds;
+  std::map<int, std::size_t> rank_culprit_steps;
+  int overall_culprit = -1;  ///< culprit of the most steps (ties: more time)
+};
+
+CriticalPath critical_path(const std::vector<ReportEvent>& events,
+                           std::string_view step_cat = "step",
+                           std::string_view phase_cat = "phase");
+
+/// Render: one row per rank — steps where it was the culprit, total
+/// time it spent on the critical path, and its dominant phase there.
+Table critical_path_table(const CriticalPath& cp);
 
 }  // namespace dct::obs

@@ -1,0 +1,328 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace dct::obs {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4443544Cu;  // "DCTL"
+constexpr std::uint16_t kFrameVersion = 1;
+
+template <typename T>
+void put(std::vector<std::byte>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::byte> buf, std::size_t& pos) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DCT_CHECK_MSG(pos + sizeof(T) <= buf.size(), "truncated telemetry frame");
+  T v;
+  std::memcpy(&v, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+void put_entries(std::vector<std::byte>& out,
+                 const std::vector<std::pair<std::string, double>>& entries) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [name, value] : entries) {
+    DCT_CHECK_MSG(name.size() <= UINT16_MAX, "telemetry name too long");
+    put<std::uint16_t>(out, static_cast<std::uint16_t>(name.size()));
+    const std::size_t at = out.size();
+    out.resize(at + name.size());
+    std::memcpy(out.data() + at, name.data(), name.size());
+    put<double>(out, value);
+  }
+}
+
+std::vector<std::pair<std::string, double>> get_entries(
+    std::span<const std::byte> buf, std::size_t& pos) {
+  const auto n = get<std::uint32_t>(buf, pos);
+  DCT_CHECK_MSG(n <= 4096, "implausible telemetry entry count " << n);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto len = get<std::uint16_t>(buf, pos);
+    DCT_CHECK_MSG(pos + len <= buf.size(), "truncated telemetry name");
+    std::string name(reinterpret_cast<const char*>(buf.data() + pos), len);
+    pos += len;
+    const double value = get<double>(buf, pos);
+    out.emplace_back(std::move(name), value);
+  }
+  return out;
+}
+
+void json_escape_into(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> TelemetryFrame::serialize() const {
+  std::vector<std::byte> out;
+  put<std::uint32_t>(out, kFrameMagic);
+  put<std::uint16_t>(out, kFrameVersion);
+  put<std::int64_t>(out, step);
+  put<std::int32_t>(out, rank);
+  put_entries(out, phases);
+  put_entries(out, values);
+  return out;
+}
+
+TelemetryFrame TelemetryFrame::deserialize(std::span<const std::byte> buf) {
+  std::size_t pos = 0;
+  DCT_CHECK_MSG(get<std::uint32_t>(buf, pos) == kFrameMagic,
+                "bad telemetry frame magic");
+  const auto version = get<std::uint16_t>(buf, pos);
+  DCT_CHECK_MSG(version == kFrameVersion,
+                "unsupported telemetry frame version " << version);
+  TelemetryFrame f;
+  f.step = get<std::int64_t>(buf, pos);
+  f.rank = get<std::int32_t>(buf, pos);
+  f.phases = get_entries(buf, pos);
+  f.values = get_entries(buf, pos);
+  DCT_CHECK_MSG(pos == buf.size(), "trailing bytes in telemetry frame");
+  return f;
+}
+
+double robust_zscore(double x, std::vector<double> samples,
+                     double mad_floor_frac) {
+  if (samples.empty()) return 0.0;
+  const double med = percentile(samples, 50.0);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (double s : samples) dev.push_back(std::abs(s - med));
+  const double mad = percentile(std::move(dev), 50.0);
+  const double floor = std::max(1e-9, mad_floor_frac * std::abs(med));
+  return 0.6745 * (x - med) / std::max(mad, floor);
+}
+
+std::vector<StragglerEvent> StragglerDetector::observe(
+    std::int64_t step, const std::string& phase,
+    const std::vector<std::pair<int, double>>& rank_values) {
+  std::vector<StragglerEvent> committed;
+  if (static_cast<int>(rank_values.size()) < cfg_.min_world) return committed;
+  std::vector<double> samples;
+  samples.reserve(rank_values.size());
+  for (const auto& [rank, v] : rank_values) samples.push_back(v);
+  const double med = percentile(samples, 50.0);
+  for (const auto& [rank, v] : rank_values) {
+    const double z = robust_zscore(v, samples, cfg_.mad_floor_frac);
+    Streak& st = streaks_[{rank, phase}];
+    if (z > cfg_.z_threshold && v >= cfg_.min_value) {
+      ++st.hits;
+      if (st.hits >= cfg_.consecutive && !st.flagged) {
+        st.flagged = true;
+        StragglerEvent ev;
+        ev.step = step;
+        ev.rank = rank;
+        ev.phase = phase;
+        ev.value = v;
+        ev.median = med;
+        ev.z = z;
+        events_.push_back(ev);
+        committed.push_back(ev);
+      }
+    } else {
+      st.hits = 0;
+      st.flagged = false;
+    }
+  }
+  return committed;
+}
+
+std::vector<StragglerEvent> StragglerDetector::observe(
+    const CompletedStep& done) {
+  std::vector<StragglerEvent> committed;
+  for (const auto& [phase, rank_values] : done.phases) {
+    auto evs = observe(done.step, phase, rank_values);
+    committed.insert(committed.end(), evs.begin(), evs.end());
+  }
+  return committed;
+}
+
+bool StragglerDetector::flagged(int rank) const {
+  for (const auto& [key, st] : streaks_) {
+    if (key.first == rank && st.flagged) return true;
+  }
+  return false;
+}
+
+void StragglerDetector::reset() {
+  streaks_.clear();
+  events_.clear();
+}
+
+ClusterAggregator::ClusterAggregator(int world, std::size_t window)
+    : world_(world), window_(window) {
+  DCT_CHECK_MSG(world > 0, "aggregator world must be positive");
+  DCT_CHECK_MSG(window > 0, "aggregator window must be positive");
+}
+
+std::optional<CompletedStep> ClusterAggregator::ingest(
+    const TelemetryFrame& frame) {
+  ++frames_;
+  latest_step_ = std::max(latest_step_, frame.step);
+  for (const auto& [phase, v] : frame.phases) {
+    auto& w = windows_[{frame.rank, phase}];
+    w.push_back(v);
+    if (w.size() > window_) w.pop_front();
+  }
+  latest_[frame.rank] = frame;
+
+  CompletedStep& cs = pending_[frame.step];
+  cs.step = frame.step;
+  for (const auto& [phase, v] : frame.phases) {
+    cs.phases[phase].emplace_back(frame.rank, v);
+  }
+  if (++pending_count_[frame.step] < world_) return std::nullopt;
+
+  CompletedStep done = std::move(cs);
+  // Steps at or before the completed one can never complete now
+  // (non-decreasing step ids per rank) — drop them with it.
+  pending_.erase(pending_.begin(), pending_.upper_bound(done.step));
+  pending_count_.erase(pending_count_.begin(),
+                       pending_count_.upper_bound(done.step));
+  return done;
+}
+
+void ClusterAggregator::set_world(int world) {
+  DCT_CHECK_MSG(world > 0, "aggregator world must be positive");
+  world_ = world;
+  // Ranks renumber densely on shrink: stale windows would misattribute.
+  windows_.clear();
+  latest_.clear();
+  pending_.clear();
+  pending_count_.clear();
+}
+
+double ClusterAggregator::phase_percentile(const std::string& phase,
+                                           double p) const {
+  std::vector<double> pooled;
+  for (const auto& [key, w] : windows_) {
+    if (key.second != phase) continue;
+    pooled.insert(pooled.end(), w.begin(), w.end());
+  }
+  if (pooled.empty()) return 0.0;
+  return percentile(std::move(pooled), p);
+}
+
+double ClusterAggregator::latest(int rank, const std::string& phase) const {
+  const auto it = latest_.find(rank);
+  if (it == latest_.end()) return 0.0;
+  for (const auto& [name, v] : it->second.phases) {
+    if (name == phase) return v;
+  }
+  return 0.0;
+}
+
+std::vector<std::string> ClusterAggregator::phase_names() const {
+  std::vector<std::string> out;
+  for (const auto& [key, w] : windows_) {
+    (void)w;
+    if (std::find(out.begin(), out.end(), key.second) == out.end()) {
+      out.push_back(key.second);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ClusterAggregator::jsonl_line(const CompletedStep& done) const {
+  std::ostringstream os;
+  os << "{\"step\":" << done.step << ",\"phases\":{";
+  bool first_phase = true;
+  for (const auto& [phase, rank_values] : done.phases) {
+    if (!first_phase) os << ",";
+    first_phase = false;
+    os << '"';
+    json_escape_into(os, phase);
+    os << "\":{";
+    bool first_rank = true;
+    for (const auto& [rank, v] : rank_values) {
+      if (!first_rank) os << ",";
+      first_rank = false;
+      os << "\"" << rank << "\":" << v;
+    }
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string ClusterAggregator::prometheus_text() const {
+  std::ostringstream os;
+  os << "# HELP dctrain_phase_seconds Latest per-rank phase wall time.\n"
+     << "# TYPE dctrain_phase_seconds gauge\n";
+  for (const auto& [rank, frame] : latest_) {
+    for (const auto& [phase, v] : frame.phases) {
+      os << "dctrain_phase_seconds{rank=\"" << rank << "\",phase=\"" << phase
+         << "\"} " << v << "\n";
+    }
+  }
+  os << "# HELP dctrain_phase_seconds_cluster Cross-rank rolling-window "
+        "percentiles.\n"
+     << "# TYPE dctrain_phase_seconds_cluster gauge\n";
+  for (const auto& phase : phase_names()) {
+    for (double q : {50.0, 95.0, 99.0}) {
+      os << "dctrain_phase_seconds_cluster{phase=\"" << phase
+         << "\",quantile=\"" << q / 100.0 << "\"} "
+         << phase_percentile(phase, q) << "\n";
+    }
+  }
+  os << "# HELP dctrain_value Latest per-rank auxiliary value.\n"
+     << "# TYPE dctrain_value gauge\n";
+  for (const auto& [rank, frame] : latest_) {
+    for (const auto& [name, v] : frame.values) {
+      os << "dctrain_value{rank=\"" << rank << "\",name=\"" << name << "\"} "
+         << v << "\n";
+    }
+  }
+  os << "# HELP dctrain_telemetry_frames_total Frames ingested by the "
+        "collector.\n"
+     << "# TYPE dctrain_telemetry_frames_total counter\n"
+     << "dctrain_telemetry_frames_total " << frames_ << "\n";
+  return os.str();
+}
+
+Table ClusterAggregator::top_table(const StragglerDetector* detector) const {
+  const auto phases = phase_names();
+  std::vector<std::string> headers{"rank", "step"};
+  for (const auto& p : phases) headers.push_back(p + " (s)");
+  headers.push_back("status");
+  Table t(std::move(headers));
+  for (const auto& [rank, frame] : latest_) {
+    std::vector<std::string> row{std::to_string(rank),
+                                 std::to_string(frame.step)};
+    for (const auto& p : phases) row.push_back(Table::num(latest(rank, p), 4));
+    row.push_back(detector != nullptr && detector->flagged(rank)
+                      ? "STRAGGLER"
+                      : "ok");
+    t.add_row(std::move(row));
+  }
+  for (double q : {50.0, 95.0}) {
+    std::vector<std::string> row{"p" + Table::num(q, 0), "-"};
+    for (const auto& p : phases) {
+      row.push_back(Table::num(phase_percentile(p, q), 4));
+    }
+    row.push_back("-");
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace dct::obs

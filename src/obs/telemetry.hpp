@@ -1,0 +1,178 @@
+// Cluster telemetry core (DESIGN.md §13): the data structures behind
+// the streaming metric plane. Everything here is transport-agnostic —
+// frames are plain byte blobs and the aggregator/detector consume them
+// wherever they arrive. The wire layer that moves frames between simmpi
+// ranks lives in comm::TelemetryPlane (obs cannot depend on simmpi:
+// simmpi already depends on obs for tracing).
+//
+// Pipeline: every rank periodically packs its per-step phase timings
+// into a TelemetryFrame and pushes it to the rank-0 collector. The
+// ClusterAggregator keeps rolling per-(rank, phase) windows, computes
+// cross-rank percentiles, streams time-series JSONL, renders a
+// Prometheus-style text snapshot and the `dctrain top` live table.
+// When a step has reported from every live rank, the StragglerDetector
+// compares each rank's phase time against the cluster median with a
+// robust z-score (median/MAD, not mean/stddev — one straggler must not
+// inflate its own yardstick) and flags ranks that stay deviant for
+// `consecutive` completed steps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace dct::obs {
+
+/// One rank's periodic metric report. `phases` are this step's
+/// per-phase wall times in seconds ("step", "data", "allreduce", ...);
+/// `values` are auxiliary samples (loss, cumulative comm bytes, ...).
+struct TelemetryFrame {
+  std::int64_t step = -1;
+  std::int32_t rank = -1;
+  std::vector<std::pair<std::string, double>> phases;
+  std::vector<std::pair<std::string, double>> values;
+
+  /// Compact length-prefixed binary encoding (the wire format simmpi
+  /// carries on kTelemetryTag; DESIGN.md §13 documents the layout).
+  std::vector<std::byte> serialize() const;
+  /// Throws CheckError on a malformed or truncated buffer.
+  static TelemetryFrame deserialize(std::span<const std::byte> buf);
+};
+
+/// A step for which every live rank has reported: per-phase value
+/// vectors in (rank, seconds) form, ready for the detector.
+struct CompletedStep {
+  std::int64_t step = -1;
+  std::map<std::string, std::vector<std::pair<int, double>>> phases;
+};
+
+/// Straggler detection thresholds (see DESIGN.md §13 for rationale).
+struct DetectorConfig {
+  /// Robust z-score above which a rank counts as deviant:
+  /// z = 0.6745 * (x - median) / MAD.
+  double z_threshold = 3.5;
+  /// Deviant observations on consecutive completed steps before the
+  /// detector commits to a flag (one slow step is noise).
+  int consecutive = 2;
+  /// MAD floor as a fraction of the median — a perfectly uniform
+  /// cluster must not divide by ~zero and flag 1% jitter.
+  double mad_floor_frac = 0.02;
+  /// Below this world size median/MAD are meaningless; stay quiet.
+  int min_world = 3;
+  /// Absolute floor: deviations smaller than this are never flagged,
+  /// whatever their z-score. Microsecond-scale phases (e.g. the exposed
+  /// allreduce remainder under full overlap) have enormous *relative*
+  /// variance that says nothing about rank health.
+  double min_value = 0.005;
+};
+
+/// A committed detector verdict.
+struct StragglerEvent {
+  std::int64_t step = -1;
+  int rank = -1;
+  std::string phase;
+  double value = 0.0;   ///< the rank's phase seconds
+  double median = 0.0;  ///< cluster median that step
+  double z = 0.0;       ///< robust z-score
+};
+
+class StragglerDetector {
+ public:
+  explicit StragglerDetector(DetectorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Feed one phase of one completed step. Returns the events for
+  /// ranks whose deviance streak just reached cfg.consecutive (each
+  /// streak reports once; the flag clears when the rank recovers).
+  std::vector<StragglerEvent> observe(
+      std::int64_t step, const std::string& phase,
+      const std::vector<std::pair<int, double>>& rank_values);
+
+  /// Feed every phase of a completed step.
+  std::vector<StragglerEvent> observe(const CompletedStep& done);
+
+  /// Is this rank currently flagged in any phase?
+  bool flagged(int rank) const;
+  /// All events committed so far, in arrival order.
+  const std::vector<StragglerEvent>& events() const { return events_; }
+  const DetectorConfig& config() const { return cfg_; }
+
+  /// Forget streaks and flags (e.g. after a shrink re-ranks the world).
+  void reset();
+
+ private:
+  struct Streak {
+    int hits = 0;
+    bool flagged = false;
+  };
+
+  DetectorConfig cfg_;
+  std::map<std::pair<int, std::string>, Streak> streaks_;
+  std::vector<StragglerEvent> events_;
+};
+
+/// Robust z-score of x against a sample set (median / MAD with the
+/// configured floor). Exposed for tests and the netsim link detector.
+double robust_zscore(double x, std::vector<double> samples,
+                     double mad_floor_frac = 0.02);
+
+/// Rank-0 collector state: rolling windows, cross-rank percentiles,
+/// exports. Single-threaded by design — the telemetry plane calls it
+/// from the training thread only.
+class ClusterAggregator {
+ public:
+  /// `world` = number of ranks expected to report per step;
+  /// `window` = completed steps kept per (rank, phase) rolling window.
+  explicit ClusterAggregator(int world, std::size_t window = 64);
+
+  /// Ingest one frame. Returns the completed step when this frame was
+  /// the last missing report for its step id.
+  std::optional<CompletedStep> ingest(const TelemetryFrame& frame);
+
+  /// Shrink/regrow the expected world (elastic recovery). Pending
+  /// partially-reported steps are dropped — their missing ranks may be
+  /// dead.
+  void set_world(int world);
+  int world() const { return world_; }
+
+  std::int64_t frames_ingested() const { return frames_; }
+  std::int64_t latest_step() const { return latest_step_; }
+
+  /// Cross-rank rolling percentile of a phase (pooled over every
+  /// rank's window). p in [0, 100].
+  double phase_percentile(const std::string& phase, double p) const;
+  /// Latest reported value of a phase on one rank (0 when unseen).
+  double latest(int rank, const std::string& phase) const;
+  std::vector<std::string> phase_names() const;
+
+  /// One JSONL record for a completed step (time-series export).
+  std::string jsonl_line(const CompletedStep& done) const;
+  /// Prometheus text exposition of the current state.
+  std::string prometheus_text() const;
+  /// The `dctrain top` table: one row per rank, one column per phase,
+  /// cluster percentile footer rows, straggler flags from `detector`.
+  Table top_table(const StragglerDetector* detector = nullptr) const;
+
+ private:
+  int world_;
+  std::size_t window_;
+  std::int64_t frames_ = 0;
+  std::int64_t latest_step_ = -1;
+  /// (rank, phase) -> rolling window of the last `window_` values.
+  std::map<std::pair<int, std::string>, std::deque<double>> windows_;
+  /// rank -> latest frame content (for `top` and Prometheus export).
+  std::map<int, TelemetryFrame> latest_;
+  /// step id -> accumulating reports until `world_` ranks have landed.
+  std::map<std::int64_t, CompletedStep> pending_;
+  std::map<std::int64_t, int> pending_count_;
+};
+
+}  // namespace dct::obs

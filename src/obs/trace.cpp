@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,6 +19,11 @@ struct ThreadBuffer {
   int tid = 0;
   std::mutex mutex;  ///< owner thread appends; collectors read
   std::vector<TraceEvent> events;
+  // Ring state, active when Tracer::max_events_per_thread() > 0: once
+  // `events` reaches the cap, `next` is the slot the next append
+  // overwrites (oldest-first) and `dropped` counts the overwrites.
+  std::size_t next = 0;
+  std::size_t dropped = 0;
 };
 
 // The registry and the thread_local handles leak deliberately: rank and
@@ -37,6 +43,9 @@ Registry& registry() {
 
 thread_local std::shared_ptr<ThreadBuffer> t_buffer;
 thread_local int t_rank = kUnattributedRank;
+thread_local TraceContext t_ctx;
+
+std::atomic<std::size_t> g_max_events{0};
 
 ThreadBuffer& thread_buffer() {
   if (!t_buffer) {
@@ -47,6 +56,20 @@ ThreadBuffer& thread_buffer() {
     reg.buffers.push_back(t_buffer);
   }
   return *t_buffer;
+}
+
+/// Append under the buffer lock, honouring the per-thread ring cap.
+void append_event(const TraceEvent& ev) {
+  ThreadBuffer& buf = thread_buffer();
+  const std::size_t cap = g_max_events.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  if (cap == 0 || buf.events.size() < cap) {
+    buf.events.push_back(ev);
+    return;
+  }
+  if (buf.next >= buf.events.size()) buf.next = 0;
+  buf.events[buf.next++] = ev;
+  ++buf.dropped;
 }
 
 std::chrono::steady_clock::time_point trace_epoch() {
@@ -83,22 +106,55 @@ int rank_pid(int rank) { return rank >= 0 ? rank : 999999; }
 
 // DCTRAIN_TRACE=<path>: enable at startup, write the trace at exit.
 struct EnvAutoTrace {
-  EnvAutoTrace() {
-    const char* path = std::getenv("DCTRAIN_TRACE");
-    if (path == nullptr || *path == '\0') return;
-    destination() = path;
-    Tracer::set_enabled(true);
-    std::atexit([] {
-      Tracer::write_chrome_trace(destination());
-      std::fprintf(stderr, "dctrain: wrote %zu trace events to %s\n",
-                   Tracer::event_count(), destination().c_str());
-    });
-  }
-  static std::string& destination() {
-    static std::string* d = new std::string;
-    return *d;
-  }
+  EnvAutoTrace();
+  static std::string& destination();
 };
+
+// Crash-signal flush: long chaos soaks die by design (crash injection,
+// aborts) and must not lose the trace tail, so when DCTRAIN_TRACE is
+// active fatal signals write the trace before re-raising. Writing JSON
+// from a signal handler is not async-signal-safe — this is a
+// best-effort diagnostic path taken only when the process is already
+// doomed, guarded against re-entry.
+std::atomic<bool> g_crash_flush_active{false};
+
+void crash_flush_handler(int sig) {
+  std::signal(sig, SIG_DFL);
+  if (!g_crash_flush_active.exchange(true)) {
+    Tracer::write_chrome_trace(EnvAutoTrace::destination());
+    std::fprintf(stderr,
+                 "dctrain: signal %d, flushed %zu trace events to %s\n", sig,
+                 Tracer::event_count(), EnvAutoTrace::destination().c_str());
+  }
+  std::raise(sig);
+}
+
+EnvAutoTrace::EnvAutoTrace() {
+  if (const char* cap = std::getenv("DCTRAIN_TRACE_MAX_EVENTS");
+      cap != nullptr && *cap != '\0') {
+    Tracer::set_max_events_per_thread(
+        static_cast<std::size_t>(std::strtoull(cap, nullptr, 10)));
+  }
+  const char* path = std::getenv("DCTRAIN_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  destination() = path;
+  Tracer::set_enabled(true);
+  std::atexit([] {
+    if (g_crash_flush_active.load()) return;  // the handler already wrote
+    Tracer::write_chrome_trace(destination());
+    std::fprintf(stderr, "dctrain: wrote %zu trace events to %s\n",
+                 Tracer::event_count(), destination().c_str());
+  });
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL, SIGTERM}) {
+    std::signal(sig, crash_flush_handler);
+  }
+}
+
+std::string& EnvAutoTrace::destination() {
+  static std::string* d = new std::string;
+  return *d;
+}
+
 const EnvAutoTrace env_auto_trace;
 
 }  // namespace
@@ -126,11 +182,15 @@ void Tracer::set_thread_rank(int rank) { t_rank = rank; }
 
 int Tracer::thread_rank() { return t_rank; }
 
+void Tracer::set_context(const TraceContext& ctx) { t_ctx = ctx; }
+
+TraceContext Tracer::context() { return t_ctx; }
+
 void Tracer::span(std::string_view name, std::string_view cat,
                   std::uint64_t ts_ns, std::uint64_t dur_ns,
                   std::int64_t arg) {
   if (!enabled()) return;
-  TraceEvent ev;
+  TraceEvent ev{};
   copy_label(ev.name, name);
   copy_label(ev.cat, cat);
   ev.ts_ns = ts_ns;
@@ -138,15 +198,13 @@ void Tracer::span(std::string_view name, std::string_view cat,
   ev.arg = arg;
   ev.rank = t_rank;
   ev.kind = TraceEvent::Kind::kSpan;
-  ThreadBuffer& buf = thread_buffer();
-  std::lock_guard<std::mutex> lock(buf.mutex);
-  buf.events.push_back(ev);
+  append_event(ev);
 }
 
 void Tracer::instant(std::string_view name, std::string_view cat,
                      std::int64_t arg) {
   if (!enabled()) return;
-  TraceEvent ev;
+  TraceEvent ev{};
   copy_label(ev.name, name);
   copy_label(ev.cat, cat);
   ev.ts_ns = now_ns();
@@ -154,9 +212,57 @@ void Tracer::instant(std::string_view name, std::string_view cat,
   ev.arg = arg;
   ev.rank = t_rank;
   ev.kind = TraceEvent::Kind::kInstant;
-  ThreadBuffer& buf = thread_buffer();
-  std::lock_guard<std::mutex> lock(buf.mutex);
-  buf.events.push_back(ev);
+  append_event(ev);
+}
+
+void Tracer::flow_start(std::uint64_t flow_id, std::int64_t bytes) {
+  if (!enabled()) return;
+  TraceEvent ev{};
+  copy_label(ev.name, "msg");
+  copy_label(ev.cat, "flow");
+  ev.ts_ns = now_ns();
+  ev.dur_ns = 0;
+  ev.arg = bytes;
+  ev.flow = flow_id;
+  ev.ctx = t_ctx;
+  ev.rank = t_rank;
+  ev.kind = TraceEvent::Kind::kFlowStart;
+  append_event(ev);
+}
+
+void Tracer::flow_end(std::uint64_t flow_id, const TraceContext& sender_ctx,
+                      std::int64_t bytes) {
+  if (!enabled()) return;
+  TraceEvent ev{};
+  copy_label(ev.name, "msg");
+  copy_label(ev.cat, "flow");
+  ev.ts_ns = now_ns();
+  ev.dur_ns = 0;
+  ev.arg = bytes;
+  ev.flow = flow_id;
+  ev.ctx = sender_ctx;
+  ev.rank = t_rank;
+  ev.kind = TraceEvent::Kind::kFlowEnd;
+  append_event(ev);
+}
+
+void Tracer::set_max_events_per_thread(std::size_t n) {
+  g_max_events.store(n, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::max_events_per_thread() {
+  return g_max_events.load(std::memory_order_relaxed);
+}
+
+std::size_t Tracer::dropped_count() {
+  std::size_t n = 0;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    n += buf->dropped;
+  }
+  return n;
 }
 
 std::vector<CollectedEvent> Tracer::collect() {
@@ -189,6 +295,8 @@ void Tracer::reset() {
   for (const auto& buf : reg.buffers) {
     std::lock_guard<std::mutex> lock(buf->mutex);
     buf->events.clear();
+    buf->next = 0;
+    buf->dropped = 0;
   }
 }
 
@@ -237,8 +345,19 @@ void Tracer::write_chrome_trace(std::ostream& os) {
       write_json_string(os, ev.cat);
     }
     const bool is_span = ev.kind == TraceEvent::Kind::kSpan;
-    os << ",\"ph\":\"" << (is_span ? 'X' : 'i') << '"';
-    if (!is_span) os << ",\"s\":\"t\"";
+    const bool is_flow = ev.kind == TraceEvent::Kind::kFlowStart ||
+                         ev.kind == TraceEvent::Kind::kFlowEnd;
+    if (is_flow) {
+      // Chrome flow-event pair: "s" opens the edge at the sender, "f"
+      // ("bp":"e" = bind to enclosing slice) closes it at the receiver.
+      const bool start = ev.kind == TraceEvent::Kind::kFlowStart;
+      os << ",\"ph\":\"" << (start ? 's' : 'f') << '"';
+      if (!start) os << ",\"bp\":\"e\"";
+      os << ",\"id\":" << ev.flow;
+    } else {
+      os << ",\"ph\":\"" << (is_span ? 'X' : 'i') << '"';
+      if (!is_span) os << ",\"s\":\"t\"";
+    }
     char ts[32];
     std::snprintf(ts, sizeof(ts), "%.3f",
                   static_cast<double>(ev.ts_ns) / 1000.0);
@@ -249,7 +368,14 @@ void Tracer::write_chrome_trace(std::ostream& os) {
       os << ",\"dur\":" << ts;
     }
     os << ",\"pid\":" << rank_pid(ev.rank) << ",\"tid\":" << ce.tid;
-    if (ev.arg != kNoArg) os << ",\"args\":{\"arg\":" << ev.arg << "}";
+    if (is_flow) {
+      os << ",\"args\":{\"step\":" << ev.ctx.step
+         << ",\"coll\":" << ev.ctx.collective << ",\"chunk\":" << ev.ctx.chunk;
+      if (ev.arg != kNoArg) os << ",\"bytes\":" << ev.arg;
+      os << "}";
+    } else if (ev.arg != kNoArg) {
+      os << ",\"args\":{\"arg\":" << ev.arg << "}";
+    }
     os << "}";
   }
   os << "\n]}\n";

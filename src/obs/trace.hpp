@@ -41,14 +41,27 @@ inline constexpr std::int64_t kNoArg = INT64_MIN;
 /// nobody tagged get kUnattributedRank (exported under one shared pid).
 inline constexpr int kUnattributedRank = -1;
 
+/// Causal context carried by the calling thread and stamped onto flow
+/// events. simmpi copies the sender's context into message envelopes so
+/// the receiver's flow-end event can be stitched to the sender's
+/// flow-start: that is what lets trace-report line up allreduce chunks
+/// from different ranks without wall-clock guesswork.
+struct TraceContext {
+  std::int64_t step = -1;       ///< training iteration (trainer sets it)
+  std::int32_t collective = -1; ///< collective op sequence number
+  std::int32_t chunk = -1;      ///< chunk / bucket index inside the op
+};
+
 struct TraceEvent {
-  enum class Kind : std::uint8_t { kSpan, kInstant };
+  enum class Kind : std::uint8_t { kSpan, kInstant, kFlowStart, kFlowEnd };
 
   char name[48];         ///< truncating copy, always NUL-terminated
   char cat[16];          ///< category ("phase", "simmpi", ...)
   std::uint64_t ts_ns;   ///< start, ns since the process trace epoch
   std::uint64_t dur_ns;  ///< 0 for instants
-  std::int64_t arg;      ///< kNoArg when unused
+  std::int64_t arg;      ///< kNoArg when unused; payload bytes for flows
+  std::uint64_t flow;    ///< flow id pairing kFlowStart with kFlowEnd
+  TraceContext ctx;      ///< causal context (flow events only)
   int rank;              ///< rank tag of the recording thread
   Kind kind;
 };
@@ -73,6 +86,20 @@ class Tracer {
   static void set_thread_rank(int rank);
   static int thread_rank();
 
+  /// Causal context of the calling thread (thread_local, always
+  /// readable — instrumentation may consult it even when disabled).
+  static void set_context(const TraceContext& ctx);
+  static TraceContext context();
+
+  /// Record one half of a cross-thread flow edge at now_ns(). The
+  /// sender calls flow_start with a fresh id before handing a message
+  /// off; the receiver calls flow_end with the same id (and the
+  /// *sender's* context, carried in the envelope) once it takes
+  /// delivery. `bytes` lands in the event arg.
+  static void flow_start(std::uint64_t flow_id, std::int64_t bytes);
+  static void flow_end(std::uint64_t flow_id, const TraceContext& sender_ctx,
+                       std::int64_t bytes);
+
   /// Append a completed span / an instant event to the calling thread's
   /// buffer. No-ops when disabled. Prefer the DCT_TRACE_* macros.
   static void span(std::string_view name, std::string_view cat,
@@ -86,6 +113,16 @@ class Tracer {
 
   /// Number of buffered events across all threads.
   static std::size_t event_count();
+
+  /// Cap on events retained *per thread buffer*: once a buffer is full
+  /// the oldest event is overwritten (ring). 0 = unbounded (default).
+  /// Environment override: DCTRAIN_TRACE_MAX_EVENTS=<n>. Long chaos
+  /// soaks use this so the Chrome JSON stays bounded.
+  static void set_max_events_per_thread(std::size_t n);
+  static std::size_t max_events_per_thread();
+
+  /// Events overwritten by the ring cap since the last reset().
+  static std::size_t dropped_count();
 
   /// Drop all buffered events (thread registrations survive).
   static void reset();
@@ -135,6 +172,46 @@ class SpanScope {
   std::int64_t arg_ = kNoArg;
   bool active_ = false;
 };
+
+/// RAII: install a causal context on the calling thread, restore the
+/// previous one on scope exit. Combine with the with_* helpers below:
+///   ScopedContext sc(with_collective(op_id));
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& ctx) : prev_(Tracer::context()) {
+    Tracer::set_context(ctx);
+  }
+  ~ScopedContext() { Tracer::set_context(prev_); }
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Current context with the step replaced (collective/chunk cleared: a
+/// new step starts a fresh causal scope).
+inline TraceContext with_step(std::int64_t step) {
+  TraceContext c;
+  c.step = step;
+  return c;
+}
+
+/// Current context with the collective id replaced (chunk cleared).
+inline TraceContext with_collective(std::int32_t id) {
+  TraceContext c = Tracer::context();
+  c.collective = id;
+  c.chunk = -1;
+  return c;
+}
+
+/// Current context with the chunk / bucket index replaced.
+inline TraceContext with_chunk(std::int32_t chunk) {
+  TraceContext c = Tracer::context();
+  c.chunk = chunk;
+  return c;
+}
 
 /// Temporarily re-tag the calling thread (worker threads doing work on
 /// behalf of a rank, e.g. donkey loaders).

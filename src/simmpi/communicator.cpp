@@ -89,6 +89,8 @@ std::optional<Status> Communicator::try_probe(int source, int tag) {
 void Communicator::barrier() {
   DCT_TRACE_SPAN("barrier", "simmpi");
   const int tag = next_collective_tag();
+  obs::ScopedContext dct_coll_ctx(
+      obs::with_collective(tag - kCollectiveTagBase));
   const int p = size();
   const std::byte token{0};
   for (int dist = 1; dist < p; dist <<= 1) {
@@ -104,6 +106,8 @@ void Communicator::bcast_bytes(std::span<std::byte> data, int root) {
   DCT_TRACE_SPAN("bcast", "simmpi", static_cast<std::int64_t>(data.size()));
   DCT_CHECK(root >= 0 && root < size());
   const int tag = next_collective_tag();
+  obs::ScopedContext dct_coll_ctx(
+      obs::with_collective(tag - kCollectiveTagBase));
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
   // Binomial tree: climb masks until the bit that names my parent, receive,

@@ -147,6 +147,8 @@ class Communicator {
     DCT_TRACE_SPAN("reduce", "simmpi",
                    static_cast<std::int64_t>(data.size_bytes()));
     const int tag = next_collective_tag();
+    obs::ScopedContext dct_coll_ctx(
+        obs::with_collective(tag - kCollectiveTagBase));
     const int p = size();
     const int vrank = (rank_ - root + p) % p;
     std::vector<T> incoming(data.size());
@@ -193,6 +195,8 @@ class Communicator {
     DCT_CHECK_MSG(all.size() == block * static_cast<std::size_t>(p),
                   "allgather output size mismatch");
     const int tag = next_collective_tag();
+    obs::ScopedContext dct_coll_ctx(
+        obs::with_collective(tag - kCollectiveTagBase));
     std::memcpy(all.data() + static_cast<std::size_t>(rank_) * block,
                 mine.data(), block * sizeof(T));
     const int right = (rank_ + 1) % p;
@@ -231,6 +235,8 @@ class Communicator {
     DCT_CHECK(static_cast<int>(counts.size()) == p);
     DCT_CHECK(mine.size() == counts[static_cast<std::size_t>(rank_)]);
     const int tag = next_collective_tag();
+    obs::ScopedContext dct_coll_ctx(
+        obs::with_collective(tag - kCollectiveTagBase));
     std::size_t offset = 0;
     std::vector<std::size_t> displs(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
@@ -261,6 +267,8 @@ class Communicator {
     const int p = size();
     const std::size_t block = mine.size();
     const int tag = next_collective_tag();
+    obs::ScopedContext dct_coll_ctx(
+        obs::with_collective(tag - kCollectiveTagBase));
     if (rank_ == root) {
       DCT_CHECK(all.size() == block * static_cast<std::size_t>(p));
       std::memcpy(all.data() + static_cast<std::size_t>(root) * block,
@@ -284,6 +292,8 @@ class Communicator {
     const int p = size();
     const std::size_t block = mine.size();
     const int tag = next_collective_tag();
+    obs::ScopedContext dct_coll_ctx(
+        obs::with_collective(tag - kCollectiveTagBase));
     if (rank_ == root) {
       DCT_CHECK(all.size() == block * static_cast<std::size_t>(p));
       for (int r = 0; r < p; ++r) {
@@ -319,6 +329,8 @@ class Communicator {
               static_cast<int>(recv_counts.size()) == p &&
               static_cast<int>(recv_displs.size()) == p);
     const int tag = next_collective_tag();
+    obs::ScopedContext dct_coll_ctx(
+        obs::with_collective(tag - kCollectiveTagBase));
     // Pairwise-shifted schedule spreads traffic; buffered sends cannot
     // block, so send-then-recv per shift is deadlock-free.
     for (int shift = 0; shift < p; ++shift) {

@@ -216,7 +216,8 @@ std::size_t Mailbox::pending() const {
 
 Transport::Transport(int nranks)
     : dead_(static_cast<std::size_t>(std::max(nranks, 1))),
-      death_acked_(static_cast<std::size_t>(std::max(nranks, 1))) {
+      death_acked_(static_cast<std::size_t>(std::max(nranks, 1))),
+      send_ns_(static_cast<std::size_t>(std::max(nranks, 1))) {
   DCT_CHECK_MSG(nranks > 0, "transport needs at least one rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -229,6 +230,18 @@ void Transport::send(int dest_global, std::uint64_t context, int source,
   DCT_CHECK_MSG(dest_global >= 0 && dest_global < nranks(),
                 "send to out-of-range global rank " << dest_global);
   if (aborted()) throw Aborted();
+  // Charge the whole call (including a straggle fault's sleep) to the
+  // sending rank's send-time account; see send_seconds().
+  const auto send_start = std::chrono::steady_clock::now();
+  const int sender = this_thread_rank();
+  const auto charge_sender = [&] {
+    if (sender < 0 || sender >= nranks()) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - send_start)
+                        .count();
+    send_ns_[static_cast<std::size_t>(sender)].fetch_add(
+        static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+  };
   detail::RawMessage msg;
   msg.context = context;
   msg.source = source;
@@ -240,8 +253,11 @@ void Transport::send(int dest_global, std::uint64_t context, int source,
   // production) branch; see bench_micro_kernels BM_TransportSend.
   if (FaultPlan* plan = fault_.load(std::memory_order_acquire);
       plan != nullptr) [[unlikely]] {
-    const auto verdict = plan->on_send(this_thread_rank(), payload.size());
-    if (verdict.drop) return;
+    const auto verdict = plan->on_send(sender, payload.size());
+    if (verdict.drop) {
+      charge_sender();
+      return;
+    }
     // id lets receivers discard an injected duplicate even if it would
     // match a later receive; assigned only under a plan so production
     // runs skip the dedup map entirely.
@@ -255,14 +271,32 @@ void Transport::send(int dest_global, std::uint64_t context, int source,
       boxes_[static_cast<std::size_t>(dest_global)]->push(msg);
     }
   }
+  // Flow stamping happens after the fault hook so a straggler's
+  // sender-side sleep lands *before* the flow-start timestamp: the
+  // receiver's wait then shows up as the straggler's local time in the
+  // critical-path walk, not as link latency. Dropped messages return
+  // above and never open a dangling flow edge.
+  if (obs::Tracer::enabled()) {
+    msg.flow = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+    msg.trace_ctx = obs::Tracer::context();
+    obs::Tracer::flow_start(msg.flow,
+                            static_cast<std::int64_t>(payload.size()));
+  }
   boxes_[static_cast<std::size_t>(dest_global)]->push(std::move(msg));
+  charge_sender();
 }
 
 detail::RawMessage Transport::recv(int self_global, std::uint64_t context,
                                    int source, int tag, int src_global) {
   DCT_CHECK(self_global >= 0 && self_global < nranks());
-  return boxes_[static_cast<std::size_t>(self_global)]->pop_matching(
-      context, source, tag, *this, src_global);
+  detail::RawMessage msg =
+      boxes_[static_cast<std::size_t>(self_global)]->pop_matching(
+          context, source, tag, *this, src_global);
+  if (msg.flow != 0 && obs::Tracer::enabled()) {
+    obs::Tracer::flow_end(msg.flow, msg.trace_ctx,
+                          static_cast<std::int64_t>(msg.data.size()));
+  }
+  return msg;
 }
 
 Status Transport::probe(int self_global, std::uint64_t context, int source,

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "simmpi/types.hpp"
 
 namespace dct::simmpi {
@@ -83,6 +84,12 @@ struct RawMessage {
   /// shares the original's id, which is how receivers discard it even
   /// when a later receive reuses the same (context, source, tag).
   std::uint64_t id = 0;
+  /// Cross-rank trace correlation: nonzero only while tracing is
+  /// enabled. The sender stamps a process-unique flow id plus its
+  /// causal context (step, collective, chunk); the receiver's flow-end
+  /// event replays that context so trace-report can stitch the edge.
+  std::uint64_t flow = 0;
+  obs::TraceContext trace_ctx;
 };
 
 class Mailbox {
@@ -204,6 +211,19 @@ class Transport {
   /// Dead ranks no recovery path has claimed (silent casualties).
   std::vector<int> unacknowledged_dead_ranks() const;
 
+  /// Cumulative wall time global rank `rank` has spent inside send(),
+  /// in seconds, accumulated across all of its threads (main + progress
+  /// engines). A sender-side straggler — fault-injected or a genuinely
+  /// slow NIC — burns its delay here while healthy peers stay at
+  /// microseconds, which makes this the *local* signal the telemetry
+  /// straggler detector keys on (a slow collective alone inflates every
+  /// rank's timings equally and separates nobody).
+  double send_seconds(int rank) const {
+    return static_cast<double>(send_ns_[static_cast<std::size_t>(rank)].load(
+               std::memory_order_relaxed)) *
+           1e-9;
+  }
+
   /// Cumulative bytes pushed through the transport (all ranks).
   std::uint64_t total_bytes_sent() const {
     return bytes_sent_.load(std::memory_order_relaxed);
@@ -219,11 +239,13 @@ class Transport {
   std::atomic<bool> aborted_{false};
   std::atomic<FaultPlan*> fault_{nullptr};
   std::atomic<std::uint64_t> next_msg_id_{1};
+  std::atomic<std::uint64_t> next_flow_id_{1};
   std::atomic<std::int64_t> recv_deadline_ms_{0};
   std::vector<std::atomic<bool>> dead_;
   std::vector<std::atomic<bool>> death_acked_;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_{0};
+  std::vector<std::atomic<std::uint64_t>> send_ns_;  ///< per global rank
 };
 
 }  // namespace dct::simmpi

@@ -23,6 +23,11 @@ inline constexpr int kCollectiveTagBase = 1 << 28;
 inline constexpr int kShrinkJoinTag = kCollectiveTagBase - 2;
 inline constexpr int kShrinkCommitTag = kCollectiveTagBase - 3;
 
+/// Reserved tag for the telemetry plane (comm::TelemetryPlane): ranks
+/// eager-push metric frames to the rank-0 collector on this tag, so it
+/// must never collide with user or collective traffic.
+inline constexpr int kTelemetryTag = kCollectiveTagBase - 4;
+
 /// Completion record of a receive.
 struct Status {
   int source = 0;

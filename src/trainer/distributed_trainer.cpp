@@ -75,6 +75,14 @@ DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
     }
   }
 
+  if (cfg_.telemetry.enabled) {
+    // Collective (the plane dup()s the communicator for its engine).
+    telemetry_ = std::make_unique<comm::TelemetryPlane>(comm_,
+                                                        cfg_.telemetry);
+    send_seconds_prev_ =
+        comm_.transport().send_seconds(comm_.global_rank(comm_.rank()));
+  }
+
   if (cfg_.record_blob_path) {
     DCT_CHECK(cfg_.record_index_path.has_value());
     record_file_ = std::make_unique<data::RecordFile>(
@@ -104,6 +112,10 @@ DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
 }
 
 void DistributedTrainer::quiesce() {
+  // The telemetry plane rides its own dup()'ed communicator; tear it
+  // down with the rest of the background machinery (shrink_to rebuilds
+  // it over the survivor world).
+  telemetry_.reset();
   if (gradcomm_ == nullptr) return;
   // Unhook first so a concurrent backward can no longer submit bucket
   // reductions, then destroy the GradComm — its ProgressEngine drains
@@ -176,6 +188,15 @@ void DistributedTrainer::shrink_to(const simmpi::ShrinkResult& shrink,
         gradcomm_->on_range_ready(lo, hi);
       });
     }
+  }
+
+  // Rebuild the telemetry plane over the survivor communicator. Ranks
+  // renumbered densely, so the collector starts from a clean slate.
+  if (cfg_.telemetry.enabled) {
+    telemetry_ = std::make_unique<comm::TelemetryPlane>(comm_,
+                                                        cfg_.telemetry);
+    send_seconds_prev_ =
+        comm_.transport().send_seconds(comm_.global_rank(comm_.rank()));
   }
 
   // Linear LR scaling (Goyal et al.): the effective global batch is
@@ -275,6 +296,10 @@ StepMetrics DistributedTrainer::step() {
     return std::chrono::duration<double>(clock::now() - since).count();
   };
   DCT_TRACE_SPAN("step", "step", static_cast<std::int64_t>(iteration_));
+  // Causal root of this step: every message this rank sends until the
+  // scope closes carries the iteration number in its flow context.
+  obs::ScopedContext dct_step_ctx(
+      obs::with_step(static_cast<std::int64_t>(iteration_)));
   // Fault injection's crash-at-step trigger; free when no plan is
   // installed.
   if (simmpi::FaultPlan* plan = comm_.transport().fault_plan();
@@ -341,6 +366,27 @@ StepMetrics DistributedTrainer::step() {
     save_checkpoint();
   }
   metrics.step_seconds = elapsed(step_start);
+
+  // Push this step's frame to the rank-0 collector. Fire-and-forget on
+  // the plane's private ProgressEngine; a dead plane is a no-op.
+  if (telemetry_ != nullptr && !telemetry_->disabled()) {
+    obs::TelemetryFrame frame;
+    frame.step = static_cast<std::int64_t>(iteration_) - 1;
+    frame.rank = comm_.rank();
+    // "send" is wall time spent inside Transport::send this step — the
+    // sender-side signal that singles out a straggler even though the
+    // synchronous collective slows every rank's step equally.
+    const double send_total =
+        comm_.transport().send_seconds(comm_.global_rank(comm_.rank()));
+    frame.phases = {{"step", metrics.step_seconds},
+                    {"data", metrics.data_seconds},
+                    {"allreduce", metrics.allreduce_seconds},
+                    {"send", send_total - send_seconds_prev_}};
+    send_seconds_prev_ = send_total;
+    frame.values = {{"loss", static_cast<double>(metrics.loss)},
+                    {"comm_bytes", static_cast<double>(metrics.comm_bytes)}};
+    telemetry_->on_step(frame);
+  }
   return metrics;
 }
 

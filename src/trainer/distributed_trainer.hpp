@@ -18,6 +18,7 @@
 
 #include "allreduce/algorithm.hpp"
 #include "comm/overlap.hpp"
+#include "comm/telemetry.hpp"
 #include "data/dimd.hpp"
 #include "dpt/data_parallel_table.hpp"
 #include "nn/lr_schedule.hpp"
@@ -38,6 +39,11 @@ struct TrainerConfig {
   /// overlap, compression. All-default = the legacy monolithic blocking
   /// allreduce, bit-identical to pre-comm behavior.
   comm::CommConfig comm;
+
+  /// Cluster telemetry plane (DESIGN.md §13). Disabled by default; when
+  /// enabled every rank pushes a per-step TelemetryFrame to the rank-0
+  /// collector over a private ProgressEngine (never blocks the step).
+  comm::TelemetryConfig telemetry;
 
   data::DatasetDef dataset;
   data::DimdConfig dimd;          ///< dimd.groups etc.
@@ -148,6 +154,9 @@ class DistributedTrainer {
   void shrink_to(const simmpi::ShrinkResult& shrink, bool rescale_lr);
 
   dpt::DataParallelTable& table() { return *table_; }
+  /// Telemetry plane, or null when cfg.telemetry.enabled is false (or
+  /// the plane was quiesced and not yet rebuilt).
+  comm::TelemetryPlane* telemetry_plane() { return telemetry_.get(); }
   std::int64_t node_batch() const {
     return cfg_.batch_per_gpu * cfg_.gpus_per_node;
   }
@@ -161,6 +170,7 @@ class DistributedTrainer {
   std::unique_ptr<dpt::DataParallelTable> table_;
   std::unique_ptr<allreduce::Algorithm> allreduce_;
   std::unique_ptr<comm::GradComm> gradcomm_;  ///< null = legacy path
+  std::unique_ptr<comm::TelemetryPlane> telemetry_;  ///< null = disabled
   std::unique_ptr<data::DimdStore> dimd_;
   std::unique_ptr<data::RecordFile> record_file_;
   std::unique_ptr<storage::DonkeyPool> donkeys_;
@@ -170,6 +180,10 @@ class DistributedTrainer {
   Rng shuffle_rng_;
   std::uint64_t iteration_ = 0;
   std::uint64_t shuffles_ = 0;
+  /// Last sampled Transport::send_seconds for this rank — the per-step
+  /// delta feeds the telemetry "send" phase (sender-side straggler
+  /// signal). Resampled on shrink (the global rank may change).
+  double send_seconds_prev_ = 0.0;
   /// Current comm rank -> rank in the *original* world this trainer was
   /// constructed on. Shrinks renumber ranks densely; DIMD shard
   /// ownership math stays in original-rank space.

@@ -37,15 +37,16 @@ MetricsLog::~MetricsLog() {
 }
 
 std::vector<std::string> MetricsLog::step_columns() {
-  return {"iteration",         "loss",
-          "step_seconds",      "data_seconds",
-          "allreduce_seconds", "comm_bytes"};
+  return {"rank",         "step",         "loss",
+          "step_seconds", "data_seconds", "allreduce_seconds",
+          "comm_bytes"};
 }
 
-void MetricsLog::append_step(std::uint64_t iteration, const StepMetrics& m) {
-  append({static_cast<double>(iteration), static_cast<double>(m.loss),
-          m.step_seconds, m.data_seconds, m.allreduce_seconds,
-          static_cast<double>(m.comm_bytes)});
+void MetricsLog::append_step(int rank, std::uint64_t step,
+                             const StepMetrics& m) {
+  append({static_cast<double>(rank), static_cast<double>(step),
+          static_cast<double>(m.loss), m.step_seconds, m.data_seconds,
+          m.allreduce_seconds, static_cast<double>(m.comm_bytes)});
 }
 
 void MetricsLog::append(const std::vector<double>& values) {
@@ -56,6 +57,9 @@ void MetricsLog::append(const std::vector<double>& values) {
     os_ << (i ? "," : "") << values[i];
   }
   os_ << '\n';
+  // Per-row flush: a mid-epoch shrink (or a crash) must not drop the
+  // buffered window — the CSV is the post-mortem record.
+  os_.flush();
   ++rows_;
   DCT_CHECK_MSG(os_.good(), "metrics log write failed");
 }

@@ -22,16 +22,22 @@ class MetricsLog {
   /// Flushes buffered rows; a crash mid-run still leaves a usable file.
   ~MetricsLog();
 
-  /// Append one row (must match the header arity).
+  /// Append one row (must match the header arity). Each row is flushed
+  /// through to the OS immediately: a crash or an elastic shrink
+  /// mid-epoch never loses the in-flight window, and rows from ranks
+  /// that die are still on disk for post-mortems.
   void append(const std::vector<double>& values);
 
   /// Canonical per-step training columns. Construct the log with these
   /// to use append_step.
   static std::vector<std::string> step_columns();
 
-  /// Append one training step: iteration, loss, the three phase
-  /// timings, and the gradient bytes this rank moved (comm_bytes).
-  void append_step(std::uint64_t iteration, const StepMetrics& m);
+  /// Append one training step: the emitting rank, its monotonic step
+  /// id, loss, the three phase timings, and the gradient bytes this
+  /// rank moved (comm_bytes). Rank + step make rows from different
+  /// ranks (or a rank that survived a shrink and renumbered)
+  /// joinable without relying on file identity or row order.
+  void append_step(int rank, std::uint64_t step, const StepMetrics& m);
 
   std::size_t rows() const { return rows_; }
   void flush() { os_.flush(); }

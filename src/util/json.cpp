@@ -1,0 +1,203 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dct {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    DCT_CHECK_MSG(pos_ == text_.size(),
+                  "trailing characters in JSON at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    DCT_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    DCT_CHECK_MSG(peek() == c, "expected '" << c << "' at JSON offset "
+                                            << pos_ << ", got '" << text_[pos_]
+                                            << "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", bool_value(true));
+      case 'f': return literal("false", bool_value(false));
+      case 'n': return literal("null", JsonValue{});
+      default: return number();
+    }
+  }
+
+  static JsonValue bool_value(bool b) {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue literal(std::string_view word, JsonValue v) {
+    DCT_CHECK_MSG(text_.substr(pos_, word.size()) == word,
+                  "bad JSON literal at offset " << pos_);
+    pos_ += word.size();
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.object.emplace_back(std::move(key.str), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (true) {
+      DCT_CHECK_MSG(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str.push_back(c);
+        continue;
+      }
+      DCT_CHECK_MSG(pos_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.str.push_back('"'); break;
+        case '\\': v.str.push_back('\\'); break;
+        case '/': v.str.push_back('/'); break;
+        case 'b': v.str.push_back('\b'); break;
+        case 'f': v.str.push_back('\f'); break;
+        case 'n': v.str.push_back('\n'); break;
+        case 'r': v.str.push_back('\r'); break;
+        case 't': v.str.push_back('\t'); break;
+        case 'u': {
+          DCT_CHECK_MSG(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else DCT_CHECK_MSG(false, "bad \\u escape digit '" << h << "'");
+          }
+          // Labels are ASCII in practice; fold anything else to '?'.
+          v.str.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          DCT_CHECK_MSG(false, "unknown JSON escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  JsonValue number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    DCT_CHECK_MSG(pos_ > start, "bad JSON number at offset " << start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return JsonParser(text).parse(); }
+
+JsonValue load_json(const std::string& path) {
+  std::ifstream is(path);
+  DCT_CHECK_MSG(is.is_open(), "cannot open JSON file " << path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse_json(ss.str());
+}
+
+double json_number_or(const JsonValue& obj, std::string_view key,
+                      double fallback) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::kNumber) ? v->number
+                                                               : fallback;
+}
+
+std::string json_string_or(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::kString) ? v->str
+                                                               : std::string();
+}
+
+}  // namespace dct

@@ -1,0 +1,45 @@
+// Minimal JSON reader shared by the trace-report loader, the bench
+// regression gate, and tests. Just enough of RFC 8259 to re-load the
+// JSON this repo writes (and any well-formed document of the same
+// shape): objects, arrays, strings with escapes, numbers, literals.
+// Recursive descent over a string_view with a cursor; errors throw
+// CheckError with an offset.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dct {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parse a complete JSON document. Throws CheckError on malformed input
+/// (including trailing characters).
+JsonValue parse_json(std::string_view text);
+
+/// Read a whole file and parse it. Throws CheckError when unreadable.
+JsonValue load_json(const std::string& path);
+
+/// Lookup helpers for object values with typed fallbacks.
+double json_number_or(const JsonValue& obj, std::string_view key,
+                      double fallback);
+std::string json_string_or(const JsonValue& obj, std::string_view key);
+
+}  // namespace dct

@@ -56,17 +56,33 @@ TEST(MetricsLog, StepColumnsRoundTripStepMetrics) {
     m.data_seconds = 0.0625;
     m.allreduce_seconds = 0.125;
     m.comm_bytes = 4096;
-    log.append_step(7, m);
+    log.append_step(/*rank=*/3, /*step=*/7, m);
     EXPECT_EQ(log.rows(), 1u);
   }
   std::ifstream is(path);
   std::string header, row;
   std::getline(is, header);
   EXPECT_EQ(header,
-            "iteration,loss,step_seconds,data_seconds,allreduce_seconds,"
+            "rank,step,loss,step_seconds,data_seconds,allreduce_seconds,"
             "comm_bytes");
   std::getline(is, row);
-  EXPECT_EQ(row, "7,1.5,0.25,0.0625,0.125,4096");
+  EXPECT_EQ(row, "3,7,1.5,0.25,0.0625,0.125,4096");
+  std::remove(path.c_str());
+}
+
+TEST(MetricsLog, RowsAreDurableWithoutFlushOrDestructor) {
+  // Every append flushes: a shrink or crash mid-epoch must not lose the
+  // in-flight window. Read the file back while the log is still open.
+  const std::string path = testing::TempDir() + "dct_metrics_durable.csv";
+  MetricsLog log(path, {"a", "b"});
+  log.append({1.0, 2.0});
+  log.append({3.0, 4.0});
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("1,2\n"), std::string::npos);
+  EXPECT_NE(content.find("3,4\n"), std::string::npos);
   std::remove(path.c_str());
 }
 

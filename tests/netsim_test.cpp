@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "netsim/anomaly.hpp"
 #include "netsim/cluster.hpp"
 #include "netsim/flow_sim.hpp"
 #include "netsim/schedules.hpp"
@@ -145,6 +146,59 @@ TEST(FlowSim, ForwardOnlyDependenciesEnforced) {
   op.bytes = 10;
   op.deps = {5};
   EXPECT_THROW(s.add(std::move(op)), dct::CheckError);
+}
+
+// ------------------------------------------------------------ anomaly
+
+// A ring of equal same-size transfers: every host moves the same bytes
+// through its own rail, so link utilizations are uniform — the ideal
+// backdrop for planting one degraded cable.
+CommSchedule ring_traffic(int hosts, std::uint64_t bytes = 100'000'000) {
+  CommSchedule s;
+  for (int r = 0; r < hosts; ++r) {
+    s.add_transfer(r, (r + 1) % hosts, bytes);
+  }
+  return s;
+}
+
+TEST(Anomaly, FlagsDegradedHostUplink) {
+  auto net = small_net(8, 1, 80.0);
+  // Host 3's single uplink at 20% capacity: its flow drains 5x slower,
+  // so over the stretched makespan that link runs hot while its healthy
+  // peers idle after finishing early.
+  const int bad = (3 * /*rails=*/1 + 0) * 2;  // host 3, rail 0, up
+  net.scale_link(bad, 0.2);
+  const auto result = simulate(net, ring_traffic(8));
+  const auto slow = detect_slow_links(net, result);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow.front().link, bad);
+  EXPECT_EQ(slow.front().name, "host3.rail0.up");
+  EXPECT_GT(slow.front().z, 3.5);
+  EXPECT_GT(slow.front().utilization, 0.5);
+}
+
+TEST(Anomaly, HealthyFabricStaysQuiet) {
+  const auto net = small_net(8, 1, 80.0);
+  const auto result = simulate(net, ring_traffic(8));
+  EXPECT_TRUE(detect_slow_links(net, result).empty());
+}
+
+TEST(Anomaly, MismatchedResultIsRejected) {
+  const auto net = small_net(8, 1, 80.0);
+  SimResult bogus;  // empty link_utilization: wrong topology
+  bogus.makespan_s = 1.0;
+  EXPECT_THROW(detect_slow_links(net, bogus), dct::CheckError);
+}
+
+TEST(Topology, LinkNamesAndClasses) {
+  const auto net = small_net(8, 1, 80.0);
+  EXPECT_TRUE(net.is_host_link(0));
+  EXPECT_EQ(net.link_name(0), "host0.rail0.up");
+  EXPECT_EQ(net.link_name(1), "host0.rail0.down");
+  const int fabric_base = 8 * 1 * 2;
+  EXPECT_FALSE(net.is_host_link(fabric_base));
+  EXPECT_EQ(net.link_name(fabric_base), "leaf0->spine0");
+  EXPECT_EQ(net.link_name(fabric_base + 1), "spine0->leaf0");
 }
 
 // ------------------------------------------------------------ schedules

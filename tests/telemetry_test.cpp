@@ -1,0 +1,518 @@
+// Telemetry-plane tests (DESIGN.md §13): frame wire format, robust
+// z-score straggler detection, the rank-0 streaming aggregator, flow
+// stitching + critical-path attribution on a hand-built trace, the
+// trace ring cap, and the end-to-end promise — an injected straggler is
+// flagged within five training steps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/telemetry.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/distributed_trainer.hpp"
+#include "util/error.hpp"
+
+namespace dct {
+namespace {
+
+using obs::ClusterAggregator;
+using obs::ReportEvent;
+using obs::StragglerDetector;
+using obs::TelemetryFrame;
+using obs::Tracer;
+
+// ---- wire format -----------------------------------------------------
+
+TEST(TelemetryFrame, SerializeDeserializeRoundTrip) {
+  TelemetryFrame f;
+  f.step = 42;
+  f.rank = 3;
+  f.phases = {{"step", 0.125}, {"data", 0.03125}, {"allreduce", 0.0625}};
+  f.values = {{"loss", 2.5}, {"comm_bytes", 4096.0}};
+  const auto blob = f.serialize();
+  const TelemetryFrame g = TelemetryFrame::deserialize(blob);
+  EXPECT_EQ(g.step, 42);
+  EXPECT_EQ(g.rank, 3);
+  ASSERT_EQ(g.phases.size(), 3u);
+  EXPECT_EQ(g.phases[0].first, "step");
+  EXPECT_DOUBLE_EQ(g.phases[0].second, 0.125);
+  EXPECT_EQ(g.phases[2].first, "allreduce");
+  EXPECT_DOUBLE_EQ(g.phases[2].second, 0.0625);
+  ASSERT_EQ(g.values.size(), 2u);
+  EXPECT_EQ(g.values[1].first, "comm_bytes");
+  EXPECT_DOUBLE_EQ(g.values[1].second, 4096.0);
+}
+
+TEST(TelemetryFrame, EmptyListsRoundTrip) {
+  TelemetryFrame f;
+  f.step = 0;
+  f.rank = 0;
+  const auto blob = f.serialize();
+  const TelemetryFrame g = TelemetryFrame::deserialize(blob);
+  EXPECT_TRUE(g.phases.empty());
+  EXPECT_TRUE(g.values.empty());
+}
+
+TEST(TelemetryFrame, TruncatedOrCorruptBufferThrows) {
+  TelemetryFrame f;
+  f.step = 7;
+  f.rank = 1;
+  f.phases = {{"step", 1.0}};
+  auto blob = f.serialize();
+  for (std::size_t cut : {blob.size() - 1, blob.size() / 2, std::size_t{3}}) {
+    EXPECT_THROW(TelemetryFrame::deserialize(
+                     std::span<const std::byte>(blob.data(), cut)),
+                 CheckError)
+        << "cut at " << cut;
+  }
+  auto corrupt = blob;
+  corrupt[0] = std::byte{0xFF};  // wrong magic
+  EXPECT_THROW(TelemetryFrame::deserialize(corrupt), CheckError);
+}
+
+// ---- robust z-score --------------------------------------------------
+
+TEST(RobustZscore, OutlierScoresHighMedianScoresZero) {
+  const std::vector<double> samples = {1.0, 1.02, 0.98, 1.01, 0.99, 5.0};
+  EXPECT_GT(obs::robust_zscore(5.0, samples), 3.5);
+  EXPECT_NEAR(obs::robust_zscore(1.0, samples, 0.02), 0.0, 0.5);
+}
+
+TEST(RobustZscore, MadFloorTamesUniformSamples) {
+  // A perfectly uniform cluster has MAD = 0; the floor keeps 1% jitter
+  // from scoring as an anomaly.
+  const std::vector<double> uniform(8, 1.0);
+  EXPECT_LT(obs::robust_zscore(1.01, uniform, 0.02), 1.0);
+  EXPECT_GT(obs::robust_zscore(2.0, uniform, 0.02), 3.5);
+}
+
+TEST(RobustZscore, MedianIsRobustToTheOutlierItself) {
+  // Mean/stddev detection famously lets one huge straggler inflate its
+  // own yardstick below threshold; median/MAD must not.
+  std::vector<double> samples(15, 0.010);
+  samples.push_back(10.0);
+  EXPECT_GT(obs::robust_zscore(10.0, samples), 100.0);
+}
+
+// ---- straggler detector ----------------------------------------------
+
+std::vector<std::pair<int, double>> world4(double r0, double r1, double r2,
+                                           double r3) {
+  return {{0, r0}, {1, r1}, {2, r2}, {3, r3}};
+}
+
+TEST(StragglerDetector, FlagsAfterConsecutiveDeviantSteps) {
+  StragglerDetector det;  // consecutive = 2
+  // Step 0: rank 3 is 5x the median — deviant, but one step is noise.
+  EXPECT_TRUE(det.observe(0, "send", world4(0.010, 0.011, 0.009, 0.050))
+                  .empty());
+  EXPECT_FALSE(det.flagged(3));
+  // Step 1: still deviant — streak reaches 2, the flag commits.
+  const auto evs = det.observe(1, "send", world4(0.010, 0.010, 0.011, 0.055));
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].rank, 3);
+  EXPECT_EQ(evs[0].phase, "send");
+  EXPECT_EQ(evs[0].step, 1);
+  EXPECT_DOUBLE_EQ(evs[0].value, 0.055);
+  EXPECT_GT(evs[0].z, 3.5);
+  EXPECT_TRUE(det.flagged(3));
+  // Step 2: still deviant — each streak reports once, no duplicate event.
+  EXPECT_TRUE(det.observe(2, "send", world4(0.010, 0.011, 0.010, 0.060))
+                  .empty());
+  EXPECT_EQ(det.events().size(), 1u);
+  // Step 3: rank 3 recovers — the flag clears.
+  EXPECT_TRUE(det.observe(3, "send", world4(0.010, 0.011, 0.010, 0.010))
+                  .empty());
+  EXPECT_FALSE(det.flagged(3));
+}
+
+TEST(StragglerDetector, QuietOnHealthyJitter) {
+  StragglerDetector det;
+  for (int s = 0; s < 50; ++s) {
+    // ±10% jitter around 10 ms, different rank slowest each step.
+    const double j = 0.001 * (s % 3);
+    const auto evs = det.observe(s, "step",
+                                 world4(0.010 + j, 0.011 - j, 0.0095, 0.0105));
+    EXPECT_TRUE(evs.empty()) << "step " << s;
+  }
+  EXPECT_TRUE(det.events().empty());
+}
+
+TEST(StragglerDetector, MinValueFloorIgnoresMicrosecondPhases) {
+  // The exposed-allreduce remainder under full overlap is microseconds
+  // with enormous relative variance; a 1000x outlier there still says
+  // nothing about rank health. min_value (5 ms default) gates it.
+  StragglerDetector det;
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_TRUE(det.observe(s, "allreduce",
+                            world4(2e-6, 3e-6, 2.5e-6, 3e-3))
+                    .empty());
+  }
+  EXPECT_FALSE(det.flagged(3));
+}
+
+TEST(StragglerDetector, QuietBelowMinWorld) {
+  StragglerDetector det;  // min_world = 3
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_TRUE(det.observe(s, "step", {{0, 0.010}, {1, 1.0}}).empty());
+  }
+  EXPECT_TRUE(det.events().empty());
+}
+
+TEST(StragglerDetector, ResetForgetsStreaksAndEvents) {
+  StragglerDetector det;
+  det.observe(0, "send", world4(0.010, 0.010, 0.010, 0.050));
+  det.observe(1, "send", world4(0.010, 0.010, 0.010, 0.050));
+  ASSERT_TRUE(det.flagged(3));
+  det.reset();
+  EXPECT_FALSE(det.flagged(3));
+  EXPECT_TRUE(det.events().empty());
+}
+
+// ---- cluster aggregator ----------------------------------------------
+
+TelemetryFrame frame(int rank, std::int64_t step, double step_s) {
+  TelemetryFrame f;
+  f.step = step;
+  f.rank = rank;
+  f.phases = {{"step", step_s}};
+  f.values = {{"loss", 1.0}};
+  return f;
+}
+
+TEST(ClusterAggregator, StepCompletesWhenEveryRankReported) {
+  ClusterAggregator agg(3);
+  EXPECT_FALSE(agg.ingest(frame(0, 0, 0.10)).has_value());
+  EXPECT_FALSE(agg.ingest(frame(2, 0, 0.12)).has_value());
+  const auto done = agg.ingest(frame(1, 0, 0.11));
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->step, 0);
+  const auto& rv = done->phases.at("step");
+  ASSERT_EQ(rv.size(), 3u);
+  EXPECT_EQ(agg.frames_ingested(), 3);
+  EXPECT_EQ(agg.latest_step(), 0);
+}
+
+TEST(ClusterAggregator, OutOfOrderStepsCompleteIndependently) {
+  ClusterAggregator agg(2);
+  // Rank 0 races ahead to step 1 before rank 1 reports step 0.
+  EXPECT_FALSE(agg.ingest(frame(0, 0, 0.1)).has_value());
+  EXPECT_FALSE(agg.ingest(frame(0, 1, 0.1)).has_value());
+  const auto s0 = agg.ingest(frame(1, 0, 0.1));
+  ASSERT_TRUE(s0.has_value());
+  EXPECT_EQ(s0->step, 0);
+  const auto s1 = agg.ingest(frame(1, 1, 0.1));
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->step, 1);
+}
+
+TEST(ClusterAggregator, CompletionDropsStaleOlderSteps) {
+  ClusterAggregator agg(2);
+  // Step 0 never hears from rank 1 (it died); step 1 completes anyway
+  // and the dead step can no longer complete afterwards.
+  EXPECT_FALSE(agg.ingest(frame(0, 0, 0.1)).has_value());
+  EXPECT_FALSE(agg.ingest(frame(0, 1, 0.1)).has_value());
+  ASSERT_TRUE(agg.ingest(frame(1, 1, 0.1)).has_value());
+  EXPECT_FALSE(agg.ingest(frame(1, 0, 0.1)).has_value());
+}
+
+TEST(ClusterAggregator, SetWorldDropsPendingAndRescales) {
+  ClusterAggregator agg(3);
+  EXPECT_FALSE(agg.ingest(frame(0, 5, 0.1)).has_value());
+  EXPECT_FALSE(agg.ingest(frame(1, 5, 0.1)).has_value());
+  agg.set_world(2);  // shrink: the missing rank may be dead
+  EXPECT_EQ(agg.world(), 2);
+  // The half-reported step 5 is gone; a fresh step completes at 2 ranks.
+  EXPECT_FALSE(agg.ingest(frame(0, 6, 0.1)).has_value());
+  ASSERT_TRUE(agg.ingest(frame(1, 6, 0.1)).has_value());
+}
+
+TEST(ClusterAggregator, PhasePercentilePoolsRollingWindows) {
+  ClusterAggregator agg(1, /*window=*/64);
+  for (int s = 0; s < 10; ++s) {
+    agg.ingest(frame(0, s, 0.010 * (s + 1)));  // 0.01 .. 0.10
+  }
+  EXPECT_NEAR(agg.phase_percentile("step", 0.0), 0.010, 1e-9);
+  EXPECT_NEAR(agg.phase_percentile("step", 100.0), 0.100, 1e-9);
+  const double p50 = agg.phase_percentile("step", 50.0);
+  EXPECT_GT(p50, 0.04);
+  EXPECT_LT(p50, 0.07);
+  EXPECT_EQ(agg.phase_percentile("no_such_phase", 50.0), 0.0);
+  EXPECT_NEAR(agg.latest(0, "step"), 0.100, 1e-9);
+  EXPECT_EQ(agg.latest(7, "step"), 0.0);
+}
+
+TEST(ClusterAggregator, WindowEvictsOldestValues) {
+  ClusterAggregator agg(1, /*window=*/4);
+  agg.ingest(frame(0, 0, 100.0));  // will be evicted
+  for (int s = 1; s <= 4; ++s) agg.ingest(frame(0, s, 1.0));
+  EXPECT_NEAR(agg.phase_percentile("step", 100.0), 1.0, 1e-9);
+}
+
+TEST(ClusterAggregator, JsonlAndPrometheusExports) {
+  ClusterAggregator agg(2);
+  agg.ingest(frame(0, 3, 0.25));
+  const auto done = agg.ingest(frame(1, 3, 0.50));
+  ASSERT_TRUE(done.has_value());
+  const std::string line = agg.jsonl_line(*done);
+  EXPECT_NE(line.find("\"step\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"0\":0.25"), std::string::npos);
+  EXPECT_NE(line.find("\"1\":0.5"), std::string::npos);
+  const std::string prom = agg.prometheus_text();
+  EXPECT_NE(prom.find("dctrain_phase_seconds{rank=\"1\",phase=\"step\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dctrain_phase_seconds_cluster{phase=\"step\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("dctrain_telemetry_frames_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("dctrain_value{rank=\"0\",name=\"loss\"} 1"),
+            std::string::npos);
+  // The top table renders one row per reporting rank without throwing.
+  const auto table = agg.top_table();
+  (void)table;
+}
+
+// ---- critical path on a hand-built trace ------------------------------
+
+ReportEvent step_span(int rank, double ts_us, double dur_us,
+                      std::int64_t step) {
+  ReportEvent ev;
+  ev.kind = ReportEvent::Kind::kSpan;
+  ev.name = "step";
+  ev.cat = "step";
+  ev.rank = rank;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.arg = step;  // the step id rides the span arg
+  return ev;
+}
+
+ReportEvent phase_span(int rank, const std::string& name, double ts_us,
+                       double dur_us) {
+  ReportEvent ev;
+  ev.kind = ReportEvent::Kind::kSpan;
+  ev.name = name;
+  ev.cat = "phase";
+  ev.rank = rank;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  return ev;
+}
+
+ReportEvent flow_half(ReportEvent::Kind kind, int rank, double ts_us,
+                      std::uint64_t flow, std::int64_t step) {
+  ReportEvent ev;
+  ev.kind = kind;
+  ev.rank = rank;
+  ev.ts_us = ts_us;
+  ev.flow = flow;
+  ev.step = step;
+  return ev;
+}
+
+TEST(CriticalPath, WalksFlowEdgesBackToTheStraggler) {
+  // Three ranks, one step (id 7). Rank 1 stalls for 220 µs between
+  // receiving from rank 2 (t=30) and sending to rank 0 (t=250); rank 0
+  // then finishes last at t=400. The backward walk from rank 0 must
+  // charge 140 µs to rank 0 (400→260), hop to rank 1, charge 220 µs
+  // (250→30), hop to rank 2, and charge its 20 µs head (20→0).
+  std::vector<ReportEvent> events;
+  events.push_back(step_span(0, 0.0, 400.0, 7));
+  events.push_back(step_span(1, 0.0, 300.0, 7));
+  events.push_back(step_span(2, 0.0, 350.0, 7));
+  // Flow A: rank 1 → rank 0, sent at 250, delivered at 260.
+  events.push_back(flow_half(ReportEvent::Kind::kFlowStart, 1, 250.0, 101, 7));
+  events.push_back(flow_half(ReportEvent::Kind::kFlowEnd, 0, 260.0, 101, 7));
+  // Flow B: rank 2 → rank 1, sent at 20, delivered at 30.
+  events.push_back(flow_half(ReportEvent::Kind::kFlowStart, 2, 20.0, 102, 7));
+  events.push_back(flow_half(ReportEvent::Kind::kFlowEnd, 1, 30.0, 102, 7));
+  // Rank 1 spends its stall inside an "allreduce" phase span.
+  events.push_back(phase_span(1, "allreduce", 30.0, 220.0));
+  events.push_back(phase_span(1, "data", 0.0, 20.0));
+
+  const auto cp = obs::critical_path(events);
+  ASSERT_EQ(cp.steps.size(), 1u);
+  const auto& s = cp.steps[0];
+  EXPECT_EQ(s.step, 7);
+  EXPECT_EQ(s.end_rank, 0);
+  EXPECT_EQ(s.hops, 2u);
+  ASSERT_EQ(s.local_seconds.size(), 3u);
+  EXPECT_NEAR(s.local_seconds.at(0), 140e-6, 1e-9);
+  EXPECT_NEAR(s.local_seconds.at(1), 220e-6, 1e-9);
+  EXPECT_NEAR(s.local_seconds.at(2), 20e-6, 1e-9);
+  EXPECT_EQ(s.culprit, 1);
+  EXPECT_NEAR(s.culprit_seconds, 220e-6, 1e-9);
+  EXPECT_EQ(s.culprit_phase, "allreduce");
+  EXPECT_EQ(cp.overall_culprit, 1);
+  EXPECT_EQ(cp.rank_culprit_steps.at(1), 1u);
+
+  // The renderer digests the result without throwing.
+  const auto table = obs::critical_path_table(cp);
+  (void)table;
+}
+
+TEST(CriticalPath, StepWithoutFlowsChargesTheLastRank) {
+  std::vector<ReportEvent> events;
+  events.push_back(step_span(0, 0.0, 100.0, 0));
+  events.push_back(step_span(1, 0.0, 500.0, 0));
+  const auto cp = obs::critical_path(events);
+  ASSERT_EQ(cp.steps.size(), 1u);
+  EXPECT_EQ(cp.steps[0].end_rank, 1);
+  EXPECT_EQ(cp.steps[0].culprit, 1);
+  EXPECT_EQ(cp.steps[0].hops, 0u);
+  EXPECT_NEAR(cp.steps[0].culprit_seconds, 500e-6, 1e-9);
+}
+
+// ---- tracer: flow round-trip + ring cap -------------------------------
+
+class TelemetryTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clean(); }
+  void TearDown() override { clean(); }
+  static void clean() {
+    Tracer::set_enabled(false);
+    Tracer::reset();
+    Tracer::set_thread_rank(obs::kUnattributedRank);
+    Tracer::set_max_events_per_thread(0);
+    Tracer::set_context(obs::TraceContext{});
+  }
+};
+
+TEST_F(TelemetryTraceTest, FlowEventsRoundTripThroughChromeJson) {
+  Tracer::set_enabled(true);
+  Tracer::set_thread_rank(1);
+  obs::TraceContext ctx;
+  ctx.step = 3;
+  ctx.collective = 2;
+  ctx.chunk = 5;
+  Tracer::set_context(ctx);
+  Tracer::flow_start(/*flow_id=*/77, /*bytes=*/4096);
+  // The receiver replays the *sender's* context on the end half.
+  Tracer::set_thread_rank(0);
+  Tracer::flow_end(/*flow_id=*/77, ctx, /*bytes=*/4096);
+  Tracer::set_enabled(false);
+
+  std::ostringstream os;
+  Tracer::write_chrome_trace(os);
+  const auto events = obs::parse_chrome_trace(os.str());
+
+  const ReportEvent* start = nullptr;
+  const ReportEvent* end = nullptr;
+  for (const auto& ev : events) {
+    if (ev.kind == ReportEvent::Kind::kFlowStart) start = &ev;
+    if (ev.kind == ReportEvent::Kind::kFlowEnd) end = &ev;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(start->flow, 77u);
+  EXPECT_EQ(end->flow, 77u);
+  EXPECT_EQ(start->rank, 1);
+  EXPECT_EQ(end->rank, 0);
+  for (const ReportEvent* ev : {start, end}) {
+    EXPECT_EQ(ev->step, 3);
+    EXPECT_EQ(ev->collective, 2);
+    EXPECT_EQ(ev->chunk, 5);
+    EXPECT_EQ(ev->bytes, 4096);
+  }
+}
+
+TEST_F(TelemetryTraceTest, RingCapOverwritesOldestAndCountsDrops) {
+  Tracer::set_max_events_per_thread(4);
+  EXPECT_EQ(Tracer::max_events_per_thread(), 4u);
+  Tracer::set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Tracer::instant("tick", "test", i);
+  }
+  Tracer::set_enabled(false);
+  EXPECT_EQ(Tracer::event_count(), 4u);
+  EXPECT_EQ(Tracer::dropped_count(), 6u);
+  // The survivors are the newest four events.
+  std::vector<std::int64_t> args;
+  for (const auto& ce : Tracer::collect()) args.push_back(ce.event.arg);
+  std::sort(args.begin(), args.end());
+  EXPECT_EQ(args, (std::vector<std::int64_t>{6, 7, 8, 9}));
+  Tracer::reset();
+  EXPECT_EQ(Tracer::dropped_count(), 0u);
+}
+
+// ---- end to end: injected straggler flagged within five steps ---------
+
+trainer::TrainerConfig tiny_config() {
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 2;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.seed = 11;
+  cfg.dataset.images = 64;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.base_lr = 0.02;
+  cfg.seed = 5;
+  cfg.telemetry.enabled = true;
+  return cfg;
+}
+
+TEST(TelemetryPlaneE2E, InjectedStragglerFlaggedWithinFiveSteps) {
+  // Rank 2 sleeps 5 ms before every send. A synchronous collective
+  // slows *everyone* equally, so phase wall times can't separate the
+  // culprit — the per-rank send-side accounting (the "send" phase) must.
+  simmpi::FaultPlan plan(77);
+  plan.add({.kind = simmpi::FaultKind::kStraggle, .rank = 2,
+            .probability = 1.0, .delay_ms = 5.0});
+  simmpi::Runtime rt(4);
+  rt.transport().install_fault_plan(&plan);
+  rt.run([](simmpi::Communicator& comm) {
+    auto cfg = tiny_config();
+    trainer::DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < 8; ++i) trainer.step();
+    if (comm.rank() != 0) return;
+    auto* plane = trainer.telemetry_plane();
+    ASSERT_NE(plane, nullptr);
+    ASSERT_FALSE(plane->disabled());
+    ASSERT_NE(plane->detector(), nullptr);
+    const auto& evs = plane->detector()->events();
+    const auto it = std::find_if(
+        evs.begin(), evs.end(),
+        [](const obs::StragglerEvent& e) { return e.phase == "send"; });
+    ASSERT_NE(it, evs.end()) << "straggler never flagged in the send phase";
+    EXPECT_EQ(it->rank, 2);
+    EXPECT_LE(it->step, 4) << "flag must land within five steps";
+    EXPECT_GT(it->z, 3.5);
+    // The collector heard from everyone.
+    ASSERT_NE(plane->aggregator(), nullptr);
+    EXPECT_GE(plane->aggregator()->frames_ingested(), 4 * 4);
+  });
+  EXPECT_GT(plan.injected(), 0u);
+}
+
+TEST(TelemetryPlaneE2E, HealthyClusterHasNoSendPhaseFlags) {
+  // Compute phases can jitter on an oversubscribed CI box; the
+  // send-side accounting must not — absent faults, transport sends are
+  // microseconds, far under the detector's min_value floor.
+  simmpi::Runtime rt(4);
+  rt.run([](simmpi::Communicator& comm) {
+    auto cfg = tiny_config();
+    trainer::DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < 6; ++i) trainer.step();
+    if (comm.rank() != 0) return;
+    auto* plane = trainer.telemetry_plane();
+    ASSERT_NE(plane, nullptr);
+    for (const auto& ev : plane->detector()->events()) {
+      EXPECT_NE(ev.phase, "send")
+          << "rank " << ev.rank << " flagged at step " << ev.step;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
-# under TSan and runs the `fault`, `simmpi`, `comm`, `elastic`, and
-# `kernels` ctest labels, repeats the `comm` + `kernels` labels under
-# ASan, and runs the `fault` + `elastic` + `kernels` labels under UBSan.
+# under TSan and runs the `fault`, `simmpi`, `comm`, `elastic`, `obs`,
+# and `kernels` ctest labels, repeats the `comm` + `kernels` labels
+# under ASan, and runs the `fault` + `elastic` + `kernels` labels under
+# UBSan. The telemetry plane (obs label) joins the TSan leg because its
+# collector drains frames on a progress-engine worker thread while
+# training threads push concurrently.
+# A final Release leg runs the micro-kernel bench and diffs it against
+# the checked-in bench/BENCH_kernels.json baseline with tools/bench_gate
+# (>20% regression on any metric fails the gate). Set
+# DCTRAIN_SKIP_BENCH_GATE=1 to skip that leg on noisy machines.
 # The simmpi rank threads, the fault-injection hooks, the shrink
 # agreement protocol, and the comm progress engine (background
 # reductions racing backward) are exactly the code a data race would
@@ -32,10 +39,11 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
-  fault_test simmpi_test simmpi_stress_test comm_test elastic_test kernels_test
+  fault_test simmpi_test simmpi_stress_test comm_test elastic_test \
+  kernels_test telemetry_test
 
-echo "== running ctest -L 'fault|simmpi|comm|elastic|kernels' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|kernels" \
+echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|kernels' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|kernels" \
   --output-on-failure -j 4
 
 echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"
@@ -58,5 +66,40 @@ cmake --build "${UBSAN_BUILD_DIR}" -j --target fault_test elastic_test kernels_t
 echo "== running ctest -L 'fault|elastic|kernels' under undefined sanitizer"
 ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic|kernels" \
   --output-on-failure -j 4
+
+if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
+  BENCH_BUILD_DIR="${4:-build-bench}"
+  echo "== configuring ${BENCH_BUILD_DIR} (Release) for the bench gate"
+  cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+
+  echo "== building bench_micro_kernels + bench_gate"
+  cmake --build "${BENCH_BUILD_DIR}" -j --target bench_micro_kernels bench_gate
+
+  echo "== running micro-kernel bench and diffing against bench/BENCH_kernels.json"
+  # 5 repetitions: the gate merges them best-of (min time / max
+  # throughput), which cancels the one-sided scheduler/steal noise a
+  # single sample would trip the 15% tolerance on. 5 (not 3) because
+  # the memory-bandwidth-bound arms need more draws to catch a
+  # contention-free window on a shared box.
+  "${BENCH_BUILD_DIR}/bench/bench_micro_kernels" \
+    --benchmark_repetitions=5 \
+    --benchmark_out="${BENCH_BUILD_DIR}/bench_fresh.json" \
+    --benchmark_out_format=json
+  # The thread-spawning orchestration benches (in-process allreduce
+  # ranks, the comm overlap engine, DIMD shuffle workers, the
+  # thread-pool gemm/conv arms) swing ±25% with the scheduler even as
+  # best-of-5 — ungateable on a small box; the single-threaded kernel
+  # arms are the vectorization coverage and gate stably. Tolerance is
+  # 20% rather than the gate's 15% default because the fastest
+  # memory-bandwidth-bound arms still vary up to ~18% with co-tenant
+  # memory traffic; the failures this gate exists to catch (a kernel
+  # silently devectorized, a pooled buffer re-allocated per call) are
+  # 2x-8x, not 20%.
+  "${BENCH_BUILD_DIR}/tools/bench_gate" \
+    --baseline bench/BENCH_kernels.json \
+    --fresh "${BENCH_BUILD_DIR}/bench_fresh.json" \
+    --tolerance 0.20 \
+    --skip 'BM_AllreduceInProcess|BM_CommOverlap|BM_DimdShuffle|BM_GemmThreaded|BM_ConvForwardThreaded'
+fi
 
 echo "== sanitizer checks passed (${SANITIZER} + address + undefined)"

@@ -9,14 +9,18 @@
 //                     [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //                     [--inject SPEC[;SPEC…]] [--deadline-ms MS]
 //                     [--replication R]
+//                     [--telemetry] [--telemetry-every N]
+//                     [--telemetry-jsonl PATH] [--telemetry-prom PATH]
 //                     SPEC: rank=R,kind=crash,step=N | msg=N; kind=drop/
 //                     delay/duplicate/straggle with prob=P, ms=D
 //   dctrain chaos     [--ranks N] [--iters I] [--seed S] [--rollbacks R]
 //                     [--checkpoint-dir D] [--checkpoint-every N]
 //                     [--deadline-ms MS] [--drop-prob P] [--no-overlap]
 //                     [--elastic] [--replication R] [--min-ranks N]
-//                     [--shrinks N]
-//   dctrain trace-report --trace PATH [--top N]
+//                     [--shrinks N] [--telemetry …as train]
+//   dctrain top       [--ranks N] [--iters I] [--refresh N] [--inject SPEC]
+//                     live per-rank phase/straggler view (telemetry plane)
+//   dctrain trace-report --trace PATH [--top N] [--critical-path]
 //   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
 //                     [--batch B] [--baseline]
 //   dctrain allreduce [--algo NAME] [--nodes N] [--payload-mb P]
@@ -37,6 +41,19 @@
 namespace {
 
 using namespace dct;
+
+/// Shared --telemetry* flag handling (train / chaos / top).
+void apply_telemetry_flags(const ArgParser& args,
+                           trainer::TrainerConfig& cfg) {
+  cfg.telemetry.enabled = args.has("telemetry");
+  cfg.telemetry.push_every =
+      static_cast<int>(args.get_int("telemetry-every", 1));
+  cfg.telemetry.jsonl_path = args.get("telemetry-jsonl", "");
+  cfg.telemetry.prom_path = args.get("telemetry-prom", "");
+  if (!cfg.telemetry.jsonl_path.empty() || !cfg.telemetry.prom_path.empty()) {
+    cfg.telemetry.enabled = true;
+  }
+}
 
 int cmd_train(const ArgParser& args) {
   const int ranks = static_cast<int>(args.get_int("ranks", 2));
@@ -61,6 +78,7 @@ int cmd_train(const ArgParser& args) {
       static_cast<std::size_t>(bucket_mb * 1024.0 * 1024.0);
   cfg.comm.codec = args.get("compress", "none");
   cfg.comm.overlap = cfg.comm.bucket_bytes > 0 && !args.has("no-overlap");
+  apply_telemetry_flags(args, cfg);
   const std::string metrics_csv = args.get("metrics-csv", "");
   const int epochs = static_cast<int>(args.get_int("epochs", 5));
   const int iters = static_cast<int>(args.get_int("iters", 10));
@@ -121,7 +139,7 @@ int cmd_train(const ArgParser& args) {
     rt.run([&](simmpi::Communicator& comm) {
       trainer::DistributedTrainer trainer(comm, cfg);
       if (args.has("resume")) trainer.resume();
-      // Per-step CSV (rank 0): iteration, loss, timings, comm bytes.
+      // Per-step CSV (rank 0): rank, step, loss, timings, comm bytes.
       std::unique_ptr<trainer::MetricsLog> mlog;
       if (comm.rank() == 0 && !metrics_csv.empty()) {
         mlog = std::make_unique<trainer::MetricsLog>(
@@ -133,7 +151,7 @@ int cmd_train(const ArgParser& args) {
           for (int i = 0; i < iters; ++i) {
             const auto m = trainer.step();
             mean_loss += m.loss;
-            mlog->append_step(trainer.iteration(), m);
+            mlog->append_step(comm.rank(), trainer.iteration() - 1, m);
           }
           std::printf("epoch %2d  loss %.4f\n", e, mean_loss / iters);
           continue;
@@ -147,6 +165,12 @@ int cmd_train(const ArgParser& args) {
       if (mlog != nullptr) {
         std::printf("\nwrote %zu step rows to %s\n", mlog->rows(),
                     metrics_csv.c_str());
+      }
+      if (const auto* plane = trainer.telemetry_plane();
+          plane != nullptr && plane->aggregator() != nullptr) {
+        plane->aggregator()
+            ->top_table(plane->detector())
+            .print("cluster telemetry (final)");
       }
       if (comm.rank() == 0) {
         std::printf("\nheld-out top-1: %.1f %%\n",
@@ -194,6 +218,7 @@ int cmd_chaos(const ArgParser& args) {
   // progress thread sees crashes, drops, and stragglers too.
   rcfg.trainer.comm.bucket_bytes = 256 * 1024;
   rcfg.trainer.comm.overlap = !args.has("no-overlap");
+  apply_telemetry_flags(args, rcfg.trainer);
 
   Rng rng(seed * 0xC0FFEE + 1);
   simmpi::FaultPlan plan(seed);
@@ -296,9 +321,86 @@ int cmd_trace_report(const ArgParser& args) {
   const auto top = static_cast<std::size_t>(args.get_int("top", 12));
   const auto events = obs::load_chrome_trace(path);
   std::printf("%s: %zu events\n", path.c_str(), events.size());
+  if (args.has("critical-path")) {
+    // Cross-rank causal analysis: walk message flow events backwards
+    // from each step's last-finishing rank and attribute the step's
+    // latency to the rank (and phase) it actually waited on.
+    const auto cp = obs::critical_path(events);
+    obs::critical_path_table(cp).print("critical-path attribution");
+    if (cp.overall_culprit >= 0) {
+      std::printf("dominant straggler: rank %d (on the critical path of "
+                  "%llu/%zu steps)\n",
+                  cp.overall_culprit,
+                  static_cast<unsigned long long>(
+                      cp.rank_culprit_steps.count(cp.overall_culprit)
+                          ? cp.rank_culprit_steps.at(cp.overall_culprit)
+                          : 0),
+                  cp.steps.size());
+    } else {
+      std::printf("no cross-rank flow events in this trace (capture with "
+                  "DCTRAIN_TRACE or --trace during a run)\n");
+    }
+    return 0;
+  }
   obs::phase_table(obs::phase_breakdown(events))
       .print("per-rank step phase breakdown");
   obs::span_totals_table(events, top).print("busiest span labels");
+  return 0;
+}
+
+int cmd_top(const ArgParser& args) {
+  // Live cluster view: run training with the telemetry plane on and
+  // redraw the rank-0 collector's table as steps complete. Pair with
+  // --inject 'rank=R,kind=straggle,…' to watch the detector fire.
+  const int ranks = static_cast<int>(args.get_int("ranks", 4));
+  const int iters = static_cast<int>(args.get_int("iters", 60));
+  const int refresh = std::max(1, static_cast<int>(args.get_int("refresh", 1)));
+  trainer::TrainerConfig cfg;
+  cfg.gpus_per_node = static_cast<int>(args.get_int("gpus", 2));
+  cfg.batch_per_gpu = args.get_int("batch", 8);
+  cfg.dataset.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  cfg.comm.bucket_bytes = 256 * 1024;
+  cfg.comm.overlap = true;
+  apply_telemetry_flags(args, cfg);
+  cfg.telemetry.enabled = true;
+
+  simmpi::FaultPlan plan(cfg.dataset.seed);
+  const std::string inject = args.get("inject", "");
+  if (!inject.empty()) plan.add_specs(inject);
+  const auto deadline =
+      std::chrono::milliseconds(args.get_int("deadline-ms", 5000));
+
+  simmpi::Runtime rt(ranks);
+  if (!plan.empty()) {
+    rt.transport().install_fault_plan(&plan);
+    rt.transport().set_recv_deadline(deadline);
+  }
+  rt.run([&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < iters; ++i) {
+      trainer.step();
+      const auto* plane = trainer.telemetry_plane();
+      if (plane == nullptr || plane->aggregator() == nullptr) continue;
+      if ((i + 1) % refresh != 0 && i + 1 != iters) continue;
+      // Home the cursor and clear to end of screen — a flicker-free
+      // redraw on any ANSI terminal.
+      std::printf("\033[H\033[J");
+      std::printf("dctrain top — %d ranks, step %d/%d%s\n\n", comm.size(),
+                  i + 1, iters, plane->disabled() ? " [telemetry DOWN]" : "");
+      plane->aggregator()->top_table(plane->detector()).print();
+      std::fflush(stdout);
+    }
+    const auto* plane = trainer.telemetry_plane();
+    if (plane != nullptr && plane->detector() != nullptr) {
+      for (const auto& ev : plane->detector()->events()) {
+        std::printf("straggler: rank %d in %s at step %lld "
+                    "(%.4fs vs median %.4fs, z=%.1f)\n",
+                    ev.rank, ev.phase.c_str(),
+                    static_cast<long long>(ev.step), ev.value, ev.median,
+                    ev.z);
+      }
+    }
+  });
   return 0;
 }
 
@@ -411,7 +513,9 @@ int cmd_help() {
       "             --checkpoint-dir/--resume/--inject for fault tolerance\n"
       "  chaos      randomized fault schedule against the resilient driver;\n"
       "             --elastic shrinks past crashes on the surviving ranks\n"
-      "  trace-report  per-rank phase breakdown of a captured trace\n"
+      "  top        live per-rank phase table + straggler flags (telemetry)\n"
+      "  trace-report  per-rank phase breakdown of a captured trace;\n"
+      "             --critical-path attributes step latency across ranks\n"
       "  plan       epoch-time decomposition for a cluster configuration\n"
       "  allreduce  price + verify a gradient allreduce algorithm\n"
       "  shuffle    price a DIMD dataset shuffle (Algorithm 2)\n"
@@ -433,6 +537,8 @@ int main(int argc, char** argv) {
       rc = cmd_train(args);
     } else if (cmd == "chaos") {
       rc = cmd_chaos(args);
+    } else if (cmd == "top") {
+      rc = cmd_top(args);
     } else if (cmd == "trace-report") {
       rc = cmd_trace_report(args);
     } else if (cmd == "plan") {
