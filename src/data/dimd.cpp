@@ -80,17 +80,45 @@ DimdStore::DimdStore(simmpi::Communicator& comm, DimdSalvage salvage,
   dead_origin_ranks_.erase(
       std::unique(dead_origin_ranks_.begin(), dead_origin_ranks_.end()),
       dead_origin_ranks_.end());
-  const int r = replication();
-  DCT_CHECK_MSG(recoverable(shard_count_, r, dead_origin_ranks_),
+  DCT_CHECK_MSG(recoverable(shard_count_, replication(), dead_origin_ranks_),
                 "repartition of an unrecoverable dead set — caller must "
                 "check recoverable() and roll back instead");
+  reassign_owned_shards();
+}
+
+DimdStore::DimdStore(simmpi::Communicator& comm, DimdSalvage salvage,
+                     const DimdGrow& grow)
+    : cfg_(salvage.cfg) {
+  DCT_CHECK_MSG(cfg_.groups == 1,
+                "repartition requires single-group DIMD (got "
+                    << cfg_.groups << " groups)");
+  group_id_ = 0;
+  group_comm_ = comm.split(0, comm.rank());
+  shard_count_ = salvage.shard_count;
+  origin_rank_ = salvage.origin_rank;
+  pristine_ = std::move(salvage.pristine);
+  dead_origin_ranks_ = std::move(salvage.dead_origin_ranks);
+  std::sort(dead_origin_ranks_.begin(), dead_origin_ranks_.end());
+  for (const int revived : grow.revived_origin_ranks) {
+    const auto it = std::find(dead_origin_ranks_.begin(),
+                              dead_origin_ranks_.end(), revived);
+    DCT_CHECK_MSG(it != dead_origin_ranks_.end(),
+                  "grow repartition: origin rank " << revived
+                                                   << " was not dead");
+    dead_origin_ranks_.erase(it);
+  }
+  reassign_owned_shards();
+}
+
+void DimdStore::reassign_owned_shards() {
+  const int r = replication();
   const auto is_dead = [&](int rank) {
     return std::binary_search(dead_origin_ranks_.begin(),
                               dead_origin_ranks_.end(), rank);
   };
   // Deterministic new ownership: shard s goes to its first live holder
-  // in replica order s, s-1, … — every survivor computes the same
-  // assignment locally. A survivor resets its records to the pristine
+  // in replica order s, s-1, … — every member computes the same
+  // assignment locally. A member resets its records to the pristine
   // shards it now owns; the group's record multiset is exactly the
   // original dataset again.
   items_.clear();
@@ -110,6 +138,37 @@ DimdStore::DimdStore(simmpi::Communicator& comm, DimdSalvage salvage,
       items_.insert(items_.end(), src.begin(), src.end());
     }
   }
+}
+
+DimdSalvage DimdStore::regenerate_salvage(const SyntheticImageGenerator& gen,
+                                          DimdConfig cfg, int shard_count,
+                                          int origin_rank,
+                                          std::vector<int> dead_origin_ranks) {
+  DCT_CHECK(shard_count >= 1 && origin_rank >= 0 &&
+            origin_rank < shard_count);
+  DimdSalvage out;
+  out.cfg = cfg;
+  out.shard_count = shard_count;
+  out.origin_rank = origin_rank;
+  out.dead_origin_ranks = std::move(dead_origin_ranks);
+  // Same slice math as load_partition: shard s is records
+  // [total·s/S, total·(s+1)/S) of the deterministic generator.
+  const std::int64_t total = gen.def().images;
+  const std::int64_t s64 = shard_count;
+  const int r = std::min(cfg.replication, shard_count);
+  for (int k = 0; k < (r > 1 ? r : 0); ++k) {
+    const int s = (origin_rank + k) % shard_count;
+    const std::int64_t lo = total * s / s64;
+    const std::int64_t hi = total * (s + 1) / s64;
+    std::vector<DimdItem> shard;
+    shard.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const RawImage img = gen.generate(i);
+      shard.push_back(DimdItem{codec_encode(img.pixels), img.label});
+    }
+    out.pristine[s] = std::move(shard);
+  }
+  return out;
 }
 
 std::vector<int> DimdStore::shard_holders(int shard, int shard_count,
@@ -152,6 +211,19 @@ DimdSalvage DimdStore::take_salvage() {
   out.dead_origin_ranks = dead_origin_ranks_;
   items_.clear();
   return out;
+}
+
+void DimdStore::set_origin_rank(int origin_rank) {
+  DCT_CHECK_MSG(cfg_.groups == 1,
+                "origin adoption requires single-group DIMD");
+  DCT_CHECK(origin_rank >= 0 && origin_rank < shard_count_);
+  DCT_CHECK_MSG(dead_origin_ranks_.empty(),
+                "origin adoption on a degraded store (repartitioned "
+                "ownership would be lost)");
+  origin_rank_ = origin_rank;
+  owned_shards_ = {origin_rank_};
+  items_.clear();
+  pristine_.clear();
 }
 
 int DimdStore::replication() const {

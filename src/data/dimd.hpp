@@ -60,6 +60,13 @@ struct DimdSalvage {
   std::vector<int> dead_origin_ranks;  ///< cumulative dead, original ranks
 };
 
+/// Marker selecting the grow-repartition constructor: the listed
+/// origin ranks were dead but have been re-seated by joiners admitted
+/// through Communicator::grow.
+struct DimdGrow {
+  std::vector<int> revived_origin_ranks;
+};
+
 class DimdStore {
  public:
   /// Collective over `comm`: splits it into `cfg.groups` contiguous
@@ -79,6 +86,29 @@ class DimdStore {
   DimdStore(simmpi::Communicator& comm, DimdSalvage salvage,
             std::span<const int> newly_dead_origin_ranks);
 
+  /// Repartition after a grow (DESIGN.md §14): rebuild over the widened
+  /// communicator with the revived origin ranks removed from the dead
+  /// set, so ownership flows back to them under the same first-live-
+  /// holder rule the shrink ctor uses. Survivors pass the salvage moved
+  /// out of their old store; a joiner passes one rebuilt locally with
+  /// regenerate_salvage. Purely local beyond the internal comm split,
+  /// and record-multiset preserving: group_checksum() still equals the
+  /// original dataset's.
+  DimdStore(simmpi::Communicator& comm, DimdSalvage salvage,
+            const DimdGrow& grow);
+
+  /// Reconstruct, for a joiner taking over original group rank
+  /// `origin_rank`, the salvage state that rank held at load time: the
+  /// pristine replica shards {origin, …, origin+r-1 mod S} regenerated
+  /// from the synthetic source. Bit-identical to the originals because
+  /// load_partition's shard slices are pure functions of (shard,
+  /// shard_count, generator) — this is what lets a spare receive real
+  /// shards without any peer shipping bytes.
+  static DimdSalvage regenerate_salvage(const SyntheticImageGenerator& gen,
+                                        DimdConfig cfg, int shard_count,
+                                        int origin_rank,
+                                        std::vector<int> dead_origin_ranks);
+
   /// Original group ranks holding a pristine copy of `shard`:
   /// {shard, shard-1, …, shard-replication+1} mod shard_count.
   static std::vector<int> shard_holders(int shard, int shard_count,
@@ -92,6 +122,12 @@ class DimdStore {
   /// Move the replica state out for a post-shrink rebuild; this store
   /// is unusable afterwards.
   DimdSalvage take_salvage();
+
+  /// Re-seat this rank as original group rank `origin_rank` (resume-time
+  /// adoption of a checkpoint manifest's origin map). Requires a
+  /// single-group full-strength world; the caller must follow with
+  /// load_partition() to reload the adopted slice and its replicas.
+  void set_origin_rank(int origin_rank);
 
   int shard_count() const { return shard_count_; }
   /// Effective replication factor (config clamped to the group size).
@@ -149,6 +185,11 @@ class DimdStore {
  private:
   void store_pristine_copies(
       const std::function<std::vector<DimdItem>(int)>& load_shard);
+
+  /// Shared tail of the repartition ctors: recompute shard ownership
+  /// from dead_origin_ranks_ (first live holder in replica order) and
+  /// reset this rank's records to its owned pristine shards.
+  void reassign_owned_shards();
 
   simmpi::Communicator group_comm_;
   DimdConfig cfg_;

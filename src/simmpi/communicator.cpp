@@ -52,7 +52,10 @@ Status Communicator::recv_bytes(std::span<std::byte> buffer, int source,
   DCT_CHECK_MSG(msg.data.size() <= buffer.size(),
                 "message of " << msg.data.size()
                               << " bytes does not fit receive buffer of "
-                              << buffer.size());
+                              << buffer.size() << " (context "
+                              << group_->context << ", tag " << msg.tag
+                              << ", rank " << msg.source << " -> " << rank_
+                              << " of " << size() << ")");
   bytes_recv_counter().add(msg.data.size());
   msgs_recv_counter().add(1);
   std::memcpy(buffer.data(), msg.data.data(), msg.data.size());
@@ -304,6 +307,190 @@ ShrinkResult Communicator::shrink(std::chrono::milliseconds join_deadline) {
   }
   result.comm = Communicator(std::move(group), new_rank);
   return result;
+}
+
+namespace {
+
+/// Decode a lobby/commit payload of packed u64s.
+std::vector<std::uint64_t> unpack_u64s(const detail::RawMessage& msg) {
+  DCT_CHECK_MSG(msg.data.size() % sizeof(std::uint64_t) == 0,
+                "grow: malformed protocol payload of " << msg.data.size()
+                                                       << " bytes");
+  std::vector<std::uint64_t> out(msg.data.size() / sizeof(std::uint64_t));
+  std::memcpy(out.data(), msg.data.data(), msg.data.size());
+  return out;
+}
+
+}  // namespace
+
+GrowResult Communicator::grow(std::span<const int> joiner_global_ranks,
+                              std::chrono::milliseconds join_deadline) {
+  DCT_TRACE_SPAN("grow", "recovery");
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + join_deadline;
+  Transport& tr = transport();
+  const int p = size();
+  const int self_global = global_rank(rank_);
+  // Commit payload layout: [0] handshake nonce, [1] new context,
+  // [2] member count n, [3 .. 3+n) member *global* ranks — current
+  // members first in current rank order, admitted joiners appended.
+  std::vector<std::uint64_t> commit;
+
+  if (rank_ == 0) {
+    // Handshake id: a fresh context id doubles as a process-unique
+    // nonce, letting lobby ranks pair this grow's INVITE with its
+    // COMMIT and everyone discard strays from earlier attempts.
+    const std::uint64_t nonce = tr.new_context();
+    std::vector<int> invited;
+    for (const int g : joiner_global_ranks) {
+      DCT_CHECK_MSG(g >= 0 && g < tr.nranks(),
+                    "grow: invitee global rank " << g << " out of range");
+      if (tr.rank_dead(g)) continue;  // a dead spare cannot be promoted
+      const std::uint64_t invite[2] = {nonce,
+                                       static_cast<std::uint64_t>(self_global)};
+      tr.send(g, kLobbyContext, self_global, kGrowInviteTag,
+              std::as_bytes(std::span<const std::uint64_t>(invite)));
+      invited.push_back(g);
+    }
+    // Collect ACCEPTs until every invitee answered or died; on deadline
+    // proceed with whoever accepted — a partial (or empty) admission is
+    // a valid outcome, not an error.
+    std::vector<bool> has_accepted(invited.size(), false);
+    for (;;) {
+      while (auto st = tr.try_probe(self_global, kLobbyContext, kAnySource,
+                                    kGrowAcceptTag)) {
+        const auto msg = tr.recv(self_global, kLobbyContext, st->source,
+                                 kGrowAcceptTag);
+        const auto body = unpack_u64s(msg);
+        DCT_CHECK(body.size() == 2);
+        if (body[0] != nonce) continue;  // stale accept from an older grow
+        for (std::size_t i = 0; i < invited.size(); ++i) {
+          if (invited[i] == static_cast<int>(body[1])) has_accepted[i] = true;
+        }
+      }
+      bool all_accounted = true;
+      for (std::size_t i = 0; i < invited.size(); ++i) {
+        if (!has_accepted[i] && !tr.rank_dead(invited[i])) {
+          all_accounted = false;
+          break;
+        }
+      }
+      if (all_accounted || clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    // Admission decision mirrors shrink's membership decision: accepted
+    // AND not dead *now*. A joiner dying after this point leaves a dead
+    // member in the new communicator; the next collective detects that
+    // and the caller shrinks again.
+    std::vector<int> admitted;
+    for (std::size_t i = 0; i < invited.size(); ++i) {
+      if (has_accepted[i] && !tr.rank_dead(invited[i])) {
+        admitted.push_back(invited[i]);
+      }
+    }
+    commit.push_back(nonce);
+    commit.push_back(tr.new_context());
+    commit.push_back(static_cast<std::uint64_t>(p + admitted.size()));
+    for (int r = 0; r < p; ++r) {
+      commit.push_back(static_cast<std::uint64_t>(global_rank(r)));
+    }
+    for (const int g : admitted) {
+      commit.push_back(static_cast<std::uint64_t>(g));
+    }
+    for (int r = 1; r < p; ++r) {
+      send(std::span<const std::uint64_t>(commit), r, kGrowCommitTag);
+    }
+    for (const int g : admitted) {
+      tr.send(g, kLobbyContext, self_global, kGrowCommitTag,
+              std::as_bytes(std::span<const std::uint64_t>(commit)));
+    }
+  } else {
+    // Non-root member: poll for COMMIT exactly as in shrink, with an
+    // explicit coordinator-liveness check so the error names rank 0.
+    for (;;) {
+      if (auto st = try_probe(0, kGrowCommitTag)) {
+        commit.resize(st->bytes / sizeof(std::uint64_t));
+        recv(std::span<std::uint64_t>(commit), 0, kGrowCommitTag);
+        break;
+      }
+      if (tr.rank_dead(global_rank(0))) {
+        throw RankFailed(global_rank(0), "grow: coordinator (rank 0) is dead");
+      }
+      if (clock::now() >= deadline) {
+        std::ostringstream os;
+        os << "grow: no commit from coordinator within "
+           << join_deadline.count() << " ms";
+        throw Timeout(os.str());
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  DCT_CHECK(commit.size() >= 3 && commit.size() == 3 + commit[2]);
+  GrowResult result;
+  auto group = std::make_shared<detail::Group>();
+  group->transport = &tr;
+  group->context = commit[1];
+  for (std::size_t i = 0; i < commit[2]; ++i) {
+    const int g = static_cast<int>(commit[3 + i]);
+    group->members.push_back(g);
+    if (i >= static_cast<std::size_t>(p)) result.joiner_global_ranks.push_back(g);
+  }
+  DCT_CHECK_MSG(group->members[static_cast<std::size_t>(rank_)] == self_global,
+                "grow: member prefix reordered");
+  result.comm = Communicator(std::move(group), rank_);
+  return result;
+}
+
+std::optional<Communicator> Communicator::await_join(
+    Transport& transport, int self_global,
+    std::chrono::milliseconds commit_deadline,
+    const std::function<bool()>& keep_waiting) {
+  using clock = std::chrono::steady_clock;
+  for (;;) {
+    if (!keep_waiting()) return std::nullopt;
+    if (!transport.try_probe(self_global, kLobbyContext, kAnySource,
+                             kGrowInviteTag)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    const auto invite = unpack_u64s(transport.recv(
+        self_global, kLobbyContext, kAnySource, kGrowInviteTag));
+    DCT_CHECK(invite.size() == 2);
+    const std::uint64_t nonce = invite[0];
+    const int root_global = static_cast<int>(invite[1]);
+    const std::uint64_t accept[2] = {nonce,
+                                     static_cast<std::uint64_t>(self_global)};
+    transport.send(root_global, kLobbyContext, self_global, kGrowAcceptTag,
+                   std::as_bytes(std::span<const std::uint64_t>(accept)));
+    // Wait (bounded) for the COMMIT that matches this handshake. On
+    // coordinator death or deadline, fall back to the lobby — the
+    // coordinator may have committed without us, and a later grow can
+    // still pick this rank up.
+    const auto deadline = clock::now() + commit_deadline;
+    for (;;) {
+      if (transport.try_probe(self_global, kLobbyContext, kAnySource,
+                              kGrowCommitTag)) {
+        const auto commit = unpack_u64s(transport.recv(
+            self_global, kLobbyContext, kAnySource, kGrowCommitTag));
+        DCT_CHECK(commit.size() >= 3 && commit.size() == 3 + commit[2]);
+        if (commit[0] != nonce) continue;  // stale commit, keep waiting
+        auto group = std::make_shared<detail::Group>();
+        group->transport = &transport;
+        group->context = commit[1];
+        int my_rank = -1;
+        for (std::size_t i = 0; i < commit[2]; ++i) {
+          const int g = static_cast<int>(commit[3 + i]);
+          group->members.push_back(g);
+          if (g == self_global) my_rank = static_cast<int>(i);
+        }
+        DCT_CHECK_MSG(my_rank >= 0, "grow: joiner missing from its commit");
+        return Communicator(std::move(group), my_rank);
+      }
+      if (transport.rank_dead(root_global) || clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
 }
 
 }  // namespace dct::simmpi

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -32,6 +33,7 @@ struct Group {
 }  // namespace detail
 
 struct ShrinkResult;
+struct GrowResult;
 
 class Communicator {
  public:
@@ -405,6 +407,41 @@ class Communicator {
   /// result is a full-membership "reform" with a fresh context.
   ShrinkResult shrink(std::chrono::milliseconds join_deadline);
 
+  /// Grow the membership by admitting idle ranks — the rank-0-coordinated
+  /// inverse of shrink (DESIGN.md §14). Collective over this
+  /// communicator with no other traffic in flight on it.
+  ///
+  /// Only rank 0's `joiner_global_ranks` matters: the coordinator sends
+  /// each candidate an INVITE on the lobby context (kLobbyContext, where
+  /// Communicator::await_join listens), collects ACCEPTs until every
+  /// invitee has answered or died or `join_deadline` passes, then
+  /// COMMITs the grown membership — current members first, in their
+  /// current rank order, accepted joiners appended — under a fresh
+  /// context. Non-root members pass an empty list and learn the final
+  /// membership from the commit, exactly as in shrink. Invitees that
+  /// never accepted are simply left out: a grow that admits nobody
+  /// degenerates to a full-membership reform with a fresh context.
+  ///
+  /// Failure modes mirror shrink: Timeout when a non-root member sees
+  /// no commit within the deadline, RankFailed when the coordinator
+  /// itself is dead.
+  GrowResult grow(std::span<const int> joiner_global_ranks,
+                  std::chrono::milliseconds join_deadline);
+
+  /// Joiner-side half of the grow handshake: park in the lobby until a
+  /// coordinator INVITEs this global rank, ACCEPT, and wait for the
+  /// COMMIT that seats it in the grown communicator. Returns nullopt
+  /// when `keep_waiting` goes false with no admission (the run ended
+  /// with this spare still idle). A commit that fails to arrive within
+  /// `commit_deadline` (coordinator died mid-handshake, or it committed
+  /// without us) sends the rank back to the lobby rather than wedging.
+  /// A restarted rank must call Transport::resurrect_rank on itself
+  /// before entering the lobby.
+  static std::optional<Communicator> await_join(
+      Transport& transport, int self_global,
+      std::chrono::milliseconds commit_deadline,
+      const std::function<bool()>& keep_waiting);
+
  private:
   int next_collective_tag() {
     return kCollectiveTagBase + static_cast<int>(op_seq_++ & 0x07FFFFFF);
@@ -422,6 +459,14 @@ struct ShrinkResult {
   Communicator comm;                    ///< survivors, densely re-ranked
   std::vector<int> survivor_old_ranks;  ///< ascending; index == new rank
   std::vector<int> dead_old_ranks;      ///< old ranks declared dead
+};
+
+/// Outcome of Communicator::grow(): the widened communicator plus the
+/// admitted joiners. Existing members keep their ranks (the membership
+/// prefix is unchanged); joiner i sits at rank old_size + i.
+struct GrowResult {
+  Communicator comm;                    ///< members + joiners, fresh context
+  std::vector<int> joiner_global_ranks; ///< admitted, in commit order
 };
 
 }  // namespace dct::simmpi

@@ -48,13 +48,24 @@ RawMessage Mailbox::pop_matching(std::uint64_t context, int source, int tag,
   for (;;) {
     if (owner.aborted()) throw Aborted();
     const auto now = clock::now();
-    // First *visible* match wins; a fault-delayed match bounds the
-    // wait. Indices, not iterators: discarding a duplicate erases from
-    // the deque, which invalidates every iterator including end().
+    // Per-source FIFO even under fault delays: the first matching
+    // message from a given source is that source's head, and a delayed
+    // head stalls its successors rather than being overtaken by them.
+    // Tags are reused across collective steps, so letting a later
+    // message jump a delayed one would hand the wrong payload to a
+    // pending recv. A delayed head only bounds the wait; heads from
+    // *other* sources stay deliverable. Indices, not iterators:
+    // discarding a duplicate erases from the deque, which invalidates
+    // every iterator including end().
     std::size_t match = 0;
     bool found = false;
     bool have_delayed = false;
     clock::time_point earliest{};
+    std::vector<int> stalled_sources;
+    const auto stalled = [&stalled_sources](int src) {
+      return std::find(stalled_sources.begin(), stalled_sources.end(), src) !=
+             stalled_sources.end();
+    };
     for (std::size_t k = 0; k < queue_.size();) {
       const RawMessage& m = queue_[k];
       if (!matches(m, context, source, tag)) {
@@ -71,6 +82,10 @@ RawMessage Mailbox::pop_matching(std::uint64_t context, int source, int tag,
           continue;
         }
       }
+      if (stalled(m.source)) {
+        ++k;
+        continue;
+      }
       if (m.deliver_at <= now) {
         match = k;
         found = true;
@@ -78,6 +93,7 @@ RawMessage Mailbox::pop_matching(std::uint64_t context, int source, int tag,
       }
       if (!have_delayed || m.deliver_at < earliest) earliest = m.deliver_at;
       have_delayed = true;
+      stalled_sources.push_back(m.source);
       ++k;
     }
     if (found) {
@@ -97,10 +113,19 @@ RawMessage Mailbox::pop_matching(std::uint64_t context, int source, int tag,
     }
     if (has_deadline && now >= deadline) {
       fault_detected_counter().add(1);
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          now - (deadline - deadline_ms));
       std::ostringstream os;
-      os << "recv timed out after " << deadline_ms.count()
-         << " ms (context " << context << ", source " << source << ", tag "
-         << tag << ")";
+      os << "recv timed out: " << elapsed.count() << " ms elapsed vs "
+         << deadline_ms.count() << " ms deadline waiting on peer ";
+      if (src_global >= 0) {
+        os << "global rank " << src_global;
+      } else if (source == kAnySource) {
+        os << "<any>";
+      } else {
+        os << "comm rank " << source;
+      }
+      os << " (context " << context << ", tag " << tag << ")";
       throw Timeout(os.str());
     }
     auto wake = clock::time_point::max();
@@ -124,10 +149,18 @@ Status Mailbox::probe(std::uint64_t context, int source, int tag,
   for (;;) {
     if (owner.aborted()) throw Aborted();
     const auto now = clock::now();
+    // Same per-source FIFO rule as pop_matching: a delayed head must
+    // not be probed past in favour of a later message from the same
+    // source.
     std::size_t match = 0;
     bool found = false;
     bool have_delayed = false;
     clock::time_point earliest{};
+    std::vector<int> stalled_sources;
+    const auto stalled = [&stalled_sources](int src) {
+      return std::find(stalled_sources.begin(), stalled_sources.end(), src) !=
+             stalled_sources.end();
+    };
     for (std::size_t k = 0; k < queue_.size();) {
       const RawMessage& m = queue_[k];
       if (!matches(m, context, source, tag)) {
@@ -142,6 +175,10 @@ Status Mailbox::probe(std::uint64_t context, int source, int tag,
           continue;
         }
       }
+      if (stalled(m.source)) {
+        ++k;
+        continue;
+      }
       if (m.deliver_at <= now) {
         match = k;
         found = true;
@@ -149,6 +186,7 @@ Status Mailbox::probe(std::uint64_t context, int source, int tag,
       }
       if (!have_delayed || m.deliver_at < earliest) earliest = m.deliver_at;
       have_delayed = true;
+      stalled_sources.push_back(m.source);
       ++k;
     }
     if (found) {
@@ -163,8 +201,19 @@ Status Mailbox::probe(std::uint64_t context, int source, int tag,
     }
     if (has_deadline && now >= deadline) {
       fault_detected_counter().add(1);
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          now - (deadline - deadline_ms));
       std::ostringstream os;
-      os << "probe timed out after " << deadline_ms.count() << " ms";
+      os << "probe timed out: " << elapsed.count() << " ms elapsed vs "
+         << deadline_ms.count() << " ms deadline waiting on peer ";
+      if (src_global >= 0) {
+        os << "global rank " << src_global;
+      } else if (source == kAnySource) {
+        os << "<any>";
+      } else {
+        os << "comm rank " << source;
+      }
+      os << " (context " << context << ", tag " << tag << ")";
       throw Timeout(os.str());
     }
     auto wake = clock::time_point::max();
@@ -183,6 +232,11 @@ std::optional<Status> Mailbox::try_probe(std::uint64_t context, int source,
   if (owner.aborted()) throw Aborted();
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> stalled_sources;
+  const auto stalled = [&stalled_sources](int src) {
+    return std::find(stalled_sources.begin(), stalled_sources.end(), src) !=
+           stalled_sources.end();
+  };
   for (std::size_t k = 0; k < queue_.size();) {
     const RawMessage& m = queue_[k];
     if (!matches(m, context, source, tag)) {
@@ -197,15 +251,27 @@ std::optional<Status> Mailbox::try_probe(std::uint64_t context, int source,
         continue;
       }
     }
-    // A fault-delayed match is not yet visible; report "nothing" rather
-    // than waiting it out.
+    if (stalled(m.source)) {
+      ++k;
+      continue;
+    }
+    // A fault-delayed head is not yet visible: report "nothing" for its
+    // source rather than waiting it out — and never report a later
+    // message from the same source past it (per-source FIFO).
     if (m.deliver_at <= now) return Status{m.source, m.tag, m.data.size()};
+    stalled_sources.push_back(m.source);
     ++k;
   }
   return std::nullopt;
 }
 
 void Mailbox::interrupt() { cv_.notify_all(); }
+
+void Mailbox::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.clear();
+  delivered_.clear();
+}
 
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -349,6 +415,15 @@ void Transport::acknowledge_rank_death(int global_rank) {
   DCT_CHECK(global_rank >= 0 && global_rank < nranks());
   death_acked_[static_cast<std::size_t>(global_rank)].store(
       true, std::memory_order_release);
+}
+
+void Transport::resurrect_rank(int global_rank) {
+  DCT_CHECK(global_rank >= 0 && global_rank < nranks());
+  boxes_[static_cast<std::size_t>(global_rank)]->clear();
+  dead_[static_cast<std::size_t>(global_rank)].store(
+      false, std::memory_order_release);
+  death_acked_[static_cast<std::size_t>(global_rank)].store(
+      false, std::memory_order_release);
 }
 
 std::vector<int> Transport::unacknowledged_dead_ranks() const {

@@ -117,6 +117,11 @@ class Mailbox {
   /// Wake all waiters (used on abort and on liveness changes).
   void interrupt();
 
+  /// Drop every queued message and the duplicate-delivery history.
+  /// Used by Transport::resurrect_rank so a rejoining rank starts from
+  /// an empty inbox instead of replaying its past life's traffic.
+  void clear();
+
   /// Number of queued messages (diagnostics).
   std::size_t pending() const;
 
@@ -210,6 +215,13 @@ class Transport {
   }
   /// Dead ranks no recovery path has claimed (silent casualties).
   std::vector<int> unacknowledged_dead_ranks() const;
+
+  /// Inverse of mark_rank_dead for a rank that came back (a restarted
+  /// process re-enlisting through Communicator::grow): clears both the
+  /// liveness flag and any death acknowledgement, and empties the
+  /// rank's mailbox so stale pre-death traffic cannot be replayed into
+  /// its new life. Call *before* the rank starts waiting in the lobby.
+  void resurrect_rank(int global_rank);
 
   /// Cumulative wall time global rank `rank` has spent inside send(),
   /// in seconds, accumulated across all of its threads (main + progress

@@ -28,6 +28,20 @@ inline constexpr int kShrinkCommitTag = kCollectiveTagBase - 3;
 /// must never collide with user or collective traffic.
 inline constexpr int kTelemetryTag = kCollectiveTagBase - 4;
 
+/// Reserved tags for the grow agreement protocol (Communicator::grow,
+/// the inverse of shrink): the coordinator INVITEs idle ranks on the
+/// lobby context, invitees ACCEPT back, and the grown membership is
+/// COMMITted to old members (current context) and joiners (lobby).
+inline constexpr int kGrowInviteTag = kCollectiveTagBase - 5;
+inline constexpr int kGrowAcceptTag = kCollectiveTagBase - 6;
+inline constexpr int kGrowCommitTag = kCollectiveTagBase - 7;
+
+/// Context id of the "lobby": ranks that are not members of any
+/// communicator (hot spares, restarted ranks) listen here for grow
+/// invitations. Transport::new_context() allocates ids starting at 1,
+/// so 0 can never collide with a real communicator.
+inline constexpr std::uint64_t kLobbyContext = 0;
+
 /// Completion record of a receive.
 struct Status {
   int source = 0;

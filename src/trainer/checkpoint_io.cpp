@@ -175,7 +175,11 @@ TrainerState read_trainer_state(const std::string& path) {
 }
 
 void write_manifest(const std::string& dir, std::uint64_t iteration,
-                    int nranks) {
+                    int nranks, std::span<const int> origin_ranks) {
+  DCT_CHECK_MSG(origin_ranks.empty() ||
+                    origin_ranks.size() == static_cast<std::size_t>(nranks),
+                "manifest origin map has " << origin_ranks.size()
+                    << " entries for a " << nranks << "-rank world");
   std::filesystem::create_directories(dir);
   const std::string path = dir + "/MANIFEST";
   const std::string tmp = path + ".tmp";
@@ -183,6 +187,11 @@ void write_manifest(const std::string& dir, std::uint64_t iteration,
     std::ofstream os(tmp, std::ios::trunc);
     DCT_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
     os << iteration << ' ' << nranks << '\n';
+    if (!origin_ranks.empty()) {
+      os << "origins";
+      for (const int o : origin_ranks) os << ' ' << o;
+      os << '\n';
+    }
     os.flush();
     DCT_CHECK_MSG(os.good(), "failed writing manifest " << tmp);
   }
@@ -213,6 +222,28 @@ std::optional<std::pair<std::uint64_t, int>> read_manifest_any(
   is >> iteration >> manifest_ranks;
   DCT_CHECK_MSG(!is.fail(), "malformed manifest in " << dir);
   return std::make_pair(iteration, manifest_ranks);
+}
+
+std::optional<ManifestInfo> read_manifest_info(const std::string& dir) {
+  std::ifstream is(dir + "/MANIFEST");
+  if (!is.good()) return std::nullopt;
+  ManifestInfo info;
+  is >> info.iteration >> info.nranks;
+  DCT_CHECK_MSG(!is.fail(), "malformed manifest in " << dir);
+  std::string key;
+  if (is >> key) {
+    DCT_CHECK_MSG(key == "origins",
+                  "malformed manifest in " << dir << ": unexpected \"" << key
+                                           << "\"");
+    int o = 0;
+    while (is >> o) info.origin_ranks.push_back(o);
+    DCT_CHECK_MSG(
+        info.origin_ranks.size() == static_cast<std::size_t>(info.nranks),
+        "world-shape disagreement in " << dir << "/MANIFEST: origins line has "
+            << info.origin_ranks.size() << " entries but the manifest names a "
+            << info.nranks << "-rank world");
+  }
+  return info;
 }
 
 bool checkpoint_set_valid(const std::string& dir, std::uint64_t iteration,

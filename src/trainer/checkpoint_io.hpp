@@ -5,6 +5,14 @@
 //
 //   <dir>/ckpt-<iteration>.rank<r>   binary, CRC32-sealed
 //   <dir>/MANIFEST                   text: "<iteration> <nranks>\n"
+//                                    optionally followed by
+//                                    "origins <o0> <o1> … <o(n-1)>\n"
+//
+// The origins line records, for each rank of the saving world, which
+// rank of the *original* (construction-time) world it descends from —
+// the provenance a shrink/grow reshuffles. Readers that only need the
+// (iteration, nranks) pair parse the first line and ignore the rest,
+// so old manifests (no origins line) and old readers both keep working.
 //
 // Every file is written to "<path>.tmp" and renamed into place, and the
 // MANIFEST is only updated after a barrier confirms all rank files are
@@ -17,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,8 +56,22 @@ void write_trainer_state(const TrainerState& state, const std::string& path);
 TrainerState read_trainer_state(const std::string& path);
 
 /// Atomically publish `iteration` as the newest complete checkpoint.
+/// `origin_ranks`, when non-empty, must have one entry per rank and is
+/// written as the manifest's origins line (world-shape provenance).
 void write_manifest(const std::string& dir, std::uint64_t iteration,
-                    int nranks);
+                    int nranks, std::span<const int> origin_ranks = {});
+
+/// Everything the manifest records: the newest complete iteration, the
+/// world size it was taken with, and (when present) the origin-rank
+/// map. Validates shape: an origins line whose entry count disagrees
+/// with nranks is a world-shape error, reported clearly rather than
+/// surfacing later as a missing rank file or CRC mismatch.
+struct ManifestInfo {
+  std::uint64_t iteration = 0;
+  int nranks = 0;
+  std::vector<int> origin_ranks;  ///< empty for pre-origins manifests
+};
+std::optional<ManifestInfo> read_manifest_info(const std::string& dir);
 
 /// The newest complete checkpoint iteration, or nullopt when the
 /// directory holds none. Throws CheckError if the manifest names a

@@ -25,6 +25,11 @@ obs::Counter& shrinks_counter() {
   return c;
 }
 
+obs::Counter& grows_counter() {
+  static obs::Counter& c = obs::Metrics::counter("recovery.grows");
+  return c;
+}
+
 obs::Counter& lost_steps_counter() {
   static obs::Counter& c = obs::Metrics::counter("recovery.lost_steps");
   return c;
@@ -47,55 +52,11 @@ DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
                   static_cast<std::uint64_t>(comm.rank()) + 1),
       shuffle_rng_(cfg_.seed * 104729 +
                    static_cast<std::uint64_t>(comm.rank()) + 1) {
-  // Identical initial weights on every GPU of every learner
-  // (Algorithm 1): the same seed feeds every replica.
-  if (cfg_.optimized_dpt) {
-    table_ = std::make_unique<dpt::OptimizedDpt>(cfg_.model,
-                                                 cfg_.gpus_per_node,
-                                                 cfg_.seed);
-  } else {
-    table_ = std::make_unique<dpt::BaselineDpt>(cfg_.model,
-                                                cfg_.gpus_per_node, cfg_.seed);
-  }
-  allreduce_ = allreduce::make_algorithm(cfg_.allreduce);
-
-  if (cfg_.comm.enabled()) {
-    // Bucketed / overlapped / compressed gradient reduction. Collective
-    // when overlapping (the GradComm ctor dup()s the communicator for
-    // its progress thread), which is fine: every rank constructs the
-    // trainer at the same program point.
-    const auto segments = table_->replica(0).layer_param_counts();
-    gradcomm_ = std::make_unique<comm::GradComm>(
-        comm_, *allreduce_, cfg_.comm,
-        std::span<const std::size_t>(segments));
-    if (gradcomm_->overlap_enabled()) {
-      table_->set_grad_ready_hook([this](std::size_t lo, std::size_t hi) {
-        gradcomm_->on_range_ready(lo, hi);
-      });
-    }
-  }
-
-  if (cfg_.telemetry.enabled) {
-    // Collective (the plane dup()s the communicator for its engine).
-    telemetry_ = std::make_unique<comm::TelemetryPlane>(comm_,
-                                                        cfg_.telemetry);
-    send_seconds_prev_ =
-        comm_.transport().send_seconds(comm_.global_rank(comm_.rank()));
-  }
+  init_model_stack();
+  rebuild_comm_stack();
 
   if (cfg_.record_blob_path) {
-    DCT_CHECK(cfg_.record_index_path.has_value());
-    record_file_ = std::make_unique<data::RecordFile>(
-        *cfg_.record_blob_path, *cfg_.record_index_path);
-    donkeys_ = std::make_unique<storage::DonkeyPool>(
-        *record_file_, cfg_.dataset.image, cfg_.donkey_threads);
-    // Seeds are drawn at issue time, so the sample sequence is identical
-    // to unprefetched loading.
-    prefetcher_ = std::make_unique<storage::BatchPrefetcher>(
-        [this](std::uint64_t) {
-          return donkeys_->submit_batch(node_batch(), sample_rng_.next_u64());
-        },
-        cfg_.prefetch_depth);
+    init_donkey_stack();
   } else {
     dimd_ = std::make_unique<data::DimdStore>(comm_, cfg_.dimd);
     dimd_->load_partition(data::SyntheticImageGenerator(cfg_.dataset));
@@ -108,6 +69,82 @@ DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
   origin_ranks_.resize(static_cast<std::size_t>(comm_.size()));
   for (int r = 0; r < comm_.size(); ++r) {
     origin_ranks_[static_cast<std::size_t>(r)] = r;
+  }
+  lr_world_ref_ = lr_world_cur_ = comm_.size();
+}
+
+DistributedTrainer::DistributedTrainer(simmpi::Communicator& comm,
+                                       TrainerConfig cfg, JoinGrownWorld)
+    : comm_(comm),
+      cfg_(std::move(cfg)),
+      sgd_(cfg_.sgd),
+      sample_rng_(cfg_.seed * 7919 +
+                  static_cast<std::uint64_t>(comm.rank()) + 1),
+      shuffle_rng_(cfg_.seed * 104729 +
+                   static_cast<std::uint64_t>(comm.rank()) + 1) {
+  DCT_CHECK_MSG(!cfg_.deterministic_global_sampling,
+                "deterministic global sampling cannot grow (grow_feasible "
+                "is false for such runs)");
+  // Purely local halves only — the DIMD store, comm pipeline, and all
+  // trainer state arrive through the collective grow_sync below, which
+  // mirrors the survivors' grow_to() op for op.
+  init_model_stack();
+  if (cfg_.record_blob_path) init_donkey_stack();
+  grow_sync(/*joiner_count_from_survivor=*/-1);
+}
+
+void DistributedTrainer::init_model_stack() {
+  // Identical initial weights on every GPU of every learner
+  // (Algorithm 1): the same seed feeds every replica.
+  if (cfg_.optimized_dpt) {
+    table_ = std::make_unique<dpt::OptimizedDpt>(cfg_.model,
+                                                 cfg_.gpus_per_node,
+                                                 cfg_.seed);
+  } else {
+    table_ = std::make_unique<dpt::BaselineDpt>(cfg_.model,
+                                                cfg_.gpus_per_node, cfg_.seed);
+  }
+  allreduce_ = allreduce::make_algorithm(cfg_.allreduce);
+}
+
+void DistributedTrainer::init_donkey_stack() {
+  DCT_CHECK(cfg_.record_blob_path.has_value());
+  DCT_CHECK(cfg_.record_index_path.has_value());
+  record_file_ = std::make_unique<data::RecordFile>(
+      *cfg_.record_blob_path, *cfg_.record_index_path);
+  donkeys_ = std::make_unique<storage::DonkeyPool>(
+      *record_file_, cfg_.dataset.image, cfg_.donkey_threads);
+  // Seeds are drawn at issue time, so the sample sequence is identical
+  // to unprefetched loading.
+  prefetcher_ = std::make_unique<storage::BatchPrefetcher>(
+      [this](std::uint64_t) {
+        return donkeys_->submit_batch(node_batch(), sample_rng_.next_u64());
+      },
+      cfg_.prefetch_depth);
+}
+
+void DistributedTrainer::rebuild_comm_stack() {
+  if (cfg_.comm.enabled()) {
+    // Bucketed / overlapped / compressed gradient reduction. Collective
+    // when overlapping (the GradComm ctor dup()s the communicator for
+    // its progress thread), which is fine: every rank reaches this at
+    // the same program point (construction, shrink_to, or grow_sync).
+    const auto segments = table_->replica(0).layer_param_counts();
+    gradcomm_ = std::make_unique<comm::GradComm>(
+        comm_, *allreduce_, cfg_.comm,
+        std::span<const std::size_t>(segments));
+    if (gradcomm_->overlap_enabled()) {
+      table_->set_grad_ready_hook([this](std::size_t lo, std::size_t hi) {
+        gradcomm_->on_range_ready(lo, hi);
+      });
+    }
+  }
+  if (cfg_.telemetry.enabled) {
+    // Collective (the plane dup()s the communicator for its engine).
+    telemetry_ = std::make_unique<comm::TelemetryPlane>(comm_,
+                                                        cfg_.telemetry);
+    send_seconds_prev_ =
+        comm_.transport().send_seconds(comm_.global_rank(comm_.rank()));
   }
 }
 
@@ -152,7 +189,6 @@ void DistributedTrainer::shrink_to(const simmpi::ShrinkResult& shrink,
       comm_.size() == static_cast<int>(shrink.survivor_old_ranks.size()),
       "assign the shrunken communicator into the trainer's comm object "
       "before calling shrink_to()");
-  const auto old_size = static_cast<int>(origin_ranks_.size());
   const int new_size = comm_.size();
 
   // Remap rank-indexed state into the survivor numbering, keeping the
@@ -166,6 +202,13 @@ void DistributedTrainer::shrink_to(const simmpi::ShrinkResult& shrink,
     new_origins.push_back(origin_ranks_[static_cast<std::size_t>(r)]);
   }
   origin_ranks_ = std::move(new_origins);
+  // Accumulate across repeated shrinks: these are the identity slots a
+  // later grow hands to joiners, in ascending original-rank order.
+  dead_origins_.insert(dead_origins_.end(), dead_origins.begin(),
+                       dead_origins.end());
+  std::sort(dead_origins_.begin(), dead_origins_.end());
+  dead_origins_.erase(std::unique(dead_origins_.begin(), dead_origins_.end()),
+                      dead_origins_.end());
 
   // Repartition the dataset from pristine replicas (placement reset:
   // the group's record multiset is the full original dataset again).
@@ -177,33 +220,18 @@ void DistributedTrainer::shrink_to(const simmpi::ShrinkResult& shrink,
   // Reform (no deaths, fresh context only): the old group communicator
   // still spans the same live members, so the store is left untouched.
 
-  // Rebuild the gradient pipeline over the survivor communicator.
-  if (cfg_.comm.enabled()) {
-    const auto segments = table_->replica(0).layer_param_counts();
-    gradcomm_ = std::make_unique<comm::GradComm>(
-        comm_, *allreduce_, cfg_.comm,
-        std::span<const std::size_t>(segments));
-    if (gradcomm_->overlap_enabled()) {
-      table_->set_grad_ready_hook([this](std::size_t lo, std::size_t hi) {
-        gradcomm_->on_range_ready(lo, hi);
-      });
-    }
-  }
-
-  // Rebuild the telemetry plane over the survivor communicator. Ranks
-  // renumbered densely, so the collector starts from a clean slate.
-  if (cfg_.telemetry.enabled) {
-    telemetry_ = std::make_unique<comm::TelemetryPlane>(comm_,
-                                                        cfg_.telemetry);
-    send_seconds_prev_ =
-        comm_.transport().send_seconds(comm_.global_rank(comm_.rank()));
-  }
+  // Rebuild the gradient pipeline and telemetry plane over the survivor
+  // communicator. Ranks renumbered densely, so the collector starts
+  // from a clean slate.
+  rebuild_comm_stack();
 
   // Linear LR scaling (Goyal et al.): the effective global batch is
   // node_batch × world size, so the shrunken world steps with
-  // proportionally less data per update.
+  // proportionally less data per update. Tracked as an integer
+  // world-size ratio so a later grow back to full strength restores
+  // exactly the original LR (see effective_lr()).
   if (rescale_lr) {
-    cfg_.base_lr = cfg_.base_lr * new_size / old_size;
+    lr_world_cur_ = new_size;
   }
 
   // Resync: a fault can kill a step after some survivors applied their
@@ -259,6 +287,186 @@ void DistributedTrainer::shrink_to(const simmpi::ShrinkResult& shrink,
   rebuild_hist().record(std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - rebuild_start)
                             .count());
+}
+
+bool DistributedTrainer::grow_feasible(int joiner_count) const {
+  if (joiner_count <= 0) return false;
+  // The shared-stream sampling mode hard-requires dimd.groups ==
+  // world size; its group layout cannot follow membership changes.
+  if (cfg_.deterministic_global_sampling) return false;
+  // Each joiner revives one dead original-rank identity — that is what
+  // gives it a deterministic DIMD shard slot and origin-map position.
+  if (joiner_count > static_cast<int>(dead_origins_.size())) return false;
+  if (dimd_ != nullptr && cfg_.dimd.groups != 1) return false;
+  return true;
+}
+
+void DistributedTrainer::grow_to(const simmpi::GrowResult& grow,
+                                 bool rescale_lr) {
+  DCT_CHECK_MSG(gradcomm_ == nullptr || !gradcomm_->overlap_enabled(),
+                "quiesce() before grow_to()");
+  const int k = static_cast<int>(grow.joiner_global_ranks.size());
+  DCT_CHECK_MSG(
+      comm_.size() == static_cast<int>(origin_ranks_.size()) + k,
+      "assign the grown communicator into the trainer's comm object "
+      "before calling grow_to()");
+  // Linear LR scale back up with the world size. Rank 0 decides the
+  // ratio *before* the meta broadcast so every member (and joiner)
+  // adopts the same pair.
+  if (rescale_lr) lr_world_cur_ = comm_.size();
+  grow_sync(k);
+}
+
+void DistributedTrainer::grow_sync(int joiner_count_from_survivor) {
+  DCT_TRACE_SPAN("grow_rebuild", "recovery",
+                 static_cast<std::int64_t>(
+                     joiner_count_from_survivor < 0
+                         ? -1
+                         : joiner_count_from_survivor));
+  const auto rebuild_start = std::chrono::steady_clock::now();
+  const int new_size = comm_.size();
+  const bool is_joiner = joiner_count_from_survivor < 0;
+
+  // Rank 0 (always a survivor) publishes the grown world's meta:
+  //   [0]               admitted joiner count k
+  //   [1]               DIMD shard count (0 in donkey mode)
+  //   [2], [3]          LR world-size ratio (ref, cur)
+  //   [4]               dead-origin count d *before* this grow
+  //   [5 .. 5+d)        dead origins, ascending
+  //   [5+d .. 5+d+n)    origin map for every rank of the grown world —
+  //                     survivor prefix first, then one revived origin
+  //                     per joiner in ascending order.
+  std::vector<std::uint64_t> meta;
+  if (comm_.rank() == 0) {
+    const int k = joiner_count_from_survivor;
+    DCT_CHECK_MSG(k <= static_cast<int>(dead_origins_.size()),
+                  "grow_sync: " << k << " joiners but only "
+                                << dead_origins_.size()
+                                << " dead origin slots");
+    meta.push_back(static_cast<std::uint64_t>(k));
+    meta.push_back(static_cast<std::uint64_t>(
+        dimd_ != nullptr ? dimd_->shard_count() : 0));
+    meta.push_back(static_cast<std::uint64_t>(lr_world_ref_));
+    meta.push_back(static_cast<std::uint64_t>(lr_world_cur_));
+    meta.push_back(dead_origins_.size());
+    for (const int d : dead_origins_) {
+      meta.push_back(static_cast<std::uint64_t>(d));
+    }
+    for (const int o : origin_ranks_) {
+      meta.push_back(static_cast<std::uint64_t>(o));
+    }
+    for (int j = 0; j < k; ++j) {
+      meta.push_back(static_cast<std::uint64_t>(
+          dead_origins_[static_cast<std::size_t>(j)]));
+    }
+  }
+  std::uint64_t msize = meta.size();
+  comm_.bcast(std::span<std::uint64_t>(&msize, 1), 0);
+  meta.resize(static_cast<std::size_t>(msize));
+  comm_.bcast(std::span<std::uint64_t>(meta), 0);
+
+  const int k = static_cast<int>(meta[0]);
+  const int shard_count = static_cast<int>(meta[1]);
+  lr_world_ref_ = static_cast<int>(meta[2]);
+  lr_world_cur_ = static_cast<int>(meta[3]);
+  const int d = static_cast<int>(meta[4]);
+  DCT_CHECK(static_cast<int>(msize) == 5 + d + new_size);
+  std::vector<int> dead_before;
+  for (int i = 0; i < d; ++i) {
+    dead_before.push_back(static_cast<int>(meta[static_cast<std::size_t>(5 + i)]));
+  }
+  origin_ranks_.assign(static_cast<std::size_t>(new_size), -1);
+  for (int r = 0; r < new_size; ++r) {
+    origin_ranks_[static_cast<std::size_t>(r)] =
+        static_cast<int>(meta[static_cast<std::size_t>(5 + d + r)]);
+  }
+  const int old_size = new_size - k;
+  const std::vector<int> revived(
+      origin_ranks_.begin() + old_size, origin_ranks_.end());
+  // Origins still dead after this grow: the unrevived remainder.
+  dead_origins_.clear();
+  for (const int o : dead_before) {
+    if (std::find(revived.begin(), revived.end(), o) == revived.end()) {
+      dead_origins_.push_back(o);
+    }
+  }
+
+  // Hand the revived origins their DIMD shards back. Survivors
+  // repartition from their current store; the joiner regenerates its
+  // revived origin's pristine slice locally (the synthetic generator is
+  // deterministic, so the records are bit-identical to the originals).
+  if (k > 0 && !cfg_.record_blob_path) {
+    data::DimdSalvage salvage;
+    if (is_joiner) {
+      salvage = data::DimdStore::regenerate_salvage(
+          data::SyntheticImageGenerator(cfg_.dataset), cfg_.dimd, shard_count,
+          origin_ranks_[static_cast<std::size_t>(comm_.rank())], dead_before);
+    } else {
+      DCT_CHECK(dimd_ != nullptr);
+      salvage = dimd_->take_salvage();
+    }
+    dimd_ = std::make_unique<data::DimdStore>(comm_, std::move(salvage),
+                                              data::DimdGrow{revived});
+  }
+
+  // Rebuild the gradient pipeline and telemetry plane over the grown
+  // communicator (collective when they dup — every member reaches this
+  // at the same program point).
+  rebuild_comm_stack();
+
+  // Resync: survivors were already leveled by the preceding shrink, so
+  // this adopts their common state everywhere; joiners (reporting
+  // iteration 0) simply receive it. No lost-steps accounting here —
+  // any straddled step was charged by the shrink that preceded us.
+  const auto iters = comm_.allgather_value(iteration_);
+  int src = 0;
+  for (int r = 1; r < new_size; ++r) {
+    if (iters[static_cast<std::size_t>(r)] >
+        iters[static_cast<std::size_t>(src)]) {
+      src = r;
+    }
+  }
+  const std::uint64_t max_iter = iters[static_cast<std::size_t>(src)];
+
+  std::vector<float> params = snapshot_params();
+  std::vector<float> velocities(params.size());
+  std::size_t off = 0;
+  for (nn::Param* p : table_->replica(0).params()) {
+    const auto count = static_cast<std::size_t>(p->velocity.numel());
+    std::memcpy(velocities.data() + off, p->velocity.data(),
+                count * sizeof(float));
+    off += count;
+  }
+  comm_.bcast(std::span<float>(params), src);
+  comm_.bcast(std::span<float>(velocities), src);
+  std::uint64_t sync[2] = {max_iter, shuffles_};
+  comm_.bcast(std::span<std::uint64_t>(sync, 2), src);
+  for (int g = 0; g < table_->gpus(); ++g) {
+    auto& rep = table_->replica(g);
+    rep.load_params(std::span<const float>(params));
+    off = 0;
+    for (nn::Param* p : rep.params()) {
+      const auto count = static_cast<std::size_t>(p->velocity.numel());
+      std::memcpy(p->velocity.data(), velocities.data() + off,
+                  count * sizeof(float));
+      off += count;
+    }
+  }
+  iteration_ = sync[0];
+  shuffles_ = 0;
+  // Post-grow shuffle stream: restart from a seed derived from the new
+  // rank, exactly what a fresh trainer at this world size would use —
+  // so a rollback of a post-grow checkpoint replays identically.
+  shuffle_rng_ = Rng(cfg_.seed * 104729 +
+                     static_cast<std::uint64_t>(comm_.rank()) + 1);
+
+  if (k > 0) {
+    grows_counter().add(1);
+    rebuild_hist().record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      rebuild_start)
+            .count());
+  }
 }
 
 storage::LoadedBatch DistributedTrainer::next_batch() {
@@ -358,7 +566,7 @@ StepMetrics DistributedTrainer::step() {
     DCT_TRACE_SPAN("sgd", "phase");
     const float inv_n = 1.0f / static_cast<float>(comm_.size());
     for (auto& g : grads) g *= inv_n;
-    table_->apply_gradients(grads, sgd_, static_cast<float>(cfg_.base_lr));
+    table_->apply_gradients(grads, sgd_, static_cast<float>(effective_lr()));
   }
   ++iteration_;
   if (!cfg_.checkpoint_dir.empty() && cfg_.checkpoint_every > 0 &&
@@ -464,7 +672,8 @@ void DistributedTrainer::save_checkpoint() {
   // crash at any instant leaves the MANIFEST naming a complete set.
   comm_.barrier();
   if (comm_.rank() == 0) {
-    write_manifest(cfg_.checkpoint_dir, iteration_, comm_.size());
+    write_manifest(cfg_.checkpoint_dir, iteration_, comm_.size(),
+                   std::span<const int>(origin_ranks_));
   }
   checkpoint_counter().add(1);
 }
@@ -481,6 +690,15 @@ bool DistributedTrainer::resume() {
     if (found.has_value()) {
       chosen[0] = 1;
       chosen[1] = *found;
+    } else if (const auto info = read_manifest_info(cfg_.checkpoint_dir);
+               info.has_value() && info->nranks != comm_.size()) {
+      // Fail with the real cause — a world-shape disagreement — instead
+      // of silently starting fresh (or letting a later partial restore
+      // surface as a missing rank file / CRC mismatch).
+      DCT_CHECK_MSG(false, "world-shape disagreement: checkpoint in "
+                               << cfg_.checkpoint_dir << " was taken with "
+                               << info->nranks << " ranks, cannot resume with "
+                               << comm_.size());
     }
   }
   comm_.bcast(std::span<std::uint64_t>(chosen, 2), 0);
@@ -510,6 +728,50 @@ bool DistributedTrainer::resume() {
   }
   iteration_ = st.iteration;
   shuffles_ = st.shuffles;
+  // World-shape provenance: when the manifest maps ranks to origins
+  // non-identically (a post-grow world lists revived origins at the
+  // tail), adopt that map so DIMD placement matches the world that
+  // saved the checkpoint. Only a full-strength permutation of
+  // [0, size) qualifies; a shrunken-provenance map references origins
+  // outside the current world and keeps today's fresh-identity
+  // placement (the rollback path).
+  std::uint64_t adopt = 0;
+  std::vector<std::uint64_t> origins(static_cast<std::size_t>(comm_.size()));
+  if (comm_.rank() == 0) {
+    if (const auto info = read_manifest_info(cfg_.checkpoint_dir);
+        info.has_value() && info->iteration == *iter &&
+        info->nranks == comm_.size() && !info->origin_ranks.empty() &&
+        (cfg_.record_blob_path.has_value() || cfg_.dimd.groups == 1)) {
+      std::vector<int> sorted = info->origin_ranks;
+      std::sort(sorted.begin(), sorted.end());
+      bool permutation = true;
+      bool identity = true;
+      for (int r = 0; r < comm_.size(); ++r) {
+        permutation &= sorted[static_cast<std::size_t>(r)] == r;
+        identity &= info->origin_ranks[static_cast<std::size_t>(r)] == r;
+      }
+      if (permutation && !identity) {
+        adopt = 1;
+        for (int r = 0; r < comm_.size(); ++r) {
+          origins[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(
+              info->origin_ranks[static_cast<std::size_t>(r)]);
+        }
+      }
+    }
+  }
+  comm_.bcast(std::span<std::uint64_t>(&adopt, 1), 0);
+  if (adopt == 1) {
+    comm_.bcast(std::span<std::uint64_t>(origins), 0);
+    for (int r = 0; r < comm_.size(); ++r) {
+      origin_ranks_[static_cast<std::size_t>(r)] =
+          static_cast<int>(origins[static_cast<std::size_t>(r)]);
+    }
+    if (dimd_ != nullptr) {
+      dimd_->set_origin_rank(
+          origin_ranks_[static_cast<std::size_t>(comm_.rank())]);
+      dimd_->load_partition(data::SyntheticImageGenerator(cfg_.dataset));
+    }
+  }
   // DIMD shuffles moved samples across ranks before the crash. Replay
   // the same shuffle sequence from the constructor-seeded stream to
   // reconstruct identical placement, then verify the replayed stream

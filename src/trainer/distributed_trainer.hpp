@@ -94,9 +94,24 @@ struct EpochMetrics {
   std::uint64_t shuffles = 0;
 };
 
+/// Marker selecting the reintegration constructor: this rank was just
+/// admitted into an existing training world through Communicator::grow
+/// (a promoted hot spare or a restarted rank).
+struct JoinGrownWorld {};
+
 class DistributedTrainer {
  public:
   DistributedTrainer(simmpi::Communicator& comm, TrainerConfig cfg);
+
+  /// Joiner-side reintegration (DESIGN.md §14): construct over the
+  /// *grown* communicator returned by Communicator::await_join. Builds
+  /// the local model and data machinery, then runs the same collective
+  /// sync sequence as the survivors' grow_to() — adopting a dead
+  /// original rank's identity (and regenerating its DIMD shards), and
+  /// receiving params/momentum/iteration from the furthest-ahead
+  /// survivor. Must be paired with grow_to() on every survivor.
+  DistributedTrainer(simmpi::Communicator& comm, TrainerConfig cfg,
+                     JoinGrownWorld);
 
   /// One training iteration (collective across all ranks).
   StepMetrics step();
@@ -153,6 +168,29 @@ class DistributedTrainer {
   /// and others'). Collective over the new communicator.
   void shrink_to(const simmpi::ShrinkResult& shrink, bool rescale_lr);
 
+  /// Can `joiner_count` ranks be reintegrated right now? Each joiner
+  /// adopts one dead original-rank identity (that is what gives it a
+  /// DIMD shard slot and a deterministic place in the origin map), so
+  /// the count is bounded by the deaths this trainer has absorbed.
+  /// Deterministic: every survivor computes the same verdict locally.
+  bool grow_feasible(int joiner_count) const;
+
+  /// Adopt the grown world (survivor side). Call quiesce() first,
+  /// assign grow.comm into the communicator object this trainer
+  /// references, then call this — it runs the collective reintegration
+  /// sync together with every joiner's JoinGrownWorld constructor:
+  /// origin-map extension (joiners revive dead origins in ascending
+  /// order), DIMD grow-repartition handing revived shards back, gradient
+  /// pipeline + telemetry rebuild over the new communicator, linear LR
+  /// rescale back up when `rescale_lr`, and params/momentum/iteration
+  /// resync from the furthest-ahead survivor.
+  void grow_to(const simmpi::GrowResult& grow, bool rescale_lr);
+
+  /// Dead original-rank identities available for joiners to revive.
+  int dead_origin_slots() const {
+    return static_cast<int>(dead_origins_.size());
+  }
+
   dpt::DataParallelTable& table() { return *table_; }
   /// Telemetry plane, or null when cfg.telemetry.enabled is false (or
   /// the plane was quiesced and not yet rebuilt).
@@ -164,6 +202,30 @@ class DistributedTrainer {
 
  private:
   storage::LoadedBatch next_batch();
+
+  /// Shared halves of the two constructors: the model/optimizer stack
+  /// and the donkey file path (both purely local).
+  void init_model_stack();
+  void init_donkey_stack();
+
+  /// Rebuild GradComm + telemetry over the current communicator
+  /// (collective when they dup); shared by shrink_to and grow_sync.
+  void rebuild_comm_stack();
+
+  /// Collective tail of a grow: meta/origin agreement, DIMD
+  /// grow-repartition, pipeline rebuild, state resync. Survivors pass
+  /// the admitted joiner count; the joiner constructor passes -1 and
+  /// learns everything from rank 0's meta broadcast.
+  void grow_sync(int joiner_count_from_survivor);
+
+  /// LR with the elastic linear scale applied: base_lr · cur/ref, where
+  /// ref is the construction-time world size. Kept as an integer ratio
+  /// (not folded into base_lr) so a shrink followed by a grow back to
+  /// full strength restores *exactly* the original LR bit pattern.
+  double effective_lr() const {
+    return cfg_.base_lr * (static_cast<double>(lr_world_cur_) /
+                           static_cast<double>(lr_world_ref_));
+  }
 
   simmpi::Communicator& comm_;
   TrainerConfig cfg_;
@@ -186,8 +248,16 @@ class DistributedTrainer {
   double send_seconds_prev_ = 0.0;
   /// Current comm rank -> rank in the *original* world this trainer was
   /// constructed on. Shrinks renumber ranks densely; DIMD shard
-  /// ownership math stays in original-rank space.
+  /// ownership math stays in original-rank space. Grows extend it:
+  /// joiners revive dead original ranks.
   std::vector<int> origin_ranks_;
+  /// Original-rank identities currently dead (ascending) — the slots a
+  /// grow hands to joiners. Tracked here (not only inside DimdStore)
+  /// because donkey-mode runs have no store but still grow.
+  std::vector<int> dead_origins_;
+  /// Elastic LR scale as an integer world-size ratio; see effective_lr().
+  int lr_world_ref_ = 1;
+  int lr_world_cur_ = 1;
 };
 
 }  // namespace dct::trainer

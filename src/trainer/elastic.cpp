@@ -1,7 +1,10 @@
 #include "trainer/elastic.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 
 #include "obs/counters.hpp"
@@ -32,10 +35,40 @@ bool plan_fits(const simmpi::FaultPlan* plan, int nranks) {
   return true;
 }
 
+/// Idle hot spares of one attempt, by global rank. Rank 0's thread
+/// takes from it when sizing a grow; spares never touch it — they just
+/// wait in the transport lobby until invited or the attempt ends.
+class SparePool {
+ public:
+  SparePool(int first_global, int count) {
+    for (int i = 0; i < count; ++i) idle_.push_back(first_global + i);
+  }
+  std::vector<int> take(int n) {
+    std::scoped_lock lk(mu_);
+    std::vector<int> out;
+    while (n > 0 && !idle_.empty()) {
+      out.push_back(idle_.front());
+      idle_.erase(idle_.begin());
+      --n;
+    }
+    return out;
+  }
+  void put_back(std::span<const int> global_ranks) {
+    std::scoped_lock lk(mu_);
+    idle_.insert(idle_.end(), global_ranks.begin(), global_ranks.end());
+    std::sort(idle_.begin(), idle_.end());
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> idle_;
+};
+
 }  // namespace
 
 ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
   DCT_CHECK_MSG(cfg.min_ranks >= 1, "min_ranks must be positive");
+  DCT_CHECK_MSG(cfg.spares >= 0, "spares must be non-negative");
   DCT_CHECK_MSG(cfg.join_deadline > cfg.recv_deadline,
                 "join_deadline must exceed recv_deadline, or survivors "
                 "stuck in a collective cannot time out and join in time");
@@ -54,11 +87,19 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
       }
     }
 
-    simmpi::Runtime rt(world_ranks);
+    // Spares ride along as extra global ranks past the training world;
+    // every attempt starts with a fresh, fully idle pool.
+    simmpi::Runtime rt(world_ranks + cfg.spares);
     rt.transport().set_recv_deadline(cfg.recv_deadline);
     if (plan != nullptr && plan_fits(plan, world_ranks)) {
       rt.transport().install_fault_plan(plan);
     }
+    SparePool pool(world_ranks, cfg.spares);
+    // Raised when the attempt is over (completed or rolling back) so
+    // idle spares stop waiting for an invite and unwind. A rank dying
+    // from its *own* injected fault does not raise it — the survivors
+    // keep the attempt alive.
+    std::atomic<bool> attempt_done{false};
 
     // Rank 0 survives every shrink (it coordinates), so its thread can
     // safely record attempt progress; read only after rt.run returns.
@@ -66,6 +107,7 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
     float last_loss = 0.0f;
     int final_ranks = 0;
     std::uint64_t shrink_count = 0;
+    std::uint64_t grow_count = 0;
     std::vector<float> final_params;
     std::vector<ElasticIncident> incidents;
     bool attempt_completed = false;
@@ -73,74 +115,166 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
     try {
       DCT_TRACE_SPAN("elastic_attempt", "recovery", attempt);
       rt.run([&](simmpi::Communicator& comm) {
-        // The trainer holds a reference to `world`; adopting a shrunken
+        const int self_global = comm.rank();
+        const bool is_spare = self_global >= world_ranks;
+        // Split the trainers from the spare pool. The trainer holds a
+        // reference to `world`; adopting a shrunken or grown
         // communicator assigns into this same object, so the reference
         // stays valid across recoveries.
-        simmpi::Communicator world = comm;
-        DistributedTrainer trainer(world, cfg.trainer);
-        if (want_resume) trainer.resume();
+        simmpi::Communicator world =
+            comm.split(is_spare ? 1 : 0, comm.rank());
+
+        // Shrink (and grow) when the fault allows it; false means the
+        // caller rethrows and the attempt degrades to rollback.
+        std::unique_ptr<DistributedTrainer> trainer;
         int shrinks_here = 0;
-        float loss = 0.0f;
-        for (;;) {
-          try {
-            while (trainer.iteration() < cfg.total_iterations) {
-              loss = trainer.step().loss;
-              if (world.rank() == 0) reached = trainer.iteration();
-            }
-            if (!cfg.trainer.checkpoint_dir.empty()) {
-              trainer.save_checkpoint();
-            }
-            if (world.rank() == 0) {
-              last_loss = loss;
-              final_ranks = world.size();
-              shrink_count = static_cast<std::uint64_t>(shrinks_here);
-              final_params = trainer.snapshot_params();
-            }
-            return;
-          } catch (const simmpi::RankFailed& rf) {
-            // This rank's own injected fail-stop: die for real (the
-            // runtime marks the rank dead and survivors take over).
-            if (rf.rank() == world.global_rank(world.rank())) throw;
-            trainer.quiesce();
-            if (shrinks_here >= cfg.max_shrinks) throw;
-            auto sr = world.shrink(cfg.join_deadline);
-            if (static_cast<int>(sr.survivor_old_ranks.size()) <
-                    cfg.min_ranks ||
-                !trainer.shrink_feasible(sr)) {
-              // Deterministic verdict on every survivor: fall back to
-              // rollback by rethrowing the original fault.
-              throw;
-            }
-            world = sr.comm;
-            trainer.shrink_to(sr, cfg.rescale_lr);
-            ++shrinks_here;
-            if (world.rank() == 0) {
-              incidents.push_back(ElasticIncident{
-                  "shrink", rf.what(), world.size()});
-              shrink_count = static_cast<std::uint64_t>(shrinks_here);
-            }
-          } catch (const simmpi::Timeout& to) {
-            trainer.quiesce();
-            if (shrinks_here >= cfg.max_shrinks) throw;
-            // A timeout may mean a silent death not yet in the liveness
-            // table, or just a dropped message: shrink() settles it —
-            // dead ranks drop out, a false alarm reforms the full
-            // membership under a fresh context.
-            auto sr = world.shrink(cfg.join_deadline);
-            if (static_cast<int>(sr.survivor_old_ranks.size()) <
-                    cfg.min_ranks ||
-                !trainer.shrink_feasible(sr)) {
-              throw;
-            }
-            world = sr.comm;
-            trainer.shrink_to(sr, cfg.rescale_lr);
-            ++shrinks_here;
-            if (world.rank() == 0) {
-              incidents.push_back(ElasticIncident{
-                  "shrink", to.what(), world.size()});
-              shrink_count = static_cast<std::uint64_t>(shrinks_here);
+        const auto recover = [&](const char* why) -> bool {
+          trainer->quiesce();
+          if (shrinks_here >= cfg.max_shrinks) return false;
+          auto sr = world.shrink(cfg.join_deadline);
+          if (static_cast<int>(sr.survivor_old_ranks.size()) <
+                  cfg.min_ranks ||
+              !trainer->shrink_feasible(sr)) {
+            // Deterministic verdict on every survivor: fall back to
+            // rollback by rethrowing the original fault.
+            return false;
+          }
+          world = sr.comm;
+          trainer->shrink_to(sr, cfg.rescale_lr);
+          ++shrinks_here;
+          if (world.rank() == 0) {
+            incidents.push_back(
+                ElasticIncident{"shrink", why, world.size()});
+            shrink_count = static_cast<std::uint64_t>(shrinks_here);
+          }
+
+          // Ladder step 2: heal back toward full strength from the
+          // hot-spare pool. Rank 0 sizes the promotion (it owns the
+          // pool) and broadcasts it; zero means the shrunken world
+          // trains on as-is.
+          std::vector<int> invitees;
+          if (world.rank() == 0) {
+            invitees = pool.take(trainer->dead_origin_slots());
+            if (!invitees.empty() &&
+                !trainer->grow_feasible(
+                    static_cast<int>(invitees.size()))) {
+              pool.put_back(invitees);
+              invitees.clear();
             }
           }
+          std::uint64_t njoin = invitees.size();
+          world.bcast(std::span<std::uint64_t>(&njoin, 1), 0);
+          if (njoin == 0) return true;
+
+          // shrink_to rebuilt the background pipeline; stop it again
+          // for the membership change.
+          trainer->quiesce();
+          auto gr = world.grow(std::span<const int>(invitees),
+                               cfg.join_deadline);
+          const auto& admitted = gr.joiner_global_ranks;
+          if (world.rank() == 0) {
+            // Invited spares that died before accepting stay out of the
+            // pool; any other unadmitted invitee goes back in.
+            std::vector<int> back;
+            for (const int g : invitees) {
+              if (std::find(admitted.begin(), admitted.end(), g) ==
+                      admitted.end() &&
+                  !rt.transport().rank_dead(g)) {
+                back.push_back(g);
+              }
+            }
+            pool.put_back(back);
+          }
+          world = gr.comm;
+          trainer->grow_to(gr, cfg.rescale_lr);
+          if (!admitted.empty()) {
+            // Joiners mirror this tail: recovery-count adoption (the
+            // max_shrinks ladder must agree on every member), then a
+            // post-grow checkpoint so a later rollback restores the
+            // healed world instead of replaying the crash.
+            std::uint64_t rc = static_cast<std::uint64_t>(shrinks_here);
+            world.bcast(std::span<std::uint64_t>(&rc, 1), 0);
+            if (!cfg.trainer.checkpoint_dir.empty()) {
+              trainer->save_checkpoint();
+            }
+            if (world.rank() == 0) {
+              ++grow_count;
+              incidents.push_back(ElasticIncident{
+                  "grow",
+                  "promoted " + std::to_string(admitted.size()) +
+                      " spare(s)",
+                  world.size()});
+            }
+          }
+          return true;
+        };
+
+        try {
+          if (is_spare) {
+            // Idle in the transport lobby until a grow invites this
+            // rank in or the attempt ends without needing it.
+            auto joined = simmpi::Communicator::await_join(
+                rt.transport(), self_global, cfg.join_deadline, [&] {
+                  return !attempt_done.load(std::memory_order_acquire);
+                });
+            if (!joined.has_value()) return;
+            world = *joined;
+            // The joiner constructor runs the same collective
+            // reintegration sequence as every survivor's grow_to().
+            trainer = std::make_unique<DistributedTrainer>(
+                world, cfg.trainer, JoinGrownWorld{});
+            std::uint64_t rc = 0;
+            world.bcast(std::span<std::uint64_t>(&rc, 1), 0);
+            shrinks_here = static_cast<int>(rc);
+            if (!cfg.trainer.checkpoint_dir.empty()) {
+              trainer->save_checkpoint();
+            }
+          } else {
+            trainer =
+                std::make_unique<DistributedTrainer>(world, cfg.trainer);
+            if (want_resume) trainer->resume();
+          }
+
+          float loss = 0.0f;
+          for (;;) {
+            try {
+              while (trainer->iteration() < cfg.total_iterations) {
+                loss = trainer->step().loss;
+                if (world.rank() == 0) reached = trainer->iteration();
+              }
+              if (!cfg.trainer.checkpoint_dir.empty()) {
+                trainer->save_checkpoint();
+              }
+              if (world.rank() == 0) {
+                last_loss = loss;
+                final_ranks = world.size();
+                final_params = trainer->snapshot_params();
+              }
+              attempt_done.store(true, std::memory_order_release);
+              return;
+            } catch (const simmpi::RankFailed& rf) {
+              // This rank's own injected fail-stop: die for real (the
+              // runtime marks the rank dead and survivors take over).
+              if (rf.rank() == world.global_rank(world.rank())) throw;
+              if (!recover(rf.what())) throw;
+            } catch (const simmpi::Timeout& to) {
+              // A timeout may mean a silent death not yet in the
+              // liveness table, or just a dropped message: shrink()
+              // settles it — dead ranks drop out, a false alarm reforms
+              // the full membership under a fresh context.
+              if (!recover(to.what())) throw;
+            }
+          }
+        } catch (const simmpi::RankFailed& rf) {
+          if (rf.rank() != self_global) {
+            attempt_done.store(true, std::memory_order_release);
+          }
+          throw;
+        } catch (...) {
+          // Rollback (or any other teardown): release waiting spares so
+          // rt.run can join every thread.
+          attempt_done.store(true, std::memory_order_release);
+          throw;
         }
       });
       attempt_completed = true;
@@ -151,6 +285,7 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
     }
 
     res.shrinks += shrink_count;
+    res.grows += grow_count;
     res.incidents.insert(res.incidents.end(), incidents.begin(),
                          incidents.end());
     if (attempt_completed) {

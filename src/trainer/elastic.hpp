@@ -1,17 +1,25 @@
-// Elastic training driver (DESIGN.md §11): survive a fail-stop by
-// shrinking the world to the survivors and continuing, instead of
-// tearing everything down and rolling back.
+// Elastic training driver (DESIGN.md §11, §14): survive a fail-stop by
+// shrinking the world to the survivors and continuing — then heal back
+// to full strength from a hot-spare pool — instead of tearing
+// everything down and rolling back.
 //
 // Recovery ladder per fault:
 //   1. shrink  — quiesce background comm, agree on the survivor set
 //      (Communicator::shrink), repartition DIMD from replicas, rebuild
 //      the gradient pipeline, rescale LR, resync parameters, continue.
 //      Costs at most one training step.
-//   2. rollback — when shrink is impossible (rank 0 lost, a DIMD shard
+//   2. grow    — immediately after a successful shrink, promote idle
+//      hot spares (Communicator::grow): each joiner revives a dead
+//      original-rank identity, regenerates its DIMD shards locally,
+//      and receives params/momentum/iteration from the survivors. The
+//      world returns to full strength and the LR scales back up.
+//      Skipped when no spares are idle or grow_feasible says no; the
+//      shrunken world trains on either way.
+//   3. rollback — when shrink is impossible (rank 0 lost, a DIMD shard
 //      lost its last replica, survivor count below min_ranks, agreement
 //      timeout), the attempt tears down PR 2-style and the next attempt
 //      resumes every rank from the newest restorable checkpoint.
-//   3. abort   — after max_rollbacks failed attempts the driver returns
+//   4. abort   — after max_rollbacks failed attempts the driver returns
 //      with completed == false; it never hangs.
 #pragma once
 
@@ -42,15 +50,19 @@ struct ElasticConfig {
   /// so survivors stuck in a collective time out and join before the
   /// coordinator gives up on them.
   std::chrono::milliseconds join_deadline{15000};
-  /// Linear LR rescale on shrink (lr *= new_size / old_size).
+  /// Linear LR rescale with world-size changes (shrink and grow).
   bool rescale_lr = true;
   /// Resume from an existing checkpoint on the first attempt too.
   bool resume_first = false;
+  /// Hot spares held idle outside the initial training world. After a
+  /// successful shrink the driver promotes up to this many of them back
+  /// in through Communicator::grow, returning to full strength.
+  int spares = 0;
 };
 
 /// One recovery incident, for reporting.
 struct ElasticIncident {
-  std::string kind;    ///< "shrink" | "rollback"
+  std::string kind;    ///< "shrink" | "grow" | "rollback"
   std::string detail;  ///< the triggering fault's message
   int world_size = 0;  ///< world size after the incident
 };
@@ -58,6 +70,7 @@ struct ElasticIncident {
 struct ElasticResult {
   bool completed = false;
   std::uint64_t shrinks = 0;       ///< survivor-shrink recoveries
+  std::uint64_t grows = 0;         ///< spare-promotion recoveries
   std::uint64_t rollbacks = 0;     ///< whole-world rollbacks
   std::uint64_t lost_steps = 0;    ///< iterations redone across rollbacks
   std::uint64_t faults_injected = 0;

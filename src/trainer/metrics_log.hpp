@@ -33,11 +33,14 @@ class MetricsLog {
   static std::vector<std::string> step_columns();
 
   /// Append one training step: the emitting rank, its monotonic step
-  /// id, loss, the three phase timings, and the gradient bytes this
-  /// rank moved (comm_bytes). Rank + step make rows from different
-  /// ranks (or a rank that survived a shrink and renumbered)
-  /// joinable without relying on file identity or row order.
-  void append_step(int rank, std::uint64_t step, const StepMetrics& m);
+  /// id, the world size the step ran at, loss, the three phase timings,
+  /// and the gradient bytes this rank moved (comm_bytes). Rank + step
+  /// make rows from different ranks (or a rank that survived a shrink
+  /// and renumbered) joinable without relying on file identity or row
+  /// order; world_size lets post-mortems segment a run by its elastic
+  /// shrink/grow transitions.
+  void append_step(int rank, std::uint64_t step, int world_size,
+                   const StepMetrics& m);
 
   std::size_t rows() const { return rows_; }
   void flush() { os_.flush(); }

@@ -1,9 +1,12 @@
-// Chaos soak (DESIGN.md §11): one bounded end-to-end run that layers
-// every hostile feature at once — bucketed backward/allreduce overlap,
-// lossy fp16 gradient compression, persistent stragglers, and two
-// non-adjacent fail-stop crashes — through the elastic driver. The run
-// must finish on the six survivors with zero rollbacks, in bounded
-// wall time, with every survivor holding bit-identical parameters.
+// Chaos soak (DESIGN.md §11, §14): one bounded end-to-end run that
+// layers every hostile feature at once — bucketed backward/allreduce
+// overlap, lossy fp16 gradient compression, persistent stragglers, two
+// non-adjacent fail-stop crashes, and a single hot spare — through the
+// elastic driver. The first crash heals by growing the spare back in
+// (shrink → grow); the second finds the pool empty and recovers
+// shrink-only. The run must finish on the seven survivors with zero
+// rollbacks, in bounded wall time, with every survivor holding
+// bit-identical parameters.
 //
 // Registered under `ctest -L chaos`; budgeted well under 60 seconds.
 #include <gtest/gtest.h>
@@ -26,7 +29,7 @@ using simmpi::FaultPlan;
 using std::chrono::milliseconds;
 using std::chrono::steady_clock;
 
-TEST(ChaosSoak, OverlapFp16CrashesAndStragglersSurviveTwoShrinks) {
+TEST(ChaosSoak, OverlapFp16CrashesStragglersAndSpareHealOneShrinkOneGrow) {
   const std::string dir = testing::TempDir() + "dct_chaos_soak_ckpt";
   std::filesystem::remove_all(dir);
 
@@ -50,6 +53,7 @@ TEST(ChaosSoak, OverlapFp16CrashesAndStragglersSurviveTwoShrinks) {
   ecfg.trainer.checkpoint_dir = dir;
   ecfg.trainer.checkpoint_every = 4;
   ecfg.ranks = 8;
+  ecfg.spares = 1;  // enough to heal the first crash, not the second
   ecfg.total_iterations = 14;
   ecfg.min_ranks = 2;
   ecfg.recv_deadline = milliseconds(3000);
@@ -57,10 +61,12 @@ TEST(ChaosSoak, OverlapFp16CrashesAndStragglersSurviveTwoShrinks) {
 
   FaultPlan plan(41);
   // Two fail-stops on non-adjacent ranks, so with replication 2 every
-  // shard keeps a live holder (holders of shard s are {s, s-1}).
+  // shard keeps a live holder (holders of shard s are {s, s-1}). The
+  // hot spare heals the first crash back to 8 ranks; by the second
+  // crash the pool is empty, so the world shrinks to 7 and stays there.
   plan.add({.kind = FaultKind::kCrash, .rank = 3, .at_step = 5});
   plan.add({.kind = FaultKind::kCrash, .rank = 6, .at_step = 9});
-  // A persistent straggler that survives both shrinks.
+  // A persistent straggler that survives both recoveries.
   plan.add({.kind = FaultKind::kStraggle, .rank = 2, .probability = 0.2,
             .delay_ms = 1.0});
 
@@ -71,23 +77,25 @@ TEST(ChaosSoak, OverlapFp16CrashesAndStragglersSurviveTwoShrinks) {
 
   EXPECT_TRUE(res.completed);
   EXPECT_EQ(res.shrinks, 2u);
+  EXPECT_EQ(res.grows, 1u);  // exactly one spare promotion
   EXPECT_EQ(res.rollbacks, 0u);
-  EXPECT_EQ(res.final_ranks, 6);
+  EXPECT_EQ(res.final_ranks, 7);
   EXPECT_GE(res.faults_injected, 2u);
   EXPECT_LT(elapsed, 60.0) << "chaos soak must stay bounded";
 
   // Every survivor's final checkpoint holds bit-identical parameters —
-  // overlap + compression + shrinks must not let replicas diverge.
+  // overlap + compression + shrink/grow cycles must not let replicas
+  // diverge.
   const auto manifest = trainer::read_manifest_any(dir);
   ASSERT_TRUE(manifest.has_value());
   EXPECT_EQ(manifest->first, ecfg.total_iterations);
-  EXPECT_EQ(manifest->second, 6);
+  EXPECT_EQ(manifest->second, 7);
   std::vector<float> rank0 =
       trainer::read_trainer_state(
           trainer::rank_checkpoint_path(dir, manifest->first, 0))
           .params;
   ASSERT_FALSE(rank0.empty());
-  for (int r = 1; r < 6; ++r) {
+  for (int r = 1; r < 7; ++r) {
     const auto params =
         trainer::read_trainer_state(
             trainer::rank_checkpoint_path(dir, manifest->first, r))

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,41 @@ TEST(FaultInjection, DroppedMessageTimesOutInsteadOfDeadlocking) {
                simmpi::Timeout);
   EXPECT_LT(seconds_since(start), 5.0);  // deadline, not deadlock
   EXPECT_GT(plan.injected(), 0u);
+}
+
+TEST(FaultInjection, TimeoutMessageNamesPeerTagAndDeadline) {
+  // The triage surface: a deadline miss must say who was being waited
+  // on, on which tag, and how long the wait ran versus the budget —
+  // enough to tell a straggler from a wedge without a debugger.
+  FaultPlan plan(15);
+  plan.add({.kind = FaultKind::kDrop, .rank = 0, .probability = 1.0});
+  simmpi::Runtime rt(2);
+  rt.transport().set_recv_deadline(milliseconds(200));
+  rt.transport().install_fault_plan(&plan);
+  std::mutex mu;
+  std::string message;
+  try {
+    rt.run([&](simmpi::Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send_value<int>(7, 1);
+      } else {
+        try {
+          comm.recv_value<int>(0);
+        } catch (const simmpi::Timeout& t) {
+          std::lock_guard<std::mutex> lock(mu);
+          message = t.what();
+          throw;
+        }
+      }
+    });
+    FAIL() << "dropped message must surface as Timeout";
+  } catch (const simmpi::Timeout&) {
+  }
+  EXPECT_NE(message.find("ms elapsed vs 200 ms deadline"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("waiting on peer global rank 0"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("tag"), std::string::npos) << message;
 }
 
 TEST(FaultInjection, DelayUnderDeadlineIsDeliveredLate) {

@@ -2,6 +2,7 @@
 //
 //   bench_gate --baseline bench/BENCH_kernels.json --fresh fresh.json
 //              [--tolerance 0.15] [--min-metric-ns 100] [--skip REGEX]
+//              [--update-baseline]
 //
 // Both files are google-benchmark `--benchmark_out` JSON (the format of
 // the bench/BENCH_*.json baselines). For every benchmark name present
@@ -36,8 +37,15 @@
 //     check.sh uses it for the thread-spawning orchestration benches,
 //     whose medians still swing ±25% with the scheduler on a small
 //     box; the single-threaded kernel arms gate fine.
+//
+// --update-baseline accepts the fresh run as the new baseline: the
+// comparison still prints (informational, when a baseline exists), then
+// the fresh file is copied over the baseline path and the exit code is
+// 0 regardless of deltas. Use after an intentional perf change instead
+// of hand-editing the checked-in JSON.
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <regex>
@@ -135,11 +143,22 @@ int main(int argc, char** argv) {
     const dct::ArgParser args(argc, argv);
     const std::string baseline_path = args.get("baseline", "");
     const std::string fresh_path = args.get("fresh", "");
+    const bool update_baseline = args.has("update-baseline");
     if (baseline_path.empty() || fresh_path.empty()) {
       std::fprintf(stderr,
                    "usage: bench_gate --baseline BENCH.json --fresh RUN.json "
-                   "[--tolerance 0.15] [--min-metric-ns 100]\n");
+                   "[--tolerance 0.15] [--min-metric-ns 100] "
+                   "[--update-baseline]\n");
       return 2;
+    }
+    if (update_baseline && !std::filesystem::exists(baseline_path)) {
+      // First baseline for a new bench suite: nothing to compare against.
+      std::filesystem::copy_file(
+          fresh_path, baseline_path,
+          std::filesystem::copy_options::overwrite_existing);
+      std::printf("bench_gate: created baseline %s from %s\n",
+                  baseline_path.c_str(), fresh_path.c_str());
+      return 0;
     }
     const double tolerance = args.get_double("tolerance", 0.15);
     const double min_ns = args.get_double("min-metric-ns", 100.0);
@@ -206,6 +225,14 @@ int main(int argc, char** argv) {
     table.print("bench gate: " + fresh_path + " vs " + baseline_path);
     std::printf("%d metric(s) compared, tolerance %.0f%%: %d regression(s)\n",
                 compared, 100.0 * tolerance, regressions);
+    if (update_baseline) {
+      std::filesystem::copy_file(
+          fresh_path, baseline_path,
+          std::filesystem::copy_options::overwrite_existing);
+      std::printf("bench_gate: baseline %s updated from %s\n",
+                  baseline_path.c_str(), fresh_path.c_str());
+      return 0;
+    }
     if (compared == 0) {
       std::fprintf(stderr, "bench_gate: nothing to compare — baseline and "
                            "fresh share no benchmark names\n");

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
 # under TSan and runs the `fault`, `simmpi`, `comm`, `elastic`, `obs`,
-# and `kernels` ctest labels, repeats the `comm` + `kernels` labels
-# under ASan, and runs the `fault` + `elastic` + `kernels` labels under
-# UBSan. The telemetry plane (obs label) joins the TSan leg because its
-# collector drains frames on a progress-engine worker thread while
-# training threads push concurrently.
+# `chaos`, and `kernels` ctest labels, repeats the `comm` + `kernels`
+# labels under ASan, and runs the `fault` + `elastic` + `kernels`
+# labels under UBSan. The telemetry plane (obs label) joins the TSan
+# leg because its collector drains frames on a progress-engine worker
+# thread while training threads push concurrently; the chaos soak
+# (shrink → grow with hot spares under randomized faults) joins it
+# because spare threads wait in the transport lobby while survivors run
+# the grow handshake — exactly where a liveness/mailbox race would
+# hide. The grow/spare elastic tests ride the existing `elastic` label
+# through both the TSan and UBSan legs.
 # A final Release leg runs the micro-kernel bench and diffs it against
 # the checked-in bench/BENCH_kernels.json baseline with tools/bench_gate
 # (>20% regression on any metric fails the gate). Set
@@ -40,10 +45,10 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
   fault_test simmpi_test simmpi_stress_test comm_test elastic_test \
-  kernels_test telemetry_test
+  chaos_soak_test kernels_test telemetry_test
 
-echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|kernels' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|kernels" \
+echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|chaos|kernels' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|chaos|kernels" \
   --output-on-failure -j 4
 
 echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"

@@ -17,7 +17,7 @@
 //                     [--checkpoint-dir D] [--checkpoint-every N]
 //                     [--deadline-ms MS] [--drop-prob P] [--no-overlap]
 //                     [--elastic] [--replication R] [--min-ranks N]
-//                     [--shrinks N] [--telemetry …as train]
+//                     [--shrinks N] [--spares N] [--telemetry …as train]
 //   dctrain top       [--ranks N] [--iters I] [--refresh N] [--inject SPEC]
 //                     live per-rank phase/straggler view (telemetry plane)
 //   dctrain trace-report --trace PATH [--top N] [--critical-path]
@@ -151,7 +151,8 @@ int cmd_train(const ArgParser& args) {
           for (int i = 0; i < iters; ++i) {
             const auto m = trainer.step();
             mean_loss += m.loss;
-            mlog->append_step(comm.rank(), trainer.iteration() - 1, m);
+            mlog->append_step(comm.rank(), trainer.iteration() - 1,
+                              comm.size(), m);
           }
           std::printf("epoch %2d  loss %.4f\n", e, mean_loss / iters);
           continue;
@@ -259,20 +260,24 @@ int cmd_chaos(const ArgParser& args) {
     ecfg.min_ranks = static_cast<int>(args.get_int("min-ranks", 2));
     ecfg.recv_deadline = rcfg.recv_deadline;
     ecfg.join_deadline = 4 * rcfg.recv_deadline;
+    // Self-healing: hot spares idle outside the world; a shrink is
+    // followed by a grow that promotes them back in.
+    ecfg.spares = static_cast<int>(args.get_int("spares", 0));
     const auto res = trainer::run_elastic(ecfg, &plan);
     for (const auto& inc : res.incidents) {
-      std::printf("  %s%s: %s\n", inc.kind.c_str(),
-                  inc.kind == "shrink"
-                      ? (" to " + std::to_string(inc.world_size) + " ranks")
-                            .c_str()
-                      : "",
+      const std::string where =
+          inc.kind == "rollback"
+              ? std::string()
+              : " to " + std::to_string(inc.world_size) + " ranks";
+      std::printf("  %s%s: %s\n", inc.kind.c_str(), where.c_str(),
                   inc.detail.c_str());
     }
-    std::printf("%s: %llu shrink(s), %llu rollback(s), %llu fault(s) "
-                "injected, %llu step(s) redone, %d rank(s) at the end, "
-                "final loss %.4f\n",
+    std::printf("%s: %llu shrink(s), %llu grow(s), %llu rollback(s), "
+                "%llu fault(s) injected, %llu step(s) redone, %d rank(s) "
+                "at the end, final loss %.4f\n",
                 res.completed ? "survived" : "GAVE UP",
                 static_cast<unsigned long long>(res.shrinks),
+                static_cast<unsigned long long>(res.grows),
                 static_cast<unsigned long long>(res.rollbacks),
                 static_cast<unsigned long long>(res.faults_injected),
                 static_cast<unsigned long long>(res.lost_steps),
@@ -512,7 +517,8 @@ int cmd_help() {
       "  train      run distributed SGD on simulated learners (real math);\n"
       "             --checkpoint-dir/--resume/--inject for fault tolerance\n"
       "  chaos      randomized fault schedule against the resilient driver;\n"
-      "             --elastic shrinks past crashes on the surviving ranks\n"
+      "             --elastic shrinks past crashes on the surviving ranks,\n"
+      "             --spares N heals back to full strength from hot spares\n"
       "  top        live per-rank phase table + straggler flags (telemetry)\n"
       "  trace-report  per-rank phase breakdown of a captured trace;\n"
       "             --critical-path attributes step latency across ranks\n"
