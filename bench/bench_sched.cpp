@@ -1,0 +1,204 @@
+// Micro-benchmarks (google-benchmark) for the SchedCore policy engine
+// (DESIGN.md §15): full-trace churn in virtual time with instant
+// confirmations, and the steady-state per-tick cost of re-sorting a
+// deep queue behind a blocked head. No simmpi threads are involved —
+// this times the pure decision path the scheduler thread runs every
+// tick, which must stay cheap relative to the 1 ms tick cadence.
+//
+// Accepts `--json <path>` (the repo-wide bench convention) in addition
+// to the native --benchmark_* flags; see main() at the bottom.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/sched_core.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dct;
+
+sched::JobSpec make_spec(std::string id, sched::Priority pri, int min_r,
+                         int max_r, double submit) {
+  sched::JobSpec s;
+  s.id = std::move(id);
+  s.priority = pri;
+  s.min_ranks = min_r;
+  s.max_ranks = max_r;
+  s.iterations = 1;
+  s.submit_time = submit;
+  return s;
+}
+
+/// A deterministic mixed-priority trace plus each job's virtual work
+/// (seconds of "training" once placed), mirroring the `dctrain cluster`
+/// filler distribution.
+struct Trace {
+  std::vector<sched::JobSpec> specs;  ///< sorted by submit_time
+  std::map<std::string, double> work;
+};
+
+Trace make_trace(int ranks, int jobs) {
+  Trace t;
+  Rng rng(0x5C4EDu + static_cast<std::uint64_t>(ranks));
+  for (int i = 0; i < jobs; ++i) {
+    const std::uint64_t cls = rng.next_below(10);
+    const sched::Priority pri = cls < 5   ? sched::Priority::kBatch
+                                : cls < 8 ? sched::Priority::kStandard
+                                          : sched::Priority::kProduction;
+    const int min_r =
+        1 + static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(std::min(4, ranks / 2))));
+    const int max_r = rng.next_below(3) == 0
+                          ? std::min(min_r + 2, ranks)
+                          : min_r;
+    char id[32];
+    std::snprintf(id, sizeof(id), "job-%03d", i);
+    t.specs.push_back(make_spec(id, pri, min_r, max_r,
+                                0.2 * static_cast<double>(rng.next_below(
+                                          static_cast<std::uint64_t>(jobs)))));
+    t.work[id] = 0.2 + 0.02 * static_cast<double>(rng.next_below(90));
+  }
+  std::sort(t.specs.begin(), t.specs.end(),
+            [](const sched::JobSpec& a, const sched::JobSpec& b) {
+              return a.submit_time < b.submit_time;
+            });
+  return t;
+}
+
+/// Whole-trace churn: every action the core issues is confirmed
+/// immediately, jobs finish when their virtual work elapses, preempted
+/// jobs freeze their remaining work and resume later. One benchmark
+/// iteration = one complete multi-tenant run (placement, aging,
+/// preemption, elastic shrink/grow, backfill) in virtual time.
+void BM_SchedChurn(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int jobs = static_cast<int>(state.range(1));
+  const Trace trace = make_trace(ranks, jobs);
+  sched::SchedConfig cfg;
+  cfg.ranks = ranks;
+  cfg.aging_interval = 5.0;
+  cfg.starvation_age = 20.0;
+
+  int finished = 0;
+  for (auto _ : state) {
+    sched::SchedCore core(cfg);
+    std::map<std::string, double> rem = trace.work;
+    std::map<std::string, double> due;  ///< running job -> finish time
+    std::size_t next = 0;
+    double t = 0.0;
+    while (next < trace.specs.size() || !core.all_terminal()) {
+      for (; next < trace.specs.size() &&
+             trace.specs[next].submit_time <= t;
+           ++next) {
+        core.submit(trace.specs[next], t);
+      }
+      for (auto it = due.begin(); it != due.end();) {
+        if (it->second <= t) {
+          core.job_finished(it->first, t);
+          it = due.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const sched::Action& a : core.tick(t)) {
+        switch (a.kind) {
+          case sched::Action::Kind::kPlace:
+            due[a.job] = t + rem[a.job];
+            break;
+          case sched::Action::Kind::kPreempt:
+            rem[a.job] = std::max(0.05, due[a.job] - t);
+            due.erase(a.job);
+            core.job_preempted(a.job, t);
+            break;
+          case sched::Action::Kind::kShrink:
+            core.job_shrunk(a.job, t);
+            break;
+          case sched::Action::Kind::kGrow:
+            core.job_grew(a.job, t);
+            break;
+          case sched::Action::Kind::kKill:
+            due.erase(a.job);
+            core.job_cancelled(a.job, t, "kill");
+            break;
+        }
+      }
+      t += 0.1;
+      if (t > 10000.0) break;  // bench safety net, never hit in practice
+    }
+    finished = core.summary().finished;
+    benchmark::DoNotOptimize(finished);
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+  state.SetLabel(std::to_string(finished) + "/" + std::to_string(jobs) +
+                 " finished");
+}
+BENCHMARK(BM_SchedChurn)->Args({16, 100})->Args({32, 400});
+
+/// Steady-state tick cost with a deep queue the core must re-sort by
+/// effective priority every pass: the cluster is fully held by a
+/// production job, and every queued job is production-class and rigid
+/// at full width, so no placement, preemption, backfill, or elastic
+/// action is ever possible — each tick is the pure sort + scan. Aging
+/// and starvation are pushed out so the ordering stays stable.
+void BM_SchedTickDeepQueue(benchmark::State& state) {
+  const int queued = static_cast<int>(state.range(0));
+  sched::SchedConfig cfg;
+  cfg.ranks = 16;
+  cfg.aging_interval = 1e9;
+  cfg.starvation_age = 1e9;
+  sched::SchedCore core(cfg);
+  core.submit(make_spec("holder", sched::Priority::kProduction, cfg.ranks,
+                        cfg.ranks, 0.0),
+              0.0);
+  (void)core.tick(0.0);  // places the holder on the whole cluster
+  for (int i = 0; i < queued; ++i) {
+    core.submit(make_spec("q-" + std::to_string(i),
+                          sched::Priority::kProduction, cfg.ranks, cfg.ranks,
+                          0.0),
+                0.0);
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-4;
+    auto acts = core.tick(t);
+    benchmark::DoNotOptimize(acts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * queued);
+}
+BENCHMARK(BM_SchedTickDeepQueue)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+// BENCHMARK_MAIN(), plus translation of the repo-wide `--json <path>` /
+// `--json=<path>` convention into google-benchmark's out-file flags so
+// tools that drive the other bench binaries can drive this one too.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[++i]));
+      args.push_back("--benchmark_out_format=json");
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + a.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

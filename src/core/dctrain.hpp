@@ -33,6 +33,7 @@
 #include "kernels/kernels.hpp"
 #include "kernels/scratch_pool.hpp"
 #include "netsim/cluster.hpp"
+#include "netsim/contention.hpp"
 #include "netsim/flow_sim.hpp"
 #include "netsim/schedules.hpp"
 #include "netsim/topology.hpp"
@@ -44,6 +45,9 @@
 #include "nn/sgd.hpp"
 #include "nn/small_cnn.hpp"
 #include "obs/counters.hpp"
+#include "sched/cluster_manager.hpp"
+#include "sched/job.hpp"
+#include "sched/sched_core.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "simmpi/fault.hpp"

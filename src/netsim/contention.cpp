@@ -1,0 +1,60 @@
+#include "netsim/contention.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace dct::netsim {
+
+std::vector<JobContention> estimate_contention(
+    const FatTree& tree, const std::vector<JobPlacement>& jobs) {
+  // link id -> flow count, total and per job.
+  std::map<int, int> total;
+  std::map<std::pair<int, int>, int> own;  // (job index, link) -> flows
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto& placement = jobs[j];
+    const int n = static_cast<int>(placement.hosts.size());
+    if (n < 2) continue;
+    for (int i = 0; i < n; ++i) {
+      const int src = placement.hosts[static_cast<std::size_t>(i)];
+      const int dst = placement.hosts[static_cast<std::size_t>((i + 1) % n)];
+      DCT_CHECK_MSG(src >= 0 && src < tree.hosts() && dst >= 0 &&
+                        dst < tree.hosts(),
+                    "contention: host id out of range for this tree");
+      if (src == dst) continue;  // two gang ranks on one host: no fabric
+      // Seed the ECMP hash the way the flow simulator does for a
+      // persistent flow between a rank pair: deterministic in (src,
+      // dst), so repeated estimates of the same placement agree.
+      const auto seed = static_cast<std::uint64_t>(src) * 1000003u +
+                        static_cast<std::uint64_t>(dst);
+      for (const int link : tree.route(src, dst, seed)) {
+        ++total[link];
+        ++own[{static_cast<int>(j), link}];
+      }
+    }
+  }
+
+  std::vector<JobContention> out;
+  out.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobContention jc;
+    jc.job = jobs[j].job;
+    for (const auto& [key, mine] : own) {
+      if (key.first != static_cast<int>(j)) continue;
+      const double ratio =
+          static_cast<double>(total[key.second]) / static_cast<double>(mine);
+      if (ratio > jc.slowdown ||
+          (jc.busiest_link < 0 && ratio == jc.slowdown)) {
+        jc.slowdown = ratio;
+        jc.busiest_link = key.second;
+      }
+    }
+    if (jc.busiest_link >= 0) jc.busiest_name = tree.link_name(jc.busiest_link);
+    out.push_back(std::move(jc));
+  }
+  return out;
+}
+
+}  // namespace dct::netsim

@@ -1,0 +1,50 @@
+// Cross-job link contention on a shared fat-tree (DESIGN.md §15).
+//
+// The multi-tenant scheduler packs several training jobs onto one
+// cluster; their allreduce traffic shares the fabric. This estimator
+// models each running job as a ring over its member hosts (the dominant
+// communication pattern of ring/multicolor allreduce), routes every
+// ring flow over the tree with the same ECMP hashing the flow simulator
+// uses, counts flows per directed link, and reports — per job — how
+// much slower its collective runs because of the *other* tenants'
+// flows on its busiest shared link.
+//
+// slowdown_j = max over links l used by job j of
+//                total_flows(l) / own_flows_j(l)
+//
+// 1.0 means the job's ring never shares a link with another tenant
+// (perfect placement isolation); 2.0 means some link on its ring
+// carries as much foreign traffic as its own. The estimate is
+// intentionally coarse — a max-min fair-share bound, not a packet
+// simulation — so the scheduler can log placement quality per tick
+// without running the flow simulator inside the placement loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace dct::netsim {
+
+/// One tenant's placement: which hosts (ranks of the FatTree) it owns.
+struct JobPlacement {
+  int job = -1;
+  std::vector<int> hosts;
+};
+
+/// Per-job verdict from estimate_contention.
+struct JobContention {
+  int job = -1;
+  double slowdown = 1.0;     ///< ≥ 1.0; see header comment
+  int busiest_link = -1;     ///< link id realizing the max, -1 if no flows
+  std::string busiest_name;  ///< FatTree::link_name of that link
+};
+
+/// Estimate cross-job contention for a set of concurrently running
+/// jobs. Jobs with fewer than two hosts generate no ring flows and
+/// report slowdown 1.0. Host ids must be valid ranks of `tree`.
+std::vector<JobContention> estimate_contention(
+    const FatTree& tree, const std::vector<JobPlacement>& jobs);
+
+}  // namespace dct::netsim

@@ -13,7 +13,10 @@ namespace dct::obs {
 namespace {
 
 constexpr std::uint32_t kFrameMagic = 0x4443544Cu;  // "DCTL"
-constexpr std::uint16_t kFrameVersion = 1;
+// v1: step, rank, phases, values. v2 adds the tenant job tag after
+// rank. Writers emit v2; readers accept both (a v1 frame is an
+// untagged single-tenant report).
+constexpr std::uint16_t kFrameVersion = 2;
 
 template <typename T>
 void put(std::vector<std::byte>& out, T v) {
@@ -78,6 +81,7 @@ std::vector<std::byte> TelemetryFrame::serialize() const {
   put<std::uint16_t>(out, kFrameVersion);
   put<std::int64_t>(out, step);
   put<std::int32_t>(out, rank);
+  put<std::int32_t>(out, job);
   put_entries(out, phases);
   put_entries(out, values);
   return out;
@@ -88,11 +92,12 @@ TelemetryFrame TelemetryFrame::deserialize(std::span<const std::byte> buf) {
   DCT_CHECK_MSG(get<std::uint32_t>(buf, pos) == kFrameMagic,
                 "bad telemetry frame magic");
   const auto version = get<std::uint16_t>(buf, pos);
-  DCT_CHECK_MSG(version == kFrameVersion,
+  DCT_CHECK_MSG(version == 1 || version == kFrameVersion,
                 "unsupported telemetry frame version " << version);
   TelemetryFrame f;
   f.step = get<std::int64_t>(buf, pos);
   f.rank = get<std::int32_t>(buf, pos);
+  if (version >= 2) f.job = get<std::int32_t>(buf, pos);
   f.phases = get_entries(buf, pos);
   f.values = get_entries(buf, pos);
   DCT_CHECK_MSG(pos == buf.size(), "trailing bytes in telemetry frame");
@@ -186,6 +191,7 @@ std::optional<CompletedStep> ClusterAggregator::ingest(
 
   CompletedStep& cs = pending_[frame.step];
   cs.step = frame.step;
+  if (frame.job >= 0) cs.job = frame.job;
   for (const auto& [phase, v] : frame.phases) {
     cs.phases[phase].emplace_back(frame.rank, v);
   }
@@ -244,7 +250,9 @@ std::vector<std::string> ClusterAggregator::phase_names() const {
 
 std::string ClusterAggregator::jsonl_line(const CompletedStep& done) const {
   std::ostringstream os;
-  os << "{\"step\":" << done.step << ",\"phases\":{";
+  os << "{\"step\":" << done.step;
+  if (done.job >= 0) os << ",\"job\":" << done.job;
+  os << ",\"phases\":{";
   bool first_phase = true;
   for (const auto& [phase, rank_values] : done.phases) {
     if (!first_phase) os << ",";
@@ -270,8 +278,9 @@ std::string ClusterAggregator::prometheus_text() const {
      << "# TYPE dctrain_phase_seconds gauge\n";
   for (const auto& [rank, frame] : latest_) {
     for (const auto& [phase, v] : frame.phases) {
-      os << "dctrain_phase_seconds{rank=\"" << rank << "\",phase=\"" << phase
-         << "\"} " << v << "\n";
+      os << "dctrain_phase_seconds{rank=\"" << rank << "\"";
+      if (frame.job >= 0) os << ",job=\"" << frame.job << "\"";
+      os << ",phase=\"" << phase << "\"} " << v << "\n";
     }
   }
   os << "# HELP dctrain_phase_seconds_cluster Cross-rank rolling-window "
@@ -288,8 +297,9 @@ std::string ClusterAggregator::prometheus_text() const {
      << "# TYPE dctrain_value gauge\n";
   for (const auto& [rank, frame] : latest_) {
     for (const auto& [name, v] : frame.values) {
-      os << "dctrain_value{rank=\"" << rank << "\",name=\"" << name << "\"} "
-         << v << "\n";
+      os << "dctrain_value{rank=\"" << rank << "\"";
+      if (frame.job >= 0) os << ",job=\"" << frame.job << "\"";
+      os << ",name=\"" << name << "\"} " << v << "\n";
     }
   }
   os << "# HELP dctrain_telemetry_frames_total Frames ingested by the "
@@ -301,13 +311,22 @@ std::string ClusterAggregator::prometheus_text() const {
 
 Table ClusterAggregator::top_table(const StragglerDetector* detector) const {
   const auto phases = phase_names();
-  std::vector<std::string> headers{"rank", "step"};
+  // Tenant-tagged frames (multi-tenant runs) get a "job" column so the
+  // live table separates jobs sharing a collector.
+  bool tagged = false;
+  for (const auto& [rank, frame] : latest_) tagged |= frame.job >= 0;
+  std::vector<std::string> headers{"rank"};
+  if (tagged) headers.push_back("job");
+  headers.push_back("step");
   for (const auto& p : phases) headers.push_back(p + " (s)");
   headers.push_back("status");
   Table t(std::move(headers));
   for (const auto& [rank, frame] : latest_) {
-    std::vector<std::string> row{std::to_string(rank),
-                                 std::to_string(frame.step)};
+    std::vector<std::string> row{std::to_string(rank)};
+    if (tagged) {
+      row.push_back(frame.job >= 0 ? std::to_string(frame.job) : "-");
+    }
+    row.push_back(std::to_string(frame.step));
     for (const auto& p : phases) row.push_back(Table::num(latest(rank, p), 4));
     row.push_back(detector != nullptr && detector->flagged(rank)
                       ? "STRAGGLER"
@@ -315,7 +334,9 @@ Table ClusterAggregator::top_table(const StragglerDetector* detector) const {
     t.add_row(std::move(row));
   }
   for (double q : {50.0, 95.0}) {
-    std::vector<std::string> row{"p" + Table::num(q, 0), "-"};
+    std::vector<std::string> row{"p" + Table::num(q, 0)};
+    if (tagged) row.push_back("-");
+    row.push_back("-");
     for (const auto& p : phases) {
       row.push_back(Table::num(phase_percentile(p, q), 4));
     }

@@ -38,11 +38,17 @@ namespace dct::obs {
 struct TelemetryFrame {
   std::int64_t step = -1;
   std::int32_t rank = -1;
+  /// Tenant tag (multi-tenant scheduling, DESIGN.md §15): the numeric
+  /// job index this frame belongs to, -1 = untagged single-tenant run.
+  /// Wire format v2 carries it; v1 frames deserialize with job = -1.
+  std::int32_t job = -1;
   std::vector<std::pair<std::string, double>> phases;
   std::vector<std::pair<std::string, double>> values;
 
   /// Compact length-prefixed binary encoding (the wire format simmpi
   /// carries on kTelemetryTag; DESIGN.md §13 documents the layout).
+  /// Always writes version 2; deserialize also accepts version-1
+  /// buffers (no job field).
   std::vector<std::byte> serialize() const;
   /// Throws CheckError on a malformed or truncated buffer.
   static TelemetryFrame deserialize(std::span<const std::byte> buf);
@@ -52,6 +58,8 @@ struct TelemetryFrame {
 /// vectors in (rank, seconds) form, ready for the detector.
 struct CompletedStep {
   std::int64_t step = -1;
+  /// Tenant tag propagated from the reporting frames (-1 = untagged).
+  std::int32_t job = -1;
   std::map<std::string, std::vector<std::pair<int, double>>> phases;
 };
 

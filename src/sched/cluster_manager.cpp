@@ -1,0 +1,369 @@
+#include "sched/cluster_manager.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace dct::sched {
+
+ClusterManager::ClusterManager(ClusterConfig cfg, std::vector<JobSpec> trace)
+    : cfg_(std::move(cfg)),
+      trace_(std::move(trace)),
+      rt_(cfg_.sched.ranks),
+      core_(cfg_.sched),
+      slots_(static_cast<std::size_t>(cfg_.sched.ranks)) {
+  DCT_CHECK_MSG(cfg_.join_deadline > cfg_.recv_deadline,
+                "join_deadline must exceed recv_deadline (a membership "
+                "change must outlive a stuck receive)");
+  std::stable_sort(trace_.begin(), trace_.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    const JobSpec& s = trace_[i];
+    DCT_CHECK_MSG(specs_.emplace(s.id, s).second,
+                  "duplicate job id \"" << s.id << "\" in trace");
+    job_index_[s.id] = static_cast<int>(i);
+  }
+}
+
+double ClusterManager::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+trainer::TrainerConfig ClusterManager::job_cfg(const std::string& job) const {
+  trainer::TrainerConfig cfg = cfg_.job_template;
+  cfg.job_id = job;
+  cfg.job_index = job_index_.at(job);
+  // Per-job seed: tenants sharing a cluster must not train in lockstep
+  // on identical streams, and a resumed job must re-derive the same
+  // seed it was born with.
+  cfg.seed = cfg_.job_template.seed +
+             1009ull * static_cast<std::uint64_t>(cfg.job_index + 1);
+  return cfg;
+}
+
+void ClusterManager::run() {
+  rt_.transport().set_recv_deadline(cfg_.recv_deadline);
+  start_ = std::chrono::steady_clock::now();
+  std::thread sched([this] { scheduler_loop(); });
+  rt_.run([this](simmpi::Communicator& world) { worker(world); });
+  sched.join();
+}
+
+// ---- scheduler thread -------------------------------------------------
+
+void ClusterManager::scheduler_loop() {
+  std::size_t fed = 0;
+  try {
+    for (;;) {
+      const double now = elapsed();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        while (fed < trace_.size() && trace_[fed].submit_time <= now) {
+          core_.submit(trace_[fed], now);
+          ++fed;
+        }
+        for (const Action& a : core_.tick(now)) execute(a, now);
+        if (cfg_.on_tick) cfg_.on_tick(core_, now);
+        if (fed == trace_.size() && core_.all_terminal()) break;
+      }
+      cv_.notify_all();
+      std::this_thread::sleep_for(cfg_.tick);
+    }
+  } catch (const std::exception& e) {
+    // A policy invariant blew up: stop scheduling, let running gangs
+    // drain, and surface the error on stderr (the event log still
+    // accounts for every job that reached a terminal state).
+    std::fprintf(stderr, "scheduler error: %s\n", e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+ClusterManager::Assignment& ClusterManager::claim_slot(int rank) {
+  Assignment& s = slots_[static_cast<std::size_t>(rank)];
+  if (s.kind != AssignKind::kNone) {
+    // An unconsumed instruction can legitimately go stale: the rank's
+    // thread was still draining its previous gang when the owning job
+    // terminated (a failure cascade) or a granted grow was overtaken
+    // by the job finishing. Overwriting is safe exactly when that job
+    // no longer owns this rank — the woken thread would have found
+    // nothing to do. Anything else is a real double-booking.
+    const auto v = core_.query(s.job);
+    const bool owns =
+        v.has_value() && v->state == JobState::kRunning &&
+        std::find(v->ranks.begin(), v->ranks.end(), rank) != v->ranks.end();
+    DCT_CHECK_MSG(!owns, "rank " << rank
+                                 << " is assigned to live job \"" << s.job
+                                 << "\" and cannot be double-booked");
+    s = Assignment{};
+  }
+  return s;
+}
+
+void ClusterManager::execute(const Action& a, double now) {
+  (void)now;
+  switch (a.kind) {
+    case Action::Kind::kPlace: {
+      const std::uint64_t context = rt_.transport().new_context();
+      for (const int r : a.ranks) {
+        Assignment& s = claim_slot(r);
+        s.kind = AssignKind::kRun;
+        s.job = a.job;
+        s.context = context;
+        s.members = a.ranks;
+        s.resume = a.resume;
+      }
+      break;
+    }
+    case Action::Kind::kPreempt:
+      commands_[a.job] = Command{CommandOp::kPreempt, {}};
+      break;
+    case Action::Kind::kShrink:
+      commands_[a.job] = Command{CommandOp::kCede, {}};
+      break;
+    case Action::Kind::kGrow: {
+      for (const int r : a.ranks) {
+        Assignment& s = claim_slot(r);
+        s.kind = AssignKind::kJoin;
+        s.job = a.job;
+      }
+      commands_[a.job] = Command{CommandOp::kGrow, a.ranks};
+      break;
+    }
+    case Action::Kind::kKill:
+      commands_[a.job] = Command{CommandOp::kKill, {}};
+      break;
+  }
+}
+
+// ---- rank threads -----------------------------------------------------
+
+ClusterManager::Assignment ClusterManager::wait_assignment(int global_rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Assignment& slot = slots_[static_cast<std::size_t>(global_rank)];
+  cv_.wait(lk, [&] { return slot.kind != AssignKind::kNone || shutdown_; });
+  if (slot.kind == AssignKind::kNone) {
+    Assignment a;
+    a.kind = AssignKind::kShutdown;
+    return a;
+  }
+  Assignment a = std::move(slot);
+  slot = Assignment{};
+  return a;
+}
+
+void ClusterManager::worker(simmpi::Communicator& world) {
+  const int self = world.rank();  // world rank == global rank
+  for (;;) {
+    Assignment a = wait_assignment(self);
+    if (a.kind == AssignKind::kShutdown) return;
+    try {
+      if (a.kind == AssignKind::kRun) {
+        auto comm = simmpi::Communicator::attach(rt_.transport(), a.context,
+                                                 a.members, self);
+        trainer::DistributedTrainer t(comm, job_cfg(a.job));
+        if (a.resume) {
+          DCT_CHECK_MSG(t.resume(),
+                        "job " << a.job
+                               << ": placed with resume but no restorable "
+                                  "checkpoint");
+        }
+        job_loop(self, a.job, comm, t);
+      } else {  // kJoin: park in the lobby until the gang's grow admits us
+        const std::string job = a.job;
+        auto joined = simmpi::Communicator::await_join(
+            rt_.transport(), self, cfg_.join_deadline, [this, self, job] {
+              std::lock_guard<std::mutex> lk(mu_);
+              if (shutdown_) return false;
+              const auto v = core_.query(job);
+              if (!v.has_value() || v->state != JobState::kRunning) {
+                return false;
+              }
+              return std::find(v->ranks.begin(), v->ranks.end(), self) !=
+                     v->ranks.end();
+            });
+        if (joined.has_value()) {
+          trainer::DistributedTrainer t(*joined, job_cfg(job),
+                                        trainer::JoinGrownWorld{});
+          job_loop(self, job, *joined, t);
+        }
+      }
+    } catch (const std::exception& e) {
+      notify_failed(a.job, e.what());
+    }
+  }
+}
+
+void ClusterManager::job_loop(int global_rank, const std::string& job,
+                              simmpi::Communicator& comm,
+                              trainer::DistributedTrainer& t) {
+  const JobSpec spec = specs_.at(job);
+  std::vector<int> invitees;  // rank 0 only, between fetch and bcast
+  for (;;) {
+    // Gang rank 0 polls the command word; the broadcast puts every op
+    // on a step boundary where no collective is in flight.
+    std::uint64_t ctrl[2] = {0, 0};
+    if (comm.rank() == 0) {
+      Command c;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = commands_.find(job);
+        if (it != commands_.end()) {
+          c = std::move(it->second);
+          commands_.erase(it);
+        }
+      }
+      ctrl[0] = static_cast<std::uint64_t>(c.op);
+      ctrl[1] = c.invitees.size();
+      invitees = std::move(c.invitees);
+    }
+    comm.bcast(std::span<std::uint64_t>(ctrl, 2), 0);
+
+    switch (static_cast<CommandOp>(ctrl[0])) {
+      case CommandOp::kContinue: {
+        t.step();
+        if (t.iteration() >= static_cast<std::uint64_t>(spec.iterations)) {
+          // The tenant keeps their trained model: a completed job
+          // leaves a final checkpoint in its namespaced directory.
+          if (!cfg_.job_template.checkpoint_dir.empty()) t.save_checkpoint();
+          if (comm.rank() == 0) notify_finished(job);
+          return;
+        }
+        break;
+      }
+      case CommandOp::kPreempt: {
+        // Checkpoint into the job's namespaced directory, then
+        // dissolve; the scheduler re-queues us pinned to this width.
+        t.save_checkpoint();
+        t.quiesce();
+        if (comm.rank() == 0) notify_preempted(job);
+        return;
+      }
+      case CommandOp::kKill: {
+        t.quiesce();
+        if (comm.rank() == 0) notify_failed(job, "cancelled");
+        return;
+      }
+      case CommandOp::kCede: {
+        // Deterministic local verdict on every rank: a refusal must
+        // not need communication.
+        if (!t.cede_feasible(1)) {
+          if (comm.rank() == 0) notify_shrink_rejected(job);
+          break;
+        }
+        t.quiesce();
+        if (comm.rank() == comm.size() - 1) {
+          // The victim: register in limbo *before* marking dead. The
+          // survivors' shrink cannot complete until the death is
+          // observable, so notify_shrunk — which resurrects limbo and
+          // frees the rank — always finds the entry. (The reverse
+          // order races: a fast shrink could confirm and hand this
+          // still-dead rank to another job.)
+          notify_ceded(job, global_rank);
+          rt_.transport().mark_rank_dead(global_rank);
+          return;
+        }
+        auto sr = comm.shrink(cfg_.join_deadline);
+        comm = std::move(sr.comm);
+        t.shrink_to(sr, /*rescale_lr=*/true);
+        if (comm.rank() == 0) notify_shrunk(job);
+        break;
+      }
+      case CommandOp::kGrow: {
+        const auto k = static_cast<int>(ctrl[1]);
+        std::vector<std::uint64_t> inv(static_cast<std::size_t>(k));
+        if (comm.rank() == 0) {
+          for (int i = 0; i < k; ++i) {
+            inv[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(
+                invitees[static_cast<std::size_t>(i)]);
+          }
+        }
+        comm.bcast(std::span<std::uint64_t>(inv), 0);
+        std::vector<int> joiners(inv.begin(), inv.end());
+        t.quiesce();
+        DCT_CHECK_MSG(t.grow_feasible(k),
+                      "job " << job << ": scheduler granted " << k
+                             << " ranks past the grow cap");
+        auto gr = comm.grow(std::span<const int>(joiners),
+                            cfg_.join_deadline);
+        DCT_CHECK_MSG(static_cast<int>(gr.joiner_global_ranks.size()) == k,
+                      "job " << job << ": grow admitted "
+                             << gr.joiner_global_ranks.size() << " of " << k
+                             << " invitees");
+        comm = std::move(gr.comm);
+        t.grow_to(gr, /*rescale_lr=*/true);
+        if (comm.rank() == 0) notify_grew(job);
+        break;
+      }
+    }
+  }
+}
+
+// ---- confirmations ----------------------------------------------------
+
+void ClusterManager::drain_limbo(const std::string& job) {
+  if (const auto it = limbo_.find(job); it != limbo_.end()) {
+    for (const int r : it->second) rt_.transport().resurrect_rank(r);
+    limbo_.erase(it);
+  }
+}
+
+void ClusterManager::notify_finished(const std::string& job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  commands_.erase(job);
+  drain_limbo(job);
+  core_.job_finished(job, elapsed());
+}
+
+void ClusterManager::notify_preempted(const std::string& job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  commands_.erase(job);
+  drain_limbo(job);
+  core_.job_preempted(job, elapsed());
+}
+
+void ClusterManager::notify_ceded(const std::string& job, int global_rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  limbo_[job].push_back(global_rank);
+}
+
+void ClusterManager::notify_shrunk(const std::string& job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  drain_limbo(job);
+  core_.job_shrunk(job, elapsed());
+}
+
+void ClusterManager::notify_shrink_rejected(const std::string& job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  core_.shrink_rejected(job);
+}
+
+void ClusterManager::notify_grew(const std::string& job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  core_.job_grew(job, elapsed());
+}
+
+void ClusterManager::notify_failed(const std::string& job,
+                                   const std::string& why) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto v = core_.query(job);
+  if (!v.has_value() || v->state == JobState::kFinished ||
+      v->state == JobState::kCancelled) {
+    return;  // gang-mates racing to report the same failure
+  }
+  commands_.erase(job);
+  // A failed gang may have left a ceded rank in limbo; bring it back.
+  drain_limbo(job);
+  core_.job_cancelled(job, elapsed(), why);
+}
+
+}  // namespace dct::sched

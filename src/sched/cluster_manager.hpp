@@ -1,0 +1,145 @@
+// Multi-tenant execution layer (DESIGN.md §15): runs SchedCore's
+// decisions on a simulated cluster.
+//
+// One simmpi::Runtime thread per rank is the rank pool. Each rank
+// thread loops on a per-rank assignment slot: the scheduler thread
+// hands it a gang to run (Communicator::attach over a centrally
+// allocated context), a lobby to park in (Communicator::await_join,
+// joiner side of an elastic grow), or a shutdown. Per step, gang rank
+// 0 polls its job's command word and broadcasts it to the gang, so
+// preempt / cede / grow / kill all land on a step boundary where no
+// collective is in flight:
+//
+//   preempt  every rank checkpoints (CRC-sealed, job-namespaced dir),
+//            the gang dissolves, the job re-queues pinned to its width
+//            and later resumes from the manifest.
+//   cede     the gang's highest rank quiesces, marks itself dead, and
+//            leaves; survivors shrink + repartition (k = 1 per
+//            command). The manager resurrects the limbo rank only
+//            after the survivors confirm — the shrink must observe the
+//            death first.
+//   grow     freed ranks are parked in the lobby, then the gang's
+//            world.grow admits them and grow_to / JoinGrownWorld
+//            resyncs state; joiners fall into the same step loop.
+//
+// Everything the scheduler decides and every confirmation flows
+// through one mutex guarding the SchedCore ledger, the assignment
+// slots, and the command words; rank threads never touch the policy.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/sched_core.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/distributed_trainer.hpp"
+
+namespace dct::sched {
+
+struct ClusterConfig {
+  SchedConfig sched;
+  /// Base trainer configuration every job starts from. The manager
+  /// overrides job_id / job_index / seed per job; checkpoint_dir is
+  /// shared (jobs namespace themselves under it).
+  trainer::TrainerConfig job_template;
+  std::chrono::milliseconds recv_deadline{2000};
+  /// Membership-change deadline (shrink JOIN collection, grow lobby
+  /// commit). Must exceed recv_deadline.
+  std::chrono::milliseconds join_deadline{8000};
+  /// Scheduler thread cadence.
+  std::chrono::milliseconds tick{1};
+  /// Optional observer called after every policy tick, under the
+  /// scheduler lock — the only safe way to peek at the ledger mid-run
+  /// (utilization sampling, contention snapshots). Keep it cheap: it
+  /// runs on the scheduler thread with the core mutex held.
+  std::function<void(const SchedCore&, double now)> on_tick;
+};
+
+class ClusterManager {
+ public:
+  /// `trace` is the arrival schedule; jobs are submitted when the
+  /// run clock passes their spec.submit_time (seconds).
+  ClusterManager(ClusterConfig cfg, std::vector<JobSpec> trace);
+
+  /// Drive the whole trace to completion: spawns the scheduler thread,
+  /// blocks in Runtime::run until every job is terminal and every rank
+  /// shut down. Call once.
+  void run();
+
+  /// The policy core (ledger, event log, summary). Stable after run()
+  /// returns; take the manager's word for it during.
+  const SchedCore& core() const { return core_; }
+
+ private:
+  enum class AssignKind { kNone, kRun, kJoin, kShutdown };
+  struct Assignment {
+    AssignKind kind = AssignKind::kNone;
+    std::string job;
+    std::uint64_t context = 0;
+    std::vector<int> members;  ///< gang rank -> global rank
+    bool resume = false;
+  };
+
+  enum class CommandOp : std::uint64_t {
+    kContinue = 0,
+    kPreempt = 1,
+    kCede = 2,
+    kGrow = 3,
+    kKill = 4,
+  };
+  struct Command {
+    CommandOp op = CommandOp::kContinue;
+    std::vector<int> invitees;  ///< kGrow: global ranks in the lobby
+  };
+
+  void scheduler_loop();
+  void execute(const Action& a, double now);
+  /// Fetch rank's slot for a new assignment, clearing a stale
+  /// unconsumed one (its job no longer owns the rank). Throws on a
+  /// genuine double-booking. Caller holds mu_.
+  Assignment& claim_slot(int rank);
+  /// Resurrect and forget any ceded-but-unconfirmed ranks of `job`.
+  /// Caller holds mu_.
+  void drain_limbo(const std::string& job);
+  void worker(simmpi::Communicator& world);
+  Assignment wait_assignment(int global_rank);
+  /// Shared gang step loop for founders and joiners; returns when the
+  /// rank's part in the job ends (finish, preempt, cede, kill).
+  void job_loop(int global_rank, const std::string& job,
+                simmpi::Communicator& comm,
+                trainer::DistributedTrainer& t);
+  trainer::TrainerConfig job_cfg(const std::string& job) const;
+  double elapsed() const;
+
+  // Rank-0 → scheduler confirmations (lock, update core, wake).
+  void notify_finished(const std::string& job);
+  void notify_preempted(const std::string& job);
+  void notify_shrunk(const std::string& job);
+  void notify_shrink_rejected(const std::string& job);
+  void notify_grew(const std::string& job);
+  void notify_ceded(const std::string& job, int global_rank);
+  void notify_failed(const std::string& job, const std::string& why);
+
+  ClusterConfig cfg_;
+  std::vector<JobSpec> trace_;  ///< sorted by submit_time
+  simmpi::Runtime rt_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  SchedCore core_;
+  std::vector<Assignment> slots_;          ///< one per global rank
+  std::map<std::string, Command> commands_;
+  std::map<std::string, std::vector<int>> limbo_;  ///< ceded, not yet freed
+  std::map<std::string, int> job_index_;
+  std::map<std::string, JobSpec> specs_;
+  bool shutdown_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dct::sched

@@ -1,0 +1,101 @@
+// Multi-tenant job model (DESIGN.md §15): what a tenant submits to the
+// cluster scheduler, the lifecycle states the scheduler moves it
+// through, and the event-log records every transition leaves behind.
+//
+// A job asks for a *gang*: [min_ranks, max_ranks] learners that start
+// together or not at all. Rigid jobs (min == max) only ever run at one
+// width; elastic jobs are placed at the best width that fits and can
+// later cede ranks (shrink) when the queue backs up or grow back
+// toward their placement width when capacity frees up. The grow cap is
+// the width the job's trainer was *constructed* at — reintegration
+// revives dead original-rank identities, so a job can never grow past
+// the widest world it has ever been (see grow_feasible).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dct::sched {
+
+/// Priority classes, lowest first. Preemption only ever evicts a job
+/// of strictly lower *base* class; aging raises a job's effective
+/// priority for ordering but never makes it a preemptor.
+enum class Priority : int {
+  kBatch = 0,       ///< throughput filler, first to be evicted
+  kStandard = 1,    ///< the default
+  kProduction = 2,  ///< latency-sensitive, may preempt lower classes
+};
+
+inline const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kBatch: return "batch";
+    case Priority::kStandard: return "standard";
+    case Priority::kProduction: return "production";
+  }
+  return "?";
+}
+
+struct JobSpec {
+  std::string id;  ///< unique; also the checkpoint namespace
+  Priority priority = Priority::kStandard;
+  int min_ranks = 1;  ///< gang floor: never runs narrower
+  int max_ranks = 1;  ///< gang ceiling; == min_ranks → rigid
+  std::int64_t iterations = 1;  ///< training steps to completion
+  double submit_time = 0.0;     ///< arrival (trace replay)
+
+  bool elastic() const { return max_ranks > min_ranks; }
+};
+
+enum class JobState {
+  kQueued,    ///< waiting (first arrival or re-queued after preemption)
+  kRunning,   ///< gang placed, stepping
+  kFinished,  ///< completed all iterations
+  kCancelled, ///< cancelled or failed
+};
+
+inline const char* state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kFinished: return "finished";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// One scheduler transition, timestamped with the scheduler's clock
+/// (virtual in tests, seconds-since-start in `dctrain cluster`). The
+/// full event sequence is the run's audit trail: every submitted job
+/// must end in exactly one kFinish or kCancel.
+struct SchedEvent {
+  enum class Kind {
+    kSubmit,
+    kPlace,    ///< gang started (ranks = width; detail notes resume)
+    kPreempt,  ///< eviction commanded (checkpoint + requeue)
+    kShrink,   ///< elastic cede completed (ranks = count freed)
+    kGrow,     ///< elastic expansion completed (ranks = count added)
+    kFinish,
+    kCancel,
+  };
+  double time = 0.0;
+  Kind kind = Kind::kSubmit;
+  std::string job;
+  int ranks = 0;  ///< gang width or delta, kind-dependent
+  std::string detail;
+};
+
+inline const char* event_name(SchedEvent::Kind k) {
+  switch (k) {
+    case SchedEvent::Kind::kSubmit: return "submit";
+    case SchedEvent::Kind::kPlace: return "place";
+    case SchedEvent::Kind::kPreempt: return "preempt";
+    case SchedEvent::Kind::kShrink: return "shrink";
+    case SchedEvent::Kind::kGrow: return "grow";
+    case SchedEvent::Kind::kFinish: return "finish";
+    case SchedEvent::Kind::kCancel: return "cancel";
+  }
+  return "?";
+}
+
+}  // namespace dct::sched

@@ -1,0 +1,502 @@
+#include "sched/sched_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dct::sched {
+
+SchedCore::SchedCore(SchedConfig cfg) : cfg_(cfg) {
+  DCT_CHECK_MSG(cfg_.ranks > 0, "scheduler needs a positive rank pool");
+  DCT_CHECK_MSG(cfg_.aging_interval > 0, "aging_interval must be positive");
+  free_.resize(static_cast<std::size_t>(cfg_.ranks));
+  for (int r = 0; r < cfg_.ranks; ++r) free_[static_cast<std::size_t>(r)] = r;
+}
+
+SchedCore::Job& SchedCore::get(const std::string& id) {
+  const auto it = jobs_.find(id);
+  DCT_CHECK_MSG(it != jobs_.end(), "unknown job \"" << id << "\"");
+  return it->second;
+}
+
+const SchedCore::Job& SchedCore::get(const std::string& id) const {
+  const auto it = jobs_.find(id);
+  DCT_CHECK_MSG(it != jobs_.end(), "unknown job \"" << id << "\"");
+  return it->second;
+}
+
+void SchedCore::record(double now, SchedEvent::Kind kind,
+                       const std::string& job, int ranks,
+                       std::string detail) {
+  SchedEvent ev;
+  ev.time = now;
+  ev.kind = kind;
+  ev.job = job;
+  ev.ranks = ranks;
+  ev.detail = std::move(detail);
+  events_.push_back(std::move(ev));
+}
+
+void SchedCore::submit(const JobSpec& spec, double now) {
+  DCT_CHECK_MSG(!spec.id.empty(), "job needs an id");
+  DCT_CHECK_MSG(jobs_.find(spec.id) == jobs_.end(),
+                "duplicate job id \"" << spec.id << "\"");
+  DCT_CHECK_MSG(spec.min_ranks >= 1 && spec.min_ranks <= spec.max_ranks,
+                "job \"" << spec.id << "\": need 1 <= min_ranks <= max_ranks");
+  DCT_CHECK_MSG(spec.max_ranks <= cfg_.ranks,
+                "job \"" << spec.id << "\" wants up to " << spec.max_ranks
+                         << " ranks on a " << cfg_.ranks << "-rank cluster");
+  DCT_CHECK_MSG(spec.iterations > 0, "job \"" << spec.id
+                                              << "\" needs iterations > 0");
+  Job j;
+  j.spec = spec;
+  j.seq = next_seq_++;
+  j.submit_time = now;
+  j.queued_since = now;
+  jobs_.emplace(spec.id, std::move(j));
+  submit_order_.push_back(spec.id);
+  record(now, SchedEvent::Kind::kSubmit, spec.id, spec.min_ranks,
+         priority_name(spec.priority));
+}
+
+void SchedCore::cancel(const std::string& id, double now) {
+  Job& j = get(id);
+  if (j.state == JobState::kFinished || j.state == JobState::kCancelled) {
+    return;
+  }
+  if (j.state == JobState::kQueued) {
+    j.state = JobState::kCancelled;
+    j.finish_time = now;
+    record(now, SchedEvent::Kind::kCancel, id, 0, "cancelled while queued");
+    return;
+  }
+  j.want_cancel = true;  // tick issues the kKill once the job is idle
+}
+
+double SchedCore::effective_priority(const Job& j, double now) const {
+  const double waited = std::max(0.0, now - j.queued_since);
+  return static_cast<double>(j.spec.priority) +
+         std::floor(waited / cfg_.aging_interval);
+}
+
+int SchedCore::need_width(const Job& j) const {
+  return j.fixed_width > 0 ? j.fixed_width : j.spec.min_ranks;
+}
+
+std::vector<int> SchedCore::take_free(int k) {
+  DCT_CHECK_MSG(k > 0 && k <= static_cast<int>(free_.size()),
+                "take_free(" << k << ") with " << free_.size() << " free");
+  std::vector<int> out(free_.begin(), free_.begin() + k);
+  free_.erase(free_.begin(), free_.begin() + k);
+  return out;
+}
+
+void SchedCore::release(std::vector<int> ranks) {
+  free_.insert(free_.end(), ranks.begin(), ranks.end());
+  std::sort(free_.begin(), free_.end());
+  DCT_CHECK_MSG(std::adjacent_find(free_.begin(), free_.end()) == free_.end(),
+                "rank released twice");
+}
+
+void SchedCore::place(Job& j, int width, double now,
+                      std::vector<Action>& out) {
+  j.ranks = take_free(width);
+  j.state = JobState::kRunning;
+  j.born_width = width;
+  j.placed_time = now;
+  if (j.first_place < 0) j.first_place = now;
+  j.shrink_refused = false;
+  Action a;
+  a.kind = Action::Kind::kPlace;
+  a.job = j.spec.id;
+  a.ranks = j.ranks;
+  a.resume = j.resume;
+  out.push_back(std::move(a));
+  record(now, SchedEvent::Kind::kPlace, j.spec.id, width,
+         j.resume ? "resume" : "fresh");
+}
+
+std::vector<Action> SchedCore::tick(double now) {
+  std::vector<Action> out;
+
+  // Kills for cancelled running jobs, once no other op is in flight.
+  for (auto& [id, j] : jobs_) {
+    if (j.want_cancel && j.state == JobState::kRunning &&
+        j.pending == Pending::kNone) {
+      j.pending = Pending::kKill;
+      Action a;
+      a.kind = Action::Kind::kKill;
+      a.job = id;
+      out.push_back(std::move(a));
+    }
+  }
+
+  // The queue, highest effective priority first, FIFO within a level.
+  std::vector<Job*> queue;
+  for (const auto& id : submit_order_) {
+    Job& j = jobs_.at(id);
+    if (j.state == JobState::kQueued && !j.want_cancel) queue.push_back(&j);
+  }
+  std::stable_sort(queue.begin(), queue.end(),
+                   [&](const Job* a, const Job* b) {
+                     const double pa = effective_priority(*a, now);
+                     const double pb = effective_priority(*b, now);
+                     if (pa != pb) return pa > pb;
+                     return a->seq < b->seq;
+                   });
+
+  bool head_blocked = false;
+  int head_need = 0;
+  double head_age = 0.0;
+  int reclaim_in_flight = 0;  // ranks already being freed for the head
+
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    Job& j = *queue[qi];
+    const bool is_head = qi == 0;
+
+    if (is_head) {
+      head_need = need_width(j);
+      head_age = now - j.queued_since;
+      if (head_need <= free_ranks()) {
+        const int width =
+            j.fixed_width > 0
+                ? j.fixed_width
+                : std::min(j.spec.max_ranks, free_ranks());
+        place(j, width, now, out);
+        continue;
+      }
+      head_blocked = true;
+
+      // Reclaim: projected frees from ops already in flight…
+      for (const auto& [id, r] : jobs_) {
+        if (r.pending == Pending::kPreempt || r.pending == Pending::kKill) {
+          reclaim_in_flight += static_cast<int>(r.ranks.size());
+        } else if (r.pending == Pending::kShrink) {
+          reclaim_in_flight += r.pending_shrink;
+        }
+      }
+      int projected = free_ranks() + reclaim_in_flight;
+
+      // …then new shrink commands: one rank per command, lowest class
+      // first, widest first (the cheapest capacity to claw back).
+      if (cfg_.allow_elastic && projected < head_need) {
+        std::vector<Job*> donors;
+        for (auto& [id, r] : jobs_) {
+          if (r.state == JobState::kRunning && r.pending == Pending::kNone &&
+              !r.want_cancel && !r.shrink_refused && r.spec.elastic() &&
+              static_cast<int>(r.ranks.size()) > r.spec.min_ranks) {
+            donors.push_back(&r);
+          }
+        }
+        std::stable_sort(donors.begin(), donors.end(),
+                         [](const Job* a, const Job* b) {
+                           if (a->spec.priority != b->spec.priority) {
+                             return a->spec.priority < b->spec.priority;
+                           }
+                           return a->ranks.size() > b->ranks.size();
+                         });
+        for (Job* d : donors) {
+          if (projected >= head_need) break;
+          d->pending = Pending::kShrink;
+          d->pending_shrink = 1;
+          Action a;
+          a.kind = Action::Kind::kShrink;
+          a.job = d->spec.id;
+          a.k = 1;
+          out.push_back(std::move(a));
+          projected += 1;
+          reclaim_in_flight += 1;
+        }
+      }
+
+      // …then preemption of strictly lower base classes: lowest class
+      // first, most recently placed first (least sunk work lost).
+      if (cfg_.allow_preemption && projected < head_need) {
+        std::vector<Job*> victims;
+        for (auto& [id, r] : jobs_) {
+          if (r.state == JobState::kRunning && r.pending == Pending::kNone &&
+              !r.want_cancel && r.spec.priority < j.spec.priority) {
+            victims.push_back(&r);
+          }
+        }
+        std::stable_sort(victims.begin(), victims.end(),
+                         [](const Job* a, const Job* b) {
+                           if (a->spec.priority != b->spec.priority) {
+                             return a->spec.priority < b->spec.priority;
+                           }
+                           return a->placed_time > b->placed_time;
+                         });
+        for (Job* v : victims) {
+          if (projected >= head_need) break;
+          v->pending = Pending::kPreempt;
+          Action a;
+          a.kind = Action::Kind::kPreempt;
+          a.job = v->spec.id;
+          out.push_back(std::move(a));
+          record(now, SchedEvent::Kind::kPreempt, v->spec.id,
+                 static_cast<int>(v->ranks.size()),
+                 "evicted for " + j.spec.id);
+          projected += static_cast<int>(v->ranks.size());
+          reclaim_in_flight += static_cast<int>(v->ranks.size());
+        }
+      }
+      continue;
+    }
+
+    // Backfill behind a blocked head. A head starved past the
+    // threshold freezes backfill; ranks being reclaimed for the head
+    // are reserved for it (free ones count against the reservation
+    // first, so backfill cannot steal the head's capacity as it
+    // trickles in).
+    if (head_blocked) {
+      if (head_age >= cfg_.starvation_age) break;
+      // Only hoard for the head while reclamation is actually under
+      // way — a head waiting on natural finishes must not freeze the
+      // whole cluster (that is starvation_age's job).
+      int avail = free_ranks();
+      if (reclaim_in_flight > 0) avail = std::max(0, avail - head_need);
+      const int need = need_width(j);
+      if (need <= avail) {
+        const int width =
+            j.fixed_width > 0 ? j.fixed_width
+                              : std::min(j.spec.max_ranks, avail);
+        place(j, width, now, out);
+      }
+      continue;
+    }
+
+    // Head placed this tick: keep placing in priority order.
+    const int need = need_width(j);
+    if (need <= free_ranks()) {
+      const int width = j.fixed_width > 0
+                            ? j.fixed_width
+                            : std::min(j.spec.max_ranks, free_ranks());
+      place(j, width, now, out);
+    } else {
+      // This job is now the blocked head for backfill purposes.
+      head_blocked = true;
+      head_need = need;
+      head_age = now - j.queued_since;
+    }
+  }
+
+  // Queue drained → return leftover capacity to shrunken elastic jobs
+  // (grow back toward construction width, one job per tick).
+  if (cfg_.allow_elastic && queue.empty() && free_ranks() > 0) {
+    for (auto& [id, j] : jobs_) {
+      if (j.state != JobState::kRunning || j.pending != Pending::kNone ||
+          j.want_cancel || !j.spec.elastic()) {
+        continue;
+      }
+      const int cur = static_cast<int>(j.ranks.size());
+      const int cap = std::min(j.born_width, j.spec.max_ranks);
+      const int k = std::min(cap - cur, free_ranks());
+      if (k <= 0) continue;
+      auto granted = take_free(k);
+      j.ranks.insert(j.ranks.end(), granted.begin(), granted.end());
+      j.pending = Pending::kGrow;
+      j.pending_grow = k;
+      Action a;
+      a.kind = Action::Kind::kGrow;
+      a.job = id;
+      a.ranks = std::move(granted);
+      a.k = k;
+      out.push_back(std::move(a));
+      break;
+    }
+  }
+
+  return out;
+}
+
+void SchedCore::job_finished(const std::string& id, double now) {
+  Job& j = get(id);
+  DCT_CHECK_MSG(j.state == JobState::kRunning,
+                "job_finished(\"" << id << "\") but it is "
+                                  << state_name(j.state));
+  release(std::move(j.ranks));
+  j.ranks.clear();
+  j.state = JobState::kFinished;
+  j.pending = Pending::kNone;
+  j.finish_time = now;
+  record(now, SchedEvent::Kind::kFinish, id, 0);
+}
+
+void SchedCore::job_preempted(const std::string& id, double now) {
+  Job& j = get(id);
+  DCT_CHECK_MSG(j.state == JobState::kRunning &&
+                    j.pending == Pending::kPreempt,
+                "job_preempted(\"" << id << "\") without a pending preempt");
+  // The checkpoint pins the width: a resumed manifest only restores
+  // into a world of exactly the evicted size.
+  j.fixed_width = static_cast<int>(j.ranks.size());
+  release(std::move(j.ranks));
+  j.ranks.clear();
+  j.state = JobState::kQueued;
+  j.pending = Pending::kNone;
+  j.resume = true;
+  j.queued_since = now;
+  ++j.preemptions;
+}
+
+void SchedCore::job_shrunk(const std::string& id, double now) {
+  Job& j = get(id);
+  DCT_CHECK_MSG(j.pending == Pending::kShrink,
+                "job_shrunk(\"" << id << "\") without a pending shrink");
+  const int k = j.pending_shrink;
+  DCT_CHECK(k > 0 && k < static_cast<int>(j.ranks.size()));
+  // The cede convention: the victim is always the gang's highest rank,
+  // so the freed global ranks are the tail of the gang list.
+  std::vector<int> freed(j.ranks.end() - k, j.ranks.end());
+  j.ranks.resize(j.ranks.size() - static_cast<std::size_t>(k));
+  release(std::move(freed));
+  j.pending = Pending::kNone;
+  j.pending_shrink = 0;
+  record(now, SchedEvent::Kind::kShrink, id, k);
+}
+
+void SchedCore::shrink_rejected(const std::string& id) {
+  Job& j = get(id);
+  DCT_CHECK_MSG(j.pending == Pending::kShrink,
+                "shrink_rejected(\"" << id << "\") without a pending shrink");
+  j.pending = Pending::kNone;
+  j.pending_shrink = 0;
+  j.shrink_refused = true;  // stop asking: feasibility is sticky enough
+}
+
+void SchedCore::job_grew(const std::string& id, double now) {
+  Job& j = get(id);
+  DCT_CHECK_MSG(j.pending == Pending::kGrow,
+                "job_grew(\"" << id << "\") without a pending grow");
+  record(now, SchedEvent::Kind::kGrow, id, j.pending_grow);
+  j.pending = Pending::kNone;
+  j.pending_grow = 0;
+}
+
+void SchedCore::grow_failed(const std::string& id, double now) {
+  (void)now;
+  Job& j = get(id);
+  DCT_CHECK_MSG(j.pending == Pending::kGrow,
+                "grow_failed(\"" << id << "\") without a pending grow");
+  const int k = j.pending_grow;
+  std::vector<int> granted(j.ranks.end() - k, j.ranks.end());
+  j.ranks.resize(j.ranks.size() - static_cast<std::size_t>(k));
+  release(std::move(granted));
+  j.pending = Pending::kNone;
+  j.pending_grow = 0;
+  j.shrink_refused = true;  // also stop growing a job that cannot sync
+}
+
+void SchedCore::job_cancelled(const std::string& id, double now,
+                              const std::string& why) {
+  Job& j = get(id);
+  DCT_CHECK_MSG(j.state != JobState::kFinished,
+                "job_cancelled(\"" << id << "\") after it finished");
+  if (j.state == JobState::kCancelled) return;
+  release(std::move(j.ranks));
+  j.ranks.clear();
+  j.state = JobState::kCancelled;
+  j.pending = Pending::kNone;
+  j.finish_time = now;
+  record(now, SchedEvent::Kind::kCancel, id, 0, why);
+}
+
+std::optional<JobView> SchedCore::query(const std::string& id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& j = it->second;
+  JobView v;
+  v.spec = j.spec;
+  v.state = j.state;
+  v.ranks = j.ranks;
+  v.submit_time = j.submit_time;
+  v.first_place = j.first_place;
+  v.finish_time = j.finish_time;
+  v.preemptions = j.preemptions;
+  return v;
+}
+
+std::vector<JobView> SchedCore::jobs() const {
+  std::vector<JobView> out;
+  out.reserve(submit_order_.size());
+  for (const auto& id : submit_order_) out.push_back(*query(id));
+  return out;
+}
+
+bool SchedCore::all_terminal() const {
+  for (const auto& [id, j] : jobs_) {
+    if (j.state == JobState::kQueued || j.state == JobState::kRunning) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SchedSummary SchedCore::summary() const {
+  SchedSummary s;
+  double first_submit = -1.0, last_end = -1.0;
+  double wait_sum = 0.0;
+  int waited = 0;
+  for (const auto& [id, j] : jobs_) {
+    ++s.submitted;
+    if (first_submit < 0 || j.submit_time < first_submit) {
+      first_submit = j.submit_time;
+    }
+    if (j.finish_time > last_end) last_end = j.finish_time;
+    if (j.first_place >= 0) {
+      wait_sum += j.first_place - j.submit_time;
+      ++waited;
+    }
+    if (j.state == JobState::kFinished) {
+      ++s.finished;
+      ++s.finished_by_class[priority_name(j.spec.priority)];
+    } else if (j.state == JobState::kCancelled) {
+      ++s.cancelled;
+    }
+  }
+  if (first_submit >= 0 && last_end > first_submit) {
+    s.makespan = last_end - first_submit;
+  }
+  if (waited > 0) s.mean_wait = wait_sum / waited;
+  for (const auto& ev : events_) {
+    if (ev.kind == SchedEvent::Kind::kPreempt) ++s.preemptions;
+    if (ev.kind == SchedEvent::Kind::kShrink) ++s.shrinks;
+    if (ev.kind == SchedEvent::Kind::kGrow) ++s.grows;
+  }
+  if (s.makespan > 0) {
+    for (const auto& [cls, n] : s.finished_by_class) {
+      s.throughput_by_class[cls] = n / s.makespan;
+    }
+  }
+  return s;
+}
+
+void SchedCore::check_conservation() const {
+  std::vector<int> seen(static_cast<std::size_t>(cfg_.ranks), 0);
+  for (const int r : free_) {
+    DCT_CHECK_MSG(r >= 0 && r < cfg_.ranks, "free rank " << r
+                                                         << " out of range");
+    ++seen[static_cast<std::size_t>(r)];
+  }
+  for (const auto& [id, j] : jobs_) {
+    if (j.state == JobState::kFinished || j.state == JobState::kCancelled) {
+      DCT_CHECK_MSG(j.ranks.empty(), "terminal job \"" << id
+                                                       << "\" still owns ranks");
+      continue;
+    }
+    for (const int r : j.ranks) {
+      DCT_CHECK_MSG(r >= 0 && r < cfg_.ranks,
+                    "job \"" << id << "\" owns out-of-range rank " << r);
+      ++seen[static_cast<std::size_t>(r)];
+    }
+  }
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    DCT_CHECK_MSG(seen[static_cast<std::size_t>(r)] == 1,
+                  "rank " << r << " owned by "
+                          << seen[static_cast<std::size_t>(r)]
+                          << " parties (must be exactly 1)");
+  }
+}
+
+}  // namespace dct::sched

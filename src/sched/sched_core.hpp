@@ -1,0 +1,186 @@
+// Gang scheduling policy core (DESIGN.md §15).
+//
+// SchedCore is the pure, single-threaded decision engine behind the
+// multi-tenant cluster: it owns the rank ledger (which job holds which
+// ranks) and the queue, and each tick(now) emits the actions the
+// execution layer (ClusterManager, or a test harness) should carry
+// out. It never talks to simmpi and never blocks — time is a double
+// the caller supplies, so policy tests run in virtual time.
+//
+// The action/confirmation split keeps the ledger honest across slow
+// operations: ranks are *assigned* the moment a Place/Grow action is
+// issued and *freed* only when the execution layer confirms the
+// matching completion (job_finished / job_preempted / job_shrunk /
+// job_cancelled). In between, the job carries a pending op and the
+// core will not issue it another command — so a rank is owned by at
+// most one job at every instant, which check_conservation() asserts.
+//
+// Policy per tick, in order:
+//   1. Sort the queue by effective priority (base class + age /
+//      aging_interval, ties FIFO by submit sequence).
+//   2. Try to place the head. A gang is atomic: it starts only when
+//      min_ranks fit (elastic jobs take min(max_ranks, free)).
+//   3. Head blocked → reclaim: command shrinks (k=1) from elastic jobs
+//      above their floor, then preempt strictly-lower-class jobs
+//      (lowest class first, most recently placed first) until the
+//      projected free count covers the head.
+//   4. Backfill the rest of the queue around the blocked head — but
+//      ranks being reclaimed for the head are reserved for it, and a
+//      head starved past starvation_age blocks backfill entirely.
+//   5. Queue empty → hand leftover free ranks back to shrunken elastic
+//      jobs (grow toward their construction width).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace dct::sched {
+
+struct SchedConfig {
+  int ranks = 16;  ///< cluster size (rank pool 0..ranks-1)
+  /// Seconds of queue wait per +1 effective priority (aging).
+  double aging_interval = 10.0;
+  /// A head job starved longer than this blocks all backfill.
+  double starvation_age = 30.0;
+  bool allow_preemption = true;
+  bool allow_elastic = true;  ///< false: never command shrink/grow
+};
+
+/// A command for the execution layer. Ranks listed in kPlace/kGrow are
+/// already charged to the job in the ledger; the layer must eventually
+/// confirm or fail the action.
+struct Action {
+  enum class Kind {
+    kPlace,    ///< start gang on `ranks` (resume → restore checkpoint)
+    kPreempt,  ///< checkpoint and release; confirm with job_preempted
+    kShrink,   ///< cede `k` ranks; confirm job_shrunk / shrink_rejected
+    kGrow,     ///< admit `ranks` (extras); confirm job_grew / grow_failed
+    kKill,     ///< stop without checkpoint; confirm with job_cancelled
+  };
+  Kind kind = Kind::kPlace;
+  std::string job;
+  std::vector<int> ranks;
+  int k = 0;
+  bool resume = false;
+};
+
+/// Read-only view of one job for queries and reporting.
+struct JobView {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::vector<int> ranks;     ///< owned ranks (gang order)
+  double submit_time = 0.0;
+  double first_place = -1.0;  ///< -1 until first placed
+  double finish_time = -1.0;
+  int preemptions = 0;
+};
+
+/// End-of-run report (the numbers `dctrain cluster` prints).
+struct SchedSummary {
+  double makespan = 0.0;   ///< last finish/cancel − first submit
+  double mean_wait = 0.0;  ///< mean (first_place − submit) over placed jobs
+  int submitted = 0;
+  int finished = 0;
+  int cancelled = 0;
+  int preemptions = 0;
+  int shrinks = 0;
+  int grows = 0;
+  /// Per priority class: finished count and throughput (finished per
+  /// second of makespan).
+  std::map<std::string, int> finished_by_class;
+  std::map<std::string, double> throughput_by_class;
+};
+
+class SchedCore {
+ public:
+  explicit SchedCore(SchedConfig cfg);
+
+  /// Enqueue a job. The spec's gang floor must fit the cluster.
+  void submit(const JobSpec& spec, double now);
+
+  /// Cancel: a queued job dies immediately; a running one is killed by
+  /// a kKill action on a later tick (confirm with job_cancelled).
+  void cancel(const std::string& id, double now);
+
+  /// One policy pass; returns the commands to execute.
+  std::vector<Action> tick(double now);
+
+  // ---- confirmations from the execution layer -----------------------
+  void job_finished(const std::string& id, double now);
+  /// Preemption checkpointed and released: all ranks freed, job
+  /// re-queued pinned to its eviction width (the checkpoint's world).
+  void job_preempted(const std::string& id, double now);
+  /// The pending cede completed: the job's k highest gang ranks freed.
+  void job_shrunk(const std::string& id, double now);
+  /// The gang refused the cede (DIMD replication would not survive);
+  /// the core stops asking this job.
+  void shrink_rejected(const std::string& id);
+  void job_grew(const std::string& id, double now);
+  /// The pending grow failed: the tentatively-granted ranks freed.
+  void grow_failed(const std::string& id, double now);
+  /// A kill completed, or the job failed in execution.
+  void job_cancelled(const std::string& id, double now, const std::string& why);
+
+  // ---- queries ------------------------------------------------------
+  std::optional<JobView> query(const std::string& id) const;
+  std::vector<JobView> jobs() const;  ///< submit order
+  int free_ranks() const { return static_cast<int>(free_.size()); }
+  /// True when every submitted job reached kFinished or kCancelled.
+  bool all_terminal() const;
+  const std::vector<SchedEvent>& events() const { return events_; }
+  SchedSummary summary() const;
+  const SchedConfig& config() const { return cfg_; }
+
+  /// Ledger invariant: every rank is free or owned by exactly one
+  /// non-terminal job, and the counts add up. Throws CheckError.
+  void check_conservation() const;
+
+ private:
+  enum class Pending { kNone, kPreempt, kShrink, kGrow, kKill };
+
+  struct Job {
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    Pending pending = Pending::kNone;
+    std::uint64_t seq = 0;      ///< submit order (FIFO tie-break)
+    double submit_time = 0.0;
+    double queued_since = 0.0;  ///< last entry into the queue (aging)
+    double first_place = -1.0;
+    double placed_time = -1.0;  ///< latest placement (preempt ordering)
+    double finish_time = -1.0;
+    std::vector<int> ranks;
+    int born_width = 0;   ///< trainer construction width = grow cap
+    int fixed_width = 0;  ///< >0: resume must re-place at exactly this
+    bool resume = false;
+    bool want_cancel = false;
+    bool shrink_refused = false;
+    int pending_grow = 0;  ///< extras granted but unconfirmed
+    int pending_shrink = 0;
+    int preemptions = 0;
+  };
+
+  Job& get(const std::string& id);
+  const Job& get(const std::string& id) const;
+  double effective_priority(const Job& j, double now) const;
+  /// Width the head needs before it can start.
+  int need_width(const Job& j) const;
+  std::vector<int> take_free(int k);
+  void release(std::vector<int> ranks);
+  void place(Job& j, int width, double now, std::vector<Action>& out);
+  void record(double now, SchedEvent::Kind kind, const std::string& job,
+              int ranks, std::string detail = {});
+
+  SchedConfig cfg_;
+  std::map<std::string, Job> jobs_;
+  std::vector<std::string> submit_order_;
+  std::vector<int> free_;  ///< ascending rank ids
+  std::uint64_t next_seq_ = 0;
+  std::vector<SchedEvent> events_;
+};
+
+}  // namespace dct::sched

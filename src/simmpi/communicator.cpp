@@ -442,6 +442,28 @@ GrowResult Communicator::grow(std::span<const int> joiner_global_ranks,
   return result;
 }
 
+Communicator Communicator::attach(Transport& transport, std::uint64_t context,
+                                  std::vector<int> members, int self_global) {
+  DCT_CHECK_MSG(!members.empty(), "attach: empty membership");
+  auto group = std::make_shared<detail::Group>();
+  group->transport = &transport;
+  group->context = context;
+  int my_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int g = members[i];
+    DCT_CHECK_MSG(g >= 0 && g < transport.nranks(),
+                  "attach: member global rank " << g << " out of range");
+    if (g == self_global) {
+      DCT_CHECK_MSG(my_rank < 0, "attach: duplicate member " << g);
+      my_rank = static_cast<int>(i);
+    }
+  }
+  DCT_CHECK_MSG(my_rank >= 0, "attach: global rank " << self_global
+                                  << " is not in the member list");
+  group->members = std::move(members);
+  return Communicator(std::move(group), my_rank);
+}
+
 std::optional<Communicator> Communicator::await_join(
     Transport& transport, int self_global,
     std::chrono::milliseconds commit_deadline,
@@ -488,6 +510,10 @@ std::optional<Communicator> Communicator::await_join(
         return Communicator(std::move(group), my_rank);
       }
       if (transport.rank_dead(root_global) || clock::now() >= deadline) break;
+      // A cluster shutdown must release a rank parked mid-handshake too,
+      // not only one idling in the outer invite loop — otherwise every
+      // parked rank serves out the full commit_deadline at teardown.
+      if (!keep_waiting()) return std::nullopt;
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }

@@ -436,11 +436,26 @@ class Communicator {
   /// `commit_deadline` (coordinator died mid-handshake, or it committed
   /// without us) sends the rank back to the lobby rather than wedging.
   /// A restarted rank must call Transport::resurrect_rank on itself
-  /// before entering the lobby.
+  /// before entering the lobby. `keep_waiting` is polled in *both* wait
+  /// loops — the invite poll and the commit wait — so a cluster-wide
+  /// shutdown releases a parked rank promptly instead of letting it sit
+  /// out the full commit_deadline of a half-finished handshake.
   static std::optional<Communicator> await_join(
       Transport& transport, int self_global,
       std::chrono::milliseconds commit_deadline,
       const std::function<bool()>& keep_waiting);
+
+  /// Out-of-band communicator construction for an externally agreed
+  /// membership: every member builds its own handle from the same
+  /// (context, members) pair — message matching is by context id, so
+  /// per-rank Group instances interoperate exactly as await_join's
+  /// joiner-side construction does. The caller is the agreement
+  /// protocol: the gang scheduler allocates the context centrally
+  /// (Transport::new_context) and hands each member the identical
+  /// member list before any of them communicates. `members` maps gang
+  /// rank -> global rank and must contain `self_global`.
+  static Communicator attach(Transport& transport, std::uint64_t context,
+                             std::vector<int> members, int self_global);
 
  private:
   int next_collective_tag() {

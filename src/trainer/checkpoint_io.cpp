@@ -175,11 +175,15 @@ TrainerState read_trainer_state(const std::string& path) {
 }
 
 void write_manifest(const std::string& dir, std::uint64_t iteration,
-                    int nranks, std::span<const int> origin_ranks) {
+                    int nranks, std::span<const int> origin_ranks,
+                    const std::string& job_id) {
   DCT_CHECK_MSG(origin_ranks.empty() ||
                     origin_ranks.size() == static_cast<std::size_t>(nranks),
                 "manifest origin map has " << origin_ranks.size()
                     << " entries for a " << nranks << "-rank world");
+  DCT_CHECK_MSG(job_id.find_first_of(" \t\n\r") == std::string::npos,
+                "manifest job id must not contain whitespace: \"" << job_id
+                                                                  << "\"");
   std::filesystem::create_directories(dir);
   const std::string path = dir + "/MANIFEST";
   const std::string tmp = path + ".tmp";
@@ -192,6 +196,7 @@ void write_manifest(const std::string& dir, std::uint64_t iteration,
       for (const int o : origin_ranks) os << ' ' << o;
       os << '\n';
     }
+    if (!job_id.empty()) os << "job " << job_id << '\n';
     os.flush();
     DCT_CHECK_MSG(os.good(), "failed writing manifest " << tmp);
   }
@@ -230,18 +235,32 @@ std::optional<ManifestInfo> read_manifest_info(const std::string& dir) {
   ManifestInfo info;
   is >> info.iteration >> info.nranks;
   DCT_CHECK_MSG(!is.fail(), "malformed manifest in " << dir);
+  // Keyword lines after the header, in any order: "origins <o...>"
+  // (exactly nranks entries) and "job <id>".
   std::string key;
-  if (is >> key) {
-    DCT_CHECK_MSG(key == "origins",
-                  "malformed manifest in " << dir << ": unexpected \"" << key
-                                           << "\"");
-    int o = 0;
-    while (is >> o) info.origin_ranks.push_back(o);
-    DCT_CHECK_MSG(
-        info.origin_ranks.size() == static_cast<std::size_t>(info.nranks),
-        "world-shape disagreement in " << dir << "/MANIFEST: origins line has "
-            << info.origin_ranks.size() << " entries but the manifest names a "
-            << info.nranks << "-rank world");
+  while (is >> key) {
+    if (key == "origins") {
+      DCT_CHECK_MSG(info.origin_ranks.empty(),
+                    "malformed manifest in " << dir
+                                             << ": duplicate origins line");
+      for (int i = 0; i < info.nranks; ++i) {
+        int o = 0;
+        if (!(is >> o)) break;
+        info.origin_ranks.push_back(o);
+      }
+      DCT_CHECK_MSG(
+          info.origin_ranks.size() == static_cast<std::size_t>(info.nranks),
+          "world-shape disagreement in " << dir
+              << "/MANIFEST: origins line has " << info.origin_ranks.size()
+              << " entries but the manifest names a " << info.nranks
+              << "-rank world");
+    } else if (key == "job") {
+      DCT_CHECK_MSG(is >> info.job_id,
+                    "malformed manifest in " << dir << ": empty job line");
+    } else {
+      DCT_CHECK_MSG(false, "malformed manifest in " << dir << ": unexpected \""
+                                                    << key << "\"");
+    }
   }
   return info;
 }

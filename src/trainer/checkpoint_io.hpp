@@ -7,12 +7,17 @@
 //   <dir>/MANIFEST                   text: "<iteration> <nranks>\n"
 //                                    optionally followed by
 //                                    "origins <o0> <o1> … <o(n-1)>\n"
+//                                    and/or "job <job_id>\n"
 //
 // The origins line records, for each rank of the saving world, which
 // rank of the *original* (construction-time) world it descends from —
-// the provenance a shrink/grow reshuffles. Readers that only need the
+// the provenance a shrink/grow reshuffles. The job line names the
+// tenant that wrote the set (multi-tenant scheduling namespaces
+// checkpoint directories per job; the manifest's job id lets resume
+// reject a directory that belongs to a different tenant instead of
+// silently adopting its weights). Readers that only need the
 // (iteration, nranks) pair parse the first line and ignore the rest,
-// so old manifests (no origins line) and old readers both keep working.
+// so old manifests (no keyword lines) and old readers both keep working.
 //
 // Every file is written to "<path>.tmp" and renamed into place, and the
 // MANIFEST is only updated after a barrier confirms all rank files are
@@ -58,18 +63,22 @@ TrainerState read_trainer_state(const std::string& path);
 /// Atomically publish `iteration` as the newest complete checkpoint.
 /// `origin_ranks`, when non-empty, must have one entry per rank and is
 /// written as the manifest's origins line (world-shape provenance).
+/// `job_id`, when non-empty, is written as the manifest's job line
+/// (tenant provenance; must not contain whitespace).
 void write_manifest(const std::string& dir, std::uint64_t iteration,
-                    int nranks, std::span<const int> origin_ranks = {});
+                    int nranks, std::span<const int> origin_ranks = {},
+                    const std::string& job_id = {});
 
 /// Everything the manifest records: the newest complete iteration, the
 /// world size it was taken with, and (when present) the origin-rank
-/// map. Validates shape: an origins line whose entry count disagrees
-/// with nranks is a world-shape error, reported clearly rather than
-/// surfacing later as a missing rank file or CRC mismatch.
+/// map and owning job id. Validates shape: an origins line whose entry
+/// count disagrees with nranks is a world-shape error, reported clearly
+/// rather than surfacing later as a missing rank file or CRC mismatch.
 struct ManifestInfo {
   std::uint64_t iteration = 0;
   int nranks = 0;
   std::vector<int> origin_ranks;  ///< empty for pre-origins manifests
+  std::string job_id;             ///< empty for single-tenant manifests
 };
 std::optional<ManifestInfo> read_manifest_info(const std::string& dir);
 

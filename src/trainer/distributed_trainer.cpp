@@ -289,6 +289,22 @@ void DistributedTrainer::shrink_to(const simmpi::ShrinkResult& shrink,
                             .count());
 }
 
+bool DistributedTrainer::cede_feasible(int k) const {
+  if (k <= 0 || k >= comm_.size()) return false;
+  if (cfg_.deterministic_global_sampling) return false;
+  if (dimd_ == nullptr) return true;  // donkey mode: no partitioned data
+  if (cfg_.dimd.groups != 1) return false;
+  // Hypothetical victims: the k highest gang ranks (the scheduler's
+  // cede convention — survivors keep a dense rank prefix).
+  std::vector<int> dead = dimd_->dead_origin_ranks();
+  for (int r = comm_.size() - k; r < comm_.size(); ++r) {
+    dead.push_back(origin_ranks_[static_cast<std::size_t>(r)]);
+  }
+  return data::DimdStore::recoverable(dimd_->shard_count(),
+                                      dimd_->replication(),
+                                      std::span<const int>(dead));
+}
+
 bool DistributedTrainer::grow_feasible(int joiner_count) const {
   if (joiner_count <= 0) return false;
   // The shared-stream sampling mode hard-requires dimd.groups ==
@@ -581,6 +597,7 @@ StepMetrics DistributedTrainer::step() {
     obs::TelemetryFrame frame;
     frame.step = static_cast<std::int64_t>(iteration_) - 1;
     frame.rank = comm_.rank();
+    frame.job = cfg_.job_index;
     // "send" is wall time spent inside Transport::send this step — the
     // sender-side signal that singles out a straggler even though the
     // synchronous collective slows every rank's step equally.
@@ -639,6 +656,16 @@ double DistributedTrainer::evaluate(std::int64_t count) {
   return tensor::top1_accuracy(logits, labels);
 }
 
+std::string DistributedTrainer::effective_checkpoint_dir() const {
+  if (cfg_.checkpoint_dir.empty() || cfg_.job_id.empty()) {
+    return cfg_.checkpoint_dir;
+  }
+  DCT_CHECK_MSG(cfg_.job_id.find_first_of(" \t\n\r/\\") == std::string::npos,
+                "job_id must be a single path component: \"" << cfg_.job_id
+                                                             << "\"");
+  return cfg_.checkpoint_dir + "/" + cfg_.job_id;
+}
+
 std::vector<float> DistributedTrainer::snapshot_params() {
   std::vector<float> params(
       static_cast<std::size_t>(table_->param_count()));
@@ -666,37 +693,51 @@ void DistributedTrainer::save_checkpoint() {
     off += count;
   }
   DCT_CHECK(off == st.velocities.size());
-  write_trainer_state(
-      st, rank_checkpoint_path(cfg_.checkpoint_dir, iteration_, comm_.rank()));
+  const std::string dir = effective_checkpoint_dir();
+  write_trainer_state(st,
+                      rank_checkpoint_path(dir, iteration_, comm_.rank()));
   // Only publish once every rank file of this set is durable, so a
   // crash at any instant leaves the MANIFEST naming a complete set.
   comm_.barrier();
   if (comm_.rank() == 0) {
-    write_manifest(cfg_.checkpoint_dir, iteration_, comm_.size(),
-                   std::span<const int>(origin_ranks_));
+    write_manifest(dir, iteration_, comm_.size(),
+                   std::span<const int>(origin_ranks_), cfg_.job_id);
   }
   checkpoint_counter().add(1);
 }
 
 bool DistributedTrainer::resume() {
   if (cfg_.checkpoint_dir.empty()) return false;
+  const std::string dir = effective_checkpoint_dir();
   // Rank 0 picks the newest checkpoint whose whole rank-file set
   // validates — skipping past a truncated or corrupt newest set — and
   // broadcasts the choice so every rank restores the same iteration.
   std::uint64_t chosen[2] = {0, 0};  // [has_value, iteration]
   if (comm_.rank() == 0) {
-    const auto found =
-        find_restorable_checkpoint(cfg_.checkpoint_dir, comm_.size());
+    if (const auto info = read_manifest_info(dir);
+        info.has_value() && info->job_id != cfg_.job_id) {
+      // Tenant mismatch: this directory's checkpoints belong to a
+      // different job. Refuse loudly rather than silently adopting
+      // another tenant's weights (or starting fresh over its files).
+      DCT_CHECK_MSG(false,
+                    "checkpoint tenant mismatch: " << dir
+                        << " belongs to job \""
+                        << (info->job_id.empty() ? "<untagged>" : info->job_id)
+                        << "\" but this trainer is job \""
+                        << (cfg_.job_id.empty() ? "<untagged>" : cfg_.job_id)
+                        << "\"");
+    }
+    const auto found = find_restorable_checkpoint(dir, comm_.size());
     if (found.has_value()) {
       chosen[0] = 1;
       chosen[1] = *found;
-    } else if (const auto info = read_manifest_info(cfg_.checkpoint_dir);
+    } else if (const auto info = read_manifest_info(dir);
                info.has_value() && info->nranks != comm_.size()) {
       // Fail with the real cause — a world-shape disagreement — instead
       // of silently starting fresh (or letting a later partial restore
       // surface as a missing rank file / CRC mismatch).
       DCT_CHECK_MSG(false, "world-shape disagreement: checkpoint in "
-                               << cfg_.checkpoint_dir << " was taken with "
+                               << dir << " was taken with "
                                << info->nranks << " ranks, cannot resume with "
                                << comm_.size());
     }
@@ -707,7 +748,7 @@ bool DistributedTrainer::resume() {
   DCT_TRACE_SPAN("checkpoint_restore", "recovery",
                  static_cast<std::int64_t>(*iter));
   const auto st = read_trainer_state(
-      rank_checkpoint_path(cfg_.checkpoint_dir, *iter, comm_.rank()));
+      rank_checkpoint_path(dir, *iter, comm_.rank()));
   DCT_CHECK_MSG(st.iteration == *iter,
                 "checkpoint file iteration " << st.iteration
                     << " disagrees with the restorable set chosen");
@@ -738,7 +779,7 @@ bool DistributedTrainer::resume() {
   std::uint64_t adopt = 0;
   std::vector<std::uint64_t> origins(static_cast<std::size_t>(comm_.size()));
   if (comm_.rank() == 0) {
-    if (const auto info = read_manifest_info(cfg_.checkpoint_dir);
+    if (const auto info = read_manifest_info(dir);
         info.has_value() && info->iteration == *iter &&
         info->nranks == comm_.size() && !info->origin_ranks.empty() &&
         (cfg_.record_blob_path.has_value() || cfg_.dimd.groups == 1)) {

@@ -70,6 +70,17 @@ struct TrainerConfig {
   std::string checkpoint_dir;
   int checkpoint_every = 0;
 
+  /// Multi-tenant identity (src/sched). When non-empty, checkpoints are
+  /// namespaced under `<checkpoint_dir>/<job_id>/` and the manifest
+  /// records the id, so concurrent jobs sharing one --checkpoint-dir
+  /// can neither clobber nor cross-resume each other's sets; resume()
+  /// rejects a manifest whose job id disagrees. Must not contain
+  /// whitespace or path separators. Empty = legacy single-tenant layout.
+  std::string job_id;
+  /// Numeric tenant tag stamped into telemetry frames and metrics rows
+  /// (-1 = untagged single-tenant).
+  int job_index = -1;
+
   /// Sampling:
   ///  false → paper §3: every learner samples with its own seed.
   ///  true  → a shared per-step seed; rank r consumes slice r of the
@@ -191,6 +202,15 @@ class DistributedTrainer {
     return static_cast<int>(dead_origins_.size());
   }
 
+  /// Can this job voluntarily cede its `k` highest gang ranks (a
+  /// scheduler-commanded shrink, DESIGN.md §15)? Same constraints as
+  /// shrink_feasible — deterministic sampling pins the world shape, a
+  /// DIMD shard must survive on some remaining rank — evaluated for the
+  /// hypothetical loss of ranks [size-k, size). Deterministic: every
+  /// rank computes the same verdict locally, so a gang can agree to
+  /// refuse a cede without communicating.
+  bool cede_feasible(int k) const;
+
   dpt::DataParallelTable& table() { return *table_; }
   /// Telemetry plane, or null when cfg.telemetry.enabled is false (or
   /// the plane was quiesced and not yet rebuilt).
@@ -202,6 +222,11 @@ class DistributedTrainer {
 
  private:
   storage::LoadedBatch next_batch();
+
+  /// Checkpoint directory after tenant namespacing: cfg.checkpoint_dir
+  /// itself in single-tenant runs, `<dir>/<job_id>` when cfg.job_id is
+  /// set. Every checkpoint read/write goes through this.
+  std::string effective_checkpoint_dir() const;
 
   /// Shared halves of the two constructors: the model/optimizer stack
   /// and the donkey file path (both purely local).

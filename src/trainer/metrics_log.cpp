@@ -37,17 +37,17 @@ MetricsLog::~MetricsLog() {
 }
 
 std::vector<std::string> MetricsLog::step_columns() {
-  return {"rank",         "step",         "world_size",
-          "loss",         "step_seconds", "data_seconds",
-          "allreduce_seconds", "comm_bytes"};
+  return {"rank",         "job",          "step",
+          "world_size",   "loss",         "step_seconds",
+          "data_seconds", "allreduce_seconds", "comm_bytes"};
 }
 
 void MetricsLog::append_step(int rank, std::uint64_t step, int world_size,
-                             const StepMetrics& m) {
-  append({static_cast<double>(rank), static_cast<double>(step),
-          static_cast<double>(world_size), static_cast<double>(m.loss),
-          m.step_seconds, m.data_seconds, m.allreduce_seconds,
-          static_cast<double>(m.comm_bytes)});
+                             const StepMetrics& m, int job) {
+  append({static_cast<double>(rank), static_cast<double>(job),
+          static_cast<double>(step), static_cast<double>(world_size),
+          static_cast<double>(m.loss), m.step_seconds, m.data_seconds,
+          m.allreduce_seconds, static_cast<double>(m.comm_bytes)});
 }
 
 void MetricsLog::append(const std::vector<double>& values) {

@@ -32,15 +32,16 @@ class MetricsLog {
   /// to use append_step.
   static std::vector<std::string> step_columns();
 
-  /// Append one training step: the emitting rank, its monotonic step
-  /// id, the world size the step ran at, loss, the three phase timings,
-  /// and the gradient bytes this rank moved (comm_bytes). Rank + step
+  /// Append one training step: the emitting rank, the job index the
+  /// rank was serving (-1 = single-tenant), its monotonic step id, the
+  /// world size the step ran at, loss, the three phase timings, and the
+  /// gradient bytes this rank moved (comm_bytes). Rank + job + step
   /// make rows from different ranks (or a rank that survived a shrink
-  /// and renumbered) joinable without relying on file identity or row
-  /// order; world_size lets post-mortems segment a run by its elastic
-  /// shrink/grow transitions.
+  /// and renumbered, or was handed to another job) joinable without
+  /// relying on file identity or row order; world_size lets
+  /// post-mortems segment a run by its elastic shrink/grow transitions.
   void append_step(int rank, std::uint64_t step, int world_size,
-                   const StepMetrics& m);
+                   const StepMetrics& m, int job = -1);
 
   std::size_t rows() const { return rows_; }
   void flush() { os_.flush(); }

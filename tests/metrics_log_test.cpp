@@ -56,17 +56,21 @@ TEST(MetricsLog, StepColumnsRoundTripStepMetrics) {
     m.data_seconds = 0.0625;
     m.allreduce_seconds = 0.125;
     m.comm_bytes = 4096;
-    log.append_step(/*rank=*/3, /*step=*/7, /*world_size=*/8, m);
-    EXPECT_EQ(log.rows(), 1u);
+    log.append_step(/*rank=*/3, /*step=*/7, /*world_size=*/8, m,
+                    /*job=*/2);
+    log.append_step(/*rank=*/3, /*step=*/8, /*world_size=*/8, m);
+    EXPECT_EQ(log.rows(), 2u);
   }
   std::ifstream is(path);
   std::string header, row;
   std::getline(is, header);
   EXPECT_EQ(header,
-            "rank,step,world_size,loss,step_seconds,data_seconds,"
+            "rank,job,step,world_size,loss,step_seconds,data_seconds,"
             "allreduce_seconds,comm_bytes");
   std::getline(is, row);
-  EXPECT_EQ(row, "3,7,8,1.5,0.25,0.0625,0.125,4096");
+  EXPECT_EQ(row, "3,2,7,8,1.5,0.25,0.0625,0.125,4096");
+  std::getline(is, row);  // single-tenant rows default to job -1
+  EXPECT_EQ(row, "3,-1,8,8,1.5,0.25,0.0625,0.125,4096");
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,553 @@
+// Multi-tenant cluster scheduler tests (DESIGN.md §15).
+//
+// Two layers, matching the subsystem's own split:
+//   - SchedCore policy tests run in virtual time with hand-driven
+//     confirmations: gang atomicity, backfill, aging, preemption
+//     ordering, and a randomized 100-job soak that asserts rank
+//     conservation after every tick.
+//   - ClusterManager end-to-end tests run real gangs on a simulated
+//     cluster: preemption checkpoint/resume bit-identity against an
+//     uninterrupted reference run, and the full cede → preempt →
+//     resume → grow elastic-sharing cycle.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netsim/contention.hpp"
+#include "netsim/topology.hpp"
+#include "sched/cluster_manager.hpp"
+#include "sched/job.hpp"
+#include "sched/sched_core.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/checkpoint_io.hpp"
+#include "trainer/distributed_trainer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dct::sched {
+namespace {
+
+JobSpec spec(std::string id, Priority pri, int min_ranks, int max_ranks,
+             std::int64_t iterations = 10, double submit = 0.0) {
+  JobSpec s;
+  s.id = std::move(id);
+  s.priority = pri;
+  s.min_ranks = min_ranks;
+  s.max_ranks = max_ranks;
+  s.iterations = iterations;
+  s.submit_time = submit;
+  return s;
+}
+
+bool placed(const std::vector<Action>& acts, const std::string& job) {
+  return std::any_of(acts.begin(), acts.end(), [&](const Action& a) {
+    return a.kind == Action::Kind::kPlace && a.job == job;
+  });
+}
+
+// ---- gang atomicity ---------------------------------------------------
+
+TEST(SchedCore, GangNeverPartiallyPlaces) {
+  SchedConfig cfg;
+  cfg.ranks = 8;
+  SchedCore core(cfg);
+
+  core.submit(spec("holder", Priority::kStandard, 4, 4), 0.0);
+  auto acts = core.tick(0.0);
+  ASSERT_TRUE(placed(acts, "holder"));
+  ASSERT_EQ(core.free_ranks(), 4);
+
+  // A 6-rank gang must not grab the 4 free ranks: same class, so no
+  // preemption; rigid, so no donor. It waits whole.
+  core.submit(spec("gang6", Priority::kStandard, 6, 6), 1.0);
+  for (int i = 0; i < 5; ++i) {
+    acts = core.tick(1.0 + i);
+    EXPECT_FALSE(placed(acts, "gang6"));
+    EXPECT_EQ(core.free_ranks(), 4);
+    EXPECT_EQ(core.query("gang6")->state, JobState::kQueued);
+    core.check_conservation();
+  }
+
+  // Capacity appears → the gang starts all at once on 6 ranks.
+  core.job_finished("holder", 6.0);
+  acts = core.tick(6.0);
+  ASSERT_TRUE(placed(acts, "gang6"));
+  EXPECT_EQ(core.query("gang6")->ranks.size(), 6u);
+  EXPECT_EQ(core.free_ranks(), 2);
+  core.check_conservation();
+}
+
+// ---- backfill ---------------------------------------------------------
+
+TEST(SchedCore, SmallJobBackfillsBehindBlockedHead) {
+  SchedConfig cfg;
+  cfg.ranks = 8;
+  SchedCore core(cfg);
+
+  core.submit(spec("big", Priority::kStandard, 6, 6), 0.0);
+  ASSERT_TRUE(placed(core.tick(0.0), "big"));
+
+  // Head needs 6, only 2 free, nothing to reclaim → blocked; the
+  // younger 2-rank job leapfrogs it into the hole.
+  core.submit(spec("head", Priority::kStandard, 6, 6), 1.0);
+  core.submit(spec("small", Priority::kStandard, 2, 2), 2.0);
+  const auto acts = core.tick(2.0);
+  EXPECT_FALSE(placed(acts, "head"));
+  EXPECT_TRUE(placed(acts, "small"));
+  EXPECT_EQ(core.free_ranks(), 0);
+  EXPECT_EQ(core.query("head")->state, JobState::kQueued);
+  core.check_conservation();
+}
+
+TEST(SchedCore, BackfillReservesRanksBeingReclaimed) {
+  SchedConfig cfg;
+  cfg.ranks = 8;
+  SchedCore core(cfg);
+
+  core.submit(spec("victim", Priority::kBatch, 6, 6), 0.0);
+  ASSERT_TRUE(placed(core.tick(0.0), "victim"));
+
+  // Production head forces a preemption; until the eviction confirms,
+  // the 2 free ranks are reserved for the head, so the backfiller must
+  // NOT take them (it would steal the head's gang as it assembles).
+  core.submit(spec("head", Priority::kProduction, 8, 8), 1.0);
+  auto acts = core.tick(1.0);
+  ASSERT_TRUE(std::any_of(acts.begin(), acts.end(), [](const Action& a) {
+    return a.kind == Action::Kind::kPreempt && a.job == "victim";
+  }));
+  core.submit(spec("filler", Priority::kBatch, 2, 2), 1.5);
+  acts = core.tick(1.5);
+  EXPECT_FALSE(placed(acts, "filler"));
+
+  core.job_preempted("victim", 2.0);
+  acts = core.tick(2.0);
+  EXPECT_TRUE(placed(acts, "head"));
+  EXPECT_FALSE(placed(acts, "filler"));  // head took everything
+  core.check_conservation();
+}
+
+// ---- aging ------------------------------------------------------------
+
+TEST(SchedCore, AgingPromotesStarvedLowPriorityJob) {
+  SchedConfig cfg;
+  cfg.ranks = 4;
+  cfg.aging_interval = 10.0;
+  SchedCore core(cfg);
+
+  core.submit(spec("hog", Priority::kStandard, 4, 4), 0.0);
+  ASSERT_TRUE(placed(core.tick(0.0), "hog"));
+
+  // The batch job waits 100 s (effective priority 0 + 10); the fresh
+  // standard job is only 1 + 0. The starved job goes first.
+  core.submit(spec("old-batch", Priority::kBatch, 4, 4), 0.0);
+  core.submit(spec("new-std", Priority::kStandard, 4, 4), 100.0);
+  core.job_finished("hog", 100.0);
+  const auto acts = core.tick(100.0);
+  EXPECT_TRUE(placed(acts, "old-batch"));
+  EXPECT_FALSE(placed(acts, "new-std"));
+  EXPECT_EQ(core.query("new-std")->state, JobState::kQueued);
+  core.check_conservation();
+}
+
+// ---- preemption policy ------------------------------------------------
+
+TEST(SchedCore, PreemptsStrictlyLowerClassOnly) {
+  SchedConfig cfg;
+  cfg.ranks = 4;
+  SchedCore core(cfg);
+
+  core.submit(spec("peer", Priority::kProduction, 4, 4), 0.0);
+  ASSERT_TRUE(placed(core.tick(0.0), "peer"));
+
+  // Same base class → never preempted, however long the head waits
+  // (aging raises queue order, not preemptor rights).
+  core.submit(spec("head", Priority::kProduction, 4, 4), 1.0);
+  for (double t = 1.0; t < 200.0; t += 50.0) {
+    for (const auto& a : core.tick(t)) {
+      EXPECT_NE(a.kind, Action::Kind::kPreempt);
+    }
+  }
+  EXPECT_EQ(core.query("head")->state, JobState::kQueued);
+}
+
+TEST(SchedCore, PreemptedJobResumesAtEvictionWidth) {
+  SchedConfig cfg;
+  cfg.ranks = 8;
+  SchedCore core(cfg);
+
+  // Elastic batch job spreads over the whole cluster…
+  core.submit(spec("stretchy", Priority::kBatch, 2, 8), 0.0);
+  ASSERT_TRUE(placed(core.tick(0.0), "stretchy"));
+  ASSERT_EQ(core.query("stretchy")->ranks.size(), 8u);
+
+  // …is evicted, and must re-place at exactly the checkpointed width
+  // even though, post-burst, it could stretch again. Reclamation asks
+  // the elastic donor to cede first; once it refuses, the preemption
+  // lands on the next tick.
+  core.submit(spec("burst", Priority::kProduction, 8, 8), 1.0);
+  auto acts = core.tick(1.0);
+  ASSERT_TRUE(std::any_of(acts.begin(), acts.end(), [](const Action& a) {
+    return a.kind == Action::Kind::kShrink && a.job == "stretchy";
+  }));
+  core.shrink_rejected("stretchy");
+  acts = core.tick(1.1);
+  ASSERT_TRUE(std::any_of(acts.begin(), acts.end(), [](const Action& a) {
+    return a.kind == Action::Kind::kPreempt && a.job == "stretchy";
+  }));
+  core.job_preempted("stretchy", 2.0);
+  ASSERT_TRUE(placed(core.tick(2.0), "burst"));
+  core.job_finished("burst", 3.0);
+  acts = core.tick(3.0);
+  ASSERT_TRUE(placed(acts, "stretchy"));
+  const auto it = std::find_if(acts.begin(), acts.end(), [](const Action& a) {
+    return a.kind == Action::Kind::kPlace && a.job == "stretchy";
+  });
+  EXPECT_TRUE(it->resume);
+  EXPECT_EQ(it->ranks.size(), 8u);
+  core.check_conservation();
+}
+
+// ---- randomized soak --------------------------------------------------
+
+// 100 random jobs on 16 ranks, with delayed confirmations and
+// occasional shrink refusals / grow failures. After every tick the
+// ledger must balance (every rank owned by exactly one party), and at
+// the end every job must have finished — zero lost jobs.
+TEST(SchedCore, RandomizedSoak100Jobs16Ranks) {
+  SchedConfig cfg;
+  cfg.ranks = 16;
+  cfg.aging_interval = 2.0;
+  cfg.starvation_age = 6.0;
+  SchedCore core(cfg);
+  Rng rng(0x50AC5EED);
+
+  std::vector<JobSpec> arrivals;
+  for (int i = 0; i < 100; ++i) {
+    const auto cls = rng.next_below(10);
+    const Priority pri = cls < 5   ? Priority::kBatch
+                         : cls < 8 ? Priority::kStandard
+                                   : Priority::kProduction;
+    const int mn = 1 + static_cast<int>(rng.next_below(6));
+    const int mx = rng.next_below(3) == 0
+                       ? std::min(cfg.ranks, mn + 2)
+                       : mn;
+    auto s = spec("job" + std::to_string(i), pri, mn, mx, 1);
+    s.submit_time = 0.2 * static_cast<double>(rng.next_below(100));
+    arrivals.push_back(std::move(s));
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+
+  struct Sim {
+    double remaining = 0.0;  ///< virtual seconds of work left
+    double placed_at = 0.0;
+    bool running = false;
+  };
+  struct Op {
+    double due = 0.0;
+    Action::Kind kind = Action::Kind::kPreempt;
+    std::string job;
+  };
+  std::map<std::string, Sim> sim;
+  for (const auto& s : arrivals) {
+    sim[s.id].remaining = 0.2 + 0.02 * static_cast<double>(rng.next_below(90));
+  }
+  std::vector<Op> ops;
+  const auto outstanding = [&](const std::string& id) {
+    return std::any_of(ops.begin(), ops.end(),
+                       [&](const Op& o) { return o.job == id; });
+  };
+
+  std::size_t fed = 0;
+  double t = 0.0;
+  for (; t < 500.0; t += 0.1) {
+    while (fed < arrivals.size() && arrivals[fed].submit_time <= t) {
+      core.submit(arrivals[fed], t);
+      ++fed;
+    }
+
+    // Jobs whose work has elapsed finish — but only once no command is
+    // in flight for them (the command word reaches a gang before its
+    // next step, so a real gang never finishes past an undelivered op).
+    for (auto& [id, s] : sim) {
+      if (s.running && !outstanding(id) && t - s.placed_at >= s.remaining) {
+        core.job_finished(id, t);
+        s.running = false;
+        s.remaining = 0.0;
+      }
+    }
+
+    // Deliver due confirmations.
+    for (std::size_t i = 0; i < ops.size();) {
+      if (ops[i].due > t) {
+        ++i;
+        continue;
+      }
+      const Op o = ops[i];
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      Sim& s = sim[o.job];
+      switch (o.kind) {
+        case Action::Kind::kPreempt:
+          s.remaining = std::max(0.05, s.remaining - (t - s.placed_at));
+          s.running = false;
+          core.job_preempted(o.job, t);
+          break;
+        case Action::Kind::kShrink:
+          if (rng.next_below(4) == 0) {
+            core.shrink_rejected(o.job);
+          } else {
+            core.job_shrunk(o.job, t);
+          }
+          break;
+        case Action::Kind::kGrow:
+          if (rng.next_below(7) == 0) {
+            core.grow_failed(o.job, t);
+          } else {
+            core.job_grew(o.job, t);
+          }
+          break;
+        default:
+          FAIL() << "unexpected op";
+      }
+    }
+
+    for (const auto& a : core.tick(t)) {
+      switch (a.kind) {
+        case Action::Kind::kPlace:
+          sim[a.job].running = true;
+          sim[a.job].placed_at = t;
+          break;
+        case Action::Kind::kPreempt:
+        case Action::Kind::kShrink:
+        case Action::Kind::kGrow:
+          ops.push_back({t + 0.05 + 0.01 * static_cast<double>(
+                                        rng.next_below(30)),
+                         a.kind, a.job});
+          break;
+        case Action::Kind::kKill:
+          FAIL() << "no job was cancelled";
+      }
+    }
+
+    ASSERT_NO_THROW(core.check_conservation()) << "at t=" << t;
+    if (fed == arrivals.size() && core.all_terminal()) break;
+  }
+
+  EXPECT_TRUE(core.all_terminal()) << "stalled at t=" << t;
+  const auto s = core.summary();
+  EXPECT_EQ(s.submitted, 100);
+  EXPECT_EQ(s.finished, 100);
+  EXPECT_EQ(s.cancelled, 0);  // zero lost jobs
+  EXPECT_EQ(core.free_ranks(), cfg.ranks);
+}
+
+// ---- fabric contention ------------------------------------------------
+
+TEST(Contention, DisjointLeavesDoNotInterfere) {
+  netsim::FatTree::Config tc;
+  tc.hosts = 8;
+  tc.hosts_per_leaf = 4;
+  const netsim::FatTree tree(tc);
+  const std::vector<netsim::JobPlacement> jobs{
+      {0, {0, 1, 2, 3}},  // leaf 0
+      {1, {4, 5, 6, 7}},  // leaf 1
+  };
+  for (const auto& c : netsim::estimate_contention(tree, jobs)) {
+    EXPECT_DOUBLE_EQ(c.slowdown, 1.0) << "job " << c.job;
+  }
+}
+
+TEST(Contention, InterleavedJobsShareFabricLinks) {
+  // One spine, one rail: every cross-leaf flow shares the same two
+  // fabric links, so two interleaved rings see exactly 2x slowdown.
+  netsim::FatTree::Config tc;
+  tc.hosts = 8;
+  tc.hosts_per_leaf = 4;
+  tc.spines = 1;
+  tc.rails = 1;
+  const netsim::FatTree tree(tc);
+  const std::vector<netsim::JobPlacement> jobs{
+      {0, {0, 4}},
+      {1, {1, 5}},
+  };
+  const auto out = netsim::estimate_contention(tree, jobs);
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& c : out) {
+    EXPECT_DOUBLE_EQ(c.slowdown, 2.0) << "job " << c.job;
+    EXPECT_GE(c.busiest_link, 0);
+    EXPECT_FALSE(c.busiest_name.empty());
+  }
+}
+
+// ---- end-to-end: preemption checkpoint/resume bit-identity ------------
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+trainer::TrainerConfig tiny_template(const std::string& ckpt_dir) {
+  trainer::TrainerConfig cfg;
+  cfg.gpus_per_node = 1;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.images = 32;
+  cfg.dataset.seed = 77;
+  cfg.seed = 77;
+  cfg.dimd.replication = 2;
+  cfg.checkpoint_dir = ckpt_dir;
+  return cfg;
+}
+
+TEST(ClusterManager, PreemptResumeIsBitIdenticalToUninterruptedRun) {
+  const std::string dir = testing::TempDir() + "dct_sched_preempt";
+  const std::string ref_dir = testing::TempDir() + "dct_sched_preempt_ref";
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(ref_dir);
+
+  constexpr std::int64_t kIters = 500;
+  ClusterConfig cfg;
+  cfg.sched.ranks = 4;
+  cfg.job_template = tiny_template(dir);
+
+  // The victim owns the whole 4-rank cluster; a production burst
+  // arrives, evicts it mid-run (checkpoint + requeue), finishes, and
+  // the victim resumes from its manifest to completion.
+  std::vector<JobSpec> trace;
+  trace.push_back(spec("victim", Priority::kBatch, 4, 4, kIters, 0.0));
+  trace.push_back(spec("burst", Priority::kProduction, 4, 4, 40, 0.05));
+  ClusterManager mgr(cfg, std::move(trace));
+  mgr.run();
+
+  const auto s = mgr.core().summary();
+  EXPECT_EQ(s.finished, 2);
+  EXPECT_EQ(s.cancelled, 0);
+  ASSERT_GE(s.preemptions, 1);
+  EXPECT_EQ(mgr.core().query("victim")->preemptions, 1);
+  mgr.core().check_conservation();
+
+  // The event log must show the victim re-placed with resume.
+  bool resumed = false;
+  for (const auto& ev : mgr.core().events()) {
+    if (ev.kind == SchedEvent::Kind::kPlace && ev.job == "victim" &&
+        ev.detail == "resume") {
+      resumed = true;
+    }
+  }
+  EXPECT_TRUE(resumed);
+
+  // Reference: the same job, same derived seed, never interrupted.
+  // job_cfg derives seed = template.seed + 1009 * (job_index + 1) and
+  // the victim is trace index 0.
+  trainer::TrainerConfig ref = tiny_template(ref_dir);
+  ref.job_id = "victim";
+  ref.seed = ref.seed + 1009;
+  simmpi::Runtime::execute(4, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer t(comm, ref);
+    for (std::int64_t i = 0; i < kIters; ++i) t.step();
+    t.save_checkpoint();
+  });
+
+  // The preempted-and-resumed victim's final checkpoint must be
+  // byte-for-byte the uninterrupted run's.
+  for (int r = 0; r < 4; ++r) {
+    const auto got = slurp(trainer::rank_checkpoint_path(
+        dir + "/victim", static_cast<std::uint64_t>(kIters), r));
+    const auto want = slurp(trainer::rank_checkpoint_path(
+        ref_dir + "/victim", static_cast<std::uint64_t>(kIters), r));
+    ASSERT_FALSE(want.empty());
+    EXPECT_TRUE(got == want) << "rank " << r << " checkpoint differs";
+  }
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(ref_dir);
+}
+
+// ---- end-to-end: elastic cede → preempt → resume → grow ---------------
+
+TEST(ClusterManager, ElasticSharingFullCycle) {
+  const std::string dir = testing::TempDir() + "dct_sched_elastic";
+  std::filesystem::remove_all(dir);
+
+  ClusterConfig cfg;
+  cfg.sched.ranks = 8;
+  cfg.job_template = tiny_template(dir);
+
+  // stretchy runs at 4 of 8 ranks; filler holds the other 4. The
+  // 5-rank production burst needs one cede from stretchy plus the
+  // eviction of filler; after the burst drains, filler resumes and the
+  // empty queue hands the leftover rank back to stretchy (grow).
+  std::vector<JobSpec> trace;
+  trace.push_back(spec("stretchy", Priority::kStandard, 2, 4, 1500, 0.0));
+  trace.push_back(spec("filler", Priority::kBatch, 4, 4, 80, 0.0));
+  trace.push_back(spec("burst", Priority::kProduction, 5, 5, 10, 0.25));
+  ClusterManager mgr(cfg, std::move(trace));
+  mgr.run();
+
+  const auto s = mgr.core().summary();
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.finished, 3);
+  EXPECT_EQ(s.cancelled, 0);
+  EXPECT_GE(s.preemptions, 1);
+  EXPECT_GE(s.shrinks, 1);
+  EXPECT_GE(s.grows, 1);
+  EXPECT_EQ(mgr.core().free_ranks(), 8);
+  mgr.core().check_conservation();
+}
+
+// ---- tenant checkpoint namespacing ------------------------------------
+
+TEST(TenantCheckpoint, ResumeRejectsForeignJobDirectory) {
+  const std::string dir = testing::TempDir() + "dct_sched_tenant";
+  std::filesystem::remove_all(dir);
+
+  trainer::TrainerConfig cfg = tiny_template(dir);
+  cfg.job_id = "alice";
+  simmpi::Runtime::execute(1, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer t(comm, cfg);
+    t.step();
+    t.save_checkpoint();
+  });
+  // Checkpoints landed in the job's namespace, not the shared root.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/alice/MANIFEST"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/MANIFEST"));
+
+  // An *untagged* trainer pointed straight at alice's namespaced
+  // directory: the manifest names its owner, so resume refuses loudly
+  // instead of adopting a foreign model.
+  simmpi::Runtime::execute(1, [&](simmpi::Communicator& comm) {
+    trainer::TrainerConfig thief = cfg;
+    thief.job_id = "";
+    thief.checkpoint_dir = dir + "/alice";
+    trainer::DistributedTrainer t(comm, thief);
+    EXPECT_THROW(t.resume(), CheckError);
+  });
+
+  // A differently-named tenant sees only its own (empty) namespace.
+  simmpi::Runtime::execute(1, [&](simmpi::Communicator& comm) {
+    trainer::TrainerConfig other = cfg;
+    other.job_id = "mallory";
+    trainer::DistributedTrainer t(comm, other);
+    EXPECT_FALSE(t.resume());
+  });
+
+  // The rightful owner resumes fine.
+  simmpi::Runtime::execute(1, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer t(comm, cfg);
+    EXPECT_TRUE(t.resume());
+    EXPECT_EQ(t.iteration(), 1u);
+  });
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dct::sched

@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
 # under TSan and runs the `fault`, `simmpi`, `comm`, `elastic`, `obs`,
-# `chaos`, and `kernels` ctest labels, repeats the `comm` + `kernels`
-# labels under ASan, and runs the `fault` + `elastic` + `kernels`
-# labels under UBSan. The telemetry plane (obs label) joins the TSan
-# leg because its collector drains frames on a progress-engine worker
-# thread while training threads push concurrently; the chaos soak
-# (shrink → grow with hot spares under randomized faults) joins it
+# `chaos`, `kernels`, and `sched` ctest labels, repeats the `comm` +
+# `kernels` labels under ASan, and runs the `fault` + `elastic` +
+# `kernels` labels under UBSan. The telemetry plane (obs label) joins
+# the TSan leg because its collector drains frames on a progress-engine
+# worker thread while training threads push concurrently; the chaos
+# soak (shrink → grow with hot spares under randomized faults) joins it
 # because spare threads wait in the transport lobby while survivors run
 # the grow handshake — exactly where a liveness/mailbox race would
 # hide. The grow/spare elastic tests ride the existing `elastic` label
-# through both the TSan and UBSan legs.
+# through both the TSan and UBSan legs. The multi-tenant scheduler
+# (sched label) joins the TSan leg because the ClusterManager's
+# scheduler thread mutates the ledger, assignment slots, and command
+# words under one mutex while every rank thread polls and confirms
+# against them — the cede/limbo resurrection ordering in particular is
+# a protocol whose races only TSan would catch.
 # A final Release leg runs the micro-kernel bench and diffs it against
 # the checked-in bench/BENCH_kernels.json baseline with tools/bench_gate
-# (>20% regression on any metric fails the gate). Set
+# (>20% regression on any metric fails the gate), then does the same
+# for the scheduler policy bench against bench/BENCH_sched.json — a
+# missing baseline there skips cleanly until one is recorded with
+# bench_gate --update-baseline. Set
 # DCTRAIN_SKIP_BENCH_GATE=1 to skip that leg on noisy machines.
 # The simmpi rank threads, the fault-injection hooks, the shrink
 # agreement protocol, and the comm progress engine (background
@@ -45,10 +53,10 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
   fault_test simmpi_test simmpi_stress_test comm_test elastic_test \
-  chaos_soak_test kernels_test telemetry_test
+  chaos_soak_test kernels_test telemetry_test sched_test
 
-echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|chaos|kernels' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|chaos|kernels" \
+echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|chaos|kernels|sched' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|chaos|kernels|sched" \
   --output-on-failure -j 4
 
 echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"
@@ -77,8 +85,9 @@ if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
   echo "== configuring ${BENCH_BUILD_DIR} (Release) for the bench gate"
   cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 
-  echo "== building bench_micro_kernels + bench_gate"
-  cmake --build "${BENCH_BUILD_DIR}" -j --target bench_micro_kernels bench_gate
+  echo "== building bench_micro_kernels + bench_sched + bench_gate"
+  cmake --build "${BENCH_BUILD_DIR}" -j --target \
+    bench_micro_kernels bench_sched bench_gate
 
   echo "== running micro-kernel bench and diffing against bench/BENCH_kernels.json"
   # 5 repetitions: the gate merges them best-of (min time / max
@@ -105,6 +114,21 @@ if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
     --fresh "${BENCH_BUILD_DIR}/bench_fresh.json" \
     --tolerance 0.20 \
     --skip 'BM_AllreduceInProcess|BM_CommOverlap|BM_DimdShuffle|BM_GemmThreaded|BM_ConvForwardThreaded'
+
+  echo "== running scheduler bench and diffing against bench/BENCH_sched.json"
+  # The scheduler bench is pure single-threaded policy code in virtual
+  # time, so 3 repetitions suffice. Until a baseline is recorded
+  # (bench_gate --update-baseline --baseline bench/BENCH_sched.json
+  # --fresh <run.json>) the gate prints a pointer and passes — a new
+  # suite never breaks CI the commit that adds it.
+  "${BENCH_BUILD_DIR}/bench/bench_sched" \
+    --benchmark_repetitions=3 \
+    --benchmark_out="${BENCH_BUILD_DIR}/bench_sched_fresh.json" \
+    --benchmark_out_format=json
+  "${BENCH_BUILD_DIR}/tools/bench_gate" \
+    --baseline bench/BENCH_sched.json \
+    --fresh "${BENCH_BUILD_DIR}/bench_sched_fresh.json" \
+    --tolerance 0.20
 fi
 
 echo "== sanitizer checks passed (${SANITIZER} + address + undefined)"

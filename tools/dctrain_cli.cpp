@@ -20,6 +20,11 @@
 //                     [--shrinks N] [--spares N] [--telemetry …as train]
 //   dctrain top       [--ranks N] [--iters I] [--refresh N] [--inject SPEC]
 //                     live per-rank phase/straggler view (telemetry plane)
+//   dctrain cluster   [--ranks N] [--jobs N] [--seed S] [--trace PATH]
+//                     [--event-log PATH] [--checkpoint-dir D]
+//                     [--aging S] [--starvation S] [--iters-scale X]
+//                     multi-tenant gang scheduler over a scripted or
+//                     synthetic job arrival trace (DESIGN.md §15)
 //   dctrain trace-report --trace PATH [--top N] [--critical-path]
 //   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
 //                     [--batch B] [--baseline]
@@ -37,6 +42,8 @@
 
 #include "core/dctrain.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -409,6 +416,243 @@ int cmd_top(const ArgParser& args) {
   return 0;
 }
 
+sched::Priority parse_priority(const std::string& name) {
+  if (name == "batch") return sched::Priority::kBatch;
+  if (name == "production") return sched::Priority::kProduction;
+  DCT_CHECK_MSG(name.empty() || name == "standard",
+                "unknown priority \"" << name
+                << "\" (want batch|standard|production)");
+  return sched::Priority::kStandard;
+}
+
+/// Synthetic arrival trace for `dctrain cluster` when no --trace file
+/// is given. The first three jobs are a scripted prologue that forces
+/// the interesting transitions on any cluster of ≥ 8 ranks:
+///
+///   warm-elastic  standard, elastic, long-running — the cede donor
+///   warm-rigid    batch, rigid, fills the rest of the cluster
+///   burst-prod    production, needs one rank more than warm-rigid
+///                 holds → exactly one cede from warm-elastic plus a
+///                 preemption of warm-rigid, which later resumes from
+///                 its checkpoint; once the burst drains and the queue
+///                 empties, warm-elastic grows back into the freed rank
+///
+/// The rest are small jobs across all three classes arriving on a
+/// steady ramp, so the queue sees backfill and priority ordering too.
+std::vector<sched::JobSpec> synthetic_trace(int ranks, int jobs,
+                                            std::uint64_t seed,
+                                            double iters_scale) {
+  const auto scaled = [&](double n) {
+    return static_cast<std::int64_t>(std::max(1.0, n * iters_scale));
+  };
+  std::vector<sched::JobSpec> trace;
+  int scripted = 0;
+  if (ranks >= 8 && jobs >= 3) {
+    const int elastic_w = std::max(4, ranks / 4);
+    const int rigid_w = ranks - elastic_w;
+    trace.push_back({.id = "warm-elastic",
+                     .priority = sched::Priority::kStandard,
+                     .min_ranks = elastic_w / 2,
+                     .max_ranks = elastic_w,
+                     .iterations = scaled(2500),
+                     .submit_time = 0.0});
+    trace.push_back({.id = "warm-rigid",
+                     .priority = sched::Priority::kBatch,
+                     .min_ranks = rigid_w,
+                     .max_ranks = rigid_w,
+                     .iterations = scaled(120),
+                     .submit_time = 0.0});
+    trace.push_back({.id = "burst-prod",
+                     .priority = sched::Priority::kProduction,
+                     .min_ranks = rigid_w + 1,
+                     .max_ranks = rigid_w + 1,
+                     .iterations = scaled(30),
+                     .submit_time = 0.4});
+    scripted = 3;
+  }
+  Rng rng(seed * 0x5EED + 17);
+  for (int i = scripted; i < jobs; ++i) {
+    sched::JobSpec s;
+    char id[32];
+    std::snprintf(id, sizeof id, "job-%03d", i);
+    s.id = id;
+    const auto cls = rng.next_below(10);
+    s.priority = cls < 5   ? sched::Priority::kBatch
+                 : cls < 8 ? sched::Priority::kStandard
+                           : sched::Priority::kProduction;
+    const int cap = std::max(1, std::min(4, ranks / 2));
+    s.min_ranks = 1 + static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(cap)));
+    s.max_ranks = rng.next_below(3) == 0
+                      ? std::min(ranks, s.min_ranks + 2)
+                      : s.min_ranks;
+    s.iterations = scaled(5.0 + static_cast<double>(rng.next_below(36)));
+    s.submit_time = 2.0 + 0.04 * (i - scripted);
+    trace.push_back(std::move(s));
+  }
+  return trace;
+}
+
+int cmd_cluster(const ArgParser& args) {
+  const int ranks = static_cast<int>(args.get_int("ranks", 32));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const std::string trace_path = args.get("trace", "");
+  const std::string event_log = args.get("event-log", "");
+
+  std::vector<sched::JobSpec> trace;
+  if (!trace_path.empty()) {
+    // --trace jobs.json: a JSON array of
+    //   {"id": "...", "priority": "batch|standard|production",
+    //    "min_ranks": N, "max_ranks": N, "iterations": N, "submit_s": T}
+    const auto doc = load_json(trace_path);
+    DCT_CHECK_MSG(doc.type == JsonValue::Type::kArray,
+                  trace_path << ": trace must be a JSON array of jobs");
+    for (const auto& e : doc.array) {
+      sched::JobSpec s;
+      s.id = json_string_or(e, "id");
+      DCT_CHECK_MSG(!s.id.empty(),
+                    trace_path << ": every trace job needs an \"id\"");
+      s.priority = parse_priority(json_string_or(e, "priority"));
+      s.min_ranks = static_cast<int>(json_number_or(e, "min_ranks", 1));
+      s.max_ranks = static_cast<int>(
+          json_number_or(e, "max_ranks", s.min_ranks));
+      s.iterations =
+          static_cast<std::int64_t>(json_number_or(e, "iterations", 10));
+      s.submit_time = json_number_or(e, "submit_s", 0.0);
+      trace.push_back(std::move(s));
+    }
+  } else {
+    trace = synthetic_trace(ranks, static_cast<int>(args.get_int("jobs", 100)),
+                            seed, args.get_double("iters-scale", 1.0));
+  }
+
+  sched::ClusterConfig cfg;
+  cfg.sched.ranks = ranks;
+  cfg.sched.aging_interval = args.get_double("aging", 10.0);
+  cfg.sched.starvation_age = args.get_double("starvation", 30.0);
+  // Small per-job trainers: the point here is scheduling behaviour, not
+  // model quality. Replication 2 keeps single-rank cedes DIMD-feasible.
+  trainer::TrainerConfig& tpl = cfg.job_template;
+  tpl.gpus_per_node = 1;
+  tpl.batch_per_gpu = 2;
+  tpl.dataset.images = 64;
+  tpl.dataset.seed = seed;
+  tpl.seed = seed;
+  tpl.dimd.replication = 2;
+  tpl.checkpoint_dir = args.get("checkpoint-dir", "cluster-ckpt");
+
+  // Track the busiest instant of the run (ticks are serialized by the
+  // scheduler lock) to report placement quality on the shared fabric.
+  struct Peak {
+    int used = -1;
+    double at = 0.0;
+    std::vector<std::string> names;
+    std::vector<netsim::JobPlacement> placement;
+  } peak;
+  cfg.on_tick = [&peak, ranks](const sched::SchedCore& core, double now) {
+    const int used = ranks - core.free_ranks();
+    if (used <= peak.used) return;
+    peak.used = used;
+    peak.at = now;
+    peak.names.clear();
+    peak.placement.clear();
+    for (const auto& v : core.jobs()) {
+      if (v.state != sched::JobState::kRunning) continue;
+      netsim::JobPlacement p;
+      p.job = static_cast<int>(peak.names.size());
+      p.hosts = v.ranks;
+      peak.placement.push_back(std::move(p));
+      peak.names.push_back(v.spec.id);
+    }
+  };
+
+  std::printf("cluster: %d ranks, %zu job(s)%s, checkpoint dir %s\n",
+              ranks, trace.size(),
+              trace_path.empty() ? " (synthetic trace)" : "",
+              tpl.checkpoint_dir.c_str());
+  sched::ClusterManager mgr(cfg, std::move(trace));
+  mgr.run();
+  const auto& core = mgr.core();
+  core.check_conservation();
+
+  if (!event_log.empty()) {
+    // JSONL audit trail: one scheduler transition per line.
+    std::FILE* f = std::fopen(event_log.c_str(), "w");
+    DCT_CHECK_MSG(f != nullptr, "cannot write " << event_log);
+    const auto escaped = [](const std::string& s) {
+      std::string out;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+      }
+      return out;
+    };
+    for (const auto& ev : core.events()) {
+      std::fprintf(f, "{\"t\":%.6f,\"event\":\"%s\",\"job\":\"%s\","
+                      "\"ranks\":%d,\"detail\":\"%s\"}\n",
+                   ev.time, sched::event_name(ev.kind),
+                   escaped(ev.job).c_str(), ev.ranks,
+                   escaped(ev.detail).c_str());
+    }
+    std::fclose(f);
+    std::printf("wrote %zu scheduler events to %s\n", core.events().size(),
+                event_log.c_str());
+  }
+
+  const auto s = core.summary();
+  std::printf("\nmakespan %.2f s, mean wait %.2f s\n", s.makespan,
+              s.mean_wait);
+  std::printf("%d preemption(s), %d shrink(s), %d grow(s)\n", s.preemptions,
+              s.shrinks, s.grows);
+  for (const auto& [cls, n] : s.finished_by_class) {
+    std::printf("  class %-10s %3d finished  %6.2f jobs/s\n", cls.c_str(), n,
+                s.throughput_by_class.count(cls)
+                    ? s.throughput_by_class.at(cls)
+                    : 0.0);
+  }
+
+  if (peak.used > 0 && !peak.placement.empty()) {
+    // Cross-job allreduce contention at the busiest instant, on the
+    // same two-level fat-tree the timing models use (one rank ↔ one
+    // host; pad to a full leaf).
+    netsim::FatTree::Config tc;
+    tc.hosts = ((ranks + 3) / 4) * 4;
+    tc.hosts_per_leaf = 4;
+    const netsim::FatTree tree(tc);
+    const auto cont = netsim::estimate_contention(tree, peak.placement);
+    std::printf("\npeak utilization %d/%d ranks at t=%.2fs; "
+                "fabric contention per tenant:\n",
+                peak.used, ranks, peak.at);
+    for (const auto& c : cont) {
+      const auto idx = static_cast<std::size_t>(c.job);
+      std::printf("  %-14s %2zu rank(s)  slowdown %.2fx%s%s\n",
+                  peak.names[idx].c_str(), peak.placement[idx].hosts.size(),
+                  c.slowdown, c.busiest_link >= 0 ? "  busiest " : "",
+                  c.busiest_name.c_str());
+    }
+  }
+
+  const bool balanced = s.submitted == s.finished + s.cancelled;
+  std::printf("\naccounting: %d submitted = %d finished + %d cancelled %s\n",
+              s.submitted, s.finished, s.cancelled,
+              balanced ? "[OK]" : "[MISMATCH]");
+  if (s.cancelled > 0) {
+    for (const auto& ev : core.events()) {
+      if (ev.kind == sched::SchedEvent::Kind::kCancel) {
+        std::printf("  cancelled: %s (%s)\n", ev.job.c_str(),
+                    ev.detail.c_str());
+      }
+    }
+  }
+  return balanced ? 0 : 1;
+}
+
 int cmd_plan(const ArgParser& args) {
   trainer::EpochModelConfig cfg;
   cfg.model = args.get("model", "resnet50");
@@ -520,6 +764,9 @@ int cmd_help() {
       "             --elastic shrinks past crashes on the surviving ranks,\n"
       "             --spares N heals back to full strength from hot spares\n"
       "  top        live per-rank phase table + straggler flags (telemetry)\n"
+      "  cluster    multi-tenant gang scheduler: replay a job arrival\n"
+      "             trace with priorities, preemption + checkpoint/resume,\n"
+      "             and elastic capacity sharing on one simulated cluster\n"
       "  trace-report  per-rank phase breakdown of a captured trace;\n"
       "             --critical-path attributes step latency across ranks\n"
       "  plan       epoch-time decomposition for a cluster configuration\n"
@@ -545,6 +792,8 @@ int main(int argc, char** argv) {
       rc = cmd_chaos(args);
     } else if (cmd == "top") {
       rc = cmd_top(args);
+    } else if (cmd == "cluster") {
+      rc = cmd_cluster(args);
     } else if (cmd == "trace-report") {
       rc = cmd_trace_report(args);
     } else if (cmd == "plan") {
