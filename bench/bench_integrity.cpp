@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the integrity envelope
+// (DESIGN.md §16): the raw CRC32 seal throughput that bounds the
+// per-message cost, the end-to-end sealed vs plain point-to-point
+// delivery cost, and the modeled training-step overhead with envelopes
+// on vs off. The acceptance target is <2% of modeled step time with
+// integrity on (and exactly one relaxed load + predicted branch off);
+// the single-threaded CRC arms are the stable, gateable coverage, the
+// world-spawning arms are the evidence for the step-time claim.
+//
+// Accepts `--json <path>` (the repo-wide bench convention) in addition
+// to the native --benchmark_* flags; see main() at the bottom.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/distributed_trainer.hpp"
+#include "util/crc32.hpp"
+
+namespace {
+
+using namespace dct;
+
+void BM_Crc32Seal(benchmark::State& state) {
+  // The seal computation itself: one pass over the payload per send
+  // (and one per receiver-side re-verify). Message sizes bracket the
+  // gradient-bucket sizes the trainer actually ships.
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> buf(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Crc32Seal)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_EnvelopeSendRecv(benchmark::State& state) {
+  // Sealed vs plain point-to-point: rank 0 ships a stream of 64 KiB
+  // payloads to rank 1. The delta between the two arms is the whole
+  // envelope cost on a clean link (seal + receiver re-verify, no
+  // retransmissions).
+  const bool integrity = state.range(0) != 0;
+  constexpr int kMessages = 64;
+  constexpr std::size_t kElems = (64 << 10) / sizeof(float);
+  for (auto _ : state) {
+    simmpi::Runtime rt(2);
+    rt.transport().enable_integrity(integrity);
+    rt.run([&](simmpi::Communicator& comm) {
+      std::vector<float> buf(kElems, static_cast<float>(comm.rank() + 1));
+      if (comm.rank() == 0) {
+        for (int m = 0; m < kMessages; ++m) {
+          comm.send(std::span<const float>(buf), 1, m);
+        }
+        return;
+      }
+      for (int m = 0; m < kMessages; ++m) {
+        comm.recv(std::span<float>(buf), 0, m);
+      }
+      benchmark::DoNotOptimize(buf.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * kMessages *
+                          static_cast<std::int64_t>(kElems * sizeof(float)));
+  state.SetLabel(integrity ? "sealed" : "plain");
+}
+BENCHMARK(BM_EnvelopeSendRecv)->Arg(0)->Arg(1);
+
+void BM_TrainerStepIntegrity(benchmark::State& state) {
+  // The acceptance measurement: a 4-rank bucketed/overlapped trainer
+  // stepping with envelopes on vs off. Everything else held equal, the
+  // per-step delta is the envelope's share of modeled step time —
+  // budgeted under 2%.
+  const bool integrity = state.range(0) != 0;
+  constexpr std::uint64_t kSteps = 4;
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 2;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.seed = 11;
+  cfg.dataset.images = 128;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.base_lr = 0.02;
+  cfg.seed = 5;
+  cfg.comm.bucket_bytes = 4096;
+  cfg.comm.overlap = true;
+  for (auto _ : state) {
+    simmpi::Runtime rt(4);
+    rt.transport().enable_integrity(integrity);
+    rt.run([&](simmpi::Communicator& comm) {
+      trainer::DistributedTrainer tr(comm, cfg);
+      while (tr.iteration() < kSteps) tr.step();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kSteps);
+  state.SetLabel(integrity ? "integrity-on" : "integrity-off");
+}
+BENCHMARK(BM_TrainerStepIntegrity)->Arg(0)->Arg(1);
+
+}  // namespace
+
+// BENCHMARK_MAIN(), plus translation of the repo-wide `--json <path>` /
+// `--json=<path>` convention into google-benchmark's out-file flags so
+// tools that drive the other bench binaries can drive this one too.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[++i]));
+      args.push_back("--benchmark_out_format=json");
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + a.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

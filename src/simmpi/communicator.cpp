@@ -346,37 +346,52 @@ GrowResult Communicator::grow(std::span<const int> joiner_global_ranks,
       DCT_CHECK_MSG(g >= 0 && g < tr.nranks(),
                     "grow: invitee global rank " << g << " out of range");
       if (tr.rank_dead(g)) continue;  // a dead spare cannot be promoted
-      const std::uint64_t invite[2] = {nonce,
-                                       static_cast<std::uint64_t>(self_global)};
-      tr.send(g, kLobbyContext, self_global, kGrowInviteTag,
-              std::as_bytes(std::span<const std::uint64_t>(invite)));
       invited.push_back(g);
     }
-    // Collect ACCEPTs until every invitee answered or died; on deadline
-    // proceed with whoever accepted — a partial (or empty) admission is
-    // a valid outcome, not an error.
+    // INVITE with bounded retry + exponential backoff: each attempt
+    // re-sends to the invitees still unaccounted for, then polls for
+    // ACCEPTs inside a growing window. A slow-but-healthy spare gets
+    // several chances inside ~1 s; a wedged or straggle-injected one is
+    // abandoned when the attempts run out instead of burning the whole
+    // join_deadline — a partial (or empty) admission is a valid
+    // outcome, not an error. Re-sent INVITEs are idempotent: both the
+    // lobby (stale commits) and this collector (stale accepts) filter
+    // by nonce, and duplicate ACCEPTs just re-mark has_accepted.
     std::vector<bool> has_accepted(invited.size(), false);
-    for (;;) {
-      while (auto st = tr.try_probe(self_global, kLobbyContext, kAnySource,
-                                    kGrowAcceptTag)) {
-        const auto msg = tr.recv(self_global, kLobbyContext, st->source,
-                                 kGrowAcceptTag);
-        const auto body = unpack_u64s(msg);
-        DCT_CHECK(body.size() == 2);
-        if (body[0] != nonce) continue;  // stale accept from an older grow
-        for (std::size_t i = 0; i < invited.size(); ++i) {
-          if (invited[i] == static_cast<int>(body[1])) has_accepted[i] = true;
-        }
-      }
-      bool all_accounted = true;
+    const auto all_accounted = [&] {
       for (std::size_t i = 0; i < invited.size(); ++i) {
-        if (!has_accepted[i] && !tr.rank_dead(invited[i])) {
-          all_accounted = false;
-          break;
-        }
+        if (!has_accepted[i] && !tr.rank_dead(invited[i])) return false;
       }
-      if (all_accounted || clock::now() >= deadline) break;
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      return true;
+    };
+    constexpr int kInviteAttempts = 5;
+    constexpr auto kInviteWindowBase = std::chrono::milliseconds(25);
+    for (int attempt = 0; attempt < kInviteAttempts; ++attempt) {
+      for (std::size_t i = 0; i < invited.size(); ++i) {
+        if (has_accepted[i] || tr.rank_dead(invited[i])) continue;
+        const std::uint64_t invite[2] = {
+            nonce, static_cast<std::uint64_t>(self_global)};
+        tr.send(invited[i], kLobbyContext, self_global, kGrowInviteTag,
+                std::as_bytes(std::span<const std::uint64_t>(invite)));
+      }
+      const auto window_end =
+          std::min(deadline, clock::now() + kInviteWindowBase * (1 << attempt));
+      for (;;) {
+        while (auto st = tr.try_probe(self_global, kLobbyContext, kAnySource,
+                                      kGrowAcceptTag)) {
+          const auto msg = tr.recv(self_global, kLobbyContext, st->source,
+                                   kGrowAcceptTag);
+          const auto body = unpack_u64s(msg);
+          DCT_CHECK(body.size() == 2);
+          if (body[0] != nonce) continue;  // stale accept from an older grow
+          for (std::size_t i = 0; i < invited.size(); ++i) {
+            if (invited[i] == static_cast<int>(body[1])) has_accepted[i] = true;
+          }
+        }
+        if (all_accounted() || clock::now() >= window_end) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      if (all_accounted() || clock::now() >= deadline) break;
     }
     // Admission decision mirrors shrink's membership decision: accepted
     // AND not dead *now*. A joiner dying after this point leaves a dead

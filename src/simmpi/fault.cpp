@@ -28,12 +28,18 @@ obs::Counter& kind_counter(FaultKind kind) {
   static obs::Counter& crash = obs::Metrics::counter("fault.injected.crash");
   static obs::Counter& straggle =
       obs::Metrics::counter("fault.injected.straggle");
+  static obs::Counter& corrupt =
+      obs::Metrics::counter("fault.injected.corrupt");
+  static obs::Counter& truncate =
+      obs::Metrics::counter("fault.injected.truncate");
   switch (kind) {
     case FaultKind::kDrop: return drop;
     case FaultKind::kDelay: return delay;
     case FaultKind::kDuplicate: return dup;
     case FaultKind::kCrash: return crash;
     case FaultKind::kStraggle: return straggle;
+    case FaultKind::kCorrupt: return corrupt;
+    case FaultKind::kTruncate: return truncate;
   }
   return drop;  // unreachable
 }
@@ -50,6 +56,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kStraggle: return "straggle";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kTruncate: return "truncate";
   }
   return "?";
 }
@@ -58,7 +66,13 @@ FaultPlan& FaultPlan::add(const FaultRule& rule) {
   DCT_CHECK_MSG(per_rank_.empty(),
                 "fault rules must be added before the plan is installed");
   DCT_CHECK_MSG(rule.probability >= 0.0 && rule.probability <= 1.0,
-                "fault probability out of [0,1]");
+                "fault probability " << rule.probability
+                << " out of [0,1] for kind " << to_string(rule.kind));
+  DCT_CHECK_MSG(rule.rank >= -1,
+                "fault rule rank " << rule.rank
+                << " is negative (use -1 for every rank)");
+  DCT_CHECK_MSG(rule.delay_ms >= 0.0,
+                "fault rule delay " << rule.delay_ms << " ms is negative");
   if (rule.kind == FaultKind::kCrash) {
     DCT_CHECK_MSG(rule.rank >= 0, "crash rules need an explicit rank=");
     DCT_CHECK_MSG(rule.at_step != FaultRule::kNoTrigger ||
@@ -110,6 +124,10 @@ FaultRule FaultPlan::parse_rule(const std::string& spec) {
         rule.kind = FaultKind::kCrash;
       } else if (value == "straggle") {
         rule.kind = FaultKind::kStraggle;
+      } else if (value == "corrupt") {
+        rule.kind = FaultKind::kCorrupt;
+      } else if (value == "truncate") {
+        rule.kind = FaultKind::kTruncate;
       } else {
         DCT_CHECK_MSG(false, "unknown fault kind '" << value << "'");
       }
@@ -131,6 +149,8 @@ FaultPlan& FaultPlan::add_specs(const std::string& specs) {
 }
 
 void FaultPlan::bind(int nranks) {
+  DCT_CHECK_MSG(nranks > 0,
+                "fault plan bound to a world of " << nranks << " ranks");
   for (const auto& rule : rules_) {
     DCT_CHECK_MSG(rule.rank < nranks,
                   "fault rule targets rank " << rule.rank << " but the world "
@@ -138,11 +158,11 @@ void FaultPlan::bind(int nranks) {
   }
   if (static_cast<int>(per_rank_.size()) == nranks) return;  // rebind
   per_rank_.clear();
-  per_rank_.resize(static_cast<std::size_t>(nranks));
+  per_rank_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    per_rank_[static_cast<std::size_t>(r)].rng =
-        Rng(seed_ * 0x9E3779B97F4A7C15ULL +
-            static_cast<std::uint64_t>(r) + 1);
+    per_rank_.push_back(std::make_unique<RankState>());
+    per_rank_.back()->rng = Rng(seed_ * 0x9E3779B97F4A7C15ULL +
+                                static_cast<std::uint64_t>(r) + 1);
   }
 }
 
@@ -155,8 +175,9 @@ void FaultPlan::note_injected(FaultKind kind) {
 bool FaultPlan::roll(int rank, double probability) {
   if (probability >= 1.0) return true;
   if (probability <= 0.0) return false;
-  return per_rank_[static_cast<std::size_t>(rank)].rng.next_double() <
-         probability;
+  auto& state = *per_rank_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(state.m);
+  return state.rng.next_double() < probability;
 }
 
 SendVerdict FaultPlan::on_send(int src_global, std::size_t payload_bytes) {
@@ -165,8 +186,12 @@ SendVerdict FaultPlan::on_send(int src_global, std::size_t payload_bytes) {
   if (src_global < 0 || src_global >= static_cast<int>(per_rank_.size())) {
     return verdict;  // non-rank thread (tests, donkeys): no injection
   }
-  auto& state = per_rank_[static_cast<std::size_t>(src_global)];
-  const std::uint64_t send_no = ++state.sends;
+  auto& state = *per_rank_[static_cast<std::size_t>(src_global)];
+  std::uint64_t send_no;
+  {
+    std::lock_guard<std::mutex> lock(state.m);
+    send_no = ++state.sends;
+  }
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& rule = rules_[i];
     if (rule.rank >= 0 && rule.rank != src_global) continue;
@@ -211,9 +236,47 @@ SendVerdict FaultPlan::on_send(int src_global, std::size_t payload_bytes) {
         }
         break;
       }
+      case FaultKind::kCorrupt: {
+        if (payload_bytes == 0) break;  // nothing to flip
+        if (roll(src_global, rule.probability)) {
+          note_injected(FaultKind::kCorrupt);
+          verdict.corrupt = true;
+        }
+        break;
+      }
+      case FaultKind::kTruncate: {
+        if (payload_bytes == 0) break;
+        if (roll(src_global, rule.probability)) {
+          note_injected(FaultKind::kTruncate);
+          verdict.truncate = true;
+        }
+        break;
+      }
     }
   }
   return verdict;
+}
+
+bool FaultPlan::reroll_corrupt(int src_global) {
+  if (src_global < 0 || src_global >= static_cast<int>(per_rank_.size())) {
+    return false;
+  }
+  // A retransmission crosses the same physical link as the original,
+  // so it faces the highest corruption probability among the rules
+  // that matched the original send.
+  double prob = 0.0;
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind != FaultKind::kCorrupt &&
+        rule.kind != FaultKind::kTruncate) {
+      continue;
+    }
+    if (rule.rank >= 0 && rule.rank != src_global) continue;
+    prob = std::max(prob, rule.probability);
+  }
+  if (prob <= 0.0) return false;
+  if (!roll(src_global, prob)) return false;
+  note_injected(FaultKind::kCorrupt);
+  return true;
 }
 
 void FaultPlan::on_step(int rank_global, std::uint64_t step) {

@@ -14,6 +14,12 @@
 //   • crash      — the rank throws RankFailed, a fail-stop: the
 //                  runtime lets the thread die *silently* so peers
 //                  must detect the loss (liveness or deadline)
+//   • corrupt    — a single bit of the payload is flipped in flight,
+//                  modeling silent data corruption on the link; with
+//                  transport integrity on, the CRC envelope catches it
+//                  and the chunk is retransmitted (DESIGN.md §16)
+//   • truncate   — the payload is cut to half its length in flight,
+//                  modeling a short DMA / partial delivery
 //
 // Crash triggers fire either at a trainer step (`step=N`, requires the
 // trainer to call on_step) or at the rank's Nth transport send
@@ -33,6 +39,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,7 +48,15 @@
 
 namespace dct::simmpi {
 
-enum class FaultKind { kDrop, kDelay, kDuplicate, kCrash, kStraggle };
+enum class FaultKind {
+  kDrop,
+  kDelay,
+  kDuplicate,
+  kCrash,
+  kStraggle,
+  kCorrupt,
+  kTruncate,
+};
 
 const char* to_string(FaultKind kind);
 
@@ -67,6 +82,8 @@ struct FaultRule {
 struct SendVerdict {
   bool drop = false;
   bool duplicate = false;
+  bool corrupt = false;    ///< flip one payload bit in flight
+  bool truncate = false;   ///< cut the payload to half its length
   double delay_ms = 0.0;
 };
 
@@ -101,6 +118,13 @@ class FaultPlan {
   /// crash-at-step trigger fires for (rank, step).
   void on_step(int rank_global, std::uint64_t step);
 
+  /// Re-roll the corrupt/truncate rules for a retransmission of a
+  /// message from `src_global` (integrity heal loop). Returns true if
+  /// the retransmitted copy is corrupted again — a persistently-flaky
+  /// link keeps failing its CRC until the sender's retry budget runs
+  /// out. Called on the sending rank's own thread, like on_send.
+  bool reroll_corrupt(int src_global);
+
   /// Total faults this plan has injected (all kinds).
   std::uint64_t injected() const {
     return injected_.load(std::memory_order_relaxed);
@@ -114,12 +138,17 @@ class FaultPlan {
   std::vector<FaultRule> rules_;
   // Per-rule one-shot flags (crash triggers), shared across rebinds.
   std::vector<std::unique_ptr<std::atomic<bool>>> fired_;
-  // Per-rank mutable state, touched only by that rank's thread.
+  // Per-rank mutable state. Not single-threaded: a rank's own thread
+  // and its progress-engine workers (overlap, telemetry) all send
+  // tagged with the same global rank, so the send counter and the RNG
+  // are guarded by a per-rank mutex (heap-allocated: std::mutex pins
+  // the element, and bind() resizes).
   struct RankState {
+    std::mutex m;
     Rng rng{0};
     std::uint64_t sends = 0;
   };
-  std::vector<RankState> per_rank_;
+  std::vector<std::unique_ptr<RankState>> per_rank_;
   std::atomic<std::uint64_t> injected_{0};
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "obs/counters.hpp"
 #include "simmpi/fault.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace dct::simmpi {
@@ -16,6 +18,30 @@ namespace {
 obs::Counter& fault_detected_counter() {
   static obs::Counter& c = obs::Metrics::counter("fault.detected");
   return c;
+}
+
+obs::Counter& crc_failure_counter() {
+  static obs::Counter& c = obs::Metrics::counter("integrity.crc_failures");
+  return c;
+}
+
+obs::Counter& retransmit_counter() {
+  static obs::Counter& c = obs::Metrics::counter("integrity.retransmits");
+  return c;
+}
+
+obs::Counter& integrity_lost_counter() {
+  static obs::Counter& c = obs::Metrics::counter("integrity.lost");
+  return c;
+}
+
+/// In-flight single-bit flip: the position is derived from the message
+/// id so a given (seed, traffic) run corrupts deterministically.
+void corrupt_bytes(std::vector<std::byte>& data, std::uint64_t salt) {
+  if (data.empty()) return;
+  const std::uint64_t mixed = salt * 0x9E3779B97F4A7C15ULL + 0xB5297A4D;
+  const std::size_t pos = static_cast<std::size_t>(mixed % data.size());
+  data[pos] ^= static_cast<std::byte>(1u << ((mixed >> 32) % 8));
 }
 
 }  // namespace
@@ -283,7 +309,9 @@ std::size_t Mailbox::pending() const {
 Transport::Transport(int nranks)
     : dead_(static_cast<std::size_t>(std::max(nranks, 1))),
       death_acked_(static_cast<std::size_t>(std::max(nranks, 1))),
-      send_ns_(static_cast<std::size_t>(std::max(nranks, 1))) {
+      send_ns_(static_cast<std::size_t>(std::max(nranks, 1))),
+      link_crc_failures_(static_cast<std::size_t>(std::max(nranks, 1)) *
+                         static_cast<std::size_t>(std::max(nranks, 1))) {
   DCT_CHECK_MSG(nranks > 0, "transport needs at least one rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -315,6 +343,16 @@ void Transport::send(int dest_global, std::uint64_t context, int source,
   msg.data.assign(payload.begin(), payload.end());
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
   messages_.fetch_add(1, std::memory_order_relaxed);
+  // Envelope sealing: checksum the pristine payload *before* the fault
+  // hook can tamper with the copy, so in-flight corruption is exactly
+  // what the CRC detects. Integrity off skips this entirely — one
+  // relaxed load and a predicted branch.
+  const bool integrity = integrity_.load(std::memory_order_acquire);
+  if (integrity) [[unlikely]] {
+    msg.crc = crc32(msg.data.data(), msg.data.size());
+    msg.sealed = true;
+    msg.src_global = sender;
+  }
   // The entire fault subsystem hides behind this one (never-taken in
   // production) branch; see bench_micro_kernels BM_TransportSend.
   if (FaultPlan* plan = fault_.load(std::memory_order_acquire);
@@ -328,10 +366,26 @@ void Transport::send(int dest_global, std::uint64_t context, int source,
     // match a later receive; assigned only under a plan so production
     // runs skip the dedup map entirely.
     msg.id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+    msg.src_global = sender;
     if (verdict.delay_ms > 0.0) {
       msg.deliver_at = std::chrono::steady_clock::now() +
                        std::chrono::microseconds(static_cast<std::int64_t>(
                            verdict.delay_ms * 1000.0));
+    }
+    if (verdict.corrupt || verdict.truncate) {
+      // Tamper with the in-flight copy. Without integrity the damaged
+      // payload is delivered as-is — the silent corruption this whole
+      // subsystem exists to catch.
+      if (verdict.truncate) msg.data.resize(msg.data.size() / 2);
+      if (verdict.corrupt) corrupt_bytes(msg.data, msg.id);
+      if (integrity &&
+          !heal_with_retransmits(msg, payload, dest_global, plan)) {
+        // Retry budget exhausted on a persistently-flaky link: the
+        // message is lost on the wire; the receiver's deadline
+        // machinery turns the gap into a Timeout → shrink/rollback.
+        charge_sender();
+        return;
+      }
     }
     if (verdict.duplicate) {
       boxes_[static_cast<std::size_t>(dest_global)]->push(msg);
@@ -358,6 +412,20 @@ detail::RawMessage Transport::recv(int self_global, std::uint64_t context,
   detail::RawMessage msg =
       boxes_[static_cast<std::size_t>(self_global)]->pop_matching(
           context, source, tag, *this, src_global);
+  if (msg.sealed) [[unlikely]] {
+    // Receiver-side re-verify: models the delivery-path CRC cost and
+    // is the defense-in-depth backstop — the sender-side heal loop
+    // means every copy that lands in a mailbox already verified, so a
+    // mismatch here is a transport bug, not a simulated link fault.
+    if (crc32(msg.data.data(), msg.data.size()) != msg.crc) {
+      std::ostringstream os;
+      os << "sealed envelope from global rank " << msg.src_global
+         << " failed CRC32 on delivery to rank " << self_global
+         << " (context " << context << ", tag " << msg.tag << ", "
+         << msg.data.size() << " bytes)";
+      throw IntegrityError(msg.src_global, os.str());
+    }
+  }
   if (msg.flow != 0 && obs::Tracer::enabled()) {
     obs::Tracer::flow_end(msg.flow, msg.trace_ctx,
                           static_cast<std::int64_t>(msg.data.size()));
@@ -387,6 +455,61 @@ std::uint64_t Transport::new_context() {
 void Transport::abort() {
   aborted_.store(true, std::memory_order_release);
   for (auto& box : boxes_) box->interrupt();
+}
+
+bool Transport::heal_with_retransmits(detail::RawMessage& msg,
+                                      std::span<const std::byte> pristine,
+                                      int dest_global, FaultPlan* plan) {
+  // Called with a tampered copy in msg; the sending rank's own thread,
+  // so the plan's per-rank rng is safe to re-roll. Each iteration
+  // models one receiver-NIC CRC check + NACK round trip.
+  const int sender = msg.src_global;
+  const int max_retries = integrity_max_retries_.load(std::memory_order_relaxed);
+  const auto backoff_us = integrity_backoff_us_.load(std::memory_order_relaxed);
+  for (int attempt = 0;; ++attempt) {
+    crc_failures_.fetch_add(1, std::memory_order_relaxed);
+    crc_failure_counter().add(1);
+    if (sender >= 0 && sender < nranks()) {
+      link_crc_failures_[link_index(sender, dest_global)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    if (attempt >= max_retries) {
+      integrity_lost_.fetch_add(1, std::memory_order_relaxed);
+      integrity_lost_counter().add(1);
+      return false;
+    }
+    // Exponential backoff before the retransmission. The sleep is
+    // charged to the sender's send-time account (charge_sender in
+    // send()), so a flaky link also registers on the straggler
+    // detector — gray failures surface through both signals.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(backoff_us << attempt));
+    msg.data.assign(pristine.begin(), pristine.end());
+    retransmits_.fetch_add(1, std::memory_order_relaxed);
+    retransmit_counter().add(1);
+    // The retransmission crosses the same flaky link and can be
+    // corrupted again; a different salt flips a different bit.
+    if (plan == nullptr || !plan->reroll_corrupt(sender)) return true;
+    corrupt_bytes(msg.data, msg.id + static_cast<std::uint64_t>(attempt) + 1);
+  }
+}
+
+void Transport::set_integrity_retry(int max_retries,
+                                    std::chrono::microseconds backoff) {
+  DCT_CHECK_MSG(max_retries >= 0, "integrity retry budget is negative");
+  DCT_CHECK_MSG(backoff.count() >= 0, "integrity backoff is negative");
+  integrity_max_retries_.store(max_retries, std::memory_order_relaxed);
+  integrity_backoff_us_.store(backoff.count(), std::memory_order_relaxed);
+}
+
+std::uint64_t Transport::crc_failures_from(int src_global) const {
+  DCT_CHECK(src_global >= 0 && src_global < nranks());
+  std::uint64_t total = 0;
+  for (int d = 0; d < nranks(); ++d) {
+    total += link_crc_failures_[link_index(src_global, d)].load(
+        std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Transport::install_fault_plan(FaultPlan* plan) {

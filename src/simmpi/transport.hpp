@@ -15,6 +15,18 @@
 // a Timeout; and a per-rank liveness table lets a receive that names a
 // known-dead source fail fast with RankFailed instead of waiting out
 // the deadline.
+//
+// Integrity envelopes (DESIGN.md §16): with enable_integrity(true),
+// every payload is sealed with a CRC32 before it can be tampered with
+// in flight. The model folds the receiver-NIC CRC check and the
+// NACK/retransmit round trips into send() on the sender's thread: a
+// corrupted or truncated copy fails verification, the sender backs off
+// exponentially and retransmits the pristine payload (the
+// retransmission can be corrupted again — a flaky link keeps failing),
+// and a message that exhausts its retry budget is dropped and charged
+// to the (src, dst) link, where the receiver's deadline machinery
+// takes over. Receivers re-verify sealed envelopes on delivery;
+// integrity off costs one relaxed load + predicted branch per message.
 #pragma once
 
 #include <atomic>
@@ -68,6 +80,21 @@ class RankFailed : public std::runtime_error {
   int rank_;
 };
 
+/// Thrown by recv when a CRC-sealed envelope fails verification on
+/// delivery. With the sender-side heal loop in place this is
+/// impossible by construction — every copy that reaches a mailbox
+/// already re-verified — so reaching it means the transport itself is
+/// broken, not the simulated link. rank() is the sending global rank.
+class IntegrityError : public std::runtime_error {
+ public:
+  IntegrityError(int rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
 class Transport;
 
 namespace detail {
@@ -90,6 +117,14 @@ struct RawMessage {
   /// event replays that context so trace-report can stitch the edge.
   std::uint64_t flow = 0;
   obs::TraceContext trace_ctx;
+  /// Integrity envelope: CRC32 of the payload at seal time, valid only
+  /// when sealed. Sealed before fault mutation, so a bit-flip or
+  /// truncation in flight is detectable by re-checksumming data.
+  std::uint32_t crc = 0;
+  bool sealed = false;
+  /// Sending global rank (stamped under a fault plan) — attributes a
+  /// receiver-side CRC mismatch to the flaky link's source.
+  int src_global = -1;
 };
 
 class Mailbox {
@@ -223,6 +258,45 @@ class Transport {
   /// its new life. Call *before* the rank starts waiting in the lobby.
   void resurrect_rank(int global_rank);
 
+  // ---- integrity envelopes (DESIGN.md §16) ----------------------------
+
+  /// Turn CRC32 envelope sealing + verify-and-retransmit on or off.
+  void enable_integrity(bool on) {
+    integrity_.store(on, std::memory_order_release);
+  }
+  bool integrity_enabled() const {
+    return integrity_.load(std::memory_order_acquire);
+  }
+
+  /// Retry budget and backoff base for the sender-side heal loop. A
+  /// retransmission that still fails CRC after `max_retries` attempts
+  /// is dropped (integrity_lost) and left to the receiver's deadline.
+  void set_integrity_retry(int max_retries, std::chrono::microseconds backoff);
+  int integrity_max_retries() const {
+    return integrity_max_retries_.load(std::memory_order_relaxed);
+  }
+
+  /// Envelope CRC checks that failed (each failed delivery attempt).
+  std::uint64_t crc_failures() const {
+    return crc_failures_.load(std::memory_order_relaxed);
+  }
+  /// Pristine copies re-sent after a failed CRC check.
+  std::uint64_t retransmits() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  /// Messages abandoned after exhausting the retry budget.
+  std::uint64_t integrity_lost() const {
+    return integrity_lost_.load(std::memory_order_relaxed);
+  }
+  /// CRC failures charged to the (src, dst) link.
+  std::uint64_t link_crc_failures(int src_global, int dest_global) const {
+    return link_crc_failures_[link_index(src_global, dest_global)].load(
+        std::memory_order_relaxed);
+  }
+  /// CRC failures across every link out of `src_global` — the
+  /// HealthScoreboard's per-rank suspicion input.
+  std::uint64_t crc_failures_from(int src_global) const;
+
   /// Cumulative wall time global rank `rank` has spent inside send(),
   /// in seconds, accumulated across all of its threads (main + progress
   /// engines). A sender-side straggler — fault-injected or a genuinely
@@ -246,6 +320,18 @@ class Transport {
   }
 
  private:
+  std::size_t link_index(int src_global, int dest_global) const {
+    return static_cast<std::size_t>(src_global) *
+               static_cast<std::size_t>(nranks()) +
+           static_cast<std::size_t>(dest_global);
+  }
+  /// Receiver-NIC CRC check + NACK/retransmit loop, run synchronously
+  /// on the sender's thread. Returns false when the retry budget is
+  /// exhausted and the message must be dropped.
+  bool heal_with_retransmits(detail::RawMessage& msg,
+                             std::span<const std::byte> pristine,
+                             int dest_global, FaultPlan* plan);
+
   std::vector<std::unique_ptr<detail::Mailbox>> boxes_;
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
@@ -258,6 +344,15 @@ class Transport {
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_{0};
   std::vector<std::atomic<std::uint64_t>> send_ns_;  ///< per global rank
+
+  std::atomic<bool> integrity_{false};
+  std::atomic<int> integrity_max_retries_{kIntegrityMaxRetries};
+  std::atomic<std::int64_t> integrity_backoff_us_{kIntegrityBackoffUs};
+  std::atomic<std::uint64_t> crc_failures_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> integrity_lost_{0};
+  /// nranks × nranks CRC-failure matrix, row = sending global rank.
+  std::vector<std::atomic<std::uint64_t>> link_crc_failures_;
 };
 
 }  // namespace dct::simmpi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +40,21 @@ obs::LatencyHistogram& rebuild_hist() {
   static obs::LatencyHistogram& h =
       obs::Metrics::histogram("recovery.rebuild_seconds");
   return h;
+}
+
+obs::Counter& skipped_steps_counter() {
+  static obs::Counter& c = obs::Metrics::counter("health.skipped_steps");
+  return c;
+}
+
+obs::Counter& anomaly_counter() {
+  static obs::Counter& c = obs::Metrics::counter("health.anomalies");
+  return c;
+}
+
+obs::Counter& quarantine_counter() {
+  static obs::Counter& c = obs::Metrics::counter("health.quarantines");
+  return c;
 }
 
 }  // namespace
@@ -145,6 +161,26 @@ void DistributedTrainer::rebuild_comm_stack() {
                                                         cfg_.telemetry);
     send_seconds_prev_ =
         comm_.transport().send_seconds(comm_.global_rank(comm_.rank()));
+  }
+  if (cfg_.health.enabled) {
+    if (guard_ == nullptr) {
+      guard_ = std::make_unique<HealthGuard>(cfg_.health);
+    } else {
+      guard_->reset();
+    }
+    if (cfg_.health.quarantine) {
+      scoreboard_ = std::make_unique<HealthScoreboard>(cfg_.health,
+                                                       origin_world_size());
+      // Re-baseline the CRC ledger: pre-rebuild failures were already
+      // judged (or belong to a just-evicted rank) and must not
+      // re-accuse anyone in the new incarnation.
+      const int n = comm_.transport().nranks();
+      crc_seen_.assign(static_cast<std::size_t>(n), 0);
+      for (int g = 0; g < n; ++g) {
+        crc_seen_[static_cast<std::size_t>(g)] =
+            comm_.transport().crc_failures_from(g);
+      }
+    }
   }
 }
 
@@ -578,7 +614,15 @@ StepMetrics DistributedTrainer::step() {
     metrics.allreduce_seconds = elapsed(start);
   }
 
-  {
+  // Numerical health screen (DESIGN.md §16): anomalous steps discard
+  // the gradient instead of applying it, in lockstep on every rank.
+  bool skip_update = false;
+  if (guard_ != nullptr) [[unlikely]] {
+    skip_update = health_screen(std::span<const float>(grads.data(),
+                                                       grads.size()),
+                                metrics.loss);
+  }
+  if (!skip_update) {
     DCT_TRACE_SPAN("sgd", "phase");
     const float inv_n = 1.0f / static_cast<float>(comm_.size());
     for (auto& g : grads) g *= inv_n;
@@ -610,9 +654,146 @@ StepMetrics DistributedTrainer::step() {
     send_seconds_prev_ = send_total;
     frame.values = {{"loss", static_cast<double>(metrics.loss)},
                     {"comm_bytes", static_cast<double>(metrics.comm_bytes)}};
-    telemetry_->on_step(frame);
+    if (guard_ != nullptr) {
+      frame.values.push_back(
+          {"health.skipped_steps",
+           static_cast<double>(guard_->skipped_steps())});
+      frame.values.push_back(
+          {"integrity.retransmits",
+           static_cast<double>(comm_.transport().retransmits())});
+    }
+    // The collector's straggler verdicts (rank 0 only) feed the
+    // suspicion scoreboard: a chronically slow sender is a gray-failure
+    // signal alongside its CRC-failure rate.
+    const auto straggler_events = telemetry_->on_step(frame);
+    if (scoreboard_ != nullptr) {
+      for (const auto& ev : straggler_events) {
+        if (ev.rank >= 0 &&
+            ev.rank < static_cast<int>(origin_ranks_.size())) {
+          scoreboard_->add_straggler_flag(
+              origin_ranks_[static_cast<std::size_t>(ev.rank)]);
+        }
+      }
+    }
+  }
+  // Quarantine cadence: collective, so every rank must take it at the
+  // same iteration (they do — steps run in lockstep).
+  if (scoreboard_ != nullptr && cfg_.health.scoreboard_every > 0 &&
+      iteration_ %
+              static_cast<std::uint64_t>(cfg_.health.scoreboard_every) ==
+          0) [[unlikely]] {
+    scoreboard_sync();
   }
   return metrics;
+}
+
+bool DistributedTrainer::health_screen(std::span<const float> grads,
+                                       float loss) {
+  DCT_TRACE_SPAN("health_screen", "phase");
+  // Screen in the same buckets the comm pipeline reduces in, so an
+  // anomaly localizes to one reduction unit; standalone runs use the
+  // configured width.
+  const std::size_t bucket_elems =
+      cfg_.comm.enabled()
+          ? std::max<std::size_t>(cfg_.comm.bucket_bytes / sizeof(float), 1)
+          : cfg_.health.screen_bucket_elems;
+  const std::ptrdiff_t bad_bucket =
+      guard_->screen_gradients(grads, bucket_elems);
+  const bool local_spike = guard_->observe_loss(loss);
+  // The gradient verdict is already deterministic (post-allreduce
+  // gradients are bit-identical everywhere) but the loss spike is
+  // local; fuse both into one collective flag so every rank applies or
+  // skips in lockstep.
+  float flag = (bad_bucket >= 0 || local_spike) ? 1.0f : 0.0f;
+  comm_.allreduce_inplace(std::span<float>(&flag, 1),
+                          [](float a, float b) { return a + b; });
+  if (flag == 0.0f) {
+    guard_->note_clean();
+    return false;
+  }
+  guard_->note_skip();
+  skipped_steps_counter().add(1);
+  if (bad_bucket >= 0 || local_spike) anomaly_counter().add(1);
+  // Only the loss spike is attributable — it is this rank's own signal.
+  // A poisoned gradient is identical on every rank after the allreduce,
+  // so charging anyone with it would smear suspicion uniformly.
+  if (scoreboard_ != nullptr && local_spike) {
+    scoreboard_->add_local_anomaly(
+        origin_ranks_[static_cast<std::size_t>(comm_.rank())]);
+  }
+  if (guard_->consecutive_skips() > cfg_.health.max_consecutive_skips) {
+    // Thrown in lockstep (the verdict above is collective): the elastic
+    // driver answers with one clean checkpoint rollback.
+    std::ostringstream os;
+    os << "numerical health: " << guard_->consecutive_skips()
+       << " consecutive anomalous steps at iteration " << iteration_
+       << " (budget " << cfg_.health.max_consecutive_skips
+       << "); rolling back";
+    throw NumericalHealthError(os.str());
+  }
+  return true;
+}
+
+void DistributedTrainer::scoreboard_sync() {
+  DCT_TRACE_SPAN("scoreboard_sync", "phase");
+  // Rank 0 charges each live origin the CRC failures its global rank
+  // accumulated *as a sender* since the last sync. The transport ledger
+  // is world-global (shared Transport), so a single reader suffices and
+  // nobody double-charges.
+  if (comm_.rank() == 0) {
+    for (int r = 0; r < comm_.size(); ++r) {
+      const int global = comm_.global_rank(r);
+      if (global < 0 || global >= static_cast<int>(crc_seen_.size())) {
+        continue;
+      }
+      const std::uint64_t now = comm_.transport().crc_failures_from(global);
+      const std::uint64_t delta =
+          now - crc_seen_[static_cast<std::size_t>(global)];
+      crc_seen_[static_cast<std::size_t>(global)] = now;
+      if (delta > 0) {
+        scoreboard_->add_crc_failures(
+            origin_ranks_[static_cast<std::size_t>(r)], delta);
+      }
+    }
+  }
+  // Fuse: after the sum every rank holds identical scores, so the
+  // verdict below needs no further agreement round.
+  std::vector<double> local = scoreboard_->take_local();
+  comm_.allreduce_inplace(std::span<double>(local),
+                          [](double a, double b) { return a + b; });
+  scoreboard_->ingest(std::span<const double>(local));
+
+  const int suspect = scoreboard_->verdict(
+      /*protected_origin=*/origin_ranks_[0], [this](int o) {
+        return std::find(dead_origins_.begin(), dead_origins_.end(), o) ==
+               dead_origins_.end();
+      });
+  if (suspect < 0) return;
+  int suspect_global = -1;
+  int suspect_rank = -1;
+  for (int r = 0; r < comm_.size(); ++r) {
+    if (origin_ranks_[static_cast<std::size_t>(r)] == suspect) {
+      suspect_rank = r;
+      suspect_global = comm_.global_rank(r);
+      break;
+    }
+  }
+  DCT_CHECK_MSG(suspect_rank >= 0,
+                "quarantine verdict names origin " << suspect
+                    << " which maps to no live rank");
+  quarantine_counter().add(1);
+  std::ostringstream os;
+  os << "quarantine: origin " << suspect << " (global rank "
+     << suspect_global << ") fused suspicion "
+     << scoreboard_->suspicion(suspect) << " >= threshold "
+     << cfg_.health.evict_threshold << " at iteration " << iteration_;
+  if (comm_.rank() == suspect_rank) {
+    // Fail-stop through the runtime's silent-death path: a RankFailed
+    // about *ourselves* marks this rank dead without aborting the
+    // world; survivors heal via the shrink + grow ladder.
+    throw simmpi::RankFailed(suspect_global, os.str());
+  }
+  throw RankQuarantined(suspect_global, os.str());
 }
 
 EpochMetrics DistributedTrainer::train_epoch(int iterations) {

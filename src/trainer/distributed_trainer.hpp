@@ -25,6 +25,7 @@
 #include "simmpi/communicator.hpp"
 #include "storage/donkey_pool.hpp"
 #include "storage/prefetcher.hpp"
+#include "trainer/health.hpp"
 
 namespace dct::trainer {
 
@@ -44,6 +45,12 @@ struct TrainerConfig {
   /// enabled every rank pushes a per-step TelemetryFrame to the rank-0
   /// collector over a private ProgressEngine (never blocks the step).
   comm::TelemetryConfig telemetry;
+
+  /// Numerical health guard + rank quarantine (DESIGN.md §16).
+  /// Disabled by default; when enabled every step screens the reduced
+  /// gradient and the loss, skipping anomalous updates and escalating
+  /// per the skip → rollback → quarantine ladder.
+  HealthConfig health;
 
   data::DatasetDef dataset;
   data::DimdConfig dimd;          ///< dimd.groups etc.
@@ -215,6 +222,12 @@ class DistributedTrainer {
   /// Telemetry plane, or null when cfg.telemetry.enabled is false (or
   /// the plane was quiesced and not yet rebuilt).
   comm::TelemetryPlane* telemetry_plane() { return telemetry_.get(); }
+  /// Numerical health guard, or null when cfg.health.enabled is false.
+  const HealthGuard* health_guard() const { return guard_.get(); }
+  /// Suspicion scoreboard, or null unless health + quarantine are on.
+  const HealthScoreboard* health_scoreboard() const {
+    return scoreboard_.get();
+  }
   std::int64_t node_batch() const {
     return cfg_.batch_per_gpu * cfg_.gpus_per_node;
   }
@@ -235,7 +248,31 @@ class DistributedTrainer {
 
   /// Rebuild GradComm + telemetry over the current communicator
   /// (collective when they dup); shared by shrink_to and grow_sync.
+  /// Also re-arms the health guard/scoreboard: a fresh incarnation
+  /// starts with a clean suspicion slate and CRC baseline, so a healed
+  /// world cannot instantly re-evict a revived origin on stale counts.
   void rebuild_comm_stack();
+
+  /// Ranks of the original world this run started from (origin space):
+  /// live origins + dead slots. Scoreboard dimensioning.
+  int origin_world_size() const {
+    return origin_ranks_.empty()
+               ? comm_.size()
+               : static_cast<int>(origin_ranks_.size() +
+                                  dead_origins_.size());
+  }
+
+  /// Collective health policy for one step (cfg.health.enabled):
+  /// gradient screen + loss-spike vote. Returns true when the update
+  /// must be skipped; throws NumericalHealthError past the skip
+  /// budget.
+  bool health_screen(std::span<const float> grads, float loss);
+
+  /// Quarantine cadence (cfg.health.quarantine): allreduce the
+  /// scoreboard, agree on a verdict, and evict — the suspect
+  /// fail-stops (RankFailed on itself), survivors throw
+  /// RankQuarantined for the elastic driver.
+  void scoreboard_sync();
 
   /// Collective tail of a grow: meta/origin agreement, DIMD
   /// grow-repartition, pipeline rebuild, state resync. Survivors pass
@@ -283,6 +320,13 @@ class DistributedTrainer {
   /// Elastic LR scale as an integer world-size ratio; see effective_lr().
   int lr_world_ref_ = 1;
   int lr_world_cur_ = 1;
+  /// Health guard machinery (null unless cfg.health.enabled).
+  std::unique_ptr<HealthGuard> guard_;
+  std::unique_ptr<HealthScoreboard> scoreboard_;
+  /// Per-global-rank CRC-failure baseline at the last scoreboard sync
+  /// (rank 0 only): the per-sync delta is what feeds suspicion, so
+  /// pre-rebuild history cannot double-count.
+  std::vector<std::uint64_t> crc_seen_;
 };
 
 }  // namespace dct::trainer

@@ -91,6 +91,14 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
     // every attempt starts with a fresh, fully idle pool.
     simmpi::Runtime rt(world_ranks + cfg.spares);
     rt.transport().set_recv_deadline(cfg.recv_deadline);
+    if (cfg.integrity) {
+      rt.transport().enable_integrity(true);
+      if (cfg.integrity_retries >= 0) {
+        rt.transport().set_integrity_retry(
+            cfg.integrity_retries,
+            std::chrono::microseconds(simmpi::kIntegrityBackoffUs));
+      }
+    }
     if (plan != nullptr && plan_fits(plan, world_ranks)) {
       rt.transport().install_fault_plan(plan);
     }
@@ -108,6 +116,7 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
     int final_ranks = 0;
     std::uint64_t shrink_count = 0;
     std::uint64_t grow_count = 0;
+    std::uint64_t quarantine_count = 0;
     std::vector<float> final_params;
     std::vector<ElasticIncident> incidents;
     bool attempt_completed = false;
@@ -263,6 +272,17 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
               // settles it — dead ranks drop out, a false alarm reforms
               // the full membership under a fresh context.
               if (!recover(to.what())) throw;
+            } catch (const RankQuarantined& q) {
+              // Every survivor of a scoreboard eviction lands here in
+              // lockstep; the suspect itself threw RankFailed about its
+              // own rank and is already dying through the silent-death
+              // path — recover() shrinks it out and heals from a spare.
+              if (world.rank() == 0) {
+                ++quarantine_count;
+                incidents.push_back(ElasticIncident{"quarantine", q.what(),
+                                                    world.size()});
+              }
+              if (!recover(q.what())) throw;
             }
           }
         } catch (const simmpi::RankFailed& rf) {
@@ -282,10 +302,21 @@ ElasticResult run_elastic(const ElasticConfig& cfg, simmpi::FaultPlan* plan) {
       incidents.push_back(ElasticIncident{"rollback", rf.what(), 0});
     } catch (const simmpi::Timeout& to) {
       incidents.push_back(ElasticIncident{"rollback", to.what(), 0});
+    } catch (const RankQuarantined& q) {
+      // Eviction agreed but the shrink leg could not proceed (survivor
+      // count below min_ranks, shard unrecoverable): degrade to a
+      // whole-world rollback, same as any other unshrinkable fault.
+      incidents.push_back(ElasticIncident{"rollback", q.what(), 0});
+    } catch (const NumericalHealthError& he) {
+      // The skip budget ran out in lockstep on every rank: the world is
+      // alive but the state is poisoned — roll back to the newest
+      // checkpoint rather than keep training on garbage.
+      incidents.push_back(ElasticIncident{"rollback", he.what(), 0});
     }
 
     res.shrinks += shrink_count;
     res.grows += grow_count;
+    res.quarantines += quarantine_count;
     res.incidents.insert(res.incidents.end(), incidents.begin(),
                          incidents.end());
     if (attempt_completed) {

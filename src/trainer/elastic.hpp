@@ -58,11 +58,21 @@ struct ElasticConfig {
   /// successful shrink the driver promotes up to this many of them back
   /// in through Communicator::grow, returning to full strength.
   int spares = 0;
+  /// CRC32-sealed message envelopes with NACK/retransmit on every
+  /// attempt's transport (DESIGN.md §16). Pairs with
+  /// trainer.health.quarantine: the per-link CRC-failure ledger is the
+  /// scoreboard's strongest attribution signal.
+  bool integrity = false;
+  /// Retry budget per corrupted send before the message is dropped
+  /// and the receive deadline takes over; < 0 keeps the transport
+  /// default (simmpi::kIntegrityMaxRetries). Raise it when a test
+  /// injects high corruption probabilities and must not lose payloads.
+  int integrity_retries = -1;
 };
 
 /// One recovery incident, for reporting.
 struct ElasticIncident {
-  std::string kind;    ///< "shrink" | "grow" | "rollback"
+  std::string kind;    ///< "shrink" | "grow" | "rollback" | "quarantine"
   std::string detail;  ///< the triggering fault's message
   int world_size = 0;  ///< world size after the incident
 };
@@ -72,6 +82,7 @@ struct ElasticResult {
   std::uint64_t shrinks = 0;       ///< survivor-shrink recoveries
   std::uint64_t grows = 0;         ///< spare-promotion recoveries
   std::uint64_t rollbacks = 0;     ///< whole-world rollbacks
+  std::uint64_t quarantines = 0;   ///< scoreboard evictions (DESIGN.md §16)
   std::uint64_t lost_steps = 0;    ///< iterations redone across rollbacks
   std::uint64_t faults_injected = 0;
   int final_ranks = 0;             ///< world size at completion

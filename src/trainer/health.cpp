@@ -1,0 +1,66 @@
+#include "trainer/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/kernels.hpp"
+
+namespace dct::trainer {
+
+std::ptrdiff_t HealthGuard::screen_gradients(std::span<const float> grads,
+                                             std::size_t bucket_elems) const {
+  if (grads.empty()) return -1;
+  const std::size_t bucket = std::max<std::size_t>(bucket_elems, 1);
+  std::ptrdiff_t index = 0;
+  for (std::size_t lo = 0; lo < grads.size(); lo += bucket, ++index) {
+    const std::size_t n = std::min(bucket, grads.size() - lo);
+    // Vectorized magnitude sweep first — an exploding bucket fails
+    // cheaply — then an explicit finiteness scan, because max_abs's
+    // comparison chain is free to drop a NaN instead of returning it.
+    const float m = kernels::max_abs(grads.data() + lo, n);
+    if (!std::isfinite(m) || m > cfg_.grad_abs_limit) return index;
+    for (std::size_t i = lo; i < lo + n; ++i) {
+      if (!std::isfinite(grads[i])) return index;
+    }
+  }
+  return -1;
+}
+
+bool HealthGuard::observe_loss(float loss) {
+  if (!std::isfinite(loss)) return true;
+  if (loss_observed_ < cfg_.loss_warmup_steps) {
+    // Warmup: seed the EMA before judging anything.
+    loss_ema_ = loss_observed_ == 0
+                    ? static_cast<double>(loss)
+                    : cfg_.loss_ema_alpha * static_cast<double>(loss) +
+                          (1.0 - cfg_.loss_ema_alpha) * loss_ema_;
+    ++loss_observed_;
+    return false;
+  }
+  const double limit =
+      loss_ema_ * cfg_.loss_spike_factor + cfg_.loss_spike_margin;
+  if (static_cast<double>(loss) > limit) return true;
+  loss_ema_ = cfg_.loss_ema_alpha * static_cast<double>(loss) +
+              (1.0 - cfg_.loss_ema_alpha) * loss_ema_;
+  ++loss_observed_;
+  return false;
+}
+
+void HealthGuard::reset() {
+  loss_ema_ = 0.0;
+  loss_observed_ = 0;
+  consecutive_skips_ = 0;
+}
+
+std::vector<double> HealthScoreboard::take_local() {
+  std::vector<double> out = local_;
+  std::fill(local_.begin(), local_.end(), 0.0);
+  return out;
+}
+
+void HealthScoreboard::ingest(std::span<const double> summed) {
+  const std::size_t n = std::min(summed.size(), fused_.size());
+  for (std::size_t i = 0; i < n; ++i) fused_[i] += summed[i];
+}
+
+}  // namespace dct::trainer

@@ -1,0 +1,197 @@
+// Numerical health guard + rank quarantine (DESIGN.md §16).
+//
+// The fail-stop ladder (crash → shrink → grow) assumes a broken rank
+// announces itself. Silent data corruption does not: a flipped bit the
+// transport's CRC envelope missed (integrity off), a NaN out of a bad
+// reduction, or an exploding gradient poisons every replica at the
+// next allreduce. Two cooperating defenses live here:
+//
+//   • HealthGuard — per-step screening on the *training* side. A
+//     per-bucket kernels::max_abs + NaN/Inf sweep over the reduced
+//     gradient, and an EMA loss-spike detector. One anomalous step is
+//     skipped (the gradient is discarded, no SGD update); a run of
+//     consecutive skips escalates to NumericalHealthError, which the
+//     elastic driver turns into a checkpoint rollback.
+//
+//   • HealthScoreboard — per-*origin* suspicion accounting that fuses
+//     three gray-failure signals: CRC-failure rates per sending rank
+//     (transport link accounting), straggler flags from the telemetry
+//     detector, and local numeric-anomaly attribution. Every
+//     `scoreboard_every` steps the per-origin contributions are
+//     allreduce-summed, so every rank holds the identical fused score
+//     and reaches the identical verdict without extra agreement
+//     traffic. An origin crossing `evict_threshold` is quarantined:
+//     the suspect rank fail-stops itself (the runtime's silent-death
+//     path) and every survivor throws RankQuarantined, which the
+//     elastic driver answers with the existing shrink → grow-from-
+//     spare healing sequence.
+//
+// The full policy ladder: retransmit (transport) → skip-step →
+// rollback → quarantine (shrink + grow) → abort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dct::trainer {
+
+struct HealthConfig {
+  bool enabled = false;
+  /// Quarantine verdicts (scoreboard + eviction) on top of the local
+  /// skip/rollback ladder. Needs the elastic driver to catch
+  /// RankQuarantined; plain drivers should leave it off.
+  bool quarantine = false;
+
+  /// A gradient bucket whose max |g| exceeds this (or contains a
+  /// non-finite value) marks the step anomalous.
+  float grad_abs_limit = 1.0e4f;
+  /// Elements per screening bucket when the comm pipeline does not
+  /// dictate one (cfg.comm.bucket_bytes wins when bucketing is on).
+  std::size_t screen_bucket_elems = 8192;
+
+  /// Loss spike: anomalous when loss > ema * factor + margin (after
+  /// warmup). The margin keeps tiny early losses from tripping the
+  /// multiplicative test on noise.
+  double loss_spike_factor = 8.0;
+  double loss_spike_margin = 2.0;
+  double loss_ema_alpha = 0.2;
+  int loss_warmup_steps = 3;
+
+  /// Consecutive skipped steps tolerated before escalating to
+  /// NumericalHealthError (→ rollback).
+  int max_consecutive_skips = 2;
+
+  /// Steps between scoreboard allreduce syncs (quarantine mode).
+  int scoreboard_every = 4;
+  /// Fused suspicion score at which an origin is evicted.
+  double evict_threshold = 6.0;
+  /// Signal weights: one CRC failure / straggler flag / local numeric
+  /// anomaly adds this much suspicion to the attributed origin.
+  double crc_weight = 1.0;
+  double straggler_weight = 1.0;
+  double anomaly_weight = 3.0;
+};
+
+/// Escalation of the skip-step policy: too many consecutive anomalous
+/// steps. Thrown in lockstep on every rank (the skip verdict is
+/// collective), so the elastic driver sees one clean rollback.
+class NumericalHealthError : public std::runtime_error {
+ public:
+  explicit NumericalHealthError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by every *survivor* when the scoreboard evicts a rank; the
+/// suspect itself fail-stops through the runtime's RankFailed path.
+class RankQuarantined : public std::runtime_error {
+ public:
+  RankQuarantined(int global_rank, const std::string& what)
+      : std::runtime_error(what), global_rank_(global_rank) {}
+  /// Global rank of the evicted suspect.
+  int global_rank() const { return global_rank_; }
+
+ private:
+  int global_rank_;
+};
+
+/// Per-rank numerical screening; purely local, no communication.
+class HealthGuard {
+ public:
+  explicit HealthGuard(const HealthConfig& cfg) : cfg_(cfg) {}
+
+  /// Screen the (already reduced) gradient in buckets of
+  /// `bucket_elems`. Returns the index of the first anomalous bucket —
+  /// max |g| over the limit or a non-finite element — or -1 when
+  /// clean. Deterministic: post-allreduce gradients are bit-identical
+  /// on every rank, so every rank sees the same verdict.
+  std::ptrdiff_t screen_gradients(std::span<const float> grads,
+                                  std::size_t bucket_elems) const;
+
+  /// Feed this rank's step loss; returns true when it spikes against
+  /// the EMA (or is non-finite). Local: losses differ per rank. The
+  /// EMA only absorbs clean losses, so a spike cannot drag the
+  /// baseline up after itself.
+  bool observe_loss(float loss);
+
+  /// Skip bookkeeping (driven by the *collective* skip verdict).
+  void note_skip() { ++consecutive_skips_, ++skipped_steps_; }
+  void note_clean() { consecutive_skips_ = 0; }
+  int consecutive_skips() const { return consecutive_skips_; }
+  std::uint64_t skipped_steps() const { return skipped_steps_; }
+
+  /// Forget the loss baseline and the consecutive-skip run (world
+  /// rebuild: the loss scale may shift with the new membership).
+  void reset();
+
+ private:
+  HealthConfig cfg_;
+  double loss_ema_ = 0.0;
+  int loss_observed_ = 0;
+  int consecutive_skips_ = 0;
+  std::uint64_t skipped_steps_ = 0;
+};
+
+/// Per-origin suspicion accounting. Origins (ranks of the original
+/// world) are stable across shrinks and grows, so a score follows the
+/// identity, not the current comm numbering. Local contributions
+/// accumulate between syncs; take_local() + an external allreduce +
+/// ingest() fuse them identically on every rank.
+class HealthScoreboard {
+ public:
+  HealthScoreboard(const HealthConfig& cfg, int origins)
+      : cfg_(cfg),
+        local_(static_cast<std::size_t>(origins), 0.0),
+        fused_(static_cast<std::size_t>(origins), 0.0) {}
+
+  int origins() const { return static_cast<int>(fused_.size()); }
+
+  void add_crc_failures(int origin, std::uint64_t failures) {
+    local_[static_cast<std::size_t>(origin)] +=
+        cfg_.crc_weight * static_cast<double>(failures);
+  }
+  void add_straggler_flag(int origin) {
+    local_[static_cast<std::size_t>(origin)] += cfg_.straggler_weight;
+  }
+  void add_local_anomaly(int origin) {
+    local_[static_cast<std::size_t>(origin)] += cfg_.anomaly_weight;
+  }
+
+  /// Drain this rank's accumulated contributions (allreduce input).
+  std::vector<double> take_local();
+
+  /// Fold the allreduce-summed contributions into the fused scores.
+  void ingest(std::span<const double> summed);
+
+  double suspicion(int origin) const {
+    return fused_[static_cast<std::size_t>(origin)];
+  }
+
+  /// The most suspicious origin over the eviction threshold, or -1.
+  /// `protected_origin` (the coordinator's) and origins rejected by
+  /// `eligible` (dead slots) are never evicted. Deterministic given
+  /// identical fused scores.
+  template <typename Pred>
+  int verdict(int protected_origin, Pred eligible) const {
+    int worst = -1;
+    for (int o = 0; o < origins(); ++o) {
+      if (o == protected_origin || !eligible(o)) continue;
+      if (fused_[static_cast<std::size_t>(o)] < cfg_.evict_threshold) continue;
+      if (worst < 0 || fused_[static_cast<std::size_t>(o)] >
+                           fused_[static_cast<std::size_t>(worst)]) {
+        worst = o;
+      }
+    }
+    return worst;
+  }
+
+ private:
+  HealthConfig cfg_;
+  std::vector<double> local_;  ///< this rank's un-synced contributions
+  std::vector<double> fused_;  ///< cluster-agreed scores (post-sync)
+};
+
+}  // namespace dct::trainer

@@ -41,6 +41,7 @@ ResilientResult run_resilient(const ResilientConfig& cfg,
     // rolled-back attempt gets past the trigger that killed the last.
     simmpi::Runtime rt(cfg.ranks);
     rt.transport().set_recv_deadline(cfg.recv_deadline);
+    if (cfg.integrity) rt.transport().enable_integrity(true);
     if (plan != nullptr) rt.transport().install_fault_plan(plan);
 
     // Progress highwater of this attempt, for lost-step accounting.
@@ -77,6 +78,12 @@ ResilientResult run_resilient(const ResilientConfig& cfg,
     } catch (const simmpi::Timeout& to) {
       res.failures.push_back("attempt " + std::to_string(attempt) + ": " +
                              to.what());
+    } catch (const NumericalHealthError& he) {
+      // The health guard's skip budget ran out (in lockstep on every
+      // rank): the world is alive but the state is poisoned — roll back
+      // like any other fault-terminated attempt.
+      res.failures.push_back("attempt " + std::to_string(attempt) + ": " +
+                             he.what());
     }
 
     // Roll back: the next attempt resumes from the newest complete

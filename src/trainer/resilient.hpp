@@ -36,6 +36,9 @@ struct ResilientConfig {
   /// Resume from an existing checkpoint on the *first* attempt too
   /// (the CLI's --resume); rollback attempts always resume.
   bool resume_first = false;
+  /// CRC32-sealed message envelopes with NACK/retransmit on every
+  /// attempt's transport (DESIGN.md §16).
+  bool integrity = false;
 };
 
 struct ResilientResult {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "data/synthetic.hpp"
+#include "obs/counters.hpp"
 #include "simmpi/fault.hpp"
 #include "trainer/checkpoint_io.hpp"
 #include "trainer/elastic.hpp"
@@ -86,6 +87,92 @@ TEST(ChaosSoak, OverlapFp16CrashesStragglersAndSpareHealOneShrinkOneGrow) {
   // Every survivor's final checkpoint holds bit-identical parameters —
   // overlap + compression + shrink/grow cycles must not let replicas
   // diverge.
+  const auto manifest = trainer::read_manifest_any(dir);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->first, ecfg.total_iterations);
+  EXPECT_EQ(manifest->second, 7);
+  std::vector<float> rank0 =
+      trainer::read_trainer_state(
+          trainer::rank_checkpoint_path(dir, manifest->first, 0))
+          .params;
+  ASSERT_FALSE(rank0.empty());
+  for (int r = 1; r < 7; ++r) {
+    const auto params =
+        trainer::read_trainer_state(
+            trainer::rank_checkpoint_path(dir, manifest->first, r))
+            .params;
+    EXPECT_EQ(params, rank0) << "rank " << r << " diverged";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ChaosSoak, CorruptionOnTopOfCrashesHealsWithoutLosingAChunk) {
+  // The SDC arm (DESIGN.md §16): everything the soak above throws at
+  // the driver, plus a surviving rank that corrupts 10% of its sends
+  // for the whole run. With integrity envelopes on, every corrupted
+  // chunk is caught and retransmitted — the run finishes exactly like
+  // the clean soak (two shrinks, one grow, zero rollbacks, survivors
+  // bit-identical) and not one message is lost past the retry budget.
+  const std::string dir = testing::TempDir() + "dct_chaos_corrupt_ckpt";
+  std::filesystem::remove_all(dir);
+
+  trainer::ElasticConfig ecfg;
+  ecfg.trainer.model.classes = 4;
+  ecfg.trainer.model.image = 8;
+  ecfg.trainer.gpus_per_node = 2;
+  ecfg.trainer.batch_per_gpu = 2;
+  ecfg.trainer.dataset.seed = 29;
+  ecfg.trainer.dataset.images = 128;
+  ecfg.trainer.dataset.classes = 4;
+  ecfg.trainer.dataset.image = data::ImageDef{3, 8, 8};
+  ecfg.trainer.base_lr = 0.02;
+  ecfg.trainer.seed = 7;
+  ecfg.trainer.comm.bucket_bytes = 4096;
+  ecfg.trainer.comm.overlap = true;
+  ecfg.trainer.comm.codec = "fp16";
+  ecfg.trainer.dimd.replication = 2;
+  ecfg.trainer.checkpoint_dir = dir;
+  ecfg.trainer.checkpoint_every = 4;
+  ecfg.ranks = 8;
+  ecfg.spares = 1;
+  ecfg.total_iterations = 14;
+  ecfg.min_ranks = 2;
+  ecfg.recv_deadline = milliseconds(3000);
+  ecfg.join_deadline = milliseconds(12000);
+  ecfg.integrity = true;
+  ecfg.integrity_retries = 16;  // 10% corruption must never exhaust it
+
+  const std::uint64_t retransmits_before =
+      obs::Metrics::counter("integrity.retransmits").value();
+  const std::uint64_t lost_before =
+      obs::Metrics::counter("integrity.lost").value();
+
+  FaultPlan plan(43);
+  plan.add({.kind = FaultKind::kCrash, .rank = 3, .at_step = 5});
+  plan.add({.kind = FaultKind::kCrash, .rank = 6, .at_step = 9});
+  plan.add({.kind = FaultKind::kStraggle, .rank = 2, .probability = 0.2,
+            .delay_ms = 1.0});
+  // Rank 1 survives both crashes and corrupts for the whole run.
+  plan.add({.kind = FaultKind::kCorrupt, .rank = 1, .probability = 0.1});
+
+  const auto start = steady_clock::now();
+  const auto res = trainer::run_elastic(ecfg, &plan);
+  const double elapsed =
+      std::chrono::duration<double>(steady_clock::now() - start).count();
+
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.shrinks, 2u);
+  EXPECT_EQ(res.grows, 1u);
+  EXPECT_EQ(res.rollbacks, 0u);
+  EXPECT_EQ(res.quarantines, 0u);  // health guard off: envelope only
+  EXPECT_EQ(res.final_ranks, 7);
+  EXPECT_LT(elapsed, 60.0) << "chaos soak must stay bounded";
+
+  // The envelope did real work, and nothing slipped past it.
+  EXPECT_GT(obs::Metrics::counter("integrity.retransmits").value(),
+            retransmits_before);
+  EXPECT_EQ(obs::Metrics::counter("integrity.lost").value(), lost_before);
+
   const auto manifest = trainer::read_manifest_any(dir);
   ASSERT_TRUE(manifest.has_value());
   EXPECT_EQ(manifest->first, ecfg.total_iterations);

@@ -336,6 +336,84 @@ TEST(Grow, RestartedRankReenlistsAfterResurrection) {
   EXPECT_TRUE(rt.dead_ranks().empty());
 }
 
+TEST(Grow, WedgedSpareIsAbandonedAfterBoundedInviteRetries) {
+  // A spare that never enters the lobby must not hold the grow hostage
+  // for the whole join deadline: the coordinator re-sends the INVITE
+  // over a handful of exponentially-widening windows (~775 ms total),
+  // then abandons the invitee and reforms with the ranks it has.
+  simmpi::Runtime rt(3);
+  rt.transport().set_recv_deadline(milliseconds(2000));
+  std::atomic<bool> done{false};
+  rt.run([&](simmpi::Communicator& world) {
+    const int g = world.rank();
+    auto comm = world.split(g >= 2 ? 1 : 0, g);
+    if (g >= 2) {
+      // Wedged: parked on a flag, never calling await_join.
+      while (!done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return;
+    }
+    const auto start = steady_clock::now();
+    std::vector<int> invitees;
+    if (comm.rank() == 0) invitees = {2};
+    // The join deadline is deliberately huge: the bounded INVITE retry
+    // loop, not this deadline, must decide when to give up.
+    auto gr = comm.grow(std::span<const int>(invitees), milliseconds(20000));
+    EXPECT_LT(seconds_since(start), 5.0)
+        << "abandoning a wedged invitee must not consume the deadline";
+    EXPECT_TRUE(gr.joiner_global_ranks.empty());
+    EXPECT_EQ(gr.comm.size(), 2);
+    // The reformed communicator is fully collective-capable.
+    int sum = 0;
+    for (int v : gr.comm.allgather_value(gr.comm.rank())) sum += v;
+    EXPECT_EQ(sum, 1);
+    done.store(true);
+  });
+}
+
+TEST(Grow, LateSpareIsAdmittedWithinTheRetryWindows) {
+  // A spare that misses the first INVITE windows (slow to reach the
+  // lobby) is still admitted by a re-sent INVITE, and the duplicate
+  // INVITEs buffered in its mailbox are harmless.
+  simmpi::Runtime rt(3);
+  rt.transport().set_recv_deadline(milliseconds(2000));
+  rt.run([&](simmpi::Communicator& world) {
+    const int g = world.rank();
+    auto comm = world.split(g >= 2 ? 1 : 0, g);
+    if (g >= 2) {
+      // Sleep past the first two INVITE windows (25 + 50 ms).
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      auto joined = simmpi::Communicator::await_join(
+          rt.transport(), g, milliseconds(8000), [] { return true; });
+      ASSERT_TRUE(joined.has_value());
+      EXPECT_EQ(joined->size(), 3);
+      EXPECT_EQ(joined->rank(), 2);  // appended after the survivors
+      int sum = 0;
+      for (int v :
+           joined->allgather_value(joined->global_rank(joined->rank()))) {
+        sum += v;
+      }
+      EXPECT_EQ(sum, 0 + 1 + 2);
+      return;
+    }
+    const auto start = steady_clock::now();
+    std::vector<int> invitees;
+    if (comm.rank() == 0) invitees = {2};
+    auto gr = comm.grow(std::span<const int>(invitees), milliseconds(8000));
+    EXPECT_LT(seconds_since(start), 5.0);
+    EXPECT_EQ(gr.comm.size(), 3);
+    if (gr.comm.rank() == 0) {
+      EXPECT_EQ(gr.joiner_global_ranks, std::vector<int>{2});
+    }
+    int sum = 0;
+    for (int v : gr.comm.allgather_value(gr.comm.global_rank(gr.comm.rank()))) {
+      sum += v;
+    }
+    EXPECT_EQ(sum, 0 + 1 + 2);
+  });
+}
+
 TEST(Grow, ZeroJoinersReformsUnderFreshContext) {
   // A grow that admits nobody degenerates to a full-membership reform:
   // same ranks, fresh context, still collective-capable.

@@ -67,6 +67,47 @@ TEST(FaultPlan, ParsesRuleSpecs) {
                CheckError);
 }
 
+TEST(FaultPlan, ParsesCorruptAndTruncateKinds) {
+  const auto corrupt = FaultPlan::parse_rule("rank=3,kind=corrupt,prob=0.1");
+  EXPECT_EQ(corrupt.kind, FaultKind::kCorrupt);
+  EXPECT_EQ(corrupt.rank, 3);
+  EXPECT_DOUBLE_EQ(corrupt.probability, 0.1);
+
+  const auto truncate = FaultPlan::parse_rule("kind=truncate");
+  EXPECT_EQ(truncate.kind, FaultKind::kTruncate);
+  EXPECT_EQ(truncate.rank, -1);  // every rank
+
+  EXPECT_STREQ(to_string(FaultKind::kCorrupt), "corrupt");
+  EXPECT_STREQ(to_string(FaultKind::kTruncate), "truncate");
+}
+
+TEST(FaultPlan, RejectsInvalidRuleConstruction) {
+  // Misconfigured injection must fail at construction, not surface as
+  // baffling behavior mid-run.
+  EXPECT_THROW(FaultPlan(1).add({.kind = FaultKind::kDrop,
+                                 .probability = 1.5}),
+               CheckError);
+  EXPECT_THROW(FaultPlan(1).add({.kind = FaultKind::kCorrupt,
+                                 .probability = -0.1}),
+               CheckError);
+  EXPECT_THROW(FaultPlan(1).add({.kind = FaultKind::kDrop, .rank = -2}),
+               CheckError);
+  EXPECT_THROW(FaultPlan(1).add({.kind = FaultKind::kDelay,
+                                 .delay_ms = -1.0}),
+               CheckError);
+
+  FaultPlan plan(1);
+  plan.add({.kind = FaultKind::kDrop, .rank = 1, .probability = 0.5});
+  // Binding to an empty world, or to one the rules overshoot, is a
+  // configuration error.
+  EXPECT_THROW(plan.bind(0), CheckError);
+  EXPECT_THROW(plan.bind(1), CheckError);  // rule targets rank 1
+  plan.bind(2);
+  // The plan is frozen once installed: late rule additions would race
+  // the sender threads.
+  EXPECT_THROW(plan.add({.kind = FaultKind::kDrop}), CheckError);
+}
+
 // ---- detection: one test per fault kind ------------------------------
 
 TEST(FaultInjection, DroppedMessageTimesOutInsteadOfDeadlocking) {
@@ -427,6 +468,52 @@ TEST(Recovery, TruncatedCheckpointSetIsSkippedOnResume) {
     trainer::DistributedTrainer trainer(comm, cfg);
     EXPECT_FALSE(trainer.resume());
   });
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Recovery, BitRottedNewestCheckpointFallsBackToOlderSet) {
+  // Silent bit-rot at rest: flip one payload byte in *every* rank file
+  // of the newest checkpoint set. Each file still exists at full size,
+  // so only the CRC seal can tell — the restorable-checkpoint scan
+  // must fall back to the older intact set and training must resume
+  // from there and finish.
+  auto cfg = small_trainer_config();
+  const std::string dir = testing::TempDir() + "dct_fault_bitrot_ckpt";
+  std::filesystem::remove_all(dir);
+  cfg.checkpoint_dir = dir;
+  cfg.checkpoint_every = 2;
+
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < 6; ++i) trainer.step();  // sets at 2, 4, 6
+  });
+  ASSERT_EQ(trainer::find_restorable_checkpoint(dir, 2), 6u);
+
+  for (int r = 0; r < 2; ++r) {
+    const std::string victim = trainer::rank_checkpoint_path(dir, 6, r);
+    const auto size = std::filesystem::file_size(victim);
+    std::FILE* f = std::fopen(victim.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(size / 2), SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, static_cast<long>(size / 2), SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+    EXPECT_EQ(std::filesystem::file_size(victim), size)
+        << "bit-rot must not change the file size";
+  }
+  EXPECT_FALSE(trainer::checkpoint_set_valid(dir, 6, 2));
+  ASSERT_EQ(trainer::find_restorable_checkpoint(dir, 2), 4u);
+
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    ASSERT_TRUE(trainer.resume());
+    EXPECT_EQ(trainer.iteration(), 4u);
+    while (trainer.iteration() < 8) trainer.step();
+    EXPECT_EQ(trainer.iteration(), 8u);
+  });
+  // The resumed run republished checkpoints past the rotted set.
+  EXPECT_EQ(trainer::find_restorable_checkpoint(dir, 2), 8u);
   std::filesystem::remove_all(dir);
 }
 

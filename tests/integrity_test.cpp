@@ -1,0 +1,538 @@
+// Silent-data-corruption defense (DESIGN.md §16): CRC32-sealed message
+// envelopes heal in-flight corruption through NACK/retransmit with a
+// bounded retry budget; the trainer-side health guard screens reduced
+// gradients and losses, skipping anomalous updates and escalating to
+// rollback past the skip budget; the suspicion scoreboard fuses CRC,
+// straggler, and anomaly signals per origin and quarantines a
+// persistently-flaky rank through the elastic shrink → grow ladder.
+//
+// Acceptance (ISSUE): transient corruption on one rank's links is
+// retransmitted until every chunk lands intact and training finishes
+// bit-identical to a fault-free run; persistent corruption gets the
+// rank evicted and healed from a hot spare with zero rollbacks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "obs/counters.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/checkpoint_io.hpp"
+#include "trainer/distributed_trainer.hpp"
+#include "trainer/elastic.hpp"
+#include "trainer/health.hpp"
+#include "trainer/resilient.hpp"
+#include "util/error.hpp"
+
+namespace dct {
+namespace {
+
+using simmpi::FaultKind;
+using simmpi::FaultPlan;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+double seconds_since(steady_clock::time_point start) {
+  return std::chrono::duration<double>(steady_clock::now() - start).count();
+}
+
+std::vector<float> patterned_payload(int salt, std::size_t elems) {
+  std::vector<float> v(elems);
+  for (std::size_t i = 0; i < elems; ++i) {
+    v[i] = 0.25f * static_cast<float>((salt + 3) * (static_cast<int>(i) % 13 + 1));
+  }
+  return v;
+}
+
+trainer::TrainerConfig tiny_trainer_config() {
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 2;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.seed = 11;
+  cfg.dataset.images = 128;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.base_lr = 0.02;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// ---- the envelope: seal, verify, retransmit --------------------------
+
+TEST(Envelope, CorruptedSendIsHealedByRetransmit) {
+  // A flaky link flips bits in 50% of rank 0's sends. With integrity
+  // on, every tampered copy fails the receiver-NIC CRC and is
+  // retransmitted until a pristine copy lands: the receiver observes
+  // only intact payloads, and the link ledger charges the sender.
+  constexpr int kMessages = 40;
+  simmpi::Runtime rt(2);
+  rt.transport().enable_integrity(true);
+  rt.transport().set_integrity_retry(16, microseconds(1));
+  FaultPlan plan(17);
+  plan.add({.kind = FaultKind::kCorrupt, .rank = 0, .probability = 0.5});
+  rt.transport().install_fault_plan(&plan);
+
+  rt.run([&](simmpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int m = 0; m < kMessages; ++m) {
+        const auto payload = patterned_payload(m, 96);
+        comm.send(std::span<const float>(payload), 1, m);
+      }
+      return;
+    }
+    for (int m = 0; m < kMessages; ++m) {
+      std::vector<float> buf(96);
+      comm.recv(std::span<float>(buf), 0, m);
+      EXPECT_EQ(buf, patterned_payload(m, 96)) << "message " << m;
+    }
+  });
+
+  const auto& t = rt.transport();
+  EXPECT_GT(t.crc_failures(), 0u);
+  EXPECT_GT(t.retransmits(), 0u);
+  EXPECT_EQ(t.integrity_lost(), 0u);
+  // Attribution: the ledger blames the flaky sender, not the receiver.
+  EXPECT_GT(t.link_crc_failures(0, 1), 0u);
+  EXPECT_GT(t.crc_failures_from(0), 0u);
+  EXPECT_EQ(t.crc_failures_from(1), 0u);
+  EXPECT_GT(plan.injected(), 0u);
+}
+
+TEST(Envelope, TruncatedSendIsHealedByRetransmit) {
+  // A short DMA cuts the payload in half in flight; the length change
+  // alone fails the CRC and the retransmission restores the pristine
+  // bytes at full length.
+  constexpr int kMessages = 30;
+  simmpi::Runtime rt(2);
+  rt.transport().enable_integrity(true);
+  rt.transport().set_integrity_retry(16, microseconds(1));
+  FaultPlan plan(19);
+  plan.add({.kind = FaultKind::kTruncate, .rank = 0, .probability = 0.5});
+  rt.transport().install_fault_plan(&plan);
+
+  rt.run([&](simmpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int m = 0; m < kMessages; ++m) {
+        const auto payload = patterned_payload(m, 64);
+        comm.send(std::span<const float>(payload), 1, m);
+      }
+      return;
+    }
+    for (int m = 0; m < kMessages; ++m) {
+      std::vector<float> buf(64);
+      const auto st = comm.recv(std::span<float>(buf), 0, m);
+      EXPECT_EQ(st.bytes, 64 * sizeof(float)) << "message " << m;
+      EXPECT_EQ(buf, patterned_payload(m, 64)) << "message " << m;
+    }
+  });
+
+  EXPECT_GT(rt.transport().crc_failures(), 0u);
+  EXPECT_GT(rt.transport().retransmits(), 0u);
+  EXPECT_EQ(rt.transport().integrity_lost(), 0u);
+}
+
+TEST(Envelope, WithoutIntegrityCorruptionIsSilent) {
+  // The threat model: with envelopes off, a flipped bit sails through
+  // undetected — the receiver gets damaged bytes and no counter moves.
+  // (This is the baseline the rest of this file defends against.)
+  simmpi::Runtime rt(2);
+  const std::uint64_t crc_before = rt.transport().crc_failures();
+  FaultPlan plan(23);
+  plan.add({.kind = FaultKind::kCorrupt, .rank = 0, .probability = 1.0});
+  rt.transport().install_fault_plan(&plan);
+
+  rt.run([&](simmpi::Communicator& comm) {
+    const auto payload = patterned_payload(0, 256);
+    if (comm.rank() == 0) {
+      comm.send(std::span<const float>(payload), 1, 0);
+      return;
+    }
+    std::vector<float> buf(256);
+    comm.recv(std::span<float>(buf), 0, 0);
+    EXPECT_NE(buf, payload) << "corruption should have gone undetected";
+  });
+
+  EXPECT_EQ(rt.transport().crc_failures(), crc_before);
+  EXPECT_EQ(rt.transport().retransmits(), 0u);
+  EXPECT_EQ(plan.injected(), 1u);
+}
+
+TEST(Envelope, RetryExhaustionDropsAndCountsLost) {
+  // A link that corrupts every copy defeats a bounded retry budget: the
+  // message is dropped as lost and the receiver's deadline machinery
+  // turns the gap into a Timeout — the fail-stop ladder takes over.
+  simmpi::Runtime rt(2);
+  rt.transport().enable_integrity(true);
+  rt.transport().set_integrity_retry(2, microseconds(1));
+  rt.transport().set_recv_deadline(milliseconds(300));
+  FaultPlan plan(29);
+  plan.add({.kind = FaultKind::kCorrupt, .rank = 0, .probability = 1.0});
+  rt.transport().install_fault_plan(&plan);
+
+  const auto start = steady_clock::now();
+  EXPECT_THROW(
+      rt.run([&](simmpi::Communicator& comm) {
+        const auto payload = patterned_payload(1, 32);
+        if (comm.rank() == 0) {
+          comm.send(std::span<const float>(payload), 1, 0);
+          return;
+        }
+        std::vector<float> buf(32);
+        comm.recv(std::span<float>(buf), 0, 0);  // never arrives
+      }),
+      simmpi::Timeout);
+  EXPECT_LT(seconds_since(start), 30.0);
+
+  // Budget of 2: initial copy + 2 retransmits, all corrupted → 3 CRC
+  // failures, then the message is abandoned.
+  EXPECT_EQ(rt.transport().crc_failures(), 3u);
+  EXPECT_EQ(rt.transport().retransmits(), 2u);
+  EXPECT_EQ(rt.transport().integrity_lost(), 1u);
+}
+
+TEST(Envelope, NegativeRetryBudgetIsRejected) {
+  simmpi::Runtime rt(2);
+  EXPECT_THROW(rt.transport().set_integrity_retry(-1, microseconds(1)),
+               CheckError);
+  EXPECT_THROW(rt.transport().set_integrity_retry(4, microseconds(-5)),
+               CheckError);
+}
+
+// ---- HealthGuard: local numerical screening --------------------------
+
+TEST(HealthGuard, ScreensGradientBucketsForLimitAndNonFinite) {
+  trainer::HealthConfig cfg;
+  cfg.grad_abs_limit = 10.0f;
+  trainer::HealthGuard guard(cfg);
+
+  std::vector<float> grads(100, 1.0f);
+  const auto span = [&] { return std::span<const float>(grads); };
+  EXPECT_EQ(guard.screen_gradients(span(), 32), -1);
+
+  grads[70] = 11.0f;  // bucket 2 holds elements [64, 96)
+  EXPECT_EQ(guard.screen_gradients(span(), 32), 2);
+  grads[70] = 1.0f;
+
+  grads[40] = std::numeric_limits<float>::quiet_NaN();  // bucket 1
+  EXPECT_EQ(guard.screen_gradients(span(), 32), 1);
+
+  grads[0] = -std::numeric_limits<float>::infinity();  // bucket 0 first
+  EXPECT_EQ(guard.screen_gradients(span(), 32), 0);
+
+  EXPECT_EQ(guard.screen_gradients(std::span<const float>(), 32), -1);
+  // bucket_elems == 0 degrades to 1-element buckets, not a crash.
+  grads.assign(4, 0.5f);
+  EXPECT_EQ(guard.screen_gradients(span(), 0), -1);
+}
+
+TEST(HealthGuard, LossSpikeJudgedAgainstEmaAfterWarmup) {
+  trainer::HealthConfig cfg;
+  cfg.loss_warmup_steps = 2;
+  cfg.loss_spike_factor = 2.0;
+  cfg.loss_spike_margin = 0.5;
+  cfg.loss_ema_alpha = 0.5;
+  trainer::HealthGuard guard(cfg);
+
+  // Warmup observations seed the EMA and never flag.
+  EXPECT_FALSE(guard.observe_loss(1.0f));
+  EXPECT_FALSE(guard.observe_loss(1.0f));
+  // EMA ≈ 1.0 → limit 2.5: a 10x loss is a spike, and the spike must
+  // NOT drag the baseline up after itself — it keeps flagging.
+  EXPECT_TRUE(guard.observe_loss(10.0f));
+  EXPECT_TRUE(guard.observe_loss(10.0f));
+  EXPECT_FALSE(guard.observe_loss(1.2f));  // clean losses absorb again
+
+  // Non-finite losses flag even during warmup.
+  trainer::HealthGuard fresh(cfg);
+  EXPECT_TRUE(fresh.observe_loss(std::numeric_limits<float>::quiet_NaN()));
+  EXPECT_TRUE(fresh.observe_loss(std::numeric_limits<float>::infinity()));
+}
+
+TEST(HealthGuard, SkipBookkeepingAndReset) {
+  trainer::HealthConfig cfg;
+  trainer::HealthGuard guard(cfg);
+  guard.note_skip();
+  guard.note_skip();
+  EXPECT_EQ(guard.consecutive_skips(), 2);
+  EXPECT_EQ(guard.skipped_steps(), 2u);
+  guard.note_clean();
+  EXPECT_EQ(guard.consecutive_skips(), 0);
+  EXPECT_EQ(guard.skipped_steps(), 2u);  // lifetime total survives
+  guard.note_skip();
+  guard.reset();
+  EXPECT_EQ(guard.consecutive_skips(), 0);
+}
+
+// ---- HealthScoreboard: fused per-origin suspicion --------------------
+
+TEST(HealthScoreboard, WeighsSignalsAndDrainsLocalContributions) {
+  trainer::HealthConfig cfg;
+  cfg.crc_weight = 1.0;
+  cfg.straggler_weight = 2.0;
+  cfg.anomaly_weight = 3.0;
+  trainer::HealthScoreboard board(cfg, 4);
+
+  board.add_crc_failures(1, 5);
+  board.add_straggler_flag(2);
+  board.add_local_anomaly(3);
+  const auto local = board.take_local();
+  ASSERT_EQ(local.size(), 4u);
+  EXPECT_EQ(local[0], 0.0);
+  EXPECT_EQ(local[1], 5.0);
+  EXPECT_EQ(local[2], 2.0);
+  EXPECT_EQ(local[3], 3.0);
+  // take_local drains: the next sync starts from zero.
+  for (double v : board.take_local()) EXPECT_EQ(v, 0.0);
+
+  // Fused scores accumulate across syncs.
+  board.ingest(local);
+  board.ingest(local);
+  EXPECT_EQ(board.suspicion(1), 10.0);
+  EXPECT_EQ(board.suspicion(2), 4.0);
+}
+
+TEST(HealthScoreboard, VerdictEvictsWorstEligibleOverThreshold) {
+  trainer::HealthConfig cfg;
+  cfg.evict_threshold = 6.0;
+  trainer::HealthScoreboard board(cfg, 4);
+  const auto all = [](int) { return true; };
+
+  // Nobody over the threshold → no eviction.
+  board.ingest(std::vector<double>{5.0, 5.9, 0.0, 0.0});
+  EXPECT_EQ(board.verdict(0, all), -1);
+
+  // Origin 1 crosses; origin 3 crosses higher → the worst one goes.
+  board.ingest(std::vector<double>{0.0, 1.0, 0.0, 9.0});
+  EXPECT_EQ(board.verdict(0, all), 3);
+
+  // Eligibility (dead slots) and the protected coordinator are skipped
+  // even when their scores qualify.
+  EXPECT_EQ(board.verdict(0, [](int o) { return o != 3; }), 1);
+  board.ingest(std::vector<double>{20.0, 0.0, 0.0, 0.0});
+  EXPECT_EQ(board.verdict(0, [](int o) { return o != 3 && o != 1; }), -1);
+}
+
+// ---- the skip → rollback ladder in the trainer -----------------------
+
+TEST(HealthLadder, AnomalousStepsAreSkippedThenEscalate) {
+  // grad_abs_limit = 0 makes every step anomalous: the first two are
+  // skipped (parameters frozen), the third blows the consecutive-skip
+  // budget and escalates to NumericalHealthError in lockstep.
+  auto tcfg = tiny_trainer_config();
+  tcfg.health.enabled = true;
+  tcfg.health.grad_abs_limit = 0.0f;
+  tcfg.health.max_consecutive_skips = 2;
+
+  const std::uint64_t skipped_before =
+      obs::Metrics::counter("health.skipped_steps").value();
+  simmpi::Runtime rt(2);
+  rt.run([&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer tr(comm, tcfg);
+    ASSERT_NE(tr.health_guard(), nullptr);
+    EXPECT_EQ(tr.health_scoreboard(), nullptr);  // quarantine off
+    const auto frozen = tr.snapshot_params();
+    tr.step();
+    tr.step();
+    EXPECT_EQ(tr.snapshot_params(), frozen)
+        << "skipped steps must not touch the parameters";
+    EXPECT_EQ(tr.health_guard()->skipped_steps(), 2u);
+    EXPECT_EQ(tr.health_guard()->consecutive_skips(), 2);
+    EXPECT_THROW(tr.step(), trainer::NumericalHealthError);
+    EXPECT_EQ(tr.health_guard()->skipped_steps(), 3u);
+    EXPECT_EQ(tr.snapshot_params(), frozen);
+  });
+  EXPECT_GE(obs::Metrics::counter("health.skipped_steps").value(),
+            skipped_before + 6);  // 3 skips × 2 ranks
+}
+
+TEST(HealthLadder, HealthyTrainingNeverSkips) {
+  // Default thresholds on a healthy run: the guard is pure overhead,
+  // zero skips, parameters move every step.
+  auto tcfg = tiny_trainer_config();
+  tcfg.health.enabled = true;
+  simmpi::Runtime rt(2);
+  rt.run([&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer tr(comm, tcfg);
+    const auto before = tr.snapshot_params();
+    for (int i = 0; i < 4; ++i) tr.step();
+    EXPECT_EQ(tr.health_guard()->skipped_steps(), 0u);
+    EXPECT_NE(tr.snapshot_params(), before);
+  });
+}
+
+TEST(HealthLadder, SkipBudgetExhaustionRollsBackInResilientDriver) {
+  // The driver-level escalation: a trainer whose every step is
+  // anomalous rolls back until the rollback budget runs out — the run
+  // aborts cleanly instead of looping forever or updating on garbage.
+  const std::string dir = testing::TempDir() + "dct_health_rollback_ckpt";
+  std::filesystem::remove_all(dir);
+
+  trainer::ResilientConfig rcfg;
+  rcfg.trainer = tiny_trainer_config();
+  rcfg.trainer.checkpoint_dir = dir;
+  rcfg.trainer.checkpoint_every = 2;
+  rcfg.trainer.health.enabled = true;
+  rcfg.trainer.health.grad_abs_limit = 0.0f;
+  rcfg.trainer.health.max_consecutive_skips = 1;
+  rcfg.ranks = 2;
+  rcfg.total_iterations = 6;
+  rcfg.max_rollbacks = 1;
+  rcfg.recv_deadline = milliseconds(3000);
+
+  const auto res = trainer::run_resilient(rcfg);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.rollbacks, 2u);  // attempt 0 and the one retry
+  ASSERT_EQ(res.failures.size(), 2u);
+  for (const auto& f : res.failures) {
+    EXPECT_NE(f.find("numerical health"), std::string::npos) << f;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---- end-to-end acceptance -------------------------------------------
+
+TEST(IntegrityE2E, CorruptedGradientTrafficIsRetransmittedBitIdentically) {
+  // The headline guarantee: a transiently-flaky rank corrupts a quarter
+  // of its sends across a bucketed/overlapped 8-rank run; the envelope
+  // heals every chunk, so the final parameters are bit-identical to a
+  // fault-free run of the same configuration.
+  auto tcfg = tiny_trainer_config();
+  tcfg.comm.bucket_bytes = 4096;
+  tcfg.comm.overlap = true;
+  constexpr std::uint64_t kIters = 8;
+
+  std::vector<float> clean;
+  {
+    simmpi::Runtime rt(8);
+    rt.transport().enable_integrity(true);
+    rt.run([&](simmpi::Communicator& comm) {
+      trainer::DistributedTrainer tr(comm, tcfg);
+      while (tr.iteration() < kIters) tr.step();
+      if (comm.rank() == 0) clean = tr.snapshot_params();
+    });
+    EXPECT_EQ(rt.transport().crc_failures(), 0u);
+  }
+  ASSERT_FALSE(clean.empty());
+
+  std::vector<float> faulty;
+  FaultPlan plan(53);
+  plan.add({.kind = FaultKind::kCorrupt, .rank = 3, .probability = 0.25});
+  {
+    simmpi::Runtime rt(8);
+    rt.transport().enable_integrity(true);
+    rt.transport().set_integrity_retry(16, microseconds(1));
+    rt.transport().install_fault_plan(&plan);
+    rt.run([&](simmpi::Communicator& comm) {
+      trainer::DistributedTrainer tr(comm, tcfg);
+      while (tr.iteration() < kIters) tr.step();
+      if (comm.rank() == 0) faulty = tr.snapshot_params();
+    });
+    // Every corrupted chunk was caught and retransmitted; none lost.
+    EXPECT_GT(rt.transport().crc_failures(), 0u);
+    EXPECT_GT(rt.transport().retransmits(), 0u);
+    EXPECT_EQ(rt.transport().integrity_lost(), 0u);
+    EXPECT_GT(rt.transport().crc_failures_from(3), 0u);
+    EXPECT_EQ(rt.transport().crc_failures_from(0), 0u);
+  }
+  EXPECT_GT(plan.injected(), 0u);
+
+  ASSERT_EQ(faulty.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    ASSERT_EQ(faulty[i], clean[i])
+        << "parameter " << i << " diverged despite integrity healing";
+  }
+}
+
+TEST(IntegrityE2E, PersistentlyFlakyRankIsQuarantinedAndHealedFromSpare) {
+  // Gray-failure endgame: rank 3 corrupts 40% of everything it sends,
+  // forever. The envelope keeps the run correct (retransmits), the CRC
+  // ledger feeds the scoreboard, and within a few syncs the fused
+  // suspicion crosses the threshold: rank 3 is evicted (quarantine →
+  // shrink) and a hot spare is promoted onto its origin (grow). The
+  // run finishes at full strength with zero rollbacks.
+  const std::string dir = testing::TempDir() + "dct_quarantine_ckpt";
+  std::filesystem::remove_all(dir);
+
+  trainer::ElasticConfig ecfg;
+  ecfg.trainer = tiny_trainer_config();
+  ecfg.trainer.dimd.replication = 2;
+  ecfg.trainer.checkpoint_dir = dir;
+  ecfg.trainer.checkpoint_every = 4;
+  ecfg.trainer.health.enabled = true;
+  ecfg.trainer.health.quarantine = true;
+  ecfg.trainer.health.scoreboard_every = 2;
+  ecfg.trainer.health.evict_threshold = 8.0;
+  ecfg.ranks = 8;
+  ecfg.spares = 1;
+  ecfg.total_iterations = 12;
+  ecfg.min_ranks = 2;
+  ecfg.recv_deadline = milliseconds(3000);
+  ecfg.join_deadline = milliseconds(12000);
+  ecfg.integrity = true;
+  // 40% corruption defeats the default budget of 4 about 1% of the
+  // time per message; raise it so the eviction races no Timeouts.
+  ecfg.integrity_retries = 12;
+
+  const std::uint64_t quarantines_before =
+      obs::Metrics::counter("health.quarantines").value();
+  FaultPlan plan(61);
+  plan.add({.kind = FaultKind::kCorrupt, .rank = 3, .probability = 0.4});
+  const auto start = steady_clock::now();
+  const auto res = trainer::run_elastic(ecfg, &plan);
+
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.quarantines, 1u);
+  EXPECT_EQ(res.shrinks, 1u);
+  EXPECT_EQ(res.grows, 1u);
+  EXPECT_EQ(res.rollbacks, 0u);
+  EXPECT_EQ(res.lost_steps, 0u);
+  EXPECT_EQ(res.final_ranks, 8);  // healed back to full strength
+  EXPECT_LT(seconds_since(start), 60.0);
+  EXPECT_GE(obs::Metrics::counter("health.quarantines").value(),
+            quarantines_before + 1);
+
+  ASSERT_EQ(res.incidents.size(), 3u);
+  EXPECT_EQ(res.incidents[0].kind, "quarantine");
+  EXPECT_NE(res.incidents[0].detail.find("origin 3"), std::string::npos)
+      << res.incidents[0].detail;
+  EXPECT_EQ(res.incidents[1].kind, "shrink");
+  EXPECT_EQ(res.incidents[1].world_size, 7);
+  EXPECT_EQ(res.incidents[2].kind, "grow");
+  EXPECT_EQ(res.incidents[2].world_size, 8);
+
+  // The survivors' final checkpoint is complete and bit-identical
+  // across ranks: corruption never reached the parameters.
+  const auto manifest = trainer::read_manifest_info(dir);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->iteration, ecfg.total_iterations);
+  EXPECT_EQ(manifest->nranks, 8);
+  std::vector<float> rank0 =
+      trainer::read_trainer_state(
+          trainer::rank_checkpoint_path(dir, manifest->iteration, 0))
+          .params;
+  ASSERT_FALSE(rank0.empty());
+  for (int r = 1; r < 8; ++r) {
+    EXPECT_EQ(trainer::read_trainer_state(
+                  trainer::rank_checkpoint_path(dir, manifest->iteration, r))
+                  .params,
+              rank0)
+        << "rank " << r << " diverged";
+  }
+  ASSERT_EQ(res.final_params, rank0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dct

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -20,6 +21,32 @@
 
 namespace dct {
 namespace {
+
+TEST(Crc32, MatchesKnownAnswerVector) {
+  // The IEEE 802.3 check value: CRC-32 of the ASCII digits "123456789".
+  // Locks the polynomial and the sliced update loop to the standard —
+  // every sealed checkpoint and message envelope depends on it.
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalUpdateMatchesOneShotAtEverySplit) {
+  // The slice-by-8 fast path folds 8 bytes at a time; splitting the
+  // buffer at every offset exercises every head/tail remainder
+  // combination against the one-shot answer.
+  std::vector<unsigned char> buf(67);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 37 + 11);
+  }
+  const std::uint32_t whole = crc32(buf.data(), buf.size());
+  for (std::size_t split = 0; split <= buf.size(); ++split) {
+    std::uint32_t crc = crc32_init();
+    crc = crc32_update(crc, buf.data(), split);
+    crc = crc32_update(crc, buf.data() + split, buf.size() - split);
+    EXPECT_EQ(crc32_final(crc), whole) << "split at " << split;
+  }
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);

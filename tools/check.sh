@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
 # under TSan and runs the `fault`, `simmpi`, `comm`, `elastic`, `obs`,
-# `chaos`, `kernels`, and `sched` ctest labels, repeats the `comm` +
-# `kernels` labels under ASan, and runs the `fault` + `elastic` +
-# `kernels` labels under UBSan. The telemetry plane (obs label) joins
+# `chaos`, `kernels`, `sched`, and `integrity` ctest labels, repeats
+# the `comm` + `kernels` + `integrity` labels under ASan, and runs the
+# `fault` + `elastic` + `kernels` + `integrity` labels under UBSan.
+# The SDC-defense tests (integrity label) ride all three legs: the
+# retransmit loop races the receiver deadline and the scoreboard
+# gossip (TSan), the envelope (de)serialization walks raw byte spans
+# (ASan), and the CRC slicing tables index with shifted unsigned
+# arithmetic (UBSan). The telemetry plane (obs label) joins
 # the TSan leg because its collector drains frames on a progress-engine
 # worker thread while training threads push concurrently; the chaos
 # soak (shrink → grow with hot spares under randomized faults) joins it
@@ -19,9 +24,10 @@
 # A final Release leg runs the micro-kernel bench and diffs it against
 # the checked-in bench/BENCH_kernels.json baseline with tools/bench_gate
 # (>20% regression on any metric fails the gate), then does the same
-# for the scheduler policy bench against bench/BENCH_sched.json — a
-# missing baseline there skips cleanly until one is recorded with
-# bench_gate --update-baseline. Set
+# for the scheduler policy bench against bench/BENCH_sched.json and
+# the CRC-seal arms of the integrity bench against
+# bench/BENCH_integrity.json — a missing baseline there skips cleanly
+# until one is recorded with bench_gate --update-baseline. Set
 # DCTRAIN_SKIP_BENCH_GATE=1 to skip that leg on noisy machines.
 # The simmpi rank threads, the fault-injection hooks, the shrink
 # agreement protocol, and the comm progress engine (background
@@ -53,31 +59,33 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
   fault_test simmpi_test simmpi_stress_test comm_test elastic_test \
-  chaos_soak_test kernels_test telemetry_test sched_test
+  chaos_soak_test kernels_test telemetry_test sched_test integrity_test
 
-echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|chaos|kernels|sched' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|chaos|kernels|sched" \
+echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|chaos|kernels|sched|integrity' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|chaos|kernels|sched|integrity" \
   --output-on-failure -j 4
 
 echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"
 cmake -B "${ASAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== building address-sanitized comm + kernels tests"
-cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test kernels_test
+echo "== building address-sanitized comm + kernels + integrity tests"
+cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test kernels_test integrity_test
 
-echo "== running ctest -L 'comm|kernels' under address sanitizer"
-ctest --test-dir "${ASAN_BUILD_DIR}" -L "comm|kernels" --output-on-failure -j 4
+echo "== running ctest -L 'comm|kernels|integrity' under address sanitizer"
+ctest --test-dir "${ASAN_BUILD_DIR}" -L "comm|kernels|integrity" \
+  --output-on-failure -j 4
 
 echo "== configuring ${UBSAN_BUILD_DIR} with DCTRAIN_SANITIZE=undefined"
 cmake -B "${UBSAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== building undefined-sanitized recovery + kernels tests"
-cmake --build "${UBSAN_BUILD_DIR}" -j --target fault_test elastic_test kernels_test
+echo "== building undefined-sanitized recovery + kernels + integrity tests"
+cmake --build "${UBSAN_BUILD_DIR}" -j --target \
+  fault_test elastic_test kernels_test integrity_test
 
-echo "== running ctest -L 'fault|elastic|kernels' under undefined sanitizer"
-ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic|kernels" \
+echo "== running ctest -L 'fault|elastic|kernels|integrity' under undefined sanitizer"
+ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic|kernels|integrity" \
   --output-on-failure -j 4
 
 if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
@@ -85,9 +93,9 @@ if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
   echo "== configuring ${BENCH_BUILD_DIR} (Release) for the bench gate"
   cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 
-  echo "== building bench_micro_kernels + bench_sched + bench_gate"
+  echo "== building bench_micro_kernels + bench_sched + bench_integrity + bench_gate"
   cmake --build "${BENCH_BUILD_DIR}" -j --target \
-    bench_micro_kernels bench_sched bench_gate
+    bench_micro_kernels bench_sched bench_integrity bench_gate
 
   echo "== running micro-kernel bench and diffing against bench/BENCH_kernels.json"
   # 5 repetitions: the gate merges them best-of (min time / max
@@ -129,6 +137,22 @@ if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
     --baseline bench/BENCH_sched.json \
     --fresh "${BENCH_BUILD_DIR}/bench_sched_fresh.json" \
     --tolerance 0.20
+
+  echo "== running integrity bench and diffing against bench/BENCH_integrity.json"
+  # Only the single-threaded CRC seal arms gate (a devectorized or
+  # de-sliced CRC is a 5x-6x regression, far past 20%); the
+  # world-spawning sealed-vs-plain and trainer-step arms swing with the
+  # thread scheduler like the other in-process arms and are evidence
+  # for the <2% step-overhead claim, not gate material.
+  "${BENCH_BUILD_DIR}/bench/bench_integrity" \
+    --benchmark_repetitions=5 \
+    --benchmark_out="${BENCH_BUILD_DIR}/bench_integrity_fresh.json" \
+    --benchmark_out_format=json
+  "${BENCH_BUILD_DIR}/tools/bench_gate" \
+    --baseline bench/BENCH_integrity.json \
+    --fresh "${BENCH_BUILD_DIR}/bench_integrity_fresh.json" \
+    --tolerance 0.20 \
+    --skip 'BM_EnvelopeSendRecv|BM_TrainerStepIntegrity'
 fi
 
 echo "== sanitizer checks passed (${SANITIZER} + address + undefined)"

@@ -11,13 +11,16 @@
 //                     [--replication R]
 //                     [--telemetry] [--telemetry-every N]
 //                     [--telemetry-jsonl PATH] [--telemetry-prom PATH]
+//                     [--integrity] [--health] [--quarantine]
 //                     SPEC: rank=R,kind=crash,step=N | msg=N; kind=drop/
-//                     delay/duplicate/straggle with prob=P, ms=D
+//                     delay/duplicate/straggle/corrupt/truncate with
+//                     prob=P, ms=D
 //   dctrain chaos     [--ranks N] [--iters I] [--seed S] [--rollbacks R]
 //                     [--checkpoint-dir D] [--checkpoint-every N]
 //                     [--deadline-ms MS] [--drop-prob P] [--no-overlap]
 //                     [--elastic] [--replication R] [--min-ranks N]
 //                     [--shrinks N] [--spares N] [--telemetry …as train]
+//                     [--integrity] [--corrupt-prob P] [--quarantine]
 //   dctrain top       [--ranks N] [--iters I] [--refresh N] [--inject SPEC]
 //                     live per-rank phase/straggler view (telemetry plane)
 //   dctrain cluster   [--ranks N] [--jobs N] [--seed S] [--trace PATH]
@@ -62,6 +65,29 @@ void apply_telemetry_flags(const ArgParser& args,
   }
 }
 
+/// Shared --health/--quarantine flag handling (train / chaos).
+/// --quarantine implies --health; the scoreboard needs the guard's
+/// screening to attribute anomalies.
+void apply_health_flags(const ArgParser& args, trainer::TrainerConfig& cfg) {
+  cfg.health.enabled = args.has("health") || args.has("quarantine");
+  cfg.health.quarantine = args.has("quarantine");
+}
+
+/// Final integrity-counter line for runs with --integrity.
+void print_integrity_summary() {
+  const auto snap = obs::Metrics::snapshot();
+  const auto value = [&](const char* name) -> unsigned long long {
+    for (const auto& row : snap.counters) {
+      if (row.name == name) return row.value;
+    }
+    return 0;
+  };
+  std::printf("integrity: %llu CRC failure(s), %llu retransmit(s), "
+              "%llu lost past retry budget\n",
+              value("integrity.crc_failures"), value("integrity.retransmits"),
+              value("integrity.lost"));
+}
+
 int cmd_train(const ArgParser& args) {
   const int ranks = static_cast<int>(args.get_int("ranks", 2));
   trainer::TrainerConfig cfg;
@@ -86,6 +112,8 @@ int cmd_train(const ArgParser& args) {
   cfg.comm.codec = args.get("compress", "none");
   cfg.comm.overlap = cfg.comm.bucket_bytes > 0 && !args.has("no-overlap");
   apply_telemetry_flags(args, cfg);
+  apply_health_flags(args, cfg);
+  const bool integrity = args.has("integrity");
   const std::string metrics_csv = args.get("metrics-csv", "");
   const int epochs = static_cast<int>(args.get_int("epochs", 5));
   const int iters = static_cast<int>(args.get_int("iters", 10));
@@ -123,8 +151,10 @@ int cmd_train(const ArgParser& args) {
         static_cast<std::uint64_t>(epochs) * static_cast<std::uint64_t>(iters);
     rcfg.recv_deadline = deadline;
     rcfg.resume_first = args.has("resume");
+    rcfg.integrity = integrity;
     const auto res = trainer::run_resilient(
         rcfg, plan.empty() ? nullptr : &plan);
+    if (integrity) print_integrity_summary();
     for (const auto& f : res.failures) {
       std::printf("  fault: %s\n", f.c_str());
     }
@@ -139,6 +169,7 @@ int cmd_train(const ArgParser& args) {
     if (!res.completed) return 1;
   } else {
     simmpi::Runtime rt(ranks);
+    if (integrity) rt.transport().enable_integrity(true);
     if (!plan.empty()) {
       rt.transport().install_fault_plan(&plan);
       rt.transport().set_recv_deadline(deadline);
@@ -185,6 +216,7 @@ int cmd_train(const ArgParser& args) {
                     100.0 * trainer.evaluate(200));
       }
     });
+    if (integrity) print_integrity_summary();
   }
   if (!trace_path.empty()) {
     const auto events = obs::tracer_events();
@@ -227,6 +259,8 @@ int cmd_chaos(const ArgParser& args) {
   rcfg.trainer.comm.bucket_bytes = 256 * 1024;
   rcfg.trainer.comm.overlap = !args.has("no-overlap");
   apply_telemetry_flags(args, rcfg.trainer);
+  apply_health_flags(args, rcfg.trainer);
+  rcfg.integrity = args.has("integrity");
 
   Rng rng(seed * 0xC0FFEE + 1);
   simmpi::FaultPlan plan(seed);
@@ -246,6 +280,13 @@ int cmd_chaos(const ArgParser& args) {
             .probability = 0.01});
   plan.add({.kind = simmpi::FaultKind::kStraggle, .rank = pick_rank(),
             .probability = 0.05, .delay_ms = 1.0});
+  if (rcfg.integrity) {
+    // Silent-data-corruption arm: only sane with the CRC envelope on —
+    // without it a flipped gradient bit silently poisons every replica
+    // and the convergence check below measures garbage.
+    plan.add({.kind = simmpi::FaultKind::kCorrupt, .rank = pick_rank(),
+              .probability = args.get_double("corrupt-prob", 0.02)});
+  }
 
   std::printf("chaos: %d learners, %llu iterations, seed %llu, "
               "%zu fault rule(s)%s\n",
@@ -270,6 +311,7 @@ int cmd_chaos(const ArgParser& args) {
     // Self-healing: hot spares idle outside the world; a shrink is
     // followed by a grow that promotes them back in.
     ecfg.spares = static_cast<int>(args.get_int("spares", 0));
+    ecfg.integrity = rcfg.integrity;
     const auto res = trainer::run_elastic(ecfg, &plan);
     for (const auto& inc : res.incidents) {
       const std::string where =
@@ -279,16 +321,18 @@ int cmd_chaos(const ArgParser& args) {
       std::printf("  %s%s: %s\n", inc.kind.c_str(), where.c_str(),
                   inc.detail.c_str());
     }
-    std::printf("%s: %llu shrink(s), %llu grow(s), %llu rollback(s), "
-                "%llu fault(s) injected, %llu step(s) redone, %d rank(s) "
-                "at the end, final loss %.4f\n",
+    std::printf("%s: %llu shrink(s), %llu grow(s), %llu quarantine(s), "
+                "%llu rollback(s), %llu fault(s) injected, %llu step(s) "
+                "redone, %d rank(s) at the end, final loss %.4f\n",
                 res.completed ? "survived" : "GAVE UP",
                 static_cast<unsigned long long>(res.shrinks),
                 static_cast<unsigned long long>(res.grows),
+                static_cast<unsigned long long>(res.quarantines),
                 static_cast<unsigned long long>(res.rollbacks),
                 static_cast<unsigned long long>(res.faults_injected),
                 static_cast<unsigned long long>(res.lost_steps),
                 res.final_ranks, res.final_loss);
+    if (ecfg.integrity) print_integrity_summary();
     std::printf("%s", obs::Metrics::snapshot().to_string().c_str());
     const double chance =
         std::log(static_cast<double>(ecfg.trainer.model.classes));
@@ -302,6 +346,7 @@ int cmd_chaos(const ArgParser& args) {
   }
 
   const auto res = trainer::run_resilient(rcfg, &plan);
+  if (rcfg.integrity) print_integrity_summary();
   for (const auto& f : res.failures) std::printf("  fault: %s\n", f.c_str());
   std::printf("%s: %llu rollback(s), %llu fault(s) injected, %llu step(s) "
               "redone, final loss %.4f\n",
@@ -762,7 +807,9 @@ int cmd_help() {
       "             --checkpoint-dir/--resume/--inject for fault tolerance\n"
       "  chaos      randomized fault schedule against the resilient driver;\n"
       "             --elastic shrinks past crashes on the surviving ranks,\n"
-      "             --spares N heals back to full strength from hot spares\n"
+      "             --spares N heals back to full strength from hot spares,\n"
+      "             --integrity adds bit-flip faults + CRC retransmit,\n"
+      "             --quarantine evicts persistently flaky ranks\n"
       "  top        live per-rank phase table + straggler flags (telemetry)\n"
       "  cluster    multi-tenant gang scheduler: replay a job arrival\n"
       "             trace with priorities, preemption + checkpoint/resume,\n"
