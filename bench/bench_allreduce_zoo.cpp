@@ -1,0 +1,129 @@
+// Benchmarks for the topology-aware collective zoo (DESIGN.md §17).
+//
+// Three kinds of arms:
+//   BM_ScheduleBuild        — netsim schedule construction for each zoo
+//                             algorithm (single-threaded, deterministic:
+//                             the gateable coverage for the builders).
+//   BM_ModeledAllreduce     — end-to-end modeled allreduce time
+//                             (schedule + flow simulation) per fabric ×
+//                             algorithm, the numbers `dctrain plan
+//                             --topology` sweeps. Also single-threaded
+//                             and deterministic, so it gates stably.
+//   BM_ZooAllreduceInProcess— the real thing on 8 in-process ranks.
+//                             World-spawning and scheduler-noisy like
+//                             every other in-process arm in this repo:
+//                             evidence, not gate material (skipped by
+//                             the check.sh gate regex).
+//
+// Accepts `--json <path>` (the repo-wide bench convention) in addition
+// to the native --benchmark_* flags; see main() at the bottom.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "allreduce/algorithm.hpp"
+#include "netsim/cluster.hpp"
+#include "netsim/schedules.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using namespace dct;
+
+void BM_ScheduleBuild(benchmark::State& state, const char* algo) {
+  netsim::AllreduceParams params;
+  params.payload_bytes = std::uint64_t{16} << 20;
+  params.ranks = 16;
+  params.pipeline_bytes = std::uint64_t{1} << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        netsim::allreduce_schedule(algo, params).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ScheduleBuild, halving_doubling, "halving_doubling");
+BENCHMARK_CAPTURE(BM_ScheduleBuild, hierarchical, "hierarchical");
+BENCHMARK_CAPTURE(BM_ScheduleBuild, torus, "torus");
+BENCHMARK_CAPTURE(BM_ScheduleBuild, bucket_ring, "bucket_ring");
+BENCHMARK_CAPTURE(BM_ScheduleBuild, multicolor, "multicolor");
+
+void BM_ModeledAllreduce(benchmark::State& state, const char* topo,
+                         const char* algo) {
+  netsim::ClusterConfig cfg;
+  cfg.nodes = 16;
+  cfg.topology = topo;
+  const std::uint64_t payload = std::uint64_t{16} << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::allreduce_time_s(cfg, algo, payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, fattree_halving_doubling, "fattree",
+                  "halving_doubling");
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, fattree_hierarchical, "fattree",
+                  "hierarchical");
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, fattree_torus, "fattree", "torus");
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, fattree_multicolor, "fattree",
+                  "multicolor");
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, torus_halving_doubling, "torus",
+                  "halving_doubling");
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, torus_torus, "torus", "torus");
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, dragonfly_halving_doubling,
+                  "dragonfly", "halving_doubling");
+BENCHMARK_CAPTURE(BM_ModeledAllreduce, dragonfly_hierarchical, "dragonfly",
+                  "hierarchical");
+
+void BM_ZooAllreduceInProcess(benchmark::State& state, const char* algo) {
+  constexpr std::size_t kElems = (std::size_t{4} << 20) / sizeof(float);
+  const auto algorithm = allreduce::make_algorithm(algo);
+  for (auto _ : state) {
+    simmpi::Runtime::execute(8, [&](simmpi::Communicator& comm) {
+      std::vector<float> data(kElems,
+                              static_cast<float>(comm.rank() + 1));
+      algorithm->run(comm, std::span<float>(data));
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kElems * sizeof(float)));
+}
+BENCHMARK_CAPTURE(BM_ZooAllreduceInProcess, naive, "naive");
+BENCHMARK_CAPTURE(BM_ZooAllreduceInProcess, halving_doubling,
+                  "halving_doubling");
+BENCHMARK_CAPTURE(BM_ZooAllreduceInProcess, hierarchical, "hierarchical");
+BENCHMARK_CAPTURE(BM_ZooAllreduceInProcess, torus, "torus");
+BENCHMARK_CAPTURE(BM_ZooAllreduceInProcess, bucket_ring, "bucket_ring");
+
+}  // namespace
+
+// BENCHMARK_MAIN(), plus translation of the repo-wide `--json <path>` /
+// `--json=<path>` convention into google-benchmark's out-file flags so
+// tools that drive the other bench binaries can drive this one too.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[++i]));
+      args.push_back("--benchmark_out_format=json");
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + a.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,16 +45,31 @@ class Algorithm {
 ///   "binomial"       alias of naive (OpenMPI small-message default)
 ///   "recursive_halving"  Rabenseifner reduce-scatter/allgather
 ///                        (OpenMPI large-message default)
-///   "openmpi_default"    payload-size dispatch between the two above
+///   "openmpi_default"       payload-size dispatch between the two above
+///   "openmpi_default:<bytes>"  same with an explicit cutover, e.g.
+///                              "openmpi_default:262144"
+///   "halving_doubling"   distance-doubling reduce-scatter + allgather
+///                        (bit-exact vs naive, DESIGN.md §17)
+///   "hierarchical"       group reduce → leader combine → broadcast
+///   "hierarchical:<g>"   explicit group size (rounded down to a power
+///                        of two), e.g. "hierarchical:8"
+///   "torus"              2D grid reduce-scatter/column-combine/allgather
+///   "torus:<c>"          explicit column count, e.g. "torus:4"
 ///   "ring"           pipelined reduce-to-root + opposite-direction
 ///                    broadcast (the ring baseline of paper §5.1)
 ///   "multicolor"     the paper's k-color tree algorithm (default k=4)
 ///   "multicolor<k>"  e.g. "multicolor2", "multicolor8"
-/// Throws CheckError for unknown names.
+/// Throws CheckError for unknown names; the message lists the known
+/// names (list_algorithms()) so CLI typos are self-explanatory.
 std::unique_ptr<Algorithm> make_algorithm(const std::string& name);
 
 /// All registered algorithm names (for sweeps in tests/benches).
 std::vector<std::string> algorithm_names();
+
+/// Base spellings accepted by make_algorithm, for CLI validation and
+/// --help text. Parameterized families appear once in their canonical
+/// form (e.g. "multicolor<k>", "hierarchical[:g]").
+std::vector<std::string> list_algorithms();
 
 /// Run `algo` once per chunk of `data`, where `ends` holds the strictly
 /// increasing element end-offsets of the chunks (ends.back() ==

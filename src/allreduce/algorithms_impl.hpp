@@ -40,17 +40,84 @@ class RecursiveHalvingAllreduce final : public Algorithm {
 };
 
 /// OpenMPI-style decision layer: binomial reduce+bcast below the cutover,
-/// Rabenseifner above it.
+/// Rabenseifner above it. The cutover is a registry parameter
+/// ("openmpi_default:<bytes>") so the autotuner and `dctrain plan` can
+/// sweep it.
 class OpenMpiDefaultAllreduce final : public Algorithm {
  public:
-  explicit OpenMpiDefaultAllreduce(std::size_t cutover_bytes = 64 * 1024)
+  static constexpr std::size_t kDefaultCutoverBytes = 64 * 1024;
+
+  explicit OpenMpiDefaultAllreduce(
+      std::size_t cutover_bytes = kDefaultCutoverBytes)
       : cutover_bytes_(cutover_bytes) {}
-  std::string name() const override { return "openmpi_default"; }
+  std::string name() const override;
   void run(simmpi::Communicator& comm, std::span<float> data,
            RankTraffic* traffic = nullptr) const override;
 
+  std::size_t cutover_bytes() const { return cutover_bytes_; }
+
  private:
   std::size_t cutover_bytes_;
+};
+
+/// Recursive halving-doubling (DESIGN.md §17): distance-*doubling*
+/// reduce-scatter (round k pairs rank with rank ⊕ 2^k) + mirrored
+/// allgather. Unlike RecursiveHalvingAllreduce (distance-halving, whose
+/// partial sums combine non-contiguous rank sets), the doubling order
+/// combines exactly naive's aligned power-of-two rank intervals, so the
+/// result is bit-identical to `naive`. Non-power-of-two worlds reduce
+/// the tail ranks [2^m, p) onto a tail leader (naive's own subtree over
+/// those ranks) and fold that sum into each scatter block at the root
+/// level, which is precisely naive's final combine.
+class HalvingDoublingAllreduce final : public Algorithm {
+ public:
+  std::string name() const override { return "halving_doubling"; }
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+};
+
+/// Hierarchical allreduce (DESIGN.md §17): contiguous groups of `group`
+/// ranks (topology locality groups: hosts per leaf / torus row /
+/// dragonfly group) reduce to a per-group leader, leaders combine and
+/// broadcast among themselves, leaders fan back out. With a
+/// power-of-two group size the three phases walk naive's summation
+/// tree bottom-up, so the result is bit-identical to `naive` for any
+/// world size (the last group may be ragged). The constructor rounds
+/// `group` down to a power of two.
+class HierarchicalAllreduce final : public Algorithm {
+ public:
+  explicit HierarchicalAllreduce(int group = 4);
+  std::string name() const override;
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+
+  int group() const { return group_; }
+
+ private:
+  int group_;
+};
+
+/// 2D-torus allreduce (DESIGN.md §17, after Sony's "Massively
+/// Distributed SGD"): ranks form an R×C grid (C columns = a power of
+/// two); each row reduce-scatters its payload into C blocks, each
+/// column allreduces its block across rows, rows allgather the blocks
+/// back. A non-rectangular world's tail ranks reduce onto a tail
+/// leader that joins every column's combine as a virtual extra row —
+/// keeping the per-element combine tree exactly naive's, so the result
+/// is bit-identical to `naive` for any world size. `cols == 0` derives
+/// a near-square grid from the world size; explicit values round down
+/// to a power of two.
+class TorusAllreduce final : public Algorithm {
+ public:
+  explicit TorusAllreduce(int cols = 0);
+  std::string name() const override;
+  void run(simmpi::Communicator& comm, std::span<float> data,
+           RankTraffic* traffic = nullptr) const override;
+
+  int cols() const { return cols_; }
+
+ private:
+  int cols_;
 };
 
 /// The paper's ring baseline (§5.1): the payload is cut into pipeline

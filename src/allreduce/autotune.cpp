@@ -1,0 +1,194 @@
+#include "allreduce/autotune.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace dct::allreduce {
+
+std::string TuneCandidate::label() const {
+  std::string s = algo;
+  if (chunks > 1) s += " x" + std::to_string(chunks);
+  if (bucket_bytes > 0) {
+    s += " b" + std::to_string(bucket_bytes / 1024) + "K";
+  }
+  return s;
+}
+
+Tuner::Tuner(TunerConfig cfg) : cfg_(std::move(cfg)) {
+  candidates_ =
+      cfg_.candidates.empty() ? default_candidates() : cfg_.candidates;
+  DCT_CHECK_MSG(cfg_.trials_per_candidate >= 1,
+                "autotune: trials_per_candidate must be >= 1");
+  // Fail fast on typos instead of mid-warmup on step N.
+  for (const auto& c : candidates_) (void)make_algorithm(c.algo);
+}
+
+std::size_t Tuner::payload_class(std::size_t bytes) {
+  return std::max<std::size_t>(1024, std::bit_ceil(bytes));
+}
+
+std::vector<std::size_t> Tuner::chunk_ends(std::size_t elems,
+                                           const TuneCandidate& c) {
+  std::vector<std::size_t> ends;
+  if (elems == 0) return ends;
+  std::size_t chunk_elems = elems;
+  if (c.bucket_bytes > 0) {
+    chunk_elems = std::max<std::size_t>(1, c.bucket_bytes / sizeof(float));
+  } else if (c.chunks > 1) {
+    chunk_elems = (elems + static_cast<std::size_t>(c.chunks) - 1) /
+                  static_cast<std::size_t>(c.chunks);
+  }
+  for (std::size_t end = chunk_elems; end < elems; end += chunk_elems) {
+    ends.push_back(end);
+  }
+  ends.push_back(elems);
+  return ends;
+}
+
+std::vector<TuneCandidate> Tuner::default_candidates() {
+  return {
+      {"multicolor", 1, 0},
+      {"bucket_ring", 1, 0},
+      {"bucket_ring", 1, 4 << 20},
+      {"halving_doubling", 1, 0},
+      {"halving_doubling", 1, 4 << 20},
+      {"hierarchical", 1, 0},
+      {"torus", 1, 0},
+      {"recursive_halving", 1, 0},
+      {"naive", 1, 0},
+  };
+}
+
+Tuner::ClassState& Tuner::state_for(std::size_t class_bytes) {
+  auto [it, inserted] = classes_.try_emplace(class_bytes);
+  if (inserted) {
+    it->second.trials.assign(candidates_.size(), 0);
+    it->second.cost_sum.assign(candidates_.size(), 0.0);
+  }
+  return it->second;
+}
+
+TuneChoice Tuner::next(std::size_t elems) {
+  const std::size_t cls = payload_class(elems * sizeof(float));
+  ClassState& st = state_for(cls);
+  TuneChoice choice;
+  choice.class_bytes = cls;
+  if (st.committed) {
+    choice.candidate_index = st.winner;
+    choice.candidate = candidates_[static_cast<std::size_t>(st.winner)];
+    choice.measuring = false;
+  } else {
+    choice.candidate_index = st.next_candidate;
+    choice.candidate =
+        candidates_[static_cast<std::size_t>(st.next_candidate)];
+    choice.measuring = true;
+    st.next_candidate =
+        (st.next_candidate + 1) % static_cast<int>(candidates_.size());
+  }
+  choice.ends = chunk_ends(elems, choice.candidate);
+  return choice;
+}
+
+void Tuner::record(const TuneChoice& choice, double seconds) {
+  if (!choice.measuring || choice.candidate_index < 0) return;
+  ClassState& st = state_for(choice.class_bytes);
+  if (st.committed) return;
+  const auto i = static_cast<std::size_t>(choice.candidate_index);
+  ++st.trials[i];
+  st.cost_sum[i] += seconds;
+  static obs::Counter& trials = obs::Metrics::counter("autotune.trials");
+  trials.add(1);
+}
+
+bool Tuner::maybe_commit(simmpi::Communicator& comm) {
+  bool any = false;
+  for (auto& [cls, st] : classes_) {
+    if (st.committed) continue;
+    const bool warmed =
+        std::all_of(st.trials.begin(), st.trials.end(), [&](int t) {
+          return t >= cfg_.trials_per_candidate;
+        });
+    if (!warmed) continue;
+    // Consensus: everyone adopts the slowest rank's view of each
+    // candidate, making the argmin below identical on all ranks. This
+    // is a collective — lockstep warmup state guarantees every rank
+    // reaches it for the same class on the same call.
+    std::vector<double> costs = st.cost_sum;
+    comm.allreduce_inplace(std::span<double>(costs),
+                           [](double a, double b) { return std::max(a, b); });
+    st.winner = static_cast<int>(
+        std::min_element(costs.begin(), costs.end()) - costs.begin());
+    st.cost_sum = std::move(costs);
+    st.committed = true;
+    any = true;
+    static obs::Counter& commits = obs::Metrics::counter("autotune.commits");
+    commits.add(1);
+    obs::Metrics::gauge("autotune.committed_classes").add(1);
+    DCT_TRACE_INSTANT("autotune.commit", "autotune",
+                      static_cast<std::int64_t>(cls));
+  }
+  return any;
+}
+
+bool Tuner::committed(std::size_t elems) const {
+  const auto it = classes_.find(payload_class(elems * sizeof(float)));
+  return it != classes_.end() && it->second.committed;
+}
+
+const TuneCandidate* Tuner::committed_candidate(std::size_t elems) const {
+  const auto it = classes_.find(payload_class(elems * sizeof(float)));
+  if (it == classes_.end() || !it->second.committed) return nullptr;
+  return &candidates_[static_cast<std::size_t>(it->second.winner)];
+}
+
+std::vector<TuneDecision> Tuner::decisions() const {
+  std::vector<TuneDecision> out;
+  for (const auto& [cls, st] : classes_) {
+    TuneDecision d;
+    d.class_bytes = cls;
+    d.committed = st.committed;
+    d.trials = 0;
+    for (const int t : st.trials) d.trials += t;
+    int best = st.winner;
+    if (best < 0) {
+      // Uncommitted: provisional argmin over candidates tried so far.
+      double best_mean = 0.0;
+      for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        if (st.trials[i] == 0) continue;
+        const double mean = st.cost_sum[i] / st.trials[i];
+        if (best < 0 || mean < best_mean) {
+          best = static_cast<int>(i);
+          best_mean = mean;
+        }
+      }
+    }
+    if (best >= 0) {
+      const auto b = static_cast<std::size_t>(best);
+      d.chosen = candidates_[b];
+      if (st.trials[b] > 0) d.mean_cost_s = st.cost_sum[b] / st.trials[b];
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Table Tuner::decision_table() const {
+  Table t({"class", "status", "algorithm", "chunks", "bucket_KiB",
+           "mean_ms", "trials"});
+  for (const auto& d : decisions()) {
+    t.add_row({std::to_string(d.class_bytes >> 10) + " KiB",
+               d.committed ? "committed" : "warming",
+               d.chosen.algo,
+               std::to_string(std::max(1, d.chosen.chunks)),
+               std::to_string(d.chosen.bucket_bytes >> 10),
+               Table::num(d.mean_cost_s * 1e3, 3),
+               std::to_string(d.trials)});
+  }
+  return t;
+}
+
+}  // namespace dct::allreduce

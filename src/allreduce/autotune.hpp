@@ -1,0 +1,134 @@
+// Online allreduce autotuner (DESIGN.md §17).
+//
+// Different (algorithm, chunking, bucket size) configurations win on
+// different fabrics and payload sizes — the paper's Fig. 5/6 crossover.
+// Rather than hard-coding the choice, the tuner spends the first
+// few training steps round-robining a candidate list through the real
+// collective path, measures each trial, and commits the argmin per
+// payload-size class for the rest of the run.
+//
+// Consensus: wall-clock measurements differ across ranks, and a rank
+// committing a different winner than its peers would wedge the whole
+// job (collectives must agree on the message pattern). At commit time
+// the per-candidate cost sums are therefore max-allreduced across the
+// communicator — every rank sees the slowest rank's view of every
+// candidate — and the argmin (lowest candidate index on ties) is then
+// a pure function of shared state, so all ranks commit the same
+// configuration on the same step. Given the same measured costs the
+// whole procedure is deterministic (no RNG anywhere).
+//
+// A Tuner instance belongs to one rank (trainer) or one thread (CLI);
+// it is not thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "allreduce/algorithm.hpp"
+#include "util/table.hpp"
+
+namespace dct::allreduce {
+
+/// One tunable configuration: which algorithm runs, how many chunks
+/// run_chunked cuts the payload into (0/1 = unchunked), and the
+/// gradient-bucket size GradComm should adopt if this candidate wins
+/// (0 = whole-payload buckets). `bucket_bytes`, when set, also drives
+/// the measurement chunking so the trial exercises the committed shape.
+struct TuneCandidate {
+  std::string algo = "naive";
+  int chunks = 1;
+  std::size_t bucket_bytes = 0;
+
+  std::string label() const;
+};
+
+struct TunerConfig {
+  /// Candidate list; empty → default_candidates().
+  std::vector<TuneCandidate> candidates;
+  /// Measurements per candidate (per payload class) before committing.
+  int trials_per_candidate = 2;
+};
+
+/// What the caller should run this step: the candidate, the chunk
+/// end-offsets for run_chunked, and whether this is still a measured
+/// warmup trial (record() the elapsed time) or the committed config.
+struct TuneChoice {
+  TuneCandidate candidate;
+  std::vector<std::size_t> ends;
+  bool measuring = false;
+  std::size_t class_bytes = 0;  ///< payload class this choice belongs to
+  int candidate_index = -1;     ///< index into the candidate list
+};
+
+/// One committed (or in-flight) per-class decision, for reporting.
+struct TuneDecision {
+  std::size_t class_bytes = 0;
+  bool committed = false;
+  TuneCandidate chosen;        ///< argmin so far (final once committed)
+  double mean_cost_s = 0.0;    ///< chosen candidate's mean measured cost
+  int trials = 0;              ///< total trials recorded for the class
+};
+
+class Tuner {
+ public:
+  explicit Tuner(TunerConfig cfg = {});
+
+  /// The configuration to run for a payload of `elems` floats. Warmup
+  /// round-robins candidates; once the payload's class is committed the
+  /// committed candidate comes back with measuring == false.
+  TuneChoice next(std::size_t elems);
+
+  /// Report the measured cost of a warmup trial returned by next().
+  /// Ignored when choice.measuring is false.
+  void record(const TuneChoice& choice, double seconds);
+
+  /// Collective commit check — every rank must call this the same
+  /// number of times at the same points (once per step, after its
+  /// trials). For each class whose warmup just finished, max-allreduces
+  /// the candidate costs and commits the argmin identically on all
+  /// ranks. Returns true if any class committed during this call.
+  bool maybe_commit(simmpi::Communicator& comm);
+
+  bool committed(std::size_t elems) const;
+  /// Committed candidate for the payload's class, or nullptr.
+  const TuneCandidate* committed_candidate(std::size_t elems) const;
+
+  const std::vector<TuneCandidate>& candidates() const { return candidates_; }
+
+  /// Per-class decisions, smallest class first.
+  std::vector<TuneDecision> decisions() const;
+  /// Rendered decision table for `dctrain plan` / trace-report.
+  Table decision_table() const;
+
+  /// Payload class of a byte size: the power-of-two ceiling, floored at
+  /// 1 KiB so tiny control payloads share a class.
+  static std::size_t payload_class(std::size_t bytes);
+
+  /// Chunk end-offsets run_chunked expects for this candidate over an
+  /// `elems`-float payload (empty when elems == 0).
+  static std::vector<std::size_t> chunk_ends(std::size_t elems,
+                                             const TuneCandidate& c);
+
+  /// The stock candidate list: every zoo family at its default shape,
+  /// plus chunked/bucketed variants of the bandwidth-bound families.
+  static std::vector<TuneCandidate> default_candidates();
+
+ private:
+  struct ClassState {
+    int next_candidate = 0;        ///< round-robin cursor
+    std::vector<int> trials;       ///< per-candidate completed trials
+    std::vector<double> cost_sum;  ///< per-candidate total seconds
+    bool committed = false;
+    int winner = -1;
+  };
+
+  ClassState& state_for(std::size_t class_bytes);
+
+  TunerConfig cfg_;
+  std::vector<TuneCandidate> candidates_;
+  std::map<std::size_t, ClassState> classes_;  // ordered → deterministic
+};
+
+}  // namespace dct::allreduce

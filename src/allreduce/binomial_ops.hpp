@@ -1,0 +1,98 @@
+// Shared building blocks for the T_naive-exact collective zoo
+// (hierarchical, halving_doubling, torus — DESIGN.md §17).
+//
+// IEEE-754 float addition is commutative but not associative, so an
+// algorithm is bit-identical to `naive` iff every element's partial
+// sums combine ranks in the same *tree* naive's binomial reduce does:
+// aligned power-of-two rank intervals [a, a+2^k), clipped at p, with
+// S(a, 2^{k+1}) = S(a, 2^k) + S(a+2^k, 2^k). The helpers here perform
+// exactly those combines over arbitrary index→rank mappings, which is
+// what lets the zoo run naive's summation tree piecewise (within a
+// group, a torus row, a column, a non-power-of-two tail) while moving
+// the bytes along a topology-shaped path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "allreduce/algorithm.hpp"
+#include "kernels/kernels.hpp"
+
+namespace dct::allreduce::detail {
+
+/// Clipped binomial sum-reduce of `data` toward index 0 of a `q`-member
+/// index space; `rank_of(i)` maps indices to communicator ranks and
+/// `me` is this rank's index. Identical combine structure (and thus
+/// bit pattern) to NaiveAllreduce's reduce phase over q ranks.
+/// `scratch` must hold data.size() floats.
+template <typename RankOf>
+void binomial_reduce(simmpi::Communicator& comm, int tag,
+                     std::span<float> data, float* scratch, int me, int q,
+                     RankOf&& rank_of, RankTraffic& t) {
+  const std::size_t n = data.size();
+  for (int mask = 1; mask < q; mask <<= 1) {
+    if (me & mask) {
+      comm.send(std::span<const float>(data.data(), n), rank_of(me - mask),
+                tag);
+      t.bytes_sent += data.size_bytes();
+      ++t.messages_sent;
+      break;  // done after handing the partial up
+    }
+    if (me + mask < q) {
+      comm.recv(std::span<float>(scratch, n), rank_of(me + mask), tag);
+      kernels::reduce_add(data.data(), scratch, n);
+      t.reduce_flops += n;
+    }
+  }
+}
+
+/// Binomial broadcast of `data` from index 0 to all `q` members of an
+/// index space (inverse tree of binomial_reduce: parent(v) = v − lsb(v)).
+template <typename RankOf>
+void binomial_bcast(simmpi::Communicator& comm, int tag, std::span<float> data,
+                    int me, int q, RankOf&& rank_of, RankTraffic& t) {
+  int mask = 1;
+  while (mask < q && (me & mask) == 0) mask <<= 1;
+  // Non-roots stop at their lowest set bit; the root's mask grows past q.
+  if (me != 0) comm.recv(data, rank_of(me - mask), tag);
+  for (int m = mask >> 1; m >= 1; m >>= 1) {
+    if (me + m < q) {
+      comm.send(std::span<const float>(data.data(), data.size()),
+                rank_of(me + m), tag);
+      t.bytes_sent += data.size_bytes();
+      ++t.messages_sent;
+    }
+  }
+}
+
+/// Element range owned by index `idx` (of a 2^m-member space) after
+/// `levels` rounds of distance-doubling reduce-scatter over [0, n):
+/// round k splits the current range at its integer midpoint and bit k
+/// of `idx` selects the upper half. levels == 0 → the whole range;
+/// levels == m → idx's final scatter block.
+inline std::pair<std::size_t, std::size_t> dd_range(std::size_t n, int idx,
+                                                    int levels) {
+  std::size_t lo = 0, hi = n;
+  for (int k = 0; k < levels; ++k) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (idx & (1 << k)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, hi};
+}
+
+/// Largest power of two ≤ p (p ≥ 1), and its log2.
+inline std::pair<int, int> floor_pow2(int p) {
+  int pof2 = 1, m = 0;
+  while (pof2 * 2 <= p) {
+    pof2 *= 2;
+    ++m;
+  }
+  return {pof2, m};
+}
+
+}  // namespace dct::allreduce::detail

@@ -1,0 +1,105 @@
+#include "allreduce/algorithms_impl.hpp"
+
+#include "allreduce/binomial_ops.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
+
+namespace dct::allreduce {
+
+// Distance-doubling reduce-scatter + mirrored allgather (see the class
+// comment for why the doubling order — round k pairs rank with
+// rank ⊕ 2^k, low bit first — is the one exchange schedule whose
+// per-element combines reproduce naive's summation tree). Non-power-of-
+// two worlds park the tail ranks [pof2, p) behind a tail leader whose
+// clipped binomial fold *is* naive's subtree over those ranks; the tail
+// sum then joins each scatter block at the root level, matching naive's
+// final S[0,p) = S[0,pof2) + S[pof2,p) combine.
+void HalvingDoublingAllreduce::run(simmpi::Communicator& comm,
+                                   std::span<float> data,
+                                   RankTraffic* traffic) const {
+  RankTraffic t;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = data.size();
+  const int tag = kAlgoTag;
+  if (p == 1 || n == 0) {
+    if (traffic != nullptr) *traffic = t;
+    return;
+  }
+
+  const auto [pof2, m] = detail::floor_pow2(p);
+  const int rem = p - pof2;
+  auto scratch_lease = kernels::ScratchPool::local().borrow(n);
+  float* const scratch = scratch_lease.data();
+
+  auto send_block = [&](std::span<const float> block, int dest) {
+    comm.send(block, dest, tag);
+    t.bytes_sent += block.size_bytes();
+    ++t.messages_sent;
+  };
+
+  if (rank >= pof2) {
+    // Tail: clipped binomial fold over [pof2, p) onto the tail leader.
+    const int ti = rank - pof2;
+    detail::binomial_reduce(
+        comm, tag, data, scratch, ti, rem,
+        [&](int i) { return pof2 + i; }, t);
+    if (ti == 0) {
+      // Scatter the tail sum to the core ranks, block by block, so each
+      // core rank can fold it into its reduce-scatter result.
+      for (int r = 0; r < pof2; ++r) {
+        const auto [lo, hi] = detail::dd_range(n, r, m);
+        send_block(std::span<const float>(data.data() + lo, hi - lo), r);
+      }
+    }
+    // Core rank ti mirrors the finished result back (phase E below).
+    comm.recv(data, ti, tag);
+  } else {
+    // Core reduce-scatter: at round k my current range splits at its
+    // midpoint, bit k of my rank keeps one half; the partner gets the
+    // other half and folds it into its own.
+    for (int k = 0; k < m; ++k) {
+      const int partner = rank ^ (1 << k);
+      const auto [lo, hi] = detail::dd_range(n, rank, k);
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const bool upper = ((rank >> k) & 1) != 0;
+      const std::size_t mylo = upper ? mid : lo;
+      const std::size_t myhi = upper ? hi : mid;
+      const std::size_t plo = upper ? lo : mid;
+      const std::size_t phi = upper ? mid : hi;
+      send_block(std::span<const float>(data.data() + plo, phi - plo),
+                 partner);
+      comm.recv(std::span<float>(scratch, myhi - mylo), partner, tag);
+      kernels::reduce_add(data.data() + mylo, scratch, myhi - mylo);
+      t.reduce_flops += myhi - mylo;
+    }
+    if (rem > 0) {
+      // Root-level combine: my block of the tail sum arrives from the
+      // tail leader and lands on top of the core partial.
+      const auto [lo, hi] = detail::dd_range(n, rank, m);
+      comm.recv(std::span<float>(scratch, hi - lo), pof2, tag);
+      kernels::reduce_add(data.data() + lo, scratch, hi - lo);
+      t.reduce_flops += hi - lo;
+    }
+    // Allgather: unwind the halving, high bit first. At round k both
+    // partners hold their halves of the shared parent range and swap.
+    for (int k = m - 1; k >= 0; --k) {
+      const int partner = rank ^ (1 << k);
+      const auto [lo, hi] = detail::dd_range(n, rank, k);
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const bool upper = ((rank >> k) & 1) != 0;
+      const std::size_t mylo = upper ? mid : lo;
+      const std::size_t myhi = upper ? hi : mid;
+      const std::size_t plo = upper ? lo : mid;
+      const std::size_t phi = upper ? mid : hi;
+      send_block(std::span<const float>(data.data() + mylo, myhi - mylo),
+                 partner);
+      comm.recv(std::span<float>(data.data() + plo, phi - plo), partner, tag);
+    }
+    // Phase E: hand the full result to my tail mirror, if I have one.
+    if (rank < rem) send_block(data, pof2 + rank);
+  }
+  if (traffic != nullptr) *traffic = t;
+}
+
+}  // namespace dct::allreduce

@@ -1,0 +1,63 @@
+#include "allreduce/algorithms_impl.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "allreduce/binomial_ops.hpp"
+#include "kernels/scratch_pool.hpp"
+
+namespace dct::allreduce {
+
+HierarchicalAllreduce::HierarchicalAllreduce(int group)
+    : group_(detail::floor_pow2(std::max(group, 1)).first) {}
+
+std::string HierarchicalAllreduce::name() const {
+  return group_ == 4 ? "hierarchical" : "hierarchical:" + std::to_string(group_);
+}
+
+// Reduce within each group of `group_` consecutive ranks, combine and
+// broadcast among the group leaders, broadcast back within each group.
+// Because group_ is a power of two and groups are contiguous, the
+// intra-group folds build naive's summation tree up to level
+// log2(group_) and the inter-leader fold continues it upward: group j's
+// leader holds S over the clipped interval [j·g, (j+1)·g) and the
+// leader combine merges those intervals in aligned power-of-two pairs —
+// exactly naive's upper levels. Bit-identical to naive for any p
+// (the last group may be ragged; its clipped fold is naive's clipped
+// subtree).
+void HierarchicalAllreduce::run(simmpi::Communicator& comm,
+                                std::span<float> data,
+                                RankTraffic* traffic) const {
+  RankTraffic t;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = data.size();
+  const int tag = kAlgoTag;
+  if (p == 1 || n == 0) {
+    if (traffic != nullptr) *traffic = t;
+    return;
+  }
+
+  const int g = group_;
+  const int j = rank / g;                 // my group index
+  const int groups = (p + g - 1) / g;     // group count
+  const int base = j * g;                 // my group's first rank
+  const int gsize = std::min(g, p - base);
+  const int li = rank - base;             // my index within the group
+
+  auto scratch_lease = kernels::ScratchPool::local().borrow(n);
+  float* const scratch = scratch_lease.data();
+  auto group_rank = [&](int i) { return base + i; };
+  auto leader_rank = [&](int i) { return i * g; };
+
+  detail::binomial_reduce(comm, tag, data, scratch, li, gsize, group_rank, t);
+  if (li == 0) {
+    detail::binomial_reduce(comm, tag, data, scratch, j, groups, leader_rank,
+                            t);
+    detail::binomial_bcast(comm, tag, data, j, groups, leader_rank, t);
+  }
+  detail::binomial_bcast(comm, tag, data, li, gsize, group_rank, t);
+  if (traffic != nullptr) *traffic = t;
+}
+
+}  // namespace dct::allreduce

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <charconv>
+#include <string>
 
 #include "allreduce/algorithm.hpp"
 #include "allreduce/algorithms_impl.hpp"
@@ -6,6 +8,12 @@
 #include "util/error.hpp"
 
 namespace dct::allreduce {
+
+std::string OpenMpiDefaultAllreduce::name() const {
+  return cutover_bytes_ == kDefaultCutoverBytes
+             ? "openmpi_default"
+             : "openmpi_default:" + std::to_string(cutover_bytes_);
+}
 
 void OpenMpiDefaultAllreduce::run(simmpi::Communicator& comm,
                                   std::span<float> data,
@@ -17,6 +25,25 @@ void OpenMpiDefaultAllreduce::run(simmpi::Communicator& comm,
   }
 }
 
+namespace {
+
+/// Parses the "<int>" in parameterized names like "hierarchical:8" or
+/// "multicolor4"; checks the whole suffix is a positive integer.
+int parse_param(const std::string& name, std::size_t prefix_len,
+                int default_value) {
+  const std::string suffix = name.substr(prefix_len);
+  if (suffix.empty()) return default_value;
+  int k = 0;
+  auto [ptr, ec] =
+      std::from_chars(suffix.data(), suffix.data() + suffix.size(), k);
+  DCT_CHECK_MSG(
+      ec == std::errc() && ptr == suffix.data() + suffix.size() && k >= 1,
+      "bad parameter in allreduce algorithm name '" << name << "'");
+  return k;
+}
+
+}  // namespace
+
 std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
   if (name == "naive" || name == "binomial") {
     return std::make_unique<NaiveAllreduce>();
@@ -24,8 +51,25 @@ std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
   if (name == "recursive_halving") {
     return std::make_unique<RecursiveHalvingAllreduce>();
   }
-  if (name == "openmpi_default") {
-    return std::make_unique<OpenMpiDefaultAllreduce>();
+  if (name.rfind("openmpi_default", 0) == 0 &&
+      (name.size() == 15 || name[15] == ':')) {
+    const int cutover = parse_param(
+        name, std::min<std::size_t>(name.size(), 16),
+        static_cast<int>(OpenMpiDefaultAllreduce::kDefaultCutoverBytes));
+    return std::make_unique<OpenMpiDefaultAllreduce>(
+        static_cast<std::size_t>(cutover));
+  }
+  if (name == "halving_doubling") {
+    return std::make_unique<HalvingDoublingAllreduce>();
+  }
+  if (name.rfind("hierarchical", 0) == 0 &&
+      (name.size() == 12 || name[12] == ':')) {
+    return std::make_unique<HierarchicalAllreduce>(
+        parse_param(name, std::min<std::size_t>(name.size(), 13), 4));
+  }
+  if (name.rfind("torus", 0) == 0 && (name.size() == 5 || name[5] == ':')) {
+    return std::make_unique<TorusAllreduce>(
+        parse_param(name, std::min<std::size_t>(name.size(), 6), 0));
   }
   if (name == "bucket_ring") {
     return std::make_unique<BucketRingAllreduce>();
@@ -57,7 +101,14 @@ std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
     }
     return std::make_unique<MultiColorAllreduce>(k);
   }
-  DCT_CHECK_MSG(false, "unknown allreduce algorithm '" << name << "'");
+  std::string known;
+  for (const auto& k : list_algorithms()) {
+    if (!known.empty()) known += ", ";
+    known += k;
+  }
+  DCT_CHECK_MSG(false, "unknown allreduce algorithm '" << name
+                                                       << "' (known: " << known
+                                                       << ")");
   return nullptr;  // unreachable
 }
 
@@ -85,8 +136,24 @@ void run_chunked(const Algorithm& algo, simmpi::Communicator& comm,
 }
 
 std::vector<std::string> algorithm_names() {
-  return {"naive",     "recursive_halving", "openmpi_default", "ring",
-          "multiring", "multicolor",        "bucket_ring"};
+  return {"naive",        "recursive_halving", "openmpi_default",
+          "halving_doubling", "hierarchical",  "torus",
+          "ring",         "multiring",         "multicolor",
+          "bucket_ring"};
+}
+
+std::vector<std::string> list_algorithms() {
+  return {"naive",
+          "binomial",
+          "recursive_halving",
+          "openmpi_default[:bytes]",
+          "halving_doubling",
+          "hierarchical[:group]",
+          "torus[:cols]",
+          "ring",
+          "multiring[k]",
+          "multicolor[k]",
+          "bucket_ring"};
 }
 
 }  // namespace dct::allreduce

@@ -1,0 +1,180 @@
+#include "allreduce/algorithms_impl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "allreduce/binomial_ops.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/scratch_pool.hpp"
+
+namespace dct::allreduce {
+
+TorusAllreduce::TorusAllreduce(int cols)
+    : cols_(cols <= 0 ? 0 : detail::floor_pow2(cols).first) {}
+
+std::string TorusAllreduce::name() const {
+  return cols_ == 0 ? "torus" : "torus:" + std::to_string(cols_);
+}
+
+// Row reduce-scatter → column allreduce → row allgather over an R×C
+// grid of consecutive ranks (row r = ranks [r·C, (r+1)·C)). C is a
+// power of two, so the row phases are the distance-doubling schedule of
+// HalvingDoublingAllreduce restricted to a row: after the
+// reduce-scatter, the rank in column c of row r holds block c summed
+// over naive's tree for the C-aligned interval [r·C, (r+1)·C). The
+// column phase then folds those intervals with a clipped binomial over
+// row indices — aligned power-of-two interval merges again, i.e.
+// naive's upper levels. A non-rectangular world's tail ranks [R·C, p)
+// fold onto a tail leader that joins every column's combine as virtual
+// row R: since R is the maximum row index it only ever *sends* in the
+// fold (at its lowest set bit), and it receives each column's final
+// block during the column broadcast, leaving it with the full vector to
+// unfold across the tail. The element-wise combine tree is naive's
+// throughout, so the result is bit-identical to naive for any p.
+void TorusAllreduce::run(simmpi::Communicator& comm, std::span<float> data,
+                         RankTraffic* traffic) const {
+  RankTraffic t;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = data.size();
+  const int tag = kAlgoTag;
+  if (p == 1 || n == 0) {
+    if (traffic != nullptr) *traffic = t;
+    return;
+  }
+
+  // Effective grid: C = configured columns clamped to ≤ p, or (auto)
+  // the largest power of two ≤ √p — near-square minimizes the longer
+  // dimension's depth.
+  int cols = cols_;
+  if (cols <= 0) {
+    const int side =
+        std::max(1, static_cast<int>(std::sqrt(static_cast<double>(p))));
+    cols = detail::floor_pow2(side).first;
+  }
+  while (cols > p) cols >>= 1;
+  const int mc = detail::floor_pow2(cols).second;  // log2(cols)
+  const int rows = p / cols;
+  const int tail_base = rows * cols;
+  const int rem = p - tail_base;
+  // Virtual row count for the column phases: the tail leader, when
+  // present, acts as one extra row in every column.
+  const int vrows = rows + (rem > 0 ? 1 : 0);
+
+  auto scratch_lease = kernels::ScratchPool::local().borrow(n);
+  float* const scratch = scratch_lease.data();
+
+  auto send_block = [&](std::span<const float> block, int dest) {
+    comm.send(block, dest, tag);
+    t.bytes_sent += block.size_bytes();
+    ++t.messages_sent;
+  };
+  // Communicator rank sitting at (virtual row v, column c).
+  auto grid_rank = [&](int v, int c) {
+    return v < rows ? v * cols + c : tail_base;
+  };
+
+  if (rank >= tail_base) {
+    const int ti = rank - tail_base;
+    // Tail fold: naive's clipped subtree over [rows·cols, p).
+    detail::binomial_reduce(
+        comm, tag, data, scratch, ti, rem,
+        [&](int i) { return tail_base + i; }, t);
+    if (ti == 0) {
+      // Column reduce, as virtual row `rows` of every column: the
+      // maximum row index only sends — at its lowest set bit — handing
+      // each column its block of the tail sum.
+      const int up = rows & -rows;  // lowest set bit; rows ≥ 1
+      for (int c = 0; c < cols; ++c) {
+        const auto [lo, hi] = detail::dd_range(n, c, mc);
+        send_block(std::span<const float>(data.data() + lo, hi - lo),
+                   grid_rank(rows - up, c));
+      }
+      // Column broadcast: receive every column's final block from my
+      // tree parent in that column, assembling the full vector.
+      const int parent = rows - up;  // bcast parent = v − lsb(v)
+      for (int c = 0; c < cols; ++c) {
+        const auto [lo, hi] = detail::dd_range(n, c, mc);
+        comm.recv(std::span<float>(data.data() + lo, hi - lo),
+                  grid_rank(parent, c), tag);
+      }
+    }
+    // Unfold the full result across the tail.
+    detail::binomial_bcast(
+        comm, tag, data, ti, rem, [&](int i) { return tail_base + i; }, t);
+  } else {
+    const int row = rank / cols;
+    const int col = rank % cols;
+
+    // Phase 1: row reduce-scatter (distance doubling over columns).
+    for (int k = 0; k < mc; ++k) {
+      const int partner = row * cols + (col ^ (1 << k));
+      const auto [lo, hi] = detail::dd_range(n, col, k);
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const bool upper = ((col >> k) & 1) != 0;
+      const std::size_t mylo = upper ? mid : lo;
+      const std::size_t myhi = upper ? hi : mid;
+      const std::size_t plo = upper ? lo : mid;
+      const std::size_t phi = upper ? mid : hi;
+      send_block(std::span<const float>(data.data() + plo, phi - plo),
+                 partner);
+      comm.recv(std::span<float>(scratch, myhi - mylo), partner, tag);
+      kernels::reduce_add(data.data() + mylo, scratch, myhi - mylo);
+      t.reduce_flops += myhi - mylo;
+    }
+    const auto [blo, bhi] = detail::dd_range(n, col, mc);
+    const std::size_t bn = bhi - blo;
+
+    // Phase 2: column reduce of my block over the vrows virtual rows
+    // (clipped binomial toward virtual row 0).
+    for (int mask = 1; mask < vrows; mask <<= 1) {
+      if (row & mask) {
+        send_block(std::span<const float>(data.data() + blo, bn),
+                   grid_rank(row - mask, col));
+        break;
+      }
+      if (row + mask < vrows) {
+        comm.recv(std::span<float>(scratch, bn), grid_rank(row + mask, col),
+                  tag);
+        kernels::reduce_add(data.data() + blo, scratch, bn);
+        t.reduce_flops += bn;
+      }
+    }
+
+    // Phase 3: column broadcast of the finished block from virtual
+    // row 0 (parent(v) = v − lsb(v); children down to the tail leader).
+    {
+      int mask = 1;
+      while (mask < vrows && (row & mask) == 0) mask <<= 1;
+      if (row != 0) {
+        comm.recv(std::span<float>(data.data() + blo, bn),
+                  grid_rank(row - mask, col), tag);
+      }
+      for (int m = mask >> 1; m >= 1; m >>= 1) {
+        if (row + m < vrows) {
+          send_block(std::span<const float>(data.data() + blo, bn),
+                     grid_rank(row + m, col));
+        }
+      }
+    }
+
+    // Phase 4: row allgather (mirror of phase 1, high bit first).
+    for (int k = mc - 1; k >= 0; --k) {
+      const int partner = row * cols + (col ^ (1 << k));
+      const auto [lo, hi] = detail::dd_range(n, col, k);
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const bool upper = ((col >> k) & 1) != 0;
+      const std::size_t mylo = upper ? mid : lo;
+      const std::size_t myhi = upper ? hi : mid;
+      const std::size_t plo = upper ? lo : mid;
+      const std::size_t phi = upper ? mid : hi;
+      send_block(std::span<const float>(data.data() + mylo, myhi - mylo),
+                 partner);
+      comm.recv(std::span<float>(data.data() + plo, phi - plo), partner, tag);
+    }
+  }
+  if (traffic != nullptr) *traffic = t;
+}
+
+}  // namespace dct::allreduce

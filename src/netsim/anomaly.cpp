@@ -7,7 +7,7 @@
 
 namespace dct::netsim {
 
-std::vector<SlowLink> detect_slow_links(const FatTree& net,
+std::vector<SlowLink> detect_slow_links(const Topology& net,
                                         const SimResult& result,
                                         const SlowLinkOptions& options) {
   DCT_CHECK_MSG(

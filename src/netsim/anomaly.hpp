@@ -19,8 +19,8 @@
 namespace dct::netsim {
 
 struct SlowLink {
-  int link = -1;        ///< FatTree link id
-  std::string name;     ///< FatTree::link_name(link)
+  int link = -1;        ///< topology link id
+  std::string name;     ///< Topology::link_name(link)
   double utilization = 0.0;
   double z = 0.0;       ///< robust z-score within the link's class
 };
@@ -37,7 +37,7 @@ struct SlowLinkOptions {
 /// Links whose utilization is anomalously high within their class,
 /// sorted by descending z-score. Only links that carried traffic
 /// participate (idle links would drag the median to zero).
-std::vector<SlowLink> detect_slow_links(const FatTree& net,
+std::vector<SlowLink> detect_slow_links(const Topology& net,
                                         const SimResult& result,
                                         const SlowLinkOptions& options = {});
 

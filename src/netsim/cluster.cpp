@@ -17,6 +17,21 @@ FatTree make_minsky_fabric(const ClusterConfig& cfg) {
   return FatTree(net);
 }
 
+std::unique_ptr<Topology> make_fabric(const ClusterConfig& cfg) {
+  TopologyConfig tc;
+  tc.kind = cfg.topology;
+  tc.hosts = cfg.nodes;
+  tc.link_gbps = cfg.rail_gbps;
+  tc.link_latency_s = cfg.link_latency_s;
+  tc.hosts_per_leaf = cfg.hosts_per_leaf;
+  tc.spines = std::max(cfg.spines, 1);
+  tc.rails = cfg.rails;
+  tc.oversubscription = cfg.oversubscription;
+  tc.torus_cols = cfg.torus_cols;
+  tc.dragonfly_group = cfg.dragonfly_group;
+  return make_topology(tc);
+}
+
 SimOptions sim_options_for(const std::string& algo) {
   SimOptions opt;
   if (algo.rfind("multicolor", 0) == 0) {
@@ -26,9 +41,12 @@ SimOptions sim_options_for(const std::string& algo) {
     opt.per_message_overhead_s = 1.5e-6;
     opt.stack_copy_bw_Bps = 0.0;
   } else if (algo.rfind("ring", 0) == 0 ||
-             algo.rfind("multiring", 0) == 0 || algo == "bucket_ring") {
-    // Also hand-written by the authors (pipelined, verbs-level), just a
-    // worse communication structure.
+             algo.rfind("multiring", 0) == 0 || algo == "bucket_ring" ||
+             algo == "halving_doubling" ||
+             algo.rfind("hierarchical", 0) == 0 ||
+             algo.rfind("torus", 0) == 0) {
+    // Also hand-written (pipelined, verbs-level): the ring baselines and
+    // the topology-aware zoo — just different communication structures.
     opt.per_message_overhead_s = 2.0e-6;
     opt.stack_copy_bw_Bps = 0.0;
   } else {
@@ -43,7 +61,7 @@ SimOptions sim_options_for(const std::string& algo) {
 double allreduce_time_s(const ClusterConfig& cfg, const std::string& algo,
                         std::uint64_t payload_bytes) {
   if (cfg.nodes <= 1 || payload_bytes == 0) return 0.0;
-  const FatTree net = make_minsky_fabric(cfg);
+  const auto net = make_fabric(cfg);
   AllreduceParams params;
   params.payload_bytes = payload_bytes;
   params.ranks = cfg.nodes;
@@ -54,7 +72,7 @@ double allreduce_time_s(const ClusterConfig& cfg, const std::string& algo,
       std::max<std::uint64_t>(64 * 1024,
                               std::min<std::uint64_t>(1 << 20, payload_bytes));
   const CommSchedule schedule = allreduce_schedule(algo, params);
-  return simulate(net, schedule, sim_options_for(algo)).makespan_s;
+  return simulate(*net, schedule, sim_options_for(algo)).makespan_s;
 }
 
 double allreduce_throughput_Bps(const ClusterConfig& cfg,

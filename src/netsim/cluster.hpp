@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "netsim/schedules.hpp"
+#include "netsim/topology.hpp"
 
 namespace dct::netsim {
 
@@ -21,10 +23,23 @@ struct ClusterConfig {
   double link_latency_s = 1.0e-6;
   /// AltiVec summation bandwidth for folding network buffers.
   double reduce_bw_Bps = 60.0e9;
+  /// Fabric kind: "fattree" (the Minsky default), "fattree_oversub",
+  /// "torus", or "dragonfly" (see topology_kinds()).
+  std::string topology = "fattree";
+  /// Leaf↔spine oversubscription for "fattree_oversub".
+  double oversubscription = 4.0;
+  /// Torus column count (0 = near-square) for "torus".
+  int torus_cols = 0;
+  /// Hosts per dragonfly group for "dragonfly".
+  int dragonfly_group = 4;
 };
 
 /// Build the fat-tree for a cluster of `nodes` Minsky hosts.
 FatTree make_minsky_fabric(const ClusterConfig& cfg);
+
+/// Build the configured fabric (cfg.topology selects the kind); the
+/// fat-tree kinds reproduce make_minsky_fabric's shape.
+std::unique_ptr<Topology> make_fabric(const ClusterConfig& cfg);
 
 /// Per-message software overhead by transport. The paper's multi-color
 /// implementation calls InfiniBand verbs directly ("low latency and

@@ -8,7 +8,7 @@
 namespace dct::netsim {
 
 std::vector<JobContention> estimate_contention(
-    const FatTree& tree, const std::vector<JobPlacement>& jobs) {
+    const Topology& tree, const std::vector<JobPlacement>& jobs) {
   // link id -> flow count, total and per job.
   std::map<int, int> total;
   std::map<std::pair<int, int>, int> own;  // (job index, link) -> flows

@@ -27,7 +27,7 @@
 
 namespace dct::netsim {
 
-/// One tenant's placement: which hosts (ranks of the FatTree) it owns.
+/// One tenant's placement: which hosts (ranks of the topology) it owns.
 struct JobPlacement {
   int job = -1;
   std::vector<int> hosts;
@@ -38,13 +38,14 @@ struct JobContention {
   int job = -1;
   double slowdown = 1.0;     ///< ≥ 1.0; see header comment
   int busiest_link = -1;     ///< link id realizing the max, -1 if no flows
-  std::string busiest_name;  ///< FatTree::link_name of that link
+  std::string busiest_name;  ///< Topology::link_name of that link
 };
 
 /// Estimate cross-job contention for a set of concurrently running
 /// jobs. Jobs with fewer than two hosts generate no ring flows and
-/// report slowdown 1.0. Host ids must be valid ranks of `tree`.
+/// report slowdown 1.0. Host ids must be valid ranks of `tree`. Works
+/// on any Topology (fat-tree, torus, dragonfly, ...).
 std::vector<JobContention> estimate_contention(
-    const FatTree& tree, const std::vector<JobPlacement>& jobs);
+    const Topology& tree, const std::vector<JobPlacement>& jobs);
 
 }  // namespace dct::netsim

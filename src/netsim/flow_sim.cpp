@@ -62,7 +62,7 @@ struct ActiveFlow {
 /// Progressive water-filling: assign every active flow its max-min fair
 /// rate given per-link capacities.
 void assign_fair_rates(std::vector<ActiveFlow>& flows,
-                       const FatTree& net,
+                       const Topology& net,
                        std::vector<double>& cap_scratch,
                        std::vector<int>& count_scratch) {
   const int nlinks = net.num_links();
@@ -116,7 +116,7 @@ void assign_fair_rates(std::vector<ActiveFlow>& flows,
 
 }  // namespace
 
-SimResult simulate(const FatTree& net, const CommSchedule& schedule,
+SimResult simulate(const Topology& net, const CommSchedule& schedule,
                    const SimOptions& options) {
   const auto& ops = schedule.ops();
   const std::size_t n = ops.size();

@@ -55,7 +55,7 @@ struct SimResult {
   std::vector<double> op_end_s;      ///< per-op completion times
   std::uint64_t flows = 0;           ///< number of network flows simulated
   double max_link_utilization = 0.0; ///< busiest link's bytes/(cap·makespan)
-  /// Per-link bytes/(cap·makespan), indexed by FatTree link id. Feeds
+  /// Per-link bytes/(cap·makespan), indexed by topology link id. Feeds
   /// slow-link detection (netsim/anomaly.hpp).
   std::vector<double> link_utilization;
 };
@@ -70,8 +70,10 @@ struct SimOptions {
   double stack_copy_bw_Bps = 0.0;
 };
 
-/// Run the schedule on the topology; deterministic.
-SimResult simulate(const FatTree& net, const CommSchedule& schedule,
+/// Run the schedule on the topology; deterministic. Works on any
+/// Topology (fat-tree, torus, dragonfly, ...) — the simulator only sees
+/// links and routes.
+SimResult simulate(const Topology& net, const CommSchedule& schedule,
                    const SimOptions& options = {});
 
 }  // namespace dct::netsim

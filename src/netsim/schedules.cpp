@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "allreduce/color_tree.hpp"
 #include "util/error.hpp"
@@ -18,6 +19,75 @@ std::uint64_t chunk_len(std::uint64_t payload, std::uint64_t chunk,
                         std::uint64_t index) {
   const std::uint64_t lo = index * chunk;
   return std::min(chunk, payload - lo);
+}
+
+/// Clipped binomial reduce toward index 0 of a q-member index space
+/// mapped through `rank_of`, `bytes` per hop — the schedule twin of
+/// allreduce::detail::binomial_reduce. Maintains last_op (indexed by
+/// actual rank) across phases.
+template <typename RankOf>
+void emit_binomial_reduce(CommSchedule& s, std::vector<int>& last_op, int q,
+                          RankOf rank_of, std::uint64_t bytes, double add_s,
+                          std::uint64_t seed) {
+  for (int mask = 1; mask < q; mask <<= 1) {
+    for (int i = 0; i < q; ++i) {
+      if ((i & (mask - 1)) != 0) continue;  // retired at an earlier bit
+      if ((i & mask) == 0) continue;
+      const int src = rank_of(i);
+      const int dst = rank_of(i - mask);
+      std::vector<int> deps;
+      if (last_op[static_cast<std::size_t>(src)] >= 0) {
+        deps.push_back(last_op[static_cast<std::size_t>(src)]);
+      }
+      const int xfer = s.add_transfer(
+          src, dst, bytes, std::move(deps), 0.0,
+          seed | (static_cast<std::uint64_t>(mask) & 0xF));
+      last_op[static_cast<std::size_t>(src)] = xfer;
+      std::vector<int> add_deps{xfer};
+      if (last_op[static_cast<std::size_t>(dst)] >= 0) {
+        add_deps.push_back(last_op[static_cast<std::size_t>(dst)]);
+      }
+      last_op[static_cast<std::size_t>(dst)] =
+          s.add_compute(dst, add_s, std::move(add_deps));
+    }
+  }
+}
+
+/// Binomial broadcast from index 0 of the q-member index space — the
+/// schedule twin of allreduce::detail::binomial_bcast. A parent's sends
+/// to its children are concurrent (the fabric arbitrates bandwidth).
+template <typename RankOf>
+void emit_binomial_bcast(CommSchedule& s, std::vector<int>& last_op, int q,
+                         RankOf rank_of, std::uint64_t bytes,
+                         std::uint64_t seed) {
+  int top = 1;
+  while (top < q) top <<= 1;
+  for (int mask = top >> 1; mask >= 1; mask >>= 1) {
+    for (int i = 0; i < q; ++i) {
+      if ((i & ((mask << 1) - 1)) != 0) continue;  // not yet reached
+      const int child = i + mask;
+      if (child >= q) continue;
+      const int src = rank_of(i);
+      const int dst = rank_of(child);
+      std::vector<int> deps;
+      if (last_op[static_cast<std::size_t>(src)] >= 0) {
+        deps.push_back(last_op[static_cast<std::size_t>(src)]);
+      }
+      const int xfer = s.add_transfer(
+          src, dst, bytes, std::move(deps), 0.0,
+          seed | (static_cast<std::uint64_t>(mask) & 0xF));
+      last_op[static_cast<std::size_t>(dst)] = xfer;
+    }
+  }
+}
+
+std::pair<int, int> floor_pow2(int p) {
+  int pof2 = 1, m = 0;
+  while (pof2 * 2 <= p) {
+    pof2 *= 2;
+    ++m;
+  }
+  return {pof2, m};
 }
 
 }  // namespace
@@ -338,6 +408,236 @@ CommSchedule recursive_halving_schedule(const AllreduceParams& p) {
   return s;
 }
 
+CommSchedule halving_doubling_schedule(const AllreduceParams& p) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  const auto [pof2, m] = floor_pow2(n);
+  const int rem = n - pof2;
+  const double full_add =
+      static_cast<double>(p.payload_bytes) / p.reduce_bw_Bps;
+  std::vector<int> last_op(static_cast<std::size_t>(n), -1);
+  auto deps_of = [&](int rank) {
+    std::vector<int> d;
+    if (last_op[static_cast<std::size_t>(rank)] >= 0) {
+      d.push_back(last_op[static_cast<std::size_t>(rank)]);
+    }
+    return d;
+  };
+  const std::uint64_t block_m =
+      std::max<std::uint64_t>(1, p.payload_bytes >> m);
+
+  // Tail fold onto the tail leader (rank pof2), then the block scatter.
+  // Scatter arrivals gate the root-level add emitted after the core
+  // reduce-scatter below.
+  std::vector<int> scatter_op(static_cast<std::size_t>(pof2), -1);
+  if (rem > 0) {
+    emit_binomial_reduce(
+        s, last_op, rem, [&](int i) { return pof2 + i; }, p.payload_bytes,
+        full_add, 0x10);
+    for (int r = 0; r < pof2; ++r) {
+      scatter_op[static_cast<std::size_t>(r)] =
+          s.add_transfer(pof2, r, block_m, deps_of(pof2), 0.0,
+                         0x20 | (static_cast<std::uint64_t>(r) & 0xF));
+    }
+  }
+
+  // Core reduce-scatter: exchanged block halves every round.
+  std::uint64_t block = p.payload_bytes;
+  for (int k = 0; k < m; ++k) {
+    block = std::max<std::uint64_t>(1, block / 2);
+    const double add_s = static_cast<double>(block) / p.reduce_bw_Bps;
+    std::vector<int> new_last(last_op);
+    for (int r = 0; r < pof2; ++r) {
+      const int partner = r ^ (1 << k);
+      const int xfer = s.add_transfer(
+          r, partner, block, deps_of(r), 0.0,
+          static_cast<std::uint64_t>(k) | (static_cast<std::uint64_t>(k) << 4));
+      std::vector<int> add_deps{xfer};
+      if (last_op[static_cast<std::size_t>(partner)] >= 0) {
+        add_deps.push_back(last_op[static_cast<std::size_t>(partner)]);
+      }
+      new_last[static_cast<std::size_t>(partner)] =
+          s.add_compute(partner, add_s, std::move(add_deps));
+    }
+    last_op = std::move(new_last);
+  }
+
+  // Root-level combine of the tail sum into each scatter block.
+  if (rem > 0) {
+    const double add_s = static_cast<double>(block_m) / p.reduce_bw_Bps;
+    for (int r = 0; r < pof2; ++r) {
+      std::vector<int> add_deps = deps_of(r);
+      add_deps.push_back(scatter_op[static_cast<std::size_t>(r)]);
+      last_op[static_cast<std::size_t>(r)] =
+          s.add_compute(r, add_s, std::move(add_deps));
+    }
+  }
+
+  // Allgather: mirror, block doubles every round.
+  for (int k = m - 1; k >= 0; --k) {
+    std::vector<int> new_last(last_op);
+    for (int r = 0; r < pof2; ++r) {
+      const int partner = r ^ (1 << k);
+      const int xfer = s.add_transfer(r, partner, block, deps_of(r), 0.0,
+                                      static_cast<std::uint64_t>(k + 1) |
+                                          (static_cast<std::uint64_t>(k + 1) << 4));
+      std::vector<int> arr{xfer};
+      if (last_op[static_cast<std::size_t>(partner)] >= 0) {
+        arr.push_back(last_op[static_cast<std::size_t>(partner)]);
+      }
+      new_last[static_cast<std::size_t>(partner)] =
+          s.add_compute(partner, 0.0, std::move(arr));
+    }
+    last_op = std::move(new_last);
+    block = std::min<std::uint64_t>(p.payload_bytes, block * 2);
+  }
+
+  // Unfold the full result to the tail mirrors.
+  for (int r = 0; r < rem; ++r) {
+    s.add_transfer(r, pof2 + r, p.payload_bytes, deps_of(r), 0.0, 0x30);
+  }
+  return s;
+}
+
+CommSchedule hierarchical_allreduce_schedule(const AllreduceParams& p,
+                                             int group) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  const int g = floor_pow2(std::clamp(group, 1, n)).first;
+  const int groups = (n + g - 1) / g;
+  const double full_add =
+      static_cast<double>(p.payload_bytes) / p.reduce_bw_Bps;
+  std::vector<int> last_op(static_cast<std::size_t>(n), -1);
+
+  for (int j = 0; j < groups; ++j) {
+    const int base = j * g;
+    const int gsize = std::min(g, n - base);
+    emit_binomial_reduce(
+        s, last_op, gsize, [&](int i) { return base + i; }, p.payload_bytes,
+        full_add, 0x10);
+  }
+  emit_binomial_reduce(
+      s, last_op, groups, [&](int i) { return i * g; }, p.payload_bytes,
+      full_add, 0x20);
+  emit_binomial_bcast(
+      s, last_op, groups, [&](int i) { return i * g; }, p.payload_bytes,
+      0x30);
+  for (int j = 0; j < groups; ++j) {
+    const int base = j * g;
+    const int gsize = std::min(g, n - base);
+    emit_binomial_bcast(
+        s, last_op, gsize, [&](int i) { return base + i; }, p.payload_bytes,
+        0x40);
+  }
+  return s;
+}
+
+CommSchedule torus_allreduce_schedule(const AllreduceParams& p, int cols) {
+  CommSchedule s;
+  const int n = p.ranks;
+  if (n <= 1 || p.payload_bytes == 0) return s;
+  int c = cols;
+  if (c <= 0) {
+    int side = 1;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    c = floor_pow2(side).first;
+  } else {
+    c = floor_pow2(c).first;
+  }
+  while (c > n) c /= 2;
+  const int mc = floor_pow2(c).second;
+  const int rows = n / c;
+  const int tail_base = rows * c;
+  const int rem = n - tail_base;
+  const int vrows = rows + (rem > 0 ? 1 : 0);
+  const double full_add =
+      static_cast<double>(p.payload_bytes) / p.reduce_bw_Bps;
+  const std::uint64_t col_block =
+      std::max<std::uint64_t>(1, p.payload_bytes >> mc);
+  std::vector<int> last_op(static_cast<std::size_t>(n), -1);
+  auto deps_of = [&](int rank) {
+    std::vector<int> d;
+    if (last_op[static_cast<std::size_t>(rank)] >= 0) {
+      d.push_back(last_op[static_cast<std::size_t>(rank)]);
+    }
+    return d;
+  };
+
+  // Tail fold onto the tail leader.
+  if (rem > 0) {
+    emit_binomial_reduce(
+        s, last_op, rem, [&](int i) { return tail_base + i; },
+        p.payload_bytes, full_add, 0x10);
+  }
+
+  // Row reduce-scatter: exchanged block halves every round.
+  std::uint64_t block = p.payload_bytes;
+  for (int k = 0; k < mc; ++k) {
+    block = std::max<std::uint64_t>(1, block / 2);
+    const double add_s = static_cast<double>(block) / p.reduce_bw_Bps;
+    std::vector<int> new_last(last_op);
+    for (int row = 0; row < rows; ++row) {
+      for (int col = 0; col < c; ++col) {
+        const int r = row * c + col;
+        const int partner = row * c + (col ^ (1 << k));
+        const int xfer = s.add_transfer(
+            r, partner, block, deps_of(r), 0.0,
+            static_cast<std::uint64_t>(k) | (static_cast<std::uint64_t>(k) << 4));
+        std::vector<int> add_deps{xfer};
+        if (last_op[static_cast<std::size_t>(partner)] >= 0) {
+          add_deps.push_back(last_op[static_cast<std::size_t>(partner)]);
+        }
+        new_last[static_cast<std::size_t>(partner)] =
+            s.add_compute(partner, add_s, std::move(add_deps));
+      }
+    }
+    last_op = std::move(new_last);
+  }
+
+  // Column combine + broadcast of each column's block across the vrows
+  // virtual rows (the tail leader is virtual row `rows` of every
+  // column — exactly the implementation's message pattern).
+  const double col_add = static_cast<double>(col_block) / p.reduce_bw_Bps;
+  for (int col = 0; col < c; ++col) {
+    auto rank_of = [&](int v) { return v < rows ? v * c + col : tail_base; };
+    emit_binomial_reduce(s, last_op, vrows, rank_of, col_block, col_add,
+                         0x20);
+    emit_binomial_bcast(s, last_op, vrows, rank_of, col_block, 0x30);
+  }
+
+  // Row allgather: mirror of the reduce-scatter.
+  for (int k = mc - 1; k >= 0; --k) {
+    std::vector<int> new_last(last_op);
+    for (int row = 0; row < rows; ++row) {
+      for (int col = 0; col < c; ++col) {
+        const int r = row * c + col;
+        const int partner = row * c + (col ^ (1 << k));
+        const int xfer = s.add_transfer(r, partner, block, deps_of(r), 0.0,
+                                        static_cast<std::uint64_t>(k + 1) |
+                                            (static_cast<std::uint64_t>(k + 1) << 4));
+        std::vector<int> arr{xfer};
+        if (last_op[static_cast<std::size_t>(partner)] >= 0) {
+          arr.push_back(last_op[static_cast<std::size_t>(partner)]);
+        }
+        new_last[static_cast<std::size_t>(partner)] =
+            s.add_compute(partner, 0.0, std::move(arr));
+      }
+    }
+    last_op = std::move(new_last);
+    block = std::min<std::uint64_t>(p.payload_bytes, block * 2);
+  }
+
+  // Unfold the full result across the tail.
+  if (rem > 0) {
+    emit_binomial_bcast(
+        s, last_op, rem, [&](int i) { return tail_base + i; },
+        p.payload_bytes, 0x40);
+  }
+  return s;
+}
+
 CommSchedule binomial_allreduce_schedule(const AllreduceParams& p) {
   CommSchedule s;
   const int n = p.ranks;
@@ -421,12 +721,29 @@ CommSchedule allreduce_schedule(const std::string& algo,
     return multicolor_allreduce_schedule(p, k);
   }
   if (algo == "recursive_halving") return recursive_halving_schedule(p);
+  if (algo == "halving_doubling") return halving_doubling_schedule(p);
+  if (algo.rfind("hierarchical", 0) == 0 &&
+      (algo.size() == 12 || algo[12] == ':')) {
+    int g = 4;
+    if (algo.size() > 13) g = std::stoi(algo.substr(13));
+    return hierarchical_allreduce_schedule(p, g);
+  }
+  if (algo.rfind("torus", 0) == 0 && (algo.size() == 5 || algo[5] == ':')) {
+    int c = 0;
+    if (algo.size() > 6) c = std::stoi(algo.substr(6));
+    return torus_allreduce_schedule(p, c);
+  }
   if (algo == "naive" || algo == "binomial") {
     return binomial_allreduce_schedule(p);
   }
-  if (algo == "openmpi_default") {
-    return p.payload_bytes <= 64 * 1024 ? binomial_allreduce_schedule(p)
-                                        : recursive_halving_schedule(p);
+  if (algo.rfind("openmpi_default", 0) == 0 &&
+      (algo.size() == 15 || algo[15] == ':')) {
+    std::uint64_t cutover = 64 * 1024;
+    if (algo.size() > 16) {
+      cutover = static_cast<std::uint64_t>(std::stoll(algo.substr(16)));
+    }
+    return p.payload_bytes <= cutover ? binomial_allreduce_schedule(p)
+                                      : recursive_halving_schedule(p);
   }
   DCT_CHECK_MSG(false, "unknown allreduce schedule '" << algo << "'");
   return {};

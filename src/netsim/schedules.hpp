@@ -45,6 +45,20 @@ CommSchedule bucket_ring_allreduce_schedule(const AllreduceParams& p);
 /// Rabenseifner reduce-scatter + allgather (OpenMPI large default).
 CommSchedule recursive_halving_schedule(const AllreduceParams& p);
 
+/// Distance-doubling reduce-scatter + mirrored allgather with the
+/// bit-exact non-power-of-two tail (DESIGN.md §17).
+CommSchedule halving_doubling_schedule(const AllreduceParams& p);
+
+/// Group reduce → leader combine/broadcast → group broadcast over
+/// contiguous groups of `group` ranks (rounded down to a power of two).
+CommSchedule hierarchical_allreduce_schedule(const AllreduceParams& p,
+                                             int group);
+
+/// 2D-torus: row reduce-scatter, per-column combine across rows (the
+/// non-rectangular tail joins as a virtual row), row allgather.
+/// `cols == 0` derives a near-square grid.
+CommSchedule torus_allreduce_schedule(const AllreduceParams& p, int cols);
+
 /// Binomial reduce + binomial broadcast with the full payload
 /// (OpenMPI small default / the naive reference).
 CommSchedule binomial_allreduce_schedule(const AllreduceParams& p);

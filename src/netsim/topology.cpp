@@ -1,27 +1,19 @@
 #include "netsim/topology.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace dct::netsim {
-
-namespace {
-// Deterministic flow hash (fmix64 of seed ⊕ endpoints).
-std::uint64_t mix(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
-}  // namespace
 
 FatTree::FatTree(Config cfg) : cfg_(std::move(cfg)) {
   DCT_CHECK(cfg_.hosts >= 1);
   DCT_CHECK(cfg_.hosts_per_leaf >= 1);
   DCT_CHECK(cfg_.spines >= 1);
   DCT_CHECK(cfg_.rails >= 1);
+  DCT_CHECK_MSG(cfg_.oversubscription >= 1.0,
+                "oversubscription is a capacity divisor, must be >= 1");
   if (!cfg_.mapping.empty()) {
     DCT_CHECK_MSG(static_cast<int>(cfg_.mapping.size()) == cfg_.hosts,
                   "mapping must cover every rank");
@@ -32,8 +24,9 @@ FatTree::FatTree(Config cfg) : cfg_(std::move(cfg)) {
   links_.resize(static_cast<std::size_t>(host_links + fabric_links));
   const Link host_link{gbps_to_bytes_per_sec(cfg_.host_link_gbps),
                        cfg_.link_latency_s};
-  const Link fabric_link{gbps_to_bytes_per_sec(cfg_.fabric_link_gbps),
-                         cfg_.link_latency_s};
+  const Link fabric_link{
+      gbps_to_bytes_per_sec(cfg_.fabric_link_gbps) / cfg_.oversubscription,
+      cfg_.link_latency_s};
   for (int i = 0; i < host_links; ++i) {
     links_[static_cast<std::size_t>(i)] = host_link;
   }
@@ -121,10 +114,171 @@ std::string FatTree::link_name(int id) const {
   return "spine" + std::to_string(spine) + "->leaf" + std::to_string(leaf);
 }
 
-double FatTree::route_latency(const std::vector<int>& route) const {
-  double total = 0.0;
-  for (int id : route) total += link(id).latency_s;
-  return total;
+// ---- Torus2D ---------------------------------------------------------
+
+Torus2D::Torus2D(Config cfg) : cfg_(std::move(cfg)) {
+  DCT_CHECK(cfg_.rows >= 1 && cfg_.cols >= 1);
+  const Link l{gbps_to_bytes_per_sec(cfg_.link_gbps), cfg_.link_latency_s};
+  links_.assign(static_cast<std::size_t>(hosts() * 4), l);
+}
+
+std::vector<int> Torus2D::route(int src, int dst,
+                                std::uint64_t flow_seed) const {
+  DCT_CHECK(src != dst);
+  DCT_CHECK(src >= 0 && src < hosts() && dst >= 0 && dst < hosts());
+  const int C = cfg_.cols;
+  const int R = cfg_.rows;
+  std::vector<int> route;
+  int row = src / C, col = src % C;
+  const int drow = dst / C, dcol = dst % C;
+  // Shorter wrap direction along one dimension of size `dim`; an exact
+  // half-way tie breaks on the flow seed (both directions are
+  // equal-cost, like ECMP on the tree).
+  const auto step_dir = [&](int from, int to, int dim) {
+    const int fwd = (to - from + dim) % dim;
+    const int bwd = dim - fwd;
+    if (fwd < bwd) return +1;
+    if (bwd < fwd) return -1;
+    return ((flow_seed ^ static_cast<std::uint64_t>(src * 31 + dst)) & 1) != 0
+               ? +1
+               : -1;
+  };
+  while (col != dcol) {
+    const int dir = step_dir(col, dcol, C);
+    route.push_back(link_id(row * C + col, dir > 0 ? kColUp : kColDown));
+    col = (col + dir + C) % C;
+  }
+  while (row != drow) {
+    const int dir = step_dir(row, drow, R);
+    route.push_back(link_id(row * C + col, dir > 0 ? kRowUp : kRowDown));
+    row = (row + dir + R) % R;
+  }
+  return route;
+}
+
+void Torus2D::scale_link(int id, double factor) {
+  DCT_CHECK(id >= 0 && id < num_links());
+  DCT_CHECK_MSG(factor > 0.0, "link scale factor must be positive");
+  links_[static_cast<std::size_t>(id)].bandwidth_Bps *= factor;
+}
+
+std::string Torus2D::link_name(int id) const {
+  DCT_CHECK(id >= 0 && id < num_links());
+  static const char* kDir[] = {"+col", "-col", "+row", "-row"};
+  return "host" + std::to_string(id / 4) + "." + kDir[id % 4];
+}
+
+// ---- Dragonfly -------------------------------------------------------
+
+Dragonfly::Dragonfly(Config cfg) : cfg_(std::move(cfg)) {
+  DCT_CHECK(cfg_.groups >= 1 && cfg_.hosts_per_group >= 1);
+  const Link host{gbps_to_bytes_per_sec(cfg_.host_link_gbps),
+                  cfg_.link_latency_s};
+  const Link global{gbps_to_bytes_per_sec(cfg_.global_link_gbps),
+                    cfg_.link_latency_s};
+  const int nhost_links = hosts() * 2;
+  const int nglobal = cfg_.groups * (cfg_.groups - 1);
+  links_.resize(static_cast<std::size_t>(nhost_links + nglobal));
+  for (int i = 0; i < nhost_links; ++i) {
+    links_[static_cast<std::size_t>(i)] = host;
+  }
+  for (int i = 0; i < nglobal; ++i) {
+    links_[static_cast<std::size_t>(nhost_links + i)] = global;
+  }
+}
+
+int Dragonfly::global_link(int from_group, int to_group) const {
+  DCT_CHECK(from_group != to_group);
+  const int base = hosts() * 2;
+  const int peer_index = to_group < from_group ? to_group : to_group - 1;
+  return base + from_group * (cfg_.groups - 1) + peer_index;
+}
+
+std::vector<int> Dragonfly::route(int src, int dst, std::uint64_t) const {
+  DCT_CHECK(src != dst);
+  DCT_CHECK(src >= 0 && src < hosts() && dst >= 0 && dst < hosts());
+  const int gs = src / cfg_.hosts_per_group;
+  const int gd = dst / cfg_.hosts_per_group;
+  std::vector<int> r;
+  r.push_back(host_link(src, /*up=*/true));
+  if (gs != gd) r.push_back(global_link(gs, gd));
+  r.push_back(host_link(dst, /*up=*/false));
+  return r;
+}
+
+void Dragonfly::scale_link(int id, double factor) {
+  DCT_CHECK(id >= 0 && id < num_links());
+  DCT_CHECK_MSG(factor > 0.0, "link scale factor must be positive");
+  links_[static_cast<std::size_t>(id)].bandwidth_Bps *= factor;
+}
+
+std::string Dragonfly::link_name(int id) const {
+  DCT_CHECK(id >= 0 && id < num_links());
+  if (is_host_link(id)) {
+    return "host" + std::to_string(id / 2) + (id % 2 == 0 ? ".up" : ".down");
+  }
+  const int rel = id - hosts() * 2;
+  const int from = rel / (cfg_.groups - 1);
+  int peer = rel % (cfg_.groups - 1);
+  if (peer >= from) ++peer;
+  return "group" + std::to_string(from) + "->group" + std::to_string(peer);
+}
+
+// ---- factory ---------------------------------------------------------
+
+std::unique_ptr<Topology> make_topology(const TopologyConfig& cfg) {
+  DCT_CHECK(cfg.hosts >= 1);
+  if (cfg.kind == "fattree" || cfg.kind == "fattree_oversub") {
+    FatTree::Config t;
+    t.hosts = cfg.hosts;
+    t.hosts_per_leaf = cfg.hosts_per_leaf;
+    t.spines = cfg.spines;
+    t.rails = cfg.rails;
+    t.host_link_gbps = cfg.link_gbps;
+    t.fabric_link_gbps = cfg.link_gbps;
+    t.link_latency_s = cfg.link_latency_s;
+    if (cfg.kind == "fattree_oversub") t.oversubscription = cfg.oversubscription;
+    return std::make_unique<FatTree>(t);
+  }
+  if (cfg.kind == "torus") {
+    Torus2D::Config t;
+    if (cfg.torus_cols > 0) {
+      DCT_CHECK_MSG(cfg.hosts % cfg.torus_cols == 0,
+                    "torus hosts must fill the grid (hosts % cols == 0)");
+      t.cols = cfg.torus_cols;
+    } else {
+      // Near-square grid: widest column count that divides `hosts`.
+      t.cols = 1;
+      const int limit = static_cast<int>(std::sqrt(cfg.hosts));
+      for (int c = 1; c <= limit; ++c) {
+        if (cfg.hosts % c == 0) t.cols = c;
+      }
+    }
+    t.rows = cfg.hosts / t.cols;
+    t.link_gbps = cfg.link_gbps;
+    t.link_latency_s = cfg.link_latency_s;
+    return std::make_unique<Torus2D>(t);
+  }
+  if (cfg.kind == "dragonfly") {
+    Dragonfly::Config t;
+    t.hosts_per_group = std::min(cfg.dragonfly_group, cfg.hosts);
+    DCT_CHECK_MSG(cfg.hosts % t.hosts_per_group == 0,
+                  "dragonfly hosts must fill the groups");
+    t.groups = cfg.hosts / t.hosts_per_group;
+    t.host_link_gbps = cfg.link_gbps;
+    t.global_link_gbps = cfg.link_gbps;
+    t.link_latency_s = cfg.link_latency_s;
+    return std::make_unique<Dragonfly>(t);
+  }
+  DCT_CHECK_MSG(false, "unknown topology kind '" << cfg.kind
+                                                 << "' (known: fattree, "
+                                                    "fattree_oversub, torus, "
+                                                    "dragonfly)");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> topology_kinds() {
+  return {"fattree", "fattree_oversub", "torus", "dragonfly"};
 }
 
 }  // namespace dct::netsim

@@ -1,4 +1,4 @@
-// Network topology model for the timing simulations.
+// Network topology models for the timing simulations.
 //
 // The evaluation platform of the paper is a POWER8 Minsky cluster on a
 // Mellanox InfiniBand fat-tree, every node attached through two
@@ -7,9 +7,18 @@
 // route is host → leaf (on one rail) → spine (ECMP-hashed) → leaf →
 // host. Every physical cable is two directed links with independent
 // capacity, which is how full-duplex InfiniBand behaves for our purposes.
+//
+// Beyond the paper's fabric, the collective zoo (DESIGN.md §17) needs
+// fabrics where different allreduce algorithms win: a 2D torus (Sony's
+// "Massively Distributed SGD" platform), a dragonfly (one global link
+// between any two groups), and an oversubscribed fat-tree (leaf↔spine
+// capacity a fraction of the host injection rate). All of them present
+// the same `Topology` interface to the flow simulator, the contention
+// estimator, and slow-link detection.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,8 +30,54 @@ struct Link {
   double latency_s = 0.0;      ///< propagation + switch latency
 };
 
+/// Abstract fabric: a set of directed links plus deterministic routing.
+/// Everything the flow simulator and its consumers need; concrete
+/// fabrics only add construction-time configuration.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Fabric family name ("fattree", "torus", "dragonfly").
+  virtual std::string kind() const = 0;
+
+  virtual int hosts() const = 0;
+  virtual int num_links() const = 0;
+  virtual const Link& link(int id) const = 0;
+
+  /// Directed route for a flow from rank `src` to rank `dst`.
+  /// `flow_seed` picks among equal-cost paths the way ECMP hashing
+  /// would; the same seed always yields the same path.
+  virtual std::vector<int> route(int src, int dst,
+                                 std::uint64_t flow_seed) const = 0;
+
+  /// Degrade (or boost) one directed link's capacity by `factor` — the
+  /// netsim analogue of a flaky cable or a congested switch port. Used
+  /// by the telemetry tests to plant a known bottleneck.
+  virtual void scale_link(int id, double factor) = 0;
+
+  /// True for a host-attached (injection) link, false for an interior
+  /// fabric link. Anomaly detection compares links only within their
+  /// class, since the classes have independent nominal capacities.
+  virtual bool is_host_link(int id) const = 0;
+
+  /// Human-readable name, e.g. "host3.rail0.up" or "leaf1->spine2".
+  virtual std::string link_name(int id) const = 0;
+
+  /// Size of the fabric's natural locality group: hosts sharing a leaf
+  /// (fat-tree), one torus row, one dragonfly group. The hierarchical
+  /// and torus allreduce algorithms derive their grouping from this.
+  virtual int locality_group() const = 0;
+
+  /// Total propagation latency along a route.
+  double route_latency(const std::vector<int>& route) const {
+    double total = 0.0;
+    for (int id : route) total += link(id).latency_s;
+    return total;
+  }
+};
+
 /// Two-level fat-tree over `hosts` hosts.
-class FatTree {
+class FatTree final : public Topology {
  public:
   struct Config {
     int hosts = 16;
@@ -32,6 +87,11 @@ class FatTree {
     double host_link_gbps = 100.0;    ///< per rail, each direction
     double fabric_link_gbps = 100.0;  ///< leaf↔spine, each direction
     double link_latency_s = 1.0e-6;   ///< per hop
+    /// Leaf↔spine capacity divisor: 1.0 = full bisection, 4.0 = a 4:1
+    /// oversubscribed core (each fabric link runs at a quarter of its
+    /// nominal gbps). Models the cheap-core clusters where hierarchical
+    /// allreduce wins by keeping most traffic below the leaves.
+    double oversubscription = 1.0;
     /// Optional permutation: rank r lives on host mapping[r]. Empty =
     /// identity. Lets experiments study "arbitrarily mapped" ranks
     /// (paper §4.2 observes good utilisation either way).
@@ -40,30 +100,18 @@ class FatTree {
 
   explicit FatTree(Config cfg);
 
-  int hosts() const { return cfg_.hosts; }
-  int num_links() const { return static_cast<int>(links_.size()); }
-  const Link& link(int id) const { return links_[static_cast<std::size_t>(id)]; }
-
-  /// Directed route for a flow from rank `src` to rank `dst`.
-  /// `flow_seed` picks among equal-cost paths (rail and spine) the way
-  /// ECMP hashing would; the same seed always yields the same path.
-  std::vector<int> route(int src, int dst, std::uint64_t flow_seed) const;
-
-  /// Total propagation latency along a route.
-  double route_latency(const std::vector<int>& route) const;
-
-  /// Degrade (or boost) one directed link's capacity by `factor` — the
-  /// netsim analogue of a flaky cable or a congested switch port. Used
-  /// by the telemetry tests to plant a known bottleneck.
-  void scale_link(int id, double factor);
-
-  /// True for a host↔leaf rail link (false: leaf↔spine fabric link).
-  /// Anomaly detection compares links only within their class, since
-  /// the two classes have independent nominal capacities.
-  bool is_host_link(int id) const;
-
-  /// Human-readable name, e.g. "host3.rail0.up" or "leaf1->spine2".
-  std::string link_name(int id) const;
+  std::string kind() const override { return "fattree"; }
+  int hosts() const override { return cfg_.hosts; }
+  int num_links() const override { return static_cast<int>(links_.size()); }
+  const Link& link(int id) const override {
+    return links_[static_cast<std::size_t>(id)];
+  }
+  std::vector<int> route(int src, int dst,
+                         std::uint64_t flow_seed) const override;
+  void scale_link(int id, double factor) override;
+  bool is_host_link(int id) const override;
+  std::string link_name(int id) const override;
+  int locality_group() const override { return cfg_.hosts_per_leaf; }
 
   const Config& config() const { return cfg_; }
 
@@ -83,5 +131,118 @@ class FatTree {
   int leaves_ = 0;
   std::vector<Link> links_;
 };
+
+/// 2D torus: host (r, c) of an R×C grid links to its four neighbours
+/// with wraparound (the Sony/Tofu-style fabric where the 2D-torus
+/// allreduce is the native collective). Routing is dimension-order —
+/// columns first, then rows — taking the shorter wrap direction; ties
+/// break on the flow seed.
+class Torus2D final : public Topology {
+ public:
+  struct Config {
+    int rows = 4;
+    int cols = 4;
+    double link_gbps = 100.0;
+    double link_latency_s = 1.0e-6;
+  };
+
+  explicit Torus2D(Config cfg);
+
+  std::string kind() const override { return "torus"; }
+  int hosts() const override { return cfg_.rows * cfg_.cols; }
+  int num_links() const override { return static_cast<int>(links_.size()); }
+  const Link& link(int id) const override {
+    return links_[static_cast<std::size_t>(id)];
+  }
+  std::vector<int> route(int src, int dst,
+                         std::uint64_t flow_seed) const override;
+  void scale_link(int id, double factor) override;
+  /// Every torus link attaches to a host; there is no separate fabric
+  /// class.
+  bool is_host_link(int) const override { return true; }
+  std::string link_name(int id) const override;
+  int locality_group() const override { return cfg_.cols; }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  // Link id layout: 4 directed links per host, id = host*4 + dir with
+  // dir ∈ {+col=0, -col=1, +row=2, -row=3}.
+  enum Dir { kColUp = 0, kColDown = 1, kRowUp = 2, kRowDown = 3 };
+  int link_id(int host, int dir) const { return host * 4 + dir; }
+
+  Config cfg_;
+  std::vector<Link> links_;
+};
+
+/// Dragonfly: `groups` groups of `hosts_per_group` hosts, each group
+/// collapsed into one router; routers are all-to-all connected by
+/// single global links. Minimal routing: host → own router → (global
+/// link) → destination router → host. The single global link between a
+/// group pair is the choke point hierarchical schemes route around.
+class Dragonfly final : public Topology {
+ public:
+  struct Config {
+    int groups = 4;
+    int hosts_per_group = 4;
+    double host_link_gbps = 100.0;
+    double global_link_gbps = 100.0;
+    double link_latency_s = 1.0e-6;
+  };
+
+  explicit Dragonfly(Config cfg);
+
+  std::string kind() const override { return "dragonfly"; }
+  int hosts() const override { return cfg_.groups * cfg_.hosts_per_group; }
+  int num_links() const override { return static_cast<int>(links_.size()); }
+  const Link& link(int id) const override {
+    return links_[static_cast<std::size_t>(id)];
+  }
+  std::vector<int> route(int src, int dst,
+                         std::uint64_t flow_seed) const override;
+  void scale_link(int id, double factor) override;
+  bool is_host_link(int id) const override { return id < hosts() * 2; }
+  std::string link_name(int id) const override;
+  int locality_group() const override { return cfg_.hosts_per_group; }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  // Link id layout: host h up (h→router) = h*2, down = h*2+1; then the
+  // directed global links, base + g*(groups-1) + index of the peer
+  // among g's peers (peers in ascending order, skipping g itself).
+  int host_link(int host, bool up) const { return host * 2 + (up ? 0 : 1); }
+  int global_link(int from_group, int to_group) const;
+
+  Config cfg_;
+  std::vector<Link> links_;
+};
+
+/// Factory configuration covering every fabric family. `kind` selects:
+///   "fattree"          full-bisection two-level fat-tree
+///   "fattree_oversub"  same tree with `oversubscription` applied
+///   "torus"            near-square 2D torus (or rows×cols when set)
+///   "dragonfly"        all-to-all groups of `dragonfly_group` hosts
+struct TopologyConfig {
+  std::string kind = "fattree";
+  int hosts = 16;
+  double link_gbps = 100.0;
+  double link_latency_s = 1.0e-6;
+  // Fat-tree shape.
+  int hosts_per_leaf = 4;
+  int spines = 4;
+  int rails = 2;
+  double oversubscription = 4.0;  ///< used by "fattree_oversub" only
+  // Torus shape: 0 = derive a near-square grid from `hosts`.
+  int torus_cols = 0;
+  // Dragonfly shape.
+  int dragonfly_group = 4;
+};
+
+/// Build a fabric by family name. Throws CheckError for unknown kinds.
+std::unique_ptr<Topology> make_topology(const TopologyConfig& cfg);
+
+/// The factory's known `kind` spellings (CLI validation / help).
+std::vector<std::string> topology_kinds();
 
 }  // namespace dct::netsim

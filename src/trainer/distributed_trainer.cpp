@@ -121,6 +121,11 @@ void DistributedTrainer::init_model_stack() {
                                                 cfg_.gpus_per_node, cfg_.seed);
   }
   allreduce_ = allreduce::make_algorithm(cfg_.allreduce);
+  if (cfg_.autotune) {
+    // The warmup replaces the configured algorithm for its first steps;
+    // on commit the winner is adopted into cfg_.allreduce for good.
+    tuner_ = std::make_unique<allreduce::Tuner>(cfg_.tuner);
+  }
 }
 
 void DistributedTrainer::init_donkey_stack() {
@@ -139,22 +144,32 @@ void DistributedTrainer::init_donkey_stack() {
       cfg_.prefetch_depth);
 }
 
-void DistributedTrainer::rebuild_comm_stack() {
-  if (cfg_.comm.enabled()) {
-    // Bucketed / overlapped / compressed gradient reduction. Collective
-    // when overlapping (the GradComm ctor dup()s the communicator for
-    // its progress thread), which is fine: every rank reaches this at
-    // the same program point (construction, shrink_to, or grow_sync).
-    const auto segments = table_->replica(0).layer_param_counts();
-    gradcomm_ = std::make_unique<comm::GradComm>(
-        comm_, *allreduce_, cfg_.comm,
-        std::span<const std::size_t>(segments));
-    if (gradcomm_->overlap_enabled()) {
-      table_->set_grad_ready_hook([this](std::size_t lo, std::size_t hi) {
-        gradcomm_->on_range_ready(lo, hi);
-      });
-    }
+void DistributedTrainer::rebuild_gradcomm() {
+  if (!cfg_.comm.enabled()) return;
+  // During a tuner warmup the GradComm stays down: trials must measure
+  // the candidate collective itself, through the blocking chunked path,
+  // and the eventual winner may carry its own bucket size. Every rank
+  // adopts the commit at the same step, so the deferred (collective)
+  // construction below still happens in lockstep.
+  if (tuner_ != nullptr && !tuner_adopted_) return;
+  // Bucketed / overlapped / compressed gradient reduction. Collective
+  // when overlapping (the GradComm ctor dup()s the communicator for
+  // its progress thread), which is fine: every rank reaches this at
+  // the same program point (construction, shrink_to, grow_sync, or
+  // autotune commit).
+  const auto segments = table_->replica(0).layer_param_counts();
+  gradcomm_ = std::make_unique<comm::GradComm>(
+      comm_, *allreduce_, cfg_.comm,
+      std::span<const std::size_t>(segments));
+  if (gradcomm_->overlap_enabled()) {
+    table_->set_grad_ready_hook([this](std::size_t lo, std::size_t hi) {
+      gradcomm_->on_range_ready(lo, hi);
+    });
   }
+}
+
+void DistributedTrainer::rebuild_comm_stack() {
+  rebuild_gradcomm();
   if (cfg_.telemetry.enabled) {
     // Collective (the plane dup()s the communicator for its engine).
     telemetry_ = std::make_unique<comm::TelemetryPlane>(comm_,
@@ -182,6 +197,46 @@ void DistributedTrainer::rebuild_comm_stack() {
       }
     }
   }
+}
+
+allreduce::Algorithm& DistributedTrainer::tuner_algo(
+    const std::string& name) {
+  auto it = tuner_algos_.find(name);
+  if (it == tuner_algos_.end()) {
+    it = tuner_algos_.emplace(name, allreduce::make_algorithm(name)).first;
+  }
+  return *it->second;
+}
+
+std::uint64_t DistributedTrainer::autotune_step(std::span<float> grads) {
+  using clock = std::chrono::steady_clock;
+  const auto choice = tuner_->next(grads.size());
+  allreduce::RankTraffic traffic;
+  const auto start = clock::now();
+  if (!choice.ends.empty()) {
+    allreduce::run_chunked(tuner_algo(choice.candidate.algo), comm_, grads,
+                           choice.ends, &traffic);
+  }
+  if (choice.measuring) {
+    tuner_->record(choice,
+                   std::chrono::duration<double>(clock::now() - start)
+                       .count());
+  }
+  // Collective: the payload size (hence the class and the candidate
+  // rotation) is identical on every rank, so all ranks reach the same
+  // commit decision at the same step.
+  const bool committed_now = tuner_->maybe_commit(comm_);
+  if (committed_now || !choice.measuring) {
+    const allreduce::TuneCandidate* won =
+        tuner_->committed_candidate(grads.size());
+    DCT_CHECK(won != nullptr);
+    cfg_.allreduce = won->algo;
+    allreduce_ = allreduce::make_algorithm(won->algo);
+    if (won->bucket_bytes > 0) cfg_.comm.bucket_bytes = won->bucket_bytes;
+    tuner_adopted_ = true;
+    rebuild_gradcomm();  // collective when overlapping — lockstep commit
+  }
+  return traffic.bytes_sent;
 }
 
 void DistributedTrainer::quiesce() {
@@ -606,6 +661,10 @@ StepMetrics DistributedTrainer::step() {
     if (gradcomm_ != nullptr) {
       const auto cs = gradcomm_->finish();
       metrics.comm_bytes = cs.wire_bytes;
+    } else if (tuner_ != nullptr && !tuner_adopted_) {
+      // Autotune warmup: run (and time) this step's candidate through
+      // the blocking chunked path; adopts the winner on commit.
+      metrics.comm_bytes = autotune_step(grads);
     } else {
       allreduce::RankTraffic traffic;
       allreduce_->run(comm_, grads, &traffic);

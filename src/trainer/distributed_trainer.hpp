@@ -12,11 +12,13 @@
 // iterations (paper §4.1).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "allreduce/algorithm.hpp"
+#include "allreduce/autotune.hpp"
 #include "comm/overlap.hpp"
 #include "comm/telemetry.hpp"
 #include "data/dimd.hpp"
@@ -51,6 +53,17 @@ struct TrainerConfig {
   /// gradient and the loss, skipping anomalous updates and escalating
   /// per the skip → rollback → quarantine ladder.
   HealthConfig health;
+
+  /// Online allreduce autotuning (DESIGN.md §17). When true the first
+  /// steps round-robin candidate (algorithm, chunking) configurations
+  /// through the blocking gradient path, measure each, and commit the
+  /// cross-rank-consensus argmin for the gradient payload's size class.
+  /// On commit the winner replaces `allreduce` (and, when it carries a
+  /// bucket size, comm.bucket_bytes) and the bucketed pipeline is built
+  /// over it; the GradComm stays down during warmup so trials measure
+  /// the candidate, not the pipeline.
+  bool autotune = false;
+  allreduce::TunerConfig tuner;
 
   data::DatasetDef dataset;
   data::DimdConfig dimd;          ///< dimd.groups etc.
@@ -219,6 +232,11 @@ class DistributedTrainer {
   bool cede_feasible(int k) const;
 
   dpt::DataParallelTable& table() { return *table_; }
+  /// Online allreduce tuner, or null when cfg.autotune is false.
+  const allreduce::Tuner* tuner() const { return tuner_.get(); }
+  /// Algorithm name currently driving the gradient reduction (reflects
+  /// the tuner's committed choice once adopted).
+  const std::string& allreduce_name() const { return cfg_.allreduce; }
   /// Telemetry plane, or null when cfg.telemetry.enabled is false (or
   /// the plane was quiesced and not yet rebuilt).
   comm::TelemetryPlane* telemetry_plane() { return telemetry_.get(); }
@@ -252,6 +270,23 @@ class DistributedTrainer {
   /// starts with a clean suspicion slate and CRC baseline, so a healed
   /// world cannot instantly re-evict a revived origin on stale counts.
   void rebuild_comm_stack();
+
+  /// GradComm half of rebuild_comm_stack, also called on autotune
+  /// commit. No-op while a tuner warmup is still in flight (the warmup
+  /// measures candidates through the blocking path) or when cfg.comm is
+  /// all-default.
+  void rebuild_gradcomm();
+
+  /// One warmup trial of the autotuner: run the chosen candidate over
+  /// the gradient payload through the blocking chunked path, record the
+  /// wall time, and on cross-rank commit adopt the winner (swap
+  /// cfg_.allreduce / allreduce_, fold a winning bucket size into
+  /// cfg_.comm, build the GradComm). Returns bytes sent.
+  std::uint64_t autotune_step(std::span<float> grads);
+
+  /// Candidate algorithm instances, built once per distinct name so a
+  /// warmup does not re-parse registry names every step.
+  allreduce::Algorithm& tuner_algo(const std::string& name);
 
   /// Ranks of the original world this run started from (origin space):
   /// live origins + dead slots. Scoreboard dimensioning.
@@ -294,6 +329,11 @@ class DistributedTrainer {
   std::unique_ptr<dpt::DataParallelTable> table_;
   std::unique_ptr<allreduce::Algorithm> allreduce_;
   std::unique_ptr<comm::GradComm> gradcomm_;  ///< null = legacy path
+  /// Online tuner (null unless cfg.autotune). `tuner_adopted_` flips
+  /// once the gradient payload's class commits and the winner is live.
+  std::unique_ptr<allreduce::Tuner> tuner_;
+  bool tuner_adopted_ = false;
+  std::map<std::string, std::unique_ptr<allreduce::Algorithm>> tuner_algos_;
   std::unique_ptr<comm::TelemetryPlane> telemetry_;  ///< null = disabled
   std::unique_ptr<data::DimdStore> dimd_;
   std::unique_ptr<data::RecordFile> record_file_;

@@ -115,7 +115,8 @@ std::vector<Case> all_cases() {
       "naive",      "recursive_halving", "openmpi_default",
       "ring",       "multicolor",        "multicolor1",
       "multicolor2", "multiring",        "multiring2",
-      "bucket_ring"};
+      "bucket_ring", "halving_doubling", "hierarchical",
+      "hierarchical:2", "torus",         "torus:4"};
   for (const auto& a : algos) {
     for (int p : {1, 2, 3, 4, 5, 7, 8, 12, 16}) {
       for (std::size_t n : {std::size_t{1}, std::size_t{13},
@@ -175,8 +176,11 @@ TEST_P(AllreduceP, SumsMatchReference) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, AllreduceP, ::testing::ValuesIn(all_cases()),
     [](const ::testing::TestParamInfo<Case>& info) {
-      return info.param.algo + "_p" + std::to_string(info.param.ranks) + "_n" +
-             std::to_string(info.param.elems);
+      std::string name = info.param.algo + "_p" +
+                         std::to_string(info.param.ranks) + "_n" +
+                         std::to_string(info.param.elems);
+      std::replace(name.begin(), name.end(), ':', '_');
+      return name;
     });
 
 TEST(Allreduce, ExactForIntegers) {

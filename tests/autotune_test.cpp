@@ -1,0 +1,307 @@
+// Autotuner tests (DESIGN.md §17): deterministic commits, cross-rank
+// consensus, convergence within the warmup window, and agreement with
+// an exhaustive offline sweep of modeled step times.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "allreduce/autotune.hpp"
+#include "netsim/cluster.hpp"
+#include "simmpi/runtime.hpp"
+#include "trainer/distributed_trainer.hpp"
+
+namespace dct::allreduce {
+namespace {
+
+std::vector<TuneCandidate> three_candidates() {
+  return {{"naive", 1, 0}, {"halving_doubling", 1, 0}, {"bucket_ring", 4, 0}};
+}
+
+TEST(Autotune, PayloadClassIsPow2Ceiling) {
+  EXPECT_EQ(Tuner::payload_class(1), 1024u);
+  EXPECT_EQ(Tuner::payload_class(1024), 1024u);
+  EXPECT_EQ(Tuner::payload_class(1025), 2048u);
+  EXPECT_EQ(Tuner::payload_class(3 << 20), std::size_t{4} << 20);
+}
+
+TEST(Autotune, ChunkEndsCoverPayload) {
+  TuneCandidate c{"naive", 4, 0};
+  const auto ends = Tuner::chunk_ends(1000, c);
+  ASSERT_EQ(ends.size(), 4u);
+  EXPECT_EQ(ends.back(), 1000u);
+  TuneCandidate b{"naive", 1, 512};  // 512 B buckets → 128 floats
+  const auto bends = Tuner::chunk_ends(1000, b);
+  ASSERT_EQ(bends.size(), 8u);
+  EXPECT_EQ(bends.front(), 128u);
+  EXPECT_EQ(bends.back(), 1000u);
+  EXPECT_TRUE(Tuner::chunk_ends(0, c).empty());
+}
+
+TEST(Autotune, RoundRobinsThenCommitsArgmin) {
+  TunerConfig cfg;
+  cfg.candidates = three_candidates();
+  cfg.trials_per_candidate = 2;
+  const std::size_t elems = 4096;
+  // Synthetic costs: candidate 1 is the cheapest.
+  const std::vector<double> cost{3e-3, 1e-3, 2e-3};
+  simmpi::Runtime::execute(4, [&](simmpi::Communicator& comm) {
+    Tuner tuner(cfg);
+    int measured = 0;
+    while (true) {
+      auto choice = tuner.next(elems);
+      if (!choice.measuring) break;
+      ++measured;
+      tuner.record(choice,
+                   cost[static_cast<std::size_t>(choice.candidate_index)]);
+      if (tuner.maybe_commit(comm)) break;
+      ASSERT_LT(measured, 100) << "tuner failed to converge";
+    }
+    // Converged within the warmup budget: candidates × trials steps.
+    EXPECT_EQ(measured, 3 * cfg.trials_per_candidate);
+    ASSERT_TRUE(tuner.committed(elems));
+    EXPECT_EQ(tuner.committed_candidate(elems)->algo, "halving_doubling");
+    // Post-commit choices are the winner, unmeasured.
+    auto after = tuner.next(elems);
+    EXPECT_FALSE(after.measuring);
+    EXPECT_EQ(after.candidate.algo, "halving_doubling");
+  });
+}
+
+TEST(Autotune, RanksWithDivergentMeasurementsCommitIdentically) {
+  // Each rank sees different wall-clock noise — even contradictory
+  // orderings — yet the max-consensus must land every rank on the same
+  // winner. Rank r measures candidate i at (1 + i + r·((i·7) % 3)) ms:
+  // per-rank argmins differ, the max over ranks is what counts.
+  TunerConfig cfg;
+  cfg.candidates = three_candidates();
+  cfg.trials_per_candidate = 1;
+  const std::size_t elems = 1024;
+  std::vector<std::string> winner(8);
+  simmpi::Runtime::execute(8, [&](simmpi::Communicator& comm) {
+    Tuner tuner(cfg);
+    while (true) {
+      auto choice = tuner.next(elems);
+      if (!choice.measuring) break;
+      const int i = choice.candidate_index;
+      const double ms = 1.0 + i + comm.rank() * ((i * 7) % 3);
+      tuner.record(choice, ms * 1e-3);
+      if (tuner.maybe_commit(comm)) break;
+    }
+    ASSERT_TRUE(tuner.committed(elems));
+    winner[static_cast<std::size_t>(comm.rank())] =
+        tuner.committed_candidate(elems)->algo;
+  });
+  for (int r = 1; r < 8; ++r) {
+    EXPECT_EQ(winner[static_cast<std::size_t>(r)], winner[0]);
+  }
+}
+
+TEST(Autotune, DeterministicAcrossRuns) {
+  // Same measured costs → same committed config, run after run.
+  TunerConfig cfg;
+  cfg.candidates = Tuner::default_candidates();
+  cfg.trials_per_candidate = 1;
+  auto run_once = [&]() {
+    std::string committed;
+    simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+      Tuner tuner(cfg);
+      while (true) {
+        auto choice = tuner.next(2048);
+        if (!choice.measuring) break;
+        // Deterministic pseudo-cost derived from the candidate shape.
+        const double s = 1e-3 * (1.0 + (choice.candidate.algo.size() * 13 +
+                                        choice.candidate.chunks) %
+                                           7);
+        tuner.record(choice, s);
+        if (tuner.maybe_commit(comm)) break;
+      }
+      if (comm.rank() == 0) {
+        committed = tuner.committed_candidate(2048)->label();
+      }
+    });
+    return committed;
+  };
+  const auto first = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(run_once(), first);
+  EXPECT_EQ(run_once(), first);
+}
+
+TEST(Autotune, ClassesTuneIndependently) {
+  TunerConfig cfg;
+  cfg.candidates = three_candidates();
+  cfg.trials_per_candidate = 1;
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    Tuner tuner(cfg);
+    // Small payloads: candidate 0 cheap. Large payloads: candidate 2.
+    for (const std::size_t elems : {std::size_t{256}, std::size_t{1} << 20}) {
+      while (true) {
+        auto choice = tuner.next(elems);
+        if (!choice.measuring) break;
+        const bool small = elems <= 256;
+        const int i = choice.candidate_index;
+        const double s = small ? (i == 0 ? 1.0 : 5.0) : (i == 2 ? 1.0 : 5.0);
+        tuner.record(choice, s * 1e-3);
+        if (tuner.maybe_commit(comm)) break;
+      }
+    }
+    EXPECT_EQ(tuner.committed_candidate(256)->algo, "naive");
+    EXPECT_EQ(tuner.committed_candidate(std::size_t{1} << 20)->algo,
+              "bucket_ring");
+    EXPECT_EQ(tuner.decisions().size(), 2u);
+    // The decision table renders one row per class.
+    const auto rendered = tuner.decision_table().to_string("autotune");
+    EXPECT_NE(rendered.find("committed"), std::string::npos);
+  });
+}
+
+TEST(Autotune, CommittedConfigMatchesExhaustiveModeledSweep) {
+  // Acceptance criterion (ISSUE 10): feed the tuner the netsim-modeled
+  // per-step costs — the same numbers `dctrain plan` sweeps
+  // exhaustively — and the committed config's modeled time must be
+  // within 5% of the best fixed configuration, on both a fat-tree and a
+  // torus fabric.
+  const std::uint64_t payload = std::uint64_t{8} << 20;
+  const std::size_t elems = payload / sizeof(float);
+  TunerConfig tcfg;
+  for (const char* a : {"naive", "recursive_halving", "halving_doubling",
+                        "hierarchical", "torus", "bucket_ring", "ring",
+                        "multicolor"}) {
+    tcfg.candidates.push_back({a, 1, 0});
+  }
+  tcfg.trials_per_candidate = 1;
+  for (const std::string topo : {"fattree", "torus"}) {
+    netsim::ClusterConfig cfg;
+    cfg.nodes = 16;
+    cfg.topology = topo;
+    std::vector<double> modeled;
+    double best = 0.0;
+    for (const auto& c : tcfg.candidates) {
+      const double t = netsim::allreduce_time_s(cfg, c.algo, payload);
+      ASSERT_GT(t, 0.0) << topo << " " << c.algo;
+      modeled.push_back(t);
+      if (best == 0.0 || t < best) best = t;
+    }
+    simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+      Tuner tuner(tcfg);
+      while (true) {
+        auto choice = tuner.next(elems);
+        if (!choice.measuring) break;
+        tuner.record(
+            choice, modeled[static_cast<std::size_t>(choice.candidate_index)]);
+        if (tuner.maybe_commit(comm)) break;
+      }
+      const TuneCandidate* won = tuner.committed_candidate(elems);
+      ASSERT_NE(won, nullptr) << topo;
+      const double committed_t =
+          netsim::allreduce_time_s(cfg, won->algo, payload);
+      EXPECT_LE(committed_t, best * 1.05)
+          << topo << ": committed " << won->algo << " at " << committed_t
+          << "s vs best fixed " << best << "s";
+    });
+  }
+}
+
+TEST(Autotune, TrainerWarmupPreservesTrajectoryAndCommits) {
+  // Wired into DistributedTrainer: a warmup whose candidates are all
+  // bit-identical to naive must leave the parameter trajectory exactly
+  // equal to a fixed naive run, and every rank must end up on the same
+  // committed algorithm driving subsequent steps.
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 2;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.seed = 11;
+  cfg.dataset.images = 64;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.base_lr = 0.02;
+  cfg.seed = 5;
+  cfg.allreduce = "naive";
+
+  auto tuned = cfg;
+  tuned.autotune = true;
+  for (const char* a : {"naive", "halving_doubling", "hierarchical",
+                        "torus"}) {
+    tuned.tuner.candidates.push_back({a, 1, 0});
+  }
+  tuned.tuner.trials_per_candidate = 1;
+
+  const int steps = 6;  // 4 warmup trials + 2 committed steps
+  std::vector<float> fixed_params;
+  simmpi::Runtime::execute(3, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    for (int i = 0; i < steps; ++i) trainer.step();
+    if (comm.rank() == 0) fixed_params = trainer.snapshot_params();
+  });
+
+  std::vector<std::string> committed(3);
+  std::vector<float> tuned_params;
+  simmpi::Runtime::execute(3, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, tuned);
+    ASSERT_NE(trainer.tuner(), nullptr);
+    std::uint64_t warmup_bytes = 0;
+    for (int i = 0; i < steps; ++i) {
+      warmup_bytes += trainer.step().comm_bytes;
+    }
+    EXPECT_GT(warmup_bytes, 0u);
+    const auto decisions = trainer.tuner()->decisions();
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_TRUE(decisions[0].committed)
+        << "warmup must finish within " << steps << " steps";
+    committed[static_cast<std::size_t>(comm.rank())] =
+        trainer.allreduce_name();
+    if (comm.rank() == 0) tuned_params = trainer.snapshot_params();
+  });
+
+  for (int r = 1; r < 3; ++r) {
+    EXPECT_EQ(committed[static_cast<std::size_t>(r)], committed[0]);
+  }
+  // The committed winner replaced the configured algorithm.
+  EXPECT_NE(committed[0], "");
+  // All candidates are bit-identical to naive, so tuning is free:
+  // exactly the fixed-naive parameters.
+  EXPECT_EQ(tuned_params, fixed_params);
+}
+
+TEST(Autotune, TrainerAdoptsWinningBucketSizeIntoGradComm) {
+  // A winner that carries a bucket size must flip the trainer onto the
+  // bucketed GradComm pipeline after commit (visible as continued
+  // stepping with comm bytes flowing — the pipeline path is exercised
+  // post-commit because cfg.comm becomes enabled).
+  trainer::TrainerConfig cfg;
+  cfg.model.classes = 4;
+  cfg.model.image = 8;
+  cfg.gpus_per_node = 1;
+  cfg.batch_per_gpu = 2;
+  cfg.dataset.seed = 3;
+  cfg.dataset.images = 32;
+  cfg.dataset.classes = 4;
+  cfg.dataset.image = data::ImageDef{3, 8, 8};
+  cfg.seed = 9;
+  cfg.autotune = true;
+  cfg.tuner.candidates = {{"halving_doubling", 1, 16 * 1024}};
+  cfg.tuner.trials_per_candidate = 1;
+  simmpi::Runtime::execute(2, [&](simmpi::Communicator& comm) {
+    trainer::DistributedTrainer trainer(comm, cfg);
+    std::uint64_t post_commit_bytes = 0;
+    for (int i = 0; i < 3; ++i) {
+      const auto m = trainer.step();
+      if (i > 0) post_commit_bytes += m.comm_bytes;
+    }
+    EXPECT_TRUE(trainer.tuner()->decisions()[0].committed);
+    EXPECT_EQ(trainer.allreduce_name(), "halving_doubling");
+    EXPECT_GT(post_commit_bytes, 0u);
+    // Ranks still agree on the model.
+    auto mine = trainer.snapshot_params();
+    auto reference = mine;
+    comm.bcast(std::span<float>(reference), 0);
+    EXPECT_EQ(mine, reference);
+  });
+}
+
+}  // namespace
+}  // namespace dct::allreduce

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "netsim/anomaly.hpp"
 #include "netsim/cluster.hpp"
@@ -62,6 +63,109 @@ TEST(Topology, MappingRelocatesRanks) {
   EXPECT_EQ(net.route(0, 1, 0).size(), 2u);
   // Ranks 0 and 3 live on hosts 3 and 0 → cross leaf → 4 hops.
   EXPECT_EQ(net.route(0, 3, 0).size(), 4u);
+}
+
+TEST(Topology, TorusRoutesAreDimensionOrder) {
+  Torus2D::Config cfg;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  const Torus2D net(cfg);
+  EXPECT_EQ(net.hosts(), 16);
+  EXPECT_EQ(net.kind(), "torus");
+  EXPECT_EQ(net.locality_group(), 4);
+  // One hop to a column neighbour, wrap included: (0,0) → (0,3) is one
+  // hop the short way around.
+  EXPECT_EQ(net.route(0, 1, 0).size(), 1u);
+  EXPECT_EQ(net.route(0, 3, 0).size(), 1u);
+  // (0,0) → (2,2): 2 column hops + 2 row hops.
+  EXPECT_EQ(net.route(0, 10, 0).size(), 4u);
+  // Deterministic per seed; the half-way tie can differ across seeds.
+  EXPECT_EQ(net.route(0, 10, 7), net.route(0, 10, 7));
+  // Route must stay loop-free: no repeated links.
+  const auto r = net.route(5, 12, 3);
+  std::set<int> unique_links(r.begin(), r.end());
+  EXPECT_EQ(unique_links.size(), r.size());
+}
+
+TEST(Topology, DragonflyRoutesUseOneGlobalHop) {
+  Dragonfly::Config cfg;
+  cfg.groups = 4;
+  cfg.hosts_per_group = 4;
+  const Dragonfly net(cfg);
+  EXPECT_EQ(net.hosts(), 16);
+  // Intra-group: up + down.
+  EXPECT_EQ(net.route(0, 1, 0).size(), 2u);
+  // Inter-group: up + global + down.
+  EXPECT_EQ(net.route(0, 5, 0).size(), 3u);
+  // The middle hop of an inter-group route is a global (fabric) link.
+  const auto r = net.route(0, 5, 0);
+  EXPECT_TRUE(net.is_host_link(r.front()));
+  EXPECT_FALSE(net.is_host_link(r[1]));
+  EXPECT_TRUE(net.is_host_link(r.back()));
+}
+
+TEST(Topology, OversubscribedFatTreeStarvesTheCore) {
+  FatTree::Config cfg;
+  cfg.hosts = 8;
+  cfg.hosts_per_leaf = 4;
+  cfg.spines = 2;
+  cfg.rails = 1;
+  cfg.oversubscription = 4.0;
+  const FatTree net(cfg);
+  // Host links keep full capacity; fabric links run at 1/4.
+  double host_bw = 0.0, fabric_bw = 0.0;
+  for (int l = 0; l < net.num_links(); ++l) {
+    if (net.is_host_link(l)) {
+      host_bw = net.link(l).bandwidth_Bps;
+    } else {
+      fabric_bw = net.link(l).bandwidth_Bps;
+    }
+  }
+  EXPECT_NEAR(fabric_bw, host_bw / 4.0, 1.0);
+}
+
+TEST(Topology, FactoryBuildsEveryKind) {
+  for (const auto& kind : topology_kinds()) {
+    TopologyConfig cfg;
+    cfg.kind = kind;
+    cfg.hosts = 16;
+    const auto net = make_topology(cfg);
+    ASSERT_NE(net, nullptr) << kind;
+    EXPECT_EQ(net->hosts(), 16) << kind;
+    EXPECT_GT(net->num_links(), 0) << kind;
+    EXPECT_GT(net->locality_group(), 0) << kind;
+    // Every pair routes, and route links are in range.
+    const auto r = net->route(0, 13, 1);
+    EXPECT_FALSE(r.empty()) << kind;
+    for (int id : r) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, net->num_links());
+    }
+  }
+  TopologyConfig bad;
+  bad.kind = "moebius";
+  EXPECT_THROW((void)make_topology(bad), CheckError);
+}
+
+TEST(Topology, SchedulesSimulateOnEveryFabric) {
+  // The zoo algorithms must price on every fabric kind — the crossover
+  // tables in `dctrain plan --topology` depend on it.
+  for (const auto& kind : topology_kinds()) {
+    TopologyConfig tc;
+    tc.kind = kind;
+    tc.hosts = 16;
+    const auto net = make_topology(tc);
+    AllreduceParams params;
+    params.payload_bytes = 1 << 20;
+    params.ranks = 16;
+    for (const char* algo : {"naive", "halving_doubling", "hierarchical",
+                             "torus", "bucket_ring", "multicolor"}) {
+      const auto schedule = allreduce_schedule(algo, params);
+      const auto result = simulate(*net, schedule, sim_options_for(algo));
+      EXPECT_GT(result.makespan_s, 0.0) << kind << " " << algo;
+      EXPECT_LE(result.max_link_utilization, 1.0 + 1e-6) << kind << " " << algo;
+    }
+  }
 }
 
 TEST(FlowSim, SingleFlowAtLineRate) {

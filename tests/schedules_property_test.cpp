@@ -64,13 +64,16 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values("ring", "bucket_ring", "multiring", "multicolor",
                           "multicolor2", "multicolor8", "recursive_halving",
-                          "naive"),
+                          "naive", "halving_doubling", "hierarchical",
+                          "hierarchical:8", "torus", "torus:2"),
         ::testing::Values(4, 8, 16, 27),
         ::testing::Values(std::uint64_t{2} << 20, std::uint64_t{16} << 20)),
     [](const ::testing::TestParamInfo<Param>& info) {
-      return std::get<0>(info.param) + "_n" +
-             std::to_string(std::get<1>(info.param)) + "_" +
-             std::to_string(std::get<2>(info.param) >> 20) + "MB";
+      std::string name = std::get<0>(info.param) + "_n" +
+                         std::to_string(std::get<1>(info.param)) + "_" +
+                         std::to_string(std::get<2>(info.param) >> 20) + "MB";
+      std::replace(name.begin(), name.end(), ':', '_');
+      return name;
     });
 
 TEST(ScheduleProperty, MulticolorBeatsSingleColorEverywhere) {

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency-heavy subsystems: builds the tree
 # under TSan and runs the `fault`, `simmpi`, `comm`, `elastic`, `obs`,
-# `chaos`, `kernels`, `sched`, and `integrity` ctest labels, repeats
-# the `comm` + `kernels` + `integrity` labels under ASan, and runs the
-# `fault` + `elastic` + `kernels` + `integrity` labels under UBSan.
+# `chaos`, `kernels`, `sched`, `integrity`, `allreduce`, and `autotune`
+# ctest labels, repeats the `comm` + `kernels` + `integrity` +
+# `allreduce` + `autotune` labels under ASan, and runs the `fault` +
+# `elastic` + `kernels` + `integrity` + `allreduce` + `autotune` labels
+# under UBSan. The collective zoo (allreduce label) and the online
+# tuner (autotune label) ride all three legs: every algorithm is
+# rank-threads exchanging buffers through the simmpi transport (TSan),
+# walking partner-offset block arithmetic over shared spans (ASan), and
+# doing bit-twiddled rank/mask index math (UBSan).
 # The SDC-defense tests (integrity label) ride all three legs: the
 # retransmit loop races the receiver deadline and the scoreboard
 # gossip (TSan), the envelope (de)serialization walks raw byte spans
@@ -59,33 +65,36 @@ cmake -B "${BUILD_DIR}" -S . -DDCTRAIN_SANITIZE="${SANITIZER}" \
 echo "== building sanitized test binaries"
 cmake --build "${BUILD_DIR}" -j --target \
   fault_test simmpi_test simmpi_stress_test comm_test elastic_test \
-  chaos_soak_test kernels_test telemetry_test sched_test integrity_test
+  chaos_soak_test kernels_test telemetry_test sched_test integrity_test \
+  allreduce_test allreduce_zoo_test autotune_test
 
-echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|chaos|kernels|sched|integrity' under ${SANITIZER} sanitizer"
-ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|chaos|kernels|sched|integrity" \
+echo "== running ctest -L 'fault|simmpi|comm|elastic|obs|chaos|kernels|sched|integrity|allreduce|autotune' under ${SANITIZER} sanitizer"
+ctest --test-dir "${BUILD_DIR}" -L "fault|simmpi|comm|elastic|obs|chaos|kernels|sched|integrity|allreduce|autotune" \
   --output-on-failure -j 4
 
 echo "== configuring ${ASAN_BUILD_DIR} with DCTRAIN_SANITIZE=address"
 cmake -B "${ASAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== building address-sanitized comm + kernels + integrity tests"
-cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test kernels_test integrity_test
+echo "== building address-sanitized comm + kernels + integrity + allreduce tests"
+cmake --build "${ASAN_BUILD_DIR}" -j --target comm_test kernels_test \
+  integrity_test allreduce_test allreduce_zoo_test autotune_test
 
-echo "== running ctest -L 'comm|kernels|integrity' under address sanitizer"
-ctest --test-dir "${ASAN_BUILD_DIR}" -L "comm|kernels|integrity" \
+echo "== running ctest -L 'comm|kernels|integrity|allreduce|autotune' under address sanitizer"
+ctest --test-dir "${ASAN_BUILD_DIR}" -L "comm|kernels|integrity|allreduce|autotune" \
   --output-on-failure -j 4
 
 echo "== configuring ${UBSAN_BUILD_DIR} with DCTRAIN_SANITIZE=undefined"
 cmake -B "${UBSAN_BUILD_DIR}" -S . -DDCTRAIN_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== building undefined-sanitized recovery + kernels + integrity tests"
+echo "== building undefined-sanitized recovery + kernels + integrity + allreduce tests"
 cmake --build "${UBSAN_BUILD_DIR}" -j --target \
-  fault_test elastic_test kernels_test integrity_test
+  fault_test elastic_test kernels_test integrity_test \
+  allreduce_test allreduce_zoo_test autotune_test
 
-echo "== running ctest -L 'fault|elastic|kernels|integrity' under undefined sanitizer"
-ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic|kernels|integrity" \
+echo "== running ctest -L 'fault|elastic|kernels|integrity|allreduce|autotune' under undefined sanitizer"
+ctest --test-dir "${UBSAN_BUILD_DIR}" -L "fault|elastic|kernels|integrity|allreduce|autotune" \
   --output-on-failure -j 4
 
 if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
@@ -93,9 +102,10 @@ if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
   echo "== configuring ${BENCH_BUILD_DIR} (Release) for the bench gate"
   cmake -B "${BENCH_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 
-  echo "== building bench_micro_kernels + bench_sched + bench_integrity + bench_gate"
+  echo "== building bench_micro_kernels + bench_sched + bench_integrity + bench_allreduce_zoo + bench_gate"
   cmake --build "${BENCH_BUILD_DIR}" -j --target \
-    bench_micro_kernels bench_sched bench_integrity bench_gate
+    bench_micro_kernels bench_sched bench_integrity bench_allreduce_zoo \
+    bench_gate
 
   echo "== running micro-kernel bench and diffing against bench/BENCH_kernels.json"
   # 5 repetitions: the gate merges them best-of (min time / max
@@ -153,6 +163,21 @@ if [[ "${DCTRAIN_SKIP_BENCH_GATE:-0}" != "1" ]]; then
     --fresh "${BENCH_BUILD_DIR}/bench_integrity_fresh.json" \
     --tolerance 0.20 \
     --skip 'BM_EnvelopeSendRecv|BM_TrainerStepIntegrity'
+
+  echo "== running collective-zoo bench and diffing against bench/BENCH_allreduce.json"
+  # The schedule-builder and modeled-time arms are single-threaded
+  # deterministic model code and gate stably at 3 repetitions; the
+  # 8-rank in-process execution arms swing with the thread scheduler
+  # like every other world-spawning arm and are excluded.
+  "${BENCH_BUILD_DIR}/bench/bench_allreduce_zoo" \
+    --benchmark_repetitions=3 \
+    --benchmark_out="${BENCH_BUILD_DIR}/bench_allreduce_fresh.json" \
+    --benchmark_out_format=json
+  "${BENCH_BUILD_DIR}/tools/bench_gate" \
+    --baseline bench/BENCH_allreduce.json \
+    --fresh "${BENCH_BUILD_DIR}/bench_allreduce_fresh.json" \
+    --tolerance 0.20 \
+    --skip 'BM_ZooAllreduceInProcess'
 fi
 
 echo "== sanitizer checks passed (${SANITIZER} + address + undefined)"

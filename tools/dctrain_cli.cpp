@@ -5,6 +5,7 @@
 //                     [--classes C] [--images D] [--baseline-dpt]
 //                     [--bucket-mb MB] [--compress none|fp16|int8-ef]
 //                     [--no-overlap] [--metrics-csv PATH]
+//                     [--autotune] [--autotune-trials N]
 //                     [--trace PATH]
 //                     [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //                     [--inject SPEC[;SPEC…]] [--deadline-ms MS]
@@ -31,7 +32,10 @@
 //   dctrain trace-report --trace PATH [--top N] [--critical-path]
 //   dctrain plan      [--model resnet50|googlenetbn] [--nodes N]
 //                     [--batch B] [--baseline]
+//                     [--topology fattree|fattree_oversub|torus|dragonfly]
+//                     [--oversub X] [--torus-cols C]  (crossover tables)
 //   dctrain allreduce [--algo NAME] [--nodes N] [--payload-mb P]
+//                     [--topology KIND] [--oversub X]
 //   dctrain shuffle   [--nodes N] [--dataset-gb G] [--groups K]
 //   dctrain dataset   [--blob PATH] [--index PATH] [--images D]
 //                     [--classes C] [--size S]
@@ -94,6 +98,12 @@ int cmd_train(const ArgParser& args) {
   cfg.gpus_per_node = static_cast<int>(args.get_int("gpus", 2));
   cfg.batch_per_gpu = args.get_int("batch", 8);
   cfg.allreduce = args.get("allreduce", "multicolor");
+  // Fail fast on a typo'd name — the registry error lists every known
+  // algorithm — instead of throwing inside the rank threads.
+  (void)allreduce::make_algorithm(cfg.allreduce);
+  cfg.autotune = args.has("autotune");
+  cfg.tuner.trials_per_candidate =
+      static_cast<int>(args.get_int("autotune-trials", 2));
   cfg.shuffle_every = static_cast<int>(args.get_int("shuffle-every", 8));
   cfg.optimized_dpt = !args.has("baseline-dpt");
   cfg.model.classes = static_cast<int>(args.get_int("classes", 10));
@@ -140,6 +150,14 @@ int cmd_train(const ArgParser& args) {
                 cfg.comm.overlap ? "on" : "off");
   } else {
     std::printf("gradient comm: monolithic blocking allreduce\n\n");
+  }
+  if (cfg.autotune) {
+    const std::size_t n = cfg.tuner.candidates.empty()
+                              ? allreduce::Tuner::default_candidates().size()
+                              : cfg.tuner.candidates.size();
+    std::printf("autotune: warming up %zu candidate config(s), %d trial(s) "
+                "each, then committing the cross-rank argmin\n\n",
+                n, cfg.tuner.trials_per_candidate);
   }
   if (!cfg.checkpoint_dir.empty()) {
     // Resilient path: checkpoint/rollback driver; survives --inject
@@ -210,6 +228,27 @@ int cmd_train(const ArgParser& args) {
         plane->aggregator()
             ->top_table(plane->detector())
             .print("cluster telemetry (final)");
+      }
+      if (comm.rank() == 0 && trainer.tuner() != nullptr) {
+        trainer.tuner()->decision_table().print("autotune decisions");
+        const auto decisions = trainer.tuner()->decisions();
+        const bool any_committed =
+            std::any_of(decisions.begin(), decisions.end(),
+                        [](const allreduce::TuneDecision& d) {
+                          return d.committed;
+                        });
+        if (any_committed) {
+          std::printf("committed allreduce: %s\n",
+                      trainer.allreduce_name().c_str());
+        } else {
+          std::printf("autotune warmup incomplete (%d trial(s) recorded; "
+                      "needs %zu candidate(s) x %d trial(s) per payload "
+                      "class) -- kept allreduce: %s\n",
+                      decisions.empty() ? 0 : decisions.front().trials,
+                      trainer.tuner()->candidates().size(),
+                      cfg.tuner.trials_per_candidate,
+                      trainer.allreduce_name().c_str());
+        }
       }
       if (comm.rank() == 0) {
         std::printf("\nheld-out top-1: %.1f %%\n",
@@ -402,6 +441,25 @@ int cmd_trace_report(const ArgParser& args) {
   obs::phase_table(obs::phase_breakdown(events))
       .print("per-rank step phase breakdown");
   obs::span_totals_table(events, top).print("busiest span labels");
+  // Autotune decisions captured in the trace: one "autotune.commit"
+  // instant per committed payload class per rank (every rank commits
+  // the same class at the same step — a count below the rank count
+  // flags a desynchronized tuner).
+  std::map<std::int64_t, int> commits;
+  for (const auto& ev : events) {
+    if (ev.kind == obs::ReportEvent::Kind::kInstant &&
+        ev.name == "autotune.commit") {
+      ++commits[ev.arg];
+    }
+  }
+  if (!commits.empty()) {
+    Table tuned({"payload class", "ranks committed"});
+    for (const auto& [bytes, n] : commits) {
+      tuned.add_row({format_bytes(static_cast<double>(bytes)),
+                     std::to_string(n)});
+    }
+    tuned.print("autotune commits");
+  }
   return 0;
 }
 
@@ -698,7 +756,79 @@ int cmd_cluster(const ArgParser& args) {
   return balanced ? 0 : 1;
 }
 
+/// `plan --topology KIND`: Fig. 5/6-style crossover tables — modeled
+/// allreduce time for every zoo algorithm across payload sizes on the
+/// chosen fabric, per-column winner starred, plus the offline tuner's
+/// pick per payload (the argmin the online tuner converges to when its
+/// measurements match the model).
+int cmd_plan_topology(const ArgParser& args) {
+  const std::string topo = args.get("topology", "fattree");
+  const auto kinds = netsim::topology_kinds();
+  if (std::find(kinds.begin(), kinds.end(), topo) == kinds.end()) {
+    std::string known;
+    for (const auto& k : kinds) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    std::fprintf(stderr, "unknown topology '%s' (known: %s)\n", topo.c_str(),
+                 known.c_str());
+    return 2;
+  }
+  netsim::ClusterConfig cluster;
+  cluster.nodes = static_cast<int>(args.get_int("nodes", 16));
+  cluster.topology = topo;
+  cluster.oversubscription = args.get_double("oversub", 4.0);
+  cluster.torus_cols = static_cast<int>(args.get_int("torus-cols", 0));
+
+  const std::vector<std::string> algos = {
+      "naive",        "recursive_halving", "halving_doubling",
+      "hierarchical", "torus",             "ring",
+      "multiring",    "bucket_ring",       "multicolor"};
+  const std::vector<std::uint64_t> payloads = {
+      std::uint64_t{256} << 10, std::uint64_t{1} << 20,
+      std::uint64_t{4} << 20,   std::uint64_t{16} << 20,
+      std::uint64_t{93} << 20};
+
+  std::vector<std::vector<double>> t(
+      algos.size(), std::vector<double>(payloads.size(), 0.0));
+  std::vector<std::size_t> winner(payloads.size(), 0);
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+      t[a][p] = netsim::allreduce_time_s(cluster, algos[a], payloads[p]);
+      if (t[a][p] < t[winner[p]][p]) winner[p] = a;
+    }
+  }
+
+  std::vector<std::string> headers{"algorithm"};
+  for (const auto p : payloads) {
+    headers.push_back(format_bytes(static_cast<double>(p)));
+  }
+  Table table(std::move(headers));
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    std::vector<std::string> row{algos[a]};
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+      row.push_back(Table::num(t[a][p] * 1e3, 3) +
+                    (winner[p] == a ? " *" : ""));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("modeled allreduce time (ms) on %s, %d nodes "
+              "(* = fastest per payload)\n",
+              topo.c_str(), cluster.nodes);
+  table.print();
+
+  Table picks({"payload", "offline tuner pick", "modeled"});
+  for (std::size_t p = 0; p < payloads.size(); ++p) {
+    picks.add_row({format_bytes(static_cast<double>(payloads[p])),
+                   algos[winner[p]],
+                   format_seconds(t[winner[p]][p])});
+  }
+  picks.print("crossover: best algorithm per payload class");
+  return 0;
+}
+
 int cmd_plan(const ArgParser& args) {
+  if (args.has("topology")) return cmd_plan_topology(args);
   trainer::EpochModelConfig cfg;
   cfg.model = args.get("model", "resnet50");
   cfg.nodes = static_cast<int>(args.get_int("nodes", 16));
@@ -738,17 +868,21 @@ int cmd_allreduce(const ArgParser& args) {
   const int nodes = static_cast<int>(args.get_int("nodes", 16));
   const std::uint64_t payload =
       static_cast<std::uint64_t>(args.get_int("payload-mb", 93)) << 20;
+  // Registry lookup first: an unknown name fails here with the full
+  // list of known algorithms, before the schedule model sees it.
+  auto algorithm = allreduce::make_algorithm(algo);
   netsim::ClusterConfig cluster;
   cluster.nodes = nodes;
+  cluster.topology = args.get("topology", "fattree");
+  cluster.oversubscription = args.get_double("oversub", 4.0);
   const double t = netsim::allreduce_time_s(cluster, algo, payload);
-  std::printf("%s: %s of gradients across %d nodes → %s (%.2f GB/s)\n",
+  std::printf("%s: %s of gradients across %d nodes (%s) → %s (%.2f GB/s)\n",
               algo.c_str(), format_bytes(static_cast<double>(payload)).c_str(),
-              nodes, format_seconds(t).c_str(),
+              nodes, cluster.topology.c_str(), format_seconds(t).c_str(),
               static_cast<double>(payload) / t / 1e9);
 
   // Functional verification on min(nodes, 8) in-process ranks.
   const int ranks = std::min(nodes, 8);
-  auto algorithm = allreduce::make_algorithm(algo);
   bool correct = true;
   simmpi::Runtime::execute(ranks, [&](simmpi::Communicator& comm) {
     std::vector<float> data(4096, static_cast<float>(comm.rank() + 1));
@@ -823,6 +957,19 @@ int cmd_help() {
       "  help       this message\n\n"
       "see the header of tools/dctrain_cli.cpp for every option.\n",
       dct::kVersionString);
+  std::string algos;
+  for (const auto& a : allreduce::list_algorithms()) {
+    if (!algos.empty()) algos += ", ";
+    algos += a;
+  }
+  std::string topos;
+  for (const auto& k : netsim::topology_kinds()) {
+    if (!topos.empty()) topos += ", ";
+    topos += k;
+  }
+  std::printf("\nallreduce algorithms (--allreduce / --algo):\n  %s\n"
+              "fabric topologies (--topology):\n  %s\n",
+              algos.c_str(), topos.c_str());
   return 0;
 }
 
